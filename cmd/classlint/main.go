@@ -1,0 +1,65 @@
+// Command classlint analyzes a classifier's rule list before it is trusted
+// with a study: it parses the rules, reconstructs the number-line interval
+// each rule covers (for single-variable threshold classifiers, the dominant
+// Figure 5 shape), and reports gaps and shadowed rules — the mistakes an
+// analyst most wants caught before precision and recall suffer.
+//
+// Rules are read from a file or stdin, one "value <- guard" per line:
+//
+//	classlint -elements None,Light,Moderate,Heavy rules.txt
+//	echo "Heavy <- Packs >= 5" | classlint -elements Heavy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"guava/internal/classifier"
+	"guava/internal/relstore"
+)
+
+func main() {
+	elements := flag.String("elements", "", "comma-separated categorical domain elements")
+	name := flag.String("name", "classifier", "classifier name for the report")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "classlint: %v\n", err)
+		os.Exit(1)
+	}
+	target := classifier.Target{
+		Entity: "Entity", Attribute: "Attribute", Domain: "Domain",
+		Kind: relstore.KindString,
+	}
+	if *elements != "" {
+		target.Elements = strings.Split(*elements, ",")
+	} else {
+		target.Kind = relstore.KindNull // open domain: accept any value type
+	}
+	cl, err := classifier.Parse(*name, "", target, string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "classlint: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := classifier.AnalyzeIntervals(cl)
+	if err != nil {
+		fmt.Printf("parsed %d rules; not a single-variable threshold classifier (%v)\n", len(cl.Rules), err)
+		return
+	}
+	fmt.Print(rep.Render(cl))
+	if len(rep.Gaps) == 0 && len(rep.Shadowed) == 0 {
+		fmt.Println("  no gaps, no shadowed rules")
+	} else {
+		os.Exit(1)
+	}
+}

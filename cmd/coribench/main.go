@@ -1,0 +1,292 @@
+// Command coribench is the experiment harness: it regenerates the
+// measurable rows of EXPERIMENTS.md outside `go test -bench`, printing one
+// section per experiment. See EXPERIMENTS.md for how each section maps onto
+// the paper's figures, tables, and hypotheses.
+//
+// Usage:
+//
+//	coribench [-exp all|T1|H2|A1|A2|A3] [-seed 42] [-n 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"guava/internal/baseline"
+	"guava/internal/classifier"
+	"guava/internal/etl"
+	"guava/internal/materialize"
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+	"guava/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3")
+	seed := flag.Int64("seed", 42, "workload seed")
+	n := flag.Int("n", 200, "records per contributor")
+	flag.Parse()
+
+	run := func(id string) bool { return *exp == "all" || *exp == id }
+	if run("T1") {
+		expT1(*n)
+	}
+	if run("H2") {
+		expH2(*seed, *n)
+	}
+	if run("A1") {
+		expA1(*seed, *n)
+	}
+	if run("A2") {
+		expA2(*seed, *n)
+	}
+	if run("A3") {
+		expA3(*seed)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "coribench: %v\n", err)
+	os.Exit(1)
+}
+
+// timeIt runs fn `reps` times and returns the per-run duration.
+func timeIt(reps int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(reps), nil
+}
+
+// expT1: per-pattern write+read round-trip cost (Table 1).
+func expT1(n int) {
+	fmt.Printf("== T1: design-pattern round trips (%d records) ==\n", n)
+	schema := relstore.MustSchema(
+		relstore.Column{Name: "ID", Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: "Smoking", Type: relstore.KindString},
+		relstore.Column{Name: "Packs", Type: relstore.KindFloat},
+		relstore.Column{Name: "Hypoxia", Type: relstore.KindBool},
+	)
+	form := patterns.FormInfo{Name: "P", KeyColumn: "ID", Schema: schema}
+	rows := make([]relstore.Row, n)
+	for i := range rows {
+		rows[i] = relstore.Row{
+			relstore.Int(int64(i + 1)), relstore.Str("Current"),
+			relstore.Float(float64(i % 6)), relstore.Bool(i%5 == 0),
+		}
+	}
+	stacks := []struct {
+		name  string
+		stack *patterns.Stack
+	}{
+		{"Naive", patterns.NewStack(patterns.Naive{})},
+		{"Split (Join on read)", patterns.NewStack(&patterns.Split{})},
+		{"Generic (un-pivot on read)", patterns.NewStack(patterns.Generic{})},
+		{"Audit ∘ Naive", patterns.NewStack(patterns.Naive{}, &patterns.Audit{})},
+		{"Lookup ∘ Naive", patterns.NewStack(patterns.Naive{}, &patterns.Lookup{Columns: []string{"Smoking"}})},
+		{"Audit ∘ Encode ∘ Generic", patterns.NewStack(patterns.Generic{}, &patterns.Audit{}, &patterns.Encode{})},
+	}
+	fmt.Printf("%-28s %14s %14s\n", "pattern stack", "write/rec", "read-all")
+	for _, s := range stacks {
+		db := relstore.NewDB("bench")
+		if err := s.stack.Install(db, form); err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		for _, r := range rows {
+			if err := s.stack.WriteRow(db, form, r); err != nil {
+				fail(err)
+			}
+		}
+		writePer := time.Since(start) / time.Duration(n)
+		readDur, err := timeIt(20, func() error {
+			_, err := s.stack.Read(db, form)
+			return err
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-28s %14s %14s\n", s.name, writePer, readDur)
+	}
+	fmt.Println()
+}
+
+// expH2: precision/recall of the classifier-specified study vs the
+// once-integrated warehouse (Hypothesis #2).
+func expH2(seed int64, n int) {
+	fmt.Printf("== H2: precision/recall, Study 2 cohort (ex-smokers with hypoxia; %d records x 3 contributors) ==\n", n)
+	contribs, err := workload.BuildAll(seed, n)
+	if err != nil {
+		fail(err)
+	}
+	truth := baseline.Study2Truth(contribs, 0)
+
+	conds := map[string]string{
+		"CORI":      "Smoking = 'Quit' AND (TransientHypoxia = TRUE OR ProlongedHypoxia = TRUE)",
+		"EndoSoft":  "SmokingStatus = 'Ex-smoker' AND (O2Desat = TRUE OR O2DesatProlonged = TRUE)",
+		"MedRecord": "SmokeCode = 2 AND (HypoxiaT = TRUE OR HypoxiaP = TRUE)",
+	}
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	for _, c := range spec.Contributors {
+		c.Condition = conds[c.Name]
+	}
+	compiled, err := etl.Compile(spec)
+	if err != nil {
+		fail(err)
+	}
+	rows, err := compiled.Run()
+	if err != nil {
+		fail(err)
+	}
+	selected := map[baseline.CohortKey]bool{}
+	for _, r := range rows.Data {
+		selected[baseline.CohortKey{Contributor: r[1].AsString(), Key: r[0].AsInt()}] = true
+	}
+	m := baseline.Score(selected, truth)
+
+	integrated, err := baseline.IntegrateOnce(contribs)
+	if err != nil {
+		fail(err)
+	}
+	mi := baseline.Score(baseline.Study2FromIntegrated(integrated), truth)
+
+	fmt.Printf("%-28s %10s %10s %6s %6s %6s\n", "route", "precision", "recall", "TP", "FP", "FN")
+	fmt.Printf("%-28s %10.3f %10.3f %6d %6d %6d\n", "GUAVA + MultiClass", m.Precision(), m.Recall(), m.TruePositives, m.FalsePositives, m.FalseNegatives)
+	fmt.Printf("%-28s %10.3f %10.3f %6d %6d %6d\n", "classical full integration", mi.Precision(), mi.Recall(), mi.TruePositives, mi.FalsePositives, mi.FalseNegatives)
+	fmt.Println()
+}
+
+// expA1: materialization strategies vs classifier/domain ratio (Sec 4.2,
+// Figure 7).
+func expA1(seed int64, n int) {
+	fmt.Printf("== A1: materialization strategies vs classifier count (%d records) ==\n", n)
+	contribs, err := workload.BuildAll(seed, n)
+	if err != nil {
+		fail(err)
+	}
+	cori := contribs[0]
+	base, err := cori.Stack.Read(cori.DB, cori.Info)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-12s %-10s %12s %12s %10s\n", "classifiers", "strategy", "prepare", "access", "cells")
+	for _, ratio := range []int{2, 8, 24} {
+		cat := &materialize.Catalog{Base: base, Binds: map[string]*classifier.Bound{}, AttributeOf: map[string]string{}}
+		for i := 0; i < ratio; i++ {
+			name := fmt.Sprintf("Smoking_v%02d", i)
+			cl, err := classifier.Parse(name, "", classifier.Target{
+				Entity: "Procedure", Attribute: "Smoking", Domain: name,
+				Kind: relstore.KindString, Elements: []string{"None", "Light", "Heavy"},
+			}, fmt.Sprintf("None <- PacksPerDay = 0\nLight <- 0 < PacksPerDay < %d\nHeavy <- PacksPerDay >= %d", i+1, i+1))
+			if err != nil {
+				fail(err)
+			}
+			bound, err := cl.Bind(cori.Tree)
+			if err != nil {
+				fail(err)
+			}
+			cat.Binds[name] = bound
+			cat.AttributeOf[name] = "Smoking"
+		}
+		cols := cat.Columns()
+		for _, s := range []materialize.Strategy{
+			&materialize.Full{}, &materialize.OnDemand{},
+			&materialize.Hot{HotColumns: cols[:1]}, &materialize.Algebraic{},
+		} {
+			prep, err := timeIt(5, func() error { return s.Prepare(cat) })
+			if err != nil {
+				fail(err)
+			}
+			i := 0
+			access, err := timeIt(50, func() error {
+				_, err := s.Column(cols[i%len(cols)])
+				i++
+				return err
+			})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-12d %-10s %12s %12s %10d\n", ratio, s.Name(), prep, access, s.StoredCells())
+		}
+	}
+	fmt.Println()
+}
+
+// expA2: generated workflow vs hand-written expert ETL (same output).
+func expA2(seed int64, n int) {
+	fmt.Printf("== A2: generated workflow vs hand-written ETL (%d records x 3 contributors) ==\n", n)
+	contribs, err := workload.BuildAll(seed, n)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	compiled, err := etl.Compile(spec)
+	if err != nil {
+		fail(err)
+	}
+	gen, err := compiled.Run()
+	if err != nil {
+		fail(err)
+	}
+	hand, err := baseline.HandETL(contribs)
+	if err != nil {
+		fail(err)
+	}
+	same := gen.EqualUnordered(hand)
+	genDur, err := timeIt(10, func() error { _, err := compiled.Run(); return err })
+	if err != nil {
+		fail(err)
+	}
+	handDur, err := timeIt(10, func() error { _, err := baseline.HandETL(contribs); return err })
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("outputs identical: %v (%d rows)\n", same, gen.Len())
+	fmt.Printf("%-28s %14s\n", "route", "run")
+	fmt.Printf("%-28s %14s\n", "generated (GUAVA/MultiClass)", genDur)
+	fmt.Printf("%-28s %14s\n", "hand-written expert ETL", handDur)
+	if handDur > 0 {
+		fmt.Printf("overhead factor: %.2fx\n", float64(genDur)/float64(handDur))
+	}
+	fmt.Println()
+}
+
+// expA3: end-to-end scaling with record count.
+func expA3(seed int64) {
+	fmt.Println("== A3: end-to-end study scaling ==")
+	fmt.Printf("%-12s %14s %14s\n", "records", "build+enter", "compile+run")
+	for _, n := range []int{50, 200, 800} {
+		start := time.Now()
+		contribs, err := workload.BuildAll(seed, n)
+		if err != nil {
+			fail(err)
+		}
+		build := time.Since(start)
+		spec, err := baseline.ReferenceSpec(contribs)
+		if err != nil {
+			fail(err)
+		}
+		start = time.Now()
+		compiled, err := etl.Compile(spec)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := compiled.Run(); err != nil {
+			fail(err)
+		}
+		run := time.Since(start)
+		fmt.Printf("%-12d %14s %14s\n", n, build, run)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,72 @@
+// Command guavadump derives a g-tree from a reporting-tool form definition
+// and prints it, as indented text or as the XML document GUAVA stores
+// (Hypothesis #1 made visible: the tree, with all its context information,
+// comes from the form definition alone).
+//
+// Usage:
+//
+//	guavadump [-contributor CORI|EndoSoft|MedRecord] [-format text|xml]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"guava/internal/gtree"
+	"guava/internal/ui"
+	"guava/internal/workload"
+)
+
+func main() {
+	contributor := flag.String("contributor", "CORI", "which simulated vendor tool to dump (CORI, EndoSoft, MedRecord)")
+	format := flag.String("format", "text", "output format: text (g-tree), form (clinician view), or xml")
+	node := flag.String("node", "", "print the full context report of one node instead of the tree")
+	flag.Parse()
+
+	var form *ui.Form
+	switch *contributor {
+	case "CORI":
+		form = workload.CORIProcedureForm()
+	case "EndoSoft":
+		form = workload.EndoSoftExamForm()
+	case "MedRecord":
+		form = workload.MedRecordForm()
+	default:
+		fmt.Fprintf(os.Stderr, "guavadump: unknown contributor %q\n", *contributor)
+		os.Exit(2)
+	}
+	if err := form.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "guavadump: %v\n", err)
+		os.Exit(1)
+	}
+	tree, err := gtree.Derive(*contributor, 1, form)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "guavadump: %v\n", err)
+		os.Exit(1)
+	}
+	if *node != "" {
+		rep, err := tree.ContextReport(*node)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "guavadump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		return
+	}
+	switch *format {
+	case "form":
+		fmt.Print(form.Render())
+	case "text":
+		fmt.Print(tree.Render())
+	case "xml":
+		if err := gtree.EncodeXML(os.Stdout, tree); err != nil {
+			fmt.Fprintf(os.Stderr, "guavadump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	default:
+		fmt.Fprintf(os.Stderr, "guavadump: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

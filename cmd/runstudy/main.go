@@ -1,0 +1,136 @@
+// Command runstudy compiles and runs a study over the synthetic workload:
+// the reference study (Habits + hypoxia over all three contributors), or the
+// paper's Study 1 funnel, or Study 2 under both ex-smoker definitions. It
+// can print the generated ETL plan and the per-contributor SQL and XQuery
+// translations — the inspectability the paper demands of generated
+// workflows.
+//
+// Usage:
+//
+//	runstudy [-study reference|study1|study2] [-seed 42] [-n 200]
+//	         [-plan] [-sql] [-xquery] [-rows 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"guava"
+	"guava/internal/baseline"
+	"guava/internal/classifier"
+	"guava/internal/etl"
+	"guava/internal/relstore"
+	"guava/internal/workload"
+)
+
+func main() {
+	studyName := flag.String("study", "reference", "study to run: reference, study1, or study2")
+	seed := flag.Int64("seed", 42, "workload seed")
+	n := flag.Int("n", 200, "records per contributor")
+	showPlan := flag.Bool("plan", false, "print the generated ETL workflow")
+	showSQL := flag.Bool("sql", false, "print the per-contributor SQL translation")
+	showXQ := flag.Bool("xquery", false, "print the per-contributor XQuery translation")
+	rows := flag.Int("rows", 10, "result rows to print (reference study)")
+	flag.Parse()
+
+	contribs, err := workload.BuildAll(*seed, *n)
+	if err != nil {
+		fail(err)
+	}
+	switch *studyName {
+	case "reference":
+		runReference(contribs, *showPlan, *showSQL, *showXQ, *rows)
+	case "study1":
+		res, err := guava.Study1(contribs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Render())
+		truth := guava.Study1Truth(contribs)
+		if *res == *truth {
+			fmt.Println("matches ground truth at every stage (precision = recall = 1.0)")
+		} else {
+			fmt.Printf("MISMATCH vs ground truth: %+v\n", truth)
+		}
+	case "study2":
+		for _, recent := range []bool{false, true} {
+			res, err := guava.Study2(contribs, recent)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(res.Render())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "runstudy: unknown study %q\n", *studyName)
+		os.Exit(2)
+	}
+}
+
+func runReference(contribs []*workload.Contributor, showPlan, showSQL, showXQ bool, maxRows int) {
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	compiled, err := etl.Compile(spec)
+	if err != nil {
+		fail(err)
+	}
+	if showPlan {
+		fmt.Println(compiled.Workflow.Render())
+	}
+	if showSQL {
+		plans, err := compiled.EmitSQLPlans()
+		if err != nil {
+			fail(err)
+		}
+		var names []string
+		for n := range plans {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("-- %s\n%s\n\n", n, plans[n])
+		}
+	}
+	if showXQ {
+		for _, c := range spec.Contributors {
+			var domains []*classifier.Classifier
+			for _, col := range spec.Columns {
+				domains = append(domains, c.Classifiers[col.As])
+			}
+			xq, err := classifier.EmitXQuery(c.Name+".xml", c.Entity, domains)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("(: %s :)\n%s\n\n", c.Name, xq)
+		}
+	}
+	out, err := compiled.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("study %q: %d rows\n", spec.Name, out.Len())
+	head := out
+	if out.Len() > maxRows {
+		head = &relstore.Rows{Schema: out.Schema, Data: out.Data[:maxRows]}
+	}
+	fmt.Print(head.Format())
+	// Summary: classification histogram.
+	grouped, err := relstore.GroupBy(out, []string{"Smoking_D3"}, relstore.Aggregate{Kind: relstore.AggCount, As: "N"})
+	if err != nil {
+		fail(err)
+	}
+	sorted, err := relstore.SortBy(grouped, "Smoking_D3")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\nSmoking_D3 histogram:")
+	fmt.Print(sorted.Format())
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "runstudy: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,196 @@
+package guava
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"guava/internal/classifier"
+	"guava/internal/etl"
+	"guava/internal/relstore"
+)
+
+// StudyDoc is the serializable form of a study: the analyst's complete set
+// of decisions — columns, per-contributor classifiers (as rule text),
+// conditions, cleaners, annotations — without live database handles, which
+// re-resolve against a System's registered contributors at load time. This
+// is the persistence layer behind the paper's requirement that analysts can
+// "document, inspect, reuse, and modify integration decisions from prior
+// studies".
+type StudyDoc struct {
+	Name         string           `json:"name"`
+	Columns      []ColumnDoc      `json:"columns"`
+	Contributors []ContributorDoc `json:"contributors"`
+	Annotations  []AnnotationDoc  `json:"annotations,omitempty"`
+}
+
+// ColumnDoc serializes one output column.
+type ColumnDoc struct {
+	As        string `json:"as"`
+	Attribute string `json:"attribute"`
+	Domain    string `json:"domain"`
+	Kind      string `json:"kind"`
+}
+
+// ContributorDoc serializes one contributor's study choices.
+type ContributorDoc struct {
+	Name        string                   `json:"name"`
+	Entity      ClassifierDoc            `json:"entity"`
+	Classifiers map[string]ClassifierDoc `json:"classifiers"`
+	Cleaners    []ClassifierDoc          `json:"cleaners,omitempty"`
+	Condition   string                   `json:"condition,omitempty"`
+}
+
+// ClassifierDoc serializes a classifier as its source text plus target.
+type ClassifierDoc struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Entity      string   `json:"entity,omitempty"`
+	Attribute   string   `json:"attribute,omitempty"`
+	Domain      string   `json:"domain,omitempty"`
+	Kind        string   `json:"kind,omitempty"`
+	Elements    []string `json:"elements,omitempty"`
+	Rules       string   `json:"rules"`
+}
+
+// AnnotationDoc serializes one provenance entry.
+type AnnotationDoc struct {
+	Author string    `json:"author"`
+	At     time.Time `json:"at"`
+	Note   string    `json:"note"`
+}
+
+func kindName(k relstore.Kind) string { return k.String() }
+
+func kindFromName(s string) (relstore.Kind, error) {
+	switch s {
+	case "INTEGER":
+		return relstore.KindInt, nil
+	case "REAL":
+		return relstore.KindFloat, nil
+	case "TEXT":
+		return relstore.KindString, nil
+	case "BOOLEAN":
+		return relstore.KindBool, nil
+	case "", "NULL":
+		return relstore.KindNull, nil
+	default:
+		return 0, fmt.Errorf("guava: unknown kind %q", s)
+	}
+}
+
+func classifierDoc(cl *Classifier) ClassifierDoc {
+	return ClassifierDoc{
+		Name:        cl.Name,
+		Description: cl.Description,
+		Entity:      cl.Target.Entity,
+		Attribute:   cl.Target.Attribute,
+		Domain:      cl.Target.Domain,
+		Kind:        kindName(cl.Target.Kind),
+		Elements:    cl.Target.Elements,
+		Rules:       cl.Source,
+	}
+}
+
+// Doc serializes the study.
+func (st *Study) Doc() *StudyDoc {
+	doc := &StudyDoc{Name: st.Name}
+	for _, c := range st.spec.Columns {
+		doc.Columns = append(doc.Columns, ColumnDoc{
+			As: c.As, Attribute: c.Attribute, Domain: c.Domain, Kind: kindName(c.Kind),
+		})
+	}
+	for _, c := range st.spec.Contributors {
+		cd := ContributorDoc{
+			Name:        c.Name,
+			Entity:      classifierDoc(c.Entity),
+			Classifiers: make(map[string]ClassifierDoc, len(c.Classifiers)),
+			Condition:   c.Condition,
+		}
+		for col, cl := range c.Classifiers {
+			cd.Classifiers[col] = classifierDoc(cl)
+		}
+		for _, cl := range c.Cleaners {
+			cd.Cleaners = append(cd.Cleaners, classifierDoc(cl))
+		}
+		doc.Contributors = append(doc.Contributors, cd)
+	}
+	for _, a := range st.Log.Entries() {
+		doc.Annotations = append(doc.Annotations, AnnotationDoc{Author: a.Author, At: a.At, Note: a.Note})
+	}
+	return doc
+}
+
+// JSON renders the document, keeping the classifier language's "<-" arrows
+// readable (no HTML escaping).
+func (d *StudyDoc) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseStudyDoc reads a document from JSON.
+func ParseStudyDoc(data []byte) (*StudyDoc, error) {
+	var d StudyDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("guava: parse study doc: %w", err)
+	}
+	return &d, nil
+}
+
+// LoadStudy rebuilds and compiles a study from a document, resolving each
+// contributor against the system's registry. The study registers under the
+// document's name.
+func (s *System) LoadStudy(doc *StudyDoc) (*Study, error) {
+	b := s.DefineStudy(doc.Name)
+	for _, c := range doc.Columns {
+		k, err := kindFromName(c.Kind)
+		if err != nil {
+			return nil, err
+		}
+		b.Column(c.As, c.Attribute, c.Domain, k)
+	}
+	for _, cd := range doc.Contributors {
+		cb := b.For(cd.Name)
+		cb.EntityFor(cd.Entity.Entity, cd.Entity.Name, cd.Entity.Description, cd.Entity.Rules)
+		for col, cld := range cd.Classifiers {
+			k, err := kindFromName(cld.Kind)
+			if err != nil {
+				return nil, err
+			}
+			target := classifier.Target{
+				Entity: cld.Entity, Attribute: cld.Attribute, Domain: cld.Domain,
+				Kind: k, Elements: cld.Elements,
+			}
+			cb.Classify(col, cld.Name, cld.Description, target, cld.Rules)
+		}
+		for _, cld := range cd.Cleaners {
+			cb.Clean(cld.Name, cld.Description, cld.Rules)
+		}
+		if cd.Condition != "" {
+			cb.Condition(cd.Condition)
+		}
+		cb.Done()
+	}
+	st, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range doc.Annotations {
+		st.Log.Add(a.Author, a.Note, a.At)
+	}
+	return st, nil
+}
+
+// Columns exposes the study's output columns for inspection.
+func (st *Study) Columns() []etl.ColumnSpec {
+	out := make([]etl.ColumnSpec, len(st.spec.Columns))
+	copy(out, st.spec.Columns)
+	return out
+}

@@ -1,0 +1,96 @@
+package guava
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStudyDocRoundTrip: a study serializes to JSON and reloads into a fresh
+// system producing identical output — the "document, inspect, reuse"
+// contract.
+func TestStudyDocRoundTrip(t *testing.T) {
+	cs := buildContribs(t)
+	sys := registerAll(t, cs)
+	st, err := sys.DefineStudy("persisted").
+		Column("Smoking_D3", "Smoking", "D3", KindString).
+		For("CORI").
+		Entity("Surgical", "surgery cases only", "Procedure <- Procedure AND Surgery = TRUE").
+		Classify("Smoking_D3", "Habits (Cancer)", "cancer thresholds", habitsTarget, `
+None     <- PacksPerDay = 0
+Light    <- 0 < PacksPerDay < 2
+Moderate <- 2 <= PacksPerDay < 5
+Heavy    <- PacksPerDay >= 5
+`).
+		Clean("Drop implausible", "data entry errors", "DISCARD <- PacksPerDay > 20").
+		Condition("RenalFailure = FALSE").
+		Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Annotate("jlogan", "created for the audit", time.Date(2006, 5, 3, 9, 0, 0, 0, time.UTC))
+	original, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := st.Doc().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"persisted"`, `"Habits (Cancer)"`, `"DISCARD <-`, `"RenalFailure = FALSE"`, `"jlogan"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+
+	doc, err := ParseStudyDoc(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load into a *fresh* system over the same contributors.
+	sys2 := registerAll(t, cs)
+	st2, err := sys2.LoadStudy(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := st2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded.EqualUnordered(original) {
+		t.Error("reloaded study output differs from original")
+	}
+	if st2.Log.Len() != 1 {
+		t.Error("annotations lost in round trip")
+	}
+	if len(st2.Columns()) != 1 || st2.Columns()[0].As != "Smoking_D3" {
+		t.Errorf("columns = %+v", st2.Columns())
+	}
+}
+
+func TestParseStudyDocErrors(t *testing.T) {
+	if _, err := ParseStudyDoc([]byte("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	cs := buildContribs(t)
+	sys := registerAll(t, cs)
+	// Unknown kind.
+	doc := &StudyDoc{Name: "x", Columns: []ColumnDoc{{As: "A", Kind: "WAT"}}}
+	if _, err := sys.LoadStudy(doc); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	// Unknown contributor.
+	doc2 := &StudyDoc{
+		Name:    "y",
+		Columns: []ColumnDoc{{As: "A", Attribute: "a", Domain: "d", Kind: "TEXT"}},
+		Contributors: []ContributorDoc{{
+			Name:   "Ghost",
+			Entity: ClassifierDoc{Name: "e", Entity: "Procedure", Rules: "Procedure <- Procedure"},
+		}},
+	}
+	if _, err := sys.LoadStudy(doc2); err == nil {
+		t.Error("unknown contributor must fail")
+	}
+}

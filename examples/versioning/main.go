@@ -1,0 +1,102 @@
+// Versioning: the paper's Section 6 extension in action. The CORI tool
+// ships v2: PacksPerDay is renamed, Smoking gains an option, and a new
+// control appears. Classifiers whose inputs are untouched propagate
+// automatically; the rest are flagged for review with replacement
+// suggestions.
+//
+//	go run ./examples/versioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"guava"
+	"guava/internal/classifier"
+	"guava/internal/gtree"
+	"guava/internal/versioning"
+	"guava/internal/workload"
+)
+
+func main() {
+	// Tool v1 and its g-tree.
+	v1 := workload.CORIProcedureForm()
+	if err := v1.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	oldTree, err := gtree.Derive("CORI", 1, v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tool v2: rename PacksPerDay, extend Smoking's options, add a control.
+	v2 := workload.CORIProcedureForm()
+	v2.Walk(func(c *guava.Control) {
+		switch c.Name {
+		case "PacksPerDay":
+			c.Name = "PacksDaily"
+		case "Smoking":
+			c.Options = append(c.Options, guava.Option{Display: "Occasional", Stored: guava.Str("Occasional")})
+		}
+	})
+	v2.Controls = append(v2.Controls, &guava.Control{
+		Name: "BiopsyTaken", Kind: guava.CheckBox, Question: "Biopsy taken?",
+	})
+	if err := v2.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	newTree, err := gtree.Derive("CORI", 2, v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What changed between versions?
+	diff := gtree.Compare(oldTree, newTree)
+	fmt.Println("=== g-tree diff v1 -> v2 ===")
+	fmt.Printf("added:   %v\nremoved: %v\n", diff.Added, diff.Removed)
+	for node, changes := range diff.Changed {
+		for _, c := range changes {
+			fmt.Printf("changed: %s: %s\n", node, c)
+		}
+	}
+	fmt.Println()
+
+	// The studies' classifiers from the v1 era.
+	target := guava.Target{
+		Entity: "Procedure", Attribute: "Smoking", Domain: "D3",
+		Kind: guava.KindString, Elements: []string{"None", "Light", "Moderate", "Heavy"},
+	}
+	habits, err := classifier.Parse("Habits (Cancer)", "cancer-study thresholds", target, `
+None     <- PacksPerDay = 0
+Light    <- 0 < PacksPerDay < 2
+Moderate <- 2 <= PacksPerDay < 5
+Heavy    <- PacksPerDay >= 5
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := classifier.Parse("Status", "direct status readout", guava.Target{
+		Entity: "Procedure", Attribute: "Smoking", Domain: "D2",
+		Kind: guava.KindString, Elements: []string{"None", "Current", "Previous"},
+	}, `
+None     <- Smoking = 'Never'
+Current  <- Smoking = 'Current'
+Previous <- Smoking = 'Quit'
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hypoxia, err := classifier.Parse("Any hypoxia", "either desaturation flag", guava.Target{
+		Entity: "Procedure", Attribute: "Hypoxia", Domain: "D1", Kind: guava.KindBool,
+	}, "TRUE <- TransientHypoxia = TRUE OR ProlongedHypoxia = TRUE\nFALSE <- TRUE")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	decisions, err := versioning.Propagate([]*classifier.Classifier{habits, status, hypoxia}, oldTree, newTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== classifier propagation to tool v2 ===")
+	fmt.Print(versioning.Render(decisions))
+}

@@ -1,0 +1,3 @@
+module guava
+
+go 1.22

@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+	"guava/internal/workload"
+)
+
+// IntegrateOnce is the classical warehouse the paper's introduction warns
+// about: during the one-time integration, the database expert faces "a data
+// source A with two categories, smokers or non-smokers, [that] cannot be
+// fully integrated with a data source B with three related categories …
+// without making a classification decision". The expert decides once:
+// smoking collapses to a boolean IsSmoker (current smokers only), and the
+// quit-date detail is not carried into the warehouse at all.
+//
+// The returned relation is the integrated warehouse: Key, Contributor,
+// IsSmoker, Hypoxia.
+func IntegrateOnce(contribs []*workload.Contributor) (*relstore.Rows, error) {
+	schema := relstore.MustSchema(
+		relstore.Column{Name: "Key", Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: "Contributor", Type: relstore.KindString, NotNull: true},
+		relstore.Column{Name: "IsSmoker", Type: relstore.KindBool},
+		relstore.Column{Name: "Hypoxia", Type: relstore.KindBool},
+	)
+	out := &relstore.Rows{Schema: schema}
+	for _, c := range contribs {
+		rows, err := c.Stack.Read(c.DB, c.Info)
+		if err != nil {
+			return nil, err
+		}
+		s := rows.Schema
+		for _, r := range rows.Data {
+			var key relstore.Value
+			var isSmoker, hyp bool
+			switch c.Name {
+			case "CORI":
+				key = r[s.Index("ProcedureID")]
+				isSmoker = r[s.Index("Smoking")].Equal(relstore.Str("Current"))
+				hyp = truthy(r[s.Index("TransientHypoxia")]) || truthy(r[s.Index("ProlongedHypoxia")])
+			case "EndoSoft":
+				key = r[s.Index("ExamID")]
+				isSmoker = r[s.Index("SmokingStatus")].Equal(relstore.Str("Smoker"))
+				hyp = truthy(r[s.Index("O2Desat")]) || truthy(r[s.Index("O2DesatProlonged")])
+			case "MedRecord":
+				key = r[s.Index("RecordID")]
+				isSmoker = r[s.Index("SmokeCode")].Equal(relstore.Int(1))
+				hyp = truthy(r[s.Index("HypoxiaT")]) || truthy(r[s.Index("HypoxiaP")])
+			default:
+				return nil, fmt.Errorf("baseline: unknown contributor %q", c.Name)
+			}
+			out.Data = append(out.Data, relstore.Row{key, relstore.Str(c.Name), relstore.Bool(isSmoker), relstore.Bool(hyp)})
+		}
+	}
+	return out, nil
+}
+
+func truthy(v relstore.Value) bool { return !v.IsNull() && v.Truthy() }
+
+// CohortMetrics scores a selected cohort against the ground-truth cohort:
+// standard precision and recall, the measures the paper proposes for its
+// usability testing ("analysts should be able to extract only and all
+// relevant data").
+type CohortMetrics struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Precision returns TP / (TP + FP); 1 when nothing was selected.
+func (m CohortMetrics) Precision() float64 {
+	d := m.TruePositives + m.FalsePositives
+	if d == 0 {
+		return 1
+	}
+	return float64(m.TruePositives) / float64(d)
+}
+
+// Recall returns TP / (TP + FN); 1 when nothing was relevant.
+func (m CohortMetrics) Recall() float64 {
+	d := m.TruePositives + m.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(m.TruePositives) / float64(d)
+}
+
+// CohortKey identifies one study entity across contributors.
+type CohortKey struct {
+	Contributor string
+	Key         int64
+}
+
+// Score compares a selected cohort with the relevant (ground-truth) cohort.
+func Score(selected, relevant map[CohortKey]bool) CohortMetrics {
+	var m CohortMetrics
+	for k := range selected {
+		if relevant[k] {
+			m.TruePositives++
+		} else {
+			m.FalsePositives++
+		}
+	}
+	for k := range relevant {
+		if !selected[k] {
+			m.FalseNegatives++
+		}
+	}
+	return m
+}
+
+// Study2Truth computes the ground-truth ex-smoker-with-hypoxia cohort under
+// a definition of ex-smoker ("quit within N years"; 0 = ever).
+func Study2Truth(contribs []*workload.Contributor, withinYears int64) map[CohortKey]bool {
+	out := map[CohortKey]bool{}
+	for _, c := range contribs {
+		for _, t := range c.Truths {
+			if t.ExSmoker(withinYears) && t.HasHypoxia() {
+				out[CohortKey{Contributor: c.Name, Key: t.ID}] = true
+			}
+		}
+	}
+	return out
+}
+
+// Study2FromIntegrated is the best Study 2 cohort the once-integrated
+// warehouse can produce: ex-smokers are unrepresentable, so the expert's
+// least-bad proxy is "non-current-smokers with hypoxia" — demonstrably both
+// over- and under-selecting.
+func Study2FromIntegrated(integrated *relstore.Rows) map[CohortKey]bool {
+	out := map[CohortKey]bool{}
+	s := integrated.Schema
+	for _, r := range integrated.Data {
+		isSmoker := truthy(r[s.Index("IsSmoker")])
+		hyp := truthy(r[s.Index("Hypoxia")])
+		if !isSmoker && hyp {
+			out[CohortKey{Contributor: r[s.Index("Contributor")].AsString(), Key: r[s.Index("Key")].AsInt()}] = true
+		}
+	}
+	return out
+}

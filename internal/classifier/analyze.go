@@ -1,0 +1,451 @@
+package classifier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"guava/internal/relstore"
+)
+
+// This file implements classifier analysis: the tooling that lets a data
+// analyst trust a classifier before running a study. Two complementary
+// checks:
+//
+//   - AnalyzeIntervals: static analysis of single-variable threshold
+//     classifiers (the dominant Figure 5 shape). It reconstructs the
+//     number-line interval each rule covers and reports gaps (values no rule
+//     classifies), and rules shadowed by earlier rules (unreachable under
+//     first-match semantics).
+//
+//   - AnalyzeSample: dynamic analysis over data — which rules never fired,
+//     and what fraction of records stayed unclassified.
+
+// Interval is a contiguous range over the number line.
+type Interval struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+	LoInf, HiInf   bool // unbounded below / above
+}
+
+// String renders the interval in math notation.
+func (iv Interval) String() string {
+	lo := "("
+	loVal := "-inf"
+	if !iv.LoInf {
+		loVal = trimFloat(iv.Lo)
+		if !iv.LoOpen {
+			lo = "["
+		}
+	}
+	hi := ")"
+	hiVal := "+inf"
+	if !iv.HiInf {
+		hiVal = trimFloat(iv.Hi)
+		if !iv.HiOpen {
+			hi = "]"
+		}
+	}
+	return fmt.Sprintf("%s%s, %s%s", lo, loVal, hiVal, hi)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// empty reports whether no value satisfies the interval.
+func (iv Interval) empty() bool {
+	if iv.LoInf || iv.HiInf {
+		return false
+	}
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	if iv.Lo == iv.Hi && (iv.LoOpen || iv.HiOpen) {
+		return true
+	}
+	return false
+}
+
+// intersect narrows the interval with another constraint.
+func (iv Interval) intersect(o Interval) Interval {
+	out := iv
+	if !o.LoInf {
+		if out.LoInf || o.Lo > out.Lo || (o.Lo == out.Lo && o.LoOpen) {
+			out.Lo, out.LoOpen, out.LoInf = o.Lo, o.LoOpen, false
+		}
+	}
+	if !o.HiInf {
+		if out.HiInf || o.Hi < out.Hi || (o.Hi == out.Hi && o.HiOpen) {
+			out.Hi, out.HiOpen, out.HiInf = o.Hi, o.HiOpen, false
+		}
+	}
+	return out
+}
+
+func fullInterval() Interval { return Interval{LoInf: true, HiInf: true} }
+
+// IntervalReport is the result of static threshold analysis.
+type IntervalReport struct {
+	// Node is the single g-tree node the classifier thresholds over.
+	Node string
+	// RuleIntervals maps each rule index to the intervals its guard covers.
+	RuleIntervals [][]Interval
+	// Gaps are maximal uncovered intervals between the smallest and largest
+	// finite bound (values there classify to NULL).
+	Gaps []Interval
+	// UncoveredBelow/UncoveredAbove report whether values below the
+	// smallest bound / above the largest bound are unclassified.
+	UncoveredBelow, UncoveredAbove bool
+	// Shadowed lists rule indices that can never fire because earlier rules
+	// fully cover their intervals.
+	Shadowed []int
+}
+
+// AnalyzeIntervals statically analyzes a single-variable threshold
+// classifier. It fails with a descriptive error when the classifier is not
+// of that shape (multi-node guards, string comparisons, IS NULL, …).
+func AnalyzeIntervals(c *Classifier) (*IntervalReport, error) {
+	if c.IsEntity {
+		return nil, fmt.Errorf("classifier: %q is an entity classifier; interval analysis applies to domain classifiers", c.Name)
+	}
+	rep := &IntervalReport{}
+	for i, r := range c.Rules {
+		ivs, node, err := guardIntervals(r.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("classifier: %q rule %d: %w", c.Name, i+1, err)
+		}
+		if rep.Node == "" {
+			rep.Node = node
+		} else if node != "" && node != rep.Node {
+			return nil, fmt.Errorf("classifier: %q thresholds over both %q and %q; interval analysis needs one variable", c.Name, rep.Node, node)
+		}
+		rep.RuleIntervals = append(rep.RuleIntervals, ivs)
+	}
+	// Shadowing: a rule is unreachable when every one of its intervals is
+	// covered by the union of earlier rules' intervals.
+	var covered []Interval
+	for i, ivs := range rep.RuleIntervals {
+		if len(ivs) > 0 && allCovered(ivs, covered) {
+			rep.Shadowed = append(rep.Shadowed, i)
+		}
+		covered = mergeIntervals(append(covered, ivs...))
+	}
+	// Gaps: complement of the union within the finite hull.
+	rep.Gaps, rep.UncoveredBelow, rep.UncoveredAbove = complement(covered)
+	return rep, nil
+}
+
+// guardIntervals converts a guard into a union of intervals over a single
+// node. TRUE guards return the full line with node "".
+func guardIntervals(g Node) ([]Interval, string, error) {
+	disjuncts, err := dnf(g, false)
+	if err != nil {
+		return nil, "", err
+	}
+	var out []Interval
+	node := ""
+	for _, conj := range disjuncts {
+		iv := fullInterval()
+		for _, atom := range conj {
+			cmp, ok := atom.(*Compare)
+			if !ok {
+				return nil, "", fmt.Errorf("guard %s is not a numeric threshold", atom)
+			}
+			n, constraint, err := atomInterval(cmp)
+			if err != nil {
+				return nil, "", err
+			}
+			if node == "" {
+				node = n
+			} else if n != node {
+				return nil, "", fmt.Errorf("guard mixes nodes %q and %q", node, n)
+			}
+			iv = iv.intersect(constraint)
+		}
+		if !iv.empty() {
+			out = append(out, iv)
+		}
+	}
+	return mergeIntervals(out), node, nil
+}
+
+// atomInterval converts one comparison into an interval constraint.
+func atomInterval(c *Compare) (string, Interval, error) {
+	l, r := c.Operands[0], c.Operands[1]
+	op := c.Ops[0]
+	name, num, ok := identNumber(l, r)
+	if !ok {
+		// Try the mirrored orientation, flipping the operator.
+		name, num, ok = identNumber(r, l)
+		if !ok {
+			return "", Interval{}, fmt.Errorf("comparison %s is not <node> vs <number>", c)
+		}
+		op = mirrorCmp(op)
+	}
+	switch op {
+	case "=":
+		return name, Interval{Lo: num, Hi: num}, nil
+	case "<":
+		return name, Interval{LoInf: true, Hi: num, HiOpen: true}, nil
+	case "<=":
+		return name, Interval{LoInf: true, Hi: num}, nil
+	case ">":
+		return name, Interval{Lo: num, LoOpen: true, HiInf: true}, nil
+	case ">=":
+		return name, Interval{Lo: num, HiInf: true}, nil
+	default:
+		return "", Interval{}, fmt.Errorf("operator %s is not an interval constraint", op)
+	}
+}
+
+func identNumber(a, b Node) (string, float64, bool) {
+	id, ok := a.(*Ident)
+	if !ok {
+		return "", 0, false
+	}
+	v, ok := numericLiteral(b)
+	if !ok {
+		return "", 0, false
+	}
+	return id.Name, v, true
+}
+
+// numericLiteral folds a (possibly unary-negated) numeric literal.
+func numericLiteral(n Node) (float64, bool) {
+	switch x := n.(type) {
+	case *NumLit:
+		if x.IsInt {
+			return float64(x.Int), true
+		}
+		return x.Float, true
+	case *Unary:
+		if x.Op != "-" {
+			return 0, false
+		}
+		v, ok := numericLiteral(x.X)
+		return -v, ok
+	default:
+		return 0, false
+	}
+}
+
+func mirrorCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// boundLess orders interval start bounds.
+func startLess(a, b Interval) bool {
+	if a.LoInf != b.LoInf {
+		return a.LoInf
+	}
+	if a.LoInf {
+		return false
+	}
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	return !a.LoOpen && b.LoOpen
+}
+
+// touchesOrOverlaps reports whether b starts within or adjacent to a's span.
+func touchesOrOverlaps(a, b Interval) bool {
+	if a.HiInf || b.LoInf {
+		return true
+	}
+	if b.Lo < a.Hi {
+		return true
+	}
+	if b.Lo == a.Hi {
+		// Adjacent: [x, 2) ∪ [2, y) merges; (…, 2) ∪ (2, …) leaves point 2.
+		return !(a.HiOpen && b.LoOpen)
+	}
+	return false
+}
+
+// mergeIntervals unions intervals into a minimal sorted set.
+func mergeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	sort.Slice(sorted, func(i, j int) bool { return startLess(sorted[i], sorted[j]) })
+	out := []Interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if touchesOrOverlaps(*last, iv) {
+			// Extend the end if iv reaches further.
+			if !last.HiInf {
+				if iv.HiInf || iv.Hi > last.Hi || (iv.Hi == last.Hi && !iv.HiOpen) {
+					last.Hi, last.HiOpen, last.HiInf = iv.Hi, iv.HiOpen, iv.HiInf
+				}
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// covers reports whether merged (sorted, disjoint) covers iv entirely.
+func covers(merged []Interval, iv Interval) bool {
+	for _, m := range merged {
+		// iv must sit inside a single merged interval (merged set is
+		// maximal, so no need to span).
+		loOK := m.LoInf || (!iv.LoInf && (iv.Lo > m.Lo || (iv.Lo == m.Lo && (m.LoOpen == false || iv.LoOpen))))
+		hiOK := m.HiInf || (!iv.HiInf && (iv.Hi < m.Hi || (iv.Hi == m.Hi && (m.HiOpen == false || iv.HiOpen))))
+		if loOK && hiOK {
+			return true
+		}
+	}
+	return false
+}
+
+func allCovered(ivs, merged []Interval) bool {
+	for _, iv := range ivs {
+		if !covers(merged, iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// complement returns the gaps between merged coverage intervals plus
+// open-endedness flags.
+func complement(merged []Interval) (gaps []Interval, below, above bool) {
+	if len(merged) == 0 {
+		return nil, true, true
+	}
+	first, last := merged[0], merged[len(merged)-1]
+	below = !first.LoInf
+	above = !last.HiInf
+	for i := 0; i+1 < len(merged); i++ {
+		a, b := merged[i], merged[i+1]
+		gap := Interval{
+			Lo: a.Hi, LoOpen: !a.HiOpen,
+			Hi: b.Lo, HiOpen: !b.LoOpen,
+		}
+		if !gap.empty() {
+			gaps = append(gaps, gap)
+		}
+	}
+	return gaps, below, above
+}
+
+// SampleReport is the result of evaluating a classifier over sample data.
+type SampleReport struct {
+	// Fired counts, per rule index, how many sample rows each rule matched
+	// (first-match semantics).
+	Fired []int
+	// NeverFired lists rule indices that matched nothing.
+	NeverFired []int
+	// Unclassified counts rows no rule matched.
+	Unclassified int
+	// Total is the sample size.
+	Total int
+}
+
+// UnclassifiedFraction returns the unclassified share (0 on empty samples).
+func (r *SampleReport) UnclassifiedFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Unclassified) / float64(r.Total)
+}
+
+// AnalyzeSample evaluates the bound classifier over sample rows and reports
+// rule coverage.
+func AnalyzeSample(bd *Bound, rows *relstore.Rows) (*SampleReport, error) {
+	rep := &SampleReport{Fired: make([]int, len(bd.Guards)), Total: rows.Len()}
+	for _, row := range rows.Data {
+		matched := false
+		for i, g := range bd.Guards {
+			ok, err := g.Eval(row, rows.Schema)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rep.Fired[i]++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			rep.Unclassified++
+		}
+	}
+	for i, n := range rep.Fired {
+		if n == 0 {
+			rep.NeverFired = append(rep.NeverFired, i)
+		}
+	}
+	return rep, nil
+}
+
+// RenderReport formats an interval report for the analyst.
+func (rep *IntervalReport) Render(c *Classifier) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "threshold analysis of %q over %s\n", c.Name, rep.Node)
+	for i, ivs := range rep.RuleIntervals {
+		parts := make([]string, len(ivs))
+		for j, iv := range ivs {
+			parts[j] = iv.String()
+		}
+		cover := strings.Join(parts, " ∪ ")
+		if cover == "" {
+			cover = "∅"
+		}
+		fmt.Fprintf(&sb, "  rule %d (%s): %s\n", i+1, c.Rules[i].Value, cover)
+	}
+	for _, g := range rep.Gaps {
+		fmt.Fprintf(&sb, "  GAP: %s is unclassified\n", g)
+	}
+	for _, s := range rep.Shadowed {
+		fmt.Fprintf(&sb, "  SHADOWED: rule %d can never fire\n", s+1)
+	}
+	if rep.UncoveredBelow && !math.IsInf(hullLo(rep), -1) {
+		fmt.Fprintf(&sb, "  values below %s are unclassified\n", trimFloat(hullLo(rep)))
+	}
+	if rep.UncoveredAbove && !math.IsInf(hullHi(rep), 1) {
+		fmt.Fprintf(&sb, "  values above %s are unclassified\n", trimFloat(hullHi(rep)))
+	}
+	return sb.String()
+}
+
+func hullLo(rep *IntervalReport) float64 {
+	lo := math.Inf(1)
+	for _, ivs := range rep.RuleIntervals {
+		for _, iv := range ivs {
+			if !iv.LoInf && iv.Lo < lo {
+				lo = iv.Lo
+			}
+		}
+	}
+	return lo
+}
+
+func hullHi(rep *IntervalReport) float64 {
+	hi := math.Inf(-1)
+	for _, ivs := range rep.RuleIntervals {
+		for _, iv := range ivs {
+			if !iv.HiInf && iv.Hi > hi {
+				hi = iv.Hi
+			}
+		}
+	}
+	return hi
+}

@@ -1,0 +1,228 @@
+package classifier
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/relstore"
+)
+
+func parseHabits(t *testing.T, src string) *Classifier {
+	t.Helper()
+	c, err := Parse("test", "", habitsDomain, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAnalyzeIntervalsComplete: Habits(Cancer) covers [0, +inf) with no
+// internal gaps and no shadowed rules.
+func TestAnalyzeIntervalsComplete(t *testing.T) {
+	c := parseHabits(t, habitsCancerSrc)
+	rep, err := AnalyzeIntervals(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Node != "PacksPerDay" {
+		t.Errorf("node = %q", rep.Node)
+	}
+	if len(rep.Gaps) != 0 {
+		t.Errorf("gaps = %v, want none", rep.Gaps)
+	}
+	if len(rep.Shadowed) != 0 {
+		t.Errorf("shadowed = %v, want none", rep.Shadowed)
+	}
+	if !rep.UncoveredBelow {
+		t.Error("values below 0 are legitimately unclassified")
+	}
+	if rep.UncoveredAbove {
+		t.Error("PacksPerDay >= 5 covers +inf")
+	}
+	// Rule intervals reconstruct the thresholds.
+	if got := rep.RuleIntervals[1][0].String(); got != "(0, 2)" {
+		t.Errorf("rule 2 interval = %s", got)
+	}
+	if got := rep.RuleIntervals[2][0].String(); got != "[2, 5)" {
+		t.Errorf("rule 3 interval = %s", got)
+	}
+	if got := rep.RuleIntervals[3][0].String(); got != "[5, +inf)" {
+		t.Errorf("rule 4 interval = %s", got)
+	}
+}
+
+// TestAnalyzeIntervalsGap: a classifier missing the [2,5) band reports the
+// gap — the bug an analyst most wants caught.
+func TestAnalyzeIntervalsGap(t *testing.T) {
+	c := parseHabits(t, `
+None  <- PacksPerDay = 0
+Light <- 0 < PacksPerDay < 2
+Heavy <- PacksPerDay >= 5
+`)
+	rep, err := AnalyzeIntervals(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Gaps) != 1 {
+		t.Fatalf("gaps = %v, want one", rep.Gaps)
+	}
+	if got := rep.Gaps[0].String(); got != "[2, 5)" {
+		t.Errorf("gap = %s, want [2, 5)", got)
+	}
+	txt := rep.Render(c)
+	if !strings.Contains(txt, "GAP: [2, 5)") {
+		t.Errorf("render:\n%s", txt)
+	}
+}
+
+// TestAnalyzeIntervalsShadowed: a rule fully covered by earlier rules is
+// unreachable under first-match semantics.
+func TestAnalyzeIntervalsShadowed(t *testing.T) {
+	c := parseHabits(t, `
+Light <- PacksPerDay >= 0
+Heavy <- 2 <= PacksPerDay < 5
+None  <- PacksPerDay < 0
+`)
+	rep, err := AnalyzeIntervals(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shadowed) != 1 || rep.Shadowed[0] != 1 {
+		t.Errorf("shadowed = %v, want [1]", rep.Shadowed)
+	}
+	if len(rep.Gaps) != 0 {
+		t.Errorf("gaps = %v", rep.Gaps)
+	}
+	if !strings.Contains(rep.Render(c), "SHADOWED: rule 2") {
+		t.Errorf("render:\n%s", rep.Render(c))
+	}
+}
+
+// TestAnalyzeIntervalsDisjunction: OR guards produce interval unions;
+// adjacent half-open intervals merge.
+func TestAnalyzeIntervalsDisjunction(t *testing.T) {
+	c := parseHabits(t, `
+Light <- 0 <= PacksPerDay < 1 OR 1 <= PacksPerDay < 2
+Heavy <- PacksPerDay >= 2
+`)
+	rep, err := AnalyzeIntervals(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RuleIntervals[0]) != 1 || rep.RuleIntervals[0][0].String() != "[0, 2)" {
+		t.Errorf("merged union = %v", rep.RuleIntervals[0])
+	}
+	if len(rep.Gaps) != 0 {
+		t.Errorf("gaps = %v", rep.Gaps)
+	}
+	// Open endpoints do NOT merge across a missing point.
+	c2 := parseHabits(t, `
+Light <- 0 <= PacksPerDay < 1 OR 1 < PacksPerDay <= 2
+Heavy <- PacksPerDay > 2
+`)
+	rep2, err := AnalyzeIntervals(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Gaps) != 1 || rep2.Gaps[0].String() != "[1, 1]" {
+		t.Errorf("point gap = %v", rep2.Gaps)
+	}
+}
+
+// TestAnalyzeIntervalsMirroredLiterals: "0 < PacksPerDay" and
+// "PacksPerDay > 0" analyze identically.
+func TestAnalyzeIntervalsMirroredLiterals(t *testing.T) {
+	a := parseHabits(t, "Light <- 0 < PacksPerDay\nNone <- PacksPerDay <= 0")
+	b := parseHabits(t, "Light <- PacksPerDay > 0\nNone <- 0 >= PacksPerDay")
+	ra, err := AnalyzeIntervals(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := AnalyzeIntervals(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.RuleIntervals[0][0] != rb.RuleIntervals[0][0] {
+		t.Errorf("%v != %v", ra.RuleIntervals[0][0], rb.RuleIntervals[0][0])
+	}
+	if len(ra.Gaps) != 0 || len(rb.Gaps) != 0 {
+		t.Error("unexpected gaps")
+	}
+}
+
+// TestAnalyzeIntervalsRejectsNonThreshold: shapes outside the analyzer's
+// scope fail with errors, not wrong answers.
+func TestAnalyzeIntervalsRejectsNonThreshold(t *testing.T) {
+	bad := []string{
+		"None <- Smoking = 'Never'",                    // string compare
+		"None <- PacksPerDay = 0 AND QuitYearsAgo = 1", // two nodes
+		"None <- PacksPerDay IS NULL",                  // null test
+		"None <- PacksPerDay = TumorX",                 // node vs node
+	}
+	for _, src := range bad {
+		c := parseHabits(t, src)
+		if _, err := AnalyzeIntervals(c); err == nil {
+			t.Errorf("%q: expected analysis error", src)
+		}
+	}
+	ent, err := ParseEntity("e", "", "Procedure", "Procedure <- Procedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeIntervals(ent); err == nil {
+		t.Error("entity classifier must be rejected")
+	}
+	// TRUE guards are fine (full line).
+	c := parseHabits(t, "None <- TRUE")
+	rep, err := AnalyzeIntervals(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Gaps) != 0 || rep.UncoveredBelow || rep.UncoveredAbove {
+		t.Errorf("TRUE guard must cover everything: %+v", rep)
+	}
+}
+
+// TestAnalyzeSample: dynamic coverage over data.
+func TestAnalyzeSample(t *testing.T) {
+	tree := fig5Tree(t)
+	c := parseHabits(t, habitsCancerSrc)
+	b, err := c.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := naiveSchema(t)
+	mk := func(packs relstore.Value) relstore.Row {
+		return relstore.Row{relstore.Int(1), packs, relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}
+	}
+	rows := &relstore.Rows{Schema: schema, Data: []relstore.Row{
+		mk(relstore.Float(0)),   // rule 1
+		mk(relstore.Float(1)),   // rule 2
+		mk(relstore.Float(1.5)), // rule 2
+		mk(relstore.Float(3)),   // rule 3
+		mk(relstore.Null()),     // unclassified
+	}}
+	rep, err := AnalyzeSample(b, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 5 || rep.Unclassified != 1 {
+		t.Errorf("total=%d unclassified=%d", rep.Total, rep.Unclassified)
+	}
+	wantFired := []int{1, 2, 1, 0}
+	for i, w := range wantFired {
+		if rep.Fired[i] != w {
+			t.Errorf("rule %d fired %d, want %d", i+1, rep.Fired[i], w)
+		}
+	}
+	if len(rep.NeverFired) != 1 || rep.NeverFired[0] != 3 {
+		t.Errorf("never fired = %v", rep.NeverFired)
+	}
+	if got := rep.UnclassifiedFraction(); got != 0.2 {
+		t.Errorf("unclassified fraction = %v", got)
+	}
+	empty := &SampleReport{}
+	if empty.UnclassifiedFraction() != 0 {
+		t.Error("empty sample fraction must be 0")
+	}
+}

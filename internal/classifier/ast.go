@@ -1,0 +1,161 @@
+package classifier
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is an AST node of the classifier expression language.
+type Node interface {
+	// String renders the node back to classifier-language source.
+	String() string
+}
+
+// NumLit is a numeric literal. Integral values keep IsInt true so the
+// checker can produce INTEGER-typed expressions.
+type NumLit struct {
+	Int     int64
+	Float   float64
+	IsInt   bool
+	SrcText string
+}
+
+func (n *NumLit) String() string { return n.SrcText }
+
+// StrLit is a string literal.
+type StrLit struct{ S string }
+
+func (s *StrLit) String() string { return "'" + strings.ReplaceAll(s.S, "'", "''") + "'" }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ B bool }
+
+func (b *BoolLit) String() string {
+	if b.B {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// NullLit is NULL.
+type NullLit struct{}
+
+func (NullLit) String() string { return "NULL" }
+
+// Ident is an unresolved name: a g-tree node reference, or — in value
+// position — possibly a domain element of the target domain ("None",
+// "Light", …), resolved by the checker.
+type Ident struct {
+	Name string
+	Tok  Token
+}
+
+func (i *Ident) String() string { return i.Name }
+
+// Unary is unary minus or NOT.
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Node
+}
+
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "NOT " + u.X.String()
+	}
+	return "-" + u.X.String()
+}
+
+// Binary is an arithmetic or logical binary operation: + - * / % AND OR.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Compare is a (possibly chained) comparison: the paper writes guards like
+// "0 < PacksPerDay < 2", which desugars to 0 < PacksPerDay AND
+// PacksPerDay < 2.
+type Compare struct {
+	Operands []Node   // n+1 operands
+	Ops      []string // n operators: = <> < <= > >=
+}
+
+func (c *Compare) String() string {
+	var sb strings.Builder
+	sb.WriteString(c.Operands[0].String())
+	for i, op := range c.Ops {
+		sb.WriteString(" " + op + " ")
+		sb.WriteString(c.Operands[i+1].String())
+	}
+	return sb.String()
+}
+
+// IsNull is "x IS NULL" / "x IS NOT NULL".
+type IsNull struct {
+	X      Node
+	Negate bool
+}
+
+func (n *IsNull) String() string {
+	if n.Negate {
+		return n.X.String() + " IS NOT NULL"
+	}
+	return n.X.String() + " IS NULL"
+}
+
+// InList is "x IN (a, b, c)".
+type InList struct {
+	X    Node
+	List []Node
+}
+
+func (n *InList) String() string {
+	parts := make([]string, len(n.List))
+	for i, e := range n.List {
+		parts[i] = e.String()
+	}
+	return n.X.String() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// Rule is one declarative statement "Value <- Guard" (Figure 5). A Rule with
+// a nil Guard is unconditional (guard TRUE).
+type Rule struct {
+	Value Node
+	Guard Node
+}
+
+// String renders the rule back to source.
+func (r *Rule) String() string {
+	if r.Guard == nil {
+		return r.Value.String() + " <- TRUE"
+	}
+	return fmt.Sprintf("%s <- %s", r.Value.String(), r.Guard.String())
+}
+
+// walkIdents visits every identifier in an AST.
+func walkIdents(n Node, fn func(*Ident)) {
+	switch x := n.(type) {
+	case nil:
+	case *Ident:
+		fn(x)
+	case *Unary:
+		walkIdents(x.X, fn)
+	case *Binary:
+		walkIdents(x.L, fn)
+		walkIdents(x.R, fn)
+	case *Compare:
+		for _, o := range x.Operands {
+			walkIdents(o, fn)
+		}
+	case *IsNull:
+		walkIdents(x.X, fn)
+	case *InList:
+		walkIdents(x.X, fn)
+		for _, e := range x.List {
+			walkIdents(e, fn)
+		}
+	}
+}

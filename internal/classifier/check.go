@@ -1,0 +1,396 @@
+package classifier
+
+import (
+	"fmt"
+	"sort"
+
+	"guava/internal/gtree"
+	"guava/internal/relstore"
+)
+
+// Bound is a classifier resolved against one contributor's g-tree: every
+// identifier is resolved (g-tree node, domain element, or entity), every
+// expression is typed, and the rules are compiled to executable relational
+// expressions over the contributor's naive schema. "The input to a
+// classifier is contributor data, but as displayed as it appears in a user
+// interface rather than as stored in a database" — binding against the
+// g-tree rather than the physical schema is exactly that.
+type Bound struct {
+	Classifier *Classifier
+	Tree       *gtree.Tree
+
+	// Refs are the g-tree node names the classifier references, sorted —
+	// the versioning component propagates classifiers whose refs did not
+	// change between tool versions.
+	Refs []string
+
+	// Guards and Values are the compiled per-rule artifacts (parallel to
+	// Classifier.Rules). For entity classifiers Values is nil.
+	Guards []relstore.Pred
+	Values []relstore.Expr
+}
+
+// binder carries resolution context.
+type binder struct {
+	tree     *gtree.Tree
+	target   Target
+	isEntity bool
+	refs     map[string]bool
+}
+
+// Bind resolves and type-checks the classifier against a g-tree.
+func (c *Classifier) Bind(tree *gtree.Tree) (*Bound, error) {
+	b := &binder{tree: tree, target: c.Target, isEntity: c.IsEntity, refs: map[string]bool{}}
+	out := &Bound{Classifier: c, Tree: tree}
+	for i, r := range c.Rules {
+		guard, err := b.compilePred(r.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("classifier %q rule %d: %w", c.Name, i+1, err)
+		}
+		out.Guards = append(out.Guards, guard)
+		if c.IsEntity || c.IsCleaner {
+			// Entity and cleaning classifiers have no value expressions:
+			// their meaning is the disjunction of their guards.
+			continue
+		}
+		val, kind, err := b.compileExpr(r.Value)
+		if err != nil {
+			return nil, fmt.Errorf("classifier %q rule %d: %w", c.Name, i+1, err)
+		}
+		if kind != relstore.KindNull && c.Target.Kind != relstore.KindNull && !kindCompatible(kind, c.Target.Kind) {
+			return nil, fmt.Errorf("classifier %q rule %d: value has type %s, domain %s expects %s",
+				c.Name, i+1, kind, c.Target.Domain, c.Target.Kind)
+		}
+		out.Values = append(out.Values, val)
+	}
+	if c.IsEntity {
+		// "The classifier must refer to at least one node in the g-tree
+		// that represents a form rather than an attribute."
+		hasForm := false
+		for _, r := range c.Rules {
+			walkIdents(r.Guard, func(id *Ident) {
+				if n, err := tree.Node(id.Name); err == nil && n.Kind == gtree.FormNode {
+					hasForm = true
+				}
+			})
+		}
+		if !hasForm {
+			return nil, fmt.Errorf("entity classifier %q must reference a form node of the g-tree", c.Name)
+		}
+	}
+	for r := range b.refs {
+		out.Refs = append(out.Refs, r)
+	}
+	sort.Strings(out.Refs)
+	return out, nil
+}
+
+func kindCompatible(have, want relstore.Kind) bool {
+	if have == want {
+		return true
+	}
+	return want == relstore.KindFloat && have == relstore.KindInt
+}
+
+// resolveIdent classifies an identifier: a data-storing g-tree node, a form
+// node, or (in value position of a categorical domain) a domain element.
+func (b *binder) resolveIdent(id *Ident, valuePos bool) (relstore.Expr, relstore.Kind, error) {
+	if n, err := b.tree.Node(id.Name); err == nil {
+		switch n.Kind {
+		case gtree.FieldNode:
+			b.refs[id.Name] = true
+			return relstore.Col(id.Name), n.DataType, nil
+		case gtree.FormNode:
+			return nil, relstore.KindNull, errAt(id.Tok, "form node %q cannot be used as a value", id.Name)
+		default:
+			return nil, relstore.KindNull, errAt(id.Tok, "group box %q stores no data", id.Name)
+		}
+	}
+	if valuePos && !b.isEntity && b.target.HasElement(id.Name) {
+		return relstore.Lit(relstore.Str(id.Name)), relstore.KindString, nil
+	}
+	return nil, relstore.KindNull, errAt(id.Tok, "unknown name %q: not a g-tree node%s", id.Name, b.elementsHint(valuePos))
+}
+
+func (b *binder) elementsHint(valuePos bool) string {
+	if valuePos && len(b.target.Elements) > 0 {
+		return fmt.Sprintf(" or an element of domain %s %v", b.target.Domain, b.target.Elements)
+	}
+	return ""
+}
+
+// compileExpr compiles a value-position expression, returning its kind.
+func (b *binder) compileExpr(n Node) (relstore.Expr, relstore.Kind, error) {
+	switch x := n.(type) {
+	case *NumLit:
+		if x.IsInt {
+			return relstore.Lit(relstore.Int(x.Int)), relstore.KindInt, nil
+		}
+		return relstore.Lit(relstore.Float(x.Float)), relstore.KindFloat, nil
+	case *StrLit:
+		return relstore.Lit(relstore.Str(x.S)), relstore.KindString, nil
+	case *BoolLit:
+		return relstore.Lit(relstore.Bool(x.B)), relstore.KindBool, nil
+	case *NullLit:
+		return relstore.Lit(relstore.Null()), relstore.KindNull, nil
+	case *Ident:
+		return b.resolveIdent(x, true)
+	case *Unary:
+		if x.Op != "-" {
+			return nil, relstore.KindNull, fmt.Errorf("operator %s is not valid in a value clause", x.Op)
+		}
+		inner, k, err := b.compileExpr(x.X)
+		if err != nil {
+			return nil, relstore.KindNull, err
+		}
+		if k != relstore.KindInt && k != relstore.KindFloat && k != relstore.KindNull {
+			return nil, relstore.KindNull, fmt.Errorf("cannot negate a %s value", k)
+		}
+		return relstore.Neg(inner), k, nil
+	case *Binary:
+		var op relstore.ArithOp
+		switch x.Op {
+		case "+":
+			op = relstore.OpAdd
+		case "-":
+			op = relstore.OpSub
+		case "*":
+			op = relstore.OpMul
+		case "/":
+			op = relstore.OpDiv
+		case "%":
+			op = relstore.OpMod
+		default:
+			return nil, relstore.KindNull, fmt.Errorf("operator %s is not valid in a value clause", x.Op)
+		}
+		l, lk, err := b.compileExpr(x.L)
+		if err != nil {
+			return nil, relstore.KindNull, err
+		}
+		r, rk, err := b.compileExpr(x.R)
+		if err != nil {
+			return nil, relstore.KindNull, err
+		}
+		if x.Op == "+" && lk == relstore.KindString && rk == relstore.KindString {
+			return relstore.Arith(op, l, r), relstore.KindString, nil
+		}
+		for _, k := range []relstore.Kind{lk, rk} {
+			if k != relstore.KindInt && k != relstore.KindFloat && k != relstore.KindNull {
+				return nil, relstore.KindNull, fmt.Errorf("arithmetic %s applied to %s operand", x.Op, k)
+			}
+		}
+		k := relstore.KindInt
+		if lk == relstore.KindFloat || rk == relstore.KindFloat || x.Op == "/" {
+			k = relstore.KindFloat
+		}
+		return relstore.Arith(op, l, r), k, nil
+	default:
+		return nil, relstore.KindNull, fmt.Errorf("%s is a condition, not a value", n)
+	}
+}
+
+var cmpOps = map[string]relstore.CmpOp{
+	"=": relstore.CmpEq, "<>": relstore.CmpNe, "<": relstore.CmpLt,
+	"<=": relstore.CmpLe, ">": relstore.CmpGt, ">=": relstore.CmpGe,
+}
+
+// compilePred compiles a guard. A nil guard is TRUE.
+func (b *binder) compilePred(n Node) (relstore.Pred, error) {
+	switch x := n.(type) {
+	case nil:
+		return relstore.True, nil
+	case *BoolLit:
+		if x.B {
+			return relstore.True, nil
+		}
+		return relstore.False, nil
+	case *Ident:
+		// A bare identifier in guard position: a boolean field node is a
+		// truth test; a form node asserts presence ("Procedure AND
+		// SurgeryPerformed = TRUE" of Figure 5c).
+		if node, err := b.tree.Node(x.Name); err == nil {
+			switch node.Kind {
+			case gtree.FormNode:
+				if !b.isEntity {
+					return nil, errAt(x.Tok, "form node %q may only anchor entity classifiers", x.Name)
+				}
+				return relstore.True, nil
+			case gtree.FieldNode:
+				if node.DataType != relstore.KindBool {
+					return nil, errAt(x.Tok, "node %q is %s; a bare guard reference must be boolean", x.Name, node.DataType)
+				}
+				b.refs[x.Name] = true
+				return relstore.Truth(relstore.Col(x.Name)), nil
+			default:
+				return nil, errAt(x.Tok, "group box %q stores no data", x.Name)
+			}
+		}
+		return nil, errAt(x.Tok, "unknown name %q in condition", x.Name)
+	case *Unary:
+		if x.Op != "NOT" {
+			return nil, fmt.Errorf("%s is a value, not a condition", n)
+		}
+		inner, err := b.compilePred(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return relstore.Not(inner), nil
+	case *Binary:
+		switch x.Op {
+		case "AND", "OR":
+			l, err := b.compilePred(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.compilePred(x.R)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "AND" {
+				return relstore.And(l, r), nil
+			}
+			return relstore.Or(l, r), nil
+		default:
+			return nil, fmt.Errorf("arithmetic expression %s is not a condition", n)
+		}
+	case *Compare:
+		exprs := make([]relstore.Expr, len(x.Operands))
+		kinds := make([]relstore.Kind, len(x.Operands))
+		for i, o := range x.Operands {
+			e, k, err := b.compileExpr(o)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = e
+			kinds[i] = k
+		}
+		var preds []relstore.Pred
+		for i, opName := range x.Ops {
+			op := cmpOps[opName]
+			lk, rk := kinds[i], kinds[i+1]
+			if !comparableKinds(lk, rk, op) {
+				return nil, fmt.Errorf("cannot compare %s with %s using %s", lk, rk, opName)
+			}
+			preds = append(preds, relstore.Cmp(op, exprs[i], exprs[i+1]))
+		}
+		return relstore.And(preds...), nil
+	case *IsNull:
+		e, _, err := b.compileExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if x.Negate {
+			return relstore.IsNotNull(e), nil
+		}
+		return relstore.IsNull(e), nil
+	case *InList:
+		e, k, err := b.compileExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		var vals []relstore.Value
+		for _, item := range x.List {
+			ie, ik, err := b.compileExpr(item)
+			if err != nil {
+				return nil, err
+			}
+			lit, ok := ie.(relstore.LitExpr)
+			if !ok {
+				return nil, fmt.Errorf("IN list items must be literals, got %s", item)
+			}
+			if !comparableKinds(k, ik, relstore.CmpEq) {
+				return nil, fmt.Errorf("IN list item %s has type %s, expected %s", item, ik, k)
+			}
+			vals = append(vals, lit.V)
+		}
+		return relstore.In(e, vals...), nil
+	default:
+		return nil, fmt.Errorf("%s is a value, not a condition", n)
+	}
+}
+
+func comparableKinds(l, r relstore.Kind, op relstore.CmpOp) bool {
+	if l == relstore.KindNull || r == relstore.KindNull {
+		return op == relstore.CmpEq || op == relstore.CmpNe
+	}
+	numeric := func(k relstore.Kind) bool { return k == relstore.KindInt || k == relstore.KindFloat }
+	if numeric(l) && numeric(r) {
+		return true
+	}
+	if l != r {
+		return false
+	}
+	if l == relstore.KindBool {
+		return op == relstore.CmpEq || op == relstore.CmpNe
+	}
+	return true
+}
+
+// BindCondition parses and binds a standalone filter condition (the
+// WHERE-clause-like conditions analysts write per study, Section 3) against
+// a g-tree, returning the executable predicate and the g-tree nodes it
+// references.
+func BindCondition(tree *gtree.Tree, src string) (relstore.Pred, []string, error) {
+	n, err := ParseExpr(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := &binder{tree: tree, refs: map[string]bool{}}
+	p, err := b.compilePred(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	refs := make([]string, 0, len(b.refs))
+	for r := range b.refs {
+		refs = append(refs, r)
+	}
+	sort.Strings(refs)
+	return p, refs, nil
+}
+
+// Case compiles a domain classifier into one searched-CASE expression:
+// each rule becomes a WHEN/THEN branch, unmatched rows yield NULL
+// ("unclassified").
+func (bd *Bound) Case() relstore.CaseExpr {
+	branches := make([]relstore.CaseBranch, len(bd.Guards))
+	for i := range bd.Guards {
+		branches[i] = relstore.CaseBranch{When: bd.Guards[i], Then: bd.Values[i]}
+	}
+	return relstore.CaseExpr{Branches: branches}
+}
+
+// Selection compiles an entity classifier into the disjunction of its
+// guards: a form instance becomes an entity when any rule admits it.
+func (bd *Bound) Selection() relstore.Pred {
+	return relstore.Or(bd.Guards...)
+}
+
+// Apply evaluates the classifier directly over one naive-schema row. Domain
+// classifiers return the classified value (NULL when no rule matches);
+// entity classifiers return TRUE/FALSE (selected); cleaning classifiers
+// return TRUE/FALSE (discarded).
+func (bd *Bound) Apply(row relstore.Row, schema *relstore.Schema) (relstore.Value, error) {
+	if bd.Classifier.IsEntity || bd.Classifier.IsCleaner {
+		ok, err := bd.Selection().Eval(row, schema)
+		if err != nil {
+			return relstore.Null(), err
+		}
+		return relstore.Bool(ok), nil
+	}
+	c := bd.Case()
+	return c.Eval(row, schema)
+}
+
+// ClassifyColumn evaluates the classifier over a whole relation, returning
+// the classified values in row order.
+func (bd *Bound) ClassifyColumn(rows *relstore.Rows) ([]relstore.Value, error) {
+	out := make([]relstore.Value, rows.Len())
+	for i, r := range rows.Data {
+		v, err := bd.Apply(r, rows.Schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

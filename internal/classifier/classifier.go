@@ -1,0 +1,172 @@
+package classifier
+
+import (
+	"fmt"
+	"strings"
+
+	"guava/internal/relstore"
+)
+
+// Target identifies what a classifier maps data *into*: an entity of a study
+// schema and, for domain classifiers, one domain of one attribute. Elements
+// lists the categorical values of the domain (empty for open numeric or
+// textual domains); rule values that are bare identifiers resolve against it
+// — in Figure 5 "None", "Light", "Moderate", "Heavy" are domain elements,
+// not g-tree nodes.
+type Target struct {
+	Entity    string
+	Attribute string
+	Domain    string
+	Kind      relstore.Kind
+	Elements  []string
+}
+
+// String renders the target for display.
+func (t Target) String() string {
+	if t.Attribute == "" {
+		return t.Entity
+	}
+	return fmt.Sprintf("%s.%s:%s", t.Entity, t.Attribute, t.Domain)
+}
+
+// HasElement reports whether name is a categorical element of the domain.
+func (t Target) HasElement(name string) bool {
+	for _, e := range t.Elements {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Classifier is one MultiClass classifier: a named, annotated list of rules
+// mapping g-tree data to a study-schema domain (domain classifier) or
+// selecting which form instances become entities (entity classifier).
+type Classifier struct {
+	// Name is the analyst-facing name, e.g. "Habits (Cancer)".
+	Name string
+	// Description is the analyst's annotation — the paper requires every
+	// artifact to carry who/when/why context.
+	Description string
+	// Target is the domain (or entity) being mapped to.
+	Target Target
+	// IsEntity distinguishes entity classifiers from domain classifiers.
+	IsEntity bool
+	// IsCleaner marks data-cleaning classifiers (Section 6 extension):
+	// rules of the form "DISCARD <- guard" drop matching records from the
+	// study before classification.
+	IsCleaner bool
+	// Source is the original rule text.
+	Source string
+	// Rules are the parsed declarative statements, in priority order.
+	Rules []*Rule
+}
+
+// Parse builds a domain classifier from rule text (one "value <- guard" per
+// line).
+func Parse(name, description string, target Target, src string) (*Classifier, error) {
+	if target.Attribute == "" {
+		return nil, fmt.Errorf("classifier %q: domain classifier needs a target attribute", name)
+	}
+	rules, err := ParseRules(src)
+	if err != nil {
+		return nil, fmt.Errorf("classifier %q: %w", name, err)
+	}
+	return &Classifier{Name: name, Description: description, Target: target, Source: src, Rules: rules}, nil
+}
+
+// ParseEntity builds an entity classifier: its rules' values must all be the
+// target entity name, and (checked at bind time) its guards must reference a
+// g-tree form node.
+func ParseEntity(name, description, entity, src string) (*Classifier, error) {
+	rules, err := ParseRules(src)
+	if err != nil {
+		return nil, fmt.Errorf("entity classifier %q: %w", name, err)
+	}
+	for _, r := range rules {
+		id, ok := r.Value.(*Ident)
+		if !ok || id.Name != entity {
+			return nil, fmt.Errorf("entity classifier %q: rule value must be the entity name %q, got %s", name, entity, r.Value)
+		}
+	}
+	return &Classifier{
+		Name:        name,
+		Description: description,
+		Target:      Target{Entity: entity},
+		IsEntity:    true,
+		Source:      src,
+		Rules:       rules,
+	}, nil
+}
+
+// DiscardKeyword is the reserved rule value of cleaning classifiers.
+const DiscardKeyword = "DISCARD"
+
+// ParseCleaner builds a data-cleaning classifier — the paper's Section 6
+// extension: "analysts may also choose to discard data based on the needs of
+// the particular study they wish to run". Every rule's value must be the
+// DISCARD keyword; records matching any guard are dropped from the study
+// before classification.
+func ParseCleaner(name, description, src string) (*Classifier, error) {
+	rules, err := ParseRules(src)
+	if err != nil {
+		return nil, fmt.Errorf("cleaning classifier %q: %w", name, err)
+	}
+	for _, r := range rules {
+		id, ok := r.Value.(*Ident)
+		if !ok || id.Name != DiscardKeyword {
+			return nil, fmt.Errorf("cleaning classifier %q: rule value must be %s, got %s", name, DiscardKeyword, r.Value)
+		}
+	}
+	return &Classifier{
+		Name:        name,
+		Description: description,
+		IsCleaner:   true,
+		Source:      src,
+		Rules:       rules,
+	}, nil
+}
+
+// String renders the classifier header and rules, the way Figure 5 displays
+// them for inspection and reuse.
+func (c *Classifier) String() string {
+	var sb strings.Builder
+	kind := "Classifier"
+	if c.IsEntity {
+		kind = "Entity Classifier"
+	}
+	if c.IsCleaner {
+		kind = "Cleaning Classifier"
+	}
+	if c.IsCleaner {
+		fmt.Fprintf(&sb, "%s %s\n", kind, c.Name)
+	} else {
+		fmt.Fprintf(&sb, "%s %s -> %s\n", kind, c.Name, c.Target)
+	}
+	if c.Description != "" {
+		fmt.Fprintf(&sb, "  -- %s\n", c.Description)
+	}
+	for _, r := range c.Rules {
+		fmt.Fprintf(&sb, "  %s\n", r)
+	}
+	return sb.String()
+}
+
+// Idents returns the distinct unresolved identifiers appearing anywhere in
+// the classifier's rules, in first-appearance order. (Which of these are
+// g-tree nodes is decided at bind time.)
+func (c *Classifier) Idents() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range c.Rules {
+		for _, n := range []Node{r.Value, r.Guard} {
+			walkIdents(n, func(id *Ident) {
+				if !seen[id.Name] {
+					seen[id.Name] = true
+					out = append(out, id.Name)
+				}
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,570 @@
+package classifier
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/gtree"
+	"guava/internal/relstore"
+	"guava/internal/ui"
+)
+
+// fig5Tree builds a g-tree containing the nodes Figure 5's classifiers
+// reference: PacksPerDay, TumorX/Y/Z, SurgeryPerformed, plus a boolean and
+// a group box for negative tests.
+func fig5Tree(t *testing.T) *gtree.Tree {
+	t.Helper()
+	f := &ui.Form{
+		Name: "Procedure", Title: "Procedure", KeyColumn: "ProcedureID",
+		Controls: []*ui.Control{
+			{Name: "History", Kind: ui.GroupBox, Question: "History", Children: []*ui.Control{
+				{Name: "PacksPerDay", Kind: ui.TextBox, Question: "Packs per day", DataType: relstore.KindFloat},
+				{Name: "Smoking", Kind: ui.RadioList, Question: "Smoking status",
+					Options: []ui.Option{
+						{Display: "None", Stored: relstore.Str("None")},
+						{Display: "Current", Stored: relstore.Str("Current")},
+						{Display: "Previous", Stored: relstore.Str("Previous")},
+					}},
+			}},
+			{Name: "TumorX", Kind: ui.TextBox, Question: "Tumor X (mm)", DataType: relstore.KindFloat},
+			{Name: "TumorY", Kind: ui.TextBox, Question: "Tumor Y (mm)", DataType: relstore.KindFloat},
+			{Name: "TumorZ", Kind: ui.TextBox, Question: "Tumor Z (mm)", DataType: relstore.KindFloat},
+			{Name: "SurgeryPerformed", Kind: ui.CheckBox, Question: "Surgery performed?"},
+			{Name: "QuitYearsAgo", Kind: ui.TextBox, Question: "Years since quitting", DataType: relstore.KindInt},
+		},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := gtree.Derive("CORI", 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func naiveSchema(t *testing.T) *relstore.Schema {
+	t.Helper()
+	return relstore.MustSchema(
+		relstore.Column{Name: "ProcedureID", Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: "PacksPerDay", Type: relstore.KindFloat},
+		relstore.Column{Name: "Smoking", Type: relstore.KindString},
+		relstore.Column{Name: "TumorX", Type: relstore.KindFloat},
+		relstore.Column{Name: "TumorY", Type: relstore.KindFloat},
+		relstore.Column{Name: "TumorZ", Type: relstore.KindFloat},
+		relstore.Column{Name: "SurgeryPerformed", Type: relstore.KindBool},
+		relstore.Column{Name: "QuitYearsAgo", Type: relstore.KindInt},
+	)
+}
+
+var habitsDomain = Target{
+	Entity: "Procedure", Attribute: "Smoking", Domain: "D3",
+	Kind: relstore.KindString, Elements: []string{"None", "Light", "Moderate", "Heavy"},
+}
+
+const habitsCancerSrc = `
+None     <- PacksPerDay = 0
+Light    <- 0 < PacksPerDay < 2
+Moderate <- 2 <= PacksPerDay < 5
+Heavy    <- PacksPerDay >= 5
+`
+
+const habitsChemistrySrc = `
+None     <- PacksPerDay = 0
+Light    <- 0 < PacksPerDay < 1
+Moderate <- 1 <= PacksPerDay < 2
+Heavy    <- PacksPerDay >= 2
+`
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Lex("Light <- 0 < PacksPerDay AND x <> 'it''s' -- comment\nNext <- TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokKind{TokIdent, TokArrow, TokNumber, TokLt, TokIdent, TokAnd, TokIdent, TokNe, TokString, TokNewline, TokIdent, TokArrow, TokTrue, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	// Escaped quote in string literal.
+	if toks[8].Text != "it's" {
+		t.Errorf("string literal = %q", toks[8].Text)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a ! b", "x @ y", "'spans\nlines'"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(habitsCancerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(rules))
+	}
+	// Chained comparison survives parsing.
+	cmp, ok := rules[1].Guard.(*Compare)
+	if !ok || len(cmp.Ops) != 2 {
+		t.Fatalf("rule 2 guard = %#v", rules[1].Guard)
+	}
+	if rules[1].String() != "Light <- 0 < PacksPerDay < 2" {
+		t.Errorf("round trip = %q", rules[1].String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                      // no rules
+		"None PacksPerDay = 0",  // missing arrow
+		"None <- ",              // missing guard
+		"None <- (a = 1",        // unbalanced paren
+		"None <- a = 1 extra x", // trailing garbage after rule on same line
+		"None <- a IN ()",       // empty IN list
+		"None <- a IS 5",        // IS without NULL
+	}
+	for _, src := range bad {
+		if _, err := ParseRules(src); err == nil {
+			t.Errorf("ParseRules(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseExpr(t *testing.T) {
+	n, err := ParseExpr("NOT (RenalFailure = TRUE) AND Age >= 18 OR Name IN ('a','b')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "OR") {
+		t.Errorf("expr = %s", n.String())
+	}
+	if _, err := ParseExpr("a = 1\nb = 2"); err == nil {
+		t.Error("two expressions must fail")
+	}
+}
+
+// TestFigure5Classifiers parses, binds, and evaluates all four classifiers
+// of Figure 5 — the central worked example of the paper.
+func TestFigure5Classifiers(t *testing.T) {
+	tree := fig5Tree(t)
+	schema := naiveSchema(t)
+
+	cancer, err := Parse("Habits (Cancer)",
+		"Classifies packs per day according to conversations with cancer study on 5/3/02",
+		habitsDomain, habitsCancerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chem, err := Parse("Habits (Chemistry)",
+		"Classifies packs per day according to flier from chemical studies",
+		habitsDomain, habitsChemistrySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tumor, err := Parse("Tumor Size",
+		"Estimates tumor volume based on dimensions in 3-space. Assumes 52% occupancy from sphere-to-cube ratio.",
+		Target{Entity: "Procedure", Attribute: "TumorVolume", Domain: "D1", Kind: relstore.KindFloat},
+		"TumorX * TumorY * TumorZ * 0.52 <- TumorX > 0 AND TumorY > 0 AND TumorZ > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relevant, err := ParseEntity("Relevant Procedures",
+		"Only consider procedures where surgery was performed",
+		"Procedure",
+		"Procedure <- Procedure AND SurgeryPerformed = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bCancer, err := cancer.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bChem, err := chem.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bTumor, err := tumor.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRelevant, err := relevant.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Refs drive versioning propagation.
+	if got := strings.Join(bCancer.Refs, ","); got != "PacksPerDay" {
+		t.Errorf("cancer refs = %q", got)
+	}
+	if got := strings.Join(bTumor.Refs, ","); got != "TumorX,TumorY,TumorZ" {
+		t.Errorf("tumor refs = %q", got)
+	}
+	if got := strings.Join(bRelevant.Refs, ","); got != "SurgeryPerformed" {
+		t.Errorf("relevant refs = %q", got)
+	}
+
+	mkRow := func(packs float64) relstore.Row {
+		return relstore.Row{relstore.Int(1), relstore.Float(packs), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}
+	}
+	// "MultiClass allows more than one classifier to map data from the same
+	// contributor to the same domain" — the two Habits classifiers disagree
+	// on 1.5 packs/day.
+	cases := []struct {
+		packs                float64
+		wantCancer, wantChem string
+	}{
+		{0, "None", "None"},
+		{0.5, "Light", "Light"},
+		{1.5, "Light", "Moderate"},
+		{2, "Moderate", "Heavy"},
+		{4.9, "Moderate", "Heavy"},
+		{5, "Heavy", "Heavy"},
+	}
+	for _, c := range cases {
+		v, err := bCancer.Apply(mkRow(c.packs), schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Equal(relstore.Str(c.wantCancer)) {
+			t.Errorf("cancer(%v) = %v, want %s", c.packs, v, c.wantCancer)
+		}
+		v, err = bChem.Apply(mkRow(c.packs), schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Equal(relstore.Str(c.wantChem)) {
+			t.Errorf("chem(%v) = %v, want %s", c.packs, v, c.wantChem)
+		}
+	}
+	// Unanswered packs stays unclassified (NULL), not "None".
+	nullRow := relstore.Row{relstore.Int(1), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}
+	v, err := bCancer.Apply(nullRow, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsNull() {
+		t.Errorf("cancer(NULL) = %v, want NULL", v)
+	}
+
+	// Tumor volume computes 3*4*5*0.52 = 31.2.
+	tr := relstore.Row{relstore.Int(1), relstore.Null(), relstore.Null(), relstore.Float(3), relstore.Float(4), relstore.Float(5), relstore.Null(), relstore.Null()}
+	v, err = bTumor.Apply(tr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsNull() || v.AsFloat() < 31.2-1e-9 || v.AsFloat() > 31.2+1e-9 {
+		t.Errorf("tumor volume = %v, want ≈31.2", v)
+	}
+	// Any non-positive dimension leaves it unclassified.
+	tr[3] = relstore.Float(0)
+	if v, _ := bTumor.Apply(tr, schema); !v.IsNull() {
+		t.Errorf("tumor volume with zero dim = %v", v)
+	}
+
+	// Entity classifier selects only surgery rows.
+	sel := bRelevant.Selection()
+	yes := relstore.Row{relstore.Int(1), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Bool(true), relstore.Null()}
+	no := relstore.Row{relstore.Int(2), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Bool(false), relstore.Null()}
+	if ok, _ := sel.Eval(yes, schema); !ok {
+		t.Error("surgery row must be selected")
+	}
+	if ok, _ := sel.Eval(no, schema); ok {
+		t.Error("non-surgery row must not be selected")
+	}
+	if ok, _ := sel.Eval(nullRow, schema); ok {
+		t.Error("unanswered surgery row must not be selected")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	tree := fig5Tree(t)
+	cases := []struct {
+		name string
+		src  string
+		tgt  Target
+	}{
+		{"unknown node", "None <- Nonexistent = 0", habitsDomain},
+		{"group box reference", "None <- History = 0", habitsDomain},
+		{"form node as value", "Procedure <- PacksPerDay = 0", habitsDomain},
+		{"element not in domain", "Gigantic <- PacksPerDay = 0", habitsDomain},
+		{"string arithmetic", "None <- Smoking * 2 = 4", habitsDomain},
+		{"incomparable kinds", "None <- Smoking > 5", habitsDomain},
+		{"bool ordered compare", "None <- SurgeryPerformed < TRUE", habitsDomain},
+		{"bare non-bool guard", "None <- Smoking", habitsDomain},
+		{"wrong value type", "5 <- PacksPerDay = 0", habitsDomain},
+		{"negate string", "-Smoking <- PacksPerDay = 0", Target{Entity: "P", Attribute: "A", Domain: "D", Kind: relstore.KindFloat}},
+		{"form node in non-entity guard", "None <- Procedure AND PacksPerDay = 0", habitsDomain},
+		{"in list non-literal", "None <- PacksPerDay IN (TumorX)", habitsDomain},
+		{"in list wrong kind", "None <- PacksPerDay IN ('a')", habitsDomain},
+	}
+	for _, c := range cases {
+		cl, err := Parse("x", "", c.tgt, c.src)
+		if err != nil {
+			continue // parse-level rejection also acceptable
+		}
+		if _, err := cl.Bind(tree); err == nil {
+			t.Errorf("%s: expected bind error for %q", c.name, c.src)
+		}
+	}
+	// Entity classifier without a form-node reference.
+	ec, err := ParseEntity("bad", "", "Procedure", "Procedure <- SurgeryPerformed = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ec.Bind(tree); err == nil {
+		t.Error("entity classifier without form reference must fail to bind")
+	}
+	// Entity classifier whose value is not the entity.
+	if _, err := ParseEntity("bad2", "", "Procedure", "Other <- Procedure"); err == nil {
+		t.Error("entity classifier with wrong value must fail to parse")
+	}
+	// Domain classifier without attribute.
+	if _, err := Parse("bad3", "", Target{Entity: "P"}, "None <- TRUE"); err == nil {
+		t.Error("domain classifier without attribute must fail")
+	}
+}
+
+func TestGuardFeatures(t *testing.T) {
+	tree := fig5Tree(t)
+	schema := naiveSchema(t)
+	tgt := habitsDomain
+	cases := []struct {
+		src  string
+		row  relstore.Row
+		want relstore.Value
+	}{
+		{"None <- Smoking IS NULL", relstore.Row{relstore.Int(1), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}, relstore.Str("None")},
+		{"None <- Smoking IS NOT NULL", relstore.Row{relstore.Int(1), relstore.Null(), relstore.Str("Current"), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}, relstore.Str("None")},
+		{"Heavy <- Smoking IN ('Current', 'Previous')", relstore.Row{relstore.Int(1), relstore.Null(), relstore.Str("Previous"), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}, relstore.Str("Heavy")},
+		{"Light <- NOT (PacksPerDay >= 2)", relstore.Row{relstore.Int(1), relstore.Float(1), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}, relstore.Str("Light")},
+		{"Heavy <- SurgeryPerformed", relstore.Row{relstore.Int(1), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Bool(true), relstore.Null()}, relstore.Str("Heavy")},
+		{"Moderate <- PacksPerDay % 2 = 0 AND PacksPerDay > 0", relstore.Row{relstore.Int(1), relstore.Float(4), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}, relstore.Str("Moderate")},
+		{"None <- QuitYearsAgo = NULL", relstore.Row{relstore.Int(1), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}, relstore.Str("None")},
+	}
+	for _, c := range cases {
+		cl, err := Parse("g", "", tgt, c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		b, err := cl.Bind(tree)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		v, err := b.Apply(c.row, schema)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if !v.Equal(c.want) {
+			t.Errorf("%q = %v, want %v", c.src, v, c.want)
+		}
+	}
+}
+
+func TestFirstMatchSemantics(t *testing.T) {
+	tree := fig5Tree(t)
+	schema := naiveSchema(t)
+	// Overlapping guards: the first matching rule wins.
+	cl, err := Parse("o", "", habitsDomain, "Light <- PacksPerDay > 0\nHeavy <- PacksPerDay > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := relstore.Row{relstore.Int(1), relstore.Float(3), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}
+	v, err := b.Apply(row, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(relstore.Str("Light")) {
+		t.Errorf("first-match = %v, want Light", v)
+	}
+}
+
+func TestClassifyColumn(t *testing.T) {
+	tree := fig5Tree(t)
+	cl, _ := Parse("c", "", habitsDomain, habitsCancerSrc)
+	b, err := cl.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := &relstore.Rows{Schema: naiveSchema(t), Data: []relstore.Row{
+		{relstore.Int(1), relstore.Float(0), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()},
+		{relstore.Int(2), relstore.Float(3), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()},
+	}}
+	vals, err := b.ClassifyColumn(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals[0].Equal(relstore.Str("None")) || !vals[1].Equal(relstore.Str("Moderate")) {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestClassifierStringAndIdents(t *testing.T) {
+	cl, err := Parse("Habits (Cancer)", "desc", habitsDomain, habitsCancerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cl.String()
+	if !strings.Contains(s, "Habits (Cancer)") || !strings.Contains(s, "-- desc") || !strings.Contains(s, "Procedure.Smoking:D3") {
+		t.Errorf("String = %q", s)
+	}
+	ids := cl.Idents()
+	// None/Light/Moderate/Heavy + PacksPerDay, in first-appearance order.
+	if ids[0] != "None" || ids[1] != "PacksPerDay" {
+		t.Errorf("idents = %v", ids)
+	}
+}
+
+func TestEmitXQuery(t *testing.T) {
+	relevant, _ := ParseEntity("Relevant", "", "Procedure", "Procedure <- Procedure AND SurgeryPerformed = TRUE")
+	cancer, _ := Parse("Habits (Cancer)", "", habitsDomain, habitsCancerSrc)
+	xq, err := EmitXQuery("CORI.xml", relevant, []*Classifier{cancer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`for $p in doc("CORI.xml")//Procedure`,
+		`$p/SurgeryPerformed = true()`,
+		`<Smoking_D3>`,
+		`if (($p/PacksPerDay = 0)) then "None"`,
+		`0 < $p/PacksPerDay and $p/PacksPerDay < 2`,
+		`else ()`,
+	} {
+		if !strings.Contains(xq, want) {
+			t.Errorf("XQuery missing %q:\n%s", want, xq)
+		}
+	}
+	if _, err := EmitXQuery("d", cancer, nil); err == nil {
+		t.Error("EmitXQuery with a domain classifier as entity must fail")
+	}
+}
+
+func TestEmitDatalog(t *testing.T) {
+	tree := fig5Tree(t)
+	cancer, _ := Parse("Habits (Cancer)", "", habitsDomain, habitsCancerSrc)
+	b, err := cancer.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := EmitDatalog(b, "smoking_d3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`smoking_d3(ProcedureID, "None") :- procedure(ProcedureID,`,
+		`PacksPerDay = 0.`,
+		`0 < PacksPerDay, PacksPerDay < 2`,
+		`PacksPerDay >= 5`,
+	} {
+		if !strings.Contains(dl, want) {
+			t.Errorf("Datalog missing %q:\n%s", want, dl)
+		}
+	}
+	// OR in a guard becomes two clauses (union of conjunctive queries).
+	orCl, _ := Parse("o", "", habitsDomain, "Heavy <- PacksPerDay >= 5 OR Smoking = 'Current'")
+	ob, err := orCl.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odl, err := EmitDatalog(ob, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(odl, ":-") != 2 {
+		t.Errorf("OR must produce 2 clauses:\n%s", odl)
+	}
+	// NOT over AND distributes (De Morgan) into two clauses.
+	notCl, _ := Parse("n", "", habitsDomain, "Light <- NOT (PacksPerDay >= 5 AND Smoking = 'Current')")
+	nb, err := notCl.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndl, err := EmitDatalog(nb, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(ndl, ":-") != 2 {
+		t.Errorf("NOT-AND must produce 2 clauses:\n%s", ndl)
+	}
+	if !strings.Contains(ndl, "PacksPerDay < 5") {
+		t.Errorf("negated >= must become <:\n%s", ndl)
+	}
+	// IN expands to one clause per element.
+	inCl, _ := Parse("i", "", habitsDomain, "Heavy <- Smoking IN ('Current', 'Previous')")
+	ib, _ := inCl.Bind(tree)
+	idl, err := EmitDatalog(ib, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(idl, ":-") != 2 {
+		t.Errorf("IN must produce 2 clauses:\n%s", idl)
+	}
+	// Entity classifier emits presence clauses.
+	ent, _ := ParseEntity("Relevant", "", "Procedure", "Procedure <- Procedure AND SurgeryPerformed = TRUE")
+	eb, err := ent.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edl, err := EmitDatalog(eb, "relevant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(edl, "relevant(ProcedureID) :- procedure(ProcedureID,") {
+		t.Errorf("entity Datalog:\n%s", edl)
+	}
+	if !strings.Contains(edl, "SurgeryPerformed = true") {
+		t.Errorf("entity Datalog must compare the boolean:\n%s", edl)
+	}
+}
+
+func TestEmitSQL(t *testing.T) {
+	tree := fig5Tree(t)
+	relevant, _ := ParseEntity("Relevant", "", "Procedure", "Procedure <- Procedure AND SurgeryPerformed = TRUE")
+	cancer, _ := Parse("Habits (Cancer)", "", habitsDomain, habitsCancerSrc)
+	rb, err := relevant.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := cancer.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := EmitSQL(rb, []*Bound{cb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SELECT", "FROM Procedure", "WHERE", "SurgeryPerformed = TRUE",
+		"CASE WHEN PacksPerDay = 0 THEN 'None'", "AS Smoking_D3",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+	if _, err := EmitSQL(cb, nil); err == nil {
+		t.Error("EmitSQL with domain classifier as entity must fail")
+	}
+	if _, err := EmitSQL(rb, []*Bound{rb}); err == nil {
+		t.Error("EmitSQL with entity classifier as domain must fail")
+	}
+}

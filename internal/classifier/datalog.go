@@ -1,0 +1,269 @@
+package classifier
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders classifiers as Datalog with comparison built-ins. The
+// translation substantiates the paper's claim that "the classifier language
+// as specified here is equivalent in expressive power to conjunctive queries
+// with union": each rule's guard is normalized to disjunctive normal form,
+// and every disjunct becomes one conjunctive Datalog clause; the rule list
+// is their union.
+
+// dnf converts a guard AST into a list of conjunctions of atomic conditions,
+// pushing NOT inward (De Morgan) and eliminating IN by expansion.
+func dnf(n Node, negate bool) ([][]Node, error) {
+	switch x := n.(type) {
+	case nil:
+		return [][]Node{{}}, nil
+	case *BoolLit:
+		b := x.B != negate
+		if b {
+			return [][]Node{{}}, nil // one empty conjunction = TRUE
+		}
+		return nil, nil // no disjuncts = FALSE
+	case *Unary:
+		if x.Op == "NOT" {
+			return dnf(x.X, !negate)
+		}
+		return nil, fmt.Errorf("classifier: %s is not a condition", n)
+	case *Binary:
+		op := x.Op
+		if negate {
+			switch op {
+			case "AND":
+				op = "OR"
+			case "OR":
+				op = "AND"
+			}
+		}
+		switch op {
+		case "OR":
+			l, err := dnf(x.L, negate)
+			if err != nil {
+				return nil, err
+			}
+			r, err := dnf(x.R, negate)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		case "AND":
+			l, err := dnf(x.L, negate)
+			if err != nil {
+				return nil, err
+			}
+			r, err := dnf(x.R, negate)
+			if err != nil {
+				return nil, err
+			}
+			var out [][]Node
+			for _, lc := range l {
+				for _, rc := range r {
+					conj := make([]Node, 0, len(lc)+len(rc))
+					conj = append(conj, lc...)
+					conj = append(conj, rc...)
+					out = append(out, conj)
+				}
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("classifier: arithmetic %s is not a condition", n)
+		}
+	case *Compare:
+		// Split chains into pairwise atoms first.
+		var atoms []Node
+		for i, op := range x.Ops {
+			atoms = append(atoms, &Compare{Operands: []Node{x.Operands[i], x.Operands[i+1]}, Ops: []string{op}})
+		}
+		if !negate {
+			return [][]Node{atoms}, nil
+		}
+		// NOT (a AND b AND c) = NOT a OR NOT b OR NOT c.
+		var out [][]Node
+		for _, a := range atoms {
+			c := a.(*Compare)
+			out = append(out, []Node{&Compare{
+				Operands: c.Operands,
+				Ops:      []string{negateCmp(c.Ops[0])},
+			}})
+		}
+		return out, nil
+	case *IsNull:
+		return [][]Node{{&IsNull{X: x.X, Negate: x.Negate != negate}}}, nil
+	case *InList:
+		// x IN (a,b) = x=a OR x=b; negated: x<>a AND x<>b.
+		if !negate {
+			var out [][]Node
+			for _, item := range x.List {
+				out = append(out, []Node{&Compare{Operands: []Node{x.X, item}, Ops: []string{"="}}})
+			}
+			return out, nil
+		}
+		var conj []Node
+		for _, item := range x.List {
+			conj = append(conj, &Compare{Operands: []Node{x.X, item}, Ops: []string{"<>"}})
+		}
+		return [][]Node{conj}, nil
+	case *Ident:
+		// Bare boolean node reference; form nodes are presence atoms and
+		// drop out of the body (the relation atom asserts presence).
+		cmpVal := &BoolLit{B: !negate}
+		return [][]Node{{&Compare{Operands: []Node{x, cmpVal}, Ops: []string{"="}}}}, nil
+	default:
+		return nil, fmt.Errorf("classifier: %s is not a condition", n)
+	}
+}
+
+func negateCmp(op string) string {
+	switch op {
+	case "=":
+		return "<>"
+	case "<>":
+		return "="
+	case "<":
+		return ">="
+	case "<=":
+		return ">"
+	case ">":
+		return "<="
+	case ">=":
+		return "<"
+	}
+	return op
+}
+
+// dlTerm renders an AST node as a Datalog term; g-tree node references
+// become logic variables of the same name.
+func dlTerm(n Node) (string, error) {
+	switch x := n.(type) {
+	case *NumLit:
+		return x.SrcText, nil
+	case *StrLit:
+		return `"` + x.S + `"`, nil
+	case *BoolLit:
+		if x.B {
+			return "true", nil
+		}
+		return "false", nil
+	case *NullLit:
+		return "null", nil
+	case *Ident:
+		return varName(x.Name), nil
+	case *Unary:
+		inner, err := dlTerm(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "-" + inner, nil
+	case *Binary:
+		l, err := dlTerm(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := dlTerm(x.R)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " " + x.Op + " " + r + ")", nil
+	default:
+		return "", fmt.Errorf("classifier: cannot render %T as a Datalog term", n)
+	}
+}
+
+func varName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// dlAtom renders an atomic condition as a Datalog body literal.
+func dlAtom(n Node) (string, error) {
+	switch x := n.(type) {
+	case *Compare:
+		l, err := dlTerm(x.Operands[0])
+		if err != nil {
+			return "", err
+		}
+		r, err := dlTerm(x.Operands[1])
+		if err != nil {
+			return "", err
+		}
+		op := x.Ops[0]
+		if op == "<>" {
+			op = "!="
+		}
+		return l + " " + op + " " + r, nil
+	case *IsNull:
+		inner, err := dlTerm(x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Negate {
+			return "not null(" + inner + ")", nil
+		}
+		return "null(" + inner + ")", nil
+	default:
+		return "", fmt.Errorf("classifier: %T is not an atomic condition", n)
+	}
+}
+
+// EmitDatalog renders a bound classifier as Datalog clauses over the
+// contributor's naive relation. The naive relation appears as one body atom
+// form(Key, Col1, …, ColN) with a variable per column; the head is
+// out(Key, Value).
+func EmitDatalog(bd *Bound, headName string) (string, error) {
+	tree := bd.Tree
+	fields := tree.FieldNames()
+	args := make([]string, 0, len(fields)+1)
+	args = append(args, varName(tree.KeyColumn))
+	for _, f := range fields {
+		args = append(args, varName(f))
+	}
+	relAtom := fmt.Sprintf("%s(%s)", strings.ToLower(tree.FormName()), strings.Join(args, ", "))
+
+	var sb strings.Builder
+	for _, r := range bd.Classifier.Rules {
+		disjuncts, err := dnf(r.Guard, false)
+		if err != nil {
+			return "", err
+		}
+		var headVal string
+		if bd.Classifier.IsEntity {
+			headVal = ""
+		} else {
+			v, err := dlValueTerm(r.Value, bd)
+			if err != nil {
+				return "", err
+			}
+			headVal = ", " + v
+		}
+		head := fmt.Sprintf("%s(%s%s)", headName, varName(tree.KeyColumn), headVal)
+		for _, conj := range disjuncts {
+			body := []string{relAtom}
+			for _, atom := range conj {
+				lit, err := dlAtom(atom)
+				if err != nil {
+					return "", err
+				}
+				body = append(body, lit)
+			}
+			fmt.Fprintf(&sb, "%s :- %s.\n", head, strings.Join(body, ", "))
+		}
+	}
+	return sb.String(), nil
+}
+
+// dlValueTerm renders a rule's value clause: domain elements become quoted
+// constants, node references variables, arithmetic stays symbolic.
+func dlValueTerm(n Node, bd *Bound) (string, error) {
+	if id, ok := n.(*Ident); ok {
+		if !bd.Tree.Has(id.Name) && bd.Classifier.Target.HasElement(id.Name) {
+			return `"` + id.Name + `"`, nil
+		}
+	}
+	return dlTerm(n)
+}

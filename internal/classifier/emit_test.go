@@ -1,0 +1,181 @@
+package classifier
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/relstore"
+)
+
+// TestTokenKindNames: every token kind renders a diagnostic name (these
+// appear in analyst-facing error messages).
+func TestTokenKindNames(t *testing.T) {
+	kinds := []TokKind{
+		TokEOF, TokIdent, TokNumber, TokString, TokArrow, TokLParen, TokRParen,
+		TokComma, TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokEq,
+		TokNe, TokLt, TokLe, TokGt, TokGe, TokAnd, TokOr, TokNot, TokIs,
+		TokIn, TokNull, TokTrue, TokFalse, TokNewline,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "TokKind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Errorf("duplicate token name %q", name)
+		}
+		seen[name] = true
+	}
+	if !strings.HasPrefix(TokKind(200).String(), "TokKind(") {
+		t.Error("unknown kinds must render numerically")
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	withPos := &Error{Line: 3, Col: 7, Msg: "boom"}
+	if got := withPos.Error(); !strings.Contains(got, "line 3:7") {
+		t.Errorf("error = %q", got)
+	}
+	noPos := &Error{Msg: "general"}
+	if got := noPos.Error(); strings.Contains(got, "line") {
+		t.Errorf("error = %q", got)
+	}
+}
+
+// TestXQueryEmitEdges covers the remaining expression shapes and failure
+// modes of the XQuery emitter.
+func TestXQueryEmitEdges(t *testing.T) {
+	ent, err := ParseEntity("e", "", "Procedure", "Procedure <- Procedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Parse("edge", "", habitsDomain, `
+None  <- Smoking IS NULL AND PacksPerDay IS NOT NULL
+Light <- Smoking IN ('a', 'b') OR NOT (PacksPerDay > 1)
+Heavy <- PacksPerDay % 2 = 0 AND PacksPerDay / 2 > 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xq, err := EmitXQuery("doc.xml", ent, []*Classifier{cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"empty($p/Smoking)",
+		"exists($p/PacksPerDay)",
+		`$p/Smoking = ("a", "b")`,
+		"not(",
+		"mod",
+		"div",
+	} {
+		if !strings.Contains(xq, want) {
+			t.Errorf("xquery missing %q:\n%s", want, xq)
+		}
+	}
+	// Unconditional rules render without a where clause.
+	uncond, err := Parse("u", "", habitsDomain, "None <- TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xq2, err := EmitXQuery("doc.xml", ent, []*Classifier{uncond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xq2, "if (true()) then") {
+		t.Errorf("unconditional rule:\n%s", xq2)
+	}
+	// Negated numbers and FALSE literals.
+	neg, err := Parse("n", "", habitsDomain, "None <- PacksPerDay > -1 AND FALSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xq3, err := EmitXQuery("doc.xml", ent, []*Classifier{neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xq3, "-1") || !strings.Contains(xq3, "false()") {
+		t.Errorf("negated/false:\n%s", xq3)
+	}
+}
+
+// TestDatalogEmitEdges covers value-term and atom rendering branches.
+func TestDatalogEmitEdges(t *testing.T) {
+	tree := fig5Tree(t)
+	// Arithmetic head value with negation.
+	cl, err := Parse("v", "", Target{Entity: "P", Attribute: "A", Domain: "D", Kind: 0},
+		"-TumorX + 2 <- TumorX > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := EmitDatalog(b, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dl, "(-TumorX + 2)") {
+		t.Errorf("datalog head:\n%s", dl)
+	}
+	// IS NULL / IS NOT NULL atoms.
+	cl2, err := Parse("n", "", habitsDomain, "None <- Smoking IS NULL AND PacksPerDay IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := cl2.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl2, err := EmitDatalog(b2, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dl2, "null(Smoking)") || !strings.Contains(dl2, "not null(PacksPerDay)") {
+		t.Errorf("null atoms:\n%s", dl2)
+	}
+	// FALSE guard emits no clause at all.
+	cl3, err := Parse("f", "", habitsDomain, "None <- FALSE\nLight <- TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := cl3.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl3, err := EmitDatalog(b3, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(dl3, ":-") != 1 {
+		t.Errorf("FALSE guard must emit nothing:\n%s", dl3)
+	}
+}
+
+// TestCleanerBindAndApply: cleaning classifiers bind and evaluate like
+// entity classifiers (boolean "discard?" semantics).
+func TestCleanerBindAndApply(t *testing.T) {
+	tree := fig5Tree(t)
+	cl, err := ParseCleaner("c", "drop heavy smokers", "DISCARD <- PacksPerDay >= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Bind(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := naiveSchema(t)
+	mkPacksRow := func(p float64) relstore.Row {
+		return relstore.Row{relstore.Int(1), relstore.Float(p), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}
+	}
+	v, err := b.Apply(mkPacksRow(6), schema)
+	if err != nil || !v.Truthy() {
+		t.Errorf("heavy row: %v, %v", v, err)
+	}
+	v, err = b.Apply(mkPacksRow(1), schema)
+	if err != nil || v.Truthy() {
+		t.Errorf("light row: %v, %v", v, err)
+	}
+}

@@ -1,0 +1,193 @@
+package classifier
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer converts classifier text into tokens. Newlines are significant (they
+// separate rules) and collapse into a single TokNewline. Comments run from
+// "--" to end of line, as analysts annotate rules inline.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+var keywords = map[string]TokKind{
+	"AND": TokAnd, "OR": TokOr, "NOT": TokNot, "IS": TokIs, "IN": TokIn,
+	"NULL": TokNull, "TRUE": TokTrue, "FALSE": TokFalse,
+}
+
+// Lex tokenizes the whole input, returning the token stream or the first
+// lexical error.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	emit := func(k TokKind, text string, line, col int) {
+		toks = append(toks, Token{Kind: k, Text: text, Line: line, Col: col})
+	}
+	for l.pos < len(l.src) {
+		line, col := l.line, l.col
+		b := l.peekByte()
+		switch {
+		case b == '\n':
+			l.advance()
+			if len(toks) > 0 && toks[len(toks)-1].Kind != TokNewline {
+				emit(TokNewline, "\\n", line, col)
+			}
+		case b == ' ' || b == '\t' || b == '\r':
+			l.advance()
+		case b == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case b == '<':
+			l.advance()
+			switch l.peekByte() {
+			case '-':
+				l.advance()
+				emit(TokArrow, "<-", line, col)
+			case '=':
+				l.advance()
+				emit(TokLe, "<=", line, col)
+			case '>':
+				l.advance()
+				emit(TokNe, "<>", line, col)
+			default:
+				emit(TokLt, "<", line, col)
+			}
+		case b == '>':
+			l.advance()
+			if l.peekByte() == '=' {
+				l.advance()
+				emit(TokGe, ">=", line, col)
+			} else {
+				emit(TokGt, ">", line, col)
+			}
+		case b == '!':
+			l.advance()
+			if l.peekByte() == '=' {
+				l.advance()
+				emit(TokNe, "!=", line, col)
+			} else {
+				return nil, &Error{Line: line, Col: col, Msg: "unexpected '!'"}
+			}
+		case b == '=':
+			l.advance()
+			emit(TokEq, "=", line, col)
+		case b == '(':
+			l.advance()
+			emit(TokLParen, "(", line, col)
+		case b == ')':
+			l.advance()
+			emit(TokRParen, ")", line, col)
+		case b == ',':
+			l.advance()
+			emit(TokComma, ",", line, col)
+		case b == '+':
+			l.advance()
+			emit(TokPlus, "+", line, col)
+		case b == '-':
+			l.advance()
+			emit(TokMinus, "-", line, col)
+		case b == '*':
+			l.advance()
+			emit(TokStar, "*", line, col)
+		case b == '/':
+			l.advance()
+			emit(TokSlash, "/", line, col)
+		case b == '%':
+			l.advance()
+			emit(TokPercent, "%", line, col)
+		case b == '\'' || b == '"':
+			quote := b
+			l.advance()
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				c := l.advance()
+				if c == quote {
+					// Doubled quote escapes itself.
+					if l.peekByte() == quote {
+						l.advance()
+						sb.WriteByte(quote)
+						continue
+					}
+					closed = true
+					break
+				}
+				if c == '\n' {
+					return nil, &Error{Line: line, Col: col, Msg: "string literal spans newline"}
+				}
+				sb.WriteByte(c)
+			}
+			if !closed {
+				return nil, &Error{Line: line, Col: col, Msg: "unterminated string literal"}
+			}
+			emit(TokString, sb.String(), line, col)
+		case b >= '0' && b <= '9' || b == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			var sb strings.Builder
+			seenDot := false
+			for l.pos < len(l.src) {
+				c := l.peekByte()
+				if c >= '0' && c <= '9' {
+					sb.WriteByte(l.advance())
+					continue
+				}
+				if c == '.' && !seenDot {
+					seenDot = true
+					sb.WriteByte(l.advance())
+					continue
+				}
+				break
+			}
+			emit(TokNumber, sb.String(), line, col)
+		case isIdentStart(rune(b)):
+			var sb strings.Builder
+			for l.pos < len(l.src) && isIdentPart(rune(l.peekByte())) {
+				sb.WriteByte(l.advance())
+			}
+			word := sb.String()
+			if k, ok := keywords[strings.ToUpper(word)]; ok {
+				emit(k, word, line, col)
+			} else {
+				emit(TokIdent, word, line, col)
+			}
+		default:
+			return nil, &Error{Line: line, Col: col, Msg: "unexpected character " + string(b)}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: l.line, Col: l.col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

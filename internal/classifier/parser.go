@@ -1,0 +1,321 @@
+package classifier
+
+import "strconv"
+
+// parser is a recursive-descent parser for the classifier language.
+//
+// Grammar (rules separated by newlines):
+//
+//	rules   := rule (NEWLINE rule)*
+//	rule    := expr ["<-" orExpr]
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | relExpr
+//	relExpr := expr ((cmpOp expr)+ | IS [NOT] NULL | IN '(' expr, ... ')')?
+//	expr    := term ((+|-) term)*
+//	term    := factor ((*|/|%) factor)*
+//	factor  := '-' factor | atom
+//	atom    := NUMBER | STRING | TRUE | FALSE | NULL | IDENT | '(' orExpr ')'
+//
+// Chained comparisons (a < b < c) are kept in one Compare node and desugar
+// during checking.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errAt(p.cur(), "expected %s, found %s %q", k, p.cur().Kind, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+// ParseRules parses a whole rule list, one rule per line.
+func ParseRules(src string) ([]*Rule, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var rules []*Rule
+	for p.accept(TokNewline) {
+	}
+	for p.cur().Kind != TokEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+		if p.cur().Kind == TokEOF {
+			break
+		}
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+		for p.accept(TokNewline) {
+		}
+	}
+	if len(rules) == 0 {
+		return nil, &Error{Msg: "empty classifier: no rules"}
+	}
+	return rules, nil
+}
+
+// ParseExpr parses a single boolean expression (used for study filter
+// conditions, the WHERE-like clauses of Section 3).
+func ParseExpr(src string) (Node, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	for p.accept(TokNewline) {
+	}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokNewline) {
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, errAt(p.cur(), "unexpected %s %q after expression", p.cur().Kind, p.cur().Text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	// The value clause is an arithmetic expression; it must stop before
+	// "<-", so parse at additive level (not comparisons, whose "<" would
+	// swallow the arrow's "<"). The lexer already distinguishes "<-".
+	val, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokArrow) {
+		return nil, errAt(p.cur(), "expected '<-' after rule value")
+	}
+	guard, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	return &Rule{Value: val, Guard: guard}, nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokAnd {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.accept(TokNot) {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseRel()
+}
+
+var cmpToks = map[TokKind]string{
+	TokEq: "=", TokNe: "<>", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+func (p *parser) parseRel() (Node, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokIs {
+		p.next()
+		neg := p.accept(TokNot)
+		if _, err := p.expect(TokNull); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Negate: neg}, nil
+	}
+	if p.cur().Kind == TokIn {
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var list []Node
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.accept(TokComma) {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &InList{X: l, List: list}, nil
+	}
+	if op, ok := cmpToks[p.cur().Kind]; ok {
+		cmp := &Compare{Operands: []Node{l}, Ops: nil}
+		for {
+			op2, ok := cmpToks[p.cur().Kind]
+			if !ok {
+				break
+			}
+			_ = op
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			cmp.Ops = append(cmp.Ops, op2)
+			cmp.Operands = append(cmp.Operands, r)
+		}
+		return cmp, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Node, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokPlus:
+			op = "+"
+		case TokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseTerm() (Node, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokStar:
+			op = "*"
+		case TokSlash:
+			op = "/"
+		case TokPercent:
+			op = "%"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseFactor() (Node, error) {
+	if p.accept(TokMinus) {
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if i, err := strconv.ParseInt(t.Text, 10, 64); err == nil {
+			return &NumLit{Int: i, IsInt: true, SrcText: t.Text}, nil
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errAt(t, "bad number %q", t.Text)
+		}
+		return &NumLit{Float: f, SrcText: t.Text}, nil
+	case TokString:
+		p.next()
+		return &StrLit{S: t.Text}, nil
+	case TokTrue:
+		p.next()
+		return &BoolLit{B: true}, nil
+	case TokFalse:
+		p.next()
+		return &BoolLit{B: false}, nil
+	case TokNull:
+		p.next()
+		return &NullLit{}, nil
+	case TokIdent:
+		p.next()
+		return &Ident{Name: t.Text, Tok: t}, nil
+	case TokLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, errAt(t, "unexpected %s %q", t.Kind, t.Text)
+	}
+}

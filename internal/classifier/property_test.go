@@ -1,0 +1,235 @@
+package classifier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"guava/internal/relstore"
+)
+
+// TestParsePrintFixpoint: rendering a parsed rule list and reparsing it
+// yields the same rendering (print ∘ parse ∘ print = print).
+func TestParsePrintFixpoint(t *testing.T) {
+	srcs := []string{
+		habitsCancerSrc,
+		habitsChemistrySrc,
+		"TumorX * TumorY * TumorZ * 0.52 <- TumorX > 0 AND TumorY > 0 AND TumorZ > 0",
+		"Procedure <- Procedure AND SurgeryPerformed = TRUE",
+		"None <- Smoking IS NULL OR NOT (PacksPerDay >= 2)\nHeavy <- Smoking IN ('a', 'b')",
+		"X <- a = 1 AND (b = 2 OR c = 3)",
+		"Val <- -PacksPerDay + 2 * 3 - 1 % 2 > 0",
+	}
+	for _, src := range srcs {
+		rules, err := ParseRules(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		printed := ""
+		for _, r := range rules {
+			printed += r.String() + "\n"
+		}
+		rules2, err := ParseRules(printed)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed, err)
+		}
+		printed2 := ""
+		for _, r := range rules2 {
+			printed2 += r.String() + "\n"
+		}
+		if printed != printed2 {
+			t.Errorf("not a fixpoint:\n%q\nvs\n%q", printed, printed2)
+		}
+	}
+}
+
+// TestAnalyzerMatchesEvaluatorProperty cross-validates the static interval
+// analyzer against the runtime evaluator: for random threshold classifiers
+// and random probe values, a probe classifies to NULL exactly when the
+// analyzer says it is uncovered (in a gap or outside the hull).
+func TestAnalyzerMatchesEvaluatorProperty(t *testing.T) {
+	tree := fig5Tree(t)
+	schema := naiveSchema(t)
+
+	f := func(rawBounds []int8, probes []int8) bool {
+		if len(rawBounds) < 2 {
+			return true
+		}
+		// Build a random threshold classifier: sorted distinct bounds become
+		// consecutive [b_i, b_{i+1}) bands, with every other band omitted to
+		// create gaps.
+		bounds := map[int]bool{}
+		for _, b := range rawBounds {
+			bounds[int(b)] = true
+		}
+		var sorted []int
+		for b := range bounds {
+			sorted = append(sorted, b)
+		}
+		sort.Ints(sorted)
+		if len(sorted) < 2 {
+			return true
+		}
+		src := ""
+		elements := []string{"None", "Light", "Moderate", "Heavy"}
+		kept := 0
+		for i := 0; i+1 < len(sorted); i++ {
+			if i%2 == 1 {
+				continue // deliberate gap
+			}
+			el := elements[kept%len(elements)]
+			src += fmt.Sprintf("%s <- %d <= PacksPerDay < %d\n", el, sorted[i], sorted[i+1])
+			kept++
+		}
+		if kept == 0 {
+			return true
+		}
+		cl, err := Parse("prop", "", habitsDomain, src)
+		if err != nil {
+			return false
+		}
+		rep, err := AnalyzeIntervals(cl)
+		if err != nil {
+			return false
+		}
+		bound, err := cl.Bind(tree)
+		if err != nil {
+			return false
+		}
+		inGaps := func(v float64) bool {
+			for _, g := range rep.Gaps {
+				lo := g.Lo
+				if g.LoInf {
+					lo = math.Inf(-1)
+				}
+				hi := g.Hi
+				if g.HiInf {
+					hi = math.Inf(1)
+				}
+				loOK := v > lo || (v == lo && !g.LoOpen)
+				hiOK := v < hi || (v == hi && !g.HiOpen)
+				if loOK && hiOK {
+					return true
+				}
+			}
+			return false
+		}
+		hullLoV, hullHiV := hullLo(rep), hullHi(rep)
+		for _, p := range probes {
+			v := float64(p)
+			row := relstore.Row{relstore.Int(1), relstore.Float(v), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}
+			got, err := bound.Apply(row, schema)
+			if err != nil {
+				return false
+			}
+			uncovered := inGaps(v) ||
+				(rep.UncoveredBelow && v < hullLoV) ||
+				(rep.UncoveredAbove && v > hullHiV) ||
+				(rep.UncoveredBelow && v == hullLoV && startsOpenAt(rep, v)) ||
+				(rep.UncoveredAbove && v == hullHiV && endsOpenAt(rep, v))
+			if got.IsNull() != uncovered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// startsOpenAt reports whether coverage begins strictly after v (v itself
+// uncovered at the lower hull).
+func startsOpenAt(rep *IntervalReport, v float64) bool {
+	for _, ivs := range rep.RuleIntervals {
+		for _, iv := range ivs {
+			if !iv.LoInf && iv.Lo == v && !iv.LoOpen {
+				return false
+			}
+			if iv.LoInf {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// endsOpenAt reports whether coverage ends strictly before v.
+func endsOpenAt(rep *IntervalReport, v float64) bool {
+	for _, ivs := range rep.RuleIntervals {
+		for _, iv := range ivs {
+			if !iv.HiInf && iv.Hi == v && !iv.HiOpen {
+				return false
+			}
+			if iv.HiInf {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDNFPreservesSemanticsProperty: converting guards to DNF (the Datalog
+// path) preserves evaluation on random inputs.
+func TestDNFPreservesSemanticsProperty(t *testing.T) {
+	tree := fig5Tree(t)
+	schema := naiveSchema(t)
+	f := func(a, b, c int8, probe int8) bool {
+		src := fmt.Sprintf(
+			"Heavy <- NOT (PacksPerDay < %d AND PacksPerDay >= %d) OR PacksPerDay = %d",
+			a, b, c)
+		cl, err := Parse("p", "", habitsDomain, src)
+		if err != nil {
+			return false
+		}
+		bound, err := cl.Bind(tree)
+		if err != nil {
+			return false
+		}
+		// Direct evaluation of the original guard.
+		row := relstore.Row{relstore.Int(1), relstore.Float(float64(probe)), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null(), relstore.Null()}
+		direct, err := bound.Guards[0].Eval(row, schema)
+		if err != nil {
+			return false
+		}
+		// Evaluation via the DNF the Datalog emitter uses: OR over
+		// conjunctions of atoms.
+		disjuncts, err := dnf(cl.Rules[0].Guard, false)
+		if err != nil {
+			return false
+		}
+		viaDNF := false
+		for _, conj := range disjuncts {
+			all := true
+			for _, atom := range conj {
+				// Re-parse each atom through the binder.
+				ab, err := Parse("a", "", habitsDomain, "Heavy <- "+atom.(interface{ String() string }).String())
+				if err != nil {
+					return false
+				}
+				abound, err := ab.Bind(tree)
+				if err != nil {
+					return false
+				}
+				ok, err := abound.Guards[0].Eval(row, schema)
+				if err != nil {
+					return false
+				}
+				if !ok {
+					all = false
+					break
+				}
+			}
+			if all {
+				viaDNF = true
+				break
+			}
+		}
+		return direct == viaDNF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package classifier
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EmitSQL renders a study fragment for one contributor as a single SQL
+// statement over the naive relation: the entity classifier's selection is
+// the WHERE clause and each domain classifier compiles to a searched CASE
+// column — the relational counterpart of the XQuery translation, and the
+// text cmd/runstudy prints when analysts inspect a generated workflow.
+func EmitSQL(entity *Bound, domains []*Bound) (string, error) {
+	if !entity.Classifier.IsEntity {
+		return "", fmt.Errorf("classifier: EmitSQL needs an entity classifier, got %q", entity.Classifier.Name)
+	}
+	tree := entity.Tree
+	var sb strings.Builder
+	sb.WriteString("SELECT\n  ")
+	cols := []string{tree.KeyColumn}
+	for _, d := range domains {
+		if d.Classifier.IsEntity {
+			return "", fmt.Errorf("classifier: %q is an entity classifier, not a domain classifier", d.Classifier.Name)
+		}
+		cols = append(cols, fmt.Sprintf("%s AS %s_%s",
+			d.Case().SQL(), d.Classifier.Target.Attribute, d.Classifier.Target.Domain))
+	}
+	sb.WriteString(strings.Join(cols, ",\n  "))
+	fmt.Fprintf(&sb, "\nFROM %s\nWHERE %s", tree.FormName(), entity.Selection().SQL())
+	return sb.String(), nil
+}

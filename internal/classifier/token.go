@@ -1,0 +1,139 @@
+// Package classifier implements the MultiClass classifier language of
+// Figure 5 of the paper: "each classifier is a list of declarative
+// statements of the form A ← B, where A is an arithmetic calculation and B
+// is a Boolean condition. Both clauses use nodes in a g-tree as arguments."
+//
+// The package provides the concrete syntax (lexer + parser), name resolution
+// and type checking against a g-tree and a target study-schema domain,
+// direct evaluation over naive-schema rows, and translations to XQuery,
+// Datalog, and SQL — the paper hand-translated classifiers into the first
+// two; here every translation is generated and the relational one is
+// executable, which is what makes Hypothesis #3 machine-checkable.
+package classifier
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds of the classifier language.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokArrow  // <-
+	TokLParen // (
+	TokRParen // )
+	TokComma
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq  // =
+	TokNe  // <> or !=
+	TokLt  // <
+	TokLe  // <=
+	TokGt  // >
+	TokGe  // >=
+	TokAnd // AND
+	TokOr  // OR
+	TokNot // NOT
+	TokIs  // IS
+	TokIn  // IN
+	TokNull
+	TokTrue
+	TokFalse
+	TokNewline
+)
+
+// String names the token kind.
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokArrow:
+		return "'<-'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	case TokPercent:
+		return "'%'"
+	case TokEq:
+		return "'='"
+	case TokNe:
+		return "'<>'"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	case TokAnd:
+		return "AND"
+	case TokOr:
+		return "OR"
+	case TokNot:
+		return "NOT"
+	case TokIs:
+		return "IS"
+	case TokIn:
+		return "IN"
+	case TokNull:
+		return "NULL"
+	case TokTrue:
+		return "TRUE"
+	case TokFalse:
+		return "FALSE"
+	case TokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("TokKind(%d)", uint8(k))
+	}
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// Error is a syntax or semantic error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("classifier: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "classifier: " + e.Msg
+}
+
+func errAt(t Token, format string, args ...interface{}) error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}

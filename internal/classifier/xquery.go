@@ -1,0 +1,197 @@
+package classifier
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders classifiers as XQuery, following the paper's translation
+// scheme (Section 4.2): "treat each entity classifier as a for-each to
+// iterate through objects, each domain classifier as a variable assignment,
+// and each rule in a classifier as a conditional statement." The paper
+// hand-translated several collections of classifiers into XQuery; here the
+// translation is generated.
+
+// xqCtx carries what the emitter needs to resolve identifiers the way the
+// binder would: the iteration variable, the entity name (form references in
+// guards render as true(), since iterating the form *is* the presence test),
+// and the target domain's elements (which render as string constants in
+// value position).
+type xqCtx struct {
+	v        string
+	entity   string
+	target   Target
+	valuePos bool
+}
+
+func (c xqCtx) value() xqCtx { c.valuePos = true; return c }
+func (c xqCtx) guard() xqCtx { c.valuePos = false; return c }
+
+// xqExpr renders an AST node as an XQuery expression over the iteration
+// variable (g-tree node references become $v/Node paths).
+func xqExpr(ctx xqCtx, n Node) (string, error) {
+	v := ctx.v
+	switch x := n.(type) {
+	case *NumLit:
+		return x.SrcText, nil
+	case *StrLit:
+		return `"` + strings.ReplaceAll(x.S, `"`, `""`) + `"`, nil
+	case *BoolLit:
+		if x.B {
+			return "true()", nil
+		}
+		return "false()", nil
+	case *NullLit:
+		return "()", nil
+	case *Ident:
+		if x.Name == ctx.entity && !ctx.valuePos {
+			return "true()", nil
+		}
+		if ctx.valuePos && ctx.target.HasElement(x.Name) {
+			return `"` + x.Name + `"`, nil
+		}
+		return fmt.Sprintf("$%s/%s", v, x.Name), nil
+	case *Unary:
+		inner, err := xqExpr(ctx, x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == "NOT" {
+			return "not(" + inner + ")", nil
+		}
+		return "-" + inner, nil
+	case *Binary:
+		l, err := xqExpr(ctx, x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := xqExpr(ctx, x.R)
+		if err != nil {
+			return "", err
+		}
+		op := x.Op
+		switch x.Op {
+		case "AND":
+			op = "and"
+		case "OR":
+			op = "or"
+		case "%":
+			op = "mod"
+		case "/":
+			op = "div"
+		}
+		return "(" + l + " " + op + " " + r + ")", nil
+	case *Compare:
+		var parts []string
+		for i, cmpOp := range x.Ops {
+			l, err := xqExpr(ctx, x.Operands[i])
+			if err != nil {
+				return "", err
+			}
+			r, err := xqExpr(ctx, x.Operands[i+1])
+			if err != nil {
+				return "", err
+			}
+			op := cmpOp
+			switch cmpOp {
+			case "<>":
+				op = "!="
+			}
+			parts = append(parts, l+" "+op+" "+r)
+		}
+		if len(parts) == 1 {
+			return "(" + parts[0] + ")", nil
+		}
+		return "(" + strings.Join(parts, " and ") + ")", nil
+	case *IsNull:
+		inner, err := xqExpr(ctx, x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Negate {
+			return "exists(" + inner + ")", nil
+		}
+		return "empty(" + inner + ")", nil
+	case *InList:
+		inner, err := xqExpr(ctx, x.X)
+		if err != nil {
+			return "", err
+		}
+		items := make([]string, len(x.List))
+		for i, it := range x.List {
+			s, err := xqExpr(ctx, it)
+			if err != nil {
+				return "", err
+			}
+			items[i] = s
+		}
+		return inner + " = (" + strings.Join(items, ", ") + ")", nil
+	default:
+		return "", fmt.Errorf("classifier: cannot render %T as XQuery", n)
+	}
+}
+
+// xqClassifierBody renders a domain classifier as a chain of XQuery
+// conditionals — each rule one "if (guard) then value" arm.
+func xqClassifierBody(ctx xqCtx, c *Classifier) (string, error) {
+	var sb strings.Builder
+	for i, r := range c.Rules {
+		guard := "true()"
+		if r.Guard != nil {
+			g, err := xqExpr(ctx.guard(), r.Guard)
+			if err != nil {
+				return "", err
+			}
+			guard = g
+		}
+		val, err := xqExpr(ctx.value(), r.Value)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			sb.WriteString("\n      else ")
+		}
+		fmt.Fprintf(&sb, "if (%s) then %s", guard, val)
+	}
+	sb.WriteString("\n      else ()")
+	return sb.String(), nil
+}
+
+// EmitXQuery renders a study fragment as XQuery: the entity classifier
+// becomes the FLWOR for/where, each domain classifier an element constructor
+// with its conditional chain. doc names the g-tree XML document.
+func EmitXQuery(doc string, entity *Classifier, domains []*Classifier) (string, error) {
+	if !entity.IsEntity {
+		return "", fmt.Errorf("classifier: EmitXQuery needs an entity classifier, got %q", entity.Name)
+	}
+	v := strings.ToLower(entity.Target.Entity[:1])
+	ctx := xqCtx{v: v, entity: entity.Target.Entity}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "for $%s in doc(%q)//%s\n", v, doc, entity.Target.Entity)
+	var wheres []string
+	for _, r := range entity.Rules {
+		if r.Guard == nil {
+			continue
+		}
+		g, err := xqExpr(ctx.guard(), r.Guard)
+		if err != nil {
+			return "", err
+		}
+		wheres = append(wheres, g)
+	}
+	if len(wheres) > 0 {
+		fmt.Fprintf(&sb, "where %s\n", strings.Join(wheres, " or "))
+	}
+	fmt.Fprintf(&sb, "return\n  <%s>\n", entity.Target.Entity)
+	for _, d := range domains {
+		dctx := xqCtx{v: v, entity: entity.Target.Entity, target: d.Target}
+		body, err := xqClassifierBody(dctx, d)
+		if err != nil {
+			return "", err
+		}
+		el := fmt.Sprintf("%s_%s", d.Target.Attribute, d.Target.Domain)
+		fmt.Fprintf(&sb, "    <%s>{\n      %s\n    }</%s>\n", el, body, el)
+	}
+	fmt.Fprintf(&sb, "  </%s>", entity.Target.Entity)
+	return sb.String(), nil
+}

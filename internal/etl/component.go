@@ -1,0 +1,289 @@
+// Package etl implements the ETL workflow substrate the paper compiles
+// studies into (Section 4.1, Figure 6): reusable components that each
+// execute one query over the previous component's results, chained through
+// temporary databases, with the final load unioning contributors into the
+// study output. "Thus, we can leverage existing ETL and still offer the
+// flexibility that analysts require."
+package etl
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+)
+
+// Context carries the named databases a workflow operates over. Workflows
+// create temporary databases on demand. Contexts are safe for concurrent
+// use, so independent workflow steps can run in parallel.
+type Context struct {
+	mu  sync.Mutex
+	dbs map[string]*relstore.DB
+}
+
+// NewContext builds a context pre-populated with the given databases.
+func NewContext(dbs map[string]*relstore.DB) *Context {
+	c := &Context{dbs: make(map[string]*relstore.DB, len(dbs))}
+	for n, db := range dbs {
+		c.dbs[n] = db
+	}
+	return c
+}
+
+// DB returns the named database, creating an empty one on first use (the
+// paper's temporary DBs between ETL stages).
+func (c *Context) DB(name string) *relstore.DB {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if db, ok := c.dbs[name]; ok {
+		return db
+	}
+	db := relstore.NewDB(name)
+	c.dbs[name] = db
+	return db
+}
+
+// Has reports whether a database is registered.
+func (c *Context) Has(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.dbs[name]
+	return ok
+}
+
+// TableRef addresses one table in one database.
+type TableRef struct {
+	DB    string
+	Table string
+}
+
+// String renders the reference as db.table.
+func (r TableRef) String() string { return r.DB + "." + r.Table }
+
+// read fetches the referenced table's rows.
+func (r TableRef) read(ctx *Context) (*relstore.Rows, error) {
+	t, err := ctx.DB(r.DB).Table(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Rows(), nil
+}
+
+// write materializes rows into the referenced table, creating it.
+func (r TableRef) write(ctx *Context, rows *relstore.Rows) error {
+	db := ctx.DB(r.DB)
+	if db.Has(r.Table) {
+		if err := db.Drop(r.Table); err != nil {
+			return err
+		}
+	}
+	t, err := db.CreateTable(r.Table, rows.Schema)
+	if err != nil {
+		return err
+	}
+	return t.InsertAll(rows.Data)
+}
+
+// Component is one ETL step.
+type Component interface {
+	// Name returns a short component-kind name ("extract", "query", …).
+	Name() string
+	// Describe renders what the step does, for the analyst-facing plan.
+	Describe() string
+	// Run executes the step against the context.
+	Run(ctx *Context) error
+}
+
+// Extract reads a form's naive relation out of a contributor database
+// through its pattern stack — the GUAVA stage of Figure 6 — and materializes
+// it into a temporary table.
+type Extract struct {
+	// SourceDB names the contributor database.
+	SourceDB string
+	// Stack is the contributor's pattern configuration.
+	Stack *patterns.Stack
+	// Form is the form being extracted.
+	Form patterns.FormInfo
+	// To receives the naive relation.
+	To TableRef
+}
+
+// Name implements Component.
+func (*Extract) Name() string { return "extract" }
+
+// Describe implements Component.
+func (e *Extract) Describe() string {
+	return fmt.Sprintf("extract %s from %s via pattern stack [%s] into %s",
+		e.Form.Name, e.SourceDB, e.Stack.Describe(), e.To)
+}
+
+// Run implements Component.
+func (e *Extract) Run(ctx *Context) error {
+	if !ctx.Has(e.SourceDB) {
+		return fmt.Errorf("etl: extract: unknown source database %q", e.SourceDB)
+	}
+	rows, err := e.Stack.Read(ctx.DB(e.SourceDB), e.Form)
+	if err != nil {
+		return fmt.Errorf("etl: extract %s: %w", e.Form.Name, err)
+	}
+	return e.To.write(ctx, rows)
+}
+
+// Query filters, derives, and projects one table into another — the middle
+// stage of Figure 6, "each [component] executing a query over the previous
+// one's results".
+type Query struct {
+	From TableRef
+	// Where filters rows (nil keeps all).
+	Where relstore.Pred
+	// Derive, when non-empty, replaces the output columns with computed
+	// ones; otherwise Project (or all columns) pass through.
+	Derive []relstore.Derivation
+	// Project keeps the named columns (nil keeps all); ignored when Derive
+	// is set.
+	Project []string
+	// Distinct deduplicates output rows.
+	Distinct bool
+	To       TableRef
+}
+
+// Name implements Component.
+func (*Query) Name() string { return "query" }
+
+// Describe implements Component.
+func (q *Query) Describe() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	switch {
+	case len(q.Derive) > 0:
+		parts := make([]string, len(q.Derive))
+		for i, d := range q.Derive {
+			parts[i] = d.Expr.SQL() + " AS " + d.Name
+		}
+		sb.WriteString(strings.Join(parts, ", "))
+	case len(q.Project) > 0:
+		sb.WriteString(strings.Join(q.Project, ", "))
+	default:
+		sb.WriteString("*")
+	}
+	sb.WriteString(" FROM " + q.From.String())
+	if q.Where != nil {
+		sb.WriteString(" WHERE " + q.Where.SQL())
+	}
+	if q.Distinct {
+		sb.WriteString(" (DISTINCT)")
+	}
+	sb.WriteString(" INTO " + q.To.String())
+	return sb.String()
+}
+
+// Run implements Component.
+func (q *Query) Run(ctx *Context) error {
+	rows, err := q.From.read(ctx)
+	if err != nil {
+		return fmt.Errorf("etl: query from %s: %w", q.From, err)
+	}
+	rows, err = relstore.Select(rows, q.Where)
+	if err != nil {
+		return fmt.Errorf("etl: query %s: %w", q.From, err)
+	}
+	switch {
+	case len(q.Derive) > 0:
+		rows, err = relstore.Derive(rows, q.Derive...)
+	case len(q.Project) > 0:
+		rows, err = relstore.Project(rows, q.Project...)
+	}
+	if err != nil {
+		return fmt.Errorf("etl: query %s: %w", q.From, err)
+	}
+	if q.Distinct {
+		rows = relstore.Distinct(rows)
+	}
+	return q.To.write(ctx, rows)
+}
+
+// Union concatenates same-schema tables into one — the load stage:
+// "MultiClass simply unions together the results of ETL workflows from
+// different contributors."
+type Union struct {
+	From []TableRef
+	// Distinct switches from bag union to set union.
+	Distinct bool
+	To       TableRef
+}
+
+// Name implements Component.
+func (*Union) Name() string { return "union" }
+
+// Describe implements Component.
+func (u *Union) Describe() string {
+	parts := make([]string, len(u.From))
+	for i, r := range u.From {
+		parts[i] = r.String()
+	}
+	op := "UNION ALL"
+	if u.Distinct {
+		op = "UNION"
+	}
+	return fmt.Sprintf("%s(%s) INTO %s", op, strings.Join(parts, ", "), u.To)
+}
+
+// Run implements Component.
+func (u *Union) Run(ctx *Context) error {
+	if len(u.From) == 0 {
+		return fmt.Errorf("etl: union with no inputs")
+	}
+	all := make([]*relstore.Rows, 0, len(u.From))
+	for _, ref := range u.From {
+		rows, err := ref.read(ctx)
+		if err != nil {
+			return fmt.Errorf("etl: union input %s: %w", ref, err)
+		}
+		all = append(all, rows)
+	}
+	out, err := relstore.UnionAll(all...)
+	if err != nil {
+		return fmt.Errorf("etl: union: %w", err)
+	}
+	if u.Distinct {
+		out = relstore.Distinct(out)
+	}
+	return u.To.write(ctx, out)
+}
+
+// JoinStep equi-joins two tables — needed when a study pulls has-a children
+// (Findings, Medications) alongside their parent entity.
+type JoinStep struct {
+	Left, Right       TableRef
+	LeftCol, RightCol string
+	RightPrefix       string
+	To                TableRef
+}
+
+// Name implements Component.
+func (*JoinStep) Name() string { return "join" }
+
+// Describe implements Component.
+func (j *JoinStep) Describe() string {
+	return fmt.Sprintf("JOIN %s ON %s.%s = %s.%s INTO %s",
+		j.Right, j.Left, j.LeftCol, j.Right, j.RightCol, j.To)
+}
+
+// Run implements Component.
+func (j *JoinStep) Run(ctx *Context) error {
+	l, err := j.Left.read(ctx)
+	if err != nil {
+		return err
+	}
+	r, err := j.Right.read(ctx)
+	if err != nil {
+		return err
+	}
+	out, err := relstore.Join(l, r, j.LeftCol, j.RightCol, j.RightPrefix)
+	if err != nil {
+		return fmt.Errorf("etl: join: %w", err)
+	}
+	return j.To.write(ctx, out)
+}

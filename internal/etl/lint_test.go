@@ -1,0 +1,76 @@
+package etl
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+)
+
+// TestLintCompiledStudies: every compiled study passes the dataflow linter.
+func TestLintCompiledStudies(t *testing.T) {
+	spec := studyFixture(t)
+	compiled, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiled.Workflow.Lint(); err != nil {
+		t.Errorf("compiled workflow fails lint: %v", err)
+	}
+}
+
+func TestLintCatchesDataflowBugs(t *testing.T) {
+	src := TableRef{"src", "T"}
+	// A step reading a table no step produces.
+	w := &Workflow{Name: "w1"}
+	w.Add("a", &Query{From: TableRef{"tmp", "ghost"}, To: TableRef{"tmp", "A"}})
+	if err := w.Lint(); err == nil || !strings.Contains(err.Error(), "no step produces") {
+		t.Errorf("err = %v", err)
+	}
+
+	// A step reading a produced table without depending on the producer.
+	w2 := &Workflow{Name: "w2"}
+	w2.Add("produce", &Extract{SourceDB: "src",
+		Form: patternsFormFixture(), To: src})
+	w2.Add("consume", &Query{From: src, To: TableRef{"tmp", "B"}}) // no dep!
+	if err := w2.Lint(); err == nil || !strings.Contains(err.Error(), "does not depend on") {
+		t.Errorf("err = %v", err)
+	}
+
+	// Adding the dependency fixes it.
+	w3 := &Workflow{Name: "w3"}
+	p := w3.Add("produce", &Extract{SourceDB: "src", Form: patternsFormFixture(), To: src})
+	w3.Add("consume", &Query{From: src, To: TableRef{"tmp", "B"}}, p)
+	if err := w3.Lint(); err != nil {
+		t.Errorf("valid workflow fails lint: %v", err)
+	}
+
+	// Transitive dependencies count.
+	w4 := &Workflow{Name: "w4"}
+	a := w4.Add("a", &Extract{SourceDB: "src", Form: patternsFormFixture(), To: src})
+	b := w4.Add("b", &Query{From: src, To: TableRef{"tmp", "B"}}, a)
+	w4.Add("c", &Query{From: src, To: TableRef{"tmp", "C"}}, b) // reads src via transitive dep on a
+	if err := w4.Lint(); err != nil {
+		t.Errorf("transitive dep fails lint: %v", err)
+	}
+
+	// Lint still reports structural errors (cycles).
+	w5 := &Workflow{Name: "w5"}
+	w5.Add("x", &Query{From: src, To: src}, "y")
+	w5.Add("y", &Query{From: src, To: src}, "x")
+	if err := w5.Lint(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// patternsFormFixture builds a minimal FormInfo for lint tests.
+func patternsFormFixture() patterns.FormInfo {
+	return patterns.FormInfo{
+		Name:      "T",
+		KeyColumn: "K",
+		Schema: relstore.MustSchema(
+			relstore.Column{Name: "K", Type: relstore.KindInt, NotNull: true},
+		),
+	}
+}

@@ -1,0 +1,76 @@
+package etl
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// The paper's warehouse receives contributor data periodically ("Data from
+// the CORI software tool is periodically sent for inclusion in the CORI
+// warehouse"). Refresh re-runs a compiled study and merges its output into a
+// persistent warehouse table keyed by (Contributor, EntityKey): new entities
+// insert, changed entities update in place, unchanged entities are left
+// alone — so annotations and downstream extracts can rely on stable history.
+
+// RefreshStats summarizes one warehouse refresh.
+type RefreshStats struct {
+	Added     int
+	Updated   int
+	Unchanged int
+	Total     int
+}
+
+// String renders the stats for CLI output.
+func (s RefreshStats) String() string {
+	return fmt.Sprintf("%d rows: %d added, %d updated, %d unchanged", s.Total, s.Added, s.Updated, s.Unchanged)
+}
+
+// Refresh runs the study and merges its output into warehouse table
+// "Study_<name>", creating it on first refresh. It returns the merge stats.
+func (c *Compiled) Refresh(warehouse *relstore.DB) (RefreshStats, error) {
+	var stats RefreshStats
+	fresh, err := c.Run()
+	if err != nil {
+		return stats, err
+	}
+	stats.Total = fresh.Len()
+	tableName := c.Output.Table
+	table, err := warehouse.EnsureTable(tableName, fresh.Schema)
+	if err != nil {
+		return stats, err
+	}
+	keyOf := func(r relstore.Row) string {
+		return r[1].Key() + "\x1f" + r[0].Key() // Contributor, EntityKey
+	}
+	existing := map[string]relstore.Row{}
+	table.Scan(func(r relstore.Row) bool {
+		existing[keyOf(r)] = r.Clone()
+		return true
+	})
+	for _, r := range fresh.Data {
+		k := keyOf(r)
+		old, ok := existing[k]
+		if !ok {
+			if err := table.Insert(r); err != nil {
+				return stats, err
+			}
+			stats.Added++
+			continue
+		}
+		if old.Equal(r) {
+			stats.Unchanged++
+			continue
+		}
+		pred := relstore.And(
+			relstore.Eq(ContributorColumn, r[1]),
+			relstore.Eq(EntityKeyColumn, r[0]),
+		)
+		row := r.Clone()
+		if _, err := table.Update(pred, func(relstore.Row) relstore.Row { return row.Clone() }); err != nil {
+			return stats, err
+		}
+		stats.Updated++
+	}
+	return stats, nil
+}

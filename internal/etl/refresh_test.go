@@ -1,0 +1,78 @@
+package etl
+
+import (
+	"testing"
+
+	"guava/internal/relstore"
+)
+
+// TestRefreshLifecycle: first refresh inserts everything; an identical
+// second refresh changes nothing; new records and in-place updates merge
+// correctly.
+func TestRefreshLifecycle(t *testing.T) {
+	spec := studyFixture(t)
+	compiled, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warehouse := relstore.NewDB("warehouse")
+
+	stats, err := compiled.Refresh(warehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 4 || stats.Updated != 0 || stats.Unchanged != 0 {
+		t.Fatalf("first refresh = %+v", stats)
+	}
+
+	stats, err = compiled.Refresh(warehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 0 || stats.Updated != 0 || stats.Unchanged != 4 {
+		t.Fatalf("idempotent refresh = %+v", stats)
+	}
+
+	// A clinic submits a new report and corrects an old one.
+	clinicA := spec.Contributors[0]
+	if err := clinicA.Stack.WriteValues(clinicA.DB, clinicA.Form, map[string]relstore.Value{
+		"ProcedureID":      relstore.Int(10),
+		"PacksPerDay":      relstore.Float(1),
+		"Hypoxia":          relstore.Bool(false),
+		"SurgeryPerformed": relstore.Bool(true),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clinicA.Stack.Update(clinicA.DB, clinicA.Form, relstore.Int(1), "PacksPerDay", relstore.Float(3)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = compiled.Refresh(warehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 1 || stats.Updated != 1 || stats.Unchanged != 3 {
+		t.Fatalf("incremental refresh = %+v", stats)
+	}
+	if stats.String() == "" {
+		t.Error("stats must render")
+	}
+
+	// The warehouse table reflects the update.
+	table, err := warehouse.Table("Study_exsmoker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 5 {
+		t.Fatalf("warehouse rows = %d, want 5", table.Len())
+	}
+	rows, err := table.Select(relstore.And(
+		relstore.Eq(ContributorColumn, relstore.Str("clinicA")),
+		relstore.Eq(EntityKeyColumn, relstore.Int(1)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || !rows.Data[0][2].Equal(relstore.Str("Moderate")) {
+		t.Errorf("updated row = %v", rows.Data)
+	}
+}

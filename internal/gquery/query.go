@@ -1,0 +1,198 @@
+// Package gquery implements queries against g-trees. "The g-tree behaves
+// like a view; when analysts write classifiers, they express queries against
+// the g-trees" — a query names g-tree nodes and a condition in the
+// classifier language, and the engine translates it through the
+// contributor's pattern stack onto the physical database ("each pattern
+// describes a data transformation; several put together describe how to
+// translate a query against the g-tree into one against the database").
+package gquery
+
+import (
+	"fmt"
+	"strings"
+
+	"guava/internal/classifier"
+	"guava/internal/gtree"
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+)
+
+// Query is one analyst query over a g-tree.
+type Query struct {
+	// Tree is the g-tree being queried.
+	Tree *gtree.Tree
+	// Select names the nodes whose values to return; nil selects the key
+	// plus every data node.
+	Select []string
+	// Where is an optional condition in the classifier expression language.
+	Where string
+}
+
+// plan is the validated, compiled form of a query.
+type plan struct {
+	cols []string
+	pred relstore.Pred
+}
+
+// compile validates node references and binds the condition.
+func (q *Query) compile() (*plan, error) {
+	p := &plan{pred: relstore.True}
+	if q.Select == nil {
+		p.cols = append([]string{q.Tree.KeyColumn}, q.Tree.FieldNames()...)
+	} else {
+		for _, name := range q.Select {
+			if name == q.Tree.KeyColumn {
+				p.cols = append(p.cols, name)
+				continue
+			}
+			n, err := q.Tree.Node(name)
+			if err != nil {
+				return nil, fmt.Errorf("gquery: %w", err)
+			}
+			if !n.StoresData() {
+				return nil, fmt.Errorf("gquery: node %q stores no data (a %s)", name, n.Kind)
+			}
+			p.cols = append(p.cols, name)
+		}
+		if len(p.cols) == 0 {
+			return nil, fmt.Errorf("gquery: query selects nothing")
+		}
+	}
+	if q.Where != "" {
+		pred, _, err := classifier.BindCondition(q.Tree, q.Where)
+		if err != nil {
+			return nil, fmt.Errorf("gquery: %w", err)
+		}
+		p.pred = pred
+	}
+	return p, nil
+}
+
+// Run translates the query through the pattern stack and executes it against
+// the contributor database.
+func (q *Query) Run(db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (*relstore.Rows, error) {
+	res, err := q.RunWithInfo(db, stack, form)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// RunWithInfo is Run, also reporting whether the condition was pushed down
+// to the physical scan.
+func (q *Query) RunWithInfo(db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (patterns.QueryResult, error) {
+	p, err := q.compile()
+	if err != nil {
+		return patterns.QueryResult{}, err
+	}
+	return stack.QueryWithInfo(db, form, p.pred, p.cols)
+}
+
+// AggregateQuery is a grouped-aggregate query over a g-tree: Study 1 asks
+// "how many (what proportion)" — analysts count and summarize, they do not
+// fetch raw rows. Group keys are g-tree nodes; aggregates run over nodes.
+type AggregateQuery struct {
+	// Query supplies the tree and the WHERE condition; its Select is
+	// ignored (the aggregate decides what it needs).
+	Query
+	// GroupBy names the grouping nodes (empty for a global aggregate).
+	GroupBy []string
+	// Aggs are the aggregate outputs.
+	Aggs []relstore.Aggregate
+}
+
+// Run executes the aggregate through the pattern stack.
+func (q *AggregateQuery) Run(db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (*relstore.Rows, error) {
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("gquery: aggregate query with no aggregates")
+	}
+	// Fetch exactly the columns the aggregate touches.
+	need := map[string]bool{}
+	for _, g := range q.GroupBy {
+		need[g] = true
+	}
+	for _, a := range q.Aggs {
+		if a.Col != "" {
+			need[a.Col] = true
+		}
+	}
+	sel := make([]string, 0, len(need))
+	for _, g := range q.GroupBy {
+		sel = append(sel, g)
+	}
+	for _, a := range q.Aggs {
+		if a.Col != "" && !contains(sel, a.Col) {
+			sel = append(sel, a.Col)
+		}
+	}
+	if len(sel) == 0 {
+		sel = []string{q.Tree.KeyColumn} // COUNT(*) needs some column
+	}
+	base := Query{Tree: q.Tree, Select: sel, Where: q.Where}
+	rows, err := base.Run(db, stack, form)
+	if err != nil {
+		return nil, err
+	}
+	out, err := relstore.GroupBy(rows, q.GroupBy, q.Aggs...)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.GroupBy) > 0 {
+		return relstore.SortBy(out, q.GroupBy...)
+	}
+	return out, nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// LogicalSQL renders the query as SQL over the naive view — what the analyst
+// conceptually asked.
+func (q *Query) LogicalSQL() (string, error) {
+	p, err := q.compile()
+	if err != nil {
+		return "", err
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(p.cols, ", "), q.Tree.FormName())
+	if q.Where != "" {
+		sql += " WHERE " + p.pred.SQL()
+	}
+	return sql, nil
+}
+
+// Explain renders the full translation story: the logical SQL, the pattern
+// stack it is rewritten through, whether the condition pushes down to the
+// physical scan, and the physical tables it ultimately touches — the
+// inspectability the paper demands of generated workflows.
+func (q *Query) Explain(db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (string, error) {
+	sql, err := q.LogicalSQL()
+	if err != nil {
+		return "", err
+	}
+	tables, err := stack.PhysicalTables(form)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "logical:  %s\n", sql)
+	fmt.Fprintf(&sb, "patterns: %s\n", stack.Describe())
+	fmt.Fprintf(&sb, "physical: %s\n", strings.Join(tables, ", "))
+	if q.Where != "" {
+		res, err := q.RunWithInfo(db, stack, form)
+		if err != nil {
+			return "", err
+		}
+		mode := "evaluated over the reconstructed view (fallback)"
+		if res.PushedDown {
+			mode = "pushed down to the physical scan"
+		}
+		fmt.Fprintf(&sb, "where:    %s\n", mode)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,232 @@
+package gquery
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/relstore"
+	"guava/internal/workload"
+)
+
+func coriFixture(t *testing.T) *workload.Contributor {
+	t.Helper()
+	c, err := workload.BuildCORI(5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestQueryRun(t *testing.T) {
+	c := coriFixture(t)
+	q := &Query{
+		Tree:   c.Tree,
+		Select: []string{"ProcedureID", "Smoking", "PacksPerDay"},
+		Where:  "Smoking = 'Current'",
+	}
+	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCurrent int
+	for _, tr := range c.Truths {
+		if tr.Smoking == "Current" {
+			wantCurrent++
+		}
+	}
+	if rows.Len() != wantCurrent {
+		t.Errorf("rows = %d, want %d", rows.Len(), wantCurrent)
+	}
+	if rows.Schema.NameList() != "ProcedureID, Smoking, PacksPerDay" {
+		t.Errorf("schema = %s", rows.Schema.NameList())
+	}
+	for _, r := range rows.Data {
+		if !r[1].Equal(relstore.Str("Current")) {
+			t.Errorf("non-current row leaked: %v", r)
+		}
+	}
+}
+
+func TestQuerySelectAll(t *testing.T) {
+	c := coriFixture(t)
+	q := &Query{Tree: c.Tree}
+	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != len(c.Truths) {
+		t.Errorf("rows = %d", rows.Len())
+	}
+	// Key plus all 17 data nodes.
+	if rows.Schema.Arity() != 18 {
+		t.Errorf("arity = %d, want 18 (%s)", rows.Schema.Arity(), rows.Schema.NameList())
+	}
+	if rows.Schema.Columns[0].Name != "ProcedureID" {
+		t.Error("key must lead")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	c := coriFixture(t)
+	cases := []*Query{
+		{Tree: c.Tree, Select: []string{"Nonexistent"}},
+		{Tree: c.Tree, Select: []string{"MedicalHistory"}}, // group box
+		{Tree: c.Tree, Select: []string{}},
+		{Tree: c.Tree, Where: "Ghost = 1"},
+		{Tree: c.Tree, Where: "Smoking +"},
+	}
+	for i, q := range cases {
+		if _, err := q.Run(c.DB, c.Stack, c.Info); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLogicalSQLAndExplain(t *testing.T) {
+	c := coriFixture(t)
+	q := &Query{Tree: c.Tree, Select: []string{"ProcedureID", "PacksPerDay"}, Where: "PacksPerDay > 1"}
+	sql, err := q.LogicalSQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql != "SELECT ProcedureID, PacksPerDay FROM Procedure WHERE PacksPerDay > 1" {
+		t.Errorf("sql = %q", sql)
+	}
+	exp, err := q.Explain(c.DB, c.Stack, c.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"logical:", "patterns: Audit ∘ Lookup ∘ Naive", "physical:", "Procedure_Indication_lookup", "pushed down to the physical scan"} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("explain missing %q:\n%s", want, exp)
+		}
+	}
+	// A query over a Generic-backed contributor falls back.
+	all, err := workload.BuildMedRecord(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := &Query{Tree: all.Tree, Select: []string{"RecordID"}, Where: "SmokeCode = 1"}
+	exp2, err := q2.Explain(all.DB, all.Stack, all.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp2, "fallback") {
+		t.Errorf("explain must report fallback for EAV:\n%s", exp2)
+	}
+}
+
+// TestQueryAcrossStacks runs the same logical query against the same data
+// stored under different physical designs — the heart of the GUAVA claim
+// that the g-tree hides schematic heterogeneity.
+func TestQueryAcrossStacks(t *testing.T) {
+	all, err := workload.BuildAll(21, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each contributor words smoking differently; the per-contributor query
+	// conditions reconcile that, but the *mechanism* (g-tree query through
+	// a pattern stack) is identical.
+	queries := map[string]*Query{
+		"CORI":      {Tree: all[0].Tree, Select: []string{"ProcedureID"}, Where: "Smoking = 'Current'"},
+		"EndoSoft":  {Tree: all[1].Tree, Select: []string{"ExamID"}, Where: "SmokingStatus = 'Smoker'"},
+		"MedRecord": {Tree: all[2].Tree, Select: []string{"RecordID"}, Where: "SmokeCode = 1"},
+	}
+	for _, c := range all {
+		q := queries[c.Name]
+		rows, err := q.Run(c.DB, c.Stack, c.Info)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		want := 0
+		for _, tr := range c.Truths {
+			if tr.Smoking == "Current" {
+				want++
+			}
+		}
+		if rows.Len() != want {
+			t.Errorf("%s: %d rows, want %d", c.Name, rows.Len(), want)
+		}
+	}
+}
+
+// TestAggregateQuery groups and counts through the pattern stack (the Study
+// 1 "how many (what proportion)" shape).
+func TestAggregateQuery(t *testing.T) {
+	c := coriFixture(t)
+	q := &AggregateQuery{
+		Query:   Query{Tree: c.Tree, Where: "ProcType = 'Upper GI Endoscopy'"},
+		GroupBy: []string{"Smoking"},
+		Aggs: []relstore.Aggregate{
+			{Kind: relstore.AggCount, As: "N"},
+			{Kind: relstore.AggAvg, Col: "PacksPerDay", As: "MeanPacks"},
+		},
+	}
+	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Schema.NameList() != "Smoking, N, MeanPacks" {
+		t.Errorf("schema = %s", rows.Schema.NameList())
+	}
+	// Counts match ground truth.
+	truth := map[string]int64{}
+	for _, tr := range c.Truths {
+		if tr.ProcType == "Upper GI Endoscopy" {
+			truth[tr.Smoking]++
+		}
+	}
+	for _, r := range rows.Data {
+		key := "" // NULL group renders as unanswered smoking
+		if !r[0].IsNull() {
+			key = r[0].AsString()
+		}
+		if key == "" {
+			continue // no NULL smoking in this workload (always answered)
+		}
+		if r[1].AsInt() != truth[key] {
+			t.Errorf("group %q count = %d, want %d", key, r[1].AsInt(), truth[key])
+		}
+	}
+	// Global aggregate (no group keys).
+	g := &AggregateQuery{
+		Query: Query{Tree: c.Tree},
+		Aggs:  []relstore.Aggregate{{Kind: relstore.AggCount, As: "N"}},
+	}
+	out, err := g.Run(c.DB, c.Stack, c.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Data[0][0].AsInt() != int64(len(c.Truths)) {
+		t.Errorf("global count = %v", out.Data)
+	}
+	// Validation: no aggregates, bad group node, bad condition.
+	if _, err := (&AggregateQuery{Query: Query{Tree: c.Tree}}).Run(c.DB, c.Stack, c.Info); err == nil {
+		t.Error("no aggregates must fail")
+	}
+	bad := &AggregateQuery{Query: Query{Tree: c.Tree}, GroupBy: []string{"Ghost"},
+		Aggs: []relstore.Aggregate{{Kind: relstore.AggCount, As: "N"}}}
+	if _, err := bad.Run(c.DB, c.Stack, c.Info); err == nil {
+		t.Error("unknown group node must fail")
+	}
+}
+
+// TestQueryUnselectedSemantics asks for never-answered controls via NULL —
+// the Figure 3b "Unselected" option.
+func TestQueryUnselectedSemantics(t *testing.T) {
+	c := coriFixture(t)
+	q := &Query{Tree: c.Tree, Select: []string{"ProcedureID"}, Where: "PacksPerDay IS NULL"}
+	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tr := range c.Truths {
+		if tr.Smoking != "Current" {
+			want++ // enablement kept PacksPerDay unanswered
+		}
+	}
+	if rows.Len() != want {
+		t.Errorf("NULL packs rows = %d, want %d", rows.Len(), want)
+	}
+}

@@ -1,0 +1,129 @@
+package gtree
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+	"guava/internal/ui"
+)
+
+// Derive builds a g-tree automatically from a form definition — the paper's
+// Hypothesis #1, performed by an IDE plugin there and by this function here.
+//
+// Derivation proceeds in two steps:
+//
+//  1. Containment: the form becomes the root node and the control hierarchy
+//     maps one node per control, group boxes included.
+//  2. Dependency re-parenting: a control whose enablement references another
+//     control moves beneath that control's node, because the UI only
+//     surfaces it in that context ("the frequency node appears as a child
+//     of the smoking node", Figure 2).
+func Derive(contributor string, toolVersion int, form *ui.Form) (*Tree, error) {
+	if err := form.Validate(); err != nil {
+		return nil, fmt.Errorf("gtree: derive: %w", err)
+	}
+	root := &Node{
+		Name:     form.Name,
+		Kind:     FormNode,
+		Question: form.Title,
+	}
+	nodes := map[string]*Node{}
+	parents := map[string]*Node{} // node name -> containment parent node
+
+	var build func(c *ui.Control, parent *Node)
+	build = func(c *ui.Control, parent *Node) {
+		n := controlNode(c)
+		nodes[c.Name] = n
+		parents[c.Name] = parent
+		for _, ch := range c.Children {
+			build(ch, n)
+		}
+	}
+	for _, c := range form.Controls {
+		build(c, root)
+	}
+
+	// Attach each node to its dependency parent when one exists, otherwise
+	// to its containment parent. Iterating the form's declaration order
+	// keeps sibling order deterministic.
+	form.Walk(func(c *ui.Control) {
+		n := nodes[c.Name]
+		parent := parents[c.Name]
+		if c.Enabled.Cond != ui.Always {
+			if dep, ok := nodes[c.Enabled.Control]; ok {
+				parent = dep
+			}
+		}
+		parent.Children = append(parent.Children, n)
+	})
+
+	t := &Tree{
+		Contributor: contributor,
+		ToolVersion: toolVersion,
+		KeyColumn:   form.KeyColumn,
+		Root:        root,
+	}
+	// Guard against enablement cycles that would detach nodes from the root.
+	reachable := 0
+	t.Root.Walk(func(*Node) { reachable++ })
+	if reachable != len(nodes)+1 {
+		return nil, fmt.Errorf("gtree: derive: enablement cycle detached %d node(s)", len(nodes)+1-reachable)
+	}
+	return t, nil
+}
+
+// controlNode converts one control into its g-tree node, capturing all the
+// context information of Figure 3.
+func controlNode(c *ui.Control) *Node {
+	n := &Node{
+		Name:          c.Name,
+		ControlType:   c.Kind.String(),
+		Question:      c.Question,
+		AllowFreeText: c.AllowFreeText,
+		Default:       c.Default,
+		Required:      c.Required,
+	}
+	if c.Kind == ui.GroupBox {
+		n.Kind = GroupNode
+		return n
+	}
+	n.Kind = FieldNode
+	n.DataType = c.StoredKind()
+	switch c.Enabled.Cond {
+	case ui.Always:
+		n.Enablement = EnablementInfo{Kind: "always"}
+	case ui.WhenAnswered:
+		n.Enablement = EnablementInfo{Kind: "answered", Control: c.Enabled.Control}
+	case ui.WhenEquals:
+		n.Enablement = EnablementInfo{Kind: "equals", Control: c.Enabled.Control, Value: c.Enabled.Value}
+	}
+	// A radio list with no default starts with no option selected, so the
+	// node carries an explicit Unselected entry whose stored value is NULL
+	// (Figure 3b) — analysts must be able to ask for "never answered".
+	if c.Kind == ui.RadioList && c.Default.IsNull() {
+		n.Options = append(n.Options, OptionInfo{Display: "Unselected", Stored: relstore.Null()})
+	}
+	for _, o := range c.Options {
+		n.Options = append(n.Options, OptionInfo{Display: o.Display, Stored: o.Stored})
+	}
+	if c.Kind == ui.CheckBox {
+		n.Options = append(n.Options,
+			OptionInfo{Display: "Checked", Stored: relstore.Bool(true)},
+			OptionInfo{Display: "Unchecked", Stored: relstore.Bool(false)},
+		)
+	}
+	return n
+}
+
+// DeriveTool derives one g-tree per form of a tool, keyed by form name.
+func DeriveTool(contributor string, tool *ui.Tool) (map[string]*Tree, error) {
+	out := make(map[string]*Tree, len(tool.Forms))
+	for _, f := range tool.Forms {
+		t, err := Derive(contributor, tool.Version, f)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Name] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package gtree
+
+import (
+	"fmt"
+	"sort"
+
+	"guava/internal/relstore"
+)
+
+// Diff summarizes how a g-tree changed between two reporting-tool versions.
+// Section 6 of the paper: "handling new versions of a reporting tool by
+// propagating classifiers to the next version if their input nodes did not
+// change, and suggest new classifiers if there is a change." The diff is the
+// input to that propagation (internal/versioning).
+type Diff struct {
+	// Added names nodes present only in the new tree.
+	Added []string
+	// Removed names nodes present only in the old tree.
+	Removed []string
+	// Changed maps node names to human-readable descriptions of what
+	// changed (question wording, options, data type, enablement).
+	Changed map[string][]string
+}
+
+// Empty reports whether nothing changed.
+func (d *Diff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}
+
+// NodeChanged reports whether the named node was removed or changed; an
+// unchanged or added node returns false.
+func (d *Diff) NodeChanged(name string) bool {
+	if _, ok := d.Changed[name]; ok {
+		return true
+	}
+	for _, r := range d.Removed {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare diffs two trees node-by-node (by name; structural moves such as a
+// node gaining a dependency parent do not count as changes, because the
+// node's data semantics are unchanged).
+func Compare(old, new *Tree) *Diff {
+	d := &Diff{Changed: make(map[string][]string)}
+	oldIdx := old.index()
+	newIdx := new.index()
+	var names []string
+	for n := range oldIdx {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		on := oldIdx[name]
+		nn, ok := newIdx[name]
+		if !ok {
+			d.Removed = append(d.Removed, name)
+			continue
+		}
+		if changes := describeChanges(on, nn); len(changes) > 0 {
+			d.Changed[name] = changes
+		}
+	}
+	names = names[:0]
+	for n := range newIdx {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := oldIdx[name]; !ok {
+			d.Added = append(d.Added, name)
+		}
+	}
+	return d
+}
+
+func describeChanges(old, new *Node) []string {
+	var out []string
+	if old.Kind != new.Kind {
+		out = append(out, fmt.Sprintf("kind changed: %s -> %s", old.Kind, new.Kind))
+	}
+	if old.Question != new.Question {
+		out = append(out, fmt.Sprintf("question changed: %q -> %q", old.Question, new.Question))
+	}
+	if old.DataType != new.DataType {
+		out = append(out, fmt.Sprintf("data type changed: %s -> %s", old.DataType, new.DataType))
+	}
+	if !optionsEqual(old.Options, new.Options) {
+		out = append(out, fmt.Sprintf("options changed: %s -> %s", renderOptions(old.Options), renderOptions(new.Options)))
+	}
+	if old.Required != new.Required {
+		out = append(out, fmt.Sprintf("required changed: %v -> %v", old.Required, new.Required))
+	}
+	if !old.Default.Equal(new.Default) {
+		out = append(out, fmt.Sprintf("default changed: %s -> %s", old.Default, new.Default))
+	}
+	if !enablementEqual(old.Enablement, new.Enablement) {
+		out = append(out, "enablement changed")
+	}
+	return out
+}
+
+func optionsEqual(a, b []OptionInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Display != b[i].Display || !a[i].Stored.Equal(b[i].Stored) {
+			return false
+		}
+	}
+	return true
+}
+
+func renderOptions(opts []OptionInfo) string {
+	s := "["
+	for i, o := range opts {
+		if i > 0 {
+			s += ", "
+		}
+		s += o.Display
+	}
+	return s + "]"
+}
+
+func enablementEqual(a, b EnablementInfo) bool {
+	an, bn := normalizeEnablement(a), normalizeEnablement(b)
+	return an.Kind == bn.Kind && an.Control == bn.Control && an.Value.Equal(bn.Value)
+}
+
+func normalizeEnablement(e EnablementInfo) EnablementInfo {
+	if e.Kind == "" {
+		e.Kind = "always"
+	}
+	if e.Kind == "always" {
+		return EnablementInfo{Kind: "always", Value: relstore.Null()}
+	}
+	return e
+}

@@ -1,0 +1,420 @@
+package gtree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"guava/internal/relstore"
+	"guava/internal/ui"
+)
+
+// figure2Form reconstructs the Figure 2 Procedure dialog.
+func figure2Form(t *testing.T) *ui.Form {
+	t.Helper()
+	f := &ui.Form{
+		Name:      "Procedure",
+		Title:     "Procedure Report",
+		KeyColumn: "ProcedureID",
+		Controls: []*ui.Control{
+			{
+				Name: "Complications", Kind: ui.GroupBox, Question: "Complications",
+				Children: []*ui.Control{
+					{Name: "Hypoxia", Kind: ui.CheckBox, Question: "Hypoxia"},
+					{Name: "SurgeonConsulted", Kind: ui.CheckBox, Question: "Surgeon Consulted"},
+					{Name: "OtherComplication", Kind: ui.TextBox, Question: "Other", DataType: relstore.KindString},
+				},
+			},
+			{
+				Name: "MedicalHistory", Kind: ui.GroupBox, Question: "Medical History",
+				Children: []*ui.Control{
+					{Name: "RenalFailure", Kind: ui.CheckBox, Question: "Renal Failure"},
+					{Name: "Smoking", Kind: ui.RadioList, Question: "Does the patient smoke?",
+						Options: []ui.Option{
+							{Display: "No", Stored: relstore.Str("No")},
+							{Display: "Yes", Stored: relstore.Str("Yes")},
+							{Display: "Quit", Stored: relstore.Str("Quit")},
+						}},
+					{Name: "Frequency", Kind: ui.TextBox, Question: "Packs per day", DataType: relstore.KindFloat,
+						Enabled: ui.Enablement{Cond: ui.WhenAnswered, Control: "Smoking"}},
+					{Name: "Alcohol", Kind: ui.DropDown, Question: "Alcohol use", AllowFreeText: true,
+						Options: []ui.Option{
+							{Display: "None", Stored: relstore.Str("None")},
+							{Display: "Light", Stored: relstore.Str("Light")},
+							{Display: "Heavy", Stored: relstore.Str("Heavy")},
+						}},
+				},
+			},
+		},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func deriveFig2(t *testing.T) *Tree {
+	t.Helper()
+	tree, err := Derive("CORI", 1, figure2Form(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestFigure2GTree checks the derivation against the structure drawn in
+// Figure 2: a node for every control including group boxes, and Frequency
+// appearing as a child of Smoking rather than of Medical History.
+func TestFigure2GTree(t *testing.T) {
+	tree := deriveFig2(t)
+	if tree.Root.Name != "Procedure" || tree.Root.Kind != FormNode {
+		t.Fatalf("root = %s (%s)", tree.Root.Name, tree.Root.Kind)
+	}
+	// Every control has a node, group boxes included.
+	for _, name := range []string{"Complications", "MedicalHistory", "Hypoxia", "SurgeonConsulted", "OtherComplication", "RenalFailure", "Smoking", "Frequency", "Alcohol"} {
+		if !tree.Has(name) {
+			t.Errorf("missing node %q", name)
+		}
+	}
+	// Frequency is re-parented beneath Smoking.
+	path, err := tree.Path("Frequency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Procedure", "MedicalHistory", "Smoking", "Frequency"}
+	if strings.Join(path, "/") != strings.Join(want, "/") {
+		t.Errorf("Frequency path = %v, want %v", path, want)
+	}
+	// Group boxes store no data.
+	mh, _ := tree.Node("MedicalHistory")
+	if mh.StoresData() || mh.Kind != GroupNode {
+		t.Error("MedicalHistory must be a non-data group node")
+	}
+	fields := tree.FieldNames()
+	wantFields := []string{"Alcohol", "Frequency", "Hypoxia", "OtherComplication", "RenalFailure", "Smoking", "SurgeonConsulted"}
+	if strings.Join(fields, ",") != strings.Join(wantFields, ",") {
+		t.Errorf("fields = %v", fields)
+	}
+}
+
+// TestFigure3NodeDetails checks the per-node context of Figure 3: the
+// alcohol node has a free-text option, the smoking node has an Unselected
+// entry, and the frequency node records its enablement guard.
+func TestFigure3NodeDetails(t *testing.T) {
+	tree := deriveFig2(t)
+
+	alcohol, _ := tree.Node("Alcohol")
+	if !alcohol.AllowFreeText {
+		t.Error("alcohol node must record the free-text option (Fig 3a)")
+	}
+	if len(alcohol.Options) != 3 {
+		t.Errorf("alcohol options = %d, want 3", len(alcohol.Options))
+	}
+	if alcohol.Question != "Alcohol use" {
+		t.Errorf("alcohol question = %q", alcohol.Question)
+	}
+
+	smoking, _ := tree.Node("Smoking")
+	if len(smoking.Options) != 4 {
+		t.Fatalf("smoking options = %d, want 4 (3 answers + Unselected)", len(smoking.Options))
+	}
+	if smoking.Options[0].Display != "Unselected" || !smoking.Options[0].Stored.IsNull() {
+		t.Errorf("first smoking option = %+v, want Unselected/NULL (Fig 3b)", smoking.Options[0])
+	}
+
+	freq, _ := tree.Node("Frequency")
+	if freq.Enablement.Kind != "answered" || freq.Enablement.Control != "Smoking" {
+		t.Errorf("frequency enablement = %+v, want answered(Smoking) (Fig 3c)", freq.Enablement)
+	}
+	if freq.DataType != relstore.KindFloat {
+		t.Errorf("frequency data type = %v", freq.DataType)
+	}
+
+	hyp, _ := tree.Node("Hypoxia")
+	if len(hyp.Options) != 2 {
+		t.Errorf("checkbox node must expose Checked/Unchecked, got %v", hyp.Options)
+	}
+}
+
+func TestDeriveRadioWithDefaultHasNoUnselected(t *testing.T) {
+	f := &ui.Form{Name: "F", KeyColumn: "ID", Controls: []*ui.Control{
+		{Name: "R", Kind: ui.RadioList, Question: "r?",
+			Options: []ui.Option{{Display: "A", Stored: relstore.Str("A")}},
+			Default: relstore.Str("A")},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Derive("X", 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := tree.Node("R")
+	if len(n.Options) != 1 {
+		t.Errorf("radio with default must not gain Unselected: %v", n.Options)
+	}
+}
+
+func TestDeriveWhenEqualsReparenting(t *testing.T) {
+	f := &ui.Form{Name: "F", KeyColumn: "ID", Controls: []*ui.Control{
+		{Name: "A", Kind: ui.CheckBox, Question: "a?"},
+		{Name: "B", Kind: ui.TextBox, Question: "b?",
+			Enabled: ui.Enablement{Cond: ui.WhenEquals, Control: "A", Value: relstore.Bool(true)}},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Derive("X", 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := tree.Path("B")
+	if strings.Join(path, "/") != "F/A/B" {
+		t.Errorf("path = %v, want F/A/B", path)
+	}
+	b, _ := tree.Node("B")
+	if b.Enablement.Kind != "equals" || !b.Enablement.Value.Equal(relstore.Bool(true)) {
+		t.Errorf("enablement = %+v", b.Enablement)
+	}
+}
+
+func TestTreeNodeLookupErrors(t *testing.T) {
+	tree := deriveFig2(t)
+	if _, err := tree.Node("Nope"); err == nil {
+		t.Error("missing node must error")
+	}
+	if _, err := tree.Path("Nope"); err == nil {
+		t.Error("missing path must error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tree := deriveFig2(t)
+	txt := tree.Render()
+	if !strings.Contains(txt, "Procedure") || !strings.Contains(txt, "Does the patient smoke?") {
+		t.Errorf("render missing content:\n%s", txt)
+	}
+	// Frequency is indented deeper than Smoking.
+	lines := strings.Split(txt, "\n")
+	indent := func(name string) int {
+		for _, l := range lines {
+			if strings.Contains(l, name+" ") {
+				return len(l) - len(strings.TrimLeft(l, " "))
+			}
+		}
+		return -1
+	}
+	if indent("Frequency") <= indent("Smoking") {
+		t.Errorf("Frequency indent %d, Smoking indent %d", indent("Frequency"), indent("Smoking"))
+	}
+	if !strings.Contains(txt, "enabled when Smoking answered") {
+		t.Error("render must show enablement guards")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	tree := deriveFig2(t)
+	var buf bytes.Buffer
+	if err := EncodeXML(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	xml := buf.String()
+	for _, want := range []string{`contributor="CORI"`, `name="Smoking"`, `question`, `Unselected`} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("XML missing %q:\n%s", want, xml[:min(len(xml), 600)])
+		}
+	}
+	back, err := DecodeXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Contributor != "CORI" || back.ToolVersion != 1 || back.KeyColumn != "ProcedureID" {
+		t.Errorf("tree metadata lost: %+v", back)
+	}
+	// Structure and node details survive.
+	if d := Compare(tree, back); !d.Empty() {
+		t.Errorf("round trip diff: added=%v removed=%v changed=%v", d.Added, d.Removed, d.Changed)
+	}
+	path, err := back.Path("Frequency")
+	if err != nil || strings.Join(path, "/") != "Procedure/MedicalHistory/Smoking/Frequency" {
+		t.Errorf("decoded path = %v (%v)", path, err)
+	}
+	freq, _ := back.Node("Frequency")
+	if freq.Enablement.Control != "Smoking" || freq.DataType != relstore.KindFloat {
+		t.Errorf("decoded frequency node = %+v", freq)
+	}
+}
+
+func TestDecodeXMLErrors(t *testing.T) {
+	if _, err := DecodeXML(strings.NewReader("not xml")); err == nil {
+		t.Error("garbage must fail")
+	}
+	bad := `<gtree contributor="X" toolVersion="1" keyColumn="ID"><node name="F" kind="nope"></node></gtree>`
+	if _, err := DecodeXML(strings.NewReader(bad)); err == nil {
+		t.Error("unknown node kind must fail")
+	}
+	bad2 := `<gtree contributor="X" toolVersion="1" keyColumn="ID"><node name="F" kind="field" dataType="WAT"></node></gtree>`
+	if _, err := DecodeXML(strings.NewReader(bad2)); err == nil {
+		t.Error("unknown data type must fail")
+	}
+}
+
+func TestCompareDiff(t *testing.T) {
+	old := deriveFig2(t)
+
+	// v2 of the tool: Smoking gains an option, Frequency is removed,
+	// a new BiopsyTaken control appears.
+	f2 := figure2Form(t)
+	var keep []*ui.Control
+	for _, c := range f2.Controls[1].Children {
+		if c.Name != "Frequency" {
+			keep = append(keep, c)
+		}
+		if c.Name == "Smoking" {
+			c.Options = append(c.Options, ui.Option{Display: "Occasional", Stored: relstore.Str("Occasional")})
+		}
+	}
+	f2.Controls[1].Children = keep
+	f2.Controls = append(f2.Controls, &ui.Control{Name: "BiopsyTaken", Kind: ui.CheckBox, Question: "Biopsy taken?"})
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	newTree, err := Derive("CORI", 2, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := Compare(old, newTree)
+	if d.Empty() {
+		t.Fatal("diff must not be empty")
+	}
+	if len(d.Added) != 1 || d.Added[0] != "BiopsyTaken" {
+		t.Errorf("Added = %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "Frequency" {
+		t.Errorf("Removed = %v", d.Removed)
+	}
+	if _, ok := d.Changed["Smoking"]; !ok {
+		t.Errorf("Changed = %v, want Smoking", d.Changed)
+	}
+	if !d.NodeChanged("Smoking") || !d.NodeChanged("Frequency") {
+		t.Error("NodeChanged must flag changed and removed nodes")
+	}
+	if d.NodeChanged("Alcohol") || d.NodeChanged("BiopsyTaken") {
+		t.Error("NodeChanged must not flag unchanged/added nodes")
+	}
+	// Identical trees diff empty.
+	if d := Compare(old, old); !d.Empty() {
+		t.Errorf("self-diff must be empty: %+v", d)
+	}
+}
+
+func TestCompareDetectsDetailChanges(t *testing.T) {
+	mk := func(mut func(*ui.Control)) *Tree {
+		f := &ui.Form{Name: "F", KeyColumn: "ID", Controls: []*ui.Control{
+			{Name: "T", Kind: ui.TextBox, Question: "orig?", DataType: relstore.KindInt},
+		}}
+		mut(f.Controls[0])
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Derive("X", 1, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	base := mk(func(*ui.Control) {})
+	cases := []struct {
+		name string
+		mut  func(*ui.Control)
+	}{
+		{"question", func(c *ui.Control) { c.Question = "new?" }},
+		{"datatype", func(c *ui.Control) { c.DataType = relstore.KindFloat }},
+		{"required", func(c *ui.Control) { c.Required = true }},
+		{"default", func(c *ui.Control) { c.Default = relstore.Int(5) }},
+	}
+	for _, c := range cases {
+		d := Compare(base, mk(c.mut))
+		if _, ok := d.Changed["T"]; !ok {
+			t.Errorf("%s change not detected: %+v", c.name, d)
+		}
+	}
+}
+
+// TestContextReport: the per-node context document walks the enablement
+// chain and lists options, defaults, and wording.
+func TestContextReport(t *testing.T) {
+	tree := deriveFig2(t)
+	rep, err := tree.ContextReport("Frequency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"node Frequency (contributor CORI, tool v1)",
+		"path:     Procedure > MedicalHistory > Smoking > Frequency",
+		`question: "Packs per day"`,
+		"stores:   REAL",
+		`enabled:  only when "Does the patient smoke?" is answered`,
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// A node with options, free text, and no enablement.
+	rep, err = tree.ContextReport("Alcohol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`option:   "Light" -> 'Light'`, "free text allowed"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("alcohol report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "enabled:") {
+		t.Error("always-enabled node must not report enablement")
+	}
+	if _, err := tree.ContextReport("Ghost"); err == nil {
+		t.Error("missing node must fail")
+	}
+	// WhenEquals chains name the enabling option's display text.
+	f := &ui.Form{Name: "F", KeyColumn: "ID", Controls: []*ui.Control{
+		{Name: "Smoking", Kind: ui.RadioList, Question: "Does the patient smoke?",
+			Options: []ui.Option{{Display: "Yes", Stored: relstore.Str("Y")}, {Display: "No", Stored: relstore.Str("N")}}},
+		{Name: "Packs", Kind: ui.TextBox, Question: "Packs?", DataType: relstore.KindFloat,
+			Enabled: ui.Enablement{Cond: ui.WhenEquals, Control: "Smoking", Value: relstore.Str("Y")}},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Derive("X", 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = tr.ContextReport("Packs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, `only when "Does the patient smoke?" is answered "Yes"`) {
+		t.Errorf("equals-chain report:\n%s", rep)
+	}
+}
+
+func TestDeriveTool(t *testing.T) {
+	tool := &ui.Tool{Name: "CORI", Version: 3, Forms: []*ui.Form{figure2Form(t)}}
+	trees, err := DeriveTool("CORI", tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := trees["Procedure"]
+	if !ok || tr.ToolVersion != 3 {
+		t.Fatalf("trees = %v", trees)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

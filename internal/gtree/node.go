@@ -1,0 +1,298 @@
+// Package gtree implements GUAVA trees: the per-contributor view structure
+// derived from a reporting tool's user interface. "There is a node in the
+// g-tree for every control on the screen, even those that do not normally
+// store data, such as group boxes" (Figure 2). Each node captures context
+// information about its control — exact question wording, answer options,
+// default value, required flag, enablement guard (Figure 3) — so analysts
+// can see data in its original context rather than "the potentially obscure
+// environment of a database".
+package gtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"guava/internal/relstore"
+)
+
+// NodeKind enumerates what a g-tree node stands for.
+type NodeKind uint8
+
+// Node kinds. FormNode is the root (entity classifiers must reference "at
+// least one node in the g-tree that represents a form"); GroupNode mirrors a
+// group box; FieldNode stores data.
+const (
+	FormNode NodeKind = iota
+	GroupNode
+	FieldNode
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case FormNode:
+		return "form"
+	case GroupNode:
+		return "group"
+	case FieldNode:
+		return "field"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// OptionInfo records one selectable answer of a control, as context: the
+// display wording the clinician saw and the value the tool stored.
+type OptionInfo struct {
+	Display string
+	Stored  relstore.Value
+}
+
+// EnablementInfo records the guard under which a control becomes enabled.
+type EnablementInfo struct {
+	// Kind is "always", "answered", or "equals".
+	Kind string
+	// Control names the controlling node ("" when always enabled).
+	Control string
+	// Value is the stored value the controlling control must equal (for
+	// Kind "equals").
+	Value relstore.Value
+}
+
+// Node is one g-tree node.
+type Node struct {
+	// Name identifies the node; for field nodes it is also the column name
+	// in the contributor's naive schema.
+	Name string
+	// Kind distinguishes form, group, and field nodes.
+	Kind NodeKind
+	// ControlType is the originating control kind ("RadioList", "TextBox",
+	// …) for provenance; empty for form nodes.
+	ControlType string
+	// Question is the exact wording of the control's question.
+	Question string
+	// Options are the answer choices with their stored values. Radio lists
+	// that start unselected carry an extra synthetic "Unselected" option
+	// whose stored value is NULL (Figure 3b).
+	Options []OptionInfo
+	// AllowFreeText marks drop-downs that also accept typed text (Fig 3a).
+	AllowFreeText bool
+	// Default is the control's initial value (NULL when none).
+	Default relstore.Value
+	// Required reports whether the control must be filled in.
+	Required bool
+	// DataType is the stored kind of the node's answers (KindNull for
+	// structural nodes).
+	DataType relstore.Kind
+	// Enablement is the guard on the control (Figure 3c).
+	Enablement EnablementInfo
+	// Children are the nodes nested beneath this one. Containment children
+	// come from group boxes; dependency children are controls whose
+	// enablement references this node ("the frequency node appears as a
+	// child of the smoking node").
+	Children []*Node
+}
+
+// StoresData reports whether the node stores a value.
+func (n *Node) StoresData() bool { return n.Kind == FieldNode }
+
+// Walk visits the node and all descendants depth-first, pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Tree is a complete g-tree for one form of one contributor's tool.
+type Tree struct {
+	// Contributor names the data source the tree belongs to.
+	Contributor string
+	// ToolVersion is the reporting-tool release the tree was derived from.
+	ToolVersion int
+	// KeyColumn names the form's instance key in the naive schema.
+	KeyColumn string
+	// Root is the form node.
+	Root *Node
+
+	byName map[string]*Node
+}
+
+// index builds the name→node map lazily.
+func (t *Tree) index() map[string]*Node {
+	if t.byName == nil {
+		t.byName = make(map[string]*Node)
+		t.Root.Walk(func(n *Node) { t.byName[n.Name] = n })
+	}
+	return t.byName
+}
+
+// Node returns the named node.
+func (t *Tree) Node(name string) (*Node, error) {
+	n, ok := t.index()[name]
+	if !ok {
+		return nil, fmt.Errorf("gtree: no node %q in g-tree %s/%s", name, t.Contributor, t.Root.Name)
+	}
+	return n, nil
+}
+
+// Has reports whether the tree contains a node with the name.
+func (t *Tree) Has(name string) bool {
+	_, ok := t.index()[name]
+	return ok
+}
+
+// FormName returns the root form's name.
+func (t *Tree) FormName() string { return t.Root.Name }
+
+// FieldNames returns the names of data-storing nodes, sorted.
+func (t *Tree) FieldNames() []string {
+	var out []string
+	t.Root.Walk(func(n *Node) {
+		if n.StoresData() {
+			out = append(out, n.Name)
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+// Path returns the root-to-node name path for the named node.
+func (t *Tree) Path(name string) ([]string, error) {
+	var path []string
+	var find func(n *Node, trail []string) bool
+	find = func(n *Node, trail []string) bool {
+		trail = append(trail, n.Name)
+		if n.Name == name {
+			path = append(path, trail...)
+			return true
+		}
+		for _, c := range n.Children {
+			if find(c, trail) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find(t.Root, nil) {
+		return nil, fmt.Errorf("gtree: no node %q", name)
+	}
+	return path, nil
+}
+
+// ContextReport renders everything an analyst can know about one node: the
+// full containment/dependency path, the exact question wording, answer
+// options with stored values, defaults, required flag, and the enablement
+// chain back to the root — the "detailed accounts of the user interface that
+// was used to generate the data" the paper's abstract promises.
+func (t *Tree) ContextReport(name string) (string, error) {
+	n, err := t.Node(name)
+	if err != nil {
+		return "", err
+	}
+	path, err := t.Path(name)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "node %s (contributor %s, tool v%d)\n", name, t.Contributor, t.ToolVersion)
+	fmt.Fprintf(&sb, "  path:     %s\n", strings.Join(path, " > "))
+	fmt.Fprintf(&sb, "  control:  %s (%s)\n", n.ControlType, n.Kind)
+	if n.Question != "" {
+		fmt.Fprintf(&sb, "  question: %q\n", n.Question)
+	}
+	if n.DataType != relstore.KindNull {
+		fmt.Fprintf(&sb, "  stores:   %s\n", n.DataType)
+	}
+	for _, o := range n.Options {
+		stored := o.Stored.String()
+		if o.Stored.IsNull() {
+			stored = "no value stored"
+		}
+		fmt.Fprintf(&sb, "  option:   %q -> %s\n", o.Display, stored)
+	}
+	if n.AllowFreeText {
+		fmt.Fprintf(&sb, "  option:   free text allowed\n")
+	}
+	if !n.Default.IsNull() {
+		fmt.Fprintf(&sb, "  default:  %s\n", n.Default)
+	}
+	if n.Required {
+		fmt.Fprintf(&sb, "  required: yes\n")
+	}
+	// Walk the enablement chain: what must be answered, in order, for this
+	// control to accept data at all.
+	cur := n
+	for cur.Enablement.Kind == "answered" || cur.Enablement.Kind == "equals" {
+		parent, err := t.Node(cur.Enablement.Control)
+		if err != nil {
+			break
+		}
+		if cur.Enablement.Kind == "equals" {
+			opt := cur.Enablement.Value.String()
+			if o, ok := optionFor(parent, cur.Enablement.Value); ok {
+				opt = fmt.Sprintf("%q", o.Display)
+			}
+			fmt.Fprintf(&sb, "  enabled:  only when %q is answered %s\n", parent.Question, opt)
+		} else {
+			fmt.Fprintf(&sb, "  enabled:  only when %q is answered\n", parent.Question)
+		}
+		cur = parent
+	}
+	return sb.String(), nil
+}
+
+// optionFor finds the option of a node whose stored value equals v.
+func optionFor(n *Node, v relstore.Value) (OptionInfo, bool) {
+	for _, o := range n.Options {
+		if o.Stored.Equal(v) {
+			return o, true
+		}
+	}
+	return OptionInfo{}, false
+}
+
+// Render draws the tree as indented text, the way cmd/guavadump presents it
+// to analysts.
+func (t *Tree) Render() string {
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Name)
+		meta := []string{n.Kind.String()}
+		if n.ControlType != "" {
+			meta = append(meta, n.ControlType)
+		}
+		if n.Question != "" {
+			meta = append(meta, fmt.Sprintf("%q", n.Question))
+		}
+		if len(n.Options) > 0 {
+			opts := make([]string, len(n.Options))
+			for i, o := range n.Options {
+				opts[i] = o.Display
+			}
+			meta = append(meta, "options: "+strings.Join(opts, "|"))
+		}
+		if n.Required {
+			meta = append(meta, "required")
+		}
+		if !n.Default.IsNull() {
+			meta = append(meta, "default "+n.Default.String())
+		}
+		if n.Enablement.Kind != "" && n.Enablement.Kind != "always" {
+			if n.Enablement.Kind == "equals" {
+				meta = append(meta, fmt.Sprintf("enabled when %s = %s", n.Enablement.Control, n.Enablement.Value))
+			} else {
+				meta = append(meta, fmt.Sprintf("enabled when %s answered", n.Enablement.Control))
+			}
+		}
+		sb.WriteString("  [" + strings.Join(meta, "; ") + "]\n")
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return sb.String()
+}

@@ -1,0 +1,225 @@
+package gtree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"guava/internal/relstore"
+)
+
+// The paper stores g-trees as XML, "which mimics the hierarchical nature of
+// the form interface and allows queries to return XML documents in a
+// standard format". This file provides the XML encoding and decoding.
+
+type xmlValue struct {
+	Kind string `xml:"kind,attr"`
+	Text string `xml:",chardata"`
+}
+
+func toXMLValue(v relstore.Value) *xmlValue {
+	if v.IsNull() {
+		return nil
+	}
+	var kind string
+	switch v.Kind() {
+	case relstore.KindInt:
+		kind = "int"
+	case relstore.KindFloat:
+		kind = "float"
+	case relstore.KindString:
+		kind = "string"
+	case relstore.KindBool:
+		kind = "bool"
+	}
+	return &xmlValue{Kind: kind, Text: v.Display()}
+}
+
+func fromXMLValue(x *xmlValue) (relstore.Value, error) {
+	if x == nil {
+		return relstore.Null(), nil
+	}
+	var k relstore.Kind
+	switch x.Kind {
+	case "int":
+		k = relstore.KindInt
+	case "float":
+		k = relstore.KindFloat
+	case "string":
+		k = relstore.KindString
+	case "bool":
+		k = relstore.KindBool
+	case "":
+		return relstore.Null(), nil
+	default:
+		return relstore.Null(), fmt.Errorf("gtree: unknown value kind %q", x.Kind)
+	}
+	return relstore.Coerce(relstore.Str(x.Text), k)
+}
+
+type xmlOption struct {
+	Display    string    `xml:"display,attr"`
+	Stored     *xmlValue `xml:"stored,omitempty"`
+	Unselected bool      `xml:"unselected,attr,omitempty"`
+}
+
+type xmlEnablement struct {
+	Kind    string    `xml:"kind,attr"`
+	Control string    `xml:"control,attr,omitempty"`
+	Value   *xmlValue `xml:"value,omitempty"`
+}
+
+type xmlNode struct {
+	Name          string         `xml:"name,attr"`
+	Kind          string         `xml:"kind,attr"`
+	ControlType   string         `xml:"controlType,attr,omitempty"`
+	Question      string         `xml:"question,omitempty"`
+	AllowFreeText bool           `xml:"allowFreeText,attr,omitempty"`
+	Required      bool           `xml:"required,attr,omitempty"`
+	DataType      string         `xml:"dataType,attr,omitempty"`
+	Default       *xmlValue      `xml:"default,omitempty"`
+	Options       []xmlOption    `xml:"option"`
+	Enablement    *xmlEnablement `xml:"enablement,omitempty"`
+	Children      []xmlNode      `xml:"node"`
+}
+
+type xmlTree struct {
+	XMLName     xml.Name `xml:"gtree"`
+	Contributor string   `xml:"contributor,attr"`
+	ToolVersion int      `xml:"toolVersion,attr"`
+	KeyColumn   string   `xml:"keyColumn,attr"`
+	Root        xmlNode  `xml:"node"`
+}
+
+func nodeToXML(n *Node) xmlNode {
+	x := xmlNode{
+		Name:          n.Name,
+		Kind:          n.Kind.String(),
+		ControlType:   n.ControlType,
+		Question:      n.Question,
+		AllowFreeText: n.AllowFreeText,
+		Required:      n.Required,
+		Default:       toXMLValue(n.Default),
+	}
+	if n.DataType != relstore.KindNull {
+		x.DataType = n.DataType.String()
+	}
+	for _, o := range n.Options {
+		xo := xmlOption{Display: o.Display, Stored: toXMLValue(o.Stored)}
+		if o.Stored.IsNull() {
+			xo.Unselected = true
+		}
+		x.Options = append(x.Options, xo)
+	}
+	if n.Enablement.Kind != "" && n.Enablement.Kind != "always" {
+		x.Enablement = &xmlEnablement{
+			Kind:    n.Enablement.Kind,
+			Control: n.Enablement.Control,
+			Value:   toXMLValue(n.Enablement.Value),
+		}
+	}
+	for _, c := range n.Children {
+		x.Children = append(x.Children, nodeToXML(c))
+	}
+	return x
+}
+
+func nodeFromXML(x xmlNode) (*Node, error) {
+	n := &Node{
+		Name:          x.Name,
+		ControlType:   x.ControlType,
+		Question:      x.Question,
+		AllowFreeText: x.AllowFreeText,
+		Required:      x.Required,
+	}
+	switch x.Kind {
+	case "form":
+		n.Kind = FormNode
+	case "group":
+		n.Kind = GroupNode
+	case "field":
+		n.Kind = FieldNode
+	default:
+		return nil, fmt.Errorf("gtree: unknown node kind %q", x.Kind)
+	}
+	switch x.DataType {
+	case "":
+		n.DataType = relstore.KindNull
+	case "INTEGER":
+		n.DataType = relstore.KindInt
+	case "REAL":
+		n.DataType = relstore.KindFloat
+	case "TEXT":
+		n.DataType = relstore.KindString
+	case "BOOLEAN":
+		n.DataType = relstore.KindBool
+	default:
+		return nil, fmt.Errorf("gtree: unknown data type %q", x.DataType)
+	}
+	var err error
+	if n.Default, err = fromXMLValue(x.Default); err != nil {
+		return nil, err
+	}
+	for _, xo := range x.Options {
+		stored := relstore.Null()
+		if !xo.Unselected {
+			if stored, err = fromXMLValue(xo.Stored); err != nil {
+				return nil, err
+			}
+		}
+		n.Options = append(n.Options, OptionInfo{Display: xo.Display, Stored: stored})
+	}
+	n.Enablement = EnablementInfo{Kind: "always"}
+	if x.Enablement != nil {
+		v, err := fromXMLValue(x.Enablement.Value)
+		if err != nil {
+			return nil, err
+		}
+		n.Enablement = EnablementInfo{Kind: x.Enablement.Kind, Control: x.Enablement.Control, Value: v}
+	}
+	if n.Kind != FieldNode {
+		n.Enablement = EnablementInfo{}
+	}
+	for _, xc := range x.Children {
+		c, err := nodeFromXML(xc)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}
+
+// EncodeXML writes the tree as indented XML.
+func EncodeXML(w io.Writer, t *Tree) error {
+	x := xmlTree{
+		Contributor: t.Contributor,
+		ToolVersion: t.ToolVersion,
+		KeyColumn:   t.KeyColumn,
+		Root:        nodeToXML(t.Root),
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return fmt.Errorf("gtree: encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeXML reads a tree from XML produced by EncodeXML.
+func DecodeXML(r io.Reader) (*Tree, error) {
+	var x xmlTree
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("gtree: decode: %w", err)
+	}
+	root, err := nodeFromXML(x.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		Contributor: x.Contributor,
+		ToolVersion: x.ToolVersion,
+		KeyColumn:   x.KeyColumn,
+		Root:        root,
+	}, nil
+}

@@ -1,0 +1,307 @@
+// Package materialize implements the study-schema materialization options of
+// Section 4.2: "The naïve approach is to materialize the output of
+// individual classifiers into relational tables … If the classifiers/domains
+// ratio is high, then a comprehensive materialized study schema may be too
+// large to manage. Alternatives include materializing only often-used
+// classifiers or determining relationships between classifiers" (deriving B
+// from A when they share an algebraic relationship).
+package materialize
+
+import (
+	"fmt"
+	"sort"
+
+	"guava/internal/classifier"
+	"guava/internal/relstore"
+	"guava/internal/study"
+)
+
+// Catalog is the input to a strategy: the selected naive relation of one
+// contributor plus the bound classifiers, keyed by output column name.
+type Catalog struct {
+	Base  *relstore.Rows
+	Binds map[string]*classifier.Bound
+	// AttributeOf maps column names to their study-schema attribute, so the
+	// algebraic strategy knows which classifiers are alternative
+	// representations of the same thing.
+	AttributeOf map[string]string
+}
+
+// Columns returns the catalog's column names, sorted.
+func (c *Catalog) Columns() []string {
+	out := make([]string, 0, len(c.Binds))
+	for n := range c.Binds {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compute evaluates one classifier column from the base relation.
+func (c *Catalog) compute(col string) ([]relstore.Value, error) {
+	b, ok := c.Binds[col]
+	if !ok {
+		return nil, fmt.Errorf("materialize: no classifier for column %q", col)
+	}
+	return b.ClassifyColumn(c.Base)
+}
+
+// Strategy is one materialization policy. Prepare builds whatever storage
+// the policy keeps; Column serves one classifier's output; StoredCells
+// reports the policy's storage footprint (classified cells retained).
+type Strategy interface {
+	Name() string
+	Prepare(c *Catalog) error
+	Column(name string) ([]relstore.Value, error)
+	StoredCells() int
+}
+
+// Full materializes every classifier column up front — Figure 7's
+// fully-materialized study schema, "one table per entity classifier per
+// entity, with columns representing classifier output".
+type Full struct {
+	cat  *Catalog
+	cols map[string][]relstore.Value
+}
+
+// Name implements Strategy.
+func (*Full) Name() string { return "full" }
+
+// Prepare implements Strategy.
+func (f *Full) Prepare(c *Catalog) error {
+	f.cat = c
+	f.cols = make(map[string][]relstore.Value, len(c.Binds))
+	for _, name := range c.Columns() {
+		vals, err := c.compute(name)
+		if err != nil {
+			return err
+		}
+		f.cols[name] = vals
+	}
+	return nil
+}
+
+// Column implements Strategy.
+func (f *Full) Column(name string) ([]relstore.Value, error) {
+	vals, ok := f.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("materialize: full: unknown column %q", name)
+	}
+	return vals, nil
+}
+
+// StoredCells implements Strategy.
+func (f *Full) StoredCells() int {
+	n := 0
+	for _, v := range f.cols {
+		n += len(v)
+	}
+	return n
+}
+
+// Table renders the fully-materialized study table (Figure 7): the base
+// key-columns plus one column per classifier.
+func (f *Full) Table(keyCols ...string) (*relstore.Rows, error) {
+	if f.cat == nil {
+		return nil, fmt.Errorf("materialize: full: not prepared")
+	}
+	out, err := relstore.Project(f.cat.Base, keyCols...)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]relstore.Column, 0, len(f.cols)+len(keyCols))
+	cols = append(cols, out.Schema.Columns...)
+	names := f.cat.Columns()
+	for _, n := range names {
+		cols = append(cols, relstore.Column{Name: n, Type: relstore.KindString})
+	}
+	schema, err := relstore.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]relstore.Row, len(out.Data))
+	for i, r := range out.Data {
+		nr := make(relstore.Row, 0, schema.Arity())
+		nr = append(nr, r...)
+		for _, n := range names {
+			v := f.cols[n][i]
+			if !v.IsNull() {
+				v = relstore.Str(v.Display())
+			}
+			nr = append(nr, v)
+		}
+		data[i] = nr
+	}
+	return &relstore.Rows{Schema: schema, Data: data}, nil
+}
+
+// OnDemand stores nothing and re-evaluates classifiers on every access.
+type OnDemand struct {
+	cat *Catalog
+}
+
+// Name implements Strategy.
+func (*OnDemand) Name() string { return "on-demand" }
+
+// Prepare implements Strategy.
+func (o *OnDemand) Prepare(c *Catalog) error {
+	o.cat = c
+	return nil
+}
+
+// Column implements Strategy.
+func (o *OnDemand) Column(name string) ([]relstore.Value, error) {
+	return o.cat.compute(name)
+}
+
+// StoredCells implements Strategy.
+func (*OnDemand) StoredCells() int { return 0 }
+
+// Hot materializes only the named often-used classifiers; the rest compute
+// on demand.
+type Hot struct {
+	// HotColumns are the columns to precompute.
+	HotColumns []string
+
+	cat  *Catalog
+	cols map[string][]relstore.Value
+}
+
+// Name implements Strategy.
+func (*Hot) Name() string { return "hot-only" }
+
+// Prepare implements Strategy.
+func (h *Hot) Prepare(c *Catalog) error {
+	h.cat = c
+	h.cols = make(map[string][]relstore.Value, len(h.HotColumns))
+	for _, name := range h.HotColumns {
+		vals, err := c.compute(name)
+		if err != nil {
+			return err
+		}
+		h.cols[name] = vals
+	}
+	return nil
+}
+
+// Column implements Strategy.
+func (h *Hot) Column(name string) ([]relstore.Value, error) {
+	if vals, ok := h.cols[name]; ok {
+		return vals, nil
+	}
+	return h.cat.compute(name)
+}
+
+// StoredCells implements Strategy.
+func (h *Hot) StoredCells() int {
+	n := 0
+	for _, v := range h.cols {
+		n += len(v)
+	}
+	return n
+}
+
+// Algebraic materializes one pivot classifier per study-schema attribute and
+// serves sibling classifiers through a derived value mapping when one exists
+// (study.DeriveMapping); only underivable siblings fall back to
+// re-evaluation. This is Section 4.2's "determining relationships between
+// classifiers: if classifier A and classifier B share a simple algebraic
+// relationship, then we can materialize A's output and compute B as needed."
+type Algebraic struct {
+	cat    *Catalog
+	pivots map[string]string           // attribute -> pivot column
+	cols   map[string][]relstore.Value // materialized pivots
+	derive map[string]study.Derivation // derivable column -> mapping from pivot
+	// Derived and Fallback expose which columns resolved which way, for
+	// tests and the experiment harness.
+	Derived  []string
+	Fallback []string
+}
+
+// Name implements Strategy.
+func (*Algebraic) Name() string { return "algebraic" }
+
+// Prepare implements Strategy.
+func (a *Algebraic) Prepare(c *Catalog) error {
+	a.cat = c
+	a.pivots = map[string]string{}
+	a.cols = map[string][]relstore.Value{}
+	a.derive = map[string]study.Derivation{}
+	a.Derived, a.Fallback = nil, nil
+	for _, name := range c.Columns() {
+		attr := c.AttributeOf[name]
+		if attr == "" {
+			attr = name
+		}
+		if _, ok := a.pivots[attr]; ok {
+			continue
+		}
+		// First column of each attribute (sorted order) is the pivot.
+		a.pivots[attr] = name
+		vals, err := c.compute(name)
+		if err != nil {
+			return err
+		}
+		a.cols[name] = vals
+	}
+	for _, name := range c.Columns() {
+		attr := c.AttributeOf[name]
+		if attr == "" {
+			attr = name
+		}
+		pivot := a.pivots[attr]
+		if pivot == name {
+			continue
+		}
+		target, err := c.compute(name)
+		if err != nil {
+			return err
+		}
+		if m, _, ok := study.DeriveMapping(a.cols[pivot], target); ok {
+			a.derive[name] = m
+			a.Derived = append(a.Derived, name)
+		} else {
+			a.Fallback = append(a.Fallback, name)
+		}
+	}
+	sort.Strings(a.Derived)
+	sort.Strings(a.Fallback)
+	return nil
+}
+
+// Column implements Strategy.
+func (a *Algebraic) Column(name string) ([]relstore.Value, error) {
+	if vals, ok := a.cols[name]; ok {
+		return vals, nil
+	}
+	if m, ok := a.derive[name]; ok {
+		attr := a.cat.AttributeOf[name]
+		if attr == "" {
+			attr = name
+		}
+		pivotVals := a.cols[a.pivots[attr]]
+		out := make([]relstore.Value, len(pivotVals))
+		for i, pv := range pivotVals {
+			v, ok := m.Apply(pv)
+			if !ok {
+				// Pivot value unseen at Prepare time; recompute honestly.
+				return a.cat.compute(name)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	return a.cat.compute(name)
+}
+
+// StoredCells implements Strategy.
+func (a *Algebraic) StoredCells() int {
+	n := 0
+	for _, v := range a.cols {
+		n += len(v)
+	}
+	for range a.derive {
+		n++ // mapping entries are negligible but non-zero; count one per map
+	}
+	return n
+}

@@ -1,0 +1,284 @@
+package materialize
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/classifier"
+	"guava/internal/relstore"
+	"guava/internal/workload"
+)
+
+// catalogFixture builds a catalog over the CORI contributor with several
+// classifiers per attribute — including pairs that are and are not
+// algebraically related.
+func catalogFixture(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := workload.BuildCORI(3, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Stack.Read(c.DB, c.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	habits := classifier.Target{Entity: "Procedure", Attribute: "Smoking", Domain: "D3",
+		Kind: relstore.KindString, Elements: []string{"None", "Light", "Moderate", "Heavy"}}
+	status := classifier.Target{Entity: "Procedure", Attribute: "Smoking", Domain: "D2",
+		Kind: relstore.KindString, Elements: []string{"None", "Current", "Previous"}}
+	everTarget := classifier.Target{Entity: "Procedure", Attribute: "Smoking", Domain: "DEver",
+		Kind: relstore.KindString, Elements: []string{"Ever", "Never"}}
+	alc := classifier.Target{Entity: "Procedure", Attribute: "Alcohol", Domain: "D1",
+		Kind: relstore.KindString, Elements: []string{"Any", "None"}}
+
+	parse := func(name string, tgt classifier.Target, src string) *classifier.Bound {
+		cl, err := classifier.Parse(name, "", tgt, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cl.Bind(c.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	binds := map[string]*classifier.Bound{
+		// Smoking_status is derivable from nothing else; it is the pivot
+		// (alphabetically first among Smoking_* columns is Smoking_ever).
+		"Smoking_ever": parse("ever", everTarget, `
+Never <- Smoking = 'Never'
+Ever  <- Smoking = 'Current' OR Smoking = 'Quit'
+`),
+		// Derivable from Smoking_ever? No — status splits Ever into two.
+		"Smoking_status": parse("status", status, `
+None     <- Smoking = 'Never'
+Current  <- Smoking = 'Current'
+Previous <- Smoking = 'Quit'
+`),
+		// Habits from packs; not derivable from the categorical pivots.
+		"Smoking_habits": parse("habits", habits, `
+None     <- Smoking = 'Never' OR Smoking = 'Quit'
+Light    <- 0 < PacksPerDay < 2
+Moderate <- 2 <= PacksPerDay < 5
+Heavy    <- PacksPerDay >= 5
+`),
+		"Alcohol_any": parse("alcohol any", alc, `
+None <- Alcohol = 'None'
+Any  <- Alcohol <> 'None'
+`),
+	}
+	return &Catalog{
+		Base:  rows,
+		Binds: binds,
+		AttributeOf: map[string]string{
+			"Smoking_ever": "Smoking", "Smoking_status": "Smoking", "Smoking_habits": "Smoking",
+			"Alcohol_any": "Alcohol",
+		},
+	}
+}
+
+// strategies under test; Hot pins the two hottest columns.
+func allStrategies() []Strategy {
+	return []Strategy{
+		&Full{},
+		&OnDemand{},
+		&Hot{HotColumns: []string{"Smoking_status", "Alcohol_any"}},
+		&Algebraic{},
+	}
+}
+
+// TestStrategiesAgree: every strategy serves identical column values.
+func TestStrategiesAgree(t *testing.T) {
+	cat := catalogFixture(t)
+	reference := map[string][]relstore.Value{}
+	for _, col := range cat.Columns() {
+		vals, err := cat.compute(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference[col] = vals
+	}
+	for _, s := range allStrategies() {
+		if err := s.Prepare(cat); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for col, want := range reference {
+			got, err := s.Column(col)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Name(), col, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d values, want %d", s.Name(), col, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Errorf("%s/%s row %d: %v != %v", s.Name(), col, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStorageFootprints(t *testing.T) {
+	cat := catalogFixture(t)
+	n := cat.Base.Len()
+	full := &Full{}
+	od := &OnDemand{}
+	hot := &Hot{HotColumns: []string{"Smoking_status"}}
+	alg := &Algebraic{}
+	for _, s := range []Strategy{full, od, hot, alg} {
+		if err := s.Prepare(cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if full.StoredCells() != 4*n {
+		t.Errorf("full cells = %d, want %d", full.StoredCells(), 4*n)
+	}
+	if od.StoredCells() != 0 {
+		t.Errorf("on-demand cells = %d, want 0", od.StoredCells())
+	}
+	if hot.StoredCells() != n {
+		t.Errorf("hot cells = %d, want %d", hot.StoredCells(), n)
+	}
+	// Algebraic stores one pivot per attribute (2 attributes) plus mapping
+	// bookkeeping; strictly less than full.
+	if alg.StoredCells() >= full.StoredCells() {
+		t.Errorf("algebraic cells = %d, must be < full %d", alg.StoredCells(), full.StoredCells())
+	}
+}
+
+func TestAlgebraicDerivability(t *testing.T) {
+	cat := catalogFixture(t)
+	alg := &Algebraic{}
+	if err := alg.Prepare(cat); err != nil {
+		t.Fatal(err)
+	}
+	// Pivots: Alcohol_any (alone), Smoking_ever (alphabetically first).
+	// Smoking_status refines Smoking_ever -> NOT derivable from it.
+	// Smoking_habits cuts across -> not derivable either.
+	joined := strings.Join(alg.Fallback, ",")
+	if !strings.Contains(joined, "Smoking_status") || !strings.Contains(joined, "Smoking_habits") {
+		t.Errorf("fallback = %v (derived = %v)", alg.Fallback, alg.Derived)
+	}
+}
+
+func TestAlgebraicDerivesWhenPossible(t *testing.T) {
+	// Build a catalog where one column IS derivable from the pivot: a
+	// coarsening of the same classification.
+	c, err := workload.BuildCORI(9, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Stack.Read(c.DB, c.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := classifier.Target{Entity: "P", Attribute: "Smoking", Domain: "fine",
+		Kind: relstore.KindString, Elements: []string{"None", "Current", "Previous"}}
+	coarse := classifier.Target{Entity: "P", Attribute: "Smoking", Domain: "coarse",
+		Kind: relstore.KindString, Elements: []string{"Ever", "Never"}}
+	parse := func(name string, tgt classifier.Target, src string) *classifier.Bound {
+		cl, err := classifier.Parse(name, "", tgt, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cl.Bind(c.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cat := &Catalog{
+		Base: rows,
+		Binds: map[string]*classifier.Bound{
+			// "A_fine" sorts first -> pivot.
+			"A_fine": parse("fine", fine, `
+None     <- Smoking = 'Never'
+Current  <- Smoking = 'Current'
+Previous <- Smoking = 'Quit'
+`),
+			"B_coarse": parse("coarse", coarse, `
+Never <- Smoking = 'Never'
+Ever  <- Smoking = 'Current' OR Smoking = 'Quit'
+`),
+		},
+		AttributeOf: map[string]string{"A_fine": "Smoking", "B_coarse": "Smoking"},
+	}
+	alg := &Algebraic{}
+	if err := alg.Prepare(cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(alg.Derived) != 1 || alg.Derived[0] != "B_coarse" {
+		t.Fatalf("derived = %v, fallback = %v", alg.Derived, alg.Fallback)
+	}
+	// Derived column equals direct computation.
+	got, err := alg.Column("B_coarse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cat.compute("B_coarse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("row %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFigure7Materialize renders the fully-materialized study table of
+// Figure 7: key columns plus one column per classifier.
+func TestFigure7Materialize(t *testing.T) {
+	cat := catalogFixture(t)
+	full := &Full{}
+	if err := full.Prepare(cat); err != nil {
+		t.Fatal(err)
+	}
+	table, err := full.Table("ProcedureID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "ProcedureID, Alcohol_any, Smoking_ever, Smoking_habits, Smoking_status"
+	if table.Schema.NameList() != want {
+		t.Errorf("schema = %s\nwant %s", table.Schema.NameList(), want)
+	}
+	if table.Len() != cat.Base.Len() {
+		t.Errorf("rows = %d, want %d", table.Len(), cat.Base.Len())
+	}
+	// Values in the table match the classifier outputs.
+	ever, _ := full.Column("Smoking_ever")
+	ei := table.Schema.Index("Smoking_ever")
+	for i, r := range table.Data {
+		if ever[i].IsNull() {
+			if !r[ei].IsNull() {
+				t.Fatalf("row %d: %v, want NULL", i, r[ei])
+			}
+			continue
+		}
+		if !r[ei].Equal(relstore.Str(ever[i].Display())) {
+			t.Fatalf("row %d: %v != %v", i, r[ei], ever[i])
+		}
+	}
+}
+
+func TestStrategyErrors(t *testing.T) {
+	cat := catalogFixture(t)
+	full := &Full{}
+	if _, err := full.Table("ProcedureID"); err == nil {
+		t.Error("unprepared Table must fail")
+	}
+	if err := full.Prepare(cat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Column("Ghost"); err == nil {
+		t.Error("unknown column must fail")
+	}
+	od := &OnDemand{}
+	if err := od.Prepare(cat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := od.Column("Ghost"); err == nil {
+		t.Error("unknown column must fail")
+	}
+}

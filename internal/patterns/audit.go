@@ -1,0 +1,68 @@
+package patterns
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// Audit is the Table 1 pattern where "no rows are ever deleted or updated;
+// rows can be deprecated by setting the value in a column. The reporting
+// tool only displays current data." Reading pulls only data where the
+// deprecation column equals the sentinel 0.
+type Audit struct {
+	// Column names the deprecation column (default "_deleted").
+	Column string
+}
+
+func (a *Audit) column() string {
+	if a.Column == "" {
+		return "_deleted"
+	}
+	return a.Column
+}
+
+// Name implements Transform.
+func (a *Audit) Name() string { return "Audit" }
+
+// Describe implements Transform.
+func (a *Audit) Describe() string {
+	return "No rows are ever deleted; rows are deprecated by setting a column. Pull only data where the column is 0."
+}
+
+// Adapt implements Transform: inner layers see an extra deprecation column.
+func (a *Audit) Adapt(form FormInfo) (FormInfo, error) {
+	if form.Schema.Has(a.column()) {
+		return FormInfo{}, fmt.Errorf("audit column %q collides with a form column", a.column())
+	}
+	s, err := form.Schema.Append(relstore.Column{Name: a.column(), Type: relstore.KindInt, NotNull: true})
+	if err != nil {
+		return FormInfo{}, err
+	}
+	return FormInfo{Name: form.Name, KeyColumn: form.KeyColumn, Schema: s}, nil
+}
+
+// Install implements Transform (no side tables).
+func (a *Audit) Install(*relstore.DB, FormInfo, FormInfo) error { return nil }
+
+// Encode implements Transform: new rows are live (0).
+func (a *Audit) Encode(_ *relstore.DB, _, _ FormInfo, row relstore.Row) (relstore.Row, error) {
+	out := make(relstore.Row, 0, len(row)+1)
+	out = append(out, row...)
+	out = append(out, relstore.Int(0))
+	return out, nil
+}
+
+// Decode implements Transform: keep live rows, drop the deprecation column.
+func (a *Audit) Decode(_ *relstore.DB, outer, _ FormInfo, rows *relstore.Rows) (*relstore.Rows, error) {
+	live, err := relstore.Select(rows, relstore.Eq(a.column(), relstore.Int(0)))
+	if err != nil {
+		return nil, err
+	}
+	return relstore.Project(live, outer.Schema.Names()...)
+}
+
+// AdaptUpdate implements Transform: updates pass through unchanged.
+func (a *Audit) AdaptUpdate(_ *relstore.DB, _, _ FormInfo, col string, v relstore.Value) (string, relstore.Value, error) {
+	return col, v, nil
+}

@@ -1,0 +1,159 @@
+package patterns
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// Generic is the Table 1 pattern the paper calls "the most frequent type of
+// schematic heterogeneity": a generic Entity-Attribute-Value layout where
+// "each row in the database looks like Entity, Attribute, Value" and "each
+// row in a table represents an attribute, rather than each column". Reading
+// "executes an un-pivot operation, either in code or SQL if the operator
+// exists in the DBMS" — relstore provides the operator natively.
+//
+// Physical tables per form:
+//
+//	<form>_entities(<key>)                  — anchor row per form instance
+//	<form>_eav(<key>, Attribute, Value)     — one row per non-NULL answer
+type Generic struct{}
+
+// Name implements Layout.
+func (Generic) Name() string { return "Generic" }
+
+// Describe implements Layout.
+func (Generic) Describe() string {
+	return "Each row in a table represents an attribute rather than each column; reading executes an un-pivot operation."
+}
+
+func entityTable(form FormInfo) string { return form.Name + "_entities" }
+func eavTable(form FormInfo) string    { return form.Name + "_eav" }
+
+func (Generic) entitySchema(form FormInfo) *relstore.Schema {
+	return relstore.MustSchema(relstore.Column{Name: form.KeyColumn, Type: relstore.KindInt, NotNull: true})
+}
+
+func (Generic) eavSchema(form FormInfo) *relstore.Schema {
+	return relstore.MustSchema(
+		relstore.Column{Name: form.KeyColumn, Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: "Attribute", Type: relstore.KindString, NotNull: true},
+		relstore.Column{Name: "Value", Type: relstore.KindString},
+	)
+}
+
+// Install implements Layout. Both tables index the key column so entity
+// probes and per-record updates avoid scans.
+func (g Generic) Install(db *relstore.DB, form FormInfo) error {
+	et, err := db.EnsureTable(entityTable(form), g.entitySchema(form))
+	if err != nil {
+		return err
+	}
+	if err := et.CreateIndex(form.KeyColumn); err != nil {
+		return err
+	}
+	vt, err := db.EnsureTable(eavTable(form), g.eavSchema(form))
+	if err != nil {
+		return err
+	}
+	return vt.CreateIndex(form.KeyColumn)
+}
+
+// Write implements Layout.
+func (g Generic) Write(db *relstore.DB, form FormInfo, row relstore.Row) error {
+	et, err := db.Table(entityTable(form))
+	if err != nil {
+		return err
+	}
+	vt, err := db.Table(eavTable(form))
+	if err != nil {
+		return err
+	}
+	ki := form.Schema.Index(form.KeyColumn)
+	key := row[ki]
+	if err := et.Insert(relstore.Row{key}); err != nil {
+		return err
+	}
+	for i, c := range form.Schema.Columns {
+		if i == ki || row[i].IsNull() {
+			continue
+		}
+		r := relstore.Row{key, relstore.Str(c.Name), relstore.Str(row[i].Display())}
+		if err := vt.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read implements Layout: un-pivot the EAV rows and left-join onto the
+// entity anchors so all-NULL instances survive.
+func (g Generic) Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error) {
+	et, err := db.Table(entityTable(form))
+	if err != nil {
+		return nil, err
+	}
+	vt, err := db.Table(eavTable(form))
+	if err != nil {
+		return nil, err
+	}
+	var attrs []relstore.Column
+	for _, c := range form.Schema.Columns {
+		if c.Name != form.KeyColumn {
+			attrs = append(attrs, relstore.Column{Name: c.Name, Type: c.Type})
+		}
+	}
+	wide, err := relstore.Unpivot(vt.Rows(), []string{form.KeyColumn}, "Attribute", "Value", attrs)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := relstore.LeftJoin(et.Rows(), wide, form.KeyColumn, form.KeyColumn, "v")
+	if err != nil {
+		return nil, err
+	}
+	return relstore.Project(joined, form.Schema.Names()...)
+}
+
+// Update implements Layout: rewrite the EAV row for (key, col), inserting or
+// deleting it as the new value is non-NULL or NULL.
+func (g Generic) Update(db *relstore.DB, form FormInfo, key relstore.Value, col string, v relstore.Value) (int, error) {
+	if col == form.KeyColumn {
+		return 0, fmt.Errorf("patterns: generic update: cannot update key column")
+	}
+	if !form.Schema.Has(col) {
+		return 0, fmt.Errorf("patterns: generic update: no column %q", col)
+	}
+	et, err := db.Table(entityTable(form))
+	if err != nil {
+		return 0, err
+	}
+	exists, err := et.Lookup(form.KeyColumn, key)
+	if err != nil {
+		return 0, err
+	}
+	if len(exists) == 0 {
+		return 0, nil
+	}
+	vt, err := db.Table(eavTable(form))
+	if err != nil {
+		return 0, err
+	}
+	pred := relstore.And(
+		relstore.Eq(form.KeyColumn, key),
+		relstore.Eq("Attribute", relstore.Str(col)),
+	)
+	if _, err := vt.Delete(pred); err != nil {
+		return 0, err
+	}
+	if !v.IsNull() {
+		if err := vt.Insert(relstore.Row{key, relstore.Str(col), relstore.Str(v.Display())}); err != nil {
+			return 0, err
+		}
+	}
+	return len(exists), nil
+}
+
+// PhysicalTables implements Layout.
+func (Generic) PhysicalTables(form FormInfo) []string {
+	return []string{entityTable(form), eavTable(form)}
+}

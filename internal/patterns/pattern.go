@@ -1,0 +1,330 @@
+// Package patterns implements the database design patterns of Table 1 of
+// the paper, plus the extended set the paper alludes to ("we have identified
+// 11 distinct database patterns so far"). A pattern describes how the naive
+// schema of a form — one table per screen, one column per control — maps to
+// the physical layout a reporting tool actually uses, and "each pattern
+// describes a data transformation; several put together describe how to
+// translate a query against the g-tree into one against the database".
+//
+// The package models a pattern stack as zero or more Transforms (row- and
+// schema-level rewrites such as Audit, Rename, Encode, Sentinel, Lookup,
+// Delimited) wrapped around exactly one Layout (a physical table design:
+// Naive, Merge, Split, Generic/EAV, Partitioned). Stacks are bidirectional:
+// Write pushes a naive row down to physical storage, Read reconstructs the
+// naive relation, and Update routes a single-column change through every
+// layer — so the g-tree behaves like a view over any physical design.
+//
+// The eleven named patterns:
+//
+//	Layouts:    Naive, Merge, Split (read side: Join), Generic (read side:
+//	            un-pivot), Partitioned
+//	Transforms: Audit, Rename, Encode, Sentinel, Lookup, Delimited
+package patterns
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+	"guava/internal/ui"
+)
+
+// FormInfo carries what a pattern needs to know about a form: its name, its
+// instance-key column, and its naive schema (key column first).
+type FormInfo struct {
+	Name      string
+	KeyColumn string
+	Schema    *relstore.Schema
+}
+
+// FromUIForm derives the FormInfo of a ui.Form.
+func FromUIForm(f *ui.Form) (FormInfo, error) {
+	s, err := f.NaiveSchema()
+	if err != nil {
+		return FormInfo{}, err
+	}
+	return FormInfo{Name: f.Name, KeyColumn: f.KeyColumn, Schema: s}, nil
+}
+
+// Layout is a physical table design for one form's data.
+type Layout interface {
+	// Name returns the pattern name as listed in Table 1.
+	Name() string
+	// Describe returns the Table 1 description of the pattern's data
+	// transformation.
+	Describe() string
+	// Install creates the physical tables for the form.
+	Install(db *relstore.DB, form FormInfo) error
+	// Write stores one naive-schema row.
+	Write(db *relstore.DB, form FormInfo, row relstore.Row) error
+	// Read reconstructs the entire naive relation from physical storage.
+	Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error)
+	// Update sets one column of the record with the given key, returning
+	// how many records changed.
+	Update(db *relstore.DB, form FormInfo, key relstore.Value, col string, v relstore.Value) (int, error)
+	// PhysicalTables lists the physical table names backing the form.
+	PhysicalTables(form FormInfo) []string
+}
+
+// Transform is a reversible rewrite layered above a Layout (or above another
+// Transform).
+type Transform interface {
+	// Name returns the pattern name.
+	Name() string
+	// Describe returns the pattern's data-transformation description.
+	Describe() string
+	// Adapt rewrites the form info seen by inner layers.
+	Adapt(form FormInfo) (FormInfo, error)
+	// Install creates any side tables the transform needs (e.g. lookup
+	// dimension tables).
+	Install(db *relstore.DB, outer, inner FormInfo) error
+	// Encode rewrites one outer-schema row into the inner schema.
+	Encode(db *relstore.DB, outer, inner FormInfo, row relstore.Row) (relstore.Row, error)
+	// Decode rewrites the full inner relation back to the outer schema.
+	Decode(db *relstore.DB, outer, inner FormInfo, rows *relstore.Rows) (*relstore.Rows, error)
+	// AdaptUpdate rewrites a single-column update for inner layers.
+	AdaptUpdate(db *relstore.DB, outer, inner FormInfo, col string, v relstore.Value) (string, relstore.Value, error)
+}
+
+// Stack is a complete pattern configuration: outermost transform first, then
+// inward to the base layout.
+type Stack struct {
+	Transforms []Transform
+	Layout     Layout
+}
+
+// NewStack builds a stack over a layout.
+func NewStack(layout Layout, transforms ...Transform) *Stack {
+	return &Stack{Transforms: transforms, Layout: layout}
+}
+
+// Describe renders the whole stack for documentation: pattern names from the
+// outside in.
+func (s *Stack) Describe() string {
+	out := ""
+	for _, t := range s.Transforms {
+		out += t.Name() + " ∘ "
+	}
+	return out + s.Layout.Name()
+}
+
+// adaptAll returns the form info at every level: index 0 is the outer naive
+// form, index len(Transforms) is what the layout sees.
+func (s *Stack) adaptAll(form FormInfo) ([]FormInfo, error) {
+	infos := make([]FormInfo, 0, len(s.Transforms)+1)
+	infos = append(infos, form)
+	cur := form
+	for _, t := range s.Transforms {
+		next, err := t.Adapt(cur)
+		if err != nil {
+			return nil, fmt.Errorf("patterns: %s: %w", t.Name(), err)
+		}
+		infos = append(infos, next)
+		cur = next
+	}
+	return infos, nil
+}
+
+// Install creates all physical storage for the form.
+func (s *Stack) Install(db *relstore.DB, form FormInfo) error {
+	infos, err := s.adaptAll(form)
+	if err != nil {
+		return err
+	}
+	for i, t := range s.Transforms {
+		if err := t.Install(db, infos[i], infos[i+1]); err != nil {
+			return fmt.Errorf("patterns: install %s: %w", t.Name(), err)
+		}
+	}
+	if err := s.Layout.Install(db, infos[len(infos)-1]); err != nil {
+		return fmt.Errorf("patterns: install %s: %w", s.Layout.Name(), err)
+	}
+	return nil
+}
+
+// WriteValues stores one record given as a column→value map over the naive
+// schema (the shape ui.Entry submits).
+func (s *Stack) WriteValues(db *relstore.DB, form FormInfo, values map[string]relstore.Value) error {
+	row := make(relstore.Row, form.Schema.Arity())
+	for i, c := range form.Schema.Columns {
+		row[i] = values[c.Name]
+	}
+	return s.WriteRow(db, form, row)
+}
+
+// WriteRow stores one naive-schema row.
+func (s *Stack) WriteRow(db *relstore.DB, form FormInfo, row relstore.Row) error {
+	infos, err := s.adaptAll(form)
+	if err != nil {
+		return err
+	}
+	if err := form.Schema.Validate(row); err != nil {
+		return fmt.Errorf("patterns: write %s: %w", form.Name, err)
+	}
+	cur := row
+	for i, t := range s.Transforms {
+		cur, err = t.Encode(db, infos[i], infos[i+1], cur)
+		if err != nil {
+			return fmt.Errorf("patterns: encode %s: %w", t.Name(), err)
+		}
+	}
+	if err := s.Layout.Write(db, infos[len(infos)-1], cur); err != nil {
+		return fmt.Errorf("patterns: write %s: %w", s.Layout.Name(), err)
+	}
+	return nil
+}
+
+// Read reconstructs the naive relation, with column order and types conformed
+// exactly to the form's naive schema.
+func (s *Stack) Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error) {
+	infos, err := s.adaptAll(form)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.Layout.Read(db, infos[len(infos)-1])
+	if err != nil {
+		return nil, fmt.Errorf("patterns: read %s: %w", s.Layout.Name(), err)
+	}
+	for i := len(s.Transforms) - 1; i >= 0; i-- {
+		rows, err = s.Transforms[i].Decode(db, infos[i], infos[i+1], rows)
+		if err != nil {
+			return nil, fmt.Errorf("patterns: decode %s: %w", s.Transforms[i].Name(), err)
+		}
+	}
+	return Conform(rows, form.Schema)
+}
+
+// Query reads the naive relation, filters it with pred, and projects the
+// named columns (all columns when cols is nil). This is the translation of a
+// g-tree query through the pattern stack; when every layer cooperates the
+// predicate is pushed down to the physical scan (see pushdown.go).
+func (s *Stack) Query(db *relstore.DB, form FormInfo, pred relstore.Pred, cols []string) (*relstore.Rows, error) {
+	res, err := s.QueryWithInfo(db, form, pred, cols)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// QueryNoPushdown is Query with pushdown disabled — the ablation baseline.
+func (s *Stack) QueryNoPushdown(db *relstore.DB, form FormInfo, pred relstore.Pred, cols []string) (*relstore.Rows, error) {
+	rows, _, err := s.read(db, form, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	rows, err = relstore.Select(rows, pred)
+	if err != nil {
+		return nil, err
+	}
+	if cols == nil {
+		return rows, nil
+	}
+	return relstore.Project(rows, cols...)
+}
+
+// Update changes one column of the record identified by key, routing the
+// change through every transform down to physical storage.
+func (s *Stack) Update(db *relstore.DB, form FormInfo, key relstore.Value, col string, v relstore.Value) (int, error) {
+	infos, err := s.adaptAll(form)
+	if err != nil {
+		return 0, err
+	}
+	curCol, curV := col, v
+	for i, t := range s.Transforms {
+		curCol, curV, err = t.AdaptUpdate(db, infos[i], infos[i+1], curCol, curV)
+		if err != nil {
+			return 0, fmt.Errorf("patterns: update via %s: %w", t.Name(), err)
+		}
+	}
+	return s.Layout.Update(db, infos[len(infos)-1], key, curCol, curV)
+}
+
+// Deprecate marks the record with the given key as deleted through the
+// stack's Audit transform. It fails when the stack has no Audit layer.
+func (s *Stack) Deprecate(db *relstore.DB, form FormInfo, key relstore.Value) (int, error) {
+	infos, err := s.adaptAll(form)
+	if err != nil {
+		return 0, err
+	}
+	for i, t := range s.Transforms {
+		a, ok := t.(*Audit)
+		if !ok {
+			continue
+		}
+		// The audit column exists at level i+1; route the update through
+		// the remaining transforms.
+		curCol, curV := a.column(), relstore.Int(1)
+		for j := i + 1; j < len(s.Transforms); j++ {
+			curCol, curV, err = s.Transforms[j].AdaptUpdate(db, infos[j], infos[j+1], curCol, curV)
+			if err != nil {
+				return 0, fmt.Errorf("patterns: deprecate via %s: %w", s.Transforms[j].Name(), err)
+			}
+		}
+		return s.Layout.Update(db, infos[len(infos)-1], key, curCol, curV)
+	}
+	return 0, fmt.Errorf("patterns: stack %s has no Audit layer to deprecate through", s.Describe())
+}
+
+// PhysicalTables lists every physical table of the stack, side tables
+// included, for documentation output.
+func (s *Stack) PhysicalTables(form FormInfo) ([]string, error) {
+	infos, err := s.adaptAll(form)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for i, t := range s.Transforms {
+		if lt, ok := t.(interface{ SideTables(FormInfo) []string }); ok {
+			out = append(out, lt.SideTables(infos[i])...)
+		}
+	}
+	out = append(out, s.Layout.PhysicalTables(infos[len(infos)-1])...)
+	return out, nil
+}
+
+// Sink adapts a stack+database to the ui.RecordSink interface so form
+// entries submit straight through the pattern stack, exactly as a reporting
+// tool writes its own database.
+type Sink struct {
+	DB    *relstore.DB
+	Stack *Stack
+}
+
+// WriteRecord implements ui.RecordSink.
+func (s *Sink) WriteRecord(form *ui.Form, values map[string]relstore.Value) error {
+	info, err := FromUIForm(form)
+	if err != nil {
+		return err
+	}
+	return s.Stack.WriteValues(s.DB, info, values)
+}
+
+// Conform reorders and retypes a relation to match the target schema by
+// column name. Pattern round trips may lose column order or nullability;
+// Conform restores the naive-schema contract.
+func Conform(rows *relstore.Rows, target *relstore.Schema) (*relstore.Rows, error) {
+	idx := make([]int, target.Arity())
+	for i, c := range target.Columns {
+		j := rows.Schema.Index(c.Name)
+		if j < 0 {
+			return nil, fmt.Errorf("patterns: conform: missing column %q (have %s)", c.Name, rows.Schema.NameList())
+		}
+		idx[i] = j
+	}
+	out := make([]relstore.Row, len(rows.Data))
+	for r, row := range rows.Data {
+		nr := make(relstore.Row, target.Arity())
+		for i, j := range idx {
+			v := row[j]
+			if !v.IsNull() && v.Kind() != target.Columns[i].Type {
+				cv, err := relstore.Coerce(v, target.Columns[i].Type)
+				if err != nil {
+					return nil, fmt.Errorf("patterns: conform %q: %w", target.Columns[i].Name, err)
+				}
+				v = cv
+			}
+			nr[i] = v
+		}
+		out[r] = nr
+	}
+	return &relstore.Rows{Schema: target, Data: out}, nil
+}

@@ -1,0 +1,275 @@
+package patterns
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"guava/internal/relstore"
+)
+
+// pushdownStacks enumerates stacks whose every layer supports pushdown.
+func pushdownStacks(t *testing.T) map[string]*Stack {
+	t.Helper()
+	form, _ := testForm(t)
+	merge, err := NewMerge("AllForms", "FormName", []FormInfo{form})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Stack{
+		"naive":           NewStack(Naive{}),
+		"merge":           NewStack(merge),
+		"part":            NewStack(&Partitioned{Base: Naive{}, N: 3}),
+		"audit":           NewStack(Naive{}, &Audit{}),
+		"rename":          NewStack(Naive{}, &Rename{Physical: map[string]string{"Smoking": "fld_0107", "Age": "fld_9"}}),
+		"encode":          NewStack(Naive{}, &Encode{}),
+		"sentinel":        NewStack(Naive{}, &Sentinel{}),
+		"lookup":          NewStack(Naive{}, &Lookup{Columns: []string{"Smoking", "Alcohol"}}),
+		"delim-untouched": NewStack(Naive{}, &Delimited{Into: "packed", Columns: []string{"Smoking", "Alcohol"}}),
+		"deep":            NewStack(Naive{}, &Audit{}, &Rename{Physical: map[string]string{"Smoking": "s"}}, &Encode{}),
+	}
+}
+
+// pushdownPreds enumerates predicates spanning the rewrite cases. The bool
+// reports whether the named stack is expected to push the predicate down.
+func pushdownPreds() []struct {
+	name string
+	pred relstore.Pred
+	// noPush lists stacks that must fall back for this predicate.
+	noPush map[string]bool
+} {
+	all := func() map[string]bool { return map[string]bool{} }
+	return []struct {
+		name   string
+		pred   relstore.Pred
+		noPush map[string]bool
+	}{
+		{"eq-string", relstore.Eq("Smoking", relstore.Str("Current")), map[string]bool{"delim-untouched": true}},
+		{"eq-bool", relstore.Eq("Hypoxia", relstore.Bool(true)), all()},
+		{"truth-bool", relstore.Truth(relstore.Col("Hypoxia")), all()},
+		{"ordered-float", relstore.Cmp(relstore.CmpGt, relstore.Col("PacksPerDay"), relstore.Lit(relstore.Float(1))), all()},
+		{"ordered-mirrored", relstore.Cmp(relstore.CmpLe, relstore.Lit(relstore.Int(50)), relstore.Col("Age")), all()},
+		{"is-null", relstore.IsNull(relstore.Col("Smoking")), map[string]bool{"delim-untouched": true}},
+		{"is-not-null", relstore.IsNotNull(relstore.Col("PacksPerDay")), all()},
+		{"eq-null", relstore.Eq("Alcohol", relstore.Null()), map[string]bool{"delim-untouched": true}},
+		{"in-list", relstore.In(relstore.Col("Smoking"), relstore.Str("Current"), relstore.Str("Previous")), map[string]bool{"delim-untouched": true}},
+		{"conjunction", relstore.And(
+			relstore.Eq("Smoking", relstore.Str("Current")),
+			relstore.Cmp(relstore.CmpGe, relstore.Col("Age"), relstore.Lit(relstore.Int(40))),
+		), map[string]bool{"delim-untouched": true}},
+		{"disjunction", relstore.Or(
+			relstore.Eq("Hypoxia", relstore.Bool(true)),
+			relstore.IsNull(relstore.Col("Smoking")),
+		), map[string]bool{"delim-untouched": true}},
+		{"negation", relstore.Not(relstore.Eq("Smoking", relstore.Str("None"))), map[string]bool{"delim-untouched": true}},
+		{"unseen-label", relstore.Eq("Smoking", relstore.Str("NeverWritten")), map[string]bool{"delim-untouched": true}},
+	}
+}
+
+// TestPushdownEquivalence: for every cooperative stack and every predicate
+// shape, the pushed-down query returns exactly what the fallback
+// (materialize-then-filter) path returns, and pushdown actually engaged.
+func TestPushdownEquivalence(t *testing.T) {
+	form, rows := testForm(t)
+	for name, stack := range pushdownStacks(t) {
+		db := relstore.NewDB("contrib")
+		if err := stack.Install(db, form); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range rows {
+			if err := stack.WriteRow(db, form, r); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		for _, pc := range pushdownPreds() {
+			got, err := stack.QueryWithInfo(db, form, pc.pred, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, pc.name, err)
+			}
+			want, err := stack.QueryNoPushdown(db, form, pc.pred, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, pc.name, err)
+			}
+			if !got.Rows.EqualUnordered(want) {
+				t.Errorf("%s/%s: pushdown result differs\npushed:\n%s\nfallback:\n%s",
+					name, pc.name, got.Rows.Format(), want.Format())
+			}
+			wantPush := !pc.noPush[name]
+			if got.PushedDown != wantPush {
+				t.Errorf("%s/%s: PushedDown = %v, want %v", name, pc.name, got.PushedDown, wantPush)
+			}
+		}
+	}
+}
+
+// TestPushdownFallsBackOnPackedColumns: predicates touching Delimited's
+// packed columns must fall back, not fail.
+func TestPushdownFallsBackOnPackedColumns(t *testing.T) {
+	form, rows := testForm(t)
+	stack := NewStack(Naive{}, &Delimited{Into: "packed", Columns: []string{"Smoking", "Alcohol"}})
+	db := relstore.NewDB("x")
+	if err := stack.Install(db, form); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := stack.WriteRow(db, form, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := stack.QueryWithInfo(db, form, relstore.Eq("Smoking", relstore.Str("Current")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PushedDown {
+		t.Error("packed-column predicate must not push down")
+	}
+	if res.Rows.Len() != 2 {
+		t.Errorf("rows = %d, want 2", res.Rows.Len())
+	}
+	// Age is not packed: pushes down.
+	res, err = stack.QueryWithInfo(db, form, relstore.Cmp(relstore.CmpGt, relstore.Col("Age"), relstore.Lit(relstore.Int(60))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PushedDown {
+		t.Error("non-packed predicate must push down")
+	}
+}
+
+// TestPushdownGenericFallsBack: the EAV layout has no filtered read; queries
+// still work via fallback.
+func TestPushdownGenericFallsBack(t *testing.T) {
+	form, rows := testForm(t)
+	stack := NewStack(Generic{}, &Audit{})
+	db := relstore.NewDB("x")
+	if err := stack.Install(db, form); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := stack.WriteRow(db, form, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := stack.QueryWithInfo(db, form, relstore.Eq("Smoking", relstore.Str("Current")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PushedDown {
+		t.Error("Generic layout cannot push down")
+	}
+	if res.Rows.Len() != 2 {
+		t.Errorf("rows = %d", res.Rows.Len())
+	}
+}
+
+// TestPushdownSentinelOrderedGuard is the trap the Sentinel rewrite must not
+// fall into: the sentinel (-9999) satisfies "PacksPerDay < 2" physically but
+// represents NULL, which must not match.
+func TestPushdownSentinelOrderedGuard(t *testing.T) {
+	form, rows := testForm(t)
+	stack := NewStack(Naive{}, &Sentinel{})
+	db := relstore.NewDB("x")
+	if err := stack.Install(db, form); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := stack.WriteRow(db, form, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := stack.QueryWithInfo(db, form,
+		relstore.Cmp(relstore.CmpLt, relstore.Col("PacksPerDay"), relstore.Lit(relstore.Float(2))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PushedDown {
+		t.Fatal("expected pushdown")
+	}
+	// Rows 2 (packs 0) and 4 (packs 1.5) match; row 3 (NULL) must not.
+	if res.Rows.Len() != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", res.Rows.Len(), res.Rows.Format())
+	}
+	for _, r := range res.Rows.Data {
+		if r[0].Equal(relstore.Int(3)) {
+			t.Error("NULL row matched ordered comparison via sentinel")
+		}
+	}
+}
+
+// TestPushdownPropertyRandom: quick-check that pushdown ≡ fallback over
+// random data and random simple predicates, across three stacks.
+func TestPushdownPropertyRandom(t *testing.T) {
+	form, _ := testForm(t)
+	stacks := []*Stack{
+		NewStack(Naive{}, &Sentinel{}),
+		NewStack(Naive{}, &Lookup{Columns: []string{"Smoking"}}),
+		NewStack(Naive{}, &Audit{}, &Encode{}),
+	}
+	statuses := []string{"Current", "None", "Previous"}
+	f := func(keys []uint8, packs []int8, smoke []uint8, threshold int8, pickStatus uint8) bool {
+		db := relstore.NewDB("prop")
+		stack := stacks[int(pickStatus)%len(stacks)]
+		if err := stack.Install(db, form); err != nil {
+			return false
+		}
+		seen := map[uint8]bool{}
+		for i, k := range keys {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			var p relstore.Value
+			if i < len(packs) && packs[i] >= 0 {
+				p = relstore.Float(float64(packs[i]))
+			} else {
+				p = relstore.Null()
+			}
+			var sm relstore.Value
+			if i < len(smoke) && smoke[i]%4 != 3 {
+				sm = relstore.Str(statuses[int(smoke[i])%3])
+			} else {
+				sm = relstore.Null()
+			}
+			row := relstore.Row{relstore.Int(int64(k)), sm, p, relstore.Bool(i%2 == 0), relstore.Null(), relstore.Int(int64(i))}
+			if err := stack.WriteRow(db, form, row); err != nil {
+				return false
+			}
+		}
+		pred := relstore.Or(
+			relstore.And(
+				relstore.Eq("Smoking", relstore.Str(statuses[int(pickStatus)%3])),
+				relstore.Cmp(relstore.CmpGe, relstore.Col("PacksPerDay"), relstore.Lit(relstore.Int(int64(threshold)))),
+			),
+			relstore.IsNull(relstore.Col("Smoking")),
+		)
+		got, err := stack.QueryWithInfo(db, form, pred, nil)
+		if err != nil {
+			return false
+		}
+		want, err := stack.QueryNoPushdown(db, form, pred, nil)
+		if err != nil {
+			return false
+		}
+		return got.Rows.EqualUnordered(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPredColumns covers the column-collection helper.
+func TestPredColumns(t *testing.T) {
+	p := relstore.And(
+		relstore.Eq("A", relstore.Int(1)),
+		relstore.Or(
+			relstore.IsNull(relstore.Col("B")),
+			relstore.Truth(relstore.Col("C")),
+		),
+		relstore.Cmp(relstore.CmpLt, relstore.Arith(relstore.OpAdd, relstore.Col("D"), relstore.Col("A")), relstore.Lit(relstore.Int(9))),
+	)
+	got := relstore.PredColumns(p)
+	want := []string{"A", "B", "C", "D"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("PredColumns = %v, want %v", got, want)
+	}
+}

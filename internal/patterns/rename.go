@@ -1,0 +1,68 @@
+package patterns
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// Rename maps naive-schema column names onto the (often cryptic) physical
+// column names a vendor tool actually uses — "fld_0107" instead of
+// "Smoking". Positions and values pass through unchanged; only names differ
+// between the g-tree view and the database.
+type Rename struct {
+	// Physical maps naive column names to physical names. Unmapped columns
+	// keep their names.
+	Physical map[string]string
+}
+
+// Name implements Transform.
+func (*Rename) Name() string { return "Rename" }
+
+// Describe implements Transform.
+func (*Rename) Describe() string {
+	return "Physical column names differ from the control names of the user interface."
+}
+
+func (r *Rename) physical(name string) string {
+	if p, ok := r.Physical[name]; ok {
+		return p
+	}
+	return name
+}
+
+// Adapt implements Transform.
+func (r *Rename) Adapt(form FormInfo) (FormInfo, error) {
+	cols := make([]relstore.Column, form.Schema.Arity())
+	for i, c := range form.Schema.Columns {
+		cols[i] = relstore.Column{Name: r.physical(c.Name), Type: c.Type, NotNull: c.NotNull}
+	}
+	s, err := relstore.NewSchema(cols...)
+	if err != nil {
+		return FormInfo{}, fmt.Errorf("rename produces invalid schema: %w", err)
+	}
+	return FormInfo{Name: form.Name, KeyColumn: r.physical(form.KeyColumn), Schema: s}, nil
+}
+
+// Install implements Transform.
+func (*Rename) Install(*relstore.DB, FormInfo, FormInfo) error { return nil }
+
+// Encode implements Transform: values are positional, nothing to do.
+func (*Rename) Encode(_ *relstore.DB, _, _ FormInfo, row relstore.Row) (relstore.Row, error) {
+	return row, nil
+}
+
+// Decode implements Transform: restore the naive column names positionally.
+func (*Rename) Decode(_ *relstore.DB, outer, inner FormInfo, rows *relstore.Rows) (*relstore.Rows, error) {
+	// Reorder by inner names, then swap in the outer schema.
+	ordered, err := relstore.Project(rows, inner.Schema.Names()...)
+	if err != nil {
+		return nil, err
+	}
+	return &relstore.Rows{Schema: outer.Schema, Data: ordered.Data}, nil
+}
+
+// AdaptUpdate implements Transform.
+func (r *Rename) AdaptUpdate(_ *relstore.DB, _, _ FormInfo, col string, v relstore.Value) (string, relstore.Value, error) {
+	return r.physical(col), v, nil
+}

@@ -1,0 +1,208 @@
+package patterns
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// Split is the Table 1 pattern where "attributes from a single form are
+// distributed over several tables"; reading requires the Join transformation
+// on the shared key. Each part table holds the key plus a subset of the
+// form's columns.
+type Split struct {
+	// Parts assigns non-key columns to part tables; part i is stored in
+	// table "<form>_part<i>". Nil Parts auto-splits columns pairwise.
+	Parts [][]string
+}
+
+// Name implements Layout.
+func (*Split) Name() string { return "Split" }
+
+// Describe implements Layout.
+func (*Split) Describe() string {
+	return "Attributes from a single form are distributed over several tables; reading joins the part tables on the form key."
+}
+
+// partition returns the resolved column groups for a form, validating
+// coverage and disjointness.
+func (s *Split) partition(form FormInfo) ([][]string, error) {
+	nonKey := make([]string, 0, form.Schema.Arity()-1)
+	for _, c := range form.Schema.Columns {
+		if c.Name != form.KeyColumn {
+			nonKey = append(nonKey, c.Name)
+		}
+	}
+	if s.Parts == nil {
+		// Auto-split: two columns per part table.
+		var parts [][]string
+		for i := 0; i < len(nonKey); i += 2 {
+			end := i + 2
+			if end > len(nonKey) {
+				end = len(nonKey)
+			}
+			parts = append(parts, nonKey[i:end])
+		}
+		if len(parts) == 0 {
+			parts = [][]string{{}}
+		}
+		return parts, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range s.Parts {
+		for _, col := range part {
+			if col == form.KeyColumn {
+				return nil, fmt.Errorf("patterns: split: key column %q cannot be assigned to a part", col)
+			}
+			if !form.Schema.Has(col) {
+				return nil, fmt.Errorf("patterns: split: unknown column %q", col)
+			}
+			if seen[col] {
+				return nil, fmt.Errorf("patterns: split: column %q assigned twice", col)
+			}
+			seen[col] = true
+		}
+	}
+	for _, col := range nonKey {
+		if !seen[col] {
+			return nil, fmt.Errorf("patterns: split: column %q not assigned to any part", col)
+		}
+	}
+	return s.Parts, nil
+}
+
+func partTable(form FormInfo, i int) string { return fmt.Sprintf("%s_part%d", form.Name, i) }
+
+func (s *Split) partSchema(form FormInfo, part []string) (*relstore.Schema, error) {
+	cols := []relstore.Column{{Name: form.KeyColumn, Type: relstore.KindInt, NotNull: true}}
+	for _, name := range part {
+		c, err := form.Schema.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+	}
+	return relstore.NewSchema(cols...)
+}
+
+// Install implements Layout.
+func (s *Split) Install(db *relstore.DB, form FormInfo) error {
+	parts, err := s.partition(form)
+	if err != nil {
+		return err
+	}
+	for i, part := range parts {
+		schema, err := s.partSchema(form, part)
+		if err != nil {
+			return err
+		}
+		if _, err := db.EnsureTable(partTable(form, i), schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write implements Layout.
+func (s *Split) Write(db *relstore.DB, form FormInfo, row relstore.Row) error {
+	parts, err := s.partition(form)
+	if err != nil {
+		return err
+	}
+	key := row[form.Schema.Index(form.KeyColumn)]
+	for i, part := range parts {
+		t, err := db.Table(partTable(form, i))
+		if err != nil {
+			return err
+		}
+		pr := make(relstore.Row, 0, len(part)+1)
+		pr = append(pr, key)
+		for _, col := range part {
+			pr = append(pr, row[form.Schema.Index(col)])
+		}
+		if err := t.Insert(pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read implements Layout. It joins the part tables on the key (the paper's
+// Join transformation).
+func (s *Split) Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error) {
+	parts, err := s.partition(form)
+	if err != nil {
+		return nil, err
+	}
+	var acc *relstore.Rows
+	for i := range parts {
+		t, err := db.Table(partTable(form, i))
+		if err != nil {
+			return nil, err
+		}
+		rows := t.Rows()
+		if acc == nil {
+			acc = rows
+			continue
+		}
+		joined, err := relstore.Join(acc, rows, form.KeyColumn, form.KeyColumn, fmt.Sprintf("p%d", i))
+		if err != nil {
+			return nil, err
+		}
+		// Drop the duplicated key column from the right side.
+		keep := make([]string, 0, joined.Schema.Arity()-1)
+		dup := fmt.Sprintf("p%d_%s", i, form.KeyColumn)
+		for _, n := range joined.Schema.Names() {
+			if n != dup {
+				keep = append(keep, n)
+			}
+		}
+		acc, err = relstore.Project(joined, keep...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		return &relstore.Rows{Schema: form.Schema}, nil
+	}
+	return relstore.Project(acc, form.Schema.Names()...)
+}
+
+// Update implements Layout: the change lands in whichever part table holds
+// the column.
+func (s *Split) Update(db *relstore.DB, form FormInfo, key relstore.Value, col string, v relstore.Value) (int, error) {
+	parts, err := s.partition(form)
+	if err != nil {
+		return 0, err
+	}
+	for i, part := range parts {
+		for _, name := range part {
+			if name != col {
+				continue
+			}
+			t, err := db.Table(partTable(form, i))
+			if err != nil {
+				return 0, err
+			}
+			ci := t.Schema().Index(col)
+			return t.Update(relstore.Eq(form.KeyColumn, key), func(r relstore.Row) relstore.Row {
+				r[ci] = v
+				return r
+			})
+		}
+	}
+	return 0, fmt.Errorf("patterns: split update: no column %q", col)
+}
+
+// PhysicalTables implements Layout.
+func (s *Split) PhysicalTables(form FormInfo) []string {
+	parts, err := s.partition(form)
+	if err != nil {
+		return nil
+	}
+	out := make([]string, len(parts))
+	for i := range parts {
+		out[i] = partTable(form, i)
+	}
+	return out
+}

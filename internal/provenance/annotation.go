@@ -1,0 +1,69 @@
+// Package provenance implements the annotation layer the paper requires of
+// every artifact: "Anyone using the system can annotate and timestamp each
+// of these artifacts, as well as the studies themselves, so that it is clear
+// who generated them, when, and why."
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Annotation is one timestamped note on an artifact.
+type Annotation struct {
+	// Author identifies who made the note.
+	Author string
+	// At is when the note was made.
+	At time.Time
+	// Note is the why.
+	Note string
+}
+
+// String renders the annotation one-per-line, newest information last.
+func (a Annotation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", a.At.Format("2006-01-02 15:04"), a.Author, a.Note)
+}
+
+// Log is an append-only annotation history, safe for concurrent use. The
+// zero value is ready to use.
+type Log struct {
+	mu      sync.Mutex
+	entries []Annotation
+}
+
+// Add appends an annotation.
+func (l *Log) Add(author, note string, at time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, Annotation{Author: author, At: at, Note: note})
+}
+
+// Entries returns the annotations ordered by time (stable for ties).
+func (l *Log) Entries() []Annotation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Annotation, len(l.entries))
+	copy(out, l.entries)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Len returns the number of annotations.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// String renders the whole history.
+func (l *Log) String() string {
+	es := l.Entries()
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "\n")
+}

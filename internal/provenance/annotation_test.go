@@ -1,0 +1,49 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLogOrderingAndRendering(t *testing.T) {
+	var l Log
+	t0 := time.Date(2002, 5, 3, 9, 0, 0, 0, time.UTC)
+	l.Add("jlogan", "created for cancer study", t0.Add(2*time.Hour))
+	l.Add("jterwill", "initial draft", t0)
+	l.Add("lmd", "reviewed", t0.Add(4*time.Hour))
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	es := l.Entries()
+	if es[0].Author != "jterwill" || es[2].Author != "lmd" {
+		t.Errorf("entries out of order: %v", es)
+	}
+	s := l.String()
+	if !strings.Contains(s, "2002-05-03 09:00] jterwill: initial draft") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Index(s, "jterwill") > strings.Index(s, "jlogan") {
+		t.Error("rendered order must be chronological")
+	}
+}
+
+func TestLogConcurrent(t *testing.T) {
+	var l Log
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 25; i++ {
+				l.Add("author", "note", time.Unix(int64(g*100+i), 0))
+				l.Entries()
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if l.Len() != 100 {
+		t.Errorf("Len = %d, want 100", l.Len())
+	}
+}

@@ -1,0 +1,348 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pred is a boolean condition over a row. Like Expr it is structured so
+// plans can be rendered to SQL and inspected by analysts.
+type Pred interface {
+	Eval(r Row, s *Schema) (bool, error)
+	SQL() string
+}
+
+// evalPred treats a nil predicate as TRUE.
+func evalPred(p Pred, r Row, s *Schema) (bool, error) {
+	if p == nil {
+		return true, nil
+	}
+	return p.Eval(r, s)
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators supported in classifier guards.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// CmpPred compares two scalar expressions. Comparison with NULL on either
+// side yields false (SQL three-valued logic collapsed to false), except
+// equality where NULL = NULL holds; classifier semantics need to match
+// "Unselected" sentinel values exactly.
+type CmpPred struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Cmp builds a comparison predicate.
+func Cmp(op CmpOp, l, r Expr) CmpPred { return CmpPred{Op: op, L: l, R: r} }
+
+// Eq builds an equality predicate between a column and a literal.
+func Eq(col string, v Value) CmpPred { return Cmp(CmpEq, Col(col), Lit(v)) }
+
+// Eval implements Pred.
+func (c CmpPred) Eval(r Row, s *Schema) (bool, error) {
+	lv, err := c.L.Eval(r, s)
+	if err != nil {
+		return false, err
+	}
+	rv, err := c.R.Eval(r, s)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case CmpEq:
+		return lv.Equal(rv), nil
+	case CmpNe:
+		if lv.IsNull() || rv.IsNull() {
+			return !lv.Equal(rv), nil
+		}
+		return !lv.Equal(rv), nil
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return false, nil
+	}
+	if lv.Kind() != rv.Kind() && !(lv.IsNumeric() && rv.IsNumeric()) {
+		return false, fmt.Errorf("relstore: ordered comparison between %s and %s", lv.Kind(), rv.Kind())
+	}
+	cmp := lv.Compare(rv)
+	switch c.Op {
+	case CmpLt:
+		return cmp < 0, nil
+	case CmpLe:
+		return cmp <= 0, nil
+	case CmpGt:
+		return cmp > 0, nil
+	case CmpGe:
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("relstore: unknown comparison op %d", c.Op)
+}
+
+// SQL implements Pred.
+func (c CmpPred) SQL() string {
+	return c.L.SQL() + " " + c.Op.String() + " " + c.R.SQL()
+}
+
+// AndPred is a conjunction. Empty conjunctions are TRUE.
+type AndPred struct{ Ps []Pred }
+
+// And conjoins predicates, flattening nested Ands and dropping nils.
+func And(ps ...Pred) Pred {
+	flat := make([]Pred, 0, len(ps))
+	for _, p := range ps {
+		switch q := p.(type) {
+		case nil:
+		case AndPred:
+			flat = append(flat, q.Ps...)
+		default:
+			if p != nil {
+				flat = append(flat, p)
+			}
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return AndPred{Ps: flat}
+}
+
+// Eval implements Pred.
+func (a AndPred) Eval(r Row, s *Schema) (bool, error) {
+	for _, p := range a.Ps {
+		ok, err := p.Eval(r, s)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SQL implements Pred.
+func (a AndPred) SQL() string {
+	if len(a.Ps) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(a.Ps))
+	for i, p := range a.Ps {
+		parts[i] = p.SQL()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// OrPred is a disjunction. Empty disjunctions are FALSE.
+type OrPred struct{ Ps []Pred }
+
+// Or disjoins predicates, flattening nested Ors.
+func Or(ps ...Pred) Pred {
+	flat := make([]Pred, 0, len(ps))
+	for _, p := range ps {
+		switch q := p.(type) {
+		case nil:
+		case OrPred:
+			flat = append(flat, q.Ps...)
+		default:
+			if p != nil {
+				flat = append(flat, p)
+			}
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return OrPred{Ps: flat}
+}
+
+// Eval implements Pred.
+func (o OrPred) Eval(r Row, s *Schema) (bool, error) {
+	for _, p := range o.Ps {
+		ok, err := p.Eval(r, s)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// SQL implements Pred.
+func (o OrPred) SQL() string {
+	if len(o.Ps) == 0 {
+		return "FALSE"
+	}
+	parts := make([]string, len(o.Ps))
+	for i, p := range o.Ps {
+		parts[i] = p.SQL()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// NotPred negates a predicate.
+type NotPred struct{ P Pred }
+
+// Not negates a predicate.
+func Not(p Pred) NotPred { return NotPred{P: p} }
+
+// Eval implements Pred.
+func (n NotPred) Eval(r Row, s *Schema) (bool, error) {
+	ok, err := n.P.Eval(r, s)
+	return !ok, err
+}
+
+// SQL implements Pred.
+func (n NotPred) SQL() string { return "NOT (" + n.P.SQL() + ")" }
+
+// NullPred tests an expression for NULL (or NOT NULL when Negate is set).
+type NullPred struct {
+	E      Expr
+	Negate bool
+}
+
+// IsNull builds an IS NULL predicate.
+func IsNull(e Expr) NullPred { return NullPred{E: e} }
+
+// IsNotNull builds an IS NOT NULL predicate.
+func IsNotNull(e Expr) NullPred { return NullPred{E: e, Negate: true} }
+
+// Eval implements Pred.
+func (p NullPred) Eval(r Row, s *Schema) (bool, error) {
+	v, err := p.E.Eval(r, s)
+	if err != nil {
+		return false, err
+	}
+	if p.Negate {
+		return !v.IsNull(), nil
+	}
+	return v.IsNull(), nil
+}
+
+// SQL implements Pred.
+func (p NullPred) SQL() string {
+	if p.Negate {
+		return p.E.SQL() + " IS NOT NULL"
+	}
+	return p.E.SQL() + " IS NULL"
+}
+
+// InPred tests membership of an expression in a literal list.
+type InPred struct {
+	E    Expr
+	List []Value
+}
+
+// In builds an IN-list predicate.
+func In(e Expr, vs ...Value) InPred { return InPred{E: e, List: vs} }
+
+// Eval implements Pred.
+func (p InPred) Eval(r Row, s *Schema) (bool, error) {
+	v, err := p.E.Eval(r, s)
+	if err != nil {
+		return false, err
+	}
+	for _, c := range p.List {
+		if v.Equal(c) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// SQL implements Pred.
+func (p InPred) SQL() string {
+	parts := make([]string, len(p.List))
+	for i, v := range p.List {
+		parts[i] = v.String()
+	}
+	return p.E.SQL() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// BoolLit is a constant predicate.
+type BoolLit struct{ V bool }
+
+// True is the always-true predicate; False the always-false one.
+var (
+	True  = BoolLit{V: true}
+	False = BoolLit{V: false}
+)
+
+// Eval implements Pred.
+func (b BoolLit) Eval(Row, *Schema) (bool, error) { return b.V, nil }
+
+// SQL implements Pred.
+func (b BoolLit) SQL() string {
+	if b.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// PredExpr adapts a predicate to a boolean scalar expression; the classifier
+// compiler uses it to materialize boolean study-schema domains.
+type PredExpr struct{ P Pred }
+
+// AsExpr adapts a predicate to an expression yielding TRUE/FALSE.
+func AsExpr(p Pred) PredExpr { return PredExpr{P: p} }
+
+// Eval implements Expr.
+func (pe PredExpr) Eval(r Row, s *Schema) (Value, error) {
+	ok, err := evalPred(pe.P, r, s)
+	if err != nil {
+		return Null(), err
+	}
+	return Bool(ok), nil
+}
+
+// SQL implements Expr.
+func (pe PredExpr) SQL() string { return "(" + pe.P.SQL() + ")" }
+
+// ExprPred adapts a scalar expression to a predicate via truthiness; it lets
+// classifier guards reference boolean g-tree nodes directly, as in
+// "SurgeryPerformed = TRUE" or bare "SurgeryPerformed".
+type ExprPred struct{ E Expr }
+
+// Truth adapts an expression to a predicate.
+func Truth(e Expr) ExprPred { return ExprPred{E: e} }
+
+// Eval implements Pred.
+func (p ExprPred) Eval(r Row, s *Schema) (bool, error) {
+	v, err := p.E.Eval(r, s)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// SQL implements Pred.
+func (p ExprPred) SQL() string { return p.E.SQL() }

@@ -1,0 +1,181 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func evalP(t *testing.T, p Pred, r Row) bool {
+	t.Helper()
+	ok, err := p.Eval(r, exprSchema)
+	if err != nil {
+		t.Fatalf("eval %s: %v", p.SQL(), err)
+	}
+	return ok
+}
+
+func TestComparisons(t *testing.T) {
+	r := Row{Int(5), Float(2.5), Str("abc"), Bool(true)}
+	tests := []struct {
+		p    Pred
+		want bool
+	}{
+		{Cmp(CmpEq, Col("X"), Lit(Int(5))), true},
+		{Cmp(CmpEq, Col("X"), Lit(Float(5))), true},
+		{Cmp(CmpNe, Col("X"), Lit(Int(4))), true},
+		{Cmp(CmpLt, Col("X"), Lit(Int(6))), true},
+		{Cmp(CmpLe, Col("X"), Lit(Int(5))), true},
+		{Cmp(CmpGt, Col("Y"), Lit(Int(2))), true},
+		{Cmp(CmpGe, Col("Y"), Lit(Float(2.5))), true},
+		{Cmp(CmpLt, Col("S"), Lit(Str("b"))), true},
+		{Cmp(CmpGt, Col("S"), Lit(Str("b"))), false},
+		{Eq("B", Bool(true)), true},
+	}
+	for _, c := range tests {
+		if got := evalP(t, c.p, r); got != c.want {
+			t.Errorf("%s = %v, want %v", c.p.SQL(), got, c.want)
+		}
+	}
+}
+
+func TestComparisonNullSemantics(t *testing.T) {
+	r := Row{Null(), Null(), Str("x"), Bool(false)}
+	// Equality treats NULL = NULL as true (needed for Unselected sentinels).
+	if !evalP(t, Cmp(CmpEq, Col("X"), Lit(Null())), r) {
+		t.Error("NULL = NULL should hold in this engine")
+	}
+	if evalP(t, Cmp(CmpEq, Col("X"), Lit(Int(0))), r) {
+		t.Error("NULL = 0 must be false")
+	}
+	// Ordered comparisons with NULL are false.
+	for _, op := range []CmpOp{CmpLt, CmpLe, CmpGt, CmpGe} {
+		if evalP(t, Cmp(op, Col("X"), Lit(Int(1))), r) {
+			t.Errorf("NULL %s 1 must be false", op)
+		}
+	}
+}
+
+func TestOrderedComparisonKindMismatch(t *testing.T) {
+	r := Row{Int(1), Float(1), Str("x"), Bool(true)}
+	if _, err := Cmp(CmpLt, Col("S"), Lit(Int(1))).Eval(r, exprSchema); err == nil {
+		t.Error("string < int must error")
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	r := Row{Int(5), Float(2.5), Str("abc"), Bool(true)}
+	p1 := Cmp(CmpGt, Col("X"), Lit(Int(0)))
+	p2 := Cmp(CmpLt, Col("X"), Lit(Int(3)))
+	if evalP(t, And(p1, p2), r) {
+		t.Error("AND of true,false must be false")
+	}
+	if !evalP(t, Or(p1, p2), r) {
+		t.Error("OR of true,false must be true")
+	}
+	if !evalP(t, Not(p2), r) {
+		t.Error("NOT false must be true")
+	}
+	if !evalP(t, And(), r) {
+		t.Error("empty AND must be true")
+	}
+	if evalP(t, Or(), r) {
+		t.Error("empty OR must be false")
+	}
+}
+
+func TestAndOrFlattening(t *testing.T) {
+	p := Cmp(CmpEq, Col("X"), Lit(Int(1)))
+	combined := And(And(p, p), p, nil)
+	ap, ok := combined.(AndPred)
+	if !ok {
+		t.Fatalf("And did not return AndPred: %T", combined)
+	}
+	if len(ap.Ps) != 3 {
+		t.Errorf("flattened AND has %d terms, want 3", len(ap.Ps))
+	}
+	if single := And(p); single != Pred(p) {
+		t.Error("And of one predicate should return it unchanged")
+	}
+	oc := Or(Or(p, p), p)
+	op, ok := oc.(OrPred)
+	if !ok || len(op.Ps) != 3 {
+		t.Errorf("Or flattening wrong: %#v", oc)
+	}
+}
+
+func TestNullPred(t *testing.T) {
+	r := Row{Null(), Float(1), Str("x"), Bool(true)}
+	if !evalP(t, IsNull(Col("X")), r) {
+		t.Error("IsNull(NULL) must hold")
+	}
+	if evalP(t, IsNull(Col("Y")), r) {
+		t.Error("IsNull(1.0) must not hold")
+	}
+	if !evalP(t, IsNotNull(Col("Y")), r) {
+		t.Error("IsNotNull(1.0) must hold")
+	}
+	if got := IsNull(Col("X")).SQL(); got != "X IS NULL" {
+		t.Errorf("SQL = %q", got)
+	}
+	if got := IsNotNull(Col("X")).SQL(); got != "X IS NOT NULL" {
+		t.Errorf("SQL = %q", got)
+	}
+}
+
+func TestInPred(t *testing.T) {
+	r := Row{Int(5), Float(1), Str("IV fluids"), Bool(true)}
+	p := In(Col("S"), Str("surgery"), Str("IV fluids"), Str("oxygen"))
+	if !evalP(t, p, r) {
+		t.Error("IN must match")
+	}
+	if evalP(t, In(Col("S"), Str("surgery")), r) {
+		t.Error("IN must not match")
+	}
+	if got := p.SQL(); got != "S IN ('surgery', 'IV fluids', 'oxygen')" {
+		t.Errorf("SQL = %q", got)
+	}
+}
+
+func TestTruthPred(t *testing.T) {
+	r := Row{Int(0), Float(1), Str(""), Bool(true)}
+	if !evalP(t, Truth(Col("B")), r) {
+		t.Error("Truth(true bool) must hold")
+	}
+	if evalP(t, Truth(Col("X")), r) {
+		t.Error("Truth(0) must not hold")
+	}
+	if evalP(t, Truth(Col("S")), r) {
+		t.Error("Truth(empty string) must not hold")
+	}
+}
+
+func TestBoolLit(t *testing.T) {
+	r := Row{Int(0), Float(0), Str(""), Bool(false)}
+	if !evalP(t, True, r) || evalP(t, False, r) {
+		t.Error("True/False literals broken")
+	}
+	if True.SQL() != "TRUE" || False.SQL() != "FALSE" {
+		t.Error("bool literal SQL broken")
+	}
+}
+
+func TestPredSQLRendering(t *testing.T) {
+	p := And(
+		Cmp(CmpGt, Col("PacksPerDay"), Lit(Int(0))),
+		Cmp(CmpLt, Col("PacksPerDay"), Lit(Int(2))),
+	)
+	want := "(PacksPerDay > 0 AND PacksPerDay < 2)"
+	if got := p.SQL(); got != want {
+		t.Errorf("SQL = %q, want %q", got, want)
+	}
+	n := Not(Eq("Smoking", Str("None")))
+	if got := n.SQL(); !strings.Contains(got, "NOT (Smoking = 'None')") {
+		t.Errorf("NOT SQL = %q", got)
+	}
+	if got := And().SQL(); got != "TRUE" {
+		t.Errorf("empty AND SQL = %q", got)
+	}
+	if got := Or().SQL(); got != "FALSE" {
+		t.Errorf("empty OR SQL = %q", got)
+	}
+}

@@ -1,0 +1,397 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Table is a named, mutable relation with optional hash indexes. Tables are
+// safe for concurrent use.
+type Table struct {
+	name   string
+	schema *Schema
+
+	mu      sync.RWMutex
+	rows    []Row
+	indexes map[string]*hashIndex // column name -> index
+}
+
+type hashIndex struct {
+	col     int
+	buckets map[string][]int // value key -> row positions
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{name: name, schema: schema, indexes: make(map[string]*hashIndex)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert validates and appends a row. The row is cloned; the caller may
+// reuse its slice.
+func (t *Table) Insert(r Row) error {
+	if err := t.schema.Validate(r); err != nil {
+		return fmt.Errorf("insert into %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos := len(t.rows)
+	t.rows = append(t.rows, r.Clone())
+	for _, idx := range t.indexes {
+		k := r[idx.col].Key()
+		idx.buckets[k] = append(idx.buckets[k], pos)
+	}
+	return nil
+}
+
+// InsertAll inserts each row, stopping at the first error.
+func (t *Table) InsertAll(rows []Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertMap inserts a row given as a column-name→value map; absent nullable
+// columns become NULL.
+func (t *Table) InsertMap(m map[string]Value) error {
+	r := make(Row, t.schema.Arity())
+	for name, v := range m {
+		i := t.schema.Index(name)
+		if i < 0 {
+			return fmt.Errorf("insert into %s: no column %q", t.name, name)
+		}
+		r[i] = v
+	}
+	return t.Insert(r)
+}
+
+// Update applies fn to every row matching pred, replacing the stored row
+// with the returned one. It returns the number of rows updated. Indexes are
+// rebuilt if any update occurred.
+func (t *Table) Update(pred Pred, fn func(Row) Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i, r := range t.rows {
+		ok, err := evalPred(pred, r, t.schema)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			continue
+		}
+		nr := fn(r.Clone())
+		if err := t.schema.Validate(nr); err != nil {
+			return n, fmt.Errorf("update %s: %w", t.name, err)
+		}
+		t.rows[i] = nr
+		n++
+	}
+	if n > 0 {
+		t.rebuildIndexesLocked()
+	}
+	return n, nil
+}
+
+// Delete removes rows matching pred and returns how many were removed.
+func (t *Table) Delete(pred Pred) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rows[:0]
+	n := 0
+	for _, r := range t.rows {
+		ok, err := evalPred(pred, r, t.schema)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rows = kept
+	if n > 0 {
+		t.rebuildIndexesLocked()
+	}
+	return n, nil
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+	t.rebuildIndexesLocked()
+}
+
+// CreateIndex builds a hash index on the named column. Creating an index
+// that already exists is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	i := t.schema.Index(col)
+	if i < 0 {
+		return fmt.Errorf("relstore: index on %s: no column %q", t.name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[col]; ok {
+		return nil
+	}
+	idx := &hashIndex{col: i, buckets: make(map[string][]int)}
+	for pos, r := range t.rows {
+		k := r[i].Key()
+		idx.buckets[k] = append(idx.buckets[k], pos)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// HasIndex reports whether a hash index exists on the column.
+func (t *Table) HasIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[col]
+	return ok
+}
+
+func (t *Table) rebuildIndexesLocked() {
+	for col, idx := range t.indexes {
+		i := idx.col
+		nb := make(map[string][]int)
+		for pos, r := range t.rows {
+			k := r[i].Key()
+			nb[k] = append(nb[k], pos)
+		}
+		t.indexes[col] = &hashIndex{col: i, buckets: nb}
+	}
+}
+
+// Lookup returns clones of the rows whose indexed column equals v. It falls
+// back to a scan when no index exists on the column.
+func (t *Table) Lookup(col string, v Value) ([]Row, error) {
+	ci := t.schema.Index(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: lookup on %s: no column %q", t.name, col)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx, ok := t.indexes[col]; ok {
+		positions := idx.buckets[v.Key()]
+		out := make([]Row, 0, len(positions))
+		for _, p := range positions {
+			out = append(out, t.rows[p].Clone())
+		}
+		return out, nil
+	}
+	var out []Row
+	for _, r := range t.rows {
+		if r[ci].Equal(v) {
+			out = append(out, r.Clone())
+		}
+	}
+	return out, nil
+}
+
+// Scan calls fn for every row. The row passed to fn must not be mutated or
+// retained; clone it if needed. Scanning stops early if fn returns false.
+func (t *Table) Scan(fn func(Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Select scans the table and returns clones of the rows matching pred (nil
+// keeps everything) — unlike Rows()+Select, non-matching rows are never
+// cloned, which is what layout-level predicate pushdown buys. When the
+// predicate contains an equality on a hash-indexed column, the index probes
+// the candidate rows instead of scanning.
+func (t *Table) Select(pred Pred) (*Rows, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if col, v, rest, ok := t.indexableEq(pred); ok {
+		idx := t.indexes[col]
+		positions := idx.buckets[v.Key()]
+		out := make([]Row, 0, len(positions))
+		for _, p := range positions {
+			r := t.rows[p]
+			keep, err := evalPred(rest, r, t.schema)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out = append(out, r.Clone())
+			}
+		}
+		return &Rows{Schema: t.schema, Data: out}, nil
+	}
+	var out []Row
+	for _, r := range t.rows {
+		ok, err := evalPred(pred, r, t.schema)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r.Clone())
+		}
+	}
+	return &Rows{Schema: t.schema, Data: out}, nil
+}
+
+// indexableEq recognizes predicates of the shape "col = literal [AND rest]"
+// where col carries a hash index, returning the probe and the residual
+// predicate. Callers must hold t.mu.
+func (t *Table) indexableEq(pred Pred) (string, Value, Pred, bool) {
+	matchCmp := func(p Pred) (string, Value, bool) {
+		c, ok := p.(CmpPred)
+		if !ok || c.Op != CmpEq {
+			return "", Value{}, false
+		}
+		if col, ok := c.L.(ColRef); ok {
+			if lit, ok := c.R.(LitExpr); ok && !lit.V.IsNull() {
+				if _, indexed := t.indexes[col.Name]; indexed {
+					return col.Name, lit.V, true
+				}
+			}
+		}
+		if col, ok := c.R.(ColRef); ok {
+			if lit, ok := c.L.(LitExpr); ok && !lit.V.IsNull() {
+				if _, indexed := t.indexes[col.Name]; indexed {
+					return col.Name, lit.V, true
+				}
+			}
+		}
+		return "", Value{}, false
+	}
+	if col, v, ok := matchCmp(pred); ok {
+		return col, v, True, true
+	}
+	if and, ok := pred.(AndPred); ok {
+		for i, sub := range and.Ps {
+			if col, v, ok := matchCmp(sub); ok {
+				rest := make([]Pred, 0, len(and.Ps)-1)
+				rest = append(rest, and.Ps[:i]...)
+				rest = append(rest, and.Ps[i+1:]...)
+				return col, v, And(rest...), true
+			}
+		}
+	}
+	return "", Value{}, nil, false
+}
+
+// Rows returns a snapshot Rows result of the whole table.
+func (t *Table) Rows() *Rows {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.Clone()
+	}
+	return &Rows{Schema: t.schema, Data: out}
+}
+
+// DB is a named collection of tables; it models one database instance
+// (a contributor database, a temporary ETL database, or the warehouse).
+type DB struct {
+	name string
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB(name string) *DB {
+	return &DB{name: name, tables: make(map[string]*Table)}
+}
+
+// Name returns the database name.
+func (d *DB) Name() string { return d.name }
+
+// CreateTable creates a new table, failing if the name is taken.
+func (d *DB) CreateTable(name string, schema *Schema) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.tables[name]; exists {
+		return nil, fmt.Errorf("relstore: table %q already exists in %s", name, d.name)
+	}
+	t := NewTable(name, schema)
+	d.tables[name] = t
+	return t, nil
+}
+
+// EnsureTable returns the existing table or creates it. If the table exists
+// with a different schema, an error is returned.
+func (d *DB) EnsureTable(name string, schema *Schema) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, exists := d.tables[name]; exists {
+		if !t.schema.Equal(schema) {
+			return nil, fmt.Errorf("relstore: table %q exists with different schema", name)
+		}
+		return t, nil
+	}
+	t := NewTable(name, schema)
+	d.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (d *DB) Table(name string) (*Table, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q in %s", name, d.name)
+	}
+	return t, nil
+}
+
+// Has reports whether a table with the name exists.
+func (d *DB) Has(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.tables[name]
+	return ok
+}
+
+// Drop removes a table.
+func (d *DB) Drop(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.tables[name]; !ok {
+		return fmt.Errorf("relstore: no table %q in %s", name, d.name)
+	}
+	delete(d.tables, name)
+	return nil
+}
+
+// TableNames returns the table names in sorted order.
+func (d *DB) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,89 @@
+package study
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// This file machine-checks the information-loss observation of Table 2:
+// "There is no way to translate any one representation into another without
+// losing information." Losslessness is decided relative to observed data:
+// representation B is derivable from representation A over a sample exactly
+// when A's value determines B's value on every sample point — i.e. the
+// partition A induces refines the partition B induces. Section 4.2 uses the
+// same relation ("if classifier A and classifier B share a simple algebraic
+// relationship, then we can materialize A's output and compute B as
+// needed"), so this predicate also powers the algebraic materialization
+// strategy in internal/materialize.
+
+// Derivation is a concrete value-level mapping from one domain
+// representation to another, built from data.
+type Derivation map[string]relstore.Value
+
+// DeriveMapping attempts to construct the function f with b = f(a) pointwise
+// over the paired samples. It returns the mapping and true when a's value
+// determines b's value everywhere; otherwise it returns a witness pair index
+// and false.
+func DeriveMapping(aVals, bVals []relstore.Value) (Derivation, int, bool) {
+	if len(aVals) != len(bVals) {
+		return nil, -1, false
+	}
+	m := make(Derivation)
+	chosen := make(map[string]relstore.Value)
+	for i := range aVals {
+		k := aVals[i].Key()
+		if prev, ok := chosen[k]; ok {
+			if !prev.Equal(bVals[i]) {
+				return nil, i, false // same A-value maps to two B-values
+			}
+			continue
+		}
+		chosen[k] = bVals[i]
+		m[k] = bVals[i]
+	}
+	return m, -1, true
+}
+
+// Apply maps a value through the derivation; unseen values yield NULL and
+// false.
+func (d Derivation) Apply(v relstore.Value) (relstore.Value, bool) {
+	out, ok := d[v.Key()]
+	return out, ok
+}
+
+// LossReport summarizes derivability between two representations of the
+// same attribute over a sample.
+type LossReport struct {
+	AtoB bool // B derivable from A
+	BtoA bool // A derivable from B
+	// WitnessAtoB / WitnessBtoA are sample indices demonstrating
+	// non-derivability (-1 when derivable).
+	WitnessAtoB int
+	WitnessBtoA int
+}
+
+// Lossless reports whether the representations are mutually derivable.
+func (r LossReport) Lossless() bool { return r.AtoB && r.BtoA }
+
+// CheckLoss analyzes two parallel columns of representation values.
+func CheckLoss(aVals, bVals []relstore.Value) (LossReport, error) {
+	if len(aVals) != len(bVals) {
+		return LossReport{}, fmt.Errorf("study: sample columns differ in length: %d vs %d", len(aVals), len(bVals))
+	}
+	_, wAB, ab := DeriveMapping(aVals, bVals)
+	_, wBA, ba := DeriveMapping(bVals, aVals)
+	return LossReport{AtoB: ab, BtoA: ba, WitnessAtoB: wAB, WitnessBtoA: wBA}, nil
+}
+
+// SmokingDomains returns the three smoking representations of Table 2, used
+// across tests, examples, and benchmarks.
+func SmokingDomains() []*Domain {
+	return []*Domain{
+		{ID: "D1", Kind: relstore.KindFloat, Description: "Number of packs smoked per day"},
+		{ID: "D2", Kind: relstore.KindString, Elements: []string{"None", "Current", "Previous"},
+			Description: "No smoking, current smoker, or has smoked in the past"},
+		{ID: "D3", Kind: relstore.KindString, Elements: []string{"None", "Light", "Moderate", "Heavy"},
+			Description: "General classification of smoking habits"},
+	}
+}

@@ -1,0 +1,265 @@
+// Package study implements MultiClass study schemas (Section 3.3, Figure 4):
+// a hierarchical conceptual model where "the only relationship type is
+// has-a, with a single entity of primary interest sitting atop a tree", and
+// — the biggest difference from an ER diagram — attributes carry *multiple
+// domains*, because "depending on the study, analysts may want to represent
+// an attribute like smoking habits in different ways" (Table 2).
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"guava/internal/relstore"
+)
+
+// Domain is one representation of an attribute. Elements enumerate
+// categorical domains; open domains (counts, free text, measurements) leave
+// Elements empty and are characterized by Kind alone.
+type Domain struct {
+	// ID names the domain within its attribute, e.g. "D1".
+	ID string
+	// Kind is the value type of the domain.
+	Kind relstore.Kind
+	// Elements are the categorical values, in display order.
+	Elements []string
+	// Description explains the representation ("Number of packs smoked per
+	// day", "General classification of smoking habits", …).
+	Description string
+}
+
+// HasElement reports whether the categorical domain contains the element.
+func (d *Domain) HasElement(e string) bool {
+	for _, x := range d.Elements {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the domain for display.
+func (d *Domain) String() string {
+	if len(d.Elements) > 0 {
+		return fmt.Sprintf("%s{%s}", d.ID, strings.Join(d.Elements, ", "))
+	}
+	return fmt.Sprintf("%s(%s)", d.ID, d.Kind)
+}
+
+// Attribute is a named attribute with one or more domains.
+type Attribute struct {
+	Name    string
+	Domains []*Domain
+}
+
+// Domain returns the identified domain.
+func (a *Attribute) Domain(id string) (*Domain, error) {
+	for _, d := range a.Domains {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("study: attribute %q has no domain %q", a.Name, id)
+}
+
+// Entity is a node of the has-a tree.
+type Entity struct {
+	Name       string
+	Attributes []*Attribute
+	// Children are has-a related entities (a Procedure has Findings, a
+	// Finding has New Medications — Figure 4).
+	Children []*Entity
+}
+
+// Attribute returns the named attribute.
+func (e *Entity) Attribute(name string) (*Attribute, error) {
+	for _, a := range e.Attributes {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("study: entity %q has no attribute %q", e.Name, name)
+}
+
+// Schema is a complete study schema: the primary entity of interest at the
+// root of a has-a tree. "The study schema may be incomplete compared to a
+// global schema. Data elements not needed in any study are simply omitted.
+// Analysts can expand the study schema as needed for new studies."
+type Schema struct {
+	Name string
+	Root *Entity
+
+	byName map[string]*Entity
+}
+
+// Validate checks structural invariants and builds the entity index: unique
+// entity names, unique attribute names per entity, unique domain IDs per
+// attribute, non-empty names, at least one domain per attribute.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("study: schema with empty name")
+	}
+	if s.Root == nil {
+		return fmt.Errorf("study: schema %q has no primary entity", s.Name)
+	}
+	s.byName = make(map[string]*Entity)
+	var walk func(e *Entity) error
+	walk = func(e *Entity) error {
+		if e.Name == "" {
+			return fmt.Errorf("study: schema %q has an entity with empty name", s.Name)
+		}
+		if _, dup := s.byName[e.Name]; dup {
+			return fmt.Errorf("study: duplicate entity %q", e.Name)
+		}
+		s.byName[e.Name] = e
+		attrs := map[string]bool{}
+		for _, a := range e.Attributes {
+			if a.Name == "" {
+				return fmt.Errorf("study: entity %q has an attribute with empty name", e.Name)
+			}
+			if attrs[a.Name] {
+				return fmt.Errorf("study: entity %q has duplicate attribute %q", e.Name, a.Name)
+			}
+			attrs[a.Name] = true
+			if len(a.Domains) == 0 {
+				return fmt.Errorf("study: attribute %s.%s has no domains", e.Name, a.Name)
+			}
+			ids := map[string]bool{}
+			for _, d := range a.Domains {
+				if d.ID == "" {
+					return fmt.Errorf("study: attribute %s.%s has a domain with empty ID", e.Name, a.Name)
+				}
+				if ids[d.ID] {
+					return fmt.Errorf("study: attribute %s.%s has duplicate domain %q", e.Name, a.Name, d.ID)
+				}
+				ids[d.ID] = true
+				if len(d.Elements) > 0 && d.Kind != relstore.KindString {
+					return fmt.Errorf("study: categorical domain %s.%s:%s must be TEXT, is %s", e.Name, a.Name, d.ID, d.Kind)
+				}
+				seen := map[string]bool{}
+				for _, el := range d.Elements {
+					if seen[el] {
+						return fmt.Errorf("study: domain %s.%s:%s repeats element %q", e.Name, a.Name, d.ID, el)
+					}
+					seen[el] = true
+				}
+			}
+		}
+		for _, c := range e.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(s.Root)
+}
+
+// Entity returns the named entity anywhere in the tree.
+func (s *Schema) Entity(name string) (*Entity, error) {
+	if s.byName == nil {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	e, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("study: schema %q has no entity %q", s.Name, name)
+	}
+	return e, nil
+}
+
+// Domain resolves entity.attribute:domain.
+func (s *Schema) Domain(entity, attribute, domain string) (*Domain, error) {
+	e, err := s.Entity(entity)
+	if err != nil {
+		return nil, err
+	}
+	a, err := e.Attribute(attribute)
+	if err != nil {
+		return nil, err
+	}
+	return a.Domain(domain)
+}
+
+// EntityNames returns all entity names, sorted.
+func (s *Schema) EntityNames() []string {
+	if s.byName == nil {
+		if err := s.Validate(); err != nil {
+			return nil
+		}
+	}
+	out := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddAttribute expands an entity with a new attribute (analysts "can add
+// data elements to a study schema" per Section 3). It fails on duplicates.
+func (s *Schema) AddAttribute(entity string, attr *Attribute) error {
+	e, err := s.Entity(entity)
+	if err != nil {
+		return err
+	}
+	if _, err := e.Attribute(attr.Name); err == nil {
+		return fmt.Errorf("study: entity %q already has attribute %q", entity, attr.Name)
+	}
+	e.Attributes = append(e.Attributes, attr)
+	s.byName = nil // force re-validation on next access
+	return s.Validate()
+}
+
+// AddDomain expands an attribute with a new representation.
+func (s *Schema) AddDomain(entity, attribute string, d *Domain) error {
+	e, err := s.Entity(entity)
+	if err != nil {
+		return err
+	}
+	a, err := e.Attribute(attribute)
+	if err != nil {
+		return err
+	}
+	if _, err := a.Domain(d.ID); err == nil {
+		return fmt.Errorf("study: attribute %s.%s already has domain %q", entity, attribute, d.ID)
+	}
+	a.Domains = append(a.Domains, d)
+	s.byName = nil
+	return s.Validate()
+}
+
+// AddChild attaches a new has-a child entity.
+func (s *Schema) AddChild(parent string, child *Entity) error {
+	p, err := s.Entity(parent)
+	if err != nil {
+		return err
+	}
+	p.Children = append(p.Children, child)
+	s.byName = nil
+	return s.Validate()
+}
+
+// Render draws the schema as indented text (the shape of Figure 4).
+func (s *Schema) Render() string {
+	var sb strings.Builder
+	var rec func(e *Entity, depth int)
+	rec = func(e *Entity, depth int) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&sb, "%sEntity: %s\n", indent, e.Name)
+		for _, a := range e.Attributes {
+			doms := make([]string, len(a.Domains))
+			for i, d := range a.Domains {
+				doms[i] = d.String()
+			}
+			fmt.Fprintf(&sb, "%s  %s: %s\n", indent, a.Name, strings.Join(doms, " | "))
+		}
+		for _, c := range e.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(s.Root, 0)
+	return sb.String()
+}

@@ -1,0 +1,255 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/relstore"
+)
+
+// figure4Schema reconstructs the study schema of Figure 4: Procedure at the
+// top with Finding-of-Fissure and New-Medication children, and the Smoking
+// attribute carrying the three domains of Table 2.
+func figure4Schema(t *testing.T) *Schema {
+	t.Helper()
+	s := &Schema{
+		Name: "CORI outcomes",
+		Root: &Entity{
+			Name: "Procedure",
+			Attributes: []*Attribute{
+				{Name: "TransientHypoxia", Domains: []*Domain{{ID: "D1", Kind: relstore.KindBool, Description: "yes/no"}}},
+				{Name: "ProlongedHypoxia", Domains: []*Domain{{ID: "D1", Kind: relstore.KindBool, Description: "yes/no"}}},
+				{Name: "SurgeryPerformed", Domains: []*Domain{{ID: "D1", Kind: relstore.KindBool, Description: "yes/no"}}},
+				{Name: "Smoking", Domains: SmokingDomains()},
+				{Name: "AlcoholUse", Domains: []*Domain{
+					{ID: "D1", Kind: relstore.KindString, Elements: []string{"None", "Light", "Heavy"}},
+				}},
+			},
+			Children: []*Entity{
+				{
+					Name: "FindingOfFissure",
+					Attributes: []*Attribute{
+						{Name: "Size", Domains: []*Domain{{ID: "D1", Kind: relstore.KindInt, Description: "mm"}}},
+						{Name: "ImagesTaken", Domains: []*Domain{{ID: "D1", Kind: relstore.KindBool}}},
+					},
+				},
+				{
+					Name: "NewMedication",
+					Attributes: []*Attribute{
+						{Name: "Drug", Domains: []*Domain{
+							{ID: "D1", Kind: relstore.KindString, Description: "Name"},
+							{ID: "D2", Kind: relstore.KindString, Description: "Bar code"},
+						}},
+						{Name: "Dosage", Domains: []*Domain{{ID: "D1", Kind: relstore.KindInt, Description: "mg"}}},
+						{Name: "Instructions", Domains: []*Domain{
+							{ID: "D1", Kind: relstore.KindString, Description: "full instructions"},
+							{ID: "D2", Kind: relstore.KindInt, Description: "pills/day"},
+						}},
+					},
+				},
+			},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFigure4StudySchema checks the has-a tree, multi-domain attributes, and
+// lookups.
+func TestFigure4StudySchema(t *testing.T) {
+	s := figure4Schema(t)
+	names := s.EntityNames()
+	if strings.Join(names, ",") != "FindingOfFissure,NewMedication,Procedure" {
+		t.Errorf("entities = %v", names)
+	}
+	// Primary entity sits atop the tree.
+	if s.Root.Name != "Procedure" {
+		t.Error("Procedure must be the primary entity")
+	}
+	// Smoking has three domains (Table 2).
+	smoking, err := s.Entity("Procedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := smoking.Attribute("Smoking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Domains) != 3 {
+		t.Fatalf("smoking domains = %d, want 3", len(a.Domains))
+	}
+	d3, err := s.Domain("Procedure", "Smoking", "D3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.HasElement("Moderate") || d3.HasElement("Gigantic") {
+		t.Error("D3 elements wrong")
+	}
+	if _, err := s.Domain("Procedure", "Smoking", "D9"); err == nil {
+		t.Error("missing domain must error")
+	}
+	if _, err := s.Domain("Procedure", "Nope", "D1"); err == nil {
+		t.Error("missing attribute must error")
+	}
+	if _, err := s.Entity("Nope"); err == nil {
+		t.Error("missing entity must error")
+	}
+	txt := s.Render()
+	for _, want := range []string{"Entity: Procedure", "Entity: NewMedication", "Smoking", "D3{None, Light, Moderate, Heavy}", "D1(REAL)"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	mk := func(mut func(*Schema)) error {
+		s := figure4Schema(t)
+		mut(s)
+		s.byName = nil
+		return s.Validate()
+	}
+	cases := []struct {
+		name string
+		mut  func(*Schema)
+	}{
+		{"empty schema name", func(s *Schema) { s.Name = "" }},
+		{"nil root", func(s *Schema) { s.Root = nil }},
+		{"duplicate entity", func(s *Schema) {
+			s.Root.Children = append(s.Root.Children, &Entity{Name: "Procedure"})
+		}},
+		{"empty entity name", func(s *Schema) {
+			s.Root.Children = append(s.Root.Children, &Entity{Name: ""})
+		}},
+		{"duplicate attribute", func(s *Schema) {
+			s.Root.Attributes = append(s.Root.Attributes, &Attribute{Name: "Smoking", Domains: SmokingDomains()})
+		}},
+		{"attribute without domains", func(s *Schema) {
+			s.Root.Attributes = append(s.Root.Attributes, &Attribute{Name: "X"})
+		}},
+		{"duplicate domain id", func(s *Schema) {
+			s.Root.Attributes[0].Domains = append(s.Root.Attributes[0].Domains, &Domain{ID: "D1", Kind: relstore.KindBool})
+		}},
+		{"categorical non-text", func(s *Schema) {
+			s.Root.Attributes = append(s.Root.Attributes, &Attribute{Name: "X", Domains: []*Domain{
+				{ID: "D1", Kind: relstore.KindInt, Elements: []string{"a"}},
+			}})
+		}},
+		{"repeated element", func(s *Schema) {
+			s.Root.Attributes = append(s.Root.Attributes, &Attribute{Name: "X", Domains: []*Domain{
+				{ID: "D1", Kind: relstore.KindString, Elements: []string{"a", "a"}},
+			}})
+		}},
+	}
+	for _, c := range cases {
+		if err := mk(c.mut); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestSchemaExpansion(t *testing.T) {
+	s := figure4Schema(t)
+	// "Analysts can expand the study schema as needed for new studies."
+	if err := s.AddAttribute("Procedure", &Attribute{Name: "Indication", Domains: []*Domain{
+		{ID: "D1", Kind: relstore.KindString},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Domain("Procedure", "Indication", "D1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAttribute("Procedure", &Attribute{Name: "Indication", Domains: []*Domain{{ID: "D1", Kind: relstore.KindString}}}); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+	if err := s.AddDomain("Procedure", "Smoking", &Domain{ID: "D4", Kind: relstore.KindInt, Description: "pack-years"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDomain("Procedure", "Smoking", &Domain{ID: "D4", Kind: relstore.KindInt}); err == nil {
+		t.Error("duplicate domain must fail")
+	}
+	if err := s.AddChild("Procedure", &Entity{Name: "Complication", Attributes: []*Attribute{
+		{Name: "Kind", Domains: []*Domain{{ID: "D1", Kind: relstore.KindString}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Entity("Complication"); err != nil {
+		t.Error("added child not found")
+	}
+	if err := s.AddChild("Procedure", &Entity{Name: "Procedure"}); err == nil {
+		t.Error("adding a duplicate entity must fail validation")
+	}
+}
+
+// TestTable2DomainsLossy machine-checks Table 2's claim: over realistic
+// data, none of the three smoking representations is derivable from another
+// (packs/day refines both categoricals, but the categoricals cannot
+// reconstruct packs/day, and D2/D3 cut the population differently).
+func TestTable2DomainsLossy(t *testing.T) {
+	// Raw patients: (packs/day, status, habit class) triples produced by
+	// three different classifiers over the same source records.
+	d1 := []relstore.Value{relstore.Float(0), relstore.Float(0.5), relstore.Float(1.5), relstore.Float(3), relstore.Float(0), relstore.Float(6)}
+	d2 := []relstore.Value{relstore.Str("None"), relstore.Str("Current"), relstore.Str("Previous"), relstore.Str("Current"), relstore.Str("Previous"), relstore.Str("Current")}
+	d3 := []relstore.Value{relstore.Str("None"), relstore.Str("Light"), relstore.Str("Light"), relstore.Str("Moderate"), relstore.Str("None"), relstore.Str("Heavy")}
+
+	// D1 -> D3 is derivable here (each packs value appears with one class)…
+	r13, err := CheckLoss(d1, d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r13.AtoB {
+		t.Error("D3 must be derivable from D1 over this sample")
+	}
+	// …but not the reverse: D3 "None" covers packs 0 with both statuses.
+	if r13.BtoA {
+		t.Error("D1 must not be derivable from D3 (category collapses distinct packs)")
+	}
+	if r13.Lossless() {
+		t.Error("D1/D3 must not be mutually lossless")
+	}
+	// D2 vs D3: same packs=0 patients split by ever-smoked, so neither
+	// direction is derivable.
+	r23, err := CheckLoss(d2, d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r23.AtoB || r23.BtoA {
+		t.Errorf("D2 and D3 must be mutually non-derivable: %+v", r23)
+	}
+	if r23.WitnessAtoB < 0 || r23.WitnessBtoA < 0 {
+		t.Error("non-derivability must come with witnesses")
+	}
+	// Length mismatch errors.
+	if _, err := CheckLoss(d1, d2[:3]); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestDeriveMapping(t *testing.T) {
+	a := []relstore.Value{relstore.Int(1), relstore.Int(2), relstore.Int(1)}
+	b := []relstore.Value{relstore.Str("x"), relstore.Str("y"), relstore.Str("x")}
+	m, w, ok := DeriveMapping(a, b)
+	if !ok || w != -1 {
+		t.Fatalf("expected derivable, witness %d", w)
+	}
+	v, found := m.Apply(relstore.Int(2))
+	if !found || !v.Equal(relstore.Str("y")) {
+		t.Errorf("Apply(2) = %v, %v", v, found)
+	}
+	if _, found := m.Apply(relstore.Int(99)); found {
+		t.Error("unseen value must not map")
+	}
+	// Conflict detection.
+	b2 := []relstore.Value{relstore.Str("x"), relstore.Str("y"), relstore.Str("z")}
+	if _, w, ok := DeriveMapping(a, b2); ok || w != 2 {
+		t.Errorf("expected conflict at index 2, got ok=%v w=%d", ok, w)
+	}
+	// NULL keys are values too.
+	a3 := []relstore.Value{relstore.Null(), relstore.Null()}
+	b3 := []relstore.Value{relstore.Str("u"), relstore.Str("u")}
+	if _, _, ok := DeriveMapping(a3, b3); !ok {
+		t.Error("NULL-keyed mapping must work")
+	}
+}

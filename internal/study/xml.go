@@ -1,0 +1,119 @@
+package study
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"guava/internal/relstore"
+)
+
+// The paper stores its artifacts as XML documents; this file provides the
+// XML form of study schemas, so a schema can be shared between analysts and
+// versioned alongside the studies that use it.
+
+type xmlDomain struct {
+	ID          string   `xml:"id,attr"`
+	Kind        string   `xml:"kind,attr"`
+	Description string   `xml:"description,omitempty"`
+	Elements    []string `xml:"element"`
+}
+
+type xmlAttribute struct {
+	Name    string      `xml:"name,attr"`
+	Domains []xmlDomain `xml:"domain"`
+}
+
+type xmlEntity struct {
+	Name       string         `xml:"name,attr"`
+	Attributes []xmlAttribute `xml:"attribute"`
+	Children   []xmlEntity    `xml:"entity"`
+}
+
+type xmlSchema struct {
+	XMLName xml.Name  `xml:"studySchema"`
+	Name    string    `xml:"name,attr"`
+	Root    xmlEntity `xml:"entity"`
+}
+
+func entityToXML(e *Entity) xmlEntity {
+	x := xmlEntity{Name: e.Name}
+	for _, a := range e.Attributes {
+		xa := xmlAttribute{Name: a.Name}
+		for _, d := range a.Domains {
+			xa.Domains = append(xa.Domains, xmlDomain{
+				ID: d.ID, Kind: d.Kind.String(), Description: d.Description, Elements: d.Elements,
+			})
+		}
+		x.Attributes = append(x.Attributes, xa)
+	}
+	for _, c := range e.Children {
+		x.Children = append(x.Children, entityToXML(c))
+	}
+	return x
+}
+
+func entityFromXML(x xmlEntity) (*Entity, error) {
+	e := &Entity{Name: x.Name}
+	for _, xa := range x.Attributes {
+		a := &Attribute{Name: xa.Name}
+		for _, xd := range xa.Domains {
+			var k relstore.Kind
+			switch xd.Kind {
+			case "INTEGER":
+				k = relstore.KindInt
+			case "REAL":
+				k = relstore.KindFloat
+			case "TEXT":
+				k = relstore.KindString
+			case "BOOLEAN":
+				k = relstore.KindBool
+			default:
+				return nil, fmt.Errorf("study: unknown domain kind %q", xd.Kind)
+			}
+			a.Domains = append(a.Domains, &Domain{
+				ID: xd.ID, Kind: k, Description: xd.Description, Elements: xd.Elements,
+			})
+		}
+		e.Attributes = append(e.Attributes, a)
+	}
+	for _, xc := range x.Children {
+		c, err := entityFromXML(xc)
+		if err != nil {
+			return nil, err
+		}
+		e.Children = append(e.Children, c)
+	}
+	return e, nil
+}
+
+// EncodeXML writes the schema as indented XML.
+func EncodeXML(w io.Writer, s *Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	x := xmlSchema{Name: s.Name, Root: entityToXML(s.Root)}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return fmt.Errorf("study: encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeXML reads a schema from XML produced by EncodeXML and validates it.
+func DecodeXML(r io.Reader) (*Schema, error) {
+	var x xmlSchema
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("study: decode: %w", err)
+	}
+	root, err := entityFromXML(x.Root)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schema{Name: x.Name, Root: root}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

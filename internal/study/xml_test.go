@@ -1,0 +1,69 @@
+package study
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSchemaXMLRoundTrip(t *testing.T) {
+	s := figure4Schema(t)
+	var buf bytes.Buffer
+	if err := EncodeXML(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	xml := buf.String()
+	for _, want := range []string{`name="CORI outcomes"`, `name="Procedure"`, `name="Smoking"`, `<element>Moderate</element>`, `kind="REAL"`} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("XML missing %q:\n%s", want, xml[:min(len(xml), 400)])
+		}
+	}
+	back, err := DecodeXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name {
+		t.Errorf("name = %q", back.Name)
+	}
+	if strings.Join(back.EntityNames(), ",") != strings.Join(s.EntityNames(), ",") {
+		t.Errorf("entities = %v", back.EntityNames())
+	}
+	d3, err := back.Domain("Procedure", "Smoking", "D3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.HasElement("Heavy") || d3.Description == "" {
+		t.Errorf("D3 = %+v", d3)
+	}
+	// Render is identical after round trip.
+	if back.Render() != s.Render() {
+		t.Errorf("render changed:\n%s\nvs\n%s", back.Render(), s.Render())
+	}
+}
+
+func TestSchemaXMLErrors(t *testing.T) {
+	if _, err := DecodeXML(strings.NewReader("junk")); err == nil {
+		t.Error("garbage must fail")
+	}
+	bad := `<studySchema name="x"><entity name="E"><attribute name="A"><domain id="D" kind="WAT"></domain></attribute></entity></studySchema>`
+	if _, err := DecodeXML(strings.NewReader(bad)); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	// Decoded schemas re-validate: a duplicate entity fails.
+	dup := `<studySchema name="x"><entity name="E"><entity name="E"></entity></entity></studySchema>`
+	if _, err := DecodeXML(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate entity must fail validation")
+	}
+	// Encoding an invalid schema fails.
+	var buf bytes.Buffer
+	if err := EncodeXML(&buf, &Schema{Name: ""}); err == nil {
+		t.Error("invalid schema must fail to encode")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

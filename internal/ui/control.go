@@ -1,0 +1,194 @@
+// Package ui models the data-entry user interface of a clinical reporting
+// tool: forms composed of controls (group boxes, radio lists, drop-down
+// lists, text boxes, check boxes) with exact question wording, answer
+// options, default values, required flags, and enablement dependencies
+// ("the frequency textbox does not become enabled until someone answers the
+// smoking question" — Figure 2 of the paper).
+//
+// The paper's GUAVA prototype extended Visual Studio .NET form components so
+// an IDE could derive a g-tree from GUI code; this package is the equivalent
+// substrate in Go: a declarative form model that both (a) drives simulated
+// data entry with full UI semantics and (b) is walked by internal/gtree to
+// derive the g-tree automatically (Hypothesis #1).
+package ui
+
+import (
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// Kind enumerates control kinds.
+type Kind uint8
+
+// Control kinds. GroupBox is structural and stores no data; the remaining
+// kinds store a value in the contributor database.
+const (
+	GroupBox Kind = iota
+	TextBox
+	CheckBox
+	RadioList
+	DropDown
+)
+
+// String returns the control kind name.
+func (k Kind) String() string {
+	switch k {
+	case GroupBox:
+		return "GroupBox"
+	case TextBox:
+		return "TextBox"
+	case CheckBox:
+		return "CheckBox"
+	case RadioList:
+		return "RadioList"
+	case DropDown:
+		return "DropDown"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Option is one selectable answer of a radio list or drop-down: the display
+// text the clinician sees and the value the tool stores in the database.
+// The distinction matters: "a 1 in the field smoker might mean that the
+// patient is a current smoker, or instead could mean that they quit smoking
+// one year ago" — only the UI carries the wording.
+type Option struct {
+	Display string
+	Stored  relstore.Value
+}
+
+// EnableCond describes when a control becomes enabled, relative to another
+// control on the same form.
+type EnableCond uint8
+
+// Enablement conditions.
+const (
+	// Always means the control is always enabled.
+	Always EnableCond = iota
+	// WhenAnswered enables the control once the referenced control has any
+	// answer (the smoking → frequency dependency of Figure 2).
+	WhenAnswered
+	// WhenEquals enables the control when the referenced control's answer
+	// equals a specific stored value.
+	WhenEquals
+)
+
+// Enablement is a guard on a control.
+type Enablement struct {
+	Cond    EnableCond
+	Control string         // name of the controlling control
+	Value   relstore.Value // for WhenEquals
+}
+
+// Control is one element of a form. Group boxes have children and store no
+// data; every other kind stores one value per form instance.
+type Control struct {
+	// Name is the unique identifier of the control within its form; it is
+	// also the column name in the form's naive schema.
+	Name string
+	// Kind is the control kind.
+	Kind Kind
+	// Question is the exact wording shown to the clinician.
+	Question string
+	// Options are the selectable answers (RadioList, DropDown).
+	Options []Option
+	// AllowFreeText marks a drop-down that also accepts typed text (the
+	// alcohol control of Figure 3a has "an option for free text").
+	AllowFreeText bool
+	// Default is the initial value, or NULL when the control starts
+	// unselected (Figure 3b: "the radio list starts out with no option
+	// selected").
+	Default relstore.Value
+	// Required marks controls that must be answered before submission.
+	Required bool
+	// DataType is the stored type for TextBox controls; selections store
+	// their option's Stored value kind.
+	DataType relstore.Kind
+	// Enabled guards data entry (zero value: always enabled).
+	Enabled Enablement
+	// Children are the nested controls of a GroupBox.
+	Children []*Control
+}
+
+// StoresData reports whether the control stores a value (everything except
+// group boxes).
+func (c *Control) StoresData() bool { return c.Kind != GroupBox }
+
+// StoredKind returns the relstore kind this control's answers occupy in the
+// naive schema.
+func (c *Control) StoredKind() relstore.Kind {
+	switch c.Kind {
+	case CheckBox:
+		return relstore.KindBool
+	case TextBox:
+		if c.DataType == relstore.KindNull {
+			return relstore.KindString
+		}
+		return c.DataType
+	case RadioList, DropDown:
+		for _, o := range c.Options {
+			if !o.Stored.IsNull() {
+				return o.Stored.Kind()
+			}
+		}
+		return relstore.KindString
+	default:
+		return relstore.KindNull
+	}
+}
+
+// OptionFor returns the option whose stored value equals v.
+func (c *Control) OptionFor(v relstore.Value) (Option, bool) {
+	for _, o := range c.Options {
+		if o.Stored.Equal(v) {
+			return o, true
+		}
+	}
+	return Option{}, false
+}
+
+// ValidateAnswer checks a candidate stored value against the control's
+// constraints: option membership for selection controls (unless free text is
+// allowed), kind agreement for text boxes and check boxes.
+func (c *Control) ValidateAnswer(v relstore.Value) error {
+	if v.IsNull() {
+		return nil // clearing an answer is always allowed pre-submit
+	}
+	switch c.Kind {
+	case GroupBox:
+		return fmt.Errorf("ui: control %q is a group box and stores no data", c.Name)
+	case CheckBox:
+		if v.Kind() != relstore.KindBool {
+			return fmt.Errorf("ui: control %q expects a boolean, got %s", c.Name, v)
+		}
+	case TextBox:
+		want := c.StoredKind()
+		if v.Kind() != want && !(want == relstore.KindFloat && v.Kind() == relstore.KindInt) {
+			return fmt.Errorf("ui: control %q expects %s, got %s", c.Name, want, v)
+		}
+	case RadioList:
+		if _, ok := c.OptionFor(v); !ok {
+			return fmt.Errorf("ui: %s is not an option of radio list %q", v, c.Name)
+		}
+	case DropDown:
+		if _, ok := c.OptionFor(v); !ok {
+			if !c.AllowFreeText {
+				return fmt.Errorf("ui: %s is not an option of drop-down %q", v, c.Name)
+			}
+			if v.Kind() != relstore.KindString {
+				return fmt.Errorf("ui: free text in %q must be a string, got %s", c.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// walk visits the control and all descendants depth-first.
+func (c *Control) walk(fn func(*Control)) {
+	fn(c)
+	for _, ch := range c.Children {
+		ch.walk(fn)
+	}
+}

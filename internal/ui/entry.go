@@ -1,0 +1,163 @@
+package ui
+
+import (
+	"fmt"
+	"sort"
+
+	"guava/internal/relstore"
+)
+
+// RecordSink receives a submitted form instance as a naive-schema row (key
+// column included). Pattern stacks implement this to write the physical
+// contributor database.
+type RecordSink interface {
+	WriteRecord(form *Form, values map[string]relstore.Value) error
+}
+
+// Entry is one in-progress filling of a form, with full UI semantics:
+// answers are validated against the control definitions, disabled controls
+// cannot be answered, clearing a controlling answer clears its dependents,
+// and submission enforces required controls. The workload generator drives
+// all contributor data through Entry so that everything in the database was
+// "entered through the user interface", as with real reporting tools.
+type Entry struct {
+	form    *Form
+	key     relstore.Value
+	answers map[string]relstore.Value
+}
+
+// NewEntry starts a new form instance with the given key value. Defaults
+// are applied to enabled controls, mirroring what the tool displays when the
+// screen opens.
+func NewEntry(form *Form, key int64) (*Entry, error) {
+	if form.byName == nil {
+		if err := form.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	e := &Entry{form: form, key: relstore.Int(key), answers: make(map[string]relstore.Value)}
+	// Apply defaults in a deterministic order; a default only lands on a
+	// control that is enabled given earlier defaults.
+	names := make([]string, 0, len(form.byName))
+	for n := range form.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := form.byName[n]
+		if c.StoresData() && !c.Default.IsNull() && e.IsEnabled(n) {
+			e.answers[n] = c.Default
+		}
+	}
+	return e, nil
+}
+
+// Form returns the form being filled.
+func (e *Entry) Form() *Form { return e.form }
+
+// IsEnabled reports whether the named control is currently enabled, given
+// the answers entered so far.
+func (e *Entry) IsEnabled(name string) bool {
+	c, ok := e.form.byName[name]
+	if !ok {
+		return false
+	}
+	switch c.Enabled.Cond {
+	case Always:
+		return true
+	case WhenAnswered:
+		v, ok := e.answers[c.Enabled.Control]
+		return ok && !v.IsNull()
+	case WhenEquals:
+		v, ok := e.answers[c.Enabled.Control]
+		return ok && v.Equal(c.Enabled.Value)
+	default:
+		return false
+	}
+}
+
+// Answer returns the current answer of a control (NULL when unanswered).
+func (e *Entry) Answer(name string) relstore.Value {
+	if v, ok := e.answers[name]; ok {
+		return v
+	}
+	return relstore.Null()
+}
+
+// Set records an answer for a control, enforcing UI semantics. Setting NULL
+// clears the answer. Clearing or changing a controlling answer clears every
+// control that thereby becomes disabled (transitively), exactly as a GUI
+// blanks and disables dependent fields.
+func (e *Entry) Set(name string, v relstore.Value) error {
+	c, err := e.form.Control(name)
+	if err != nil {
+		return err
+	}
+	if !c.StoresData() {
+		return fmt.Errorf("ui: cannot answer group box %q", name)
+	}
+	if !e.IsEnabled(name) {
+		return fmt.Errorf("ui: control %q is disabled", name)
+	}
+	if err := c.ValidateAnswer(v); err != nil {
+		return err
+	}
+	if v.IsNull() {
+		delete(e.answers, name)
+	} else {
+		e.answers[name] = v
+	}
+	e.clearDisabled()
+	return nil
+}
+
+// clearDisabled removes answers from controls that are no longer enabled,
+// repeating until a fixed point so chains of dependencies clear fully.
+func (e *Entry) clearDisabled() {
+	for {
+		changed := false
+		for name := range e.answers {
+			if !e.IsEnabled(name) {
+				delete(e.answers, name)
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// missingRequired returns the names of enabled required controls without an
+// answer, sorted.
+func (e *Entry) missingRequired() []string {
+	var missing []string
+	e.form.Walk(func(c *Control) {
+		if c.StoresData() && c.Required && e.IsEnabled(c.Name) {
+			if _, ok := e.answers[c.Name]; !ok {
+				missing = append(missing, c.Name)
+			}
+		}
+	})
+	sort.Strings(missing)
+	return missing
+}
+
+// Values snapshots the naive-schema row the entry would submit: the key
+// column plus every data control's answer (NULL when unanswered).
+func (e *Entry) Values() map[string]relstore.Value {
+	out := make(map[string]relstore.Value, len(e.answers)+1)
+	out[e.form.KeyColumn] = e.key
+	for _, c := range e.form.DataControls() {
+		out[c.Name] = e.Answer(c.Name)
+	}
+	return out
+}
+
+// Submit validates required controls and writes the instance to the sink.
+func (e *Entry) Submit(sink RecordSink) error {
+	if missing := e.missingRequired(); len(missing) > 0 {
+		return fmt.Errorf("ui: form %q missing required answers: %v", e.form.Name, missing)
+	}
+	return sink.WriteRecord(e.form, e.Values())
+}

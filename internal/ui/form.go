@@ -1,0 +1,237 @@
+package ui
+
+import (
+	"fmt"
+	"strings"
+
+	"guava/internal/relstore"
+)
+
+// Form is one screen of the reporting tool. "Each screen of the tool
+// corresponds to a table, and each control corresponds to a column" — that
+// correspondence is the naive schema (Section 3.2 of the paper).
+type Form struct {
+	// Name identifies the form (and names its naive-schema table).
+	Name string
+	// Title is the window caption shown to the clinician.
+	Title string
+	// KeyColumn names the synthetic instance key (e.g. "ProcedureID"); every
+	// submitted form instance receives a unique key value.
+	KeyColumn string
+	// Controls are the top-level controls (often group boxes).
+	Controls []*Control
+
+	byName map[string]*Control
+}
+
+// Tool is a reporting-tool release: a named, versioned set of forms. New
+// versions of a tool motivate the classifier-propagation feature (Section 6).
+type Tool struct {
+	Name    string
+	Version int
+	Forms   []*Form
+}
+
+// Form returns the named form of the tool.
+func (t *Tool) Form(name string) (*Form, error) {
+	for _, f := range t.Forms {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("ui: tool %s v%d has no form %q", t.Name, t.Version, name)
+}
+
+// Validate checks structural invariants: unique control names, enablement
+// references resolving to data-storing controls on the same form, option
+// lists present where required, defaults valid, and a non-empty key column.
+// It also builds the internal name index; call it once after constructing a
+// form literal.
+func (f *Form) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("ui: form with empty name")
+	}
+	if f.KeyColumn == "" {
+		return fmt.Errorf("ui: form %q has no key column", f.Name)
+	}
+	f.byName = make(map[string]*Control)
+	var walkErr error
+	for _, c := range f.Controls {
+		c.walk(func(ctl *Control) {
+			if walkErr != nil {
+				return
+			}
+			if ctl.Name == "" {
+				walkErr = fmt.Errorf("ui: form %q has a control with empty name", f.Name)
+				return
+			}
+			if ctl.Name == f.KeyColumn {
+				walkErr = fmt.Errorf("ui: form %q control %q collides with key column", f.Name, ctl.Name)
+				return
+			}
+			if _, dup := f.byName[ctl.Name]; dup {
+				walkErr = fmt.Errorf("ui: form %q has duplicate control %q", f.Name, ctl.Name)
+				return
+			}
+			f.byName[ctl.Name] = ctl
+			if (ctl.Kind == RadioList || ctl.Kind == DropDown) && len(ctl.Options) == 0 {
+				walkErr = fmt.Errorf("ui: selection control %q has no options", ctl.Name)
+				return
+			}
+			if ctl.Kind == GroupBox && len(ctl.Children) == 0 {
+				walkErr = fmt.Errorf("ui: group box %q has no children", ctl.Name)
+				return
+			}
+			if ctl.Kind != GroupBox && len(ctl.Children) > 0 {
+				walkErr = fmt.Errorf("ui: non-group control %q has children", ctl.Name)
+				return
+			}
+			if !ctl.Default.IsNull() {
+				if err := ctl.ValidateAnswer(ctl.Default); err != nil {
+					walkErr = fmt.Errorf("ui: default of %q: %v", ctl.Name, err)
+					return
+				}
+			}
+		})
+		if walkErr != nil {
+			return walkErr
+		}
+	}
+	// Enablement references must resolve after the whole index is built.
+	for _, ctl := range f.byName {
+		if ctl.Enabled.Cond == Always {
+			continue
+		}
+		ref, ok := f.byName[ctl.Enabled.Control]
+		if !ok {
+			return fmt.Errorf("ui: control %q enabled-by unknown control %q", ctl.Name, ctl.Enabled.Control)
+		}
+		if !ref.StoresData() {
+			return fmt.Errorf("ui: control %q enabled-by group box %q", ctl.Name, ref.Name)
+		}
+		if ref.Name == ctl.Name {
+			return fmt.Errorf("ui: control %q enabled-by itself", ctl.Name)
+		}
+	}
+	return nil
+}
+
+// Control returns the named control.
+func (f *Form) Control(name string) (*Control, error) {
+	if f.byName == nil {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	c, ok := f.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("ui: form %q has no control %q", f.Name, name)
+	}
+	return c, nil
+}
+
+// Walk visits every control of the form depth-first in declaration order.
+func (f *Form) Walk(fn func(*Control)) {
+	for _, c := range f.Controls {
+		c.walk(fn)
+	}
+}
+
+// DataControls returns the data-storing controls in declaration order.
+func (f *Form) DataControls() []*Control {
+	var out []*Control
+	f.Walk(func(c *Control) {
+		if c.StoresData() {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// Render draws the form the way the clinician sees it: group boxes frame
+// their children, selection controls list their choices, and enablement is
+// noted where a control starts greyed out. cmd/guavadump uses it so analysts
+// can compare the g-tree against the screen it came from.
+func (f *Form) Render() string {
+	var sb strings.Builder
+	title := f.Title
+	if title == "" {
+		title = f.Name
+	}
+	fmt.Fprintf(&sb, "┌─ %s\n", title)
+	var rec func(c *Control, depth int)
+	rec = func(c *Control, depth int) {
+		indent := "│ " + strings.Repeat("  ", depth)
+		switch c.Kind {
+		case GroupBox:
+			fmt.Fprintf(&sb, "%s[%s]\n", indent, c.Question)
+			for _, ch := range c.Children {
+				rec(ch, depth+1)
+			}
+			return
+		case CheckBox:
+			mark := "☐"
+			if !c.Default.IsNull() && c.Default.Kind() == relstore.KindBool && c.Default.AsBool() {
+				mark = "☑"
+			}
+			fmt.Fprintf(&sb, "%s%s %s", indent, mark, c.Question)
+		case TextBox:
+			fmt.Fprintf(&sb, "%s%s [______]", indent, c.Question)
+		case RadioList:
+			opts := make([]string, len(c.Options))
+			for i, o := range c.Options {
+				mark := "○"
+				if !c.Default.IsNull() && o.Stored.Equal(c.Default) {
+					mark = "◉"
+				}
+				opts[i] = mark + " " + o.Display
+			}
+			fmt.Fprintf(&sb, "%s%s  %s", indent, c.Question, strings.Join(opts, "  "))
+		case DropDown:
+			opts := make([]string, len(c.Options))
+			for i, o := range c.Options {
+				opts[i] = o.Display
+			}
+			extra := ""
+			if c.AllowFreeText {
+				extra = " (or type)"
+			}
+			fmt.Fprintf(&sb, "%s%s [%s ▾]%s", indent, c.Question, strings.Join(opts, " | "), extra)
+		}
+		if c.Required {
+			sb.WriteString("  *required")
+		}
+		if c.Enabled.Cond != Always {
+			fmt.Fprintf(&sb, "  (greyed out until %s", c.Enabled.Control)
+			if c.Enabled.Cond == WhenEquals {
+				fmt.Fprintf(&sb, " = %s", c.Enabled.Value.Display())
+			} else {
+				sb.WriteString(" is answered")
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString("\n")
+	}
+	for _, c := range f.Controls {
+		rec(c, 0)
+	}
+	sb.WriteString("└─ [ Submit ]\n")
+	return sb.String()
+}
+
+// NaiveSchema derives the form's naive schema: the key column followed by
+// one column per data-storing control. This is the in-memory table design
+// the paper observes reporting tools maintain; design patterns map it to the
+// physical database.
+func (f *Form) NaiveSchema() (*relstore.Schema, error) {
+	if f.byName == nil {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	cols := []relstore.Column{{Name: f.KeyColumn, Type: relstore.KindInt, NotNull: true}}
+	for _, c := range f.DataControls() {
+		cols = append(cols, relstore.Column{Name: c.Name, Type: c.StoredKind()})
+	}
+	return relstore.NewSchema(cols...)
+}

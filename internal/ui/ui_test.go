@@ -1,0 +1,367 @@
+package ui
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/relstore"
+)
+
+// figure2Form builds the Figure 2 "Procedure" dialog: Complications and
+// Medical History group boxes, with the Frequency textbox enabled only once
+// the Smoking question is answered.
+func figure2Form(t *testing.T) *Form {
+	t.Helper()
+	f := &Form{
+		Name:      "Procedure",
+		Title:     "Procedure",
+		KeyColumn: "ProcedureID",
+		Controls: []*Control{
+			{
+				Name: "Complications", Kind: GroupBox, Question: "Complications",
+				Children: []*Control{
+					{Name: "Hypoxia", Kind: CheckBox, Question: "Hypoxia"},
+					{Name: "SurgeonConsulted", Kind: CheckBox, Question: "Surgeon Consulted"},
+					{Name: "OtherComplication", Kind: TextBox, Question: "Other", DataType: relstore.KindString},
+				},
+			},
+			{
+				Name: "MedicalHistory", Kind: GroupBox, Question: "Medical History",
+				Children: []*Control{
+					{Name: "RenalFailure", Kind: CheckBox, Question: "Renal Failure"},
+					{Name: "Smoking", Kind: RadioList, Question: "Does the patient smoke?",
+						Options: []Option{
+							{Display: "No", Stored: relstore.Str("No")},
+							{Display: "Yes", Stored: relstore.Str("Yes")},
+							{Display: "Quit", Stored: relstore.Str("Quit")},
+						}},
+					{Name: "Frequency", Kind: TextBox, Question: "Packs per day", DataType: relstore.KindFloat,
+						Enabled: Enablement{Cond: WhenAnswered, Control: "Smoking"}},
+					{Name: "Alcohol", Kind: DropDown, Question: "Alcohol use", AllowFreeText: true,
+						Options: []Option{
+							{Display: "None", Stored: relstore.Str("None")},
+							{Display: "Light", Stored: relstore.Str("Light")},
+							{Display: "Heavy", Stored: relstore.Str("Heavy")},
+						}},
+				},
+			},
+		},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFormValidateCatchesStructuralErrors(t *testing.T) {
+	base := func() *Form {
+		return &Form{Name: "F", KeyColumn: "ID", Controls: []*Control{
+			{Name: "A", Kind: CheckBox, Question: "a?"},
+		}}
+	}
+	good := base()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid form rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Form)
+	}{
+		{"empty form name", func(f *Form) { f.Name = "" }},
+		{"no key column", func(f *Form) { f.KeyColumn = "" }},
+		{"duplicate control", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "A", Kind: CheckBox, Question: "dup"})
+		}},
+		{"control collides with key", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "ID", Kind: CheckBox})
+		}},
+		{"empty control name", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "", Kind: CheckBox})
+		}},
+		{"selection without options", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "R", Kind: RadioList})
+		}},
+		{"empty group box", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "G", Kind: GroupBox})
+		}},
+		{"children on non-group", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "T", Kind: TextBox,
+				Children: []*Control{{Name: "X", Kind: CheckBox}}})
+		}},
+		{"bad default", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "R", Kind: RadioList,
+				Options: []Option{{Display: "x", Stored: relstore.Str("x")}},
+				Default: relstore.Str("not-an-option")})
+		}},
+		{"enable by unknown", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "D", Kind: CheckBox,
+				Enabled: Enablement{Cond: WhenAnswered, Control: "ZZZ"}})
+		}},
+		{"enable by self", func(f *Form) {
+			f.Controls = append(f.Controls, &Control{Name: "D", Kind: CheckBox,
+				Enabled: Enablement{Cond: WhenAnswered, Control: "D"}})
+		}},
+		{"enable by group box", func(f *Form) {
+			f.Controls = append(f.Controls,
+				&Control{Name: "G", Kind: GroupBox, Children: []*Control{{Name: "X", Kind: CheckBox}}},
+				&Control{Name: "D", Kind: CheckBox, Enabled: Enablement{Cond: WhenAnswered, Control: "G"}})
+		}},
+	}
+	for _, c := range cases {
+		f := base()
+		c.mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestNaiveSchema(t *testing.T) {
+	f := figure2Form(t)
+	s, err := f.NaiveSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "ProcedureID, Hypoxia, SurgeonConsulted, OtherComplication, RenalFailure, Smoking, Frequency, Alcohol"
+	if got := s.NameList(); got != want {
+		t.Errorf("naive schema = %q\nwant %q", got, want)
+	}
+	// Group boxes contribute no columns.
+	if s.Has("Complications") || s.Has("MedicalHistory") {
+		t.Error("group boxes must not appear in the naive schema")
+	}
+	col, _ := s.Col("Frequency")
+	if col.Type != relstore.KindFloat {
+		t.Errorf("Frequency type = %v, want REAL", col.Type)
+	}
+	col, _ = s.Col("Hypoxia")
+	if col.Type != relstore.KindBool {
+		t.Errorf("Hypoxia type = %v", col.Type)
+	}
+	key, _ := s.Col("ProcedureID")
+	if !key.NotNull || key.Type != relstore.KindInt {
+		t.Error("key column must be NOT NULL INTEGER")
+	}
+}
+
+func TestStoredKinds(t *testing.T) {
+	intDrop := &Control{Name: "C", Kind: DropDown, Options: []Option{
+		{Display: "zero", Stored: relstore.Int(0)},
+		{Display: "one", Stored: relstore.Int(1)},
+	}}
+	if intDrop.StoredKind() != relstore.KindInt {
+		t.Error("drop-down with int codes must store INTEGER")
+	}
+	tb := &Control{Name: "T", Kind: TextBox}
+	if tb.StoredKind() != relstore.KindString {
+		t.Error("untyped text box must default to TEXT")
+	}
+	gb := &Control{Name: "G", Kind: GroupBox}
+	if gb.StoresData() {
+		t.Error("group box must not store data")
+	}
+}
+
+func TestEntryEnablementFlow(t *testing.T) {
+	f := figure2Form(t)
+	e, err := NewEntry(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.IsEnabled("Frequency") {
+		t.Fatal("Frequency must start disabled")
+	}
+	if err := e.Set("Frequency", relstore.Float(2)); err == nil {
+		t.Fatal("setting a disabled control must fail")
+	}
+	if err := e.Set("Smoking", relstore.Str("Yes")); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsEnabled("Frequency") {
+		t.Fatal("Frequency must enable after Smoking is answered")
+	}
+	if err := e.Set("Frequency", relstore.Float(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Clearing Smoking disables and clears Frequency.
+	if err := e.Set("Smoking", relstore.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if e.IsEnabled("Frequency") {
+		t.Error("Frequency must disable when Smoking cleared")
+	}
+	if !e.Answer("Frequency").IsNull() {
+		t.Error("Frequency answer must clear when disabled")
+	}
+}
+
+func TestEntryTransitiveClear(t *testing.T) {
+	f := &Form{Name: "F", KeyColumn: "ID", Controls: []*Control{
+		{Name: "A", Kind: CheckBox, Question: "a?"},
+		{Name: "B", Kind: CheckBox, Question: "b?", Enabled: Enablement{Cond: WhenEquals, Control: "A", Value: relstore.Bool(true)}},
+		{Name: "C", Kind: CheckBox, Question: "c?", Enabled: Enablement{Cond: WhenAnswered, Control: "B"}},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEntry(f, 1)
+	if err := e.Set("A", relstore.Bool(true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set("B", relstore.Bool(true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set("C", relstore.Bool(true)); err != nil {
+		t.Fatal(err)
+	}
+	// Flipping A to false disables B (WhenEquals true), which clears B,
+	// which disables C transitively.
+	if err := e.Set("A", relstore.Bool(false)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Answer("B").IsNull() || !e.Answer("C").IsNull() {
+		t.Errorf("B=%v C=%v; both must clear transitively", e.Answer("B"), e.Answer("C"))
+	}
+}
+
+func TestEntryValidation(t *testing.T) {
+	f := figure2Form(t)
+	e, _ := NewEntry(f, 1)
+	if err := e.Set("Smoking", relstore.Str("Sometimes")); err == nil {
+		t.Error("non-option radio answer must fail")
+	}
+	if err := e.Set("Hypoxia", relstore.Int(1)); err == nil {
+		t.Error("non-bool checkbox answer must fail")
+	}
+	if err := e.Set("MedicalHistory", relstore.Str("x")); err == nil {
+		t.Error("answering a group box must fail")
+	}
+	if err := e.Set("Nope", relstore.Str("x")); err == nil {
+		t.Error("answering an unknown control must fail")
+	}
+	// Free-text drop-down accepts non-option strings.
+	if err := e.Set("Alcohol", relstore.Str("two glasses of wine weekly")); err != nil {
+		t.Errorf("free text rejected: %v", err)
+	}
+	if err := e.Set("Alcohol", relstore.Int(3)); err == nil {
+		t.Error("non-string free text must fail")
+	}
+}
+
+func TestEntryDefaults(t *testing.T) {
+	f := &Form{Name: "F", KeyColumn: "ID", Controls: []*Control{
+		{Name: "Sedated", Kind: CheckBox, Question: "sedated?", Default: relstore.Bool(true)},
+		{Name: "Gate", Kind: CheckBox, Question: "gate?"},
+		{Name: "Dependent", Kind: CheckBox, Question: "dep?", Default: relstore.Bool(true),
+			Enabled: Enablement{Cond: WhenAnswered, Control: "Gate"}},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEntry(f, 1)
+	if !e.Answer("Sedated").Equal(relstore.Bool(true)) {
+		t.Error("default not applied")
+	}
+	if !e.Answer("Dependent").IsNull() {
+		t.Error("default must not apply to a disabled control")
+	}
+}
+
+type captureSink struct {
+	form   *Form
+	values map[string]relstore.Value
+}
+
+func (c *captureSink) WriteRecord(f *Form, values map[string]relstore.Value) error {
+	c.form, c.values = f, values
+	return nil
+}
+
+func TestEntrySubmit(t *testing.T) {
+	f := figure2Form(t)
+	// Make Smoking required.
+	sm, _ := f.Control("Smoking")
+	sm.Required = true
+	e, _ := NewEntry(f, 42)
+	sink := &captureSink{}
+	if err := e.Submit(sink); err == nil || !strings.Contains(err.Error(), "Smoking") {
+		t.Fatalf("submit with missing required must name the control, got %v", err)
+	}
+	if err := e.Set("Smoking", relstore.Str("Quit")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set("Frequency", relstore.Float(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.form != f {
+		t.Error("sink got wrong form")
+	}
+	if !sink.values["ProcedureID"].Equal(relstore.Int(42)) {
+		t.Errorf("key = %v", sink.values["ProcedureID"])
+	}
+	if !sink.values["Smoking"].Equal(relstore.Str("Quit")) || !sink.values["Frequency"].Equal(relstore.Float(1.5)) {
+		t.Errorf("values = %v", sink.values)
+	}
+	if !sink.values["Hypoxia"].IsNull() {
+		t.Error("unanswered controls must submit NULL")
+	}
+	// Required-but-disabled controls do not block submission.
+	f2 := &Form{Name: "F2", KeyColumn: "ID", Controls: []*Control{
+		{Name: "Gate", Kind: CheckBox, Question: "g?"},
+		{Name: "Req", Kind: TextBox, Question: "r?", Required: true,
+			Enabled: Enablement{Cond: WhenAnswered, Control: "Gate"}},
+	}}
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := NewEntry(f2, 1)
+	if err := e2.Submit(sink); err != nil {
+		t.Errorf("disabled required control must not block: %v", err)
+	}
+}
+
+func TestFormRender(t *testing.T) {
+	f := figure2Form(t)
+	sm, _ := f.Control("Smoking")
+	sm.Required = true
+	sm.Default = relstore.Str("No")
+	txt := f.Render()
+	for _, want := range []string{
+		"┌─ Procedure",
+		"[Complications]",
+		"☐ Hypoxia",
+		"◉ No", // default shows selected
+		"*required",
+		"greyed out until Smoking is answered",
+		"(or type)",
+		"[ Submit ]",
+	} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+	// Untitled forms fall back to the name.
+	f2 := &Form{Name: "Bare", KeyColumn: "ID", Controls: []*Control{{Name: "X", Kind: CheckBox, Question: "x?"}}}
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2.Render(), "┌─ Bare") {
+		t.Error("untitled form must render its name")
+	}
+}
+
+func TestToolFormLookup(t *testing.T) {
+	f := figure2Form(t)
+	tool := &Tool{Name: "CORI", Version: 1, Forms: []*Form{f}}
+	got, err := tool.Form("Procedure")
+	if err != nil || got != f {
+		t.Fatalf("Form lookup: %v, %v", got, err)
+	}
+	if _, err := tool.Form("Nope"); err == nil {
+		t.Error("missing form must error")
+	}
+}

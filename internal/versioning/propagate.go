@@ -1,0 +1,202 @@
+// Package versioning implements the paper's Section 6 extension: "handling
+// new versions of a reporting tool by propagating classifiers to the next
+// version if their input nodes did not change, and suggest new classifiers
+// if there is a change."
+package versioning
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"guava/internal/classifier"
+	"guava/internal/gtree"
+)
+
+// Status describes the outcome of propagating one classifier.
+type Status uint8
+
+// Propagation outcomes.
+const (
+	// Propagated means every referenced node is unchanged in the new tool
+	// version; the classifier carries forward as-is.
+	Propagated Status = iota
+	// NeedsReview means at least one referenced node changed or vanished;
+	// the analyst must revisit the classifier (suggestions attached).
+	NeedsReview
+	// Broken means the classifier no longer binds against the new g-tree
+	// at all.
+	Broken
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Propagated:
+		return "propagated"
+	case NeedsReview:
+		return "needs-review"
+	case Broken:
+		return "broken"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Suggestion proposes a replacement node for a changed or removed input.
+type Suggestion struct {
+	// OldNode is the classifier input that changed.
+	OldNode string
+	// Candidates are plausible replacement nodes in the new tree, best
+	// first (same data type, ranked by name similarity).
+	Candidates []string
+}
+
+// Decision is the propagation outcome for one classifier.
+type Decision struct {
+	Classifier *classifier.Classifier
+	Status     Status
+	// Reasons explains why the classifier needs review, one line per
+	// affected input node.
+	Reasons []string
+	// Suggestions propose replacements for affected inputs.
+	Suggestions []Suggestion
+}
+
+// Propagate carries a set of classifiers from one tool version to the next.
+// Classifiers whose referenced g-tree nodes are untouched re-bind against
+// the new tree and propagate; others are flagged with reasons and
+// replacement suggestions.
+func Propagate(classifiers []*classifier.Classifier, oldTree, newTree *gtree.Tree) ([]Decision, error) {
+	diff := gtree.Compare(oldTree, newTree)
+	out := make([]Decision, 0, len(classifiers))
+	for _, cl := range classifiers {
+		bound, err := cl.Bind(oldTree)
+		if err != nil {
+			return nil, fmt.Errorf("versioning: classifier %q does not bind to the old tree: %w", cl.Name, err)
+		}
+		var reasons []string
+		var suggestions []Suggestion
+		for _, ref := range bound.Refs {
+			if !diff.NodeChanged(ref) {
+				continue
+			}
+			if changes, ok := diff.Changed[ref]; ok {
+				for _, c := range changes {
+					reasons = append(reasons, fmt.Sprintf("input %s: %s", ref, c))
+				}
+			} else {
+				reasons = append(reasons, fmt.Sprintf("input %s: removed in new version", ref))
+				// Only removed inputs need a replacement; a changed node is
+				// still the right node, just worth re-reading.
+				if s := suggest(oldTree, newTree, ref); len(s.Candidates) > 0 {
+					suggestions = append(suggestions, s)
+				}
+			}
+		}
+		d := Decision{Classifier: cl, Reasons: reasons, Suggestions: suggestions}
+		switch {
+		case len(reasons) == 0:
+			if _, err := cl.Bind(newTree); err != nil {
+				d.Status = Broken
+				d.Reasons = append(d.Reasons, err.Error())
+			} else {
+				d.Status = Propagated
+			}
+		default:
+			d.Status = NeedsReview
+			if _, err := cl.Bind(newTree); err != nil {
+				d.Status = Broken
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// suggest ranks new-tree field nodes as replacements for an old node: same
+// data type required, ordered by name edit distance, at most three.
+func suggest(oldTree, newTree *gtree.Tree, ref string) Suggestion {
+	oldNode, err := oldTree.Node(ref)
+	if err != nil {
+		return Suggestion{OldNode: ref}
+	}
+	type cand struct {
+		name string
+		dist int
+	}
+	var cands []cand
+	for _, name := range newTree.FieldNames() {
+		n, err := newTree.Node(name)
+		if err != nil || n.DataType != oldNode.DataType {
+			continue
+		}
+		// The node itself, unchanged, is not a suggestion target.
+		if name == ref {
+			continue
+		}
+		cands = append(cands, cand{name: name, dist: editDistance(strings.ToLower(ref), strings.ToLower(name))})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].name < cands[j].name
+	})
+	s := Suggestion{OldNode: ref}
+	for i := 0; i < len(cands) && i < 3; i++ {
+		// Only suggest names within a plausible distance: renames, not
+		// arbitrary fields.
+		if cands[i].dist > len(ref) {
+			break
+		}
+		s.Candidates = append(s.Candidates, cands[i].name)
+	}
+	return s
+}
+
+// editDistance is the Levenshtein distance between two strings.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Render summarizes decisions for the analyst, one block per classifier.
+func Render(decisions []Decision) string {
+	var sb strings.Builder
+	for _, d := range decisions {
+		fmt.Fprintf(&sb, "%-14s %s\n", d.Status.String()+":", d.Classifier.Name)
+		for _, r := range d.Reasons {
+			fmt.Fprintf(&sb, "    %s\n", r)
+		}
+		for _, s := range d.Suggestions {
+			fmt.Fprintf(&sb, "    consider replacing %s with: %s\n", s.OldNode, strings.Join(s.Candidates, ", "))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,230 @@
+package versioning
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/classifier"
+	"guava/internal/gtree"
+	"guava/internal/relstore"
+	"guava/internal/ui"
+)
+
+func formV1(t *testing.T) *ui.Form {
+	t.Helper()
+	f := &ui.Form{
+		Name: "Procedure", KeyColumn: "ProcedureID",
+		Controls: []*ui.Control{
+			{Name: "PacksPerDay", Kind: ui.TextBox, Question: "Packs per day", DataType: relstore.KindFloat},
+			{Name: "SurgeryPerformed", Kind: ui.CheckBox, Question: "Surgery performed?"},
+			{Name: "Alcohol", Kind: ui.DropDown, Question: "Alcohol use",
+				Options: []ui.Option{
+					{Display: "None", Stored: relstore.Str("None")},
+					{Display: "Heavy", Stored: relstore.Str("Heavy")},
+				}},
+		},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func deriveV(t *testing.T, version int, f *ui.Form) *gtree.Tree {
+	t.Helper()
+	tree, err := gtree.Derive("CORI", version, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+var habitsTarget = classifier.Target{
+	Entity: "Procedure", Attribute: "Smoking", Domain: "D3",
+	Kind: relstore.KindString, Elements: []string{"None", "Light", "Moderate", "Heavy"},
+}
+
+func mkClassifiers(t *testing.T) (habits, surgery, alcohol *classifier.Classifier) {
+	t.Helper()
+	var err error
+	habits, err = classifier.Parse("Habits", "", habitsTarget, `
+None  <- PacksPerDay = 0
+Heavy <- PacksPerDay > 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surgery, err = classifier.ParseEntity("Relevant", "", "Procedure",
+		"Procedure <- Procedure AND SurgeryPerformed = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alcohol, err = classifier.Parse("Drinks", "", classifier.Target{
+		Entity: "Procedure", Attribute: "Alcohol", Domain: "D1",
+		Kind: relstore.KindString, Elements: []string{"Any", "None"},
+	}, `
+None <- Alcohol = 'None'
+Any  <- Alcohol <> 'None'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return habits, surgery, alcohol
+}
+
+// TestPropagateUnchanged: a new tool version that only adds controls
+// propagates every classifier untouched ("propagating classifiers to the
+// next version if their input nodes did not change").
+func TestPropagateUnchanged(t *testing.T) {
+	old := deriveV(t, 1, formV1(t))
+	f2 := formV1(t)
+	f2.Controls = append(f2.Controls, &ui.Control{Name: "BiopsyTaken", Kind: ui.CheckBox, Question: "Biopsy?"})
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	new := deriveV(t, 2, f2)
+	habits, surgery, alcohol := mkClassifiers(t)
+	decisions, err := Propagate([]*classifier.Classifier{habits, surgery, alcohol}, old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decisions {
+		if d.Status != Propagated {
+			t.Errorf("%s: status = %s, reasons = %v", d.Classifier.Name, d.Status, d.Reasons)
+		}
+	}
+}
+
+// TestPropagateChanged: changed inputs flag classifiers for review with
+// reasons; removed inputs suggest replacements ("suggest new classifiers if
+// there is a change").
+func TestPropagateChanged(t *testing.T) {
+	old := deriveV(t, 1, formV1(t))
+	f2 := &ui.Form{
+		Name: "Procedure", KeyColumn: "ProcedureID",
+		Controls: []*ui.Control{
+			// PacksPerDay renamed to PacksDaily (same type) — removal with
+			// an obvious replacement candidate.
+			{Name: "PacksDaily", Kind: ui.TextBox, Question: "Packs per day", DataType: relstore.KindFloat},
+			{Name: "SurgeryPerformed", Kind: ui.CheckBox, Question: "Surgery performed?"},
+			// Alcohol gains an option: changed, still binds.
+			{Name: "Alcohol", Kind: ui.DropDown, Question: "Alcohol use",
+				Options: []ui.Option{
+					{Display: "None", Stored: relstore.Str("None")},
+					{Display: "Light", Stored: relstore.Str("Light")},
+					{Display: "Heavy", Stored: relstore.Str("Heavy")},
+				}},
+		},
+	}
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	new := deriveV(t, 2, f2)
+	habits, surgery, alcohol := mkClassifiers(t)
+	decisions, err := Propagate([]*classifier.Classifier{habits, surgery, alcohol}, old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Decision{}
+	for _, d := range decisions {
+		byName[d.Classifier.Name] = d
+	}
+	// Habits references the removed PacksPerDay: broken, with PacksDaily
+	// suggested.
+	h := byName["Habits"]
+	if h.Status != Broken {
+		t.Errorf("Habits status = %s", h.Status)
+	}
+	foundSuggestion := false
+	for _, s := range h.Suggestions {
+		if s.OldNode == "PacksPerDay" {
+			for _, cand := range s.Candidates {
+				if cand == "PacksDaily" {
+					foundSuggestion = true
+				}
+			}
+		}
+	}
+	if !foundSuggestion {
+		t.Errorf("expected PacksDaily suggestion, got %+v", h.Suggestions)
+	}
+	// Surgery untouched: propagated.
+	if byName["Relevant"].Status != Propagated {
+		t.Errorf("Relevant status = %s", byName["Relevant"].Status)
+	}
+	// Alcohol options changed but the classifier still binds: review.
+	a := byName["Drinks"]
+	if a.Status != NeedsReview {
+		t.Errorf("Drinks status = %s, reasons %v", a.Status, a.Reasons)
+	}
+	if len(a.Reasons) == 0 || !strings.Contains(a.Reasons[0], "options changed") {
+		t.Errorf("Drinks reasons = %v", a.Reasons)
+	}
+	// Render mentions all of it.
+	txt := Render(decisions)
+	for _, want := range []string{"broken:", "propagated:", "needs-review:", "consider replacing PacksPerDay with: PacksDaily"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestPropagateRejectsUnbindable(t *testing.T) {
+	old := deriveV(t, 1, formV1(t))
+	bad, err := classifier.Parse("Bad", "", habitsTarget, "None <- Ghost = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Propagate([]*classifier.Classifier{bad}, old, old); err == nil {
+		t.Error("classifier that does not bind to the old tree must fail")
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "", 3},
+		{"", "xy", 2},
+		{"kitten", "sitting", 3},
+		{"PacksPerDay", "PacksDaily", 5},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSuggestBounds(t *testing.T) {
+	old := deriveV(t, 1, formV1(t))
+	// A new tree with many float fields: suggestions cap at 3 and exclude
+	// implausibly distant names.
+	f2 := &ui.Form{Name: "Procedure", KeyColumn: "ProcedureID", Controls: []*ui.Control{
+		{Name: "PacksDaily", Kind: ui.TextBox, DataType: relstore.KindFloat},
+		{Name: "PacksEveryDay", Kind: ui.TextBox, DataType: relstore.KindFloat},
+		{Name: "PackCount", Kind: ui.TextBox, DataType: relstore.KindFloat},
+		{Name: "CompletelyUnrelatedMeasurementOfSomething", Kind: ui.TextBox, DataType: relstore.KindFloat},
+		{Name: "WrongType", Kind: ui.TextBox, DataType: relstore.KindInt},
+	}}
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	new := deriveV(t, 2, f2)
+	s := suggest(old, new, "PacksPerDay")
+	if len(s.Candidates) == 0 || len(s.Candidates) > 3 {
+		t.Fatalf("candidates = %v", s.Candidates)
+	}
+	for _, c := range s.Candidates {
+		if c == "WrongType" {
+			t.Error("wrong-typed node suggested")
+		}
+		if c == "CompletelyUnrelatedMeasurementOfSomething" {
+			t.Error("implausibly distant node suggested")
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"guava/internal/relstore"
+	"guava/internal/ui"
+)
+
+// This file defines the user interfaces of the three simulated vendor
+// reporting tools. They deliberately disagree — in wording, vocabulary,
+// units, stored encodings, and physical layout — because that disagreement
+// is the paper's problem statement: "each new vendor necessitates a new ETL
+// workflow, potentially for each study."
+
+func strOptions(labels []string) []ui.Option {
+	out := make([]ui.Option, len(labels))
+	for i, l := range labels {
+		out[i] = ui.Option{Display: l, Stored: relstore.Str(l)}
+	}
+	return out
+}
+
+// CORIProcedureForm is contributor A's form: the reference tool, worded like
+// the paper's Figure 2, with the Study 1 fields (indication, history,
+// examinations, complications, interventions).
+func CORIProcedureForm() *ui.Form {
+	return &ui.Form{
+		Name: "Procedure", Title: "CORI Procedure Report", KeyColumn: "ProcedureID",
+		Controls: []*ui.Control{
+			{Name: "Demographics", Kind: ui.GroupBox, Question: "Demographics", Children: []*ui.Control{
+				{Name: "Age", Kind: ui.TextBox, Question: "Patient age (years)", DataType: relstore.KindInt, Required: true},
+				{Name: "Gender", Kind: ui.RadioList, Question: "Patient gender", Options: strOptions(GenderValues), Required: true},
+			}},
+			{Name: "Indication", Kind: ui.DropDown, Question: "Indication for procedure", Options: strOptions(Indications), Required: true},
+			{Name: "ProcType", Kind: ui.DropDown, Question: "Procedure performed", Options: strOptions(ProcedureTypes), Required: true},
+			{Name: "MedicalHistory", Kind: ui.GroupBox, Question: "Medical History", Children: []*ui.Control{
+				{Name: "RenalFailure", Kind: ui.CheckBox, Question: "History of renal failure?"},
+				{Name: "Smoking", Kind: ui.RadioList, Question: "Does the patient smoke?", Options: strOptions(SmokingStatus)},
+				{Name: "PacksPerDay", Kind: ui.TextBox, Question: "Packs per day", DataType: relstore.KindFloat,
+					Enabled: ui.Enablement{Cond: ui.WhenEquals, Control: "Smoking", Value: relstore.Str("Current")}},
+				{Name: "QuitYearsAgo", Kind: ui.TextBox, Question: "Years since quitting", DataType: relstore.KindInt,
+					Enabled: ui.Enablement{Cond: ui.WhenEquals, Control: "Smoking", Value: relstore.Str("Quit")}},
+				{Name: "Alcohol", Kind: ui.DropDown, Question: "Alcohol use", AllowFreeText: true, Options: strOptions(AlcoholLevels)},
+			}},
+			{Name: "Examinations", Kind: ui.GroupBox, Question: "Examinations", Children: []*ui.Control{
+				{Name: "CardioWNL", Kind: ui.CheckBox, Question: "Cardiopulmonary examination within normal limits?", Default: relstore.Bool(true)},
+				{Name: "AbdoWNL", Kind: ui.CheckBox, Question: "Abdominal examination within normal limits?", Default: relstore.Bool(true)},
+			}},
+			{Name: "Complications", Kind: ui.GroupBox, Question: "Complications", Children: []*ui.Control{
+				{Name: "TransientHypoxia", Kind: ui.CheckBox, Question: "Transient hypoxia"},
+				{Name: "ProlongedHypoxia", Kind: ui.CheckBox, Question: "Prolonged hypoxia"},
+				{Name: "Bleeding", Kind: ui.CheckBox, Question: "Bleeding"},
+			}},
+			{Name: "Interventions", Kind: ui.GroupBox, Question: "Interventions required", Children: []*ui.Control{
+				{Name: "Surgery", Kind: ui.CheckBox, Question: "Surgery"},
+				{Name: "IVFluids", Kind: ui.CheckBox, Question: "IV fluids"},
+				{Name: "Oxygen", Kind: ui.CheckBox, Question: "Oxygen administration"},
+			}},
+		},
+	}
+}
+
+// CORIFindingForm is contributor A's has-a child form (Figure 4's Finding
+// entity).
+func CORIFindingForm() *ui.Form {
+	return &ui.Form{
+		Name: "Finding", Title: "CORI Finding", KeyColumn: "FindingID",
+		Controls: []*ui.Control{
+			{Name: "ProcedureRef", Kind: ui.TextBox, Question: "Procedure ID", DataType: relstore.KindInt, Required: true},
+			{Name: "Size", Kind: ui.TextBox, Question: "Size (mm)", DataType: relstore.KindInt},
+			{Name: "ImagesTaken", Kind: ui.CheckBox, Question: "Images taken?"},
+		},
+	}
+}
+
+// EndoSoftExamForm is contributor B's form: same clinical reality, entirely
+// different wording and units (cigarettes per day, not packs; yes/no
+// drop-downs for treatments so the vendor can pack them into one field).
+func EndoSoftExamForm() *ui.Form {
+	yn := []ui.Option{{Display: "Yes", Stored: relstore.Str("Yes")}, {Display: "No", Stored: relstore.Str("No")}}
+	return &ui.Form{
+		Name: "Exam", Title: "EndoSoft Examination Record", KeyColumn: "ExamID",
+		Controls: []*ui.Control{
+			{Name: "PatientAge", Kind: ui.TextBox, Question: "Age", DataType: relstore.KindInt, Required: true},
+			{Name: "Sex", Kind: ui.RadioList, Question: "Sex", Options: strOptions([]string{"Female", "Male"}), Required: true},
+			{Name: "Reason", Kind: ui.DropDown, Question: "Reason for examination", Options: strOptions([]string{
+				"Reflux-associated asthma symptoms",
+				"Difficulty swallowing",
+				"GI bleed",
+				"Abdominal pain",
+				"Barrett's surveillance",
+				"Anemia workup",
+				"Routine screening",
+			}), Required: true},
+			{Name: "ExamType", Kind: ui.DropDown, Question: "Examination", Options: strOptions([]string{"EGD", "Colonoscopy", "Flex Sig"}), Required: true},
+			{Name: "HistoryBlock", Kind: ui.GroupBox, Question: "History", Children: []*ui.Control{
+				{Name: "RenalDisease", Kind: ui.CheckBox, Question: "Renal disease?"},
+				{Name: "SmokingStatus", Kind: ui.RadioList, Question: "Tobacco use", Options: strOptions(VendorBSmoking)},
+				{Name: "CigsPerDay", Kind: ui.TextBox, Question: "Cigarettes per day", DataType: relstore.KindInt,
+					Enabled: ui.Enablement{Cond: ui.WhenEquals, Control: "SmokingStatus", Value: relstore.Str("Smoker")}},
+				{Name: "YearsSinceQuit", Kind: ui.TextBox, Question: "Years since quitting", DataType: relstore.KindInt,
+					Enabled: ui.Enablement{Cond: ui.WhenEquals, Control: "SmokingStatus", Value: relstore.Str("Ex-smoker")}},
+				{Name: "ETOH", Kind: ui.DropDown, Question: "Alcohol (drinks)", Options: strOptions(VendorBAlcohol)},
+			}},
+			{Name: "ExamFindings", Kind: ui.GroupBox, Question: "Physical exam", Children: []*ui.Control{
+				{Name: "CardioNormal", Kind: ui.CheckBox, Question: "Cardio/pulm exam unremarkable"},
+				{Name: "AbdoNormal", Kind: ui.CheckBox, Question: "Abdominal exam unremarkable"},
+			}},
+			{Name: "Events", Kind: ui.GroupBox, Question: "Intra-procedure events", Children: []*ui.Control{
+				{Name: "O2Desat", Kind: ui.CheckBox, Question: "Transient O2 desaturation"},
+				{Name: "O2DesatProlonged", Kind: ui.CheckBox, Question: "Prolonged O2 desaturation"},
+			}},
+			{Name: "Treatment", Kind: ui.GroupBox, Question: "Treatment required", Children: []*ui.Control{
+				{Name: "TxSurgery", Kind: ui.DropDown, Question: "Surgical intervention", Options: yn, Default: relstore.Str("No")},
+				{Name: "TxFluids", Kind: ui.DropDown, Question: "IV fluids", Options: yn, Default: relstore.Str("No")},
+				{Name: "TxOxygen", Kind: ui.DropDown, Question: "Supplemental oxygen", Options: yn, Default: relstore.Str("No")},
+			}},
+		},
+	}
+}
+
+// MedRecordForm is contributor C's form: a tool that stores everything as
+// integer codes behind a generic EAV database — the paper's "most frequent
+// type of schematic heterogeneity".
+func MedRecordForm() *ui.Form {
+	intOpts := func(pairs ...struct {
+		L string
+		V int64
+	}) []ui.Option {
+		out := make([]ui.Option, len(pairs))
+		for i, p := range pairs {
+			out[i] = ui.Option{Display: p.L, Stored: relstore.Int(p.V)}
+		}
+		return out
+	}
+	type lv = struct {
+		L string
+		V int64
+	}
+	return &ui.Form{
+		Name: "Record", Title: "MedRecord Procedure Entry", KeyColumn: "RecordID",
+		Controls: []*ui.Control{
+			{Name: "AgeYears", Kind: ui.TextBox, Question: "Age in years", DataType: relstore.KindInt, Required: true},
+			{Name: "SexCode", Kind: ui.RadioList, Question: "Sex (0=F, 1=M)",
+				Options: intOpts(lv{"Female", 0}, lv{"Male", 1}), Required: true},
+			{Name: "IndicationText", Kind: ui.DropDown, Question: "Indication", Options: strOptions(Indications), Required: true},
+			{Name: "ProcCode", Kind: ui.RadioList, Question: "Procedure code",
+				Options: intOpts(lv{"Upper GI Endoscopy", 10}, lv{"Colonoscopy", 20}, lv{"Flexible Sigmoidoscopy", 30}), Required: true},
+			{Name: "SmokeCode", Kind: ui.RadioList, Question: "Smoking (0=never,1=current,2=former)",
+				Options: intOpts(lv{"Never", 0}, lv{"Current", 1}, lv{"Former", 2})},
+			{Name: "PacksDaily", Kind: ui.TextBox, Question: "Packs/day if current", DataType: relstore.KindFloat,
+				Enabled: ui.Enablement{Cond: ui.WhenEquals, Control: "SmokeCode", Value: relstore.Int(1)}},
+			{Name: "QuitYears", Kind: ui.TextBox, Question: "Years since quit if former", DataType: relstore.KindInt,
+				Enabled: ui.Enablement{Cond: ui.WhenEquals, Control: "SmokeCode", Value: relstore.Int(2)}},
+			{Name: "EtohCode", Kind: ui.RadioList, Question: "Alcohol (0=none..3=heavy)",
+				Options: intOpts(lv{"None", 0}, lv{"Light", 1}, lv{"Moderate", 2}, lv{"Heavy", 3})},
+			{Name: "RenalHx", Kind: ui.CheckBox, Question: "Renal failure history"},
+			{Name: "CardioOK", Kind: ui.CheckBox, Question: "Cardiopulmonary normal"},
+			{Name: "AbdoOK", Kind: ui.CheckBox, Question: "Abdomen normal"},
+			{Name: "HypoxiaT", Kind: ui.CheckBox, Question: "Hypoxia (transient)"},
+			{Name: "HypoxiaP", Kind: ui.CheckBox, Question: "Hypoxia (prolonged)"},
+			{Name: "TxSurg", Kind: ui.CheckBox, Question: "Surgery required"},
+			{Name: "TxIVF", Kind: ui.CheckBox, Question: "IV fluids required"},
+			{Name: "TxO2", Kind: ui.CheckBox, Question: "Oxygen required"},
+		},
+	}
+}

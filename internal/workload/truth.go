@@ -1,0 +1,135 @@
+package workload
+
+import "math/rand"
+
+// Truth is the ground-truth record of one procedure: what "really happened"
+// to the patient, independent of how any vendor tool words or stores it.
+// Studies scored against Truth measure Hypothesis #2's precision/recall.
+type Truth struct {
+	ID         int64
+	Age        int64
+	Gender     string // element of GenderValues
+	Indication string
+	ProcType   string
+
+	RenalFailure bool
+	// Smoking is the canonical status: "Never", "Current", or "Quit".
+	Smoking     string
+	PacksPerDay float64 // 0 when Never
+	// QuitYearsAgo is meaningful only when Smoking == "Quit".
+	QuitYearsAgo int64
+	Alcohol      string // element of AlcoholLevels
+
+	CardioWNL bool // cardiopulmonary examination within normal limits
+	AbdoWNL   bool // abdominal examination within normal limits
+
+	TransientHypoxia bool
+	ProlongedHypoxia bool
+	Bleeding         bool
+
+	Surgery  bool
+	IVFluids bool
+	Oxygen   bool
+
+	// Findings are the per-procedure finding records (has-a children).
+	Findings []FindingTruth
+}
+
+// FindingTruth is one finding attached to a procedure.
+type FindingTruth struct {
+	ID          int64
+	ProcedureID int64
+	SizeMM      int64
+	ImagesTaken bool
+}
+
+// HasHypoxia reports any hypoxia complication.
+func (t *Truth) HasHypoxia() bool { return t.TransientHypoxia || t.ProlongedHypoxia }
+
+// ExSmoker reports whether the patient quit within the given number of
+// years — the definitional knob Study 2 turns ("a previous smoker may mean
+// someone who has quit in the last year, or in the last ten years, or at any
+// time at all").
+func (t *Truth) ExSmoker(withinYears int64) bool {
+	if t.Smoking != "Quit" {
+		return false
+	}
+	if withinYears <= 0 {
+		return true
+	}
+	return t.QuitYearsAgo <= withinYears
+}
+
+// Generate produces n deterministic ground-truth records from the seed. The
+// value distributions are chosen so every Study 1/Study 2 funnel stage keeps
+// a meaningful population at a few hundred records.
+func Generate(seed int64, n int) []Truth {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Truth, n)
+	var findingSeq int64
+	pick := func(options []string) string { return options[rng.Intn(len(options))] }
+	chance := func(p float64) bool { return rng.Float64() < p }
+	for i := range out {
+		t := Truth{
+			ID:       int64(i + 1),
+			Age:      int64(18 + rng.Intn(70)),
+			Gender:   pick(GenderValues),
+			ProcType: pick(ProcedureTypes),
+		}
+		// The asthma-reflux indication gets extra weight so Study 1's cohort
+		// is non-trivial.
+		if chance(0.25) {
+			t.Indication = Indications[0]
+		} else {
+			t.Indication = pick(Indications[1:])
+		}
+		t.RenalFailure = chance(0.08)
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			t.Smoking = "Never"
+		case r < 0.80:
+			t.Smoking = "Current"
+			t.PacksPerDay = float64(rng.Intn(13)) * 0.5 // 0.0..6.0 in half packs
+			if t.PacksPerDay == 0 {
+				t.PacksPerDay = 0.5
+			}
+		default:
+			t.Smoking = "Quit"
+			t.PacksPerDay = 0
+			t.QuitYearsAgo = int64(rng.Intn(20)) // 0..19 years ago
+		}
+		t.Alcohol = pick(AlcoholLevels)
+		t.CardioWNL = chance(0.85)
+		t.AbdoWNL = chance(0.80)
+		// Complications: smokers desaturate more often, mirroring the
+		// clinical correlation the studies go looking for.
+		pHypoxia := 0.06
+		if t.Smoking == "Current" {
+			pHypoxia = 0.18
+		} else if t.Smoking == "Quit" {
+			pHypoxia = 0.11
+		}
+		t.TransientHypoxia = chance(pHypoxia)
+		t.ProlongedHypoxia = t.TransientHypoxia && chance(0.2)
+		t.Bleeding = chance(0.04)
+		if t.TransientHypoxia || t.ProlongedHypoxia {
+			t.Oxygen = chance(0.7)
+			t.IVFluids = chance(0.35)
+			t.Surgery = chance(0.08)
+		} else if t.Bleeding {
+			t.Surgery = chance(0.3)
+			t.IVFluids = chance(0.6)
+		}
+		for f := 0; f < rng.Intn(3); f++ {
+			findingSeq++
+			t.Findings = append(t.Findings, FindingTruth{
+				ID:          findingSeq,
+				ProcedureID: t.ID,
+				SizeMM:      int64(1 + rng.Intn(40)),
+				ImagesTaken: chance(0.5),
+			})
+		}
+		out[i] = t
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+// Package workload generates the synthetic clinical data this reproduction
+// uses in place of CORI's real endoscopy reports (which are gated health
+// data). The generator produces ground-truth patient/procedure records and
+// then *enters them through the user-interface layer* of each simulated
+// vendor tool, so that every byte in a contributor database traveled the
+// same path real data does: form controls → pattern stack → physical
+// tables. Ground truth makes the paper's Hypothesis #2 measurable: studies
+// specified with classifiers can be scored for precision and recall against
+// what the generator knows it created.
+package workload
+
+// The controlled vocabulary of the simulated CORI reporting tools. Study 1
+// of the paper needs the asthma-reflux indication, the transient-hypoxia
+// complication, and the surgery / IV fluids / oxygen interventions; the rest
+// rounds out a plausible endoscopy tool.
+
+// Indications for endoscopic procedures.
+var Indications = []string{
+	"Asthma-specific ENT/Pulmonary Reflux symptoms",
+	"Dysphagia",
+	"GI Bleeding",
+	"Abdominal Pain",
+	"Surveillance - Barrett's Esophagus",
+	"Anemia",
+	"Screening",
+}
+
+// ProcedureTypes of the simulated clinic.
+var ProcedureTypes = []string{
+	"Upper GI Endoscopy",
+	"Colonoscopy",
+	"Flexible Sigmoidoscopy",
+}
+
+// SmokingStatus values as contributor A's tool words them.
+var SmokingStatus = []string{"Never", "Current", "Quit"}
+
+// AlcoholLevels as contributor A's tool words them.
+var AlcoholLevels = []string{"None", "Light", "Moderate", "Heavy"}
+
+// GenderValues used by the demographic block.
+var GenderValues = []string{"F", "M"}
+
+// Interventions a complication can require (Study 1's funnel tail).
+var Interventions = []string{"Surgery", "IV Fluids", "Oxygen Administration"}
+
+// VendorBSmoking is contributor B's differently-worded smoking vocabulary;
+// the classifier layer reconciles it ("interventions in one source refers to
+// the same data as complications in another source" — the analyst judges
+// domain vocabulary, the system carries the context).
+var VendorBSmoking = []string{"Non-smoker", "Smoker", "Ex-smoker"}
+
+// VendorBAlcohol is contributor B's alcohol vocabulary.
+var VendorBAlcohol = []string{"0", "<7/wk", ">=7/wk"}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"guava/internal/relstore"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 200)
+	b := Generate(42, 200)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if fmt.Sprintf("%+v", a[i]) != fmt.Sprintf("%+v", b[i]) {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+	c := Generate(43, 200)
+	same := 0
+	for i := range a {
+		if a[i].Smoking == c[i].Smoking && a[i].Indication == c[i].Indication {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("different seeds must differ")
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	truths := Generate(7, 500)
+	var asthma, currents, quits, hypoxia int
+	for _, tr := range truths {
+		if tr.Age < 18 || tr.Age > 88 {
+			t.Errorf("age %d out of range", tr.Age)
+		}
+		switch tr.Smoking {
+		case "Never":
+			if tr.PacksPerDay != 0 || tr.QuitYearsAgo != 0 {
+				t.Error("never-smoker with smoking details")
+			}
+		case "Current":
+			currents++
+			if tr.PacksPerDay <= 0 {
+				t.Error("current smoker without packs")
+			}
+		case "Quit":
+			quits++
+		default:
+			t.Errorf("bad smoking status %q", tr.Smoking)
+		}
+		if tr.ProlongedHypoxia && !tr.TransientHypoxia {
+			t.Error("prolonged hypoxia implies transient")
+		}
+		if tr.HasHypoxia() {
+			hypoxia++
+		}
+		if tr.Indication == Indications[0] {
+			asthma++
+		}
+		for _, f := range tr.Findings {
+			if f.ProcedureID != tr.ID {
+				t.Error("finding not linked to its procedure")
+			}
+		}
+	}
+	// The Study 1/2 funnels need non-trivial populations.
+	if asthma < 50 || currents < 50 || quits < 30 || hypoxia < 20 {
+		t.Errorf("populations too thin: asthma=%d current=%d quit=%d hypoxia=%d", asthma, currents, quits, hypoxia)
+	}
+}
+
+func TestExSmokerDefinitions(t *testing.T) {
+	tr := Truth{Smoking: "Quit", QuitYearsAgo: 5}
+	if tr.ExSmoker(1) {
+		t.Error("quit 5 years ago is not ex-smoker-within-1")
+	}
+	if !tr.ExSmoker(10) || !tr.ExSmoker(0) {
+		t.Error("quit 5 years ago is ex-smoker within 10 and ever")
+	}
+	cur := Truth{Smoking: "Current"}
+	if cur.ExSmoker(0) {
+		t.Error("current smoker is never an ex-smoker")
+	}
+}
+
+// TestContributorsRoundTrip builds all three vendors and checks that the
+// g-tree view (pattern-stack Read) reproduces exactly what was entered
+// through each UI — the full UI → patterns → physical → view loop on
+// realistic data.
+func TestContributorsRoundTrip(t *testing.T) {
+	const n = 60
+	contribs, err := BuildAll(11, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contribs) != 3 {
+		t.Fatalf("contributors = %d", len(contribs))
+	}
+	for _, c := range contribs {
+		rows, err := c.Stack.Read(c.DB, c.Info)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if rows.Len() != n {
+			t.Errorf("%s: %d rows, want %d", c.Name, rows.Len(), n)
+		}
+	}
+
+	// Spot-check CORI values against truth.
+	cori := contribs[0]
+	rows, err := cori.Stack.Read(cori.DB, cori.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[int64]relstore.Row{}
+	ki := rows.Schema.Index("ProcedureID")
+	for _, r := range rows.Data {
+		byKey[r[ki].AsInt()] = r
+	}
+	for _, tr := range cori.Truths {
+		r, ok := byKey[tr.ID]
+		if !ok {
+			t.Fatalf("CORI record %d missing", tr.ID)
+		}
+		if !r[rows.Schema.Index("Indication")].Equal(relstore.Str(tr.Indication)) {
+			t.Errorf("record %d indication = %v, want %s", tr.ID, r[rows.Schema.Index("Indication")], tr.Indication)
+		}
+		if !r[rows.Schema.Index("TransientHypoxia")].Equal(relstore.Bool(tr.TransientHypoxia)) {
+			t.Errorf("record %d hypoxia mismatch", tr.ID)
+		}
+		packs := r[rows.Schema.Index("PacksPerDay")]
+		if tr.Smoking == "Current" {
+			if !packs.Equal(relstore.Float(tr.PacksPerDay)) {
+				t.Errorf("record %d packs = %v, want %v", tr.ID, packs, tr.PacksPerDay)
+			}
+		} else if !packs.IsNull() {
+			t.Errorf("record %d: non-smoker has packs %v (enablement must prevent this)", tr.ID, packs)
+		}
+	}
+
+	// EndoSoft stores cigarettes; check unit conversion happened on entry.
+	endo := contribs[1]
+	erows, err := endo.Stack.Read(endo.DB, endo.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eki := erows.Schema.Index("ExamID")
+	ecig := erows.Schema.Index("CigsPerDay")
+	ebyKey := map[int64]relstore.Row{}
+	for _, r := range erows.Data {
+		ebyKey[r[eki].AsInt()] = r
+	}
+	for _, tr := range endo.Truths {
+		r := ebyKey[tr.ID]
+		if tr.Smoking == "Current" {
+			want := relstore.Int(int64(tr.PacksPerDay * 20))
+			if !r[ecig].Equal(want) {
+				t.Errorf("exam %d cigs = %v, want %v", tr.ID, r[ecig], want)
+			}
+		} else if !r[ecig].IsNull() {
+			t.Errorf("exam %d: cigs present for non-smoker", tr.ID)
+		}
+	}
+
+	// MedRecord stores codes behind EAV; smoking code must match truth.
+	med := contribs[2]
+	mrows, err := med.Stack.Read(med.DB, med.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mki := mrows.Schema.Index("RecordID")
+	msm := mrows.Schema.Index("SmokeCode")
+	mbyKey := map[int64]relstore.Row{}
+	for _, r := range mrows.Data {
+		mbyKey[r[mki].AsInt()] = r
+	}
+	for _, tr := range med.Truths {
+		r := mbyKey[tr.ID]
+		if !r[msm].Equal(relstore.Int(medRecordSmoke[tr.Smoking])) {
+			t.Errorf("record %d smoke code = %v, want %d", tr.ID, r[msm], medRecordSmoke[tr.Smoking])
+		}
+	}
+
+	// The CORI findings child table exists and links to procedures.
+	frows, err := cori.FindingStack.Read(cori.DB, cori.FindingInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFindings := 0
+	for _, tr := range cori.Truths {
+		wantFindings += len(tr.Findings)
+	}
+	if frows.Len() != wantFindings {
+		t.Errorf("findings = %d, want %d", frows.Len(), wantFindings)
+	}
+}
+
+func TestVocabularyMapsAreTotal(t *testing.T) {
+	for _, ind := range Indications {
+		if endoSoftReason[ind] == "" {
+			t.Errorf("endoSoftReason missing %q", ind)
+		}
+	}
+	for _, p := range ProcedureTypes {
+		if endoSoftExam[p] == "" {
+			t.Errorf("endoSoftExam missing %q", p)
+		}
+		if _, ok := medRecordProc[p]; !ok {
+			t.Errorf("medRecordProc missing %q", p)
+		}
+	}
+	for _, s := range SmokingStatus {
+		if endoSoftSmoking[s] == "" {
+			t.Errorf("endoSoftSmoking missing %q", s)
+		}
+		if _, ok := medRecordSmoke[s]; !ok {
+			t.Errorf("medRecordSmoke missing %q", s)
+		}
+	}
+	for _, a := range AlcoholLevels {
+		if endoSoftEtoh[a] == "" {
+			t.Errorf("endoSoftEtoh missing %q", a)
+		}
+		if _, ok := medRecordEtoh[a]; !ok {
+			t.Errorf("medRecordEtoh missing %q", a)
+		}
+	}
+}

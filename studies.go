@@ -1,0 +1,274 @@
+package guava
+
+import (
+	"fmt"
+
+	"guava/internal/gquery"
+	"guava/internal/workload"
+)
+
+// This file implements the two motivating studies of Section 2 over the
+// synthetic workload contributors, with per-contributor conditions written
+// in each vendor's own vocabulary — the analyst-side work MultiClass
+// captures. Ground-truth counterparts score the system for Hypothesis #2.
+
+// Study1Result is the funnel of Study 1: "of all patients undergoing upper
+// GI endoscopy, how many had the indication of Asthma-specific
+// ENT/Pulmonary Reflux symptoms? Of these, include only those with no
+// history of renal failure and with cardiopulmonary and abdominal
+// examinations within normal limits. How many of these suffered the
+// complication of transient hypoxia? Of these, how many required each of
+// the following interventions: surgery, IV fluids, or oxygen
+// administration?"
+type Study1Result struct {
+	UpperGI          int
+	AsthmaIndication int
+	Eligible         int
+	TransientHypoxia int
+	Surgery          int
+	IVFluids         int
+	Oxygen           int
+}
+
+// study1Conditions holds each vendor's wording of the funnel stages.
+type study1Conditions struct {
+	upperGI  string
+	asthma   string
+	eligible string
+	hypoxia  string
+	surgery  string
+	ivfluids string
+	oxygen   string
+}
+
+var study1Vocab = map[string]study1Conditions{
+	"CORI": {
+		upperGI:  "ProcType = 'Upper GI Endoscopy'",
+		asthma:   "Indication = 'Asthma-specific ENT/Pulmonary Reflux symptoms'",
+		eligible: "RenalFailure = FALSE AND CardioWNL = TRUE AND AbdoWNL = TRUE",
+		hypoxia:  "TransientHypoxia = TRUE",
+		surgery:  "Surgery = TRUE",
+		ivfluids: "IVFluids = TRUE",
+		oxygen:   "Oxygen = TRUE",
+	},
+	"EndoSoft": {
+		upperGI:  "ExamType = 'EGD'",
+		asthma:   "Reason = 'Reflux-associated asthma symptoms'",
+		eligible: "RenalDisease = FALSE AND CardioNormal = TRUE AND AbdoNormal = TRUE",
+		hypoxia:  "O2Desat = TRUE",
+		surgery:  "TxSurgery = 'Yes'",
+		ivfluids: "TxFluids = 'Yes'",
+		oxygen:   "TxOxygen = 'Yes'",
+	},
+	"MedRecord": {
+		upperGI:  "ProcCode = 10",
+		asthma:   "IndicationText = 'Asthma-specific ENT/Pulmonary Reflux symptoms'",
+		eligible: "RenalHx = FALSE AND CardioOK = TRUE AND AbdoOK = TRUE",
+		hypoxia:  "HypoxiaT = TRUE",
+		surgery:  "TxSurg = TRUE",
+		ivfluids: "TxIVF = TRUE",
+		oxygen:   "TxO2 = TRUE",
+	},
+}
+
+// countWhere counts a contributor's records matching a condition in the
+// classifier expression language, evaluated through the g-tree view.
+func countWhere(c *workload.Contributor, cond string) (int, error) {
+	q := &gquery.Query{Tree: c.Tree, Select: []string{c.Tree.KeyColumn}, Where: cond}
+	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	if err != nil {
+		return 0, err
+	}
+	return rows.Len(), nil
+}
+
+// Study1 runs the funnel over the workload contributors, summing counts
+// across sources (each stage ANDs onto the previous ones).
+func Study1(contribs []*workload.Contributor) (*Study1Result, error) {
+	out := &Study1Result{}
+	for _, c := range contribs {
+		v, ok := study1Vocab[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("guava: no Study 1 vocabulary for contributor %q", c.Name)
+		}
+		stages := []struct {
+			cond string
+			dst  *int
+		}{
+			{v.upperGI, &out.UpperGI},
+			{v.upperGI + " AND " + v.asthma, &out.AsthmaIndication},
+			{v.upperGI + " AND " + v.asthma + " AND " + v.eligible, &out.Eligible},
+			{v.upperGI + " AND " + v.asthma + " AND " + v.eligible + " AND " + v.hypoxia, &out.TransientHypoxia},
+		}
+		base := stages[3].cond
+		stages = append(stages,
+			struct {
+				cond string
+				dst  *int
+			}{base + " AND " + v.surgery, &out.Surgery},
+			struct {
+				cond string
+				dst  *int
+			}{base + " AND " + v.ivfluids, &out.IVFluids},
+			struct {
+				cond string
+				dst  *int
+			}{base + " AND " + v.oxygen, &out.Oxygen},
+		)
+		for _, st := range stages {
+			n, err := countWhere(c, st.cond)
+			if err != nil {
+				return nil, fmt.Errorf("guava: study 1 over %s: %w", c.Name, err)
+			}
+			*st.dst += n
+		}
+	}
+	return out, nil
+}
+
+// Study1Truth computes the same funnel from ground truth.
+func Study1Truth(contribs []*workload.Contributor) *Study1Result {
+	out := &Study1Result{}
+	for _, c := range contribs {
+		for _, t := range c.Truths {
+			if t.ProcType != "Upper GI Endoscopy" {
+				continue
+			}
+			out.UpperGI++
+			if t.Indication != workload.Indications[0] {
+				continue
+			}
+			out.AsthmaIndication++
+			if t.RenalFailure || !t.CardioWNL || !t.AbdoWNL {
+				continue
+			}
+			out.Eligible++
+			if !t.TransientHypoxia {
+				continue
+			}
+			out.TransientHypoxia++
+			if t.Surgery {
+				out.Surgery++
+			}
+			if t.IVFluids {
+				out.IVFluids++
+			}
+			if t.Oxygen {
+				out.Oxygen++
+			}
+		}
+	}
+	return out
+}
+
+// Render formats the funnel for CLI output.
+func (r *Study1Result) Render() string {
+	return fmt.Sprintf(`Study 1: upper GI endoscopy funnel
+  upper GI endoscopies:         %5d
+  + asthma/reflux indication:   %5d
+  + eligible (no renal, WNL):   %5d
+  + transient hypoxia:          %5d
+      requiring surgery:        %5d
+      requiring IV fluids:      %5d
+      requiring oxygen:         %5d
+`, r.UpperGI, r.AsthmaIndication, r.Eligible, r.TransientHypoxia, r.Surgery, r.IVFluids, r.Oxygen)
+}
+
+// Study2Result answers Study 2 under one definition of "ex-smoker": "of all
+// procedures on ex-smokers, how many had a complication of hypoxia?"
+type Study2Result struct {
+	// Definition documents which ex-smoker reading was used.
+	Definition  string
+	ExSmokers   int
+	WithHypoxia int
+}
+
+// study2Conditions is each vendor's wording of "ex-smoker" and "hypoxia".
+type study2Conditions struct {
+	exEver   string
+	exRecent string // quit within the last year
+	hypoxia  string
+}
+
+var study2Vocab = map[string]study2Conditions{
+	"CORI": {
+		exEver:   "Smoking = 'Quit'",
+		exRecent: "Smoking = 'Quit' AND QuitYearsAgo <= 1",
+		hypoxia:  "TransientHypoxia = TRUE OR ProlongedHypoxia = TRUE",
+	},
+	"EndoSoft": {
+		exEver:   "SmokingStatus = 'Ex-smoker'",
+		exRecent: "SmokingStatus = 'Ex-smoker' AND YearsSinceQuit <= 1",
+		hypoxia:  "O2Desat = TRUE OR O2DesatProlonged = TRUE",
+	},
+	"MedRecord": {
+		exEver:   "SmokeCode = 2",
+		exRecent: "SmokeCode = 2 AND QuitYears <= 1",
+		hypoxia:  "HypoxiaT = TRUE OR HypoxiaP = TRUE",
+	},
+}
+
+// Study2 runs the ex-smoker × hypoxia study. withinLastYear selects the
+// stricter ex-smoker definition — the paper's point is that the *same*
+// study gives different answers under different classifier choices, and
+// MultiClass makes the choice explicit and reusable.
+func Study2(contribs []*workload.Contributor, withinLastYear bool) (*Study2Result, error) {
+	def := "ex-smoker = ever quit"
+	if withinLastYear {
+		def = "ex-smoker = quit within the last year"
+	}
+	out := &Study2Result{Definition: def}
+	for _, c := range contribs {
+		v, ok := study2Vocab[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("guava: no Study 2 vocabulary for contributor %q", c.Name)
+		}
+		ex := v.exEver
+		if withinLastYear {
+			ex = v.exRecent
+		}
+		n, err := countWhere(c, ex)
+		if err != nil {
+			return nil, fmt.Errorf("guava: study 2 over %s: %w", c.Name, err)
+		}
+		out.ExSmokers += n
+		n, err = countWhere(c, "("+ex+") AND ("+v.hypoxia+")")
+		if err != nil {
+			return nil, err
+		}
+		out.WithHypoxia += n
+	}
+	return out, nil
+}
+
+// Study2TruthCounts computes the same counts from ground truth. withinYears
+// = 0 means "ever quit"; 1 means "quit within the last year".
+func Study2TruthCounts(contribs []*workload.Contributor, withinYears int64) *Study2Result {
+	def := "ex-smoker = ever quit"
+	if withinYears > 0 {
+		def = "ex-smoker = quit within the last year"
+	}
+	out := &Study2Result{Definition: def}
+	for _, c := range contribs {
+		for _, t := range c.Truths {
+			if !t.ExSmoker(withinYears) {
+				continue
+			}
+			out.ExSmokers++
+			if t.HasHypoxia() {
+				out.WithHypoxia++
+			}
+		}
+	}
+	return out
+}
+
+// Render formats the result for CLI output.
+func (r *Study2Result) Render() string {
+	pct := 0.0
+	if r.ExSmokers > 0 {
+		pct = 100 * float64(r.WithHypoxia) / float64(r.ExSmokers)
+	}
+	return fmt.Sprintf("Study 2 (%s): %d ex-smoker procedures, %d with hypoxia (%.1f%%)\n",
+		r.Definition, r.ExSmokers, r.WithHypoxia, pct)
+}
