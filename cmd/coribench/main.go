@@ -3,20 +3,31 @@
 // section per experiment. See EXPERIMENTS.md for how each section maps onto
 // the paper's figures, tables, and hypotheses.
 //
+// R1 measures the robustness layer: study throughput with a fraction of
+// the contributor extract chains wrapped in fault injectors (-faults),
+// retried under a budget (-retries), both for transient faults that
+// recover and for permanent faults absorbed by graceful degradation.
+//
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3] [-seed 42] [-n 200]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1] [-seed 42] [-n 200]
+//	          [-faults 0.33] [-retries 2]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"guava/internal/baseline"
 	"guava/internal/classifier"
 	"guava/internal/etl"
+	"guava/internal/etl/faulty"
 	"guava/internal/materialize"
 	"guava/internal/patterns"
 	"guava/internal/relstore"
@@ -24,9 +35,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
+	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
+	retries := flag.Int("retries", 2, "retries per step beyond the first attempt (R1)")
 	flag.Parse()
 
 	run := func(id string) bool { return *exp == "all" || *exp == id }
@@ -44,6 +57,9 @@ func main() {
 	}
 	if run("A3") {
 		expA3(*seed)
+	}
+	if run("R1") {
+		expR1(*seed, *n, *faults, *retries)
 	}
 }
 
@@ -258,6 +274,112 @@ func expA2(seed int64, n int) {
 	fmt.Printf("%-28s %14s\n", "hand-written expert ETL", handDur)
 	if handDur > 0 {
 		fmt.Printf("overhead factor: %.2fx\n", float64(genDur)/float64(handDur))
+	}
+	fmt.Println()
+}
+
+// expR1: degraded-run throughput vs the clean baseline. A fraction of the
+// contributor extract chains is wrapped in deterministic fault injectors;
+// the transient row retries them back to a full study, the permanent row
+// runs ContinueOnError and unions the surviving contributors.
+func expR1(seed int64, n int, faultFrac float64, retries int) {
+	fmt.Printf("== R1: throughput under injected faults (%d records, faults=%.2f, retries=%d) ==\n", n, faultFrac, retries)
+	contribs, err := workload.BuildAll(seed, n)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	policy := etl.RunPolicy{MaxAttempts: retries + 1}
+	const workers = 4
+	const reps = 10
+
+	compile := func() *etl.Compiled {
+		c, err := etl.Compile(spec)
+		if err != nil {
+			fail(err)
+		}
+		return c
+	}
+	// The faulted chains: the first ceil(frac*N) extract steps in ID order.
+	var extracts []string
+	for _, s := range compile().Workflow.Steps {
+		if strings.HasPrefix(s.ID, "extract/") {
+			extracts = append(extracts, s.ID)
+		}
+	}
+	sort.Strings(extracts)
+	k := int(math.Ceil(faultFrac * float64(len(extracts))))
+	if k > len(extracts) {
+		k = len(extracts)
+	}
+	faulted := extracts[:k]
+
+	bench := func(c *etl.Compiled, pol etl.RunPolicy, chaos []*faulty.Chaos) (time.Duration, *relstore.Rows, *etl.RunReport) {
+		var rows *relstore.Rows
+		var rep *etl.RunReport
+		dur, err := timeIt(reps, func() error {
+			for _, ch := range chaos {
+				ch.Reset()
+			}
+			var err error
+			rows, rep, err = c.RunResilient(context.Background(), pol, workers)
+			return err
+		})
+		if err != nil {
+			fail(err)
+		}
+		return dur, rows, rep
+	}
+	throughput := func(rows *relstore.Rows, dur time.Duration) float64 {
+		return float64(rows.Len()) / dur.Seconds()
+	}
+
+	cleanDur, cleanRows, _ := bench(compile(), policy, nil)
+
+	// Transient: each faulted extract fails its first `retries` attempts and
+	// succeeds on the final one, so the study still completes in full.
+	transient := compile()
+	var transientChaos []*faulty.Chaos
+	for _, id := range faulted {
+		transientChaos = append(transientChaos, faulty.Wrap(transient.Workflow, id, func(wrapped etl.Component) *faulty.Chaos {
+			return &faulty.Chaos{Wrapped: wrapped, FailFirst: retries}
+		}))
+	}
+	transDur, transRows, _ := bench(transient, policy, transientChaos)
+
+	// Permanent: the faulted extracts never recover; ContinueOnError prunes
+	// their chains and unions the survivors. At least one contributor must
+	// survive or there is no study output to measure.
+	permFaulted := faulted
+	if len(permFaulted) == len(extracts) && len(extracts) > 1 {
+		permFaulted = permFaulted[:len(extracts)-1]
+		fmt.Printf("(permanent scenario capped at %d faulted chains so one contributor survives)\n", len(permFaulted))
+	}
+	permanent := compile()
+	for _, id := range permFaulted {
+		faulty.Wrap(permanent.Workflow, id, func(wrapped etl.Component) *faulty.Chaos {
+			return &faulty.Chaos{Wrapped: wrapped, FailForever: true}
+		})
+	}
+	degraded := etl.RunPolicy{MaxAttempts: retries + 1, ContinueOnError: true}
+	permDur, permRows, permRep := bench(permanent, degraded, nil)
+
+	fmt.Printf("%-34s %14s %8s %14s %10s\n", "scenario", "run", "rows", "rows/s", "vs clean")
+	row := func(name string, dur time.Duration, rows *relstore.Rows) {
+		fmt.Printf("%-34s %14s %8d %14.0f %9.2fx\n",
+			name, dur, rows.Len(), throughput(rows, dur),
+			throughput(rows, dur)/throughput(cleanRows, cleanDur))
+	}
+	row("clean baseline", cleanDur, cleanRows)
+	row(fmt.Sprintf("transient faults (%d chains)", k), transDur, transRows)
+	row(fmt.Sprintf("permanent faults (%d chains)", len(permFaulted)), permDur, permRows)
+	if len(permRep.DegradedContributors) > 0 {
+		fmt.Printf("degraded contributors: %s\n", strings.Join(permRep.DegradedContributors, ", "))
+		fmt.Printf("failed steps: %s; skipped dependents: %s\n",
+			strings.Join(permRep.Failed(), ", "), strings.Join(permRep.Skipped(), ", "))
 	}
 	fmt.Println()
 }

@@ -5,22 +5,33 @@
 // translations — the inspectability the paper demands of generated
 // workflows.
 //
+// The reference study runs through the resilient executor: -retries,
+// -step-timeout, -timeout, and -continue configure the etl.RunPolicy,
+// -fail injects a permanently dead contributor extract (demonstrating
+// graceful degradation), and -report prints the structured RunReport.
+//
 // Usage:
 //
 //	runstudy [-study reference|study1|study2] [-seed 42] [-n 200]
 //	         [-plan] [-sql] [-xquery] [-rows 10]
+//	         [-parallel 1] [-retries 0] [-step-timeout 0] [-timeout 0]
+//	         [-continue] [-fail contributor,...] [-report]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"guava"
 	"guava/internal/baseline"
 	"guava/internal/classifier"
 	"guava/internal/etl"
+	"guava/internal/etl/faulty"
 	"guava/internal/relstore"
 	"guava/internal/workload"
 )
@@ -33,6 +44,13 @@ func main() {
 	showSQL := flag.Bool("sql", false, "print the per-contributor SQL translation")
 	showXQ := flag.Bool("xquery", false, "print the per-contributor XQuery translation")
 	rows := flag.Int("rows", 10, "result rows to print (reference study)")
+	workers := flag.Int("parallel", 1, "worker count for the executor (<= 0 means one worker per ready step)")
+	retries := flag.Int("retries", 0, "retries per step beyond the first attempt")
+	stepTimeout := flag.Duration("step-timeout", 0, "deadline per step attempt (0 = none)")
+	timeout := flag.Duration("timeout", 0, "deadline for the whole workflow (0 = none)")
+	contOnErr := flag.Bool("continue", false, "continue past failed steps, skipping dependents (graceful degradation)")
+	failContribs := flag.String("fail", "", "comma-separated contributors whose extract is forced to fail (reference study)")
+	showReport := flag.Bool("report", false, "print the per-step RunReport after the run")
 	flag.Parse()
 
 	contribs, err := workload.BuildAll(*seed, *n)
@@ -41,7 +59,18 @@ func main() {
 	}
 	switch *studyName {
 	case "reference":
-		runReference(contribs, *showPlan, *showSQL, *showXQ, *rows)
+		policy := etl.RunPolicy{
+			MaxAttempts:     *retries + 1,
+			Backoff:         10 * time.Millisecond,
+			StepTimeout:     *stepTimeout,
+			WorkflowTimeout: *timeout,
+			ContinueOnError: *contOnErr,
+		}
+		runReference(contribs, refOptions{
+			plan: *showPlan, sql: *showSQL, xquery: *showXQ, rows: *rows,
+			workers: *workers, policy: policy, fail: splitList(*failContribs),
+			report: *showReport,
+		})
 	case "study1":
 		res, err := guava.Study1(contribs)
 		if err != nil {
@@ -68,7 +97,31 @@ func main() {
 	}
 }
 
-func runReference(contribs []*workload.Contributor, showPlan, showSQL, showXQ bool, maxRows int) {
+// refOptions collects the reference-study switches: what to print and how
+// to execute.
+type refOptions struct {
+	plan, sql, xquery bool
+	rows              int
+	workers           int
+	policy            etl.RunPolicy
+	fail              []string
+	report            bool
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runReference(contribs []*workload.Contributor, opt refOptions) {
 	spec, err := baseline.ReferenceSpec(contribs)
 	if err != nil {
 		fail(err)
@@ -77,10 +130,10 @@ func runReference(contribs []*workload.Contributor, showPlan, showSQL, showXQ bo
 	if err != nil {
 		fail(err)
 	}
-	if showPlan {
+	if opt.plan {
 		fmt.Println(compiled.Workflow.Render())
 	}
-	if showSQL {
+	if opt.sql {
 		plans, err := compiled.EmitSQLPlans()
 		if err != nil {
 			fail(err)
@@ -94,7 +147,7 @@ func runReference(contribs []*workload.Contributor, showPlan, showSQL, showXQ bo
 			fmt.Printf("-- %s\n%s\n\n", n, plans[n])
 		}
 	}
-	if showXQ {
+	if opt.xquery {
 		for _, c := range spec.Contributors {
 			var domains []*classifier.Classifier
 			for _, col := range spec.Columns {
@@ -107,14 +160,26 @@ func runReference(contribs []*workload.Contributor, showPlan, showSQL, showXQ bo
 			fmt.Printf("(: %s :)\n%s\n\n", c.Name, xq)
 		}
 	}
-	out, err := compiled.Run()
+	for _, name := range opt.fail {
+		id := "extract/" + name
+		if faulty.Wrap(compiled.Workflow, id, func(wrapped etl.Component) *faulty.Chaos {
+			return &faulty.Chaos{Wrapped: wrapped, FailForever: true}
+		}) == nil {
+			fail(fmt.Errorf("-fail: no step %q in the workflow", id))
+		}
+	}
+	out, report, err := compiled.RunResilient(context.Background(), opt.policy, opt.workers)
+	if opt.report && report != nil {
+		fmt.Print(report.Render())
+		fmt.Println()
+	}
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("study %q: %d rows\n", spec.Name, out.Len())
 	head := out
-	if out.Len() > maxRows {
-		head = &relstore.Rows{Schema: out.Schema, Data: out.Data[:maxRows]}
+	if out.Len() > opt.rows {
+		head = &relstore.Rows{Schema: out.Schema, Data: out.Data[:opt.rows]}
 	}
 	fmt.Print(head.Format())
 	// Summary: classification histogram.

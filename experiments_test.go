@@ -1,6 +1,7 @@
 package guava
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -311,7 +312,7 @@ func TestHasAChildJoin(t *testing.T) {
 		LeftCol: "ProcedureID", RightCol: "ProcedureRef",
 		RightPrefix: "f", To: etl.TableRef{DB: "out", Table: "joined"},
 	}, a, b)
-	if err := w.Run(ctx); err != nil {
+	if err := w.Run(context.Background(), ctx); err != nil {
 		t.Fatal(err)
 	}
 	joined, err := ctx.DB("out").Table("joined")

@@ -107,6 +107,14 @@ type (
 
 	// Workflow is an executable ETL workflow.
 	Workflow = etl.Workflow
+	// RunPolicy configures retry, timeouts, and partial-failure handling
+	// for resilient study execution.
+	RunPolicy = etl.RunPolicy
+	// RunReport is the structured outcome of a resilient execution:
+	// per-step attempts, durations, errors, and the degraded contributors.
+	RunReport = etl.RunReport
+	// StepResult records one workflow step's fate in a RunReport.
+	StepResult = etl.StepResult
 )
 
 // Convenience constructors re-exported from relstore.

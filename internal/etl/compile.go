@@ -1,8 +1,10 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"guava/internal/classifier"
 	"guava/internal/gtree"
@@ -231,25 +233,36 @@ func Compile(spec *StudySpec) (*Compiled, error) {
 // It returns the study output sorted by contributor and entity key for
 // stable display.
 func (c *Compiled) Run() (*relstore.Rows, error) {
-	return c.run(func(w *Workflow, ctx *Context) error { return w.Run(ctx) })
+	return c.run(func(w *Workflow, env *Context) error { return w.Run(context.Background(), env) })
 }
 
 // RunParallel executes the compiled workflow with the per-contributor chains
 // running concurrently.
 func (c *Compiled) RunParallel(workers int) (*relstore.Rows, error) {
-	return c.run(func(w *Workflow, ctx *Context) error { return w.RunParallel(ctx, workers) })
+	return c.run(func(w *Workflow, env *Context) error { return w.RunParallel(context.Background(), env, workers) })
 }
 
-func (c *Compiled) run(exec func(*Workflow, *Context) error) (*relstore.Rows, error) {
+// newEnv builds the execution context: contributor databases register under
+// "source_<name>"; temporary databases materialize on demand.
+func (c *Compiled) newEnv() *Context {
 	dbs := make(map[string]*relstore.DB, len(c.Spec.Contributors))
 	for _, ct := range c.Spec.Contributors {
 		dbs["source_"+ct.Name] = ct.DB
 	}
-	ctx := NewContext(dbs)
-	if err := exec(c.Workflow, ctx); err != nil {
+	return NewContext(dbs)
+}
+
+func (c *Compiled) run(exec func(*Workflow, *Context) error) (*relstore.Rows, error) {
+	env := c.newEnv()
+	if err := exec(c.Workflow, env); err != nil {
 		return nil, err
 	}
-	rows, err := c.Output.read(ctx)
+	return c.readOutput(env)
+}
+
+// readOutput fetches, conforms, and stably sorts the study output table.
+func (c *Compiled) readOutput(env *Context) (*relstore.Rows, error) {
+	rows, err := c.Output.read(env)
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +275,60 @@ func (c *Compiled) run(exec func(*Workflow, *Context) error) (*relstore.Rows, er
 		return nil, err
 	}
 	return relstore.SortBy(rows, ContributorColumn, EntityKeyColumn)
+}
+
+// RunResilient executes the compiled workflow under a RunPolicy with the
+// given worker bound, returning the study output together with the
+// RunReport. With policy.ContinueOnError, a failing contributor chain no
+// longer takes the study down: its steps are recorded as failed/skipped,
+// the final load degrades to a union of the surviving contributors, and the
+// report's DegradedContributors names what was lost. An error is returned
+// only when no usable output exists at all — structural failure,
+// cancellation, a fail-fast step error, or every contributor failing.
+func (c *Compiled) RunResilient(ctx context.Context, policy RunPolicy, workers int) (*relstore.Rows, *RunReport, error) {
+	env := c.newEnv()
+	report, err := c.Workflow.Execute(ctx, env, policy, workers)
+	if report != nil {
+		report.DegradedContributors = c.degradedContributors(report)
+	}
+	if err != nil {
+		return nil, report, err
+	}
+	rows, err := c.readOutput(env)
+	if err != nil {
+		// Typically: every contributor failed, so the union never ran.
+		if report.Err != nil {
+			return nil, report, fmt.Errorf("etl: study %q produced no output (first failure: %v)", c.Spec.Name, report.Err)
+		}
+		return nil, report, err
+	}
+	return rows, report, nil
+}
+
+// degradedContributors extracts, from a run report, the contributors whose
+// compiled chain (extract/select/classify step IDs of the form
+// "<stage>/<contributor>") failed or was skipped.
+func (c *Compiled) degradedContributors(r *RunReport) []string {
+	names := map[string]bool{}
+	for _, s := range r.Steps {
+		if s.Status != StepFailed && s.Status != StepSkipped {
+			continue
+		}
+		stage, name, ok := strings.Cut(s.ID, "/")
+		if !ok {
+			continue
+		}
+		switch stage {
+		case "extract", "select", "classify":
+			names[name] = true
+		}
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DirectEval is the reference semantics for Hypothesis #3: evaluate the

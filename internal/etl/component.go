@@ -7,6 +7,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -92,8 +93,19 @@ type Component interface {
 	Name() string
 	// Describe renders what the step does, for the analyst-facing plan.
 	Describe() string
-	// Run executes the step against the context.
-	Run(ctx *Context) error
+	// Run executes the step against env. Implementations must honor ctx
+	// cancellation and deadlines: long-running or blocking work must return
+	// (with ctx.Err()) promptly once ctx is done, or workflow-level
+	// cancellation and timeouts cannot take effect.
+	Run(ctx context.Context, env *Context) error
+}
+
+// degradable is implemented by components that can run with a subset of
+// their declared inputs when upstream steps failed — Union drops the failed
+// contributors and loads the survivors. unavailable is keyed by
+// TableRef.String(). The second return is false when nothing useful remains.
+type degradable interface {
+	WithoutInputs(unavailable map[string]bool) (Component, bool)
 }
 
 // Extract reads a form's naive relation out of a contributor database
@@ -120,15 +132,18 @@ func (e *Extract) Describe() string {
 }
 
 // Run implements Component.
-func (e *Extract) Run(ctx *Context) error {
-	if !ctx.Has(e.SourceDB) {
+func (e *Extract) Run(ctx context.Context, env *Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !env.Has(e.SourceDB) {
 		return fmt.Errorf("etl: extract: unknown source database %q", e.SourceDB)
 	}
-	rows, err := e.Stack.Read(ctx.DB(e.SourceDB), e.Form)
+	rows, err := e.Stack.Read(env.DB(e.SourceDB), e.Form)
 	if err != nil {
 		return fmt.Errorf("etl: extract %s: %w", e.Form.Name, err)
 	}
-	return e.To.write(ctx, rows)
+	return e.To.write(env, rows)
 }
 
 // Query filters, derives, and projects one table into another — the middle
@@ -180,8 +195,11 @@ func (q *Query) Describe() string {
 }
 
 // Run implements Component.
-func (q *Query) Run(ctx *Context) error {
-	rows, err := q.From.read(ctx)
+func (q *Query) Run(ctx context.Context, env *Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rows, err := q.From.read(env)
 	if err != nil {
 		return fmt.Errorf("etl: query from %s: %w", q.From, err)
 	}
@@ -201,7 +219,7 @@ func (q *Query) Run(ctx *Context) error {
 	if q.Distinct {
 		rows = relstore.Distinct(rows)
 	}
-	return q.To.write(ctx, rows)
+	return q.To.write(env, rows)
 }
 
 // Union concatenates same-schema tables into one — the load stage:
@@ -231,13 +249,16 @@ func (u *Union) Describe() string {
 }
 
 // Run implements Component.
-func (u *Union) Run(ctx *Context) error {
+func (u *Union) Run(ctx context.Context, env *Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(u.From) == 0 {
 		return fmt.Errorf("etl: union with no inputs")
 	}
 	all := make([]*relstore.Rows, 0, len(u.From))
 	for _, ref := range u.From {
-		rows, err := ref.read(ctx)
+		rows, err := ref.read(env)
 		if err != nil {
 			return fmt.Errorf("etl: union input %s: %w", ref, err)
 		}
@@ -250,7 +271,23 @@ func (u *Union) Run(ctx *Context) error {
 	if u.Distinct {
 		out = relstore.Distinct(out)
 	}
-	return u.To.write(ctx, out)
+	return u.To.write(env, out)
+}
+
+// WithoutInputs implements degradable: the load stage of a degraded study
+// unions whichever contributor chains survived. It reports false when no
+// input remains.
+func (u *Union) WithoutInputs(unavailable map[string]bool) (Component, bool) {
+	keep := make([]TableRef, 0, len(u.From))
+	for _, r := range u.From {
+		if !unavailable[r.String()] {
+			keep = append(keep, r)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, false
+	}
+	return &Union{From: keep, Distinct: u.Distinct, To: u.To}, true
 }
 
 // JoinStep equi-joins two tables — needed when a study pulls has-a children
@@ -272,12 +309,15 @@ func (j *JoinStep) Describe() string {
 }
 
 // Run implements Component.
-func (j *JoinStep) Run(ctx *Context) error {
-	l, err := j.Left.read(ctx)
+func (j *JoinStep) Run(ctx context.Context, env *Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l, err := j.Left.read(env)
 	if err != nil {
 		return err
 	}
-	r, err := j.Right.read(ctx)
+	r, err := j.Right.read(env)
 	if err != nil {
 		return err
 	}
@@ -285,5 +325,5 @@ func (j *JoinStep) Run(ctx *Context) error {
 	if err != nil {
 		return fmt.Errorf("etl: join: %w", err)
 	}
-	return j.To.write(ctx, out)
+	return j.To.write(env, out)
 }

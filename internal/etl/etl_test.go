@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -297,7 +298,7 @@ func TestWorkflowDAG(t *testing.T) {
 	b := w.Add("b", &Query{From: TableRef{"tmp", "A"}, Where: relstore.Cmp(relstore.CmpLt, relstore.Col("K"), relstore.Lit(relstore.Int(2))), To: TableRef{"tmp", "B"}}, a)
 	c := w.Add("c", &Query{From: TableRef{"tmp", "A"}, Where: relstore.Cmp(relstore.CmpGe, relstore.Col("K"), relstore.Lit(relstore.Int(2))), To: TableRef{"tmp", "C"}}, a)
 	w.Add("d", &Union{From: []TableRef{{"tmp", "B"}, {"tmp", "C"}}, To: TableRef{"out", "D"}}, b, c)
-	if err := w.Run(ctx); err != nil {
+	if err := w.Run(context.Background(), ctx); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ctx.DB("out").Table("D")
@@ -312,14 +313,14 @@ func TestWorkflowDAG(t *testing.T) {
 	w2, ctx2 := mk()
 	w2.Add("x", &Query{From: TableRef{"src", "T"}, To: TableRef{"tmp", "X"}}, "y")
 	w2.Add("y", &Query{From: TableRef{"tmp", "X"}, To: TableRef{"tmp", "Y"}}, "x")
-	if err := w2.Run(ctx2); err == nil || !strings.Contains(err.Error(), "cycle") {
+	if err := w2.Run(context.Background(), ctx2); err == nil || !strings.Contains(err.Error(), "cycle") {
 		t.Errorf("cycle must fail: %v", err)
 	}
 
 	// Unknown dependency.
 	w3, ctx3 := mk()
 	w3.Add("x", &Query{From: TableRef{"src", "T"}, To: TableRef{"tmp", "X"}}, "ghost")
-	if err := w3.Run(ctx3); err == nil {
+	if err := w3.Run(context.Background(), ctx3); err == nil {
 		t.Error("unknown dependency must fail")
 	}
 
@@ -327,14 +328,14 @@ func TestWorkflowDAG(t *testing.T) {
 	w4, ctx4 := mk()
 	w4.Add("x", &Query{From: TableRef{"src", "T"}, To: TableRef{"tmp", "X"}})
 	w4.Add("x", &Query{From: TableRef{"src", "T"}, To: TableRef{"tmp", "Y"}})
-	if err := w4.Run(ctx4); err == nil {
+	if err := w4.Run(context.Background(), ctx4); err == nil {
 		t.Error("duplicate IDs must fail")
 	}
 
 	// Empty step ID.
 	w5, ctx5 := mk()
 	w5.Add("", &Query{From: TableRef{"src", "T"}, To: TableRef{"tmp", "X"}})
-	if err := w5.Run(ctx5); err == nil {
+	if err := w5.Run(context.Background(), ctx5); err == nil {
 		t.Error("empty ID must fail")
 	}
 }
@@ -343,12 +344,12 @@ func TestComponentErrors(t *testing.T) {
 	ctx := NewContext(nil)
 	// Query from a missing table.
 	q := &Query{From: TableRef{"nope", "T"}, To: TableRef{"out", "X"}}
-	if err := q.Run(ctx); err == nil {
+	if err := q.Run(context.Background(), ctx); err == nil {
 		t.Error("missing table must fail")
 	}
 	// Union with no inputs.
 	u := &Union{To: TableRef{"out", "X"}}
-	if err := u.Run(ctx); err == nil {
+	if err := u.Run(context.Background(), ctx); err == nil {
 		t.Error("empty union must fail")
 	}
 	// Extract from unregistered source.
@@ -356,7 +357,7 @@ func TestComponentErrors(t *testing.T) {
 		Form: patterns.FormInfo{Name: "F", KeyColumn: "K", Schema: relstore.MustSchema(
 			relstore.Column{Name: "K", Type: relstore.KindInt, NotNull: true})},
 		To: TableRef{"out", "X"}}
-	if err := e.Run(ctx); err == nil {
+	if err := e.Run(context.Background(), ctx); err == nil {
 		t.Error("unknown source must fail")
 	}
 }
@@ -372,7 +373,7 @@ func TestJoinStep(t *testing.T) {
 	_ = p.Insert(relstore.Row{relstore.Int(2)})
 	_ = f.Insert(relstore.Row{relstore.Int(1), relstore.Int(10)})
 	j := &JoinStep{Left: TableRef{"d", "P"}, Right: TableRef{"d", "F"}, LeftCol: "PID", RightCol: "PID", RightPrefix: "f", To: TableRef{"d", "J"}}
-	if err := j.Run(ctx); err != nil {
+	if err := j.Run(context.Background(), ctx); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := ctx.DB("d").Table("J")
@@ -393,7 +394,7 @@ func TestQueryOptions(t *testing.T) {
 		_ = tab.Insert(relstore.Row{relstore.Int(k)})
 	}
 	q := &Query{From: TableRef{"d", "T"}, Distinct: true, To: TableRef{"d", "U"}}
-	if err := q.Run(ctx); err != nil {
+	if err := q.Run(context.Background(), ctx); err != nil {
 		t.Fatal(err)
 	}
 	u, _ := db.Table("U")
@@ -401,7 +402,7 @@ func TestQueryOptions(t *testing.T) {
 		t.Errorf("distinct rows = %d", u.Len())
 	}
 	// Rewriting an existing output table replaces it.
-	if err := q.Run(ctx); err != nil {
+	if err := q.Run(context.Background(), ctx); err != nil {
 		t.Fatal(err)
 	}
 	u, _ = db.Table("U")

@@ -1,0 +1,265 @@
+package etl
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Execute runs the workflow under a RunPolicy and returns a RunReport
+// describing every step's fate. It is the engine beneath Run and
+// RunParallel: a dependency-counting scheduler with per-step retry,
+// per-step and per-workflow deadlines, and — with policy.ContinueOnError —
+// graceful pruning of a failed step's transitive dependents while every
+// independent step still runs.
+//
+// workers bounds concurrency (<= 0 means one goroutine per ready step).
+//
+// The returned error is non-nil when the workflow is structurally invalid,
+// when ctx is canceled or a deadline expires, or — without ContinueOnError —
+// on the first step failure. With ContinueOnError, step failures are
+// recorded in the report (report.Err holds the first one) and the call
+// itself returns nil so the caller can salvage partial results.
+func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, workers int) (*RunReport, error) {
+	steps, err := w.order() // validates IDs, deps, acyclicity
+	if err != nil {
+		return nil, err
+	}
+	if policy.WorkflowTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, policy.WorkflowTimeout)
+		defer cancel()
+	}
+	// Own cancel scope: aborting the run tells in-flight components to
+	// stop, so the scheduler never waits on work it no longer needs.
+	execCtx, cancelExec := context.WithCancel(ctx)
+	defer cancelExec()
+
+	report := &RunReport{Workflow: w.Name, byID: make(map[string]*StepResult, len(steps))}
+	for _, s := range steps {
+		res := &StepResult{ID: s.ID, Status: StepSkipped}
+		report.Steps = append(report.Steps, res)
+		report.byID[s.ID] = res
+	}
+
+	indegree := make(map[string]int, len(steps))
+	children := make(map[string][]*Step, len(steps))
+	byID := make(map[string]*Step, len(steps))
+	for _, s := range steps {
+		byID[s.ID] = s
+		indegree[s.ID] = len(s.DependsOn)
+		for _, d := range s.DependsOn {
+			children[d] = append(children[d], s)
+		}
+	}
+
+	if workers <= 0 {
+		workers = len(steps)
+	}
+	type item struct {
+		step *Step
+		comp Component
+	}
+	work := make(chan item, len(steps))
+	done := make(chan *Step, len(steps))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case it, ok := <-work:
+					if !ok {
+						return
+					}
+					w.runStep(execCtx, env, it.step, it.comp, policy, report.byID[it.step.ID])
+					done <- it.step
+				}
+			}
+		}()
+	}
+
+	// taint[id] = the failed or skipped transitive ancestors of a step,
+	// known once all its dependencies completed. Only the scheduler
+	// goroutine touches it.
+	taint := make(map[string]map[string]bool, len(steps))
+
+	// dispatch hands a ready step to a worker, or resolves it inline as
+	// skipped when failed ancestors starve it of inputs and it cannot
+	// degrade. Returns true when resolved inline.
+	dispatch := func(s *Step) bool {
+		res := report.byID[s.ID]
+		t := map[string]bool{}
+		for _, d := range s.DependsOn {
+			for id := range taint[d] {
+				t[id] = true
+			}
+			switch report.byID[d].Status {
+			case StepFailed, StepSkipped:
+				t[d] = true
+			}
+		}
+		taint[s.ID] = t
+		if len(t) == 0 {
+			res.Status = StepOK // provisional; runStep records failures
+			work <- item{step: s, comp: s.Component}
+			return false
+		}
+		cause := make([]string, 0, len(t))
+		for id := range t {
+			cause = append(cause, id)
+		}
+		sort.Strings(cause)
+		res.SkippedBecause = cause
+		// Tables the failed/skipped ancestors would have written never
+		// materialized; a degradable component may run without them.
+		unavailable := map[string]bool{}
+		for id := range t {
+			if wr, ok := byID[id].Component.(writer); ok {
+				for _, ref := range wr.Writes() {
+					unavailable[ref.String()] = true
+				}
+			}
+		}
+		if dg, ok := s.Component.(degradable); ok {
+			if reduced, ok2 := dg.WithoutInputs(unavailable); ok2 {
+				res.Status = StepDegraded // provisional
+				if rd, ok3 := s.Component.(reader); ok3 {
+					for _, ref := range rd.Reads() {
+						if unavailable[ref.String()] {
+							res.DroppedInputs = append(res.DroppedInputs, ref)
+						}
+					}
+				}
+				work <- item{step: s, comp: reduced}
+				return false
+			}
+		}
+		res.Status = StepSkipped
+		return true
+	}
+
+	// Roots have no dependencies and therefore no taint: dispatch never
+	// resolves them inline.
+	for _, s := range steps {
+		if indegree[s.ID] == 0 {
+			dispatch(s)
+		}
+	}
+
+	completed := 0
+	var firstErr error
+loop:
+	for completed < len(steps) {
+		select {
+		case <-ctx.Done():
+			firstErr = fmt.Errorf("etl: workflow %q: %w", w.Name, ctx.Err())
+			break loop
+		case s := <-done:
+			completed++
+			res := report.byID[s.ID]
+			if res.Status == StepFailed {
+				if report.Err == nil {
+					report.Err = res.Err
+				}
+				if !policy.ContinueOnError {
+					firstErr = res.Err
+					break loop
+				}
+			}
+			// Unlock children; inline-skipped ones cascade immediately.
+			queue := make([]*Step, 0, len(children[s.ID]))
+			for _, c := range children[s.ID] {
+				indegree[c.ID]--
+				if indegree[c.ID] == 0 {
+					queue = append(queue, c)
+				}
+			}
+			for len(queue) > 0 {
+				c := queue[0]
+				queue = queue[1:]
+				if !dispatch(c) {
+					continue
+				}
+				completed++
+				for _, cc := range children[c.ID] {
+					indegree[cc.ID]--
+					if indegree[cc.ID] == 0 {
+						queue = append(queue, cc)
+					}
+				}
+			}
+		}
+	}
+	cancelExec()
+	close(stop)
+	// work and done are buffered to len(steps); in-flight workers finish
+	// without blocking. Components that honor ctx return promptly.
+	wg.Wait()
+
+	if firstErr != nil {
+		// Aborted: steps that were queued or pending but never ran count
+		// as skipped, not ok/degraded.
+		for _, res := range report.Steps {
+			if res.Attempts == 0 && res.Status != StepFailed {
+				res.Status = StepSkipped
+			}
+		}
+		if report.Err == nil {
+			report.Err = firstErr
+		}
+	}
+	return report, firstErr
+}
+
+// runStep executes one step with retry under the policy, recording the
+// outcome into res.
+func (w *Workflow) runStep(ctx context.Context, env *Context, s *Step, comp Component, policy RunPolicy, res *StepResult) {
+	start := time.Now()
+	max := policy.attempts()
+	for attempt := 1; attempt <= max; attempt++ {
+		res.Attempts = attempt
+		err := runAttempt(ctx, env, comp, policy.StepTimeout)
+		if err == nil {
+			res.Err = nil
+			break
+		}
+		res.Err = fmt.Errorf("etl: workflow %q step %q: %w", w.Name, s.ID, err)
+		if attempt == max || ctx.Err() != nil || !policy.retryable(err) {
+			break
+		}
+		if err := policy.sleep(ctx, policy.delay(attempt)); err != nil {
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	if res.Err != nil {
+		res.Status = StepFailed
+	}
+}
+
+// runAttempt runs one attempt with an optional per-attempt deadline,
+// converting panics into errors so a misbehaving component cannot take the
+// scheduler down with it.
+func runAttempt(ctx context.Context, env *Context, comp Component, timeout time.Duration) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("step panicked: %v", r)
+		}
+	}()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return comp.Run(ctx, env)
+}

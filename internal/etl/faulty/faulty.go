@@ -1,0 +1,148 @@
+// Package faulty provides deterministic fault injection for ETL workflows:
+// a Chaos component wraps any real component and misbehaves on a fixed
+// schedule — failing the first N attempts, failing forever, sleeping past
+// deadlines, blocking until canceled, or panicking on a chosen attempt — so
+// every failure path in the scheduler is exercised by tests rather than
+// hoped-for.
+package faulty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"guava/internal/etl"
+)
+
+// ErrInjected is the default error a Chaos failure returns; test assertions
+// can errors.Is against it.
+var ErrInjected = errors.New("faulty: injected failure")
+
+// Chaos wraps a Component and misbehaves on a deterministic schedule. The
+// zero value (no wrapped component, no knobs) runs successfully and does
+// nothing. Chaos is safe for concurrent use; its attempt counter is shared
+// across goroutines.
+type Chaos struct {
+	// Wrapped is the real component, run once the schedule allows. nil
+	// means the successful attempts are no-ops.
+	Wrapped etl.Component
+
+	// FailFirst fails the first N attempts with Err, then lets attempts
+	// through — a transient fault that a retry policy recovers from.
+	FailFirst int
+	// FailForever fails every attempt — a permanently dead source.
+	FailForever bool
+	// Err overrides the injected error (default ErrInjected).
+	Err error
+	// Delay blocks for the duration before each attempt does its work,
+	// honoring ctx — long enough delays trip step or workflow deadlines.
+	Delay time.Duration
+	// BlockUntilCancel blocks until ctx is done and returns ctx.Err() —
+	// the hung-extract scenario.
+	BlockUntilCancel bool
+	// PanicOnAttempt panics on the given 1-based attempt (0 = never).
+	PanicOnAttempt int
+
+	mu       sync.Mutex
+	attempts int
+}
+
+// Name implements etl.Component.
+func (c *Chaos) Name() string {
+	if c.Wrapped != nil {
+		return c.Wrapped.Name()
+	}
+	return "chaos"
+}
+
+// Describe implements etl.Component.
+func (c *Chaos) Describe() string {
+	if c.Wrapped != nil {
+		return "chaos(" + c.Wrapped.Describe() + ")"
+	}
+	return "chaos(no-op)"
+}
+
+// Attempts returns how many times Run has been called.
+func (c *Chaos) Attempts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts
+}
+
+// Reset zeroes the attempt counter so one Chaos value can serve several
+// executions with a fresh schedule each time.
+func (c *Chaos) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempts = 0
+}
+
+// Run implements etl.Component.
+func (c *Chaos) Run(ctx context.Context, env *etl.Context) error {
+	c.mu.Lock()
+	c.attempts++
+	n := c.attempts
+	c.mu.Unlock()
+	if c.PanicOnAttempt > 0 && n == c.PanicOnAttempt {
+		panic(fmt.Sprintf("faulty: scheduled panic on attempt %d", n))
+	}
+	if c.BlockUntilCancel {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if c.Delay > 0 {
+		t := time.NewTimer(c.Delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	if c.FailForever || n <= c.FailFirst {
+		if c.Err != nil {
+			return c.Err
+		}
+		return fmt.Errorf("%w (attempt %d)", ErrInjected, n)
+	}
+	if c.Wrapped == nil {
+		return nil
+	}
+	return c.Wrapped.Run(ctx, env)
+}
+
+// Reads forwards the wrapped component's declared reads so workflow linting
+// and degradation still see the true dataflow through the chaos wrapper.
+func (c *Chaos) Reads() []etl.TableRef {
+	if r, ok := c.Wrapped.(interface{ Reads() []etl.TableRef }); ok {
+		return r.Reads()
+	}
+	return nil
+}
+
+// Writes forwards the wrapped component's declared writes; the scheduler
+// uses them to decide which tables a failed chaos step starved its
+// dependents of.
+func (c *Chaos) Writes() []etl.TableRef {
+	if w, ok := c.Wrapped.(interface{ Writes() []etl.TableRef }); ok {
+		return w.Writes()
+	}
+	return nil
+}
+
+// Wrap replaces the component of the workflow step with the given ID with a
+// Chaos wrapper built by mk, returning the wrapper (nil if no step matched).
+// It is the standard way to inject a fault into a compiled study.
+func Wrap(w *etl.Workflow, stepID string, mk func(wrapped etl.Component) *Chaos) *Chaos {
+	for i := range w.Steps {
+		if w.Steps[i].ID == stepID {
+			ch := mk(w.Steps[i].Component)
+			w.Steps[i].Component = ch
+			return ch
+		}
+	}
+	return nil
+}

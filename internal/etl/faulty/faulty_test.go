@@ -1,0 +1,101 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"guava/internal/etl"
+	"guava/internal/relstore"
+)
+
+// TestChaosSchedule: FailFirst fails exactly the first N attempts, the
+// counter is observable, and Reset restarts the schedule.
+func TestChaosSchedule(t *testing.T) {
+	env := etl.NewContext(nil)
+	ch := &Chaos{FailFirst: 2}
+	for i := 1; i <= 2; i++ {
+		if err := ch.Run(context.Background(), env); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := ch.Run(context.Background(), env); err != nil {
+		t.Fatalf("attempt 3: %v", err)
+	}
+	if ch.Attempts() != 3 {
+		t.Fatalf("attempts = %d", ch.Attempts())
+	}
+	ch.Reset()
+	if err := ch.Run(context.Background(), env); !errors.Is(err, ErrInjected) {
+		t.Fatalf("after reset: err = %v, want ErrInjected again", err)
+	}
+
+	forever := &Chaos{FailForever: true, Err: errors.New("dead source")}
+	for i := 0; i < 3; i++ {
+		if err := forever.Run(context.Background(), env); err == nil || err.Error() != "dead source" {
+			t.Fatalf("err = %v", err)
+		}
+	}
+}
+
+// TestChaosBlocksAndHonorsContext: BlockUntilCancel and Delay both return
+// ctx.Err() when the context dies.
+func TestChaosBlocksAndHonorsContext(t *testing.T) {
+	env := etl.NewContext(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := (&Chaos{BlockUntilCancel: true}).Run(ctx, env); !errors.Is(err, context.Canceled) {
+		t.Fatalf("block: err = %v", err)
+	}
+	if err := (&Chaos{Delay: 1 << 40}).Run(ctx, env); !errors.Is(err, context.Canceled) {
+		t.Fatalf("delay: err = %v", err)
+	}
+}
+
+// TestChaosForwardsDataflowAndWrapping: the wrapper forwards Name/Describe
+// and the Reads/Writes declarations, runs the wrapped component on clean
+// attempts, and Wrap splices it into a workflow by step ID.
+func TestChaosForwardsDataflowAndWrapping(t *testing.T) {
+	u := &etl.Union{From: []etl.TableRef{{DB: "a", Table: "T"}}, To: etl.TableRef{DB: "o", Table: "U"}}
+	ch := &Chaos{Wrapped: u}
+	if ch.Name() != "union" || !strings.Contains(ch.Describe(), "chaos(") {
+		t.Fatalf("name=%q describe=%q", ch.Name(), ch.Describe())
+	}
+	if got := ch.Reads(); len(got) != 1 || got[0].String() != "a.T" {
+		t.Fatalf("reads = %v", got)
+	}
+	if got := ch.Writes(); len(got) != 1 || got[0].String() != "o.U" {
+		t.Fatalf("writes = %v", got)
+	}
+
+	// A clean chaos wrapper is transparent: the wrapped union runs.
+	env := etl.NewContext(nil)
+	src := env.DB("a")
+	s := relstore.MustSchema(relstore.Column{Name: "K", Type: relstore.KindInt})
+	tab, err := src.CreateTable("T", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(relstore.Row{relstore.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	w := &etl.Workflow{Name: "wrapped"}
+	w.Add("load", u)
+	if got := Wrap(w, "load", func(c etl.Component) *Chaos { return &Chaos{Wrapped: c} }); got == nil {
+		t.Fatal("wrap missed the step")
+	}
+	if got := Wrap(w, "ghost", func(c etl.Component) *Chaos { return &Chaos{Wrapped: c} }); got != nil {
+		t.Fatal("wrap invented a step")
+	}
+	if err := w.Run(context.Background(), env); err != nil {
+		t.Fatal(err)
+	}
+	out, err := env.DB("o").Table("U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("union rows = %d", out.Len())
+	}
+}

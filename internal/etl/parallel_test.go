@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -61,7 +62,7 @@ func TestRunParallelWideFanout(t *testing.T) {
 		deps = append(deps, id)
 	}
 	w.Add("union", &Union{From: branches, To: TableRef{"out", "U"}}, deps...)
-	if err := w.RunParallel(ctx, 4); err != nil {
+	if err := w.RunParallel(context.Background(), ctx, 4); err != nil {
 		t.Fatal(err)
 	}
 	out, err := ctx.DB("out").Table("U")
@@ -75,9 +76,9 @@ func TestRunParallelWideFanout(t *testing.T) {
 
 type failingComponent struct{}
 
-func (failingComponent) Name() string           { return "fail" }
-func (failingComponent) Describe() string       { return "always fails" }
-func (failingComponent) Run(ctx *Context) error { return fmt.Errorf("boom") }
+func (failingComponent) Name() string                                { return "fail" }
+func (failingComponent) Describe() string                            { return "always fails" }
+func (failingComponent) Run(ctx context.Context, env *Context) error { return fmt.Errorf("boom") }
 
 // TestRunParallelErrorPropagation: a failing step aborts and reports.
 func TestRunParallelErrorPropagation(t *testing.T) {
@@ -91,7 +92,7 @@ func TestRunParallelErrorPropagation(t *testing.T) {
 	w.Add("ok", &Query{From: TableRef{"src", "T"}, To: TableRef{"tmp", "A"}})
 	w.Add("bad", failingComponent{})
 	w.Add("after", &Query{From: TableRef{"tmp", "A"}, To: TableRef{"tmp", "B"}}, "ok", "bad")
-	err := w.RunParallel(ctx, 2)
+	err := w.RunParallel(context.Background(), ctx, 2)
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("error = %v", err)
 	}
@@ -99,7 +100,7 @@ func TestRunParallelErrorPropagation(t *testing.T) {
 	w2 := &Workflow{Name: "cyc"}
 	w2.Add("a", failingComponent{}, "b")
 	w2.Add("b", failingComponent{}, "a")
-	if err := w2.RunParallel(ctx, 2); err == nil || !strings.Contains(err.Error(), "cycle") {
+	if err := w2.RunParallel(context.Background(), ctx, 2); err == nil || !strings.Contains(err.Error(), "cycle") {
 		t.Fatalf("cycle error = %v", err)
 	}
 }

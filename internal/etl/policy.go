@@ -1,0 +1,113 @@
+package etl
+
+import (
+	"context"
+	"time"
+)
+
+// RunPolicy configures fault handling for one workflow execution: per-step
+// retry with capped exponential backoff, per-step and per-workflow
+// deadlines, and whether a step failure aborts the run or only prunes the
+// failed step's dependents. The zero value is the historical behavior:
+// one attempt per step, no timeouts, fail fast.
+type RunPolicy struct {
+	// MaxAttempts is the number of times a step runs before it counts as
+	// failed. Values below 1 mean one attempt (no retry).
+	MaxAttempts int
+	// Backoff is the delay before the first retry. Zero retries
+	// immediately.
+	Backoff time.Duration
+	// BackoffFactor multiplies the delay after each failed attempt
+	// (exponential backoff). Values <= 0 default to 2.
+	BackoffFactor float64
+	// MaxBackoff caps the per-retry delay. Zero means uncapped.
+	MaxBackoff time.Duration
+	// Jitter, when set, adjusts the computed delay for the given failed
+	// attempt (1-based). Inject a deterministic function in tests; nil
+	// applies no jitter, keeping backoff fully deterministic.
+	Jitter func(attempt int, d time.Duration) time.Duration
+	// Sleep, when set, replaces the real timer between retries. It must
+	// return ctx.Err() if ctx is done. Inject in tests so retry schedules
+	// run instantly and deterministically.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Retryable, when set, filters which step errors are worth retrying.
+	// nil retries every error. Context cancellation is never retried:
+	// once the workflow's ctx is done, attempts stop regardless.
+	Retryable func(error) bool
+	// StepTimeout bounds each attempt of each step; the attempt's ctx
+	// expires after this duration. Zero means no per-step deadline.
+	StepTimeout time.Duration
+	// WorkflowTimeout bounds the whole execution. Zero means no deadline.
+	WorkflowTimeout time.Duration
+	// ContinueOnError keeps scheduling after a step fails: the failed
+	// step's transitive dependents are skipped (or degraded, for
+	// components that can run on partial inputs), every other step still
+	// runs, and the failure is recorded in the RunReport instead of
+	// aborting the run.
+	ContinueOnError bool
+}
+
+// attempts normalizes MaxAttempts.
+func (p RunPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff before the retry that follows failed attempt
+// `attempt` (1-based).
+func (p RunPolicy) delay(attempt int) time.Duration {
+	d := p.Backoff
+	if d <= 0 {
+		return 0
+	}
+	factor := p.BackoffFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	for i := 1; i < attempt; i++ {
+		d = time.Duration(float64(d) * factor)
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter != nil {
+		d = p.Jitter(attempt, d)
+	}
+	return d
+}
+
+// sleep waits out a retry delay, honoring cancellation and the injected
+// Sleep hook.
+func (p RunPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryable reports whether a failed attempt should be retried.
+func (p RunPolicy) retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return true
+}

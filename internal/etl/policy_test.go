@@ -1,0 +1,124 @@
+package etl
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPolicyDelaySchedule: the backoff schedule is deterministic —
+// exponential in the attempt number, capped by MaxBackoff, and shaped by an
+// injectable jitter.
+func TestPolicyDelaySchedule(t *testing.T) {
+	p := RunPolicy{Backoff: 10 * time.Millisecond}
+	for attempt, want := range map[int]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 20 * time.Millisecond,
+		3: 40 * time.Millisecond,
+		4: 80 * time.Millisecond,
+	} {
+		if got := p.delay(attempt); got != want {
+			t.Errorf("delay(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	capped := RunPolicy{Backoff: 10 * time.Millisecond, MaxBackoff: 25 * time.Millisecond}
+	if got := capped.delay(3); got != 25*time.Millisecond {
+		t.Errorf("capped delay(3) = %v, want 25ms", got)
+	}
+	tripled := RunPolicy{Backoff: 10 * time.Millisecond, BackoffFactor: 3}
+	if got := tripled.delay(2); got != 30*time.Millisecond {
+		t.Errorf("factor-3 delay(2) = %v, want 30ms", got)
+	}
+	jittered := RunPolicy{
+		Backoff: 10 * time.Millisecond,
+		Jitter:  func(attempt int, d time.Duration) time.Duration { return d + time.Duration(attempt)*time.Millisecond },
+	}
+	if got := jittered.delay(2); got != 22*time.Millisecond {
+		t.Errorf("jittered delay(2) = %v, want 22ms", got)
+	}
+	if got := (RunPolicy{}).delay(5); got != 0 {
+		t.Errorf("zero-backoff delay = %v", got)
+	}
+}
+
+// TestExecuteRetrySleeps: Execute walks the backoff schedule through the
+// injected Sleep hook — no real time passes, and the recorded delays match
+// the deterministic schedule.
+func TestExecuteRetrySleeps(t *testing.T) {
+	ctx := NewContext(nil)
+	var slept []time.Duration
+	policy := RunPolicy{
+		MaxAttempts: 4,
+		Backoff:     10 * time.Millisecond,
+		MaxBackoff:  25 * time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	w := &Workflow{Name: "retry"}
+	w.Add("bad", failingComponent{})
+	rep, err := w.Execute(context.Background(), ctx, policy, 1)
+	if err == nil {
+		t.Fatal("permanently failing step must error")
+	}
+	res := rep.Step("bad")
+	if res.Attempts != 4 || res.Status != StepFailed {
+		t.Fatalf("attempts = %d status = %v", res.Attempts, res.Status)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept = %v, want %v", slept, want)
+		}
+	}
+}
+
+// TestExecuteRetryableFilter: a policy that declares errors non-retryable
+// stops after one attempt even with retries budgeted.
+func TestExecuteRetryableFilter(t *testing.T) {
+	ctx := NewContext(nil)
+	policy := RunPolicy{
+		MaxAttempts: 5,
+		Retryable:   func(error) bool { return false },
+	}
+	w := &Workflow{Name: "no-retry"}
+	w.Add("bad", failingComponent{})
+	rep, err := w.Execute(context.Background(), ctx, policy, 1)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if res := rep.Step("bad"); res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", res.Attempts)
+	}
+}
+
+// TestExecuteSleepCancellation: cancellation during a retry backoff stops
+// the retry loop.
+func TestExecuteSleepCancellation(t *testing.T) {
+	env := NewContext(nil)
+	cctx, cancel := context.WithCancel(context.Background())
+	policy := RunPolicy{
+		MaxAttempts: 10,
+		Backoff:     time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // cancel while "asleep" before the second attempt
+			return ctx.Err()
+		},
+	}
+	w := &Workflow{Name: "cancel-in-backoff"}
+	w.Add("bad", failingComponent{})
+	rep, err := w.Execute(cctx, env, policy, 1)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if res := rep.Step("bad"); res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (backoff canceled)", res.Attempts)
+	}
+	if rep.Err == nil {
+		t.Fatal("report must record the failure")
+	}
+}

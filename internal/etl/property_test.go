@@ -38,39 +38,9 @@ func TestHypothesis3Property(t *testing.T) {
 		patterns.NewStack(patterns.Generic{}, &patterns.Encode{}),
 	}
 	f := func(records []uint8, packs []int8, t1, t2 int8, surgeryOnly bool, pickStack uint8) bool {
-		// Normalize thresholds to an increasing pair.
-		lo, hi := int64(t1), int64(t2)
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		if lo == hi {
-			hi++
-		}
-		contrib := contribPropFixture(records, packs, stacks[int(pickStack)%len(stacks)])
-		if contrib == nil {
+		spec := propStudySpec(records, packs, t1, t2, surgeryOnly, stacks[int(pickStack)%len(stacks)])
+		if spec == nil {
 			return false
-		}
-		entitySrc := "Procedure <- Procedure"
-		if surgeryOnly {
-			entitySrc = "Procedure <- Procedure AND SurgeryPerformed = TRUE"
-		}
-		entity, err := classifier.ParseEntity("e", "", "Procedure", entitySrc)
-		if err != nil {
-			return false
-		}
-		habits, err := classifier.Parse("h", "", classifier.Target{
-			Entity: "Procedure", Attribute: "Smoking", Domain: "D",
-			Kind: relstore.KindString, Elements: []string{"Low", "Mid", "High"},
-		}, fmt.Sprintf("Low <- PacksPerDay < %d\nMid <- %d <= PacksPerDay < %d\nHigh <- PacksPerDay >= %d", lo, lo, hi, hi))
-		if err != nil {
-			return false
-		}
-		contrib.Entity = entity
-		contrib.Classifiers = map[string]*classifier.Classifier{"Smoking_D": habits}
-		spec := &StudySpec{
-			Name:         "prop",
-			Columns:      []ColumnSpec{{As: "Smoking_D", Attribute: "Smoking", Domain: "D", Kind: relstore.KindString}},
-			Contributors: []*ContributorPlan{contrib},
 		}
 		compiled, err := Compile(spec)
 		if err != nil {
@@ -88,6 +58,46 @@ func TestHypothesis3Property(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// propStudySpec builds a single-contributor study over random data with a
+// random threshold classifier and a random entity filter — the generator
+// shared by the Hypothesis #3 property and the fault-injection properties.
+func propStudySpec(records []uint8, packs []int8, t1, t2 int8, surgeryOnly bool, stack *patterns.Stack) *StudySpec {
+	// Normalize thresholds to an increasing pair.
+	lo, hi := int64(t1), int64(t2)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo == hi {
+		hi++
+	}
+	contrib := contribPropFixture(records, packs, stack)
+	if contrib == nil {
+		return nil
+	}
+	entitySrc := "Procedure <- Procedure"
+	if surgeryOnly {
+		entitySrc = "Procedure <- Procedure AND SurgeryPerformed = TRUE"
+	}
+	entity, err := classifier.ParseEntity("e", "", "Procedure", entitySrc)
+	if err != nil {
+		return nil
+	}
+	habits, err := classifier.Parse("h", "", classifier.Target{
+		Entity: "Procedure", Attribute: "Smoking", Domain: "D",
+		Kind: relstore.KindString, Elements: []string{"Low", "Mid", "High"},
+	}, fmt.Sprintf("Low <- PacksPerDay < %d\nMid <- %d <= PacksPerDay < %d\nHigh <- PacksPerDay >= %d", lo, lo, hi, hi))
+	if err != nil {
+		return nil
+	}
+	contrib.Entity = entity
+	contrib.Classifiers = map[string]*classifier.Classifier{"Smoking_D": habits}
+	return &StudySpec{
+		Name:         "prop",
+		Columns:      []ColumnSpec{{As: "Smoking_D", Attribute: "Smoking", Domain: "D", Kind: relstore.KindString}},
+		Contributors: []*ContributorPlan{contrib},
 	}
 }
 

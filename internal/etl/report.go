@@ -1,0 +1,143 @@
+package etl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StepStatus classifies how one step of an execution ended.
+type StepStatus int
+
+const (
+	// StepOK: the step ran to completion (possibly after retries).
+	StepOK StepStatus = iota
+	// StepFailed: every attempt errored (or the run was canceled mid-step).
+	StepFailed
+	// StepSkipped: the step never ran because an ancestor failed (or the
+	// run aborted first).
+	StepSkipped
+	// StepDegraded: the step ran on partial inputs after upstream
+	// failures — e.g. a Union loading only the surviving contributors.
+	StepDegraded
+)
+
+// String implements fmt.Stringer.
+func (s StepStatus) String() string {
+	switch s {
+	case StepOK:
+		return "ok"
+	case StepFailed:
+		return "failed"
+	case StepSkipped:
+		return "skipped"
+	case StepDegraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("StepStatus(%d)", int(s))
+}
+
+// StepResult records one step's fate during an execution.
+type StepResult struct {
+	// ID is the step's workflow ID.
+	ID string
+	// Status is how the step ended.
+	Status StepStatus
+	// Attempts counts how many times the step ran (0 when skipped).
+	Attempts int
+	// Duration is the wall time spent across all attempts, including
+	// retry backoff.
+	Duration time.Duration
+	// Err is the step's final error (nil unless Status is StepFailed).
+	Err error
+	// SkippedBecause lists the failed or skipped ancestors that caused a
+	// skip or degradation, sorted.
+	SkippedBecause []string
+	// DroppedInputs lists the tables a degraded step ran without.
+	DroppedInputs []TableRef
+}
+
+// RunReport is the structured outcome of one Execute call: per-step
+// attempts, durations, errors, and skip/degrade causes, in topological
+// order.
+type RunReport struct {
+	// Workflow names the executed workflow.
+	Workflow string
+	// Steps holds one result per step, in topological order.
+	Steps []*StepResult
+	// Err is the first step failure (or cancellation), nil when every
+	// step succeeded. With ContinueOnError the execution itself still
+	// returns nil while Err records what went wrong.
+	Err error
+	// DegradedContributors lists contributors whose compiled chain failed
+	// or was skipped; filled by Compiled.RunResilient, empty for plain
+	// workflow executions.
+	DegradedContributors []string
+
+	byID map[string]*StepResult
+}
+
+// Step returns the result for a step ID, or nil.
+func (r *RunReport) Step(id string) *StepResult { return r.byID[id] }
+
+// ids collects step IDs matching a status, sorted.
+func (r *RunReport) ids(status StepStatus) []string {
+	var out []string
+	for _, s := range r.Steps {
+		if s.Status == status {
+			out = append(out, s.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Failed lists the IDs of failed steps, sorted.
+func (r *RunReport) Failed() []string { return r.ids(StepFailed) }
+
+// Skipped lists the IDs of skipped steps, sorted.
+func (r *RunReport) Skipped() []string { return r.ids(StepSkipped) }
+
+// Degraded lists the IDs of degraded steps, sorted.
+func (r *RunReport) Degraded() []string { return r.ids(StepDegraded) }
+
+// OK reports whether every step completed normally.
+func (r *RunReport) OK() bool {
+	for _, s := range r.Steps {
+		if s.Status != StepOK {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the report for CLI output.
+func (r *RunReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "run report for workflow %s (%d steps)\n", r.Workflow, len(r.Steps))
+	for _, s := range r.Steps {
+		fmt.Fprintf(&sb, "  %-9s %-24s attempts=%d  %s", s.Status, s.ID, s.Attempts, s.Duration.Round(time.Microsecond))
+		if s.Err != nil {
+			fmt.Fprintf(&sb, "  err=%v", s.Err)
+		}
+		if len(s.SkippedBecause) > 0 {
+			fmt.Fprintf(&sb, "  because=%s", strings.Join(s.SkippedBecause, ","))
+		}
+		if len(s.DroppedInputs) > 0 {
+			parts := make([]string, len(s.DroppedInputs))
+			for i, ref := range s.DroppedInputs {
+				parts[i] = ref.String()
+			}
+			fmt.Fprintf(&sb, "  dropped=%s", strings.Join(parts, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	if len(r.DegradedContributors) > 0 {
+		fmt.Fprintf(&sb, "  degraded contributors: %s\n", strings.Join(r.DegradedContributors, ", "))
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&sb, "  first error: %v\n", r.Err)
+	}
+	return sb.String()
+}

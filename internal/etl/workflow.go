@@ -1,9 +1,9 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 )
 
 // Step is one named node of a workflow DAG.
@@ -81,14 +81,18 @@ func (w *Workflow) order() ([]*Step, error) {
 	return out, nil
 }
 
-// Run executes the workflow in dependency order.
-func (w *Workflow) Run(ctx *Context) error {
+// Run executes the workflow serially in dependency order. ctx cancellation
+// is checked between steps and passed into each component.
+func (w *Workflow) Run(ctx context.Context, env *Context) error {
 	steps, err := w.order()
 	if err != nil {
 		return err
 	}
 	for _, s := range steps {
-		if err := s.Component.Run(ctx); err != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("etl: workflow %q: %w", w.Name, err)
+		}
+		if err := s.Component.Run(ctx, env); err != nil {
 			return fmt.Errorf("etl: workflow %q step %q: %w", w.Name, s.ID, err)
 		}
 	}
@@ -99,79 +103,11 @@ func (w *Workflow) Run(ctx *Context) error {
 // concurrently — the per-contributor chains of a compiled study share no
 // state until the final union, so they parallelize perfectly. workers bounds
 // concurrency (<= 0 means one goroutine per ready step). The first step
-// error aborts scheduling and is returned.
-func (w *Workflow) RunParallel(ctx *Context, workers int) error {
-	steps, err := w.order() // validates IDs, deps, acyclicity
-	if err != nil {
-		return err
-	}
-	if workers <= 0 {
-		workers = len(steps)
-	}
-	// Dependency counting scheduler.
-	indegree := make(map[string]int, len(steps))
-	children := make(map[string][]*Step, len(steps))
-	byID := make(map[string]*Step, len(steps))
-	for _, s := range steps {
-		byID[s.ID] = s
-		indegree[s.ID] = len(s.DependsOn)
-		for _, d := range s.DependsOn {
-			children[d] = append(children[d], s)
-		}
-	}
-	ready := make(chan *Step, len(steps))
-	done := make(chan *Step, len(steps))
-	errs := make(chan error, len(steps))
-	for _, s := range steps {
-		if indegree[s.ID] == 0 {
-			ready <- s
-		}
-	}
-	var wg sync.WaitGroup
-	stop := make(chan struct{})
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				case s, ok := <-ready:
-					if !ok {
-						return
-					}
-					if err := s.Component.Run(ctx); err != nil {
-						errs <- fmt.Errorf("etl: workflow %q step %q: %w", w.Name, s.ID, err)
-						return
-					}
-					done <- s
-				}
-			}
-		}()
-	}
-	completed := 0
-	var firstErr error
-	for completed < len(steps) && firstErr == nil {
-		select {
-		case err := <-errs:
-			firstErr = err
-		case s := <-done:
-			completed++
-			for _, c := range children[s.ID] {
-				indegree[c.ID]--
-				if indegree[c.ID] == 0 {
-					ready <- c
-				}
-			}
-		}
-	}
-	close(stop)
-	close(ready)
-	// done and errs are buffered to len(steps); in-flight workers finish
-	// without blocking.
-	wg.Wait()
-	return firstErr
+// error aborts scheduling and is returned. For retries, timeouts, and
+// partial-failure handling, use Execute with a RunPolicy.
+func (w *Workflow) RunParallel(ctx context.Context, env *Context, workers int) error {
+	_, err := w.Execute(ctx, env, RunPolicy{}, workers)
+	return err
 }
 
 // reader and writer are implemented by components that declare their table

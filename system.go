@@ -1,6 +1,7 @@
 package guava
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -155,6 +156,17 @@ func (st *Study) RunParallel(workers int) (*Rows, error) {
 	return st.compiled.RunParallel(workers)
 }
 
+// RunResilient executes the study under a fault-handling policy: per-step
+// retry with deterministic backoff, per-step and per-workflow deadlines,
+// and — with policy.ContinueOnError — graceful degradation, where a failing
+// contributor chain is recorded and pruned while the surviving contributors
+// are still unioned into the study output. The RunReport carries per-step
+// attempts, durations, errors, skip causes, and the degraded-contributor
+// list.
+func (st *Study) RunResilient(ctx context.Context, policy etl.RunPolicy, workers int) (*Rows, *etl.RunReport, error) {
+	return st.compiled.RunResilient(ctx, policy, workers)
+}
+
 // Plan renders the generated ETL workflow for inspection.
 func (st *Study) Plan() string { return st.compiled.Workflow.Render() }
 
@@ -243,6 +255,19 @@ func (s *System) Study(name string) (*Study, error) {
 		return nil, fmt.Errorf("guava: no study %q", name)
 	}
 	return st, nil
+}
+
+// RunStudy runs a previously built study under a fault-handling policy —
+// the production path of a CORI-style warehouse, where any one
+// contributor's extract can hang or fail and the study must still deliver
+// the surviving contributors. See Study.RunResilient for the policy and
+// report semantics.
+func (s *System) RunStudy(ctx context.Context, name string, policy etl.RunPolicy, workers int) (*Rows, *etl.RunReport, error) {
+	st, err := s.Study(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.RunResilient(ctx, policy, workers)
 }
 
 // StudyNames lists built studies, sorted.
