@@ -7,11 +7,21 @@
 // the contributor extract chains wrapped in fault injectors (-faults),
 // retried under a budget (-retries), both for transient faults that
 // recover and for permanent faults absorbed by graceful degradation.
+// With -observe, the R1 runs execute with tracing attached.
+//
+// R2 measures the observability layer itself: the same study run plain
+// and with a full observer attached (spans + metrics), reporting the
+// relative overhead. -max-overhead makes a too-slow tracer an error —
+// the CI regression gate.
+//
+// -cpuprofile, -memprofile, and -trace enable the stdlib profilers for
+// any experiment selection.
 //
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3|R1] [-seed 42] [-n 200]
-//	          [-faults 0.33] [-retries 2]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2] [-seed 42] [-n 200]
+//	          [-faults 0.33] [-retries 2] [-observe]
+//	          [-max-overhead 0] [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
 import (
@@ -29,18 +39,34 @@ import (
 	"guava/internal/etl"
 	"guava/internal/etl/faulty"
 	"guava/internal/materialize"
+	"guava/internal/obs"
 	"guava/internal/patterns"
 	"guava/internal/relstore"
 	"guava/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
 	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
 	retries := flag.Int("retries", 2, "retries per step beyond the first attempt (R1)")
+	observe := flag.Bool("observe", false, "run R1 with tracing attached (smoke-tests the observability layer)")
+	maxOverhead := flag.Float64("max-overhead", 0, "fail if R2 tracing overhead exceeds this percentage (0 = report only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	execTrace := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "coribench: profiling: %v\n", err)
+		}
+	}()
 
 	run := func(id string) bool { return *exp == "all" || *exp == id }
 	if run("T1") {
@@ -59,7 +85,10 @@ func main() {
 		expA3(*seed)
 	}
 	if run("R1") {
-		expR1(*seed, *n, *faults, *retries)
+		expR1(*seed, *n, *faults, *retries, *observe)
+	}
+	if run("R2") {
+		expR2(*seed, *n, *maxOverhead)
 	}
 }
 
@@ -282,8 +311,8 @@ func expA2(seed int64, n int) {
 // contributor extract chains is wrapped in deterministic fault injectors;
 // the transient row retries them back to a full study, the permanent row
 // runs ContinueOnError and unions the surviving contributors.
-func expR1(seed int64, n int, faultFrac float64, retries int) {
-	fmt.Printf("== R1: throughput under injected faults (%d records, faults=%.2f, retries=%d) ==\n", n, faultFrac, retries)
+func expR1(seed int64, n int, faultFrac float64, retries int, observe bool) {
+	fmt.Printf("== R1: throughput under injected faults (%d records, faults=%.2f, retries=%d, observe=%v) ==\n", n, faultFrac, retries, observe)
 	contribs, err := workload.BuildAll(seed, n)
 	if err != nil {
 		fail(err)
@@ -317,6 +346,7 @@ func expR1(seed int64, n int, faultFrac float64, retries int) {
 	}
 	faulted := extracts[:k]
 
+	var spanCount int
 	bench := func(c *etl.Compiled, pol etl.RunPolicy, chaos []*faulty.Chaos) (time.Duration, *relstore.Rows, *etl.RunReport) {
 		var rows *relstore.Rows
 		var rep *etl.RunReport
@@ -324,8 +354,19 @@ func expR1(seed int64, n int, faultFrac float64, retries int) {
 			for _, ch := range chaos {
 				ch.Reset()
 			}
+			ctx := context.Background()
+			var o *obs.Observer
+			if observe {
+				// Fresh observer per run: realistic usage, where the caller
+				// collects one span tree per study execution.
+				o = obs.NewObserver()
+				ctx = obs.WithObserver(ctx, o)
+			}
 			var err error
-			rows, rep, err = c.RunResilient(context.Background(), pol, workers)
+			rows, rep, err = c.RunResilient(ctx, pol, workers)
+			if o != nil {
+				spanCount = o.Tracer.Len()
+			}
 			return err
 		})
 		if err != nil {
@@ -380,6 +421,72 @@ func expR1(seed int64, n int, faultFrac float64, retries int) {
 		fmt.Printf("degraded contributors: %s\n", strings.Join(permRep.DegradedContributors, ", "))
 		fmt.Printf("failed steps: %s; skipped dependents: %s\n",
 			strings.Join(permRep.Failed(), ", "), strings.Join(permRep.Skipped(), ", "))
+	}
+	if observe {
+		fmt.Printf("tracing attached: %d spans per run\n", spanCount)
+	}
+	fmt.Println()
+}
+
+// expR2: tracing overhead. The same study runs plain and with a full
+// observer attached (fresh tracer + registry per run, the realistic
+// usage); the difference is the cost of the observability layer. With
+// maxOverhead > 0 an overrun is an error, making this a CI gate.
+func expR2(seed int64, n int, maxOverhead float64) {
+	fmt.Printf("== R2: tracing overhead (%d records x 3 contributors) ==\n", n)
+	contribs, err := workload.BuildAll(seed, n)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	compiled, err := etl.Compile(spec)
+	if err != nil {
+		fail(err)
+	}
+	policy := etl.RunPolicy{}
+	const workers = 4
+	const reps = 30
+
+	plainRun := func() error {
+		_, _, err := compiled.RunResilient(context.Background(), policy, workers)
+		return err
+	}
+	var spanCount, metricCount int
+	tracedRun := func() error {
+		o := obs.NewObserver()
+		ctx := obs.WithObserver(context.Background(), o)
+		_, _, err := compiled.RunResilient(ctx, policy, workers)
+		spanCount = o.Tracer.Len()
+		metricCount = len(o.Metrics.Snapshot())
+		return err
+	}
+	// Warm caches and the scheduler before timing either side.
+	for i := 0; i < 3; i++ {
+		if err := plainRun(); err != nil {
+			fail(err)
+		}
+		if err := tracedRun(); err != nil {
+			fail(err)
+		}
+	}
+	plainDur, err := timeIt(reps, plainRun)
+	if err != nil {
+		fail(err)
+	}
+	tracedDur, err := timeIt(reps, tracedRun)
+	if err != nil {
+		fail(err)
+	}
+	overhead := (float64(tracedDur) - float64(plainDur)) / float64(plainDur) * 100
+	fmt.Printf("%-34s %14s\n", "configuration", "run")
+	fmt.Printf("%-34s %14s\n", "plain (no observer)", plainDur)
+	fmt.Printf("%-34s %14s\n", fmt.Sprintf("traced (%d spans, %d metrics)", spanCount, metricCount), tracedDur)
+	fmt.Printf("tracing overhead: %+.1f%%\n", overhead)
+	if maxOverhead > 0 && overhead > maxOverhead {
+		fail(fmt.Errorf("R2: tracing overhead %.1f%% exceeds budget %.1f%%", overhead, maxOverhead))
 	}
 	fmt.Println()
 }

@@ -10,12 +10,20 @@
 // -fail injects a permanently dead contributor extract (demonstrating
 // graceful degradation), and -report prints the structured RunReport.
 //
+// Observability (reference study): -trace-tree prints the run's span
+// tree, -trace-out writes the spans as JSON lines, -metrics prints the
+// metrics snapshot, and -cpuprofile/-memprofile/-trace enable the
+// stdlib profilers. See OBSERVABILITY.md for the span model and metric
+// names.
+//
 // Usage:
 //
 //	runstudy [-study reference|study1|study2] [-seed 42] [-n 200]
 //	         [-plan] [-sql] [-xquery] [-rows 10]
 //	         [-parallel 1] [-retries 0] [-step-timeout 0] [-timeout 0]
 //	         [-continue] [-fail contributor,...] [-report]
+//	         [-trace-tree] [-trace-out spans.jsonl] [-metrics]
+//	         [-cpuprofile cpu.pb] [-memprofile mem.pb] [-trace trace.out]
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"guava/internal/classifier"
 	"guava/internal/etl"
 	"guava/internal/etl/faulty"
+	"guava/internal/obs"
 	"guava/internal/relstore"
 	"guava/internal/workload"
 )
@@ -51,7 +60,23 @@ func main() {
 	contOnErr := flag.Bool("continue", false, "continue past failed steps, skipping dependents (graceful degradation)")
 	failContribs := flag.String("fail", "", "comma-separated contributors whose extract is forced to fail (reference study)")
 	showReport := flag.Bool("report", false, "print the per-step RunReport after the run")
+	traceTree := flag.Bool("trace-tree", false, "print the run's span tree (reference study)")
+	traceOut := flag.String("trace-out", "", "write the run's spans as JSON lines to this file (reference study)")
+	showMetrics := flag.Bool("metrics", false, "print the metrics snapshot after the run (reference study)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	execTrace := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "runstudy: profiling: %v\n", err)
+		}
+	}()
 
 	contribs, err := workload.BuildAll(*seed, *n)
 	if err != nil {
@@ -69,7 +94,8 @@ func main() {
 		runReference(contribs, refOptions{
 			plan: *showPlan, sql: *showSQL, xquery: *showXQ, rows: *rows,
 			workers: *workers, policy: policy, fail: splitList(*failContribs),
-			report: *showReport,
+			report:    *showReport,
+			traceTree: *traceTree, traceOut: *traceOut, metrics: *showMetrics,
 		})
 	case "study1":
 		res, err := guava.Study1(contribs)
@@ -106,7 +132,13 @@ type refOptions struct {
 	policy            etl.RunPolicy
 	fail              []string
 	report            bool
+	traceTree         bool
+	traceOut          string
+	metrics           bool
 }
+
+// observed reports whether any observability output was requested.
+func (o refOptions) observed() bool { return o.traceTree || o.traceOut != "" || o.metrics }
 
 func splitList(s string) []string {
 	if s == "" {
@@ -122,11 +154,17 @@ func splitList(s string) []string {
 }
 
 func runReference(contribs []*workload.Contributor, opt refOptions) {
+	ctx := context.Background()
+	var observer *obs.Observer
+	if opt.observed() {
+		observer = obs.NewObserver()
+		ctx = obs.WithObserver(ctx, observer)
+	}
 	spec, err := baseline.ReferenceSpec(contribs)
 	if err != nil {
 		fail(err)
 	}
-	compiled, err := etl.Compile(spec)
+	compiled, err := etl.CompileTraced(ctx, spec)
 	if err != nil {
 		fail(err)
 	}
@@ -168,10 +206,36 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 			fail(fmt.Errorf("-fail: no step %q in the workflow", id))
 		}
 	}
-	out, report, err := compiled.RunResilient(context.Background(), opt.policy, opt.workers)
+	out, report, err := compiled.RunResilient(ctx, opt.policy, opt.workers)
 	if opt.report && report != nil {
 		fmt.Print(report.Render())
 		fmt.Println()
+	}
+	if observer != nil {
+		if opt.traceTree {
+			fmt.Println("trace:")
+			fmt.Print(obs.RenderTree(observer.Tracer.Spans()))
+			fmt.Println()
+		}
+		if opt.traceOut != "" {
+			f, ferr := os.Create(opt.traceOut)
+			if ferr != nil {
+				fail(ferr)
+			}
+			if ferr := obs.WriteSpans(f, observer.Tracer.Spans()); ferr != nil {
+				f.Close()
+				fail(ferr)
+			}
+			if ferr := f.Close(); ferr != nil {
+				fail(ferr)
+			}
+			fmt.Printf("wrote %d spans to %s\n", observer.Tracer.Len(), opt.traceOut)
+		}
+		if opt.metrics {
+			fmt.Println("metrics:")
+			fmt.Print(observer.Metrics.Render())
+			fmt.Println()
+		}
 	}
 	if err != nil {
 		fail(err)

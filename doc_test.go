@@ -1,10 +1,82 @@
 package guava
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 )
+
+// Example_observedRun runs a small study through the production path
+// with an Observer attached, then reads the run back from the report
+// and the trace: per-step statuses, the span count (one workflow span,
+// one per step, one per attempt), and the rows the engine moved.
+func Example_observedRun() {
+	form := &Form{Name: "Visit", KeyColumn: "ID", Controls: []*Control{
+		{Name: "Smoker", Kind: CheckBox, Question: "Smoker?"},
+	}}
+	if err := form.Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys := New("demo")
+	contrib, err := sys.RegisterContributor("clinic", form, NewStack(Naive{}), NewDB("clinic"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, smoker := range []bool{true, false, true} {
+		e, err := NewEntryFor(contrib, int64(i+1))
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if err := e.Set("Smoker", Bool(smoker)); err != nil {
+			fmt.Println(err)
+			return
+		}
+		if err := e.Submit(contrib.Sink()); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	target := Target{Entity: "Visit", Attribute: "Smoking", Domain: "YN",
+		Kind: KindString, Elements: []string{"Y", "N"}}
+	_, err = sys.DefineStudy("smokers").
+		Column("Smoking_YN", "Smoking", "YN", KindString).
+		For("clinic").
+		EntityFor("Visit", "All", "every visit", "Visit <- Visit").
+		Classify("Smoking_YN", "YesNo", "", target, "Y <- Smoker = TRUE\nN <- TRUE").
+		Done().
+		Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	observer := NewObserver()
+	rows, report, err := sys.RunStudy(context.Background(), "smokers",
+		RunPolicy{}, 1, WithObserver(observer))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range report.Steps {
+		fmt.Printf("%s %s\n", s.Status, s.ID)
+	}
+	fmt.Printf("spans: %d\n", observer.Tracer.Len())
+	fmt.Printf("rows moved: %d\n", observer.Metrics.Counter("etl.rows.out").Value())
+	fmt.Printf("output rows: %d\n", rows.Len())
+	// Output:
+	// ok extract/clinic
+	// ok select/clinic
+	// ok classify/clinic
+	// ok load/union
+	// spans: 9
+	// rows moved: 12
+	// output rows: 3
+}
 
 // TestStudyDocRoundTrip: a study serializes to JSON and reloads into a fresh
 // system producing identical output — the "document, inspect, reuse"

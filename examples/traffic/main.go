@@ -7,12 +7,19 @@
 // severity two different ways for two different consumers (an insurer and a
 // safety researcher).
 //
+// The study runs through the observed production path: an Observer
+// streams per-step progress as spans end, and the full span tree is
+// printed afterwards — the live-progress usage OBSERVABILITY.md
+// documents.
+//
 //	go run ./examples/traffic
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"guava"
 	"guava/internal/patterns"
@@ -129,7 +136,7 @@ func main() {
 	safety := guava.Target{Entity: "Citation", Attribute: "Severity", Domain: "Safety",
 		Kind: guava.KindString, Elements: []string{"Low", "Elevated", "Dangerous"}}
 
-	st, err := sys.DefineStudy("severity").
+	_, err = sys.DefineStudy("severity").
 		Column("Severity_Insurer", "Severity", "Insurer", guava.KindString).
 		Column("Severity_Safety", "Severity", "Safety", guava.KindString).
 		For("precinct7").
@@ -148,11 +155,27 @@ Low       <- TRUE
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := st.Run()
+	// Run the study observed: OnEnd streams each finishing step live,
+	// and the collected spans render as a tree at the end.
+	observer := guava.NewObserver()
+	observer.Tracer.OnEnd(func(sp *guava.Span) {
+		if strings.HasPrefix(sp.Name(), "step ") {
+			fmt.Printf("  [live] %-28s %s\n", sp.Name(), sp.Duration())
+		}
+	})
+	fmt.Println("running severity study (observed):")
+	rows, report, err := sys.RunStudy(context.Background(), "severity",
+		guava.RunPolicy{}, 1, guava.WithObserver(observer))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("traffic severity study (same citations, two domains):")
+	fmt.Println("\ntrace:")
+	fmt.Print(guava.RenderTrace(observer.Tracer.Spans()))
+	if report.Trace != nil {
+		fmt.Printf("(root span %q covered the whole run: %s)\n",
+			report.Trace.Name(), report.Trace.Duration())
+	}
+	fmt.Println("\ntraffic severity study (same citations, two domains):")
 	fmt.Print(rows.Format())
 	fmt.Println("\nphysical storage is one shared Merge table + audit column;")
 	fmt.Println("the g-tree view hid all of it, exactly as with the clinical tools.")

@@ -45,6 +45,7 @@ import (
 	"guava/internal/etl"
 	"guava/internal/gquery"
 	"guava/internal/gtree"
+	"guava/internal/obs"
 	"guava/internal/patterns"
 	"guava/internal/relstore"
 	"guava/internal/study"
@@ -115,6 +116,28 @@ type (
 	RunReport = etl.RunReport
 	// StepResult records one workflow step's fate in a RunReport.
 	StepResult = etl.StepResult
+
+	// Observer bundles a Tracer and a metrics Registry; attach one to a
+	// run with WithObserver to collect spans and metrics.
+	Observer = obs.Observer
+	// Span is one timed operation in a trace.
+	Span = obs.Span
+	// Tracer collects the spans of one or more observed runs.
+	Tracer = obs.Tracer
+	// Registry is a metrics registry (counters, gauges, histograms).
+	Registry = obs.Registry
+)
+
+// Observability constructors and exporters re-exported from obs.
+var (
+	// NewObserver creates an empty observer (fresh tracer + registry).
+	NewObserver = obs.NewObserver
+	// RenderTrace formats spans as a human-readable flame-style tree.
+	RenderTrace = obs.RenderTree
+	// WriteSpans writes spans as JSON lines.
+	WriteSpans = obs.WriteSpans
+	// WriteMetrics writes a registry snapshot as JSON lines.
+	WriteMetrics = obs.WriteMetrics
 )
 
 // Convenience constructors re-exported from relstore.

@@ -8,6 +8,7 @@ import (
 
 	"guava/internal/classifier"
 	"guava/internal/gtree"
+	"guava/internal/obs"
 	"guava/internal/patterns"
 	"guava/internal/provenance"
 	"guava/internal/relstore"
@@ -157,6 +158,19 @@ func (s *StudySpec) bindContributor(c *ContributorPlan) (entity *classifier.Boun
 // (2) select entities and apply conditions, (3) classify into the study
 // columns — then union all contributors into the study output.
 func Compile(spec *StudySpec) (*Compiled, error) {
+	return CompileTraced(context.Background(), spec)
+}
+
+// CompileTraced is Compile with tracing: when ctx carries an observer
+// (obs.WithObserver), compilation opens a "compile <study>" span with
+// one child per stage — "compile: bind <contributor>" for each
+// contributor's classifier binding and "compile: lint" for the
+// workflow self-check — so slow pattern stacks and rule binds show up
+// in the same trace as the execution they feed.
+func CompileTraced(ctx context.Context, spec *StudySpec) (_ *Compiled, err error) {
+	ctx, span := obs.StartSpan(ctx, "compile "+spec.Name,
+		obs.String("study", spec.Name), obs.Int("contributors", int64(len(spec.Contributors))))
+	defer func() { span.EndErr(err) }()
 	if len(spec.Contributors) == 0 {
 		return nil, fmt.Errorf("etl: study %q has no contributors", spec.Name)
 	}
@@ -179,7 +193,9 @@ func Compile(spec *StudySpec) (*Compiled, error) {
 			return nil, fmt.Errorf("etl: duplicate contributor %q", c.Name)
 		}
 		seen[c.Name] = true
+		_, bindSpan := obs.StartSpan(ctx, "compile: bind "+c.Name, obs.String("contributor", c.Name))
 		entity, cols, cond, err := spec.bindContributor(c)
+		bindSpan.EndErr(err)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +238,10 @@ func Compile(spec *StudySpec) (*Compiled, error) {
 		unionDeps = append(unionDeps, classifyID)
 	}
 	out.Workflow.Add("load/union", &Union{From: unionInputs, To: out.Output}, unionDeps...)
-	if err := out.Workflow.Lint(); err != nil {
+	_, lintSpan := obs.StartSpan(ctx, "compile: lint")
+	err = out.Workflow.Lint()
+	lintSpan.EndErr(err)
+	if err != nil {
 		return nil, fmt.Errorf("etl: compiled workflow failed self-check: %w", err)
 	}
 	return out, nil

@@ -4,6 +4,26 @@
 // temporary databases, with the final load unioning contributors into the
 // study output. "Thus, we can leverage existing ETL and still offer the
 // flexibility that analysts require."
+//
+// # Execution
+//
+// A Workflow is a DAG of Steps. Workflow.Execute runs it under a
+// RunPolicy — per-step retry with backoff, per-step and per-workflow
+// deadlines, and, with ContinueOnError, graceful degradation: a failed
+// contributor chain is pruned, its transitive dependents are skipped,
+// and a degradable load step (Union) runs on the surviving inputs. The
+// outcome of every step lands in a RunReport.
+//
+// # Observability
+//
+// Execution is instrumented through guava/internal/obs. When the
+// incoming context carries an observer (obs.WithObserver), Execute
+// opens a "workflow <name>" span and nests a "step <id>" span per step
+// and an "attempt <n>" span per try beneath it; skipped steps get
+// instant spans naming their failed ancestors, and degraded steps
+// record the inputs they dropped. Components annotate the current span
+// with rows.in/rows.out and feed the same numbers to the run's metrics
+// registry. Without an observer every hook is a nil-safe no-op.
 package etl
 
 import (
@@ -12,9 +32,20 @@ import (
 	"strings"
 	"sync"
 
+	"guava/internal/obs"
 	"guava/internal/patterns"
 	"guava/internal/relstore"
 )
+
+// recordIO notes a component's row flow on the current span (the
+// attempt span when the run is observed) and on the run's metrics
+// registry. Both sides are no-ops without an observer.
+func recordIO(ctx context.Context, rowsIn, rowsOut int) {
+	m := obs.MetricsFrom(ctx)
+	m.Counter("etl.rows.in").Add(int64(rowsIn))
+	m.Counter("etl.rows.out").Add(int64(rowsOut))
+	obs.CurrentSpan(ctx).SetAttr(obs.Int("rows.in", int64(rowsIn)), obs.Int("rows.out", int64(rowsOut)))
+}
 
 // Context carries the named databases a workflow operates over. Workflows
 // create temporary databases on demand. Contexts are safe for concurrent
@@ -143,6 +174,7 @@ func (e *Extract) Run(ctx context.Context, env *Context) error {
 	if err != nil {
 		return fmt.Errorf("etl: extract %s: %w", e.Form.Name, err)
 	}
+	recordIO(ctx, len(rows.Data), len(rows.Data))
 	return e.To.write(env, rows)
 }
 
@@ -203,6 +235,7 @@ func (q *Query) Run(ctx context.Context, env *Context) error {
 	if err != nil {
 		return fmt.Errorf("etl: query from %s: %w", q.From, err)
 	}
+	rowsIn := len(rows.Data)
 	rows, err = relstore.Select(rows, q.Where)
 	if err != nil {
 		return fmt.Errorf("etl: query %s: %w", q.From, err)
@@ -219,6 +252,7 @@ func (q *Query) Run(ctx context.Context, env *Context) error {
 	if q.Distinct {
 		rows = relstore.Distinct(rows)
 	}
+	recordIO(ctx, rowsIn, len(rows.Data))
 	return q.To.write(env, rows)
 }
 
@@ -257,11 +291,13 @@ func (u *Union) Run(ctx context.Context, env *Context) error {
 		return fmt.Errorf("etl: union with no inputs")
 	}
 	all := make([]*relstore.Rows, 0, len(u.From))
+	rowsIn := 0
 	for _, ref := range u.From {
 		rows, err := ref.read(env)
 		if err != nil {
 			return fmt.Errorf("etl: union input %s: %w", ref, err)
 		}
+		rowsIn += len(rows.Data)
 		all = append(all, rows)
 	}
 	out, err := relstore.UnionAll(all...)
@@ -271,6 +307,7 @@ func (u *Union) Run(ctx context.Context, env *Context) error {
 	if u.Distinct {
 		out = relstore.Distinct(out)
 	}
+	recordIO(ctx, rowsIn, len(out.Data))
 	return u.To.write(env, out)
 }
 
@@ -325,5 +362,6 @@ func (j *JoinStep) Run(ctx context.Context, env *Context) error {
 	if err != nil {
 		return fmt.Errorf("etl: join: %w", err)
 	}
+	recordIO(ctx, len(l.Data)+len(r.Data), len(out.Data))
 	return j.To.write(env, out)
 }

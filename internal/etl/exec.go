@@ -2,10 +2,14 @@ package etl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"guava/internal/obs"
 )
 
 // Execute runs the workflow under a RunPolicy and returns a RunReport
@@ -27,6 +31,14 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 	if err != nil {
 		return nil, err
 	}
+	// The workflow span opens before the timeout wrap and before execCtx
+	// derives, so every step, attempt, and component span nests under it
+	// and deadline overruns show up inside its duration.
+	metrics := obs.MetricsFrom(ctx)
+	ctx, wfSpan := obs.StartSpan(ctx, "workflow "+w.Name,
+		obs.String("workflow", w.Name), obs.Int("steps", int64(len(steps))))
+	metrics.Gauge("etl.workflow.active").Add(1)
+	defer metrics.Gauge("etl.workflow.active").Add(-1)
 	if policy.WorkflowTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, policy.WorkflowTimeout)
@@ -37,7 +49,7 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 	execCtx, cancelExec := context.WithCancel(ctx)
 	defer cancelExec()
 
-	report := &RunReport{Workflow: w.Name, byID: make(map[string]*StepResult, len(steps))}
+	report := &RunReport{Workflow: w.Name, Trace: wfSpan, byID: make(map[string]*StepResult, len(steps))}
 	for _, s := range steps {
 		res := &StepResult{ID: s.ID, Status: StepSkipped}
 		report.Steps = append(report.Steps, res)
@@ -58,9 +70,11 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 	if workers <= 0 {
 		workers = len(steps)
 	}
+	wfSpan.SetAttr(obs.Int("workers", int64(workers)))
 	type item struct {
-		step *Step
-		comp Component
+		step     *Step
+		comp     Component
+		enqueued time.Time // when the step became ready, for queue-wait
 	}
 	work := make(chan item, len(steps))
 	done := make(chan *Step, len(steps))
@@ -78,7 +92,10 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 					if !ok {
 						return
 					}
-					w.runStep(execCtx, env, it.step, it.comp, policy, report.byID[it.step.ID])
+					res := report.byID[it.step.ID]
+					res.QueueWait = time.Since(it.enqueued)
+					metrics.Histogram("etl.step.queue_wait_ms").Observe(float64(res.QueueWait) / float64(time.Millisecond))
+					w.runStep(execCtx, env, it.step, it.comp, policy, res)
 					done <- it.step
 				}
 			}
@@ -108,7 +125,7 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 		taint[s.ID] = t
 		if len(t) == 0 {
 			res.Status = StepOK // provisional; runStep records failures
-			work <- item{step: s, comp: s.Component}
+			work <- item{step: s, comp: s.Component, enqueued: time.Now()}
 			return false
 		}
 		cause := make([]string, 0, len(t))
@@ -137,11 +154,19 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 						}
 					}
 				}
-				work <- item{step: s, comp: reduced}
+				work <- item{step: s, comp: reduced, enqueued: time.Now()}
 				return false
 			}
 		}
 		res.Status = StepSkipped
+		// Skipped steps never reach a worker, so give them an instant span
+		// here — the trace still names every step and why it was pruned.
+		_, skipSpan := obs.StartSpan(execCtx, "step "+s.ID,
+			obs.String("step", s.ID), obs.String("status", "skipped"),
+			obs.String("because", strings.Join(cause, ",")))
+		skipSpan.End()
+		res.Span = skipSpan
+		metrics.Counter("etl.steps.skipped").Inc()
 		return true
 	}
 
@@ -205,30 +230,69 @@ loop:
 
 	if firstErr != nil {
 		// Aborted: steps that were queued or pending but never ran count
-		// as skipped, not ok/degraded.
+		// as skipped, not ok/degraded. Their Duration stays zero — absent,
+		// not measured.
 		for _, res := range report.Steps {
 			if res.Attempts == 0 && res.Status != StepFailed {
 				res.Status = StepSkipped
+				if res.Span == nil {
+					_, sp := obs.StartSpan(execCtx, "step "+res.ID,
+						obs.String("step", res.ID), obs.String("status", "skipped"),
+						obs.String("because", "workflow aborted"))
+					sp.End()
+					res.Span = sp
+					metrics.Counter("etl.steps.skipped").Inc()
+				}
 			}
 		}
 		if report.Err == nil {
 			report.Err = firstErr
 		}
 	}
+	wfSpan.SetAttr(
+		obs.Int("steps.failed", int64(len(report.Failed()))),
+		obs.Int("steps.skipped", int64(len(report.Skipped()))),
+		obs.Int("steps.degraded", int64(len(report.Degraded()))),
+	)
+	wfSpan.EndErr(report.Err)
 	return report, firstErr
 }
 
 // runStep executes one step with retry under the policy, recording the
 // outcome into res.
 func (w *Workflow) runStep(ctx context.Context, env *Context, s *Step, comp Component, policy RunPolicy, res *StepResult) {
+	metrics := obs.MetricsFrom(ctx)
+	sctx, span := obs.StartSpan(ctx, "step "+s.ID, obs.String("step", s.ID))
+	res.Span = span
+	if res.Status == StepDegraded {
+		span.SetAttr(obs.Bool("degraded", true))
+		if len(res.DroppedInputs) > 0 {
+			parts := make([]string, len(res.DroppedInputs))
+			for i, ref := range res.DroppedInputs {
+				parts[i] = ref.String()
+			}
+			span.SetAttr(obs.String("dropped_inputs", strings.Join(parts, ",")))
+		}
+	}
+	// start carries a monotonic clock reading, so res.Duration is immune
+	// to wall-clock adjustments mid-run.
 	start := time.Now()
 	max := policy.attempts()
 	for attempt := 1; attempt <= max; attempt++ {
 		res.Attempts = attempt
-		err := runAttempt(ctx, env, comp, policy.StepTimeout)
+		metrics.Counter("etl.attempts").Inc()
+		if attempt > 1 {
+			metrics.Counter("etl.retries").Inc()
+		}
+		actx, aspan := obs.StartSpan(sctx, fmt.Sprintf("attempt %d", attempt))
+		err := runAttempt(actx, env, comp, policy.StepTimeout)
+		aspan.EndErr(err)
 		if err == nil {
 			res.Err = nil
 			break
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			metrics.Counter("etl.timeouts").Inc()
 		}
 		res.Err = fmt.Errorf("etl: workflow %q step %q: %w", w.Name, s.ID, err)
 		if attempt == max || ctx.Err() != nil || !policy.retryable(err) {
@@ -241,7 +305,15 @@ func (w *Workflow) runStep(ctx context.Context, env *Context, s *Step, comp Comp
 	res.Duration = time.Since(start)
 	if res.Err != nil {
 		res.Status = StepFailed
+		metrics.Counter("etl.steps.failed").Inc()
+	} else if res.Status == StepDegraded {
+		metrics.Counter("etl.steps.degraded").Inc()
+	} else {
+		metrics.Counter("etl.steps.ok").Inc()
 	}
+	metrics.Histogram("etl.step.run_ms").Observe(float64(res.Duration) / float64(time.Millisecond))
+	span.SetAttr(obs.String("status", res.Status.String()), obs.Int("attempts", int64(res.Attempts)))
+	span.EndErr(res.Err)
 }
 
 // runAttempt runs one attempt with an optional per-attempt deadline,

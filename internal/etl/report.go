@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"guava/internal/obs"
 )
 
 // StepStatus classifies how one step of an execution ended.
@@ -47,8 +49,17 @@ type StepResult struct {
 	// Attempts counts how many times the step ran (0 when skipped).
 	Attempts int
 	// Duration is the wall time spent across all attempts, including
-	// retry backoff.
+	// retry backoff. It is measured on the monotonic clock and is always
+	// zero — never a stray epsilon — for steps that never ran
+	// (Attempts == 0), so "zero" uniformly means "absent".
 	Duration time.Duration
+	// QueueWait is how long the step sat ready in the scheduler's queue
+	// before a worker picked it up (zero for steps resolved inline).
+	QueueWait time.Duration
+	// Span is the step's trace span when the run was observed (nil
+	// otherwise). Skipped steps get an instant span so the trace still
+	// names them.
+	Span *obs.Span
 	// Err is the step's final error (nil unless Status is StepFailed).
 	Err error
 	// SkippedBecause lists the failed or skipped ancestors that caused a
@@ -74,6 +85,10 @@ type RunReport struct {
 	// or was skipped; filled by Compiled.RunResilient, empty for plain
 	// workflow executions.
 	DegradedContributors []string
+	// Trace is the workflow's root span when the run was observed (nil
+	// otherwise). Its tracer holds the full span tree; render it with
+	// obs.RenderTree.
+	Trace *obs.Span
 
 	byID map[string]*StepResult
 }
@@ -117,7 +132,16 @@ func (r *RunReport) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "run report for workflow %s (%d steps)\n", r.Workflow, len(r.Steps))
 	for _, s := range r.Steps {
-		fmt.Fprintf(&sb, "  %-9s %-24s attempts=%d  %s", s.Status, s.ID, s.Attempts, s.Duration.Round(time.Microsecond))
+		// A step that never ran has no meaningful duration; print "-"
+		// rather than a misleading 0s.
+		dur := "-"
+		if s.Attempts > 0 {
+			dur = s.Duration.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&sb, "  %-9s %-24s attempts=%d  %s", s.Status, s.ID, s.Attempts, dur)
+		if s.QueueWait > 0 {
+			fmt.Fprintf(&sb, "  wait=%s", s.QueueWait.Round(time.Microsecond))
+		}
 		if s.Err != nil {
 			fmt.Fprintf(&sb, "  err=%v", s.Err)
 		}

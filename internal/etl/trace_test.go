@@ -1,0 +1,293 @@
+package etl_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"guava/internal/etl"
+	"guava/internal/etl/faulty"
+	"guava/internal/obs"
+)
+
+// TestDegradedRunTrace is the observability acceptance scenario: an
+// observed degraded study run emits a span tree that names the dead
+// contributor with every retry attempt, the skipped dependents with
+// their causes, and the pruned union input.
+func TestDegradedRunTrace(t *testing.T) {
+	spec := etl.StudyFixtureForTest(t) // contributors clinicA, clinicB
+	observer := obs.NewObserver()
+	ctx := obs.WithObserver(context.Background(), observer)
+
+	compiled, err := etl.CompileTraced(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observer.Tracer.Find("compile "+spec.Name) == nil {
+		t.Error("no compile span recorded")
+	}
+	if faulty.Wrap(compiled.Workflow, "extract/clinicB", func(wrapped etl.Component) *faulty.Chaos {
+		return &faulty.Chaos{Wrapped: wrapped, FailForever: true}
+	}) == nil {
+		t.Fatal("extract/clinicB not found")
+	}
+
+	policy := etl.RunPolicy{MaxAttempts: 3, ContinueOnError: true}
+	_, rep, err := compiled.RunResilient(ctx, policy, 4)
+	if err != nil {
+		t.Fatalf("degraded run failed outright: %v", err)
+	}
+
+	// The report links to the trace, and the root span carries the error.
+	root := rep.Trace
+	if root == nil {
+		t.Fatal("report.Trace is nil on an observed run")
+	}
+	if root.Name() != "workflow "+spec.Name || root.ParentID() != 0 {
+		t.Fatalf("root span = %q parent=%d", root.Name(), root.ParentID())
+	}
+	if root.Duration() <= 0 {
+		t.Error("root span never ended")
+	}
+	if root.Err() == "" {
+		t.Error("degraded run's root span should carry the first failure")
+	}
+
+	spans := observer.Tracer.Spans()
+	children := func(parent *obs.Span) []*obs.Span {
+		var out []*obs.Span
+		for _, s := range spans {
+			if s.ParentID() == parent.ID() {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	// The dead contributor's step span records every retry attempt.
+	dead := observer.Tracer.Find("step extract/clinicB")
+	if dead == nil {
+		t.Fatal("no span for the dead extract")
+	}
+	if dead.Err() == "" {
+		t.Error("failed step span has no error")
+	}
+	if v, _ := dead.Attr("status"); v != "failed" {
+		t.Errorf("dead step status attr = %v", v)
+	}
+	attempts := children(dead)
+	if len(attempts) != 3 {
+		t.Fatalf("dead step has %d attempt spans, want 3", len(attempts))
+	}
+	for i, a := range attempts {
+		if a.Name() != "attempt "+string(rune('1'+i)) {
+			t.Errorf("attempt span %d named %q", i, a.Name())
+		}
+		if a.Err() == "" {
+			t.Errorf("attempt span %q has no error", a.Name())
+		}
+	}
+
+	// Skipped dependents get instant spans naming their cause.
+	for _, id := range []string{"select/clinicB", "classify/clinicB"} {
+		sp := observer.Tracer.Find("step " + id)
+		if sp == nil {
+			t.Fatalf("no span for skipped step %s", id)
+		}
+		because, _ := sp.Attr("because")
+		if s, _ := because.(string); !strings.Contains(s, "extract/clinicB") {
+			t.Errorf("skipped span %s because=%v, want extract/clinicB named", id, because)
+		}
+		if res := rep.Step(id); res.Span != sp {
+			t.Errorf("step result %s not linked to its span", id)
+		}
+	}
+
+	// The degraded union names the pruned input.
+	union := observer.Tracer.Find("step load/union")
+	if union == nil {
+		t.Fatal("no span for load/union")
+	}
+	dropped, _ := union.Attr("dropped_inputs")
+	if s, _ := dropped.(string); !strings.Contains(s, "clinicB") {
+		t.Errorf("union dropped_inputs=%v, want clinicB's table named", dropped)
+	}
+	if v, _ := union.Attr("status"); v != "degraded" {
+		t.Errorf("union status attr = %v", v)
+	}
+
+	// The rendered tree reads as the acceptance criteria demand.
+	tree := obs.RenderTree(spans)
+	for _, want := range []string{
+		"workflow " + spec.Name, "step extract/clinicB", "attempt 3",
+		"because=extract/clinicB", "dropped_inputs=",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, tree)
+		}
+	}
+
+	// The JSONL exporter round-trips the whole tree.
+	var buf bytes.Buffer
+	if err := obs.WriteSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(spans) {
+		t.Fatalf("exported %d records for %d spans", len(recs), len(spans))
+	}
+
+	// Metrics: the observer's registry saw the retries and the outcome mix.
+	m := observer.Metrics
+	if got := m.Counter("etl.retries").Value(); got != 2 {
+		t.Errorf("etl.retries = %d, want 2", got)
+	}
+	if got := m.Counter("etl.steps.failed").Value(); got != 1 {
+		t.Errorf("etl.steps.failed = %d, want 1", got)
+	}
+	if got := m.Counter("etl.steps.skipped").Value(); got != 2 {
+		t.Errorf("etl.steps.skipped = %d, want 2", got)
+	}
+	if got := m.Counter("etl.steps.degraded").Value(); got != 1 {
+		t.Errorf("etl.steps.degraded = %d, want 1", got)
+	}
+	if got := m.Histogram("etl.step.run_ms").Count(); got <= 0 {
+		t.Error("etl.step.run_ms saw no observations")
+	}
+}
+
+// TestSpanNestingProperty drives the randomized-DAG fault harness with an
+// observer attached and asserts the structural invariants of every
+// resulting trace: one root, every step span a child of it, every attempt
+// span a child of a step span, and attempt windows contained in their
+// step's window.
+func TestSpanNestingProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n = 9
+	for dag := 0; dag < 4; dag++ {
+		deps := randomDeps(r, n)
+		for failAt := 0; failAt < n; failAt += 2 {
+			workers := 1 + (dag+failAt)%4
+			w, _, _ := buildFaultDAG(deps, failAt)
+			observer := obs.NewObserver()
+			ctx := obs.WithObserver(context.Background(), observer)
+			rep, err := w.Execute(ctx, etl.NewContext(nil), etl.RunPolicy{MaxAttempts: 2, ContinueOnError: true}, workers)
+			if err != nil {
+				t.Fatalf("dag %d failAt %d: %v", dag, failAt, err)
+			}
+
+			spans := observer.Tracer.Spans()
+			byID := map[int64]*obs.Span{}
+			var roots, steps, attempts []*obs.Span
+			for _, s := range spans {
+				byID[s.ID()] = s
+				switch {
+				case s.ParentID() == 0:
+					roots = append(roots, s)
+				case strings.HasPrefix(s.Name(), "step "):
+					steps = append(steps, s)
+				case strings.HasPrefix(s.Name(), "attempt "):
+					attempts = append(attempts, s)
+				default:
+					t.Fatalf("dag %d failAt %d: unexpected span %q", dag, failAt, s.Name())
+				}
+			}
+			if len(roots) != 1 || roots[0] != rep.Trace {
+				t.Fatalf("dag %d failAt %d: %d roots", dag, failAt, len(roots))
+			}
+			if len(steps) != n {
+				t.Fatalf("dag %d failAt %d: %d step spans, want %d", dag, failAt, len(steps), n)
+			}
+			for _, s := range steps {
+				if s.ParentID() != roots[0].ID() {
+					t.Fatalf("dag %d failAt %d: step span %q not under the workflow root", dag, failAt, s.Name())
+				}
+				if s.Duration() < 0 {
+					t.Fatalf("dag %d failAt %d: step span %q has negative duration", dag, failAt, s.Name())
+				}
+			}
+			for _, a := range attempts {
+				parent := byID[a.ParentID()]
+				if parent == nil || !strings.HasPrefix(parent.Name(), "step ") {
+					t.Fatalf("dag %d failAt %d: attempt span %q parent is %v", dag, failAt, a.Name(), parent)
+				}
+				// Containment on the monotonic clock: the attempt's window
+				// sits inside its step's window.
+				if a.Start().Before(parent.Start()) {
+					t.Fatalf("dag %d failAt %d: attempt starts before its step", dag, failAt)
+				}
+				if a.Start().Add(a.Duration()).After(parent.Start().Add(parent.Duration())) {
+					t.Fatalf("dag %d failAt %d: attempt ends after its step", dag, failAt)
+				}
+			}
+			// Reconciliation with the report: statuses and attempt counts
+			// agree span-for-span.
+			for _, res := range rep.Steps {
+				sp := res.Span
+				if sp == nil {
+					t.Fatalf("dag %d failAt %d: step %s has no span", dag, failAt, res.ID)
+				}
+				if v, _ := sp.Attr("status"); v != res.Status.String() {
+					t.Fatalf("dag %d failAt %d: step %s span status %v != report %v", dag, failAt, res.ID, v, res.Status)
+				}
+				var kids int
+				for _, a := range attempts {
+					if a.ParentID() == sp.ID() {
+						kids++
+					}
+				}
+				if kids != res.Attempts {
+					t.Fatalf("dag %d failAt %d: step %s has %d attempt spans, report says %d", dag, failAt, res.ID, kids, res.Attempts)
+				}
+			}
+		}
+	}
+}
+
+// TestUnobservedRunHasNoTrace: without an observer the executor records
+// nothing — no Trace on the report, no spans anywhere — yet behaves
+// identically.
+func TestUnobservedRunHasNoTrace(t *testing.T) {
+	w, _, _ := buildFaultDAG(randomDeps(rand.New(rand.NewSource(3)), 5), 2)
+	rep, err := w.Execute(context.Background(), etl.NewContext(nil), etl.RunPolicy{ContinueOnError: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace != nil {
+		t.Fatal("unobserved run has a Trace")
+	}
+	for _, res := range rep.Steps {
+		if res.Span != nil {
+			t.Fatalf("unobserved step %s has a span", res.ID)
+		}
+	}
+}
+
+// TestSkippedStepsReportZeroDuration: steps pruned by ContinueOnError
+// uniformly report Attempts == 0 and a zero Duration ("absent", not a
+// stray epsilon), and Render prints "-" for them.
+func TestSkippedStepsReportZeroDuration(t *testing.T) {
+	w, _, _ := buildFaultDAG(randomDeps(rand.New(rand.NewSource(5)), 7), 0)
+	rep, err := w.Execute(context.Background(), etl.NewContext(nil), etl.RunPolicy{ContinueOnError: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped()) == 0 {
+		t.Skip("this seed produced no dependents of s0")
+	}
+	for _, id := range rep.Skipped() {
+		res := rep.Step(id)
+		if res.Attempts != 0 || res.Duration != 0 || res.QueueWait != 0 {
+			t.Errorf("skipped %s: attempts=%d duration=%v wait=%v, want all zero", id, res.Attempts, res.Duration, res.QueueWait)
+		}
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "attempts=0  -") {
+		t.Errorf("Render does not print '-' for never-ran steps:\n%s", out)
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanRecord is the serialized form of one span — the JSON-lines
+// exporter writes one record per line, and ReadSpans parses them back.
+type SpanRecord struct {
+	ID         int64          `json:"id"`
+	Parent     int64          `json:"parent,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Err        string         `json:"err,omitempty"`
+}
+
+// Record snapshots the span into its serialized form.
+func (s *Span) Record() SpanRecord {
+	rec := SpanRecord{
+		ID:         s.ID(),
+		Parent:     s.ParentID(),
+		Name:       s.Name(),
+		Start:      s.Start(),
+		DurationNS: int64(s.Duration()),
+		Err:        s.Err(),
+	}
+	attrs := s.Attrs()
+	if len(attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	return rec
+}
+
+// WriteSpans writes the spans as JSON lines, one record per span, in
+// start order.
+func WriteSpans(w io.Writer, spans []*Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(s.Record()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans parses a JSON-lines span stream back into records, in input
+// order. Blank lines are skipped.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("obs: parse span line %q: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteMetrics writes a registry snapshot as JSON lines, one sample per
+// line, sorted by name.
+func WriteMetrics(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range r.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMetrics parses a JSON-lines metrics stream back into samples.
+func ReadMetrics(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var s Sample
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			return nil, fmt.Errorf("obs: parse metric line %q: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RenderTree renders spans as a human-readable flame-style tree: each
+// root with its children indented beneath it, in start order, with
+// durations, attributes, and errors inline. This is the dump a human
+// reads to explain a degraded run span by span.
+func RenderTree(spans []*Span) string {
+	children := make(map[int64][]*Span, len(spans))
+	byID := make(map[int64]*Span, len(spans))
+	var roots []*Span
+	for _, s := range spans {
+		byID[s.ID()] = s
+	}
+	for _, s := range spans {
+		if p := s.ParentID(); p != 0 && byID[p] != nil {
+			children[p] = append(children[p], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(list []*Span) {
+		sort.SliceStable(list, func(i, j int) bool { return list[i].Start().Before(list[j].Start()) })
+	}
+	byStart(roots)
+	for _, list := range children {
+		byStart(list)
+	}
+	var sb strings.Builder
+	var walk func(s *Span, prefix string, last bool, root bool)
+	walk = func(s *Span, prefix string, last bool, root bool) {
+		branch, childPrefix := "", ""
+		if !root {
+			if last {
+				branch, childPrefix = prefix+"└─ ", prefix+"   "
+			} else {
+				branch, childPrefix = prefix+"├─ ", prefix+"│  "
+			}
+		}
+		sb.WriteString(branch)
+		sb.WriteString(s.Name())
+		fmt.Fprintf(&sb, "  %s", s.Duration().Round(time.Microsecond))
+		if attrs := s.Attrs(); len(attrs) > 0 {
+			parts := make([]string, len(attrs))
+			for i, a := range attrs {
+				parts[i] = fmtAttr(a)
+			}
+			fmt.Fprintf(&sb, "  [%s]", strings.Join(parts, " "))
+		}
+		if e := s.Err(); e != "" {
+			fmt.Fprintf(&sb, "  err=%s", e)
+		}
+		sb.WriteByte('\n')
+		kids := children[s.ID()]
+		for i, c := range kids {
+			walk(c, childPrefix, i == len(kids)-1, false)
+		}
+	}
+	for _, r := range roots {
+		walk(r, "", true, true)
+	}
+	return sb.String()
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSpanRoundTrip: the in-memory tracer's spans survive the JSONL
+// exporter — write, parse back, and every field matches.
+func TestSpanRoundTrip(t *testing.T) {
+	o := NewObserver()
+	ctx := WithObserver(context.Background(), o)
+	ctx, root := StartSpan(ctx, "workflow demo", String("workflow", "demo"))
+	sctx, step := StartSpan(ctx, "step extract/a", Int("rows.out", 7))
+	_, att := StartSpan(sctx, "attempt 1")
+	att.EndErr(errors.New("dial refused"))
+	step.SetAttr(Bool("degraded", false))
+	step.End()
+	root.End()
+
+	spans := o.Tracer.Spans()
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(spans))
+	}
+	for i, rec := range got {
+		s := spans[i]
+		if rec.ID != s.ID() || rec.Parent != s.ParentID() || rec.Name != s.Name() {
+			t.Errorf("record %d identity mismatch: %+v vs span %d/%d %q", i, rec, s.ID(), s.ParentID(), s.Name())
+		}
+		if rec.DurationNS != int64(s.Duration()) {
+			t.Errorf("record %d duration %d != %d", i, rec.DurationNS, s.Duration())
+		}
+		if rec.Err != s.Err() {
+			t.Errorf("record %d err %q != %q", i, rec.Err, s.Err())
+		}
+		for _, a := range s.Attrs() {
+			v, ok := rec.Attrs[a.Key]
+			if !ok {
+				t.Errorf("record %d missing attr %q", i, a.Key)
+				continue
+			}
+			// JSON numbers come back as float64; compare via fmt-ish widening.
+			switch want := a.Value.(type) {
+			case int64:
+				if f, ok := v.(float64); !ok || int64(f) != want {
+					t.Errorf("record %d attr %q = %v, want %d", i, a.Key, v, want)
+				}
+			default:
+				if v != a.Value {
+					t.Errorf("record %d attr %q = %v, want %v", i, a.Key, v, a.Value)
+				}
+			}
+		}
+	}
+}
+
+// TestMetricsRoundTrip: snapshot → JSONL → parse-back preserves every
+// sample, including histogram buckets.
+func TestMetricsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("etl.rows.in").Add(120)
+	r.Gauge("etl.workflow.active").Set(3)
+	h := r.Histogram("etl.step.run_ms", 1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Name != w.Name || g.Kind != w.Kind || g.Value != w.Value || g.Count != w.Count {
+			t.Errorf("sample %d: got %+v, want %+v", i, g, w)
+		}
+		if len(g.Buckets) != len(w.Buckets) {
+			t.Errorf("sample %d buckets: got %d, want %d", i, len(g.Buckets), len(w.Buckets))
+			continue
+		}
+		for j := range w.Buckets {
+			wb, gb := w.Buckets[j], g.Buckets[j]
+			if gb.Count != wb.Count {
+				t.Errorf("sample %d bucket %d count %d != %d", i, j, gb.Count, wb.Count)
+			}
+			sameInf := math.IsInf(wb.UpperBound, 1) && math.IsInf(gb.UpperBound, 1)
+			if !sameInf && gb.UpperBound != wb.UpperBound {
+				t.Errorf("sample %d bucket %d bound %g != %g", i, j, gb.UpperBound, wb.UpperBound)
+			}
+		}
+	}
+}
+
+// TestReadSpansSkipsBlanksAndRejectsGarbage: blank lines are tolerated,
+// malformed lines fail loudly.
+func TestReadSpansSkipsBlanksAndRejectsGarbage(t *testing.T) {
+	in := "\n" + `{"id":1,"name":"a","start":"2026-01-01T00:00:00Z","duration_ns":5}` + "\n\n"
+	recs, err := ReadSpans(strings.NewReader(in))
+	if err != nil || len(recs) != 1 || recs[0].Name != "a" {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+	if _, err := ReadSpans(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line must error")
+	}
+	if _, err := ReadMetrics(strings.NewReader("nope\n")); err == nil {
+		t.Fatal("garbage metric line must error")
+	}
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry. Instrumented code without a
+// context (relstore's relational operators) records here; code with a
+// context records into the installed observer's registry, falling back
+// to Default (see MetricsFrom).
+var Default = NewRegistry()
+
+// Registry is a lock-cheap metrics registry: instrument lookup takes a
+// read lock (a write lock only on first registration), and every
+// recording operation after that is a plain atomic. Hold the returned
+// instrument to skip even the read-locked lookup on hot paths.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// DefaultBuckets is the bucket ladder Histogram uses when none is given:
+// millisecond-scale timings from 10µs to 10s.
+var DefaultBuckets = []float64{0.01, 0.1, 1, 10, 100, 1000, 10000}
+
+// Histogram returns the named histogram, creating it with the given
+// upper bounds (ascending; DefaultBuckets when empty) on first use.
+// Later calls reuse the first registration's buckets.
+func (r *Registry) Histogram(name string, buckets ...float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if len(buckets) == 0 {
+		buckets = DefaultBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed upper-bound buckets and
+// tracks count and sum. Observations are atomics all the way; no lock.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns (upper bound, cumulative count) pairs; the final pair
+// has bound +Inf and equals Count().
+func (h *Histogram) Buckets() []BucketCount {
+	out := make([]BucketCount, 0, len(h.bounds)+1)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		out = append(out, BucketCount{UpperBound: b, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out = append(out, BucketCount{UpperBound: math.Inf(1), Count: cum})
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket. The upper bound is
+// encoded as a string in JSON ("+Inf" for the overflow bucket) because
+// encoding/json cannot represent infinities as numbers.
+type BucketCount struct {
+	UpperBound float64 `json:"-"`
+	Count      int64   `json:"count"`
+}
+
+type bucketCountJSON struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MarshalJSON encodes the bucket with its bound as a string.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return json.Marshal(bucketCountJSON{Le: le, Count: b.Count})
+}
+
+// UnmarshalJSON decodes the string-bound form written by MarshalJSON.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var aux bucketCountJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	b.Count = aux.Count
+	if aux.Le == "+Inf" {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	v, err := strconv.ParseFloat(aux.Le, 64)
+	if err != nil {
+		return err
+	}
+	b.UpperBound = v
+	return nil
+}
+
+// Sample is one exported metric value, the unit of Snapshot and the
+// JSONL metrics format.
+type Sample struct {
+	Name    string        `json:"name"`
+	Kind    string        `json:"kind"` // "counter", "gauge", or "histogram"
+	Value   float64       `json:"value"`
+	Count   int64         `json:"count,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered instrument as a sample, sorted by
+// name (counters' and gauges' Value holds the value; histograms' Value
+// holds the sum and Count the observation count).
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Kind: "gauge", Value: float64(g.Value())})
+	}
+	for name, h := range r.hists {
+		out = append(out, Sample{Name: name, Kind: "histogram", Value: h.Sum(), Count: h.Count(), Buckets: h.Buckets()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Render formats the snapshot as an aligned table for CLI output.
+func (r *Registry) Render() string {
+	samples := r.Snapshot()
+	var sb strings.Builder
+	for _, s := range samples {
+		switch s.Kind {
+		case "histogram":
+			mean := 0.0
+			if s.Count > 0 {
+				mean = s.Value / float64(s.Count)
+			}
+			fmt.Fprintf(&sb, "%-34s %-9s count=%d sum=%.3f mean=%.3f\n", s.Name, s.Kind, s.Count, s.Value, mean)
+		default:
+			fmt.Fprintf(&sb, "%-34s %-9s %g\n", s.Name, s.Kind, s.Value)
+		}
+	}
+	return sb.String()
+}

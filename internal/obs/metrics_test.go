@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 10, 100)
+	for _, v := range []float64{0.5, 1, 2, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 5053.5 {
+		t.Fatalf("sum = %g, want 5053.5", got)
+	}
+	b := h.Buckets()
+	// le=1 gets 0.5 and the exact-boundary 1; le=10 adds 2; le=100 adds 50;
+	// +Inf catches 5000.
+	wantCum := []int64{2, 3, 4, 5}
+	for i, bc := range b {
+		if bc.Count != wantCum[i] {
+			t.Errorf("bucket %d (le=%g) cum = %d, want %d", i, bc.UpperBound, bc.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(b[len(b)-1].UpperBound, 1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+	// Default ladder kicks in when no bounds are given.
+	d := r.Histogram("d")
+	if len(d.Buckets()) != len(DefaultBuckets)+1 {
+		t.Fatalf("default histogram has %d buckets", len(d.Buckets()))
+	}
+}
+
+func TestSnapshotSortedAndRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Gauge("a.first").Set(2)
+	r.Histogram("m.mid").Observe(3)
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "a.first" || snap[1].Name != "m.mid" || snap[2].Name != "z.last" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	out := r.Render()
+	for _, want := range []string{"a.first", "gauge", "m.mid", "histogram", "count=1", "z.last", "counter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// creation races, recording races, and snapshot-while-writing — and
+// checks the totals. Run under -race this is the registry's
+// thread-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Histogram("shared.hist", 1, 10).Observe(float64(i % 20))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(workers * perWorker)
+	if got := r.Counter("shared.counter").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != total {
+		t.Errorf("gauge = %d, want %d", got, total)
+	}
+	h := r.Histogram("shared.hist")
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	// Each worker observes 0..19 fifty times: sum = 50*190 per worker.
+	wantSum := float64(workers) * 50 * 190
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+	if last := h.Buckets(); last[len(last)-1].Count != total {
+		t.Errorf("+Inf cumulative = %d, want %d", last[len(last)-1].Count, total)
+	}
+}
+
+// TestTracerConcurrent starts and ends spans from many goroutines; under
+// -race this proves the tracer and span locking.
+func TestTracerConcurrent(t *testing.T) {
+	o := NewObserver()
+	var ended sync.WaitGroup
+	var count int
+	var mu sync.Mutex
+	o.Tracer.OnEnd(func(*Span) { mu.Lock(); count++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := o.Tracer.start("span", 0, nil)
+				s.SetAttr(Int("i", int64(i)))
+				ended.Add(1)
+				go func() { defer ended.Done(); s.End() }()
+			}
+		}(w)
+	}
+	wg.Wait()
+	ended.Wait()
+	if o.Tracer.Len() != 1600 {
+		t.Fatalf("len = %d, want 1600", o.Tracer.Len())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1600 {
+		t.Fatalf("OnEnd fired %d times, want 1600", count)
+	}
+}

@@ -1,0 +1,107 @@
+// Package obs is the zero-dependency observability layer of the ETL
+// engine: spans with parent/child links and attributes (tracing), a
+// lock-cheap metrics registry (counters, gauges, histograms), pluggable
+// exporters (in-memory, JSON-lines, a human-readable flame-style tree
+// dump), and pprof/runtime-trace profiling hooks.
+//
+// The design follows the paper's demand that generated ETL be inspectable
+// rather than a black box — but at runtime, not just at plan time: a
+// degraded study run can be explained span by span (which contributor
+// died, how many attempts were spent on it, which union inputs were
+// pruned), and every future performance PR measures itself against the
+// metrics recorded here.
+//
+// Everything is stdlib-only and safe for concurrent use. Tracing is
+// opt-in and nil-tolerant: when no Observer is installed in the
+// context, StartSpan returns a nil *Span whose methods are all no-ops,
+// so instrumented code pays only a context lookup on the disabled path.
+//
+// Typical wiring:
+//
+//	o := obs.NewObserver()
+//	ctx := obs.WithObserver(context.Background(), o)
+//	rows, report, err := compiled.RunResilient(ctx, policy, workers)
+//	fmt.Print(obs.RenderTree(o.Tracer.Spans()))   // flame-style dump
+//	fmt.Print(o.Metrics.Render())                 // metric snapshot
+//
+// See OBSERVABILITY.md at the repository root for the span model, the
+// metric name catalog, and how to read the trace of a degraded run.
+package obs
+
+import "context"
+
+// Observer bundles one tracer and one metrics registry — the unit a
+// caller installs into a context to observe an execution.
+type Observer struct {
+	// Tracer collects the spans of every execution run under this
+	// observer's context.
+	Tracer *Tracer
+	// Metrics receives the counters, gauges, and histograms recorded by
+	// instrumented code running under this observer's context.
+	Metrics *Registry
+}
+
+// NewObserver creates an observer with a fresh tracer and registry.
+func NewObserver() *Observer {
+	return &Observer{Tracer: NewTracer(), Metrics: NewRegistry()}
+}
+
+// ctxKey keys the observer scope stored in a context.
+type ctxKey struct{}
+
+// scope is what lives in the context: the observer plus the current span.
+type scope struct {
+	obs  *Observer
+	span *Span
+}
+
+// WithObserver installs an observer into the context; spans started and
+// metrics recorded under the returned context flow into it.
+func WithObserver(ctx context.Context, o *Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &scope{obs: o})
+}
+
+// ObserverFrom returns the observer installed in ctx, or nil.
+func ObserverFrom(ctx context.Context) *Observer {
+	if s, ok := ctx.Value(ctxKey{}).(*scope); ok {
+		return s.obs
+	}
+	return nil
+}
+
+// MetricsFrom returns the registry metrics recorded under ctx should go
+// to: the installed observer's, or the process-wide Default registry.
+func MetricsFrom(ctx context.Context) *Registry {
+	if o := ObserverFrom(ctx); o != nil && o.Metrics != nil {
+		return o.Metrics
+	}
+	return Default
+}
+
+// StartSpan starts a span under the current span of ctx (or as a root)
+// and returns a context carrying it. Without an observer in ctx it
+// returns (ctx, nil); the nil span's methods are no-ops, so callers
+// never need to branch on whether tracing is enabled.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	s, ok := ctx.Value(ctxKey{}).(*scope)
+	if !ok || s.obs == nil || s.obs.Tracer == nil {
+		return ctx, nil
+	}
+	var parent int64
+	if s.span != nil {
+		parent = s.span.ID()
+	}
+	span := s.obs.Tracer.start(name, parent, attrs)
+	return context.WithValue(ctx, ctxKey{}, &scope{obs: s.obs, span: span}), span
+}
+
+// CurrentSpan returns the span ctx is running under, or nil.
+func CurrentSpan(ctx context.Context) *Span {
+	if s, ok := ctx.Value(ctxKey{}).(*scope); ok {
+		return s.span
+	}
+	return nil
+}

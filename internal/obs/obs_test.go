@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: with no observer installed, StartSpan returns a nil
+// span and every method on it is a harmless no-op — instrumented code
+// never branches on whether tracing is enabled.
+func TestNilSafety(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := StartSpan(ctx, "nothing")
+	if span != nil {
+		t.Fatalf("span without observer = %v, want nil", span)
+	}
+	if ctx2 != ctx {
+		t.Fatal("ctx must pass through untouched without an observer")
+	}
+	span.SetAttr(Int("k", 1))
+	span.End()
+	span.EndErr(errors.New("x"))
+	if span.ID() != 0 || span.Name() != "" || span.Duration() != 0 || span.Err() != "" {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	if _, ok := span.Attr("k"); ok {
+		t.Fatal("nil span has no attrs")
+	}
+	if ObserverFrom(ctx) != nil || CurrentSpan(ctx) != nil {
+		t.Fatal("empty ctx has no observer or span")
+	}
+	var tr *Tracer
+	if tr.Spans() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer must be empty")
+	}
+	if MetricsFrom(ctx) != Default {
+		t.Fatal("MetricsFrom without observer must fall back to Default")
+	}
+}
+
+// TestSpanNestingAndAttrs: spans parent under the current context span,
+// carry attributes, and record errors.
+func TestSpanNestingAndAttrs(t *testing.T) {
+	o := NewObserver()
+	ctx := WithObserver(context.Background(), o)
+	if ObserverFrom(ctx) != o {
+		t.Fatal("observer not installed")
+	}
+	if MetricsFrom(ctx) != o.Metrics {
+		t.Fatal("MetricsFrom must prefer the observer registry")
+	}
+
+	ctx, root := StartSpan(ctx, "root", String("workflow", "w"))
+	if root == nil || root.ParentID() != 0 {
+		t.Fatalf("root = %+v", root)
+	}
+	if CurrentSpan(ctx) != root {
+		t.Fatal("ctx must carry the started span")
+	}
+	cctx, child := StartSpan(ctx, "child")
+	if child.ParentID() != root.ID() {
+		t.Fatalf("child parent = %d, want %d", child.ParentID(), root.ID())
+	}
+	_, grand := StartSpan(cctx, "grandchild")
+	if grand.ParentID() != child.ID() {
+		t.Fatalf("grandchild parent = %d, want %d", grand.ParentID(), child.ID())
+	}
+
+	child.SetAttr(Int("rows", 42), Bool("ok", true), Float("f", 1.5))
+	if v, ok := child.Attr("rows"); !ok || v.(int64) != 42 {
+		t.Fatalf("rows attr = %v %v", v, ok)
+	}
+	grand.EndErr(errors.New("boom"))
+	if grand.Err() != "boom" {
+		t.Fatalf("err = %q", grand.Err())
+	}
+	child.End()
+	if child.Duration() <= 0 {
+		t.Fatal("ended span must have a positive duration")
+	}
+	d := child.Duration()
+	child.End() // second End is a no-op
+	if child.Duration() != d {
+		t.Fatal("End must be idempotent")
+	}
+	root.End()
+
+	if o.Tracer.Len() != 3 {
+		t.Fatalf("tracer has %d spans, want 3", o.Tracer.Len())
+	}
+	if o.Tracer.Find("child") != child || o.Tracer.Find("missing") != nil {
+		t.Fatal("Find broken")
+	}
+}
+
+// TestOnEndStreams: OnEnd sinks see every span as it finishes — the
+// live-progress hook.
+func TestOnEndStreams(t *testing.T) {
+	o := NewObserver()
+	var ended []string
+	o.Tracer.OnEnd(func(s *Span) { ended = append(ended, s.Name()) })
+	ctx := WithObserver(context.Background(), o)
+	ctx, root := StartSpan(ctx, "a")
+	_, child := StartSpan(ctx, "b")
+	child.End()
+	root.End()
+	if len(ended) != 2 || ended[0] != "b" || ended[1] != "a" {
+		t.Fatalf("ended = %v", ended)
+	}
+}
+
+// TestRenderTree: the flame-style dump nests children under parents with
+// durations and attributes inline.
+func TestRenderTree(t *testing.T) {
+	o := NewObserver()
+	ctx := WithObserver(context.Background(), o)
+	ctx, root := StartSpan(ctx, "workflow w")
+	_, c1 := StartSpan(ctx, "step one", String("component", "extract"))
+	c1.End()
+	time.Sleep(time.Millisecond)
+	_, c2 := StartSpan(ctx, "step two")
+	c2.EndErr(errors.New("dead"))
+	root.End()
+
+	out := RenderTree(o.Tracer.Spans())
+	for _, want := range []string{"workflow w", "├─ step one", "└─ step two", "component=extract", "err=dead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "step one") > strings.Index(out, "step two") {
+		t.Errorf("children must render in start order:\n%s", out)
+	}
+}
+
+// TestStartProfiling: the pprof hooks write non-empty profile and trace
+// files and stop cleanly.
+func TestStartProfiling(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem, tr := dir+"/cpu.pb", dir+"/mem.pb", dir+"/trace.out"
+	stop, err := StartProfiling(cpu, mem, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(f)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s: stat=%v err=%v", f, fi, err)
+		}
+	}
+	// Empty selection is a no-op.
+	stop2, err := StartProfiling("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}

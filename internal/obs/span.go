@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are restricted by
+// the constructors to JSON-friendly scalars so every exporter can carry
+// them.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Float builds a floating-point attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// Span is one timed operation in a trace: a name, a parent link, wall
+// start time (carrying Go's monotonic reading, so durations are immune
+// to clock adjustments), attributes, and an error. Spans are created by
+// StartSpan and finished by End or EndErr; all methods are safe on a
+// nil receiver, which is what instrumented code holds when tracing is
+// disabled.
+type Span struct {
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	tracer *Tracer
+
+	mu       sync.Mutex
+	attrs    []Attr
+	duration time.Duration
+	errMsg   string
+	ended    bool
+}
+
+// ID returns the span's trace-unique ID (0 for a nil span).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// ParentID returns the parent span's ID (0 for roots and nil spans).
+func (s *Span) ParentID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.parent
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start time. The value carries a monotonic
+// clock reading: subtracting two starts, or computing a contained-in
+// check against Start()+Duration(), uses monotonic time.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the span's monotonic duration (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.duration
+}
+
+// Err returns the error message the span ended with ("" when none).
+func (s *Span) Err() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errMsg
+}
+
+// Attrs returns a copy of the span's attributes in set order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Attr returns the value of the named attribute (last set wins).
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.attrs) - 1; i >= 0; i-- {
+		if s.attrs[i].Key == key {
+			return s.attrs[i].Value, true
+		}
+	}
+	return nil, false
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End finishes the span, fixing its monotonic duration and notifying
+// the tracer's OnEnd sinks. Only the first End (or EndErr) counts.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr finishes the span recording err (nil for success).
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.duration = time.Since(s.start)
+	if err != nil {
+		s.errMsg = err.Error()
+	}
+	s.mu.Unlock()
+	s.tracer.notifyEnd(s)
+}
+
+// Tracer assigns span IDs and collects every span started under it, in
+// start order. It is safe for concurrent use.
+type Tracer struct {
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	spans []*Span
+	onEnd []func(*Span)
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// start allocates, registers, and returns a new span.
+func (t *Tracer) start(name string, parent int64, attrs []Attr) *Span {
+	s := &Span{
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		tracer: t,
+		attrs:  append([]Attr(nil), attrs...),
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// OnEnd registers a sink called synchronously each time a span ends —
+// the live-progress hook exporters and CLIs stream from.
+func (t *Tracer) OnEnd(fn func(*Span)) {
+	t.mu.Lock()
+	t.onEnd = append(t.onEnd, fn)
+	t.mu.Unlock()
+}
+
+// notifyEnd invokes the registered OnEnd sinks for s.
+func (t *Tracer) notifyEnd(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	sinks := make([]func(*Span), len(t.onEnd))
+	copy(sinks, t.onEnd)
+	t.mu.Unlock()
+	for _, fn := range sinks {
+		fn(s)
+	}
+}
+
+// Spans returns a snapshot of every span started so far, in start order.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len reports how many spans have been started.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Find returns the first span with the given name, or nil.
+func (t *Tracer) Find(name string) *Span {
+	for _, s := range t.Spans() {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// fmtAttr renders one attribute for the human-readable exporters.
+func fmtAttr(a Attr) string { return fmt.Sprintf("%s=%v", a.Key, a.Value) }

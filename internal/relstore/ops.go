@@ -100,6 +100,7 @@ func (r *Rows) Format() string {
 
 // Select returns the rows satisfying pred (nil pred keeps everything).
 func Select(in *Rows, pred Pred) (*Rows, error) {
+	opSelect.Inc()
 	out := make([]Row, 0, len(in.Data))
 	for _, row := range in.Data {
 		ok, err := evalPred(pred, row, in.Schema)
@@ -115,6 +116,7 @@ func Select(in *Rows, pred Pred) (*Rows, error) {
 
 // Project keeps the named columns in the given order.
 func Project(in *Rows, names ...string) (*Rows, error) {
+	opProject.Inc()
 	schema, err := in.Schema.Project(names...)
 	if err != nil {
 		return nil, err
@@ -144,6 +146,7 @@ type Derivation struct {
 // Derive computes a new relation whose columns are the given derivations
 // evaluated over each input row (a generalized projection; SELECT exprs).
 func Derive(in *Rows, derivs ...Derivation) (*Rows, error) {
+	opDerive.Inc()
 	cols := make([]Column, len(derivs))
 	for i, d := range derivs {
 		cols[i] = Column{Name: d.Name, Type: d.Type}
@@ -175,6 +178,7 @@ func Derive(in *Rows, derivs ...Derivation) (*Rows, error) {
 
 // Extend appends computed columns to the input relation.
 func Extend(in *Rows, derivs ...Derivation) (*Rows, error) {
+	opExtend.Inc()
 	extra := make([]Column, len(derivs))
 	for i, d := range derivs {
 		extra[i] = Column{Name: d.Name, Type: d.Type}
@@ -207,6 +211,7 @@ func Extend(in *Rows, derivs ...Derivation) (*Rows, error) {
 
 // Rename renames a column.
 func Rename(in *Rows, from, to string) (*Rows, error) {
+	opRename.Inc()
 	schema, err := in.Schema.Rename(from, to)
 	if err != nil {
 		return nil, err
@@ -218,6 +223,7 @@ func Rename(in *Rows, from, to string) (*Rows, error) {
 // relation that collide with left names are prefixed with the right prefix
 // (prefix + "_"). The join is an inner join.
 func Join(left, right *Rows, leftCol, rightCol, rightPrefix string) (*Rows, error) {
+	opJoin.Inc()
 	li := left.Schema.Index(leftCol)
 	if li < 0 {
 		return nil, fmt.Errorf("relstore: join: no left column %q", leftCol)
@@ -265,6 +271,7 @@ func Join(left, right *Rows, leftCol, rightCol, rightPrefix string) (*Rows, erro
 
 // LeftJoin is Join but keeps unmatched left rows with NULLs on the right.
 func LeftJoin(left, right *Rows, leftCol, rightCol, rightPrefix string) (*Rows, error) {
+	opLeftJoin.Inc()
 	inner, err := Join(left, right, leftCol, rightCol, rightPrefix)
 	if err != nil {
 		return nil, err
@@ -295,6 +302,7 @@ func LeftJoin(left, right *Rows, leftCol, rightCol, rightPrefix string) (*Rows, 
 // MultiClass "simply unions together the results of ETL workflows from
 // different contributors" — this is that union.
 func UnionAll(rs ...*Rows) (*Rows, error) {
+	opUnionAll.Inc()
 	if len(rs) == 0 {
 		return nil, fmt.Errorf("relstore: union of nothing")
 	}
@@ -311,6 +319,7 @@ func UnionAll(rs ...*Rows) (*Rows, error) {
 
 // Union is UnionAll followed by Distinct (set semantics).
 func Union(rs ...*Rows) (*Rows, error) {
+	opUnion.Inc()
 	all, err := UnionAll(rs...)
 	if err != nil {
 		return nil, err
@@ -320,6 +329,7 @@ func Union(rs ...*Rows) (*Rows, error) {
 
 // Distinct removes duplicate rows, keeping first occurrences in order.
 func Distinct(in *Rows) *Rows {
+	opDistinct.Inc()
 	seen := make(map[string]bool, len(in.Data))
 	out := make([]Row, 0, len(in.Data))
 	for _, row := range in.Data {
@@ -335,6 +345,7 @@ func Distinct(in *Rows) *Rows {
 
 // SortBy orders rows by the named columns ascending (stable).
 func SortBy(in *Rows, cols ...string) (*Rows, error) {
+	opSortBy.Inc()
 	idx := make([]int, len(cols))
 	for i, c := range cols {
 		k := in.Schema.Index(c)
@@ -361,6 +372,7 @@ func SortBy(in *Rows, cols ...string) (*Rows, error) {
 // input row, one output row per value column, keyed by the key columns.
 // (The Generic design pattern of Table 1 stores data this way.)
 func Pivot(in *Rows, keyCols []string, attrCol, valCol string) (*Rows, error) {
+	opPivot.Inc()
 	keyIdx := make([]int, len(keyCols))
 	cols := make([]Column, 0, len(keyCols)+2)
 	for i, k := range keyCols {
@@ -409,6 +421,7 @@ func Pivot(in *Rows, keyCols []string, attrCol, valCol string) (*Rows, error) {
 // The paper's Join pattern "executes an un-pivot operation, either in code
 // or SQL if the operator exists in the DBMS"; relstore provides it natively.
 func Unpivot(in *Rows, keyCols []string, attrCol, valCol string, attrs []Column) (*Rows, error) {
+	opUnpivot.Inc()
 	keyIdx := make([]int, len(keyCols))
 	cols := make([]Column, 0, len(keyCols)+len(attrs))
 	for i, k := range keyCols {
@@ -498,6 +511,7 @@ type Aggregate struct {
 // GroupBy groups rows by the key columns and computes aggregates per group.
 // Output order follows first appearance of each group.
 func GroupBy(in *Rows, keyCols []string, aggs ...Aggregate) (*Rows, error) {
+	opGroupBy.Inc()
 	keyIdx := make([]int, len(keyCols))
 	cols := make([]Column, 0, len(keyCols)+len(aggs))
 	for i, k := range keyCols {

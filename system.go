@@ -10,6 +10,7 @@ import (
 	"guava/internal/etl"
 	"guava/internal/gquery"
 	"guava/internal/gtree"
+	"guava/internal/obs"
 	"guava/internal/patterns"
 	"guava/internal/provenance"
 	"guava/internal/relstore"
@@ -257,15 +258,31 @@ func (s *System) Study(name string) (*Study, error) {
 	return st, nil
 }
 
+// RunOption adjusts the context a study runs under. Options compose
+// left to right.
+type RunOption func(context.Context) context.Context
+
+// WithObserver returns a RunOption that installs o on the run's
+// context, so the execution emits spans into o.Tracer and metrics into
+// o.Metrics. The returned report's Trace field holds the root span, and
+// o.Tracer.OnEnd can stream live per-step progress while the study runs.
+func WithObserver(o *obs.Observer) RunOption {
+	return func(ctx context.Context) context.Context { return obs.WithObserver(ctx, o) }
+}
+
 // RunStudy runs a previously built study under a fault-handling policy —
 // the production path of a CORI-style warehouse, where any one
 // contributor's extract can hang or fail and the study must still deliver
 // the surviving contributors. See Study.RunResilient for the policy and
-// report semantics.
-func (s *System) RunStudy(ctx context.Context, name string, policy etl.RunPolicy, workers int) (*Rows, *etl.RunReport, error) {
+// report semantics. Options (WithObserver) attach observability to the
+// run.
+func (s *System) RunStudy(ctx context.Context, name string, policy etl.RunPolicy, workers int, opts ...RunOption) (*Rows, *etl.RunReport, error) {
 	st, err := s.Study(name)
 	if err != nil {
 		return nil, nil, err
+	}
+	for _, opt := range opts {
+		ctx = opt(ctx)
 	}
 	return st.RunResilient(ctx, policy, workers)
 }
