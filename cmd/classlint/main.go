@@ -1,13 +1,22 @@
 // Command classlint analyzes a classifier's rule list before it is trusted
-// with a study: it parses the rules, reconstructs the number-line interval
-// each rule covers (for single-variable threshold classifiers, the dominant
-// Figure 5 shape), and reports gaps and shadowed rules — the mistakes an
-// analyst most wants caught before precision and recall suffer.
+// with a study: it parses the rules and runs the vet engine's standalone
+// classifier checks — unsatisfiable guards (GV105), shadowed rules (GV102),
+// domain gaps (GV103) and uncovered numeric tails (GV109), and rule values
+// outside the declared domain (GV104) — the mistakes an analyst most wants
+// caught before precision and recall suffer.
 //
 // Rules are read from a file or stdin, one "value <- guard" per line:
 //
 //	classlint -elements None,Light,Moderate,Heavy rules.txt
 //	echo "Heavy <- Packs >= 5" | classlint -elements Heavy
+//
+// Migration note: classlint used to reconstruct single-variable threshold
+// intervals via classifier.AnalyzeIntervals and exited nonzero on any gap or
+// shadowed rule. It now runs on the internal/vet diagnostics engine — the
+// same one behind guavavet — which handles multi-variable and categorical
+// guards, and it exits nonzero only when an error-severity diagnostic is
+// found; gaps and shadowing are warnings. Use guavavet for whole-study
+// vetting with g-trees, schemas, and manifests in play.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 
 	"guava/internal/classifier"
 	"guava/internal/relstore"
+	"guava/internal/vet"
 )
 
 func main() {
@@ -28,8 +38,10 @@ func main() {
 
 	var src []byte
 	var err error
+	file := "<stdin>"
 	if flag.NArg() > 0 {
-		src, err = os.ReadFile(flag.Arg(0))
+		file = flag.Arg(0)
+		src, err = os.ReadFile(file)
 	} else {
 		src, err = io.ReadAll(os.Stdin)
 	}
@@ -51,15 +63,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "classlint: %v\n", err)
 		os.Exit(1)
 	}
-	rep, err := classifier.AnalyzeIntervals(cl)
-	if err != nil {
-		fmt.Printf("parsed %d rules; not a single-variable threshold classifier (%v)\n", len(cl.Rules), err)
-		return
-	}
-	fmt.Print(rep.Render(cl))
-	if len(rep.Gaps) == 0 && len(rep.Shadowed) == 0 {
-		fmt.Println("  no gaps, no shadowed rules")
-	} else {
+	rep := &vet.Report{}
+	vet.CheckClassifier(rep, cl, nil, file)
+	rep.Sort()
+	fmt.Print(rep.Text())
+	if rep.HasErrors() {
 		os.Exit(1)
+	}
+	if len(rep.Diags) == 0 {
+		fmt.Printf("%s: %d rules, no findings\n", *name, len(cl.Rules))
 	}
 }

@@ -14,12 +14,16 @@
 // relative overhead. -max-overhead makes a too-slow tracer an error —
 // the CI regression gate.
 //
+// R3 measures the static vetting layer: wall-time of a full vet.Study
+// pass over the reference study against the compile and run it guards,
+// so EXPERIMENTS.md can state the cost of vetting-before-every-run.
+//
 // -cpuprofile, -memprofile, and -trace enable the stdlib profilers for
 // any experiment selection.
 //
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2] [-seed 42] [-n 200]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3] [-seed 42] [-n 200]
 //	          [-faults 0.33] [-retries 2] [-observe]
 //	          [-max-overhead 0] [-cpuprofile f] [-memprofile f] [-trace f]
 package main
@@ -42,11 +46,12 @@ import (
 	"guava/internal/obs"
 	"guava/internal/patterns"
 	"guava/internal/relstore"
+	"guava/internal/vet"
 	"guava/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
 	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
@@ -89,6 +94,9 @@ func main() {
 	}
 	if run("R2") {
 		expR2(*seed, *n, *maxOverhead)
+	}
+	if run("R3") {
+		expR3(*seed, *n)
 	}
 }
 
@@ -487,6 +495,62 @@ func expR2(seed int64, n int, maxOverhead float64) {
 	fmt.Printf("tracing overhead: %+.1f%%\n", overhead)
 	if maxOverhead > 0 && overhead > maxOverhead {
 		fail(fmt.Errorf("R2: tracing overhead %.1f%% exceeds budget %.1f%%", overhead, maxOverhead))
+	}
+	fmt.Println()
+}
+
+// expR3: static vetting cost. One vet.Study pass over the reference study
+// (the full diagnostics engine: per-classifier satisfiability, context
+// checks, pattern-stack rewrites, cross-artifact study checks) is timed
+// against the ETL compile and run it gates, answering "what does -vet on
+// every study execution cost?".
+func expR3(seed int64, n int) {
+	fmt.Printf("== R3: static vetting cost vs ETL (%d records x 3 contributors) ==\n", n)
+	contribs, err := workload.BuildAll(seed, n)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	const reps = 30
+	var vetRep *vet.Report
+	vetDur, err := timeIt(reps, func() error {
+		vetRep = vet.Study(spec, nil, nil)
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	compileDur, err := timeIt(reps, func() error {
+		_, err := etl.Compile(spec)
+		return err
+	})
+	if err != nil {
+		fail(err)
+	}
+	compiled, err := etl.Compile(spec)
+	if err != nil {
+		fail(err)
+	}
+	runDur, err := timeIt(reps, func() error {
+		_, err := compiled.Run()
+		return err
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-34s %14s\n", "stage", "wall-time")
+	fmt.Printf("%-34s %14s\n",
+		fmt.Sprintf("vet.Study (%d diagnostics)", len(vetRep.Diags)), vetDur)
+	fmt.Printf("%-34s %14s\n", "etl.Compile", compileDur)
+	fmt.Printf("%-34s %14s\n", "compiled.Run", runDur)
+	etlDur := compileDur + runDur
+	fmt.Printf("vetting overhead vs compile+run: %.1f%%\n",
+		float64(vetDur)/float64(etlDur)*100)
+	if vetRep.HasErrors() {
+		fail(fmt.Errorf("R3: reference study has vet errors:\n%s", vetRep.Text()))
 	}
 	fmt.Println()
 }

@@ -1,0 +1,65 @@
+// Command guavavet statically vets GUAVA/MultiClass study artifacts before
+// anything runs: classifier bundles (.clf), g-tree and study-schema XML
+// (.xml), and study manifests (.study). It loads every file (directories
+// expand to their artifact files), cross-checks the whole set — classifier
+// satisfiability, shadowing, and domain gaps; context-disabled guards;
+// enablement cycles and dead answer options; study wiring against the study
+// schema — and prints the diagnostics.
+//
+// Usage:
+//
+//	guavavet [-format text|json|sarif] path...
+//
+// Exit status is 0 when no error-severity diagnostics were found (warnings
+// and infos alone do not fail the run), 1 when at least one error was, and
+// 2 on usage errors. See VETTING.md for the diagnostic catalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"guava/internal/vet"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: guavavet [-format text|json|sarif] path...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep := vet.LoadPaths(flag.Args()).Vet()
+	rep.Publish(nil)
+
+	switch *format {
+	case "text":
+		fmt.Print(rep.Text())
+	case "json":
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "guavavet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s\n", out)
+	case "sarif":
+		out, err := rep.SARIF()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "guavavet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s\n", out)
+	default:
+		fmt.Fprintf(os.Stderr, "guavavet: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
+	if rep.HasErrors() {
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,10 @@
 // translations — the inspectability the paper demands of generated
 // workflows.
 //
+// With -vet the reference study is statically vetted before compilation:
+// the diagnostics print to stderr, and the run is refused when any
+// error-severity finding exists. Without -vet nothing changes.
+//
 // The reference study runs through the resilient executor: -retries,
 // -step-timeout, -timeout, and -continue configure the etl.RunPolicy,
 // -fail injects a permanently dead contributor extract (demonstrating
@@ -19,7 +23,7 @@
 // Usage:
 //
 //	runstudy [-study reference|study1|study2] [-seed 42] [-n 200]
-//	         [-plan] [-sql] [-xquery] [-rows 10]
+//	         [-vet] [-plan] [-sql] [-xquery] [-rows 10]
 //	         [-parallel 1] [-retries 0] [-step-timeout 0] [-timeout 0]
 //	         [-continue] [-fail contributor,...] [-report]
 //	         [-trace-tree] [-trace-out spans.jsonl] [-metrics]
@@ -42,6 +46,7 @@ import (
 	"guava/internal/etl/faulty"
 	"guava/internal/obs"
 	"guava/internal/relstore"
+	"guava/internal/vet"
 	"guava/internal/workload"
 )
 
@@ -49,6 +54,7 @@ func main() {
 	studyName := flag.String("study", "reference", "study to run: reference, study1, or study2")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
+	doVet := flag.Bool("vet", false, "statically vet the study first; refuse to run on error-severity findings (reference study)")
 	showPlan := flag.Bool("plan", false, "print the generated ETL workflow")
 	showSQL := flag.Bool("sql", false, "print the per-contributor SQL translation")
 	showXQ := flag.Bool("xquery", false, "print the per-contributor XQuery translation")
@@ -92,6 +98,7 @@ func main() {
 			ContinueOnError: *contOnErr,
 		}
 		runReference(contribs, refOptions{
+			vet:  *doVet,
 			plan: *showPlan, sql: *showSQL, xquery: *showXQ, rows: *rows,
 			workers: *workers, policy: policy, fail: splitList(*failContribs),
 			report:    *showReport,
@@ -126,6 +133,7 @@ func main() {
 // refOptions collects the reference-study switches: what to print and how
 // to execute.
 type refOptions struct {
+	vet               bool
 	plan, sql, xquery bool
 	rows              int
 	workers           int
@@ -163,6 +171,13 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 	spec, err := baseline.ReferenceSpec(contribs)
 	if err != nil {
 		fail(err)
+	}
+	if opt.vet {
+		rep := vet.Study(spec, nil, nil)
+		fmt.Fprint(os.Stderr, rep.Text())
+		if rep.HasErrors() {
+			fail(fmt.Errorf("study %q failed vetting with %d error(s); fix them or drop -vet", spec.Name, rep.Count(vet.SevError)))
+		}
 	}
 	compiled, err := etl.CompileTraced(ctx, spec)
 	if err != nil {

@@ -50,6 +50,7 @@ import (
 	"guava/internal/relstore"
 	"guava/internal/study"
 	"guava/internal/ui"
+	"guava/internal/vet"
 )
 
 // Re-exported value kinds.
@@ -126,6 +127,20 @@ type (
 	Tracer = obs.Tracer
 	// Registry is a metrics registry (counters, gauges, histograms).
 	Registry = obs.Registry
+
+	// VetReport is a static-vetting report (see Study.Vet and VETTING.md).
+	VetReport = vet.Report
+	// VetDiagnostic is one finding of the static vetter.
+	VetDiagnostic = vet.Diagnostic
+	// VetSeverity ranks vet findings (info, warning, error).
+	VetSeverity = vet.Severity
+)
+
+// Vet severities re-exported for filtering reports.
+const (
+	VetInfo    = vet.SevInfo
+	VetWarning = vet.SevWarning
+	VetError   = vet.SevError
 )
 
 // Observability constructors and exporters re-exported from obs.

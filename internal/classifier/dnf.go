@@ -1,0 +1,34 @@
+package classifier
+
+// This file exports the guard-normalization entry points the static vetting
+// engine (internal/vet) builds on. The DNF conversion itself lives in
+// datalog.go, where it originated for the Datalog translation; the exported
+// wrapper additionally gets the unconditional (nil) guard right under
+// negation, which the translation never needed.
+
+// DNF normalizes a guard into disjunctive normal form: a list of
+// conjunctions of atomic conditions (*Compare with exactly one operator,
+// *IsNull), with NOT pushed inward by De Morgan's laws and IN expanded.
+// The empty disjunction (nil) is FALSE; a disjunction containing an empty
+// conjunction is TRUE. A nil guard is the unconditional TRUE guard, so its
+// negation is FALSE.
+//
+// Note that the negated form uses the *logical* complement of each
+// comparison operator. Under SQL-style NULL semantics that is exact for =
+// and <> (relstore evaluates both two-valued) but not for the ordered
+// operators, whose comparisons are false on NULL either way; callers that
+// need NULL-faithful negation (the vet engine) must handle ordered atoms
+// themselves.
+func DNF(guard Node, negate bool) ([][]Node, error) {
+	if guard == nil {
+		if negate {
+			return nil, nil
+		}
+		return [][]Node{{}}, nil
+	}
+	return dnf(guard, negate)
+}
+
+// WalkIdents visits every identifier in an AST in source order. A nil node
+// is an empty AST.
+func WalkIdents(n Node, fn func(*Ident)) { walkIdents(n, fn) }

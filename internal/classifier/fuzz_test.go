@@ -1,0 +1,75 @@
+package classifier
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are representative classifier sources — the Figure 5 shapes plus
+// the syntactic corners the lexer and parser special-case (quote escaping,
+// comments, unary minus, IN lists, mixed operators).
+var fuzzSeeds = []string{
+	habitsCancerSrc,
+	habitsChemistrySrc,
+	"Procedure <- Procedure AND SurgeryPerformed = TRUE",
+	"DISCARD <- PacksPerDay < 0",
+	"None <- Smoking IS NULL OR NOT (PacksPerDay >= 2)\nHeavy <- Smoking IN ('a', 'b')",
+	"TumorX * TumorY * TumorZ * 0.52 <- TumorX > 0 AND TumorY > 0 AND TumorZ > 0",
+	"Val <- -PacksPerDay + 2 * 3 - 1 % 2 > 0",
+	"X <- a = 'it''s' -- trailing comment\nY <- b <> \"q\"",
+	"X <- .5 < a AND a != 2",
+	"X <-",
+	"<- TRUE",
+	"X <- (a = 1",
+	"X <- a IN ()",
+}
+
+// FuzzLex asserts the lexer never panics and, on success, always terminates
+// the stream with EOF and keeps token positions inside the input.
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("Lex(%q): stream not EOF-terminated: %v", src, toks)
+		}
+		lines := strings.Count(src, "\n") + 1
+		for _, tok := range toks {
+			if tok.Line < 1 || tok.Line > lines+1 {
+				t.Fatalf("Lex(%q): token %v has line %d outside input", src, tok, tok.Line)
+			}
+		}
+	})
+}
+
+// FuzzParse asserts the rule parser never panics and that anything it
+// accepts survives a print → reparse round trip (the fixpoint property the
+// emitters rely on).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rules, err := ParseRules(src)
+		if err != nil {
+			return
+		}
+		var printed strings.Builder
+		for _, r := range rules {
+			printed.WriteString(r.String())
+			printed.WriteByte('\n')
+		}
+		rules2, err := ParseRules(printed.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\n(printed: %q)", src, err, printed.String())
+		}
+		if len(rules2) != len(rules) {
+			t.Fatalf("reparse of %q: %d rules became %d", src, len(rules), len(rules2))
+		}
+	})
+}

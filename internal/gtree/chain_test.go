@@ -1,0 +1,75 @@
+package gtree
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/relstore"
+)
+
+// cyclicTree builds a tree whose enablement guards form a cycle A -> B -> A.
+// Derive rejects such specs, but DecodeXML and manual construction do not,
+// so the chain walk itself must terminate.
+func cyclicTree() *Tree {
+	a := &Node{Name: "A", Kind: FieldNode, DataType: relstore.KindString,
+		Enablement: EnablementInfo{Kind: "answered", Control: "B"}}
+	b := &Node{Name: "B", Kind: FieldNode, DataType: relstore.KindString,
+		Enablement: EnablementInfo{Kind: "answered", Control: "A"}}
+	root := &Node{Name: "F", Kind: FormNode, Children: []*Node{a, b}}
+	return &Tree{Contributor: "T", ToolVersion: 1, KeyColumn: "K", Root: root}
+}
+
+// TestEnablementChainCycle is the regression test for the infinite loop the
+// chain walk used to fall into on cyclic enablement: it must return an error
+// (with the partial chain) instead of hanging.
+func TestEnablementChainCycle(t *testing.T) {
+	tree := cyclicTree()
+	chain, err := tree.EnablementChain("A")
+	if err == nil {
+		t.Fatal("EnablementChain on a cycle: expected error, got nil")
+	}
+	if !strings.Contains(err.Error(), "enablement cycle") {
+		t.Errorf("error %q does not mention the cycle", err)
+	}
+	// The partial chain stops one short of revisiting A.
+	if len(chain) != 1 || chain[0].Name != "B" {
+		t.Errorf("partial chain = %v, want [B]", names(chain))
+	}
+	// ContextReport rides on the same walk; it must terminate too.
+	if _, err := tree.ContextReport("A"); err != nil {
+		t.Errorf("ContextReport on cyclic tree: %v", err)
+	}
+}
+
+func TestEnablementChainMissingControl(t *testing.T) {
+	a := &Node{Name: "A", Kind: FieldNode, DataType: relstore.KindString,
+		Enablement: EnablementInfo{Kind: "answered", Control: "Ghost"}}
+	tree := &Tree{Contributor: "T", Root: &Node{Name: "F", Kind: FormNode, Children: []*Node{a}}}
+	if _, err := tree.EnablementChain("A"); err == nil {
+		t.Fatal("EnablementChain with missing control: expected error")
+	}
+}
+
+func TestEnablementChainOrder(t *testing.T) {
+	c := &Node{Name: "C", Kind: FieldNode, DataType: relstore.KindString,
+		Enablement: EnablementInfo{Kind: "answered", Control: "B"}}
+	b := &Node{Name: "B", Kind: FieldNode, DataType: relstore.KindString,
+		Enablement: EnablementInfo{Kind: "equals", Control: "A", Value: relstore.Str("Yes")}}
+	a := &Node{Name: "A", Kind: FieldNode, DataType: relstore.KindString}
+	tree := &Tree{Contributor: "T", Root: &Node{Name: "F", Kind: FormNode, Children: []*Node{a, b, c}}}
+	chain, err := tree.EnablementChain("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(chain); len(got) != 2 || got[0] != "B" || got[1] != "A" {
+		t.Errorf("chain = %v, want [B A] (nearest first)", got)
+	}
+}
+
+func names(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}

@@ -222,13 +222,11 @@ func (t *Tree) ContextReport(name string) (string, error) {
 		fmt.Fprintf(&sb, "  required: yes\n")
 	}
 	// Walk the enablement chain: what must be answered, in order, for this
-	// control to accept data at all.
+	// control to accept data at all. The chain walk is bounded, so a cyclic
+	// enablement spec yields a truncated report instead of a hang.
+	chain, _ := t.EnablementChain(name)
 	cur := n
-	for cur.Enablement.Kind == "answered" || cur.Enablement.Kind == "equals" {
-		parent, err := t.Node(cur.Enablement.Control)
-		if err != nil {
-			break
-		}
+	for _, parent := range chain {
 		if cur.Enablement.Kind == "equals" {
 			opt := cur.Enablement.Value.String()
 			if o, ok := optionFor(parent, cur.Enablement.Value); ok {
@@ -241,6 +239,37 @@ func (t *Tree) ContextReport(name string) (string, error) {
 		cur = parent
 	}
 	return sb.String(), nil
+}
+
+// EnablementChain returns the controlling nodes that gate the named node,
+// nearest first: the node's enablement control, that control's control, and
+// so on up to an always-enabled node. Derive rejects cyclic enablement
+// specs, but trees can also arrive via DecodeXML or manual construction, so
+// the walk keeps a visited set: on a cycle (or an enablement naming a
+// missing control) it returns the chain collected so far together with an
+// error, rather than looping forever.
+func (t *Tree) EnablementChain(name string) ([]*Node, error) {
+	n, err := t.Node(name)
+	if err != nil {
+		return nil, err
+	}
+	var chain []*Node
+	visited := map[string]bool{n.Name: true}
+	cur := n
+	for cur.Enablement.Kind == "answered" || cur.Enablement.Kind == "equals" {
+		parent, err := t.Node(cur.Enablement.Control)
+		if err != nil {
+			return chain, err
+		}
+		if visited[parent.Name] {
+			return chain, fmt.Errorf("gtree: enablement cycle through %q in g-tree %s/%s",
+				parent.Name, t.Contributor, t.Root.Name)
+		}
+		visited[parent.Name] = true
+		chain = append(chain, parent)
+		cur = parent
+	}
+	return chain, nil
 }
 
 // optionFor finds the option of a node whose stored value equals v.

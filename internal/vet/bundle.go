@@ -1,0 +1,539 @@
+package vet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"guava/internal/classifier"
+	"guava/internal/etl"
+	"guava/internal/gtree"
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+	"guava/internal/study"
+)
+
+// This file is guavavet's artifact loader: it reads a set of files — g-tree
+// XML, study-schema XML, classifier rule files, and an optional study
+// manifest — into a Bundle and vets whatever arrived. Artifacts that fail to
+// load become GV001 diagnostics rather than aborting, so one corrupt file
+// does not hide findings in the rest of the study.
+//
+// Classifier files (.clf) are rule text with '#' directive lines:
+//
+//	# name: Habits (Cancer)
+//	# description: smoking habits for the cancer study
+//	# kind: domain            (or: entity, cleaner)
+//	# entity: Procedure
+//	# attribute: Smoking habits
+//	# domain: D3
+//	# type: TEXT
+//	# elements: None, Light, Moderate, Heavy
+//	# tree: CORI              (bind against this contributor's g-tree)
+//	None <- PacksPerDay = 0
+//	...
+//
+// Directive lines are replaced by blank lines before parsing, so every token
+// position reported in a diagnostic is the real file line.
+//
+// Study manifests (.study) wire the artifacts into an etl.StudySpec:
+//
+//	study: Cancer
+//	column: Smoking_D3 = Smoking habits:D3
+//	contributor: CORI
+//	entity: CORI Procedures
+//	use: Smoking_D3 <- Habits (Cancer)
+//	condition: BMI > 10
+//	clean: Drop test records
+//	stack: naive audit rename:Smoking=SMK
+type Bundle struct {
+	// Trees and TreeFiles index loaded g-trees by contributor name.
+	Trees     map[string]*gtree.Tree
+	TreeFiles map[string]string
+	// Schema is the loaded study schema, if any.
+	Schema     *study.Schema
+	SchemaFile string
+	// Classifiers are the loaded classifier files, in load order.
+	Classifiers []*LoadedClassifier
+
+	manifest     *manifestData
+	manifestFile string
+	loadRep      Report
+}
+
+// LoadedClassifier is one parsed .clf artifact.
+type LoadedClassifier struct {
+	C    *classifier.Classifier
+	File string
+	// TreeName is the "# tree:" directive — the contributor whose g-tree the
+	// classifier binds against ("" for tree-less vetting).
+	TreeName string
+}
+
+type manifestColumn struct {
+	As, Attribute, Domain string
+}
+
+type manifestContributor struct {
+	Name      string
+	Entity    string
+	Uses      map[string]string
+	UseOrder  []string
+	Cleaners  []string
+	Condition string
+	Stack     []string
+}
+
+type manifestData struct {
+	Study    string
+	Columns  []manifestColumn
+	Contribs []*manifestContributor
+}
+
+// LoadPaths reads the given files (directories expand to their *.clf, *.xml,
+// and *.study entries, sorted). Load failures are recorded as GV001
+// diagnostics on the bundle.
+func LoadPaths(paths []string) *Bundle {
+	b := &Bundle{Trees: map[string]*gtree.Tree{}, TreeFiles: map[string]string{}}
+	var files []string
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			b.loadRep.Add("GV001", Pos{File: p}, "cannot read artifact: %v", err)
+			continue
+		}
+		if !st.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			b.loadRep.Add("GV001", Pos{File: p}, "cannot read artifact directory: %v", err)
+			continue
+		}
+		var names []string
+		for _, e := range entries {
+			switch filepath.Ext(e.Name()) {
+			case ".clf", ".xml", ".study":
+				names = append(names, filepath.Join(p, e.Name()))
+			}
+		}
+		sort.Strings(names)
+		files = append(files, names...)
+	}
+	for _, f := range files {
+		b.loadFile(f)
+	}
+	return b
+}
+
+func (b *Bundle) loadFile(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		b.loadRep.Add("GV001", Pos{File: path}, "cannot read artifact: %v", err)
+		return
+	}
+	switch filepath.Ext(path) {
+	case ".clf":
+		b.loadClassifier(path, string(data))
+	case ".xml":
+		b.loadXML(path, data)
+	case ".study":
+		b.loadManifest(path, string(data))
+	default:
+		b.loadRep.Add("GV001", Pos{File: path}, "unsupported artifact type (want .clf, .xml, or .study)")
+	}
+}
+
+func (b *Bundle) loadXML(path string, data []byte) {
+	switch {
+	case bytes.Contains(data, []byte("<studySchema")):
+		s, err := study.DecodeXML(bytes.NewReader(data))
+		if err != nil {
+			b.loadRep.Add("GV001", Pos{File: path}, "%v", err)
+			return
+		}
+		if b.Schema != nil {
+			b.loadRep.Add("GV001", Pos{File: path}, "duplicate study schema (already loaded %s)", b.SchemaFile)
+			return
+		}
+		b.Schema, b.SchemaFile = s, path
+	case bytes.Contains(data, []byte("<gtree")):
+		t, err := gtree.DecodeXML(bytes.NewReader(data))
+		if err != nil {
+			b.loadRep.Add("GV001", Pos{File: path}, "%v", err)
+			return
+		}
+		if prev, dup := b.Trees[t.Contributor]; dup && prev != nil {
+			b.loadRep.Add("GV001", Pos{File: path},
+				"duplicate g-tree for contributor %q (already loaded %s)", t.Contributor, b.TreeFiles[t.Contributor])
+			return
+		}
+		b.Trees[t.Contributor] = t
+		b.TreeFiles[t.Contributor] = path
+	default:
+		b.loadRep.Add("GV001", Pos{File: path}, "unrecognized XML artifact (expected <gtree> or <studySchema>)")
+	}
+}
+
+// kindFromString parses the SQL-ish kind names relstore renders.
+func kindFromString(s string) (relstore.Kind, bool) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INTEGER":
+		return relstore.KindInt, true
+	case "REAL":
+		return relstore.KindFloat, true
+	case "TEXT":
+		return relstore.KindString, true
+	case "BOOLEAN":
+		return relstore.KindBool, true
+	}
+	return relstore.KindNull, false
+}
+
+func (b *Bundle) loadClassifier(path, src string) {
+	lines := strings.Split(src, "\n")
+	name := strings.TrimSuffix(filepath.Base(path), ".clf")
+	kind, desc, entity, attribute, domain, treeName := "domain", "", "", "", "", ""
+	var elements []string
+	valKind := relstore.KindNull
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "#") {
+			continue
+		}
+		lines[i] = "" // keep token lines equal to file lines
+		key, val, ok := strings.Cut(strings.TrimSpace(strings.TrimPrefix(t, "#")), ":")
+		if !ok {
+			continue // plain comment
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "name":
+			name = val
+		case "description":
+			desc = val
+		case "kind":
+			kind = val
+		case "entity":
+			entity = val
+		case "attribute":
+			attribute = val
+		case "domain":
+			domain = val
+		case "tree":
+			treeName = val
+		case "type":
+			k, ok := kindFromString(val)
+			if !ok {
+				b.loadRep.Add("GV001", Pos{File: path, Line: i + 1, Col: 1}, "unknown domain type %q", val)
+				return
+			}
+			valKind = k
+		case "elements":
+			for _, e := range strings.Split(val, ",") {
+				if e = strings.TrimSpace(e); e != "" {
+					elements = append(elements, e)
+				}
+			}
+		}
+	}
+	rules := strings.Join(lines, "\n")
+	var c *classifier.Classifier
+	var err error
+	switch kind {
+	case "entity":
+		c, err = classifier.ParseEntity(name, desc, entity, rules)
+	case "cleaner":
+		c, err = classifier.ParseCleaner(name, desc, rules)
+	case "domain":
+		if len(elements) > 0 && valKind == relstore.KindNull {
+			valKind = relstore.KindString
+		}
+		target := classifier.Target{
+			Entity: entity, Attribute: attribute, Domain: domain,
+			Kind: valKind, Elements: elements,
+		}
+		c, err = classifier.Parse(name, desc, target, rules)
+	default:
+		b.loadRep.Add("GV001", Pos{File: path}, "unknown classifier kind %q (want domain, entity, or cleaner)", kind)
+		return
+	}
+	if err != nil {
+		pos := Pos{File: path}
+		var cerr *classifier.Error
+		if errors.As(err, &cerr) && cerr.Line > 0 {
+			pos.Line, pos.Col = cerr.Line, cerr.Col
+		}
+		b.loadRep.Add("GV001", pos, "%v", err)
+		return
+	}
+	// A "# tree:" reference is resolved lazily at Vet time — the g-tree may
+	// simply load later in the file order.
+	b.Classifiers = append(b.Classifiers, &LoadedClassifier{C: c, File: path, TreeName: treeName})
+}
+
+func (b *Bundle) loadManifest(path, src string) {
+	if b.manifest != nil {
+		b.loadRep.Add("GV001", Pos{File: path}, "duplicate study manifest (already loaded %s)", b.manifestFile)
+		return
+	}
+	m := &manifestData{}
+	var cur *manifestContributor
+	for i, line := range strings.Split(src, "\n") {
+		pos := Pos{File: path, Line: i + 1, Col: 1}
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(t, ":")
+		if !ok {
+			b.loadRep.Add("GV001", pos, "manifest line is not a 'key: value' directive")
+			return
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		needContrib := func() bool {
+			if cur == nil {
+				b.loadRep.Add("GV001", pos, "%q directive before any contributor", key)
+				return false
+			}
+			return true
+		}
+		switch key {
+		case "study":
+			m.Study = val
+		case "column":
+			as, rest, ok := strings.Cut(val, "=")
+			if !ok {
+				b.loadRep.Add("GV001", pos, "column directive wants 'As = Attribute:Domain'")
+				return
+			}
+			idx := strings.LastIndex(rest, ":")
+			if idx < 0 {
+				b.loadRep.Add("GV001", pos, "column directive wants 'As = Attribute:Domain'")
+				return
+			}
+			m.Columns = append(m.Columns, manifestColumn{
+				As:        strings.TrimSpace(as),
+				Attribute: strings.TrimSpace(rest[:idx]),
+				Domain:    strings.TrimSpace(rest[idx+1:]),
+			})
+		case "contributor":
+			cur = &manifestContributor{Name: val, Uses: map[string]string{}}
+			m.Contribs = append(m.Contribs, cur)
+		case "entity":
+			if needContrib() {
+				cur.Entity = val
+			}
+		case "use":
+			if needContrib() {
+				as, cl, ok := strings.Cut(val, "<-")
+				if !ok {
+					b.loadRep.Add("GV001", pos, "use directive wants 'Column <- Classifier'")
+					return
+				}
+				as = strings.TrimSpace(as)
+				cur.Uses[as] = strings.TrimSpace(cl)
+				cur.UseOrder = append(cur.UseOrder, as)
+			}
+		case "clean":
+			if needContrib() {
+				cur.Cleaners = append(cur.Cleaners, val)
+			}
+		case "condition":
+			if needContrib() {
+				cur.Condition = val
+			}
+		case "stack":
+			if needContrib() {
+				cur.Stack = strings.Fields(val)
+			}
+		default:
+			b.loadRep.Add("GV001", pos, "unknown manifest directive %q", key)
+			return
+		}
+	}
+	if m.Study == "" {
+		b.loadRep.Add("GV001", Pos{File: path}, "manifest has no 'study:' directive")
+		return
+	}
+	b.manifest, b.manifestFile = m, path
+}
+
+// naiveForm derives a form's naive-schema info from its g-tree: the instance
+// key column followed by one column per data-storing node.
+func naiveForm(t *gtree.Tree) (patterns.FormInfo, error) {
+	cols := []relstore.Column{{Name: t.KeyColumn, Type: relstore.KindInt, NotNull: true}}
+	t.Root.Walk(func(n *gtree.Node) {
+		if n.StoresData() {
+			cols = append(cols, relstore.Column{Name: n.Name, Type: n.DataType})
+		}
+	})
+	schema, err := relstore.NewSchema(cols...)
+	if err != nil {
+		return patterns.FormInfo{}, err
+	}
+	return patterns.FormInfo{Name: t.FormName(), KeyColumn: t.KeyColumn, Schema: schema}, nil
+}
+
+// parseStack builds a pattern stack from manifest tokens: a layout (naive,
+// generic) followed by transforms (audit, rename:A=B[,C=D]).
+func parseStack(tokens []string) (*patterns.Stack, error) {
+	layout := patterns.Layout(patterns.Naive{})
+	var transforms []patterns.Transform
+	for i, tok := range tokens {
+		switch {
+		case tok == "naive":
+			layout = patterns.Naive{}
+		case tok == "generic":
+			layout = patterns.Generic{}
+		case tok == "audit":
+			transforms = append(transforms, &patterns.Audit{})
+		case strings.HasPrefix(tok, "rename:"):
+			m := map[string]string{}
+			for _, pair := range strings.Split(strings.TrimPrefix(tok, "rename:"), ",") {
+				from, to, ok := strings.Cut(pair, "=")
+				if !ok {
+					return nil, fmt.Errorf("rename wants From=To pairs, got %q", pair)
+				}
+				m[strings.TrimSpace(from)] = strings.TrimSpace(to)
+			}
+			transforms = append(transforms, &patterns.Rename{Physical: m})
+		default:
+			return nil, fmt.Errorf("unknown stack token %q (position %d)", tok, i+1)
+		}
+	}
+	return patterns.NewStack(layout, transforms...), nil
+}
+
+// buildSpec assembles the manifest into an etl.StudySpec for the study-level
+// checks, reporting unresolvable references as GV001.
+func (b *Bundle) buildSpec(rep *Report) (*etl.StudySpec, *StudyFiles) {
+	m := b.manifest
+	mpos := Pos{File: b.manifestFile}
+	files := &StudyFiles{
+		Manifest:    b.manifestFile,
+		Schema:      b.SchemaFile,
+		Trees:       b.TreeFiles,
+		Classifiers: map[string]string{},
+	}
+	byName := map[string]*LoadedClassifier{}
+	for _, lc := range b.Classifiers {
+		if prev, dup := byName[lc.C.Name]; dup {
+			rep.Add("GV001", Pos{File: lc.File}, "duplicate classifier %q (already loaded %s)", lc.C.Name, prev.File)
+			continue
+		}
+		byName[lc.C.Name] = lc
+		files.Classifiers[lc.C.Name] = lc.File
+	}
+	resolve := func(name, role, contributor string) *classifier.Classifier {
+		lc, ok := byName[name]
+		if !ok {
+			rep.Add("GV001", mpos, "contributor %q %s references unknown classifier %q", contributor, role, name)
+			return nil
+		}
+		return lc.C
+	}
+	spec := &etl.StudySpec{Name: m.Study}
+	for _, mc := range m.Columns {
+		col := etl.ColumnSpec{As: mc.As, Attribute: mc.Attribute, Domain: mc.Domain}
+		if b.Schema != nil {
+			if d, ok := findDomain(b.Schema, mc.Attribute, mc.Domain); ok {
+				col.Kind = d.Kind
+			}
+		}
+		spec.Columns = append(spec.Columns, col)
+	}
+	for _, mct := range m.Contribs {
+		plan := &etl.ContributorPlan{Name: mct.Name, Condition: mct.Condition}
+		if t, ok := b.Trees[mct.Name]; ok {
+			plan.Tree = t
+			form, err := naiveForm(t)
+			if err != nil {
+				rep.Add("GV001", Pos{File: b.TreeFiles[mct.Name]}, "g-tree yields no naive schema: %v", err)
+			} else {
+				plan.Form = form
+			}
+		} else {
+			rep.Add("GV001", mpos, "contributor %q has no loaded g-tree", mct.Name)
+		}
+		stack, err := parseStack(mct.Stack)
+		if err != nil {
+			rep.Add("GV001", mpos, "contributor %q stack: %v", mct.Name, err)
+		} else {
+			plan.Stack = stack
+		}
+		if mct.Entity != "" {
+			plan.Entity = resolve(mct.Entity, "entity", mct.Name)
+		}
+		plan.Classifiers = map[string]*classifier.Classifier{}
+		for _, as := range mct.UseOrder {
+			if c := resolve(mct.Uses[as], "use", mct.Name); c != nil {
+				plan.Classifiers[as] = c
+			}
+		}
+		for _, cl := range mct.Cleaners {
+			if c := resolve(cl, "clean", mct.Name); c != nil {
+				plan.Cleaners = append(plan.Cleaners, c)
+			}
+		}
+		spec.Contributors = append(spec.Contributors, plan)
+	}
+	return spec, files
+}
+
+// Vet runs every applicable check over the bundle's artifacts and returns
+// the sorted report: load errors, per-g-tree structure, per-classifier
+// analyses (bound to their "# tree:" contributor when loaded), dead answer
+// options, and — when a manifest is present — the study-level wiring against
+// the loaded schema.
+func (b *Bundle) Vet() *Report {
+	rep := &Report{}
+	rep.Merge(&b.loadRep)
+
+	var treeNames []string
+	for n := range b.Trees {
+		treeNames = append(treeNames, n)
+	}
+	sort.Strings(treeNames)
+	for _, n := range treeNames {
+		CheckTree(rep, b.Trees[n], b.TreeFiles[n])
+	}
+
+	for _, lc := range b.Classifiers {
+		var tree *gtree.Tree
+		if lc.TreeName != "" {
+			t, ok := b.Trees[lc.TreeName]
+			if !ok {
+				rep.Add("GV001", Pos{File: lc.File},
+					"classifier %q binds against g-tree %q, which is not loaded", lc.C.Name, lc.TreeName)
+				continue
+			}
+			tree = t
+		}
+		CheckClassifier(rep, lc.C, tree, lc.File)
+	}
+
+	for _, n := range treeNames {
+		var cs []*classifier.Classifier
+		for _, lc := range b.Classifiers {
+			if lc.TreeName == n {
+				cs = append(cs, lc.C)
+			}
+		}
+		if len(cs) > 0 {
+			CheckDeadOptions(rep, b.Trees[n], b.TreeFiles[n], cs)
+		}
+	}
+
+	if b.manifest != nil {
+		spec, files := b.buildSpec(rep)
+		CheckStudy(rep, spec, b.Schema, files)
+	}
+	rep.Sort()
+	return rep
+}

@@ -1,0 +1,358 @@
+package vet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"guava/internal/classifier"
+	"guava/internal/gtree"
+)
+
+// CheckClassifier runs the per-classifier analyses (GV101–GV109) over one
+// classifier, resolved against its contributor's g-tree. With a nil tree
+// only the tree-independent analyses run — satisfiability, shadowing, gap
+// coverage, and domain-element membership — which is classlint's standalone
+// mode.
+func CheckClassifier(rep *Report, c *classifier.Classifier, tree *gtree.Tree, file string) {
+	unknown := checkNames(rep, c, tree, file)
+	checkValues(rep, c, file)
+	live := checkSatAndShadow(rep, c, tree, file)
+	checkGaps(rep, c, tree, file, live)
+	if tree != nil {
+		checkContext(rep, c, tree, file)
+		checkOptionValues(rep, c, tree, file)
+		if unknown == 0 {
+			checkBind(rep, c, tree, file)
+		}
+	}
+}
+
+// posOf locates an identifier token within the artifact.
+func posOf(file string, id *classifier.Ident) Pos {
+	return Pos{File: file, Line: id.Tok.Line, Col: id.Tok.Col}
+}
+
+// rulePos locates a rule by its first identifier (rules are one per line, so
+// any token of the rule carries the rule's line).
+func rulePos(file string, r *classifier.Rule) Pos {
+	pos := Pos{File: file}
+	found := false
+	for _, n := range []classifier.Node{r.Value, r.Guard} {
+		if found {
+			break
+		}
+		classifier.WalkIdents(n, func(id *classifier.Ident) {
+			if !found && id.Tok.Line > 0 {
+				pos.Line, pos.Col = id.Tok.Line, id.Tok.Col
+				found = true
+			}
+		})
+	}
+	return pos
+}
+
+// checkNames emits GV101 for identifiers that resolve to neither a g-tree
+// node nor (where allowed) a target-domain element, returning how many it
+// found so the bind check can avoid double-reporting.
+func checkNames(rep *Report, c *classifier.Classifier, tree *gtree.Tree, file string) int {
+	if tree == nil {
+		return 0
+	}
+	unknown := 0
+	report := func(id *classifier.Ident) {
+		unknown++
+		rep.Add("GV101", posOf(file, id),
+			"classifier %q: unknown name %q is neither a g-tree node nor a domain element", c.Name, id.Name)
+	}
+	domainValue := !c.IsEntity && !c.IsCleaner
+	for _, r := range c.Rules {
+		if domainValue {
+			classifier.WalkIdents(r.Value, func(id *classifier.Ident) {
+				if !tree.Has(id.Name) && !c.Target.HasElement(id.Name) {
+					report(id)
+				}
+			})
+		}
+		classifier.WalkIdents(r.Guard, func(id *classifier.Ident) {
+			if tree.Has(id.Name) {
+				return
+			}
+			if domainValue && c.Target.HasElement(id.Name) {
+				return
+			}
+			report(id)
+		})
+	}
+	return unknown
+}
+
+// checkValues emits GV104 for literal rule values outside a categorical
+// target domain.
+func checkValues(rep *Report, c *classifier.Classifier, file string) {
+	if c.IsEntity || c.IsCleaner || len(c.Target.Elements) == 0 {
+		return
+	}
+	for i, r := range c.Rules {
+		if s, ok := r.Value.(*classifier.StrLit); ok && !c.Target.HasElement(s.S) {
+			rep.Add("GV104", rulePos(file, r),
+				"classifier %q rule %d: value %s is not an element of domain %s (elements: %s)",
+				c.Name, i+1, r.Value, c.Target.Domain, strings.Join(c.Target.Elements, ", "))
+		}
+	}
+}
+
+// checkSatAndShadow emits GV105 for rules whose guards no row can satisfy
+// and, for domain classifiers, GV102 for rules fully covered by earlier
+// rules (first-match semantics make them unreachable). It returns the guards
+// of the live (satisfiable) rules for the gap check. Both proofs stay sound
+// when atoms are uninterpretable: dropping atoms from the guard under test
+// only weakens it, and negated earlier guards turn unknown atoms into an
+// always-satisfiable alternative.
+func checkSatAndShadow(rep *Report, c *classifier.Classifier, tree *gtree.Tree, file string) []classifier.Node {
+	var live []classifier.Node
+	for i, r := range c.Rules {
+		states, _, err := conjStates(r.Guard, tree, false)
+		if err != nil {
+			continue
+		}
+		if len(states) == 0 {
+			rep.Add("GV105", rulePos(file, r),
+				"classifier %q: the guard of rule %d is unsatisfiable; the rule can never fire", c.Name, i+1)
+			continue
+		}
+		if !c.IsEntity && !c.IsCleaner {
+			shadowed, proved := false, true
+			for _, g := range live {
+				var ok bool
+				states, ok = subtract(states, g, tree, false)
+				if !ok {
+					proved = false
+					break
+				}
+				if len(states) == 0 {
+					shadowed = true
+					break
+				}
+			}
+			if shadowed && proved {
+				rep.Add("GV102", rulePos(file, r),
+					"classifier %q: rule %d is shadowed by earlier rules and can never fire", c.Name, i+1)
+			}
+		}
+		live = append(live, r.Guard)
+	}
+	return live
+}
+
+// checkGaps emits GV103 (interior/categorical gap) and GV109 (open numeric
+// tail) for domain classifiers whose rules provably leave inputs
+// unclassified. The analysis assumes every referenced control was answered —
+// NULL inputs classify to NULL by design — and runs only when every guard
+// was fully interpreted, since residual states computed from weakened
+// negations would over-report.
+func checkGaps(rep *Report, c *classifier.Classifier, tree *gtree.Tree, file string, live []classifier.Node) {
+	if c.IsEntity || c.IsCleaner || len(c.Rules) == 0 {
+		return
+	}
+	for _, r := range c.Rules {
+		if !guardComplete(r.Guard, tree) {
+			return
+		}
+	}
+	states := []*state{newState()}
+	for _, g := range live {
+		var ok bool
+		states, ok = subtract(states, g, tree, true)
+		if !ok {
+			return
+		}
+		if len(states) == 0 {
+			break
+		}
+	}
+	var gaps, tails []string
+	for _, s := range states {
+		if s.tail(tree) {
+			tails = append(tails, s.describe(tree))
+		} else {
+			gaps = append(gaps, s.describe(tree))
+		}
+	}
+	if ws := witnessList(gaps); ws != "" {
+		rep.Add("GV103", Pos{File: file},
+			"classifier %q has a domain gap: no rule matches %s", c.Name, ws)
+	}
+	if ws := witnessList(tails); ws != "" {
+		rep.Add("GV109", Pos{File: file},
+			"classifier %q has an uncovered tail: no rule matches %s", c.Name, ws)
+	}
+}
+
+// guardComplete reports whether every atom of the guard's DNF is one the
+// engine interprets.
+func guardComplete(guard classifier.Node, tree *gtree.Tree) bool {
+	disjuncts, err := classifier.DNF(guard, false)
+	if err != nil {
+		return false
+	}
+	for _, conj := range disjuncts {
+		for _, n := range conj {
+			if _, ok := interp(n, tree); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// witnessList renders deduplicated witnesses, capped for readability.
+func witnessList(ws []string) string {
+	sort.Strings(ws)
+	uniq := ws[:0]
+	for i, w := range ws {
+		if i == 0 || w != ws[i-1] {
+			uniq = append(uniq, w)
+		}
+	}
+	const maxShown = 3
+	if len(uniq) == 0 {
+		return ""
+	}
+	if len(uniq) <= maxShown {
+		return strings.Join(uniq, "; or ")
+	}
+	return strings.Join(uniq[:maxShown], "; or ") + fmt.Sprintf("; and %d more", len(uniq)-maxShown)
+}
+
+// checkContext emits GV106 — the paper's signature check: a guard that tests
+// a control which that same guard's other conjuncts prove disabled. A
+// disabled control stores NULL, so the test can never hold and the rule (or
+// that disjunct of it) is dead in a way only the UI context reveals.
+func checkContext(rep *Report, c *classifier.Classifier, tree *gtree.Tree, file string) {
+	seen := map[string]bool{}
+	for i, r := range c.Rules {
+		disjuncts, err := classifier.DNF(r.Guard, false)
+		if err != nil {
+			continue
+		}
+		for _, conj := range disjuncts {
+			s := newState()
+			var atoms []atom
+			for _, n := range conj {
+				a, ok := interp(n, tree)
+				if !ok {
+					continue
+				}
+				atoms = append(atoms, a)
+				s.apply(a, false)
+			}
+			if !s.sat || !s.satisfiable(tree, false) {
+				continue // an outright-unsatisfiable disjunct is GV105 territory
+			}
+			for _, a := range atoms {
+				if !a.requiresValue() {
+					continue
+				}
+				key := fmt.Sprintf("%d/%s", i, a.name)
+				if seen[key] {
+					continue
+				}
+				node, err := tree.Node(a.name)
+				if err != nil || node.Kind != gtree.FieldNode {
+					continue
+				}
+				chain, err := tree.EnablementChain(a.name)
+				if err != nil {
+					continue // cycles and missing controls are GV201/GV202
+				}
+				cur := node
+				for range chain {
+					link := cur.Enablement
+					vs, req := s.vars[link.Control], ""
+					switch {
+					case vs == nil:
+					case link.Kind == "equals" && vs.excludes(link.Value):
+						req = fmt.Sprintf("%s = %s", link.Control, link.Value)
+					case link.Kind == "answered" && vs.isNull:
+						req = fmt.Sprintf("%s is answered", link.Control)
+					}
+					if req != "" {
+						seen[key] = true
+						rep.Add("GV106", Pos{File: file, Line: a.pos.Line, Col: a.pos.Col},
+							"classifier %q rule %d: guard tests %q, but it is enabled only when %s — which the guard's other conditions contradict",
+							c.Name, i+1, a.name, req)
+						break
+					}
+					cur, _ = tree.Node(link.Control)
+				}
+			}
+		}
+	}
+}
+
+// checkOptionValues emits GV107 for equality/inequality comparisons of a
+// closed-option control against a value its UI can never store — typically
+// case or vocabulary drift between the classifier and the form.
+func checkOptionValues(rep *Report, c *classifier.Classifier, tree *gtree.Tree, file string) {
+	seen := map[string]bool{}
+	for _, r := range c.Rules {
+		disjuncts, err := classifier.DNF(r.Guard, false)
+		if err != nil {
+			continue
+		}
+		for _, conj := range disjuncts {
+			for _, n := range conj {
+				a, ok := interp(n, tree)
+				if !ok || (a.op != opEq && a.op != opNe) {
+					continue
+				}
+				node, err := tree.Node(a.name)
+				if err != nil {
+					continue
+				}
+				dom, closed := closedValues(node)
+				if !closed {
+					continue
+				}
+				inDom := false
+				for _, d := range dom {
+					if valueEq(a.val, d) {
+						inDom = true
+						break
+					}
+				}
+				if inDom {
+					continue
+				}
+				key := a.name + "\x00" + a.val.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				var opts []string
+				for _, d := range dom {
+					opts = append(opts, d.String())
+				}
+				rep.Add("GV107", Pos{File: file, Line: a.pos.Line, Col: a.pos.Col},
+					"classifier %q compares %q against %s, which is not among its stored option values (%s)",
+					c.Name, a.name, a.val, strings.Join(opts, ", "))
+			}
+		}
+	}
+}
+
+// checkBind emits GV108 when the classifier fails the full binder — type
+// errors, misused structural nodes, anything that would abort study
+// compilation at run time. Skipped when GV101 already explained the failure.
+func checkBind(rep *Report, c *classifier.Classifier, tree *gtree.Tree, file string) {
+	if _, err := c.Bind(tree); err != nil {
+		pos := Pos{File: file}
+		var cerr *classifier.Error
+		if errors.As(err, &cerr) && cerr.Line > 0 {
+			pos.Line, pos.Col = cerr.Line, cerr.Col
+		}
+		rep.Add("GV108", pos, "%s", err)
+	}
+}

@@ -1,0 +1,97 @@
+package vet
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the corpus golden files")
+
+// TestCorpusGoldens locks the text rendering down byte-for-byte over the
+// defect corpus: every GV<code>_bad directory must produce exactly its
+// expect.golden (and must actually contain its code), and every clean_*
+// directory must produce no diagnostics at all.
+func TestCorpusGoldens(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []string
+	for _, e := range entries {
+		if e.IsDir() {
+			cases = append(cases, e.Name())
+		}
+	}
+	sort.Strings(cases)
+	if len(cases) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, name := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "corpus", name)
+			rep := LoadPaths([]string{dir}).Vet()
+			got := rep.Text()
+
+			goldenPath := filepath.Join(dir, "expect.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			switch {
+			case strings.HasPrefix(name, "clean_"):
+				if len(rep.Diags) != 0 {
+					t.Errorf("clean fixture produced diagnostics:\n%s", got)
+				}
+			case strings.HasPrefix(name, "GV"):
+				code := strings.SplitN(name, "_", 2)[0]
+				found := false
+				for _, d := range rep.Diags {
+					if d.Code == code {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("fixture did not trigger %s:\n%s", code, got)
+				}
+			}
+
+			// Whatever text renders must also render as valid JSON and SARIF.
+			for _, render := range []func() ([]byte, error){rep.JSON, rep.SARIF} {
+				out, err := render()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !json.Valid(out) {
+					t.Errorf("renderer produced invalid JSON:\n%s", out)
+				}
+			}
+		})
+	}
+}
+
+// TestCatalogCoverage: the corpus must hold at least one triggering fixture
+// for every cataloged code — the guarantee that each diagnostic is real,
+// reproducible, and rendered the way the golden says.
+func TestCatalogCoverage(t *testing.T) {
+	for _, c := range Catalog {
+		dir := filepath.Join("testdata", "corpus", c.Code+"_bad")
+		if _, err := os.Stat(dir); err != nil {
+			t.Errorf("no corpus fixture for %s (%s): %v", c.Code, c.Summary, err)
+		}
+	}
+}

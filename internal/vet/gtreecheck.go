@@ -1,0 +1,186 @@
+package vet
+
+import (
+	"sort"
+	"strings"
+
+	"guava/internal/classifier"
+	"guava/internal/gtree"
+)
+
+// CheckTree runs the structural g-tree checks: enablement cycles (GV201),
+// enablement guards naming unknown or non-data-storing controls (GV202), and
+// equals-enablements against values the controlling node can never store
+// (GV203). G-trees carry no source positions, so diagnostics anchor to the
+// artifact as a whole.
+func CheckTree(rep *Report, tree *gtree.Tree, file string) {
+	var nodes []*gtree.Node
+	tree.Root.Walk(func(n *gtree.Node) { nodes = append(nodes, n) })
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+
+	pos := Pos{File: file}
+	for _, n := range nodes {
+		e := n.Enablement
+		if e.Kind != "answered" && e.Kind != "equals" {
+			continue
+		}
+		ctrl, err := tree.Node(e.Control)
+		if err != nil {
+			rep.Add("GV202", pos, "g-tree %s/%s: node %q is enabled by unknown control %q",
+				tree.Contributor, tree.FormName(), n.Name, e.Control)
+			continue
+		}
+		if ctrl.Kind != gtree.FieldNode {
+			rep.Add("GV202", pos, "g-tree %s/%s: node %q is enabled by %q, a %s node that stores no data",
+				tree.Contributor, tree.FormName(), n.Name, ctrl.Name, ctrl.Kind)
+			continue
+		}
+		if e.Kind == "equals" && !e.Value.IsNull() {
+			if dom, closed := closedValues(ctrl); closed {
+				found := false
+				for _, d := range dom {
+					if valueEq(e.Value, d) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					var opts []string
+					for _, d := range dom {
+						opts = append(opts, d.String())
+					}
+					rep.Add("GV203", pos,
+						"g-tree %s/%s: node %q is enabled when %q = %s, but %q can only store %s",
+						tree.Contributor, tree.FormName(), n.Name, ctrl.Name, e.Value, ctrl.Name,
+						strings.Join(opts, ", "))
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the enablement edges, entered from every node so
+	// cycles unreachable from any particular start still surface; each cycle
+	// is reported once under a canonical rotation.
+	reported := map[string]bool{}
+	for _, start := range nodes {
+		path := []string{}
+		index := map[string]int{}
+		cur := start
+		for cur.Enablement.Kind == "answered" || cur.Enablement.Kind == "equals" {
+			if i, ok := index[cur.Name]; ok {
+				cyc := append([]string{}, path[i:]...)
+				key := canonicalCycle(cyc)
+				if !reported[key] {
+					reported[key] = true
+					rep.Add("GV201", pos, "g-tree %s/%s: enablement guards form a cycle: %s",
+						tree.Contributor, tree.FormName(), strings.Join(append(cyc, cyc[0]), " -> "))
+				}
+				break
+			}
+			index[cur.Name] = len(path)
+			path = append(path, cur.Name)
+			next, err := tree.Node(cur.Enablement.Control)
+			if err != nil {
+				break // GV202 above
+			}
+			cur = next
+		}
+	}
+}
+
+// canonicalCycle keys a cycle independent of entry point by rotating its
+// smallest name to the front.
+func canonicalCycle(cyc []string) string {
+	min := 0
+	for i, n := range cyc {
+		if n < cyc[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, cyc[min:]...), cyc[:min]...)
+	return strings.Join(rot, "\x00")
+}
+
+// CheckDeadOptions emits GV204 for answer options of closed-option controls
+// that no rule of any supplied classifier can match: the guard conjoined
+// with "control = option" is unsatisfiable in every rule that references the
+// control. Rules that never mention the control are excluded — they match
+// regardless of the option, which says nothing about the option's vocabulary
+// — and uninterpretable guards conservatively keep options alive.
+func CheckDeadOptions(rep *Report, tree *gtree.Tree, file string, cs []*classifier.Classifier) {
+	type ref struct {
+		guard classifier.Node
+	}
+	var fields []*gtree.Node
+	tree.Root.Walk(func(n *gtree.Node) {
+		if n.Kind == gtree.FieldNode {
+			fields = append(fields, n)
+		}
+	})
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Name < fields[j].Name })
+
+	for _, n := range fields {
+		if _, closed := closedValues(n); !closed {
+			continue
+		}
+		var refs []ref
+		for _, c := range cs {
+			for _, r := range c.Rules {
+				mentions := false
+				classifier.WalkIdents(r.Guard, func(id *classifier.Ident) {
+					if id.Name == n.Name {
+						mentions = true
+					}
+				})
+				if mentions {
+					refs = append(refs, ref{guard: r.Guard})
+				}
+			}
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		for _, opt := range n.Options {
+			if opt.Stored.IsNull() {
+				continue
+			}
+			alive := false
+			for _, rf := range refs {
+				disjuncts, err := classifier.DNF(rf.guard, false)
+				if err != nil {
+					alive = true
+					break
+				}
+				for _, conj := range disjuncts {
+					s := newState()
+					interpretable := true
+					for _, an := range conj {
+						a, ok := interp(an, tree)
+						if !ok {
+							interpretable = false
+							break
+						}
+						s.apply(a, false)
+					}
+					if !interpretable {
+						alive = true
+						break
+					}
+					s.apply(atom{op: opEq, name: n.Name, val: opt.Stored}, false)
+					if s.sat && s.satisfiable(tree, false) {
+						alive = true
+						break
+					}
+				}
+				if alive {
+					break
+				}
+			}
+			if !alive {
+				rep.Add("GV204", Pos{File: file},
+					"g-tree %s/%s: answer option %q of %q (stored %s) is matched by no classifier rule",
+					tree.Contributor, tree.FormName(), opt.Display, n.Name, opt.Stored)
+			}
+		}
+	}
+}

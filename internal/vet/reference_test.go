@@ -1,0 +1,30 @@
+package vet_test
+
+import (
+	"testing"
+
+	"guava/internal/baseline"
+	"guava/internal/vet"
+	"guava/internal/workload"
+)
+
+// TestReferenceStudyVetsClean asserts the shipped reference study carries no
+// errors or warnings — the vetter must not cry wolf on the system's own
+// exemplar. Informational findings (open numeric tails, GV109) are allowed.
+func TestReferenceStudyVetsClean(t *testing.T) {
+	contribs, err := workload.BuildAll(42, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := vet.Study(spec, nil, nil)
+	if n := rep.Count(vet.SevError); n != 0 {
+		t.Errorf("reference study has %d vet error(s):\n%s", n, rep.Text())
+	}
+	if n := rep.Count(vet.SevWarning); n != 0 {
+		t.Errorf("reference study has %d vet warning(s):\n%s", n, rep.Text())
+	}
+}

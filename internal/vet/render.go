@@ -1,0 +1,170 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Text renders the report one diagnostic per line, gofmt-style:
+//
+//	file:line:col: severity CODE: message
+//
+// Callers should Sort() first; the output is byte-stable and is what the
+// golden corpus locks down. An empty report renders as the empty string.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		fmt.Fprintf(&sb, "%s: %s %s: %s\n", d.Pos, d.Severity, d.Code, d.Message)
+	}
+	return sb.String()
+}
+
+// jsonReport is the machine-readable envelope of JSON().
+type jsonReport struct {
+	Diagnostics []jsonDiag `json:"diagnostics"`
+	Errors      int        `json:"errors"`
+	Warnings    int        `json:"warnings"`
+	Infos       int        `json:"infos"`
+}
+
+type jsonDiag struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	out := jsonReport{
+		Diagnostics: []jsonDiag{},
+		Errors:      r.Count(SevError),
+		Warnings:    r.Count(SevWarning),
+		Infos:       r.Count(SevInfo),
+	}
+	for _, d := range r.Diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiag{
+			Code:     d.Code,
+			Severity: d.Severity.String(),
+			File:     d.Pos.File,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Message:  d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// SARIF 2.1.0 rendering, for CI annotation surfaces.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string      `json:"id"`
+	Short     sarifText   `json:"shortDescription"`
+	Full      sarifText   `json:"fullDescription"`
+	DefConfig sarifDefCfg `json:"defaultConfiguration"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifDefCfg struct {
+	Level string `json:"level"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps a severity to SARIF's result level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log with the full rule catalog
+// in the driver, so CI surfaces can show code documentation alongside each
+// result.
+func (r *Report) SARIF() ([]byte, error) {
+	rules := make([]sarifRule, len(Catalog))
+	for i, c := range Catalog {
+		rules[i] = sarifRule{
+			ID:        c.Code,
+			Short:     sarifText{Text: c.Summary},
+			Full:      sarifText{Text: c.Rationale},
+			DefConfig: sarifDefCfg{Level: sarifLevel(c.Severity)},
+		}
+	}
+	results := []sarifResult{}
+	for _, d := range r.Diags {
+		loc := sarifLocation{Physical: sarifPhysical{Artifact: sarifArtifact{URI: d.Pos.File}}}
+		if d.Pos.Line > 0 {
+			loc.Physical.Region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Code,
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{loc},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "guavavet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

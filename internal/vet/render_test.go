@@ -1,0 +1,140 @@
+package vet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleReport is an unsorted three-severity report used by the render tests.
+func sampleReport() *Report {
+	rep := &Report{}
+	rep.Add("GV103", Pos{File: "b.clf", Line: 3, Col: 1}, "gap")
+	rep.Add("GV001", Pos{File: "a.clf", Line: 1, Col: 2}, "broken")
+	rep.Add("GV307", Pos{File: "s.xml"}, "unused attribute")
+	rep.Sort()
+	return rep
+}
+
+func TestTextRendering(t *testing.T) {
+	if got := (&Report{}).Text(); got != "" {
+		t.Errorf("empty report renders %q, want empty string", got)
+	}
+	want := "a.clf:1:2: error GV001: broken\n" +
+		"b.clf:3:1: warning GV103: gap\n" +
+		"s.xml: info GV307: unused attribute\n"
+	if got := sampleReport().Text(); got != want {
+		t.Errorf("Text() =\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	out, err := sampleReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+		} `json:"diagnostics"`
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+		Infos    int `json:"infos"`
+	}
+	if err := json.Unmarshal(out, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Errors != 1 || env.Warnings != 1 || env.Infos != 1 {
+		t.Errorf("counts = %d/%d/%d, want 1/1/1", env.Errors, env.Warnings, env.Infos)
+	}
+	if len(env.Diagnostics) != 3 {
+		t.Fatalf("got %d diagnostics, want 3", len(env.Diagnostics))
+	}
+	if d := env.Diagnostics[0]; d.Code != "GV001" || d.Severity != "error" || d.File != "a.clf" || d.Line != 1 {
+		t.Errorf("first diagnostic = %+v", d)
+	}
+
+	// An empty report still emits an empty array, not null.
+	out, err = (&Report{}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "null") {
+		t.Errorf("empty report JSON contains null:\n%s", out)
+	}
+}
+
+func TestSARIFRendering(t *testing.T) {
+	out, err := sampleReport().SARIF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					Physical struct {
+						Artifact struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "guavavet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// The full catalog rides in the driver so CI can document every code.
+	if len(run.Tool.Driver.Rules) != len(Catalog) {
+		t.Errorf("driver carries %d rules, want %d", len(run.Tool.Driver.Rules), len(Catalog))
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	levels := map[string]string{}
+	for _, res := range run.Results {
+		levels[res.RuleID] = res.Level
+	}
+	if levels["GV001"] != "error" || levels["GV103"] != "warning" || levels["GV307"] != "note" {
+		t.Errorf("levels = %v", levels)
+	}
+	// Positionless diagnostics must omit the region entirely.
+	for _, res := range run.Results {
+		region := res.Locations[0].Physical.Region
+		if res.RuleID == "GV307" && region != nil {
+			t.Errorf("GV307 (file-only pos) has a region: %+v", region)
+		}
+		if res.RuleID == "GV001" && (region == nil || region.StartLine != 1) {
+			t.Errorf("GV001 region = %+v, want startLine 1", region)
+		}
+	}
+}

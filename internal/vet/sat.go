@@ -1,0 +1,746 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"guava/internal/classifier"
+	"guava/internal/gtree"
+	"guava/internal/relstore"
+)
+
+// This file is the small satisfiability procedure the classifier checks run
+// on: conjunctions of guard atoms over interval, categorical, and boolean
+// variables, generalizing classifier/analyze.go beyond single-variable
+// numeric rules. It is faithful to relstore's NULL semantics:
+//
+//   - = and <> evaluate two-valued (NULL = NULL is TRUE, NULL <> 5 is
+//     TRUE), so they are exact negations of each other and a <>-atom does
+//     NOT imply the variable is non-NULL;
+//   - the ordered comparisons < <= > >= are false whenever an operand is
+//     NULL, so they imply non-NULL and their negation admits NULL.
+//
+// Atoms the engine cannot interpret (node-to-node comparisons, arithmetic
+// guards) are handled conservatively so no check reports a false positive:
+// they are dropped when that weakens a formula whose UNsatisfiability is
+// being proved, and they become an always-satisfiable branch when they
+// appear under negation.
+
+// interval is a contiguous numeric range; a fresh zero value is the empty
+// point [0,0], so use fullIv for "no constraint".
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+	loInf, hiInf   bool
+}
+
+func fullIv() interval { return interval{loInf: true, hiInf: true} }
+
+func (iv interval) isFull() bool { return iv.loInf && iv.hiInf }
+
+func (iv interval) empty() bool {
+	if iv.loInf || iv.hiInf {
+		return false
+	}
+	if iv.lo > iv.hi {
+		return true
+	}
+	return iv.lo == iv.hi && (iv.loOpen || iv.hiOpen)
+}
+
+func (iv interval) intersect(o interval) interval {
+	out := iv
+	if !o.loInf {
+		if out.loInf || o.lo > out.lo || (o.lo == out.lo && o.loOpen) {
+			out.lo, out.loOpen, out.loInf = o.lo, o.loOpen, false
+		}
+	}
+	if !o.hiInf {
+		if out.hiInf || o.hi < out.hi || (o.hi == out.hi && o.hiOpen) {
+			out.hi, out.hiOpen, out.hiInf = o.hi, o.hiOpen, false
+		}
+	}
+	return out
+}
+
+func (iv interval) contains(v float64) bool {
+	if !iv.loInf {
+		if v < iv.lo || (v == iv.lo && iv.loOpen) {
+			return false
+		}
+	}
+	if !iv.hiInf {
+		if v > iv.hi || (v == iv.hi && iv.hiOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// bounded reports whether the interval is finite on both sides.
+func (iv interval) bounded() bool { return !iv.loInf && !iv.hiInf }
+
+func (iv interval) String() string {
+	lo, loVal := "(", "-inf"
+	if !iv.loInf {
+		loVal = trimFloat(iv.lo)
+		if !iv.loOpen {
+			lo = "["
+		}
+	}
+	hi, hiVal := ")", "+inf"
+	if !iv.hiInf {
+		hiVal = trimFloat(iv.hi)
+		if !iv.hiOpen {
+			hi = "]"
+		}
+	}
+	return fmt.Sprintf("%s%s, %s%s", lo, loVal, hiVal, hi)
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// atomOp enumerates the engine's atom shapes.
+type atomOp int
+
+const (
+	// opUnknown is an atom the engine cannot interpret; it constrains
+	// nothing, and callers account for the one-sidedness that introduces.
+	opUnknown atomOp = iota
+	// opPresence is a form-node reference (entity-classifier anchors); the
+	// relation atom always holds.
+	opPresence
+	// opNever is an atom that is false on every row (e.g. an ordered
+	// comparison against the NULL literal).
+	opNever
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opIsNull
+	opNotNull
+)
+
+func (op atomOp) ordered() bool { return op == opLt || op == opLe || op == opGt || op == opGe }
+
+// atom is one interpreted guard condition over a single variable.
+type atom struct {
+	op   atomOp
+	name string
+	val  relstore.Value
+	pos  Pos // position of the variable reference, when the AST carries one
+}
+
+// requiresValue reports whether the atom can only hold when the variable is
+// non-NULL — the property the context check (GV106) keys on.
+func (a atom) requiresValue() bool {
+	switch a.op {
+	case opEq, opNotNull:
+		return true
+	default:
+		return a.op.ordered()
+	}
+}
+
+func (a atom) String() string {
+	switch a.op {
+	case opEq:
+		return a.name + " = " + a.val.String()
+	case opNe:
+		return a.name + " <> " + a.val.String()
+	case opLt:
+		return a.name + " < " + a.val.String()
+	case opLe:
+		return a.name + " <= " + a.val.String()
+	case opGt:
+		return a.name + " > " + a.val.String()
+	case opGe:
+		return a.name + " >= " + a.val.String()
+	case opIsNull:
+		return a.name + " IS NULL"
+	case opNotNull:
+		return a.name + " IS NOT NULL"
+	default:
+		return a.name + "?"
+	}
+}
+
+// litValue folds a literal AST node (possibly unary-negated) to a value.
+func litValue(n classifier.Node) (relstore.Value, bool) {
+	switch x := n.(type) {
+	case *classifier.NumLit:
+		if x.IsInt {
+			return relstore.Int(x.Int), true
+		}
+		return relstore.Float(x.Float), true
+	case *classifier.StrLit:
+		return relstore.Str(x.S), true
+	case *classifier.BoolLit:
+		return relstore.Bool(x.B), true
+	case *classifier.NullLit:
+		return relstore.Null(), true
+	case *classifier.Unary:
+		if x.Op != "-" {
+			return relstore.Null(), false
+		}
+		v, ok := litValue(x.X)
+		if !ok || !v.IsNumeric() {
+			return relstore.Null(), false
+		}
+		if v.Kind() == relstore.KindInt {
+			return relstore.Int(-v.AsInt()), true
+		}
+		return relstore.Float(-v.AsFloat()), true
+	default:
+		return relstore.Null(), false
+	}
+}
+
+var atomOps = map[string]atomOp{
+	"=": opEq, "<>": opNe, "<": opLt, "<=": opLe, ">": opGt, ">=": opGe,
+}
+
+var mirrorOps = map[atomOp]atomOp{
+	opEq: opEq, opNe: opNe, opLt: opGt, opLe: opGe, opGt: opLt, opGe: opLe,
+}
+
+// interp converts one DNF atom (a two-operand *Compare or an *IsNull) into
+// the engine's form. tree may be nil, leaving every variable an open
+// unknown-typed variable. ok is false for shapes the engine does not model.
+func interp(n classifier.Node, tree *gtree.Tree) (atom, bool) {
+	switch x := n.(type) {
+	case *classifier.IsNull:
+		id, ok := x.X.(*classifier.Ident)
+		if !ok {
+			return atom{op: opUnknown}, false
+		}
+		op := opIsNull
+		if x.Negate {
+			op = opNotNull
+		}
+		return atom{op: op, name: id.Name, pos: identPos(id)}, true
+	case *classifier.Compare:
+		if len(x.Ops) != 1 || len(x.Operands) != 2 {
+			return atom{op: opUnknown}, false
+		}
+		op, ok := atomOps[x.Ops[0]]
+		if !ok {
+			return atom{op: opUnknown}, false
+		}
+		id, idOK := x.Operands[0].(*classifier.Ident)
+		litN := x.Operands[1]
+		if !idOK {
+			id, idOK = x.Operands[1].(*classifier.Ident)
+			litN = x.Operands[0]
+			op = mirrorOps[op]
+		}
+		if !idOK {
+			return atom{op: opUnknown}, false
+		}
+		v, ok := litValue(litN)
+		if !ok {
+			return atom{op: opUnknown}, false
+		}
+		a := atom{op: op, name: id.Name, val: v, pos: identPos(id)}
+		if tree != nil {
+			if node, err := tree.Node(id.Name); err == nil && node.Kind != gtree.FieldNode {
+				// Form (or group) node reference: the entity-classifier
+				// presence anchor. It carries no data constraint.
+				return atom{op: opPresence, name: id.Name, pos: a.pos}, true
+			}
+		}
+		if v.IsNull() {
+			// Two-valued equality: x = NULL is IS NULL, x <> NULL is
+			// IS NOT NULL; ordered comparisons with NULL never hold.
+			switch op {
+			case opEq:
+				a.op, a.val = opIsNull, relstore.Null()
+			case opNe:
+				a.op, a.val = opNotNull, relstore.Null()
+			default:
+				a.op = opNever
+			}
+			return a, true
+		}
+		if op.ordered() && !v.IsNumeric() {
+			// Ordered string/bool thresholds exist but the engine does not
+			// model their order; stay conservative.
+			return atom{op: opUnknown, name: id.Name, pos: a.pos}, false
+		}
+		return a, true
+	default:
+		return atom{op: opUnknown}, false
+	}
+}
+
+func identPos(id *classifier.Ident) Pos {
+	return Pos{Line: id.Tok.Line, Col: id.Tok.Col}
+}
+
+// valueEq compares two values with numeric cross-kind equality (1 = 1.0).
+func valueEq(a, b relstore.Value) bool {
+	if a.IsNumeric() && b.IsNumeric() {
+		return a.AsFloat() == b.AsFloat()
+	}
+	return a.Equal(b)
+}
+
+// closedValues returns the finite set of non-NULL values a node can store,
+// when that set is provably closed: declared options without free text, or
+// a boolean data type. The engine assumes stored data conforms to the
+// control's options — exactly the conformance the pattern stacks enforce.
+func closedValues(n *gtree.Node) ([]relstore.Value, bool) {
+	if n == nil {
+		return nil, false
+	}
+	if n.DataType == relstore.KindBool {
+		return []relstore.Value{relstore.Bool(true), relstore.Bool(false)}, true
+	}
+	if n.AllowFreeText || len(n.Options) == 0 {
+		return nil, false
+	}
+	var out []relstore.Value
+	for _, o := range n.Options {
+		if !o.Stored.IsNull() {
+			out = append(out, o.Stored)
+		}
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// varState is the accumulated constraint on one variable.
+type varState struct {
+	isNull  bool
+	notNull bool
+	iv      interval
+	hasIv   bool
+	eq      *relstore.Value
+	ne      map[string]relstore.Value
+}
+
+func (v *varState) clone() *varState {
+	out := *v
+	if v.ne != nil {
+		out.ne = make(map[string]relstore.Value, len(v.ne))
+		for k, val := range v.ne {
+			out.ne[k] = val
+		}
+	}
+	return &out
+}
+
+// excludes reports whether the constraints rule out the variable holding
+// the (non-NULL) value w.
+func (v *varState) excludes(w relstore.Value) bool {
+	if v.isNull {
+		return true
+	}
+	if v.eq != nil && !valueEq(*v.eq, w) {
+		return true
+	}
+	if _, ok := v.ne[w.Key()]; ok {
+		return true
+	}
+	if v.hasIv && w.IsNumeric() && !v.iv.contains(w.AsFloat()) {
+		return true
+	}
+	return false
+}
+
+// state is a conjunction of per-variable constraints; sat goes false as
+// soon as a contradiction is proved.
+type state struct {
+	vars map[string]*varState
+	sat  bool
+}
+
+func newState() *state { return &state{vars: map[string]*varState{}, sat: true} }
+
+func (s *state) clone() *state {
+	out := &state{vars: make(map[string]*varState, len(s.vars)), sat: s.sat}
+	for k, v := range s.vars {
+		out.vars[k] = v.clone()
+	}
+	return out
+}
+
+func (s *state) v(name string) *varState {
+	vs, ok := s.vars[name]
+	if !ok {
+		vs = &varState{}
+		s.vars[name] = vs
+	}
+	return vs
+}
+
+// apply conjoins one atom onto the state. assumeNotNull models the gap
+// analysis' convention that every referenced control was answered (NULL
+// inputs classify to NULL by design, mirroring AnalyzeIntervals).
+func (s *state) apply(a atom, assumeNotNull bool) {
+	if !s.sat {
+		return
+	}
+	switch a.op {
+	case opUnknown, opPresence:
+		return
+	case opNever:
+		s.sat = false
+		return
+	}
+	vs := s.v(a.name)
+	switch a.op {
+	case opIsNull:
+		if assumeNotNull || vs.notNull || vs.eq != nil || vs.hasIv {
+			s.sat = false
+			return
+		}
+		vs.isNull = true
+	case opNotNull:
+		if vs.isNull {
+			s.sat = false
+			return
+		}
+		vs.notNull = true
+	case opEq:
+		if vs.isNull {
+			s.sat = false
+			return
+		}
+		vs.notNull = true
+		if vs.eq != nil && !valueEq(*vs.eq, a.val) {
+			s.sat = false
+			return
+		}
+		if _, ok := vs.ne[a.val.Key()]; ok {
+			s.sat = false
+			return
+		}
+		if vs.hasIv && a.val.IsNumeric() && !vs.iv.contains(a.val.AsFloat()) {
+			s.sat = false
+			return
+		}
+		v := a.val
+		vs.eq = &v
+		if v.IsNumeric() {
+			f := v.AsFloat()
+			vs.iv, vs.hasIv = interval{lo: f, hi: f}, true
+		}
+	case opNe:
+		if vs.isNull {
+			return // NULL <> v is TRUE under two-valued inequality
+		}
+		if vs.eq != nil && valueEq(*vs.eq, a.val) {
+			s.sat = false
+			return
+		}
+		if vs.ne == nil {
+			vs.ne = map[string]relstore.Value{}
+		}
+		vs.ne[a.val.Key()] = a.val
+	default: // ordered
+		if vs.isNull {
+			s.sat = false
+			return
+		}
+		vs.notNull = true
+		if !vs.hasIv {
+			vs.iv, vs.hasIv = fullIv(), true
+		}
+		f := a.val.AsFloat()
+		var c interval
+		switch a.op {
+		case opLt:
+			c = interval{loInf: true, hi: f, hiOpen: true}
+		case opLe:
+			c = interval{loInf: true, hi: f}
+		case opGt:
+			c = interval{lo: f, loOpen: true, hiInf: true}
+		case opGe:
+			c = interval{lo: f, hiInf: true}
+		}
+		vs.iv = vs.iv.intersect(c)
+		if vs.iv.empty() {
+			s.sat = false
+			return
+		}
+		if vs.eq != nil && (*vs.eq).IsNumeric() && !vs.iv.contains((*vs.eq).AsFloat()) {
+			s.sat = false
+		}
+	}
+}
+
+// satisfiable runs the closure checks that need the g-tree: closed-domain
+// exhaustion and point-interval disequality. tree may be nil.
+func (s *state) satisfiable(tree *gtree.Tree, assumeNotNull bool) bool {
+	if !s.sat {
+		return false
+	}
+	for name, vs := range s.vars {
+		if assumeNotNull && vs.isNull {
+			return false
+		}
+		effNotNull := vs.notNull || assumeNotNull
+		// A point interval with its point excluded holds no value.
+		if effNotNull && vs.hasIv && !vs.iv.loInf && !vs.iv.hiInf &&
+			vs.iv.lo == vs.iv.hi && !vs.iv.loOpen && !vs.iv.hiOpen {
+			if _, ok := vs.ne[relstore.Float(vs.iv.lo).Key()]; ok {
+				return false
+			}
+			if _, ok := vs.ne[relstore.Int(int64(vs.iv.lo)).Key()]; ok && float64(int64(vs.iv.lo)) == vs.iv.lo {
+				return false
+			}
+		}
+		if tree == nil {
+			continue
+		}
+		node, err := tree.Node(name)
+		if err != nil {
+			continue
+		}
+		dom, closed := closedValues(node)
+		if !closed {
+			continue
+		}
+		if vs.eq != nil {
+			inDom := false
+			for _, d := range dom {
+				if valueEq(*vs.eq, d) {
+					inDom = true
+					break
+				}
+			}
+			if !inDom {
+				return false
+			}
+			continue
+		}
+		if !effNotNull {
+			continue // NULL remains available regardless of exclusions
+		}
+		remaining := 0
+		for _, d := range dom {
+			if !vs.excludes(d) {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// guardDisjuncts normalizes a guard (nil = TRUE) to DNF.
+func guardDisjuncts(guard classifier.Node) ([][]classifier.Node, error) {
+	return classifier.DNF(guard, false)
+}
+
+// conjStates builds the satisfiable states of a guard's disjuncts. complete
+// is false when any atom (of any disjunct) was uninterpretable — the states
+// then over-approximate the guard, which is still sound for proving it
+// unsatisfiable or shadowed.
+func conjStates(guard classifier.Node, tree *gtree.Tree, assumeNotNull bool) (states []*state, complete bool, err error) {
+	disjuncts, err := guardDisjuncts(guard)
+	if err != nil {
+		return nil, false, err
+	}
+	complete = true
+	for _, conj := range disjuncts {
+		s := newState()
+		for _, n := range conj {
+			a, ok := interp(n, tree)
+			if !ok {
+				complete = false
+				continue
+			}
+			s.apply(a, assumeNotNull)
+		}
+		if s.sat && s.satisfiable(tree, assumeNotNull) {
+			states = append(states, s)
+		}
+	}
+	return states, complete, nil
+}
+
+// negAlternatives returns the weak negation of one atom as the disjunction
+// of alternatives, faithful to NULL semantics: = and <> negate exactly,
+// ordered comparisons negate to the flipped operator OR the variable being
+// NULL (suppressed under assumeNotNull). Unknown atoms negate to an
+// unconstrained alternative, so an uninterpretable guard never helps prove
+// anything unreachable.
+func negAlternatives(a atom, assumeNotNull bool) []atom {
+	withNull := func(alts ...atom) []atom {
+		if !assumeNotNull {
+			alts = append(alts, atom{op: opIsNull, name: a.name})
+		}
+		return alts
+	}
+	switch a.op {
+	case opEq:
+		return []atom{{op: opNe, name: a.name, val: a.val}}
+	case opNe:
+		return []atom{{op: opEq, name: a.name, val: a.val}}
+	case opLt:
+		return withNull(atom{op: opGe, name: a.name, val: a.val})
+	case opLe:
+		return withNull(atom{op: opGt, name: a.name, val: a.val})
+	case opGt:
+		return withNull(atom{op: opLe, name: a.name, val: a.val})
+	case opGe:
+		return withNull(atom{op: opLt, name: a.name, val: a.val})
+	case opIsNull:
+		return []atom{{op: opNotNull, name: a.name}}
+	case opNotNull:
+		return []atom{{op: opIsNull, name: a.name}}
+	case opPresence:
+		return nil // ¬presence is false: the relation atom always holds
+	case opNever:
+		return []atom{{op: opUnknown}}
+	default: // opUnknown
+		return []atom{{op: opUnknown}}
+	}
+}
+
+// maxStates caps the state population of the residual product; beyond it
+// the analysis gives up rather than blow up.
+const maxStates = 512
+
+// subtract refines states with ¬guard: each surviving state additionally
+// satisfies the negation of every disjunct of the guard. ok is false when
+// the population exceeded maxStates or the guard defeated normalization —
+// the caller must then stay silent.
+func subtract(states []*state, guard classifier.Node, tree *gtree.Tree, assumeNotNull bool) (out []*state, ok bool) {
+	disjuncts, err := classifier.DNF(guard, false)
+	if err != nil {
+		return nil, false
+	}
+	for _, conj := range disjuncts {
+		// states ∧ ¬conj, where ¬conj = ∨ over atoms of their weak negation.
+		var next []*state
+		var alts [][]atom
+		for _, n := range conj {
+			a, interpOK := interp(n, tree)
+			if !interpOK {
+				a = atom{op: opUnknown}
+			}
+			alts = append(alts, negAlternatives(a, assumeNotNull))
+		}
+		if len(conj) == 0 {
+			// ¬TRUE: nothing survives a catch-all guard.
+			return nil, true
+		}
+		for _, s := range states {
+			for _, altSet := range alts {
+				for _, alt := range altSet {
+					s2 := s.clone()
+					s2.apply(alt, assumeNotNull)
+					if s2.sat && s2.satisfiable(tree, assumeNotNull) {
+						next = append(next, s2)
+						if len(next) > maxStates {
+							return nil, false
+						}
+					}
+				}
+			}
+		}
+		states = next
+		if len(states) == 0 {
+			return nil, true
+		}
+	}
+	return states, true
+}
+
+// describe renders a state as a witness, deterministically: variables in
+// name order, redundant disequalities (already outside the interval)
+// suppressed, closed-domain remainders enumerated.
+func (s *state) describe(tree *gtree.Tree) string {
+	names := make([]string, 0, len(s.vars))
+	for n := range s.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, name := range names {
+		vs := s.vars[name]
+		var node *gtree.Node
+		if tree != nil {
+			node, _ = tree.Node(name)
+		}
+		switch {
+		case vs.isNull:
+			parts = append(parts, name+" IS NULL")
+		case vs.eq != nil:
+			parts = append(parts, name+" = "+(*vs.eq).String())
+		default:
+			if dom, closed := closedValues(node); closed {
+				var rem []string
+				for _, d := range dom {
+					if !vs.excludes(d) {
+						rem = append(rem, d.String())
+					}
+				}
+				if len(rem) > 0 && len(rem) < len(dom) {
+					parts = append(parts, name+" in {"+strings.Join(rem, ", ")+"}")
+					continue
+				}
+			}
+			wrote := false
+			if vs.hasIv && !vs.iv.isFull() {
+				parts = append(parts, name+" in "+vs.iv.String())
+				wrote = true
+			}
+			if len(vs.ne) > 0 {
+				var nes []string
+				for _, v := range vs.ne {
+					if vs.hasIv && v.IsNumeric() && !vs.iv.contains(v.AsFloat()) {
+						continue // implied by the interval
+					}
+					nes = append(nes, name+" <> "+v.String())
+				}
+				sort.Strings(nes)
+				parts = append(parts, nes...)
+				wrote = wrote || len(nes) > 0
+			}
+			if !wrote && vs.notNull {
+				parts = append(parts, name+" IS NOT NULL")
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "any input"
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// tail reports whether the state's only content is open-ended numeric
+// range(s) — the "values beyond the outermost threshold" case classlint
+// traditionally reported without failing (GV109 rather than GV103).
+func (s *state) tail(tree *gtree.Tree) bool {
+	halfInf := false
+	for name, vs := range s.vars {
+		if vs.isNull || vs.eq != nil {
+			return false
+		}
+		if tree != nil {
+			if node, err := tree.Node(name); err == nil {
+				if _, closed := closedValues(node); closed {
+					return false
+				}
+			}
+		}
+		if vs.hasIv && !vs.iv.isFull() {
+			if vs.iv.bounded() {
+				return false
+			}
+			halfInf = true
+		}
+	}
+	return halfInf
+}

@@ -1,0 +1,278 @@
+package vet
+
+import (
+	"sort"
+
+	"guava/internal/classifier"
+	"guava/internal/etl"
+	"guava/internal/gtree"
+	"guava/internal/relstore"
+	"guava/internal/study"
+)
+
+// StudyFiles maps a study's artifacts to the file names diagnostics should
+// cite. Any (or all) of it may be missing — positions then fall back to
+// stable logical names ("study:<name>", "gtree:<contributor>",
+// "classifier:<name>"), which is what the API-built studies use.
+type StudyFiles struct {
+	// Manifest is the study definition artifact.
+	Manifest string
+	// Schema is the study-schema artifact.
+	Schema string
+	// Trees maps contributor name to g-tree file.
+	Trees map[string]string
+	// Classifiers maps classifier name to file.
+	Classifiers map[string]string
+}
+
+func (f *StudyFiles) manifest(spec *etl.StudySpec) string {
+	if f != nil && f.Manifest != "" {
+		return f.Manifest
+	}
+	return "study:" + spec.Name
+}
+
+func (f *StudyFiles) schema(s *study.Schema) string {
+	if f != nil && f.Schema != "" {
+		return f.Schema
+	}
+	return "schema:" + s.Name
+}
+
+func (f *StudyFiles) tree(contributor string) string {
+	if f != nil {
+		if v, ok := f.Trees[contributor]; ok {
+			return v
+		}
+	}
+	return "gtree:" + contributor
+}
+
+func (f *StudyFiles) classifier(name string) string {
+	if f != nil {
+		if v, ok := f.Classifiers[name]; ok {
+			return v
+		}
+	}
+	return "classifier:" + name
+}
+
+// CheckStudy runs the study-level wiring checks (GV301–GV307): entity
+// classifiers anchored on form nodes, every column filled by a domain
+// classifier per contributor, conditions that bind, pattern stacks that
+// rewrite, and column selections that exist in the study schema. schema and
+// files may be nil.
+func CheckStudy(rep *Report, spec *etl.StudySpec, schema *study.Schema, files *StudyFiles) {
+	mpos := Pos{File: files.manifest(spec)}
+
+	for _, c := range spec.Contributors {
+		// GV301: the contributor's entity selection. "The classifier must
+		// refer to at least one node in the g-tree that represents a form."
+		switch {
+		case c.Entity == nil:
+			rep.Add("GV301", mpos, "contributor %q has no entity classifier", c.Name)
+		case !c.Entity.IsEntity:
+			rep.Add("GV301", mpos, "contributor %q: %q is not an entity classifier", c.Name, c.Entity.Name)
+		case c.Tree != nil && !anchoredOnForm(c.Entity, c.Tree):
+			rep.Add("GV301", Pos{File: files.classifier(c.Entity.Name)},
+				"entity classifier %q does not reference a form node of contributor %q's g-tree",
+				c.Entity.Name, c.Name)
+		}
+
+		// GV302/GV303: columns vs the contributor's chosen classifiers.
+		for _, col := range spec.Columns {
+			cl, ok := c.Classifiers[col.As]
+			switch {
+			case !ok:
+				rep.Add("GV302", mpos,
+					"contributor %q has no classifier for column %q; its rows would stay NULL", c.Name, col.As)
+			case cl.IsEntity || cl.IsCleaner:
+				rep.Add("GV302", mpos,
+					"contributor %q fills column %q with %q, which is not a domain classifier", c.Name, col.As, cl.Name)
+			default:
+				checkColumnTarget(rep, mpos, c, col, cl)
+			}
+		}
+		for _, as := range sortedKeys(c.Classifiers) {
+			if !hasColumn(spec, as) {
+				rep.Add("GV303", mpos,
+					"contributor %q assigns classifier %q to column %q, which the study does not declare",
+					c.Name, c.Classifiers[as].Name, as)
+			}
+		}
+
+		// GV304: the per-contributor filter condition must bind.
+		if c.Condition != "" && c.Tree != nil {
+			if _, _, err := classifier.BindCondition(c.Tree, c.Condition); err != nil {
+				rep.Add("GV304", mpos, "contributor %q condition: %v", c.Name, err)
+			}
+		}
+
+		// GV305: the pattern stack must rewrite the form's naive schema.
+		if c.Stack == nil {
+			rep.Add("GV305", mpos, "contributor %q has no pattern stack", c.Name)
+		} else if _, err := c.Stack.PhysicalTables(c.Form); err != nil {
+			rep.Add("GV305", mpos, "contributor %q pattern stack: %v", c.Name, err)
+		}
+
+		// GV306: the entity being selected must exist in the schema.
+		if schema != nil && c.Entity != nil && c.Entity.Target.Entity != "" {
+			if _, err := schema.Entity(c.Entity.Target.Entity); err != nil {
+				rep.Add("GV306", mpos,
+					"contributor %q selects entity %q, which schema %q does not define",
+					c.Name, c.Entity.Target.Entity, schema.Name)
+			}
+		}
+	}
+
+	// GV306: column selections must exist in the schema with the right kind.
+	if schema != nil {
+		for _, col := range spec.Columns {
+			dom, ok := findDomain(schema, col.Attribute, col.Domain)
+			if !ok {
+				rep.Add("GV306", mpos,
+					"column %q selects %s:%s, which no entity of schema %q defines",
+					col.As, col.Attribute, col.Domain, schema.Name)
+				continue
+			}
+			if col.Kind != dom.Kind {
+				rep.Add("GV306", mpos,
+					"column %q is declared %s, but schema domain %s:%s is %s",
+					col.As, col.Kind, col.Attribute, col.Domain, dom.Kind)
+			}
+		}
+
+		// GV307: schema attributes no column maps into are unreachable in
+		// this study — legitimate for partial studies, hence informational.
+		spos := Pos{File: files.schema(schema)}
+		walkEntities(schema.Root, func(e *study.Entity) {
+			for _, a := range e.Attributes {
+				used := false
+				for _, col := range spec.Columns {
+					if col.Attribute == a.Name {
+						used = true
+						break
+					}
+				}
+				if !used {
+					rep.Add("GV307", spos,
+						"schema attribute %s.%s is not reachable from any column of study %q",
+						e.Name, a.Name, spec.Name)
+				}
+			}
+		})
+	}
+}
+
+// checkColumnTarget emits GV306 when a contributor's chosen classifier does
+// not target the column's attribute/domain — a wiring mismatch the compiler
+// cannot see because it trusts the plan's column map.
+func checkColumnTarget(rep *Report, mpos Pos, c *etl.ContributorPlan, col etl.ColumnSpec, cl *classifier.Classifier) {
+	t := cl.Target
+	if t.Attribute != "" && (t.Attribute != col.Attribute || t.Domain != col.Domain) {
+		rep.Add("GV306", mpos,
+			"contributor %q fills column %q (%s:%s) with classifier %q targeting %s:%s",
+			c.Name, col.As, col.Attribute, col.Domain, cl.Name, t.Attribute, t.Domain)
+		return
+	}
+	if t.Kind != relstore.KindNull && col.Kind != relstore.KindNull && t.Kind != col.Kind && !(col.Kind == relstore.KindFloat && t.Kind == relstore.KindInt) {
+		rep.Add("GV306", mpos,
+			"contributor %q fills column %q (%s) with classifier %q producing %s",
+			c.Name, col.As, col.Kind, cl.Name, t.Kind)
+	}
+}
+
+// anchoredOnForm reports whether any rule guard references a form node.
+func anchoredOnForm(c *classifier.Classifier, tree *gtree.Tree) bool {
+	anchored := false
+	for _, r := range c.Rules {
+		classifier.WalkIdents(r.Guard, func(id *classifier.Ident) {
+			if n, err := tree.Node(id.Name); err == nil && n.Kind == gtree.FormNode {
+				anchored = true
+			}
+		})
+	}
+	return anchored
+}
+
+func hasColumn(spec *etl.StudySpec, as string) bool {
+	for _, col := range spec.Columns {
+		if col.As == as {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]*classifier.Classifier) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findDomain locates attribute:domain under any entity of the schema.
+func findDomain(s *study.Schema, attribute, domain string) (*study.Domain, bool) {
+	var found *study.Domain
+	walkEntities(s.Root, func(e *study.Entity) {
+		for _, a := range e.Attributes {
+			if a.Name != attribute {
+				continue
+			}
+			for _, d := range a.Domains {
+				if d.ID == domain {
+					found = d
+				}
+			}
+		}
+	})
+	return found, found != nil
+}
+
+func walkEntities(e *study.Entity, fn func(*study.Entity)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	for _, c := range e.Children {
+		walkEntities(c, fn)
+	}
+}
+
+// Study vets a complete study: every contributor's g-tree, every classifier
+// the study uses (entity, per-column, cleaners), dead answer options, and
+// the study-level wiring, against an optional study schema. The returned
+// report is sorted and its totals are published to obs.Default.
+func Study(spec *etl.StudySpec, schema *study.Schema, files *StudyFiles) *Report {
+	rep := &Report{}
+	CheckStudy(rep, spec, schema, files)
+	for _, c := range spec.Contributors {
+		var all []*classifier.Classifier
+		seen := map[*classifier.Classifier]bool{}
+		add := func(cl *classifier.Classifier) {
+			if cl == nil || seen[cl] {
+				return
+			}
+			seen[cl] = true
+			CheckClassifier(rep, cl, c.Tree, files.classifier(cl.Name))
+			all = append(all, cl)
+		}
+		add(c.Entity)
+		for _, as := range sortedKeys(c.Classifiers) {
+			add(c.Classifiers[as])
+		}
+		for _, cl := range c.Cleaners {
+			add(cl)
+		}
+		if c.Tree != nil {
+			treeFile := files.tree(c.Name)
+			CheckTree(rep, c.Tree, treeFile)
+			CheckDeadOptions(rep, c.Tree, treeFile, all)
+		}
+	}
+	rep.Sort()
+	rep.Publish(nil)
+	return rep
+}

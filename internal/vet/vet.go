@@ -1,0 +1,224 @@
+// Package vet implements whole-study static analysis: a diagnostics engine
+// with stable codes, severities, and source positions, plus cross-artifact
+// checks over g-trees, classifiers, and study specifications. The paper's
+// premise is that analysts — not database programmers — author classifiers
+// and studies, so spec mistakes (a guard over a control that is disabled in
+// context, a classifier emitting values outside the study domain, a shadowed
+// rule) must be caught before the generated ETL runs, not discovered later
+// as silently unclassified rows.
+//
+// The checks are deliberately conservative: every diagnostic is backed by a
+// small satisfiability procedure over interval, categorical, and boolean
+// guard atoms (see sat.go), and a check only fires when the defect is
+// provable under the engine's NULL semantics. Uninterpretable atoms
+// (node-to-node comparisons, arithmetic guards) make the affected check stay
+// silent rather than guess.
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"guava/internal/obs"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+// Severities, in increasing order of gravity.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String names the severity the way renderers print it.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Pos locates a diagnostic in an artifact. Line and Col are 1-based; zero
+// means the diagnostic applies to the artifact as a whole.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position prefix of a text diagnostic.
+func (p Pos) String() string {
+	if p.Line > 0 {
+		return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+	}
+	return p.File
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Code is the stable identifier ("GV102"); see Catalog.
+	Code string
+	// Severity is the code's fixed severity.
+	Severity Severity
+	// Pos locates the finding.
+	Pos Pos
+	// Message is the human-readable explanation.
+	Message string
+}
+
+// Report accumulates diagnostics across checks.
+type Report struct {
+	Diags []Diagnostic
+}
+
+// Add appends a diagnostic for a cataloged code; the severity comes from the
+// catalog. Unknown codes panic — they are programming errors, not inputs.
+func (r *Report) Add(code string, pos Pos, format string, args ...any) {
+	info, ok := catalogByCode[code]
+	if !ok {
+		panic("vet: uncataloged diagnostic code " + code)
+	}
+	r.Diags = append(r.Diags, Diagnostic{
+		Code:     code,
+		Severity: info.Severity,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Sort orders diagnostics deterministically: by file, line, column, code,
+// then message. Renderers call it so output is byte-stable.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Count returns how many diagnostics carry the severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any error-severity diagnostic was emitted — the
+// condition under which a study must not execute.
+func (r *Report) HasErrors() bool { return r.Count(SevError) > 0 }
+
+// Merge appends another report's diagnostics.
+func (r *Report) Merge(o *Report) {
+	r.Diags = append(r.Diags, o.Diags...)
+}
+
+// Publish records the report into a metrics registry: one counter per
+// severity (vet.diagnostics.error, .warning, .info) plus vet.reports. A nil
+// registry publishes to obs.Default.
+func (r *Report) Publish(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Counter("vet.reports").Inc()
+	reg.Counter("vet.diagnostics.error").Add(int64(r.Count(SevError)))
+	reg.Counter("vet.diagnostics.warning").Add(int64(r.Count(SevWarning)))
+	reg.Counter("vet.diagnostics.info").Add(int64(r.Count(SevInfo)))
+}
+
+// CodeInfo documents one diagnostic code.
+type CodeInfo struct {
+	Code     string
+	Severity Severity
+	// Summary is the short name ("shadowed-rule").
+	Summary string
+	// Rationale is the one-line justification VETTING.md carries.
+	Rationale string
+}
+
+// Catalog lists every diagnostic code the engine can emit, in code order.
+// GV0xx are artifact-loading problems, GV1xx per-classifier, GV2xx
+// per-g-tree, GV3xx per-study.
+var Catalog = []CodeInfo{
+	{"GV001", SevError, "artifact-load-error",
+		"An artifact file that cannot be parsed can hide any number of downstream defects."},
+
+	{"GV101", SevError, "unknown-name",
+		"A guard or value referencing a name that is neither a g-tree node nor a domain element can never bind."},
+	{"GV102", SevWarning, "shadowed-rule",
+		"Under first-match semantics a rule fully covered by earlier rules silently never fires."},
+	{"GV103", SevWarning, "domain-gap",
+		"Non-NULL inputs no rule matches classify to NULL and vanish from study statistics."},
+	{"GV104", SevError, "value-outside-domain",
+		"A rule emitting a value outside the target domain's elements corrupts the study column."},
+	{"GV105", SevWarning, "unsatisfiable-guard",
+		"A guard that no row can satisfy marks a rule the analyst believes is doing work but is not."},
+	{"GV106", SevError, "context-disabled-guard",
+		"A guard testing a control that its own other conjuncts prove disabled (hence NULL) can never match — the paper's signature context check."},
+	{"GV107", SevWarning, "foreign-option-value",
+		"Comparing a closed-option control against a value the UI can never store (often a case or vocabulary mismatch) is vacuous."},
+	{"GV108", SevError, "bind-error",
+		"A classifier that fails to bind or type-check against its g-tree would abort compilation at run time."},
+	{"GV109", SevInfo, "uncovered-tail",
+		"Numeric values beyond the outermost threshold are unclassified; often intentional for open-ended scales, so informational."},
+
+	{"GV201", SevError, "enablement-cycle",
+		"Controls whose enablement guards form a cycle can never all be enabled, and cyclic specs used to hang context reporting."},
+	{"GV202", SevError, "enablement-unknown-control",
+		"An enablement guard naming a missing or non-data-storing control can never be evaluated."},
+	{"GV203", SevWarning, "enablement-foreign-value",
+		"An equals-enablement comparing against a value outside the controlling node's options can never enable the control."},
+	{"GV204", SevInfo, "dead-answer-option",
+		"An answer option no classifier rule can ever match suggests vocabulary drift between the form and the study."},
+
+	{"GV301", SevError, "entity-classifier-invalid",
+		"A contributor without a valid entity classifier anchored on a form node produces no study entities at all."},
+	{"GV302", SevError, "column-without-classifier",
+		"A study column with no classifier for a contributor leaves that contributor's rows permanently NULL."},
+	{"GV303", SevWarning, "classifier-without-column",
+		"A classifier assigned to a column the study does not declare is dead configuration."},
+	{"GV304", SevError, "condition-bind-error",
+		"A filter condition that does not bind against the g-tree would abort compilation at run time."},
+	{"GV305", SevError, "pattern-stack-invalid",
+		"A pattern stack whose rewrite fails over the form's naive schema cannot extract the contributor at all."},
+	{"GV306", SevError, "schema-mismatch",
+		"A study column naming an attribute/domain the study schema does not define, or with the wrong kind, breaks the Figure 4 contract."},
+	{"GV307", SevInfo, "schema-attribute-unreachable",
+		"A schema attribute no study column maps into is unreachable in this study; legitimate for partial studies, so informational."},
+}
+
+var catalogByCode = func() map[string]CodeInfo {
+	m := make(map[string]CodeInfo, len(Catalog))
+	for _, c := range Catalog {
+		m[c.Code] = c
+	}
+	return m
+}()
+
+// Info returns the catalog entry for a code.
+func Info(code string) (CodeInfo, bool) {
+	c, ok := catalogByCode[code]
+	return c, ok
+}

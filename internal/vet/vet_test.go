@@ -1,0 +1,167 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"guava/internal/obs"
+)
+
+// TestCatalogIntegrity: codes are unique, well-formed, ordered, and fully
+// documented — the catalog is the public contract VETTING.md and SARIF carry.
+func TestCatalogIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	prev := ""
+	for _, c := range Catalog {
+		if seen[c.Code] {
+			t.Errorf("duplicate code %s", c.Code)
+		}
+		seen[c.Code] = true
+		if !strings.HasPrefix(c.Code, "GV") || len(c.Code) != 5 {
+			t.Errorf("malformed code %q", c.Code)
+		}
+		if c.Code <= prev {
+			t.Errorf("catalog out of order: %s after %s", c.Code, prev)
+		}
+		prev = c.Code
+		if c.Summary == "" || c.Rationale == "" {
+			t.Errorf("%s: missing summary or rationale", c.Code)
+		}
+		if c.Severity < SevInfo || c.Severity > SevError {
+			t.Errorf("%s: severity %v outside range", c.Code, c.Severity)
+		}
+		got, ok := Info(c.Code)
+		if !ok || got != c {
+			t.Errorf("Info(%s) = %+v, %v", c.Code, got, ok)
+		}
+	}
+	if _, ok := Info("GV999"); ok {
+		t.Error("Info(GV999) resolved an unknown code")
+	}
+}
+
+// TestVettingDocCoverage: VETTING.md documents every cataloged code with its
+// summary — the doc is the user-facing contract for the catalog.
+func TestVettingDocCoverage(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "VETTING.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, c := range Catalog {
+		if !strings.Contains(text, c.Code) {
+			t.Errorf("VETTING.md does not mention %s", c.Code)
+		}
+		if !strings.Contains(text, c.Summary) {
+			t.Errorf("VETTING.md does not carry the summary %q for %s", c.Summary, c.Code)
+		}
+	}
+}
+
+// TestAddPanicsOnUnknownCode: emitting an uncataloged code is a programming
+// error, not an input condition.
+func TestAddPanicsOnUnknownCode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with unknown code did not panic")
+		}
+	}()
+	(&Report{}).Add("GV999", Pos{File: "x"}, "boom")
+}
+
+// TestAddTakesSeverityFromCatalog: the caller never chooses severities.
+func TestAddTakesSeverityFromCatalog(t *testing.T) {
+	rep := &Report{}
+	rep.Add("GV102", Pos{File: "x"}, "rule %d shadowed", 3)
+	if len(rep.Diags) != 1 {
+		t.Fatal("no diagnostic added")
+	}
+	d := rep.Diags[0]
+	if d.Severity != SevWarning || d.Message != "rule 3 shadowed" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	for sev, want := range map[Severity]string{
+		SevInfo: "info", SevWarning: "warning", SevError: "error", Severity(9): "Severity(9)",
+	} {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", int(sev), got, want)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{File: "a.clf", Line: 2, Col: 7}).String(); got != "a.clf:2:7" {
+		t.Errorf("positioned Pos = %q", got)
+	}
+	if got := (Pos{File: "a.clf"}).String(); got != "a.clf" {
+		t.Errorf("file-only Pos = %q", got)
+	}
+}
+
+// TestSortDeterminism: sorting keys on file, line, col, code, message — and is
+// stable, so equal keys keep insertion order.
+func TestSortDeterminism(t *testing.T) {
+	rep := &Report{}
+	rep.Add("GV103", Pos{File: "b", Line: 1, Col: 1}, "m")
+	rep.Add("GV102", Pos{File: "a", Line: 2, Col: 1}, "m")
+	rep.Add("GV102", Pos{File: "a", Line: 1, Col: 5}, "zz")
+	rep.Add("GV102", Pos{File: "a", Line: 1, Col: 5}, "aa")
+	rep.Sort()
+	var got []string
+	for _, d := range rep.Diags {
+		got = append(got, d.Pos.String()+" "+d.Message)
+	}
+	want := []string{"a:1:5 aa", "a:1:5 zz", "a:2:1 m", "b:1:1 m"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountMergeHasErrors(t *testing.T) {
+	a := &Report{}
+	a.Add("GV001", Pos{File: "x"}, "e")
+	b := &Report{}
+	b.Add("GV103", Pos{File: "y"}, "w")
+	b.Add("GV307", Pos{File: "y"}, "i")
+	if a.HasErrors() != true || b.HasErrors() != false {
+		t.Errorf("HasErrors: a=%v b=%v", a.HasErrors(), b.HasErrors())
+	}
+	a.Merge(b)
+	if len(a.Diags) != 3 {
+		t.Fatalf("merged report has %d diags", len(a.Diags))
+	}
+	if a.Count(SevError) != 1 || a.Count(SevWarning) != 1 || a.Count(SevInfo) != 1 {
+		t.Errorf("counts = %d/%d/%d", a.Count(SevError), a.Count(SevWarning), a.Count(SevInfo))
+	}
+}
+
+// TestPublish: the report lands in the metrics registry as one counter per
+// severity plus a report counter.
+func TestPublish(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep := &Report{}
+	rep.Add("GV001", Pos{File: "x"}, "e")
+	rep.Add("GV104", Pos{File: "x"}, "e2")
+	rep.Add("GV103", Pos{File: "x"}, "w")
+	rep.Publish(reg)
+	rep.Publish(reg)
+	if got := reg.Counter("vet.reports").Value(); got != 2 {
+		t.Errorf("vet.reports = %d, want 2", got)
+	}
+	if got := reg.Counter("vet.diagnostics.error").Value(); got != 4 {
+		t.Errorf("vet.diagnostics.error = %d, want 4", got)
+	}
+	if got := reg.Counter("vet.diagnostics.warning").Value(); got != 2 {
+		t.Errorf("vet.diagnostics.warning = %d, want 2", got)
+	}
+	if got := reg.Counter("vet.diagnostics.info").Value(); got != 0 {
+		t.Errorf("vet.diagnostics.info = %d, want 0", got)
+	}
+}

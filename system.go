@@ -15,6 +15,7 @@ import (
 	"guava/internal/provenance"
 	"guava/internal/relstore"
 	"guava/internal/ui"
+	"guava/internal/vet"
 )
 
 // System is one GUAVA/MultiClass installation: registered contributors,
@@ -215,6 +216,21 @@ func (st *Study) Classifiers(column string) map[string]*Classifier {
 
 // Spec exposes the underlying study specification (read-only use).
 func (st *Study) Spec() *etl.StudySpec { return st.spec }
+
+// Vet statically vets the study: every contributor's classifiers
+// (satisfiability, shadowing, domain gaps, context-disabled guards), g-tree
+// (enablement cycles, dead answer options), and the study wiring. The
+// returned report is sorted; HasErrors() gates whether the study should run.
+func (st *Study) Vet() *vet.Report { return vet.Study(st.spec, nil, nil) }
+
+// VetStudy vets a previously built study by name.
+func (s *System) VetStudy(name string) (*vet.Report, error) {
+	st, err := s.Study(name)
+	if err != nil {
+		return nil, err
+	}
+	return st.Vet(), nil
+}
 
 // AnalyzeClassifier statically and dynamically analyzes the classifier one
 // contributor uses for one column: threshold gaps and shadowed rules (when
@@ -440,4 +456,29 @@ func (b *StudyBuilder) Build() (*Study, error) {
 	st := &Study{Name: b.name, Log: spec.Log, spec: spec, compiled: compiled}
 	b.sys.studies[b.name] = st
 	return st, nil
+}
+
+// BuildVetted compiles the study like Build, but first runs the static
+// vetter and refuses registration when it finds error-severity diagnostics.
+// The report is returned either way (nil only when assembly itself failed),
+// so callers can surface warnings from a study that still built.
+func (b *StudyBuilder) BuildVetted() (*Study, *vet.Report, error) {
+	if len(b.errs) > 0 {
+		return nil, nil, b.errs[0]
+	}
+	spec := &etl.StudySpec{
+		Name:         b.name,
+		Columns:      b.cols,
+		Contributors: b.ctbs,
+		Log:          &provenance.Log{},
+	}
+	rep := vet.Study(spec, nil, nil)
+	if rep.HasErrors() {
+		return nil, rep, fmt.Errorf("guava: study %q failed vetting with %d error(s)", b.name, rep.Count(vet.SevError))
+	}
+	st, err := b.Build()
+	if err != nil {
+		return nil, rep, err
+	}
+	return st, rep, nil
 }

@@ -1,0 +1,118 @@
+package guava
+
+import (
+	"strings"
+	"testing"
+)
+
+const habitsRules = `
+None     <- PacksPerDay = 0
+Light    <- 0 < PacksPerDay < 2
+Moderate <- 2 <= PacksPerDay < 5
+Heavy    <- PacksPerDay >= 5
+`
+
+// TestBuildVettedClean: a well-formed study builds through BuildVetted,
+// returning the study plus a report free of errors and warnings (open
+// numeric tails are informational).
+func TestBuildVettedClean(t *testing.T) {
+	sys := registerAll(t, buildContribs(t))
+	st, rep, err := sys.DefineStudy("vetted").
+		Column("Smoking_D3", "Smoking", "D3", KindString).
+		For("CORI").
+		Entity("All", "", "Procedure <- Procedure").
+		Classify("Smoking_D3", "Habits (Cancer)", "", habitsTarget, habitsRules).
+		Done().
+		BuildVetted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("BuildVetted returned no study")
+	}
+	if n := rep.Count(VetError) + rep.Count(VetWarning); n != 0 {
+		t.Errorf("clean study has %d errors+warnings:\n%s", n, rep.Text())
+	}
+	// Study.Vet on the built study agrees with the build-time report.
+	again := st.Vet()
+	if again.Text() != rep.Text() {
+		t.Errorf("Study.Vet diverges from BuildVetted report:\n%s\nvs\n%s", again.Text(), rep.Text())
+	}
+	if _, err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildVettedRefusesErrors: a classifier emitting a value outside its
+// target domain (GV104) must stop BuildVetted — no study is returned, and
+// the report names the defect.
+func TestBuildVettedRefusesErrors(t *testing.T) {
+	sys := registerAll(t, buildContribs(t))
+	st, rep, err := sys.DefineStudy("broken").
+		Column("Smoking_D3", "Smoking", "D3", KindString).
+		For("CORI").
+		Entity("All", "", "Procedure <- Procedure").
+		Classify("Smoking_D3", "Bad Habits", "", habitsTarget,
+			"'Extreme' <- PacksPerDay > 5\nNone <- TRUE").
+		Done().
+		BuildVetted()
+	if err == nil {
+		t.Fatal("BuildVetted accepted a study with a GV104 error")
+	}
+	if st != nil {
+		t.Error("BuildVetted returned a study alongside the error")
+	}
+	if rep == nil || !rep.HasErrors() {
+		t.Fatalf("report = %+v, want error-severity findings", rep)
+	}
+	found := false
+	for _, d := range rep.Diags {
+		if d.Code == "GV104" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("report lacks GV104:\n%s", rep.Text())
+	}
+	if !strings.Contains(err.Error(), "failed vetting") {
+		t.Errorf("error %q does not mention vetting", err)
+	}
+
+	// VetStudy never sees the refused study; the plain Build path is
+	// untouched by vetting and still works.
+	if _, err := sys.DefineStudy("unvetted").
+		Column("Smoking_D3", "Smoking", "D3", KindString).
+		For("CORI").
+		Entity("All", "", "Procedure <- Procedure").
+		Classify("Smoking_D3", "Bad Habits", "", habitsTarget,
+			"'Extreme' <- PacksPerDay > 5\nNone <- TRUE").
+		Done().
+		Build(); err != nil {
+		t.Fatalf("unvetted Build must not be gated: %v", err)
+	}
+}
+
+// TestVetStudyByName: System.VetStudy resolves a registered study and vets
+// it; unknown names error.
+func TestVetStudyByName(t *testing.T) {
+	sys := registerAll(t, buildContribs(t))
+	if _, _, err := sys.DefineStudy("named").
+		Column("Smoking_D3", "Smoking", "D3", KindString).
+		For("CORI").
+		Entity("All", "", "Procedure <- Procedure").
+		Classify("Smoking_D3", "Habits (Cancer)", "", habitsTarget, habitsRules).
+		Done().
+		BuildVetted(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.VetStudy("named")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasErrors() {
+		t.Errorf("named study vets with errors:\n%s", rep.Text())
+	}
+	if _, err := sys.VetStudy("no-such-study"); err == nil {
+		t.Error("VetStudy on unknown name did not error")
+	}
+}
