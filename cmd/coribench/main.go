@@ -18,12 +18,18 @@
 // pass over the reference study against the compile and run it guards,
 // so EXPERIMENTS.md can state the cost of vetting-before-every-run.
 //
+// R4 measures the crash-recovery layer: the same study run without
+// checkpoints, with filesystem checkpoints (the durability overhead), and
+// resumed from checkpoints after a crash at the last classify step (the
+// work saved), plus a quarantine run with poison rows diverted to the
+// dead-letter relation.
+//
 // -cpuprofile, -memprofile, and -trace enable the stdlib profilers for
 // any experiment selection.
 //
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3] [-seed 42] [-n 200]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4] [-seed 42] [-n 200]
 //	          [-faults 0.33] [-retries 2] [-observe]
 //	          [-max-overhead 0] [-cpuprofile f] [-memprofile f] [-trace f]
 package main
@@ -51,7 +57,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
 	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
@@ -97,6 +103,9 @@ func main() {
 	}
 	if run("R3") {
 		expR3(*seed, *n)
+	}
+	if run("R4") {
+		expR4(*seed, *n)
 	}
 }
 
@@ -552,6 +561,138 @@ func expR3(seed int64, n int) {
 	if vetRep.HasErrors() {
 		fail(fmt.Errorf("R3: reference study has vet errors:\n%s", vetRep.Text()))
 	}
+	fmt.Println()
+}
+
+// expR4: crash recovery. Four scenarios over the reference study: the
+// no-checkpoint baseline; the same run writing a filesystem checkpoint per
+// completed step (the durability tax); a resume from checkpoints after a
+// simulated crash at the last classify step (the work saved — only the
+// crashed step and the union re-execute); and a quarantined run where
+// poison rows divert to the dead-letter relation instead of failing their
+// chain.
+func expR4(seed int64, n int) {
+	fmt.Printf("== R4: checkpointed runs, resume after crash, quarantine (%d records x 3 contributors) ==\n", n)
+	contribs, err := workload.BuildAll(seed, n)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	compile := func() *etl.Compiled {
+		c, err := etl.Compile(spec)
+		if err != nil {
+			fail(err)
+		}
+		return c
+	}
+	const workers = 4
+	const reps = 10
+	dir, err := os.MkdirTemp("", "coribench-r4-")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	store := etl.NewFSCheckpointer(dir)
+	fp := compile().Fingerprint()
+
+	// Baseline: no checkpoints.
+	base := compile()
+	baseDur, err := timeIt(reps, func() error {
+		_, _, err := base.RunResilient(context.Background(), etl.RunPolicy{}, workers)
+		return err
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	// Checkpointed: every completed step becomes durable; cleared between
+	// reps so each rep pays the full save cost.
+	ckpt := compile()
+	var saved int
+	ckptDur, err := timeIt(reps, func() error {
+		if err := store.Clear(fp); err != nil {
+			return err
+		}
+		_, _, err := ckpt.RunResilient(context.Background(), etl.RunPolicy{Checkpoint: store}, workers)
+		if err == nil {
+			steps, serr := store.Steps(fp)
+			if serr != nil {
+				return serr
+			}
+			saved = len(steps)
+		}
+		return err
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	// Resume: crash after the last classify step's work, then re-run clean
+	// against the surviving checkpoints. Only the crashed step and the
+	// union re-execute; the timing is the resume alone.
+	var classifies []string
+	for _, s := range compile().Workflow.Steps {
+		if strings.HasPrefix(s.ID, "classify/") {
+			classifies = append(classifies, s.ID)
+		}
+	}
+	sort.Strings(classifies)
+	crashStep := classifies[len(classifies)-1]
+	resume := compile()
+	var restored, rerun int
+	var resumeSum time.Duration
+	for i := 0; i < reps; i++ {
+		if err := store.Clear(fp); err != nil {
+			fail(err)
+		}
+		crashed := compile()
+		faulty.Wrap(crashed.Workflow, crashStep, func(wrapped etl.Component) *faulty.Chaos {
+			return &faulty.Chaos{Wrapped: wrapped, CrashAfterWork: true}
+		})
+		if _, _, err := crashed.RunResilient(context.Background(), etl.RunPolicy{Checkpoint: store}, workers); err == nil {
+			fail(fmt.Errorf("R4: crash run did not crash"))
+		}
+		start := time.Now()
+		_, rep, err := resume.RunResilient(context.Background(), etl.RunPolicy{Checkpoint: store}, workers)
+		if err != nil {
+			fail(err)
+		}
+		resumeSum += time.Since(start)
+		restored = len(rep.Restored())
+		rerun = len(rep.Steps) - restored
+	}
+	resumeAvg := resumeSum / time.Duration(reps)
+
+	// Quarantine: poison rows in one extract, diverted under budget.
+	quar := compile()
+	faulty.Wrap(quar.Workflow, "extract/CORI", func(wrapped etl.Component) *faulty.Chaos {
+		return &faulty.Chaos{Wrapped: wrapped, PoisonRows: 5}
+	})
+	var quarantined int
+	quarDur, err := timeIt(reps, func() error {
+		_, rep, err := quar.RunResilient(context.Background(), etl.RunPolicy{MaxQuarantinedRows: 100}, workers)
+		if err == nil {
+			quarantined = rep.Quarantined
+		}
+		return err
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%-40s %14s %10s\n", "scenario", "run", "vs base")
+	row := func(name string, dur time.Duration) {
+		fmt.Printf("%-40s %14s %9.2fx\n", name, dur, float64(dur)/float64(baseDur))
+	}
+	row("no checkpoints (baseline)", baseDur)
+	row(fmt.Sprintf("fs checkpoints (%d steps saved)", saved), ckptDur)
+	row(fmt.Sprintf("resume after crash (%d steps restored)", restored), resumeAvg)
+	row(fmt.Sprintf("quarantine (%d rows diverted)", quarantined), quarDur)
+	fmt.Printf("work saved by resume: %d of %d steps skipped (re-executed %d)\n",
+		restored, restored+rerun, rerun)
 	fmt.Println()
 }
 

@@ -14,6 +14,17 @@
 // -fail injects a permanently dead contributor extract (demonstrating
 // graceful degradation), and -report prints the structured RunReport.
 //
+// Crash recovery (reference study): -checkpoint-dir makes every completed
+// step durable on disk; -resume reuses the checkpoints from a previous
+// (killed) run instead of clearing them, so only unfinished steps
+// re-execute. -crash step[:before|:after] simulates the process dying at
+// that step — run once with -crash, then again with -resume, to watch a
+// recovery end-to-end. -quarantine-budget N diverts up to N poison rows
+// per run into the dead-letter relation instead of failing their step, and
+// -quarantine-out writes that relation (with provenance) to a file, or
+// stdout with "-". -poison contributor plants -poison-rows NULL-key rows in
+// that contributor's extract output.
+//
 // Observability (reference study): -trace-tree prints the run's span
 // tree, -trace-out writes the spans as JSON lines, -metrics prints the
 // metrics snapshot, and -cpuprofile/-memprofile/-trace enable the
@@ -26,6 +37,9 @@
 //	         [-vet] [-plan] [-sql] [-xquery] [-rows 10]
 //	         [-parallel 1] [-retries 0] [-step-timeout 0] [-timeout 0]
 //	         [-continue] [-fail contributor,...] [-report]
+//	         [-checkpoint-dir dir] [-resume] [-crash step[:before|:after]]
+//	         [-quarantine-budget 0] [-quarantine-out file|-]
+//	         [-poison contributor] [-poison-rows 1]
 //	         [-trace-tree] [-trace-out spans.jsonl] [-metrics]
 //	         [-cpuprofile cpu.pb] [-memprofile mem.pb] [-trace trace.out]
 package main
@@ -65,6 +79,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "deadline for the whole workflow (0 = none)")
 	contOnErr := flag.Bool("continue", false, "continue past failed steps, skipping dependents (graceful degradation)")
 	failContribs := flag.String("fail", "", "comma-separated contributors whose extract is forced to fail (reference study)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint completed steps into this directory (reference study)")
+	resume := flag.Bool("resume", false, "reuse checkpoints from a previous run in -checkpoint-dir instead of clearing them")
+	crashAt := flag.String("crash", "", "simulate a process crash at this step; step or step:before|:after (reference study)")
+	quarBudget := flag.Int("quarantine-budget", 0, "max rows diverted to the dead-letter relation before a step fails (0 = quarantine off)")
+	quarOut := flag.String("quarantine-out", "", "write the quarantined rows with provenance to this file (\"-\" = stdout)")
+	poison := flag.String("poison", "", "plant poison (NULL-key) rows in this contributor's extract output (reference study)")
+	poisonRows := flag.Int("poison-rows", 1, "how many rows -poison corrupts")
 	showReport := flag.Bool("report", false, "print the per-step RunReport after the run")
 	traceTree := flag.Bool("trace-tree", false, "print the run's span tree (reference study)")
 	traceOut := flag.String("trace-out", "", "write the run's spans as JSON lines to this file (reference study)")
@@ -91,16 +112,19 @@ func main() {
 	switch *studyName {
 	case "reference":
 		policy := etl.RunPolicy{
-			MaxAttempts:     *retries + 1,
-			Backoff:         10 * time.Millisecond,
-			StepTimeout:     *stepTimeout,
-			WorkflowTimeout: *timeout,
-			ContinueOnError: *contOnErr,
+			MaxAttempts:        *retries + 1,
+			Backoff:            10 * time.Millisecond,
+			StepTimeout:        *stepTimeout,
+			WorkflowTimeout:    *timeout,
+			ContinueOnError:    *contOnErr,
+			MaxQuarantinedRows: *quarBudget,
 		}
 		runReference(contribs, refOptions{
 			vet:  *doVet,
 			plan: *showPlan, sql: *showSQL, xquery: *showXQ, rows: *rows,
 			workers: *workers, policy: policy, fail: splitList(*failContribs),
+			ckptDir: *ckptDir, resume: *resume, crash: *crashAt,
+			quarOut: *quarOut, poison: *poison, poisonRows: *poisonRows,
 			report:    *showReport,
 			traceTree: *traceTree, traceOut: *traceOut, metrics: *showMetrics,
 		})
@@ -139,6 +163,12 @@ type refOptions struct {
 	workers           int
 	policy            etl.RunPolicy
 	fail              []string
+	ckptDir           string
+	resume            bool
+	crash             string
+	quarOut           string
+	poison            string
+	poisonRows        int
 	report            bool
 	traceTree         bool
 	traceOut          string
@@ -221,7 +251,56 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 			fail(fmt.Errorf("-fail: no step %q in the workflow", id))
 		}
 	}
+	if opt.ckptDir != "" {
+		store := etl.NewFSCheckpointer(opt.ckptDir)
+		if !opt.resume {
+			// A fresh run must not silently reuse a previous run's state.
+			if err := store.Clear(compiled.Fingerprint()); err != nil {
+				fail(fmt.Errorf("-checkpoint-dir: %w", err))
+			}
+		}
+		opt.policy.Checkpoint = store
+	} else if opt.resume {
+		fail(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
+	if opt.crash != "" {
+		id, mode, _ := strings.Cut(opt.crash, ":")
+		if mode == "" {
+			mode = "before"
+		}
+		if mode != "before" && mode != "after" {
+			fail(fmt.Errorf("-crash: mode %q is not before or after", mode))
+		}
+		if faulty.Wrap(compiled.Workflow, id, func(wrapped etl.Component) *faulty.Chaos {
+			return &faulty.Chaos{Wrapped: wrapped,
+				CrashBeforeWork: mode == "before", CrashAfterWork: mode == "after"}
+		}) == nil {
+			fail(fmt.Errorf("-crash: no step %q in the workflow", id))
+		}
+	}
+	if opt.poison != "" {
+		id := "extract/" + opt.poison
+		if faulty.Wrap(compiled.Workflow, id, func(wrapped etl.Component) *faulty.Chaos {
+			return &faulty.Chaos{Wrapped: wrapped, PoisonRows: opt.poisonRows}
+		}) == nil {
+			fail(fmt.Errorf("-poison: no step %q in the workflow", id))
+		}
+	}
 	out, report, err := compiled.RunResilient(ctx, opt.policy, opt.workers)
+	if report != nil {
+		if restored := report.Restored(); len(restored) > 0 {
+			fmt.Printf("resumed from checkpoints: %d step(s) restored (%s)\n",
+				len(restored), strings.Join(restored, ", "))
+		}
+		if q := report.Quarantine(); q != nil && opt.quarOut != "" {
+			if werr := writeQuarantine(opt.quarOut, q); werr != nil {
+				fail(werr)
+			}
+		}
+		if report.Quarantined > 0 {
+			fmt.Printf("quarantined rows: %d\n", report.Quarantined)
+		}
+	}
 	if opt.report && report != nil {
 		fmt.Print(report.Render())
 		fmt.Println()
@@ -272,6 +351,29 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 	}
 	fmt.Println("\nSmoking_D3 histogram:")
 	fmt.Print(sorted.Format())
+}
+
+// writeQuarantine renders the dead-letter relation to the given path ("-"
+// for stdout).
+func writeQuarantine(path string, q *relstore.Rows) error {
+	if path == "-" {
+		fmt.Println("quarantine:")
+		fmt.Print(q.Format())
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(q.Format()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d quarantined row(s) to %s\n", len(q.Data), path)
+	return nil
 }
 
 func fail(err error) {

@@ -117,6 +117,17 @@ type (
 	RunReport = etl.RunReport
 	// StepResult records one workflow step's fate in a RunReport.
 	StepResult = etl.StepResult
+	// Checkpointer durably stores completed-step snapshots so a crashed
+	// study run resumes from the last durable step (set it on
+	// RunPolicy.Checkpoint).
+	Checkpointer = etl.Checkpointer
+	// FSCheckpointer is the filesystem-backed Checkpointer.
+	FSCheckpointer = etl.FSCheckpointer
+	// MemCheckpointer is the in-memory Checkpointer (tests, single
+	// process).
+	MemCheckpointer = etl.MemCheckpointer
+	// QuarantineEntry is one dead-lettered row with its provenance.
+	QuarantineEntry = etl.QuarantineEntry
 
 	// Observer bundles a Tracer and a metrics Registry; attach one to a
 	// run with WithObserver to collect spans and metrics.
@@ -142,6 +153,26 @@ const (
 	VetWarning = vet.SevWarning
 	VetError   = vet.SevError
 )
+
+// Checkpoint-store constructors re-exported from etl.
+var (
+	// NewFSCheckpointer creates a filesystem checkpoint store rooted at a
+	// directory (one subdirectory per workflow fingerprint).
+	NewFSCheckpointer = etl.NewFSCheckpointer
+	// NewMemCheckpointer creates an in-memory checkpoint store.
+	NewMemCheckpointer = etl.NewMemCheckpointer
+	// QuarantineSchema is the schema of RunReport.Quarantine's dead-letter
+	// relation.
+	QuarantineSchema = etl.QuarantineSchema
+)
+
+// ErrCorruptCheckpoint wraps checkpoint checksum/truncation detections; the
+// engine treats them as misses and re-runs the step.
+var ErrCorruptCheckpoint = etl.ErrCorruptCheckpoint
+
+// ErrQuarantineBudget is the error a step fails with once the run's
+// RunPolicy.MaxQuarantinedRows budget is spent.
+var ErrQuarantineBudget = etl.ErrQuarantineBudget
 
 // Observability constructors and exporters re-exported from obs.
 var (

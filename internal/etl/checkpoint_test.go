@@ -1,0 +1,666 @@
+package etl_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"guava/internal/etl"
+	"guava/internal/etl/faulty"
+	"guava/internal/obs"
+	"guava/internal/relstore"
+)
+
+// compileFixture compiles a fresh copy of the two-contributor study.
+func compileFixture(t *testing.T) *etl.Compiled {
+	t.Helper()
+	compiled, err := etl.Compile(etl.StudyFixtureForTest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compiled
+}
+
+// TestCheckpointFingerprintStability: the fingerprint is a pure function of
+// the compiled plan — identical across compiles, different for a different
+// plan — and is captured before fault injectors wrap components.
+func TestCheckpointFingerprintStability(t *testing.T) {
+	a := compileFixture(t)
+	b := compileFixture(t)
+	if a.Fingerprint() == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("recompiling the same study changed the fingerprint: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	pre := b.Fingerprint()
+	faulty.Wrap(b.Workflow, "classify/clinicB", func(wrapped etl.Component) *faulty.Chaos {
+		return &faulty.Chaos{Wrapped: wrapped, CrashAfterWork: true}
+	})
+	if b.Fingerprint() != pre {
+		t.Fatal("wrapping a component changed the compiled fingerprint")
+	}
+	if b.Workflow.Fingerprint() == pre {
+		t.Fatal("workflow fingerprint ignored the component definition")
+	}
+}
+
+// TestMemCheckpointerRoundTrip exercises the in-memory store directly.
+func TestMemCheckpointerRoundTrip(t *testing.T) {
+	store := etl.NewMemCheckpointer()
+	snap := &etl.Snapshot{Step: "select/x"}
+	if err := store.Save("fp", "select/x", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load("fp", "select/x")
+	if err != nil || got != snap {
+		t.Fatalf("Load = (%v, %v), want the saved snapshot", got, err)
+	}
+	if got, err := store.Load("fp", "other"); got != nil || err != nil {
+		t.Fatalf("miss = (%v, %v), want (nil, nil)", got, err)
+	}
+	if store.Len("fp") != 1 {
+		t.Fatalf("Len = %d, want 1", store.Len("fp"))
+	}
+	if err := store.Clear("fp"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := store.Load("fp", "select/x"); got != nil {
+		t.Fatal("snapshot survived Clear")
+	}
+}
+
+// TestFSCheckpointerRoundTrip: snapshots with slashed step IDs, typed rows
+// (NULL, max int64), and quarantine entries survive the disk format; Steps
+// lists them and Clear removes them.
+func TestFSCheckpointerRoundTrip(t *testing.T) {
+	store := etl.NewFSCheckpointer(t.TempDir())
+	schema := relstore.MustSchema(
+		relstore.Column{Name: "K", Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: "S", Type: relstore.KindString},
+	)
+	snap := &etl.Snapshot{
+		Step: "classify/clinicA",
+		Tables: []etl.TableSnapshot{{
+			Ref: etl.TableRef{DB: "tmp2_clinicA", Table: "Procedure_classified"},
+			Rows: &relstore.Rows{Schema: schema, Data: []relstore.Row{
+				{relstore.Int(9223372036854775807), relstore.Null()},
+				{relstore.Int(-1), relstore.Str("a,\"b\"\nc")},
+			}},
+		}},
+		Quarantined: []etl.QuarantineEntry{{
+			Workflow: "exsmoker", Step: "classify/clinicA", Contributor: "clinicA",
+			Rule: "require EntityKey", Err: "NULL in required column EntityKey",
+			RowKey: "NULL", RowData: "ProcedureID=NULL",
+		}},
+	}
+	if err := store.Save("fp1", "classify/clinicA", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load("fp1", "classify/clinicA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != snap.Step || len(got.Tables) != 1 || len(got.Quarantined) != 1 {
+		t.Fatalf("snapshot shape changed: %+v", got)
+	}
+	if got.Quarantined[0] != snap.Quarantined[0] {
+		t.Fatalf("quarantine entry round trip: %+v", got.Quarantined[0])
+	}
+	gt, st := got.Tables[0], snap.Tables[0]
+	if gt.Ref != st.Ref || !gt.Rows.Schema.Equal(st.Rows.Schema) || len(gt.Rows.Data) != 2 {
+		t.Fatalf("table round trip: %+v", gt)
+	}
+	for i := range st.Rows.Data {
+		if !gt.Rows.Data[i].Equal(st.Rows.Data[i]) {
+			t.Fatalf("row %d: %v want %v", i, gt.Rows.Data[i], st.Rows.Data[i])
+		}
+	}
+	steps, err := store.Steps("fp1")
+	if err != nil || len(steps) != 1 || steps[0] != "classify/clinicA" {
+		t.Fatalf("Steps = (%v, %v)", steps, err)
+	}
+	if got, err := store.Load("fp1", "other/step"); got != nil || err != nil {
+		t.Fatalf("miss = (%v, %v), want (nil, nil)", got, err)
+	}
+	if err := store.Clear("fp1"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := store.Load("fp1", "classify/clinicA"); got != nil {
+		t.Fatal("snapshot survived Clear")
+	}
+}
+
+// TestCheckpointResumeAfterCrash is the headline acceptance scenario: a
+// study run killed mid-flight by an injected crash resumes from its
+// filesystem checkpoints, re-executes only the steps that had not completed,
+// and produces output byte-identical to an uninterrupted run.
+func TestCheckpointResumeAfterCrash(t *testing.T) {
+	// The uninterrupted reference run (no checkpoints involved).
+	want, _, err := compileFixture(t).RunResilient(context.Background(), etl.RunPolicy{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := etl.NewFSCheckpointer(t.TempDir())
+
+	// Run 1: crash mid-step — classify/clinicB writes its table, then the
+	// "process" dies before the engine records success.
+	crashed := compileFixture(t)
+	fp := crashed.Fingerprint()
+	faulty.Wrap(crashed.Workflow, "classify/clinicB", func(wrapped etl.Component) *faulty.Chaos {
+		return &faulty.Chaos{Wrapped: wrapped, CrashAfterWork: true}
+	})
+	_, _, err = crashed.RunResilient(context.Background(), etl.RunPolicy{Checkpoint: store}, 2)
+	if !errors.Is(err, faulty.ErrCrashed) {
+		t.Fatalf("crashed run returned %v, want ErrCrashed", err)
+	}
+	durable, err := store.Steps(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(durable) == 0 {
+		t.Fatal("crash left no durable checkpoints")
+	}
+	for _, id := range durable {
+		if id == "classify/clinicB" {
+			t.Fatal("the crashed step must not have been checkpointed")
+		}
+	}
+
+	// Run 2: resume — same plan, same store, no crash.
+	resumed := compileFixture(t)
+	if resumed.Fingerprint() != fp {
+		t.Fatalf("resume fingerprint %s != crashed fingerprint %s", resumed.Fingerprint(), fp)
+	}
+	rows, report, err := resumed.RunResilient(context.Background(), etl.RunPolicy{Checkpoint: store}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("resumed run not OK:\n%s", report.Render())
+	}
+	if rows.Format() != want.Format() {
+		t.Fatalf("resumed output differs from uninterrupted run:\ngot:\n%s\nwant:\n%s", rows.Format(), want.Format())
+	}
+
+	// Work-saved accounting: exactly the steps durable at crash time were
+	// restored; everything else — the crashed step and whatever had not
+	// finished — re-executed.
+	isDurable := map[string]bool{}
+	for _, id := range durable {
+		isDurable[id] = true
+	}
+	for _, s := range report.Steps {
+		switch {
+		case isDurable[s.ID] && s.Status != etl.StepRestored:
+			t.Errorf("step %s was checkpointed but has status %s", s.ID, s.Status)
+		case !isDurable[s.ID] && s.Status != etl.StepOK:
+			t.Errorf("step %s was not checkpointed but has status %s (want ok)", s.ID, s.Status)
+		case s.Status == etl.StepRestored && s.Attempts != 0:
+			t.Errorf("restored step %s has %d attempts — it re-ran", s.ID, s.Attempts)
+		}
+	}
+	if got := len(report.Restored()); got != len(durable) {
+		t.Errorf("restored %d steps, want %d", got, len(durable))
+	}
+}
+
+// TestCheckpointFullyResumedRun: re-running an already-complete run restores
+// every step (zero re-execution) and still yields the identical output.
+func TestCheckpointFullyResumedRun(t *testing.T) {
+	store := etl.NewMemCheckpointer()
+	first := compileFixture(t)
+	want, _, err := first.RunResilient(context.Background(), etl.RunPolicy{Checkpoint: store}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := compileFixture(t)
+	rows, report, err := again.RunResilient(context.Background(), etl.RunPolicy{Checkpoint: store}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(report.Restored()); got != len(report.Steps) {
+		t.Fatalf("restored %d of %d steps:\n%s", got, len(report.Steps), report.Render())
+	}
+	if rows.Format() != want.Format() {
+		t.Fatal("fully-resumed output differs from the original run")
+	}
+}
+
+// TestTornCheckpointDetected: a truncated and a bit-flipped checkpoint fail
+// their checksum on load, are reported as corrupt (counter + warning span),
+// and the affected steps re-run from their restored inputs — ending in the
+// same output as an undamaged resume.
+func TestTornCheckpointDetected(t *testing.T) {
+	dir := t.TempDir()
+	store := etl.NewFSCheckpointer(dir)
+	first := compileFixture(t)
+	fp := first.Fingerprint()
+	want, _, err := first.RunResilient(context.Background(), etl.RunPolicy{Checkpoint: store}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptPath := func(step string) string {
+		return filepath.Join(dir, fp, url.PathEscape(step)+".ckpt")
+	}
+	if err := faulty.TearFile(ckptPath("select/clinicA"), faulty.TearTruncate); err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.TearFile(ckptPath("classify/clinicB"), faulty.TearFlip); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the store itself reports the damage as corruption.
+	if _, err := store.Load(fp, "select/clinicA"); !errors.Is(err, etl.ErrCorruptCheckpoint) {
+		t.Fatalf("torn load returned %v, want ErrCorruptCheckpoint", err)
+	}
+
+	o := obs.NewObserver()
+	ctx := obs.WithObserver(context.Background(), o)
+	rows, report, err := compileFixture(t).RunResilient(ctx, etl.RunPolicy{Checkpoint: store}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("run with torn checkpoints not OK:\n%s", report.Render())
+	}
+	for id, wantStatus := range map[string]etl.StepStatus{
+		"select/clinicA":   etl.StepOK, // torn → re-ran
+		"classify/clinicB": etl.StepOK, // bit-flipped → re-ran
+		"extract/clinicA":  etl.StepRestored,
+	} {
+		if got := report.Step(id).Status; got != wantStatus {
+			t.Errorf("step %s status = %s, want %s", id, got, wantStatus)
+		}
+	}
+	if rows.Format() != want.Format() {
+		t.Fatal("output after torn-checkpoint recovery differs")
+	}
+	if got := o.Metrics.Counter("ckpt.corrupt").Value(); got != 2 {
+		t.Errorf("ckpt.corrupt = %d, want 2", got)
+	}
+	warned := false
+	for _, s := range o.Tracer.Spans() {
+		if s.Name() == "checkpoint corrupt" {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Error("no 'checkpoint corrupt' warning span recorded")
+	}
+}
+
+// TestQuarantinePoisonRow is the second acceptance scenario: a poison row
+// (NULL key planted in an extract output) lands in the dead-letter relation
+// with full provenance while the rest of the study completes.
+func TestQuarantinePoisonRow(t *testing.T) {
+	compiled := compileFixture(t)
+	faulty.Wrap(compiled.Workflow, "extract/clinicA", func(wrapped etl.Component) *faulty.Chaos {
+		return &faulty.Chaos{Wrapped: wrapped, PoisonRows: 1, PoisonColumn: "ProcedureID"}
+	})
+	rows, report, err := compiled.RunResilient(context.Background(),
+		etl.RunPolicy{MaxQuarantinedRows: 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("poisoned run not OK:\n%s", report.Render())
+	}
+	if report.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1:\n%s", report.Quarantined, report.Render())
+	}
+	if got := report.Step("select/clinicA").Quarantined; got != 1 {
+		t.Fatalf("select/clinicA quarantined = %d, want 1", got)
+	}
+	ents := report.QuarantineEntries()
+	if len(ents) != 1 {
+		t.Fatalf("entries = %d, want 1", len(ents))
+	}
+	e := ents[0]
+	if e.Workflow != "exsmoker" || e.Step != "select/clinicA" || e.Contributor != "clinicA" {
+		t.Errorf("provenance = %+v", e)
+	}
+	if e.Rule != "require ProcedureID" || !strings.Contains(e.Err, "ProcedureID") {
+		t.Errorf("rule/err = %q / %q", e.Rule, e.Err)
+	}
+	if !strings.Contains(e.RowData, "ProcedureID=NULL") {
+		t.Errorf("RowData %q does not show the poisoned key", e.RowData)
+	}
+	// The healthy rows flowed on: the full fixture yields one study row per
+	// surviving surgery record; the poisoned row is absent.
+	clean, _, err := compileFixture(t).RunResilient(context.Background(), etl.RunPolicy{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != len(clean.Data)-1 {
+		t.Errorf("rows = %d, want %d (clean minus the poisoned row)", len(rows.Data), len(clean.Data)-1)
+	}
+	// The dead-letter relation renders under its declared schema.
+	q := report.Quarantine()
+	if !q.Schema.Equal(etl.QuarantineSchema()) {
+		t.Error("quarantine relation schema mismatch")
+	}
+}
+
+// TestQuarantineBudgetExceeded: more poison than the budget allows degrades
+// the step back to failure — systemic corruption is not silently swallowed.
+func TestQuarantineBudgetExceeded(t *testing.T) {
+	compiled := compileFixture(t)
+	faulty.Wrap(compiled.Workflow, "extract/clinicA", func(wrapped etl.Component) *faulty.Chaos {
+		return &faulty.Chaos{Wrapped: wrapped, PoisonRows: 2, PoisonColumn: "ProcedureID"}
+	})
+	_, report, err := compiled.RunResilient(context.Background(),
+		etl.RunPolicy{MaxQuarantinedRows: 1, ContinueOnError: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := report.Step("select/clinicA")
+	if res.Status != etl.StepFailed || !errors.Is(res.Err, etl.ErrQuarantineBudget) {
+		t.Fatalf("select/clinicA = %s (%v), want failed with ErrQuarantineBudget", res.Status, res.Err)
+	}
+	// The other contributor still delivered (graceful degradation).
+	if got := report.DegradedContributors; len(got) != 1 || got[0] != "clinicA" {
+		t.Fatalf("degraded contributors = %v, want [clinicA]", got)
+	}
+}
+
+// TestQuarantineDisabledPoisonFails: without a quarantine budget the
+// historical semantics hold — the poison row fails its step.
+func TestQuarantineDisabledPoisonFails(t *testing.T) {
+	compiled := compileFixture(t)
+	faulty.Wrap(compiled.Workflow, "extract/clinicA", func(wrapped etl.Component) *faulty.Chaos {
+		return &faulty.Chaos{Wrapped: wrapped, PoisonRows: 1, PoisonColumn: "ProcedureID"}
+	})
+	_, report, err := compiled.RunResilient(context.Background(), etl.RunPolicy{ContinueOnError: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := report.Step("select/clinicA")
+	if res.Status != etl.StepFailed || !strings.Contains(res.Err.Error(), "required column ProcedureID") {
+		t.Fatalf("select/clinicA = %s (%v), want failure naming the required column", res.Status, res.Err)
+	}
+	if report.Quarantine() != nil {
+		t.Error("quarantine relation exists without a budget")
+	}
+}
+
+// TestCrashResumeEquivalence: resume(crash(run)) ≡ run on the study level —
+// final rows, quarantine contents, and step statuses (restored counting as
+// ok) all match an uninterrupted poisoned run.
+func TestCrashResumeEquivalence(t *testing.T) {
+	poison := func(c *etl.Compiled) {
+		faulty.Wrap(c.Workflow, "extract/clinicA", func(wrapped etl.Component) *faulty.Chaos {
+			return &faulty.Chaos{Wrapped: wrapped, PoisonRows: 1, PoisonColumn: "ProcedureID"}
+		})
+	}
+	policy := func(store etl.Checkpointer) etl.RunPolicy {
+		return etl.RunPolicy{MaxQuarantinedRows: 10, Checkpoint: store}
+	}
+
+	// The uninterrupted reference.
+	ref := compileFixture(t)
+	poison(ref)
+	wantRows, wantReport, err := ref.RunResilient(context.Background(), policy(nil), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, crashAt := range []string{"extract/clinicB", "select/clinicA", "classify/clinicA", "load/union"} {
+		for _, mode := range []string{"before", "after"} {
+			t.Run(crashAt+"/"+mode, func(t *testing.T) {
+				store := etl.NewMemCheckpointer()
+				crashed := compileFixture(t)
+				poison(crashed)
+				faulty.Wrap(crashed.Workflow, crashAt, func(wrapped etl.Component) *faulty.Chaos {
+					return &faulty.Chaos{Wrapped: wrapped,
+						CrashBeforeWork: mode == "before", CrashAfterWork: mode == "after"}
+				})
+				_, _, err := crashed.RunResilient(context.Background(), policy(store), 2)
+				if !errors.Is(err, faulty.ErrCrashed) {
+					t.Fatalf("crashed run returned %v, want ErrCrashed", err)
+				}
+
+				resumed := compileFixture(t)
+				poison(resumed)
+				rows, report, err := resumed.RunResilient(context.Background(), policy(store), 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !report.OK() {
+					t.Fatalf("resume not OK:\n%s", report.Render())
+				}
+				if rows.Format() != wantRows.Format() {
+					t.Errorf("rows differ from uninterrupted run:\ngot:\n%s\nwant:\n%s", rows.Format(), wantRows.Format())
+				}
+				if got, want := report.Quarantine().Format(), wantReport.Quarantine().Format(); got != want {
+					t.Errorf("quarantine differs:\ngot:\n%s\nwant:\n%s", got, want)
+				}
+				// Statuses are equivalent modulo restored ≡ ok.
+				for _, s := range report.Steps {
+					wantS := wantReport.Step(s.ID)
+					norm := func(st etl.StepStatus) etl.StepStatus {
+						if st == etl.StepRestored {
+							return etl.StepOK
+						}
+						return st
+					}
+					if norm(s.Status) != norm(wantS.Status) {
+						t.Errorf("step %s: %s vs reference %s", s.ID, s.Status, wantS.Status)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicDegradedOutput (regression): a degraded run's partial
+// output and degraded-contributor list are byte-identical across scheduling
+// orders and worker counts.
+func TestDeterministicDegradedOutput(t *testing.T) {
+	run := func(workers int) (*relstore.Rows, *etl.RunReport) {
+		t.Helper()
+		compiled := compileFixture(t)
+		faulty.Wrap(compiled.Workflow, "extract/clinicA", func(wrapped etl.Component) *faulty.Chaos {
+			return &faulty.Chaos{FailForever: true}
+		})
+		rows, report, err := compiled.RunResilient(context.Background(),
+			etl.RunPolicy{ContinueOnError: true}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, report
+	}
+	baseRows, baseReport := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		rows, report := run(workers)
+		if rows.Format() != baseRows.Format() {
+			t.Fatalf("workers=%d: degraded output differs:\ngot:\n%s\nwant:\n%s", workers, rows.Format(), baseRows.Format())
+		}
+		if strings.Join(report.DegradedContributors, ",") != strings.Join(baseReport.DegradedContributors, ",") {
+			t.Fatalf("workers=%d: degraded contributors differ: %v vs %v",
+				workers, report.DegradedContributors, baseReport.DegradedContributors)
+		}
+	}
+}
+
+// TestPolicyValidation: contradictory policies are rejected at Execute time
+// with errors naming the field, and the same checks are reachable directly.
+func TestPolicyValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy etl.RunPolicy
+		frag   string
+	}{
+		{"negative attempts", etl.RunPolicy{MaxAttempts: -1}, "MaxAttempts"},
+		{"negative backoff", etl.RunPolicy{Backoff: -1}, "Backoff"},
+		{"negative step timeout", etl.RunPolicy{StepTimeout: -1}, "StepTimeout"},
+		{"step exceeds workflow", etl.RunPolicy{StepTimeout: 2e9, WorkflowTimeout: 1e9}, "exceeds WorkflowTimeout"},
+		{"negative quarantine", etl.RunPolicy{MaxQuarantinedRows: -5}, "MaxQuarantinedRows"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.policy.Validate(); err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("Validate = %v, want error mentioning %q", err, tc.frag)
+			}
+			w := &etl.Workflow{Name: "v"}
+			w.Add("s", &etl.Union{})
+			if _, err := w.Execute(context.Background(), etl.NewContext(nil), tc.policy, 1); err == nil {
+				t.Fatal("Execute accepted an invalid policy")
+			}
+		})
+	}
+	if err := (etl.RunPolicy{}).Validate(); err != nil {
+		t.Fatalf("zero policy rejected: %v", err)
+	}
+	ok := etl.RunPolicy{MaxAttempts: 3, Backoff: 1e6, StepTimeout: 1e9, WorkflowTimeout: 2e9, MaxQuarantinedRows: 100}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+}
+
+// TestCrashResumeProperty: resume(crash(run)) ≡ run over randomized DAGs —
+// for many random DAG shapes, crash points, and crash modes, the resumed
+// execution succeeds, restores exactly the steps that completed durably
+// before the crash, re-runs only the rest, and every step ends up having
+// done its work exactly once across the two runs (except the mid-step crash
+// victim, whose torn work is deliberately redone). Run under -race this also
+// proves the restore path is race-clean.
+func TestCrashResumeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(6)
+		deps := randomDeps(r, n)
+		crashAt := r.Intn(n)
+		midStep := r.Float64() < 0.5
+		workers := 1 + r.Intn(4)
+		key := fmt.Sprintf("dag-%d", trial)
+		store := etl.NewMemCheckpointer()
+
+		build := func(crash bool) (*etl.Workflow, *sync.Mutex, map[string]bool) {
+			mu := &sync.Mutex{}
+			ran := map[string]bool{}
+			w := &etl.Workflow{Name: "ckpt-dag"}
+			for i := range deps {
+				var ds []string
+				for _, d := range deps[i] {
+					ds = append(ds, stepID(d))
+				}
+				var comp etl.Component = tracked{id: stepID(i), mu: mu, ran: ran}
+				if crash && i == crashAt {
+					comp = &faulty.Chaos{Wrapped: comp,
+						CrashBeforeWork: !midStep, CrashAfterWork: midStep}
+				}
+				w.Add(stepID(i), comp, ds...)
+			}
+			return w, mu, ran
+		}
+		// The crash wrapper changes the workflow fingerprint, so both runs
+		// pin CheckpointKey — exactly what Compiled.RunResilient does for
+		// real studies.
+		policy := etl.RunPolicy{Checkpoint: store, CheckpointKey: key}
+
+		w1, mu1, ran1 := build(true)
+		_, err := w1.Execute(context.Background(), etl.NewContext(nil), policy, workers)
+		if !errors.Is(err, faulty.ErrCrashed) {
+			t.Fatalf("trial %d: crashed run returned %v, want ErrCrashed", trial, err)
+		}
+		durable := store.Len(key)
+
+		w2, mu2, ran2 := build(false)
+		rep, err := w2.Execute(context.Background(), etl.NewContext(nil), policy, workers)
+		if err != nil {
+			t.Fatalf("trial %d: resume failed: %v", trial, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("trial %d: resume not OK:\n%s", trial, rep.Render())
+		}
+		mu1.Lock()
+		mu2.Lock()
+		restored := 0
+		for _, s := range rep.Steps {
+			switch s.Status {
+			case etl.StepRestored:
+				restored++
+				if ran2[s.ID] {
+					t.Fatalf("trial %d: restored step %s re-ran", trial, s.ID)
+				}
+			case etl.StepOK:
+				if !ran2[s.ID] {
+					t.Fatalf("trial %d: step %s reported ok without running", trial, s.ID)
+				}
+			default:
+				t.Fatalf("trial %d: step %s ended %s", trial, s.ID, s.Status)
+			}
+		}
+		if restored != durable {
+			t.Fatalf("trial %d: restored %d steps but %d were durable at crash time", trial, restored, durable)
+		}
+		// Work conservation: every step ran in exactly one of the two runs,
+		// except a mid-step crash victim (its torn first execution is redone).
+		for _, s := range rep.Steps {
+			both := ran1[s.ID] && ran2[s.ID]
+			neither := !ran1[s.ID] && !ran2[s.ID]
+			if neither {
+				t.Fatalf("trial %d: step %s never did its work", trial, s.ID)
+			}
+			if both && !(midStep && s.ID == stepID(crashAt)) {
+				t.Fatalf("trial %d: step %s did its work twice", trial, s.ID)
+			}
+		}
+		mu2.Unlock()
+		mu1.Unlock()
+	}
+}
+
+// TestGoldenCheckpointFixture pins the on-disk checkpoint format: the
+// committed fixture must load (backward compatibility), and re-encoding its
+// snapshot must reproduce the committed bytes exactly (format stability).
+func TestGoldenCheckpointFixture(t *testing.T) {
+	store := etl.NewFSCheckpointer(filepath.Join("testdata", "ckpt"))
+	snap, err := store.Load("golden", "classify/clinicA")
+	if err != nil {
+		t.Fatalf("golden fixture failed to load: %v", err)
+	}
+	if snap == nil {
+		t.Fatal("golden fixture missing — regenerate with TestGoldenCheckpointFixture's writer (see comment)")
+	}
+	if snap.Step != "classify/clinicA" || len(snap.Tables) != 1 || len(snap.Quarantined) != 1 {
+		t.Fatalf("golden snapshot shape: %+v", snap)
+	}
+	rows := snap.Tables[0].Rows
+	if len(rows.Data) != 3 {
+		t.Fatalf("golden rows = %d, want 3", len(rows.Data))
+	}
+	if !rows.Data[1][2].IsNull() {
+		t.Error("golden NULL cell did not survive")
+	}
+	if got := rows.Data[2][0].AsInt(); got != 9223372036854775807 {
+		t.Errorf("golden max-int64 = %d", got)
+	}
+
+	// Format stability: saving the identical snapshot into a scratch store
+	// reproduces the committed file byte for byte.
+	scratch := etl.NewFSCheckpointer(t.TempDir())
+	if err := scratch.Save("golden", "classify/clinicA", snap); err != nil {
+		t.Fatal(err)
+	}
+	name := url.PathEscape("classify/clinicA") + ".ckpt"
+	want, err := os.ReadFile(filepath.Join("testdata", "ckpt", "golden", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(scratch.Dir, "golden", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("checkpoint encoding changed; if intentional, bump CheckpointVersion and regenerate the fixture\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

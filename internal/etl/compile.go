@@ -101,7 +101,17 @@ type Compiled struct {
 	ColumnBinds map[string]map[string]*classifier.Bound
 	// Conditions are the bound per-contributor filter predicates.
 	Conditions map[string]relstore.Pred
+
+	// fingerprint is the workflow's checkpoint identity, captured at
+	// compile time — before any test instrumentation wraps the components
+	// — so a crashed run and its resume agree on the key even when one of
+	// them runs with fault injectors installed.
+	fingerprint string
 }
+
+// Fingerprint is the compiled plan's checkpoint identity (see
+// Workflow.Fingerprint), captured before any component wrapping.
+func (c *Compiled) Fingerprint() string { return c.fingerprint }
 
 // bindContributor resolves one contributor's classifiers, condition, and
 // cleaners. The returned cond already incorporates the cleaners: it is
@@ -214,9 +224,10 @@ func CompileTraced(ctx context.Context, spec *StudySpec) (_ *Compiled, err error
 			To:       tmp1,
 		})
 		selectID := out.Workflow.Add("select/"+c.Name, &Query{
-			From:  tmp1,
-			Where: relstore.And(entity.Selection(), cond),
-			To:    tmp2,
+			From:    tmp1,
+			Where:   relstore.And(entity.Selection(), cond),
+			Require: []string{c.Form.KeyColumn},
+			To:      tmp2,
 		}, extractID)
 
 		derive := []relstore.Derivation{
@@ -230,9 +241,10 @@ func CompileTraced(ctx context.Context, spec *StudySpec) (_ *Compiled, err error
 		}
 		classified := TableRef{DB: "tmp2_" + c.Name, Table: c.Form.Name + "_classified"}
 		classifyID := out.Workflow.Add("classify/"+c.Name, &Query{
-			From:   tmp2,
-			Derive: derive,
-			To:     classified,
+			From:    tmp2,
+			Derive:  derive,
+			Require: []string{EntityKeyColumn},
+			To:      classified,
 		}, selectID)
 		unionInputs = append(unionInputs, classified)
 		unionDeps = append(unionDeps, classifyID)
@@ -244,6 +256,7 @@ func CompileTraced(ctx context.Context, spec *StudySpec) (_ *Compiled, err error
 	if err != nil {
 		return nil, fmt.Errorf("etl: compiled workflow failed self-check: %w", err)
 	}
+	out.fingerprint = out.Workflow.Fingerprint()
 	return out, nil
 }
 
@@ -280,6 +293,11 @@ func (c *Compiled) run(exec func(*Workflow, *Context) error) (*relstore.Rows, er
 }
 
 // readOutput fetches, conforms, and stably sorts the study output table.
+// The sort keys on every column — contributor and entity key first, then
+// the domain columns — so the returned relation is a pure function of the
+// output's contents: a resumed run, a degraded run re-executed, and a fresh
+// run produce byte-identical results regardless of union input order or
+// scheduling.
 func (c *Compiled) readOutput(env *Context) (*relstore.Rows, error) {
 	rows, err := c.Output.read(env)
 	if err != nil {
@@ -293,7 +311,13 @@ func (c *Compiled) readOutput(env *Context) (*relstore.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return relstore.SortBy(rows, ContributorColumn, EntityKeyColumn)
+	sortCols := []string{ContributorColumn, EntityKeyColumn}
+	for _, col := range outSchema.Columns {
+		if col.Name != ContributorColumn && col.Name != EntityKeyColumn {
+			sortCols = append(sortCols, col.Name)
+		}
+	}
+	return relstore.SortBy(rows, sortCols...)
 }
 
 // RunResilient executes the compiled workflow under a RunPolicy with the
@@ -306,6 +330,12 @@ func (c *Compiled) readOutput(env *Context) (*relstore.Rows, error) {
 // cancellation, a fail-fast step error, or every contributor failing.
 func (c *Compiled) RunResilient(ctx context.Context, policy RunPolicy, workers int) (*relstore.Rows, *RunReport, error) {
 	env := c.newEnv()
+	if policy.Checkpoint != nil && policy.CheckpointKey == "" {
+		// Key checkpoints by the plan compiled, not the components as
+		// currently wrapped: fault injectors around a step must not orphan
+		// the checkpoints the un-instrumented resume run will look for.
+		policy.CheckpointKey = c.fingerprint
+	}
 	report, err := c.Workflow.Execute(ctx, env, policy, workers)
 	if report != nil {
 		report.DegradedContributors = c.degradedContributors(report)

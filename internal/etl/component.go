@@ -174,7 +174,26 @@ func (e *Extract) Run(ctx context.Context, env *Context) error {
 	if err != nil {
 		return fmt.Errorf("etl: extract %s: %w", e.Form.Name, err)
 	}
-	recordIO(ctx, len(rows.Data), len(rows.Data))
+	rowsIn := len(rows.Data)
+	// With a quarantine budget, rows whose key is missing are dead-lettered
+	// at the source instead of poisoning every downstream stage.
+	if quar := quarantineFrom(ctx); quar != nil {
+		if i := rows.Schema.Index(e.Form.KeyColumn); i >= 0 {
+			kept := make([]relstore.Row, 0, len(rows.Data))
+			for _, row := range rows.Data {
+				if row[i].IsNull() {
+					rerr := fmt.Errorf("extract %s: NULL key %s", e.Form.Name, e.Form.KeyColumn)
+					if qerr := quar.add(ctx, "extract", rerr, "", renderRow(row, rows.Schema)); qerr != nil {
+						return qerr
+					}
+					continue
+				}
+				kept = append(kept, row)
+			}
+			rows = &relstore.Rows{Schema: rows.Schema, Data: kept}
+		}
+	}
+	recordIO(ctx, rowsIn, len(rows.Data))
 	return e.To.write(env, rows)
 }
 
@@ -193,7 +212,14 @@ type Query struct {
 	Project []string
 	// Distinct deduplicates output rows.
 	Distinct bool
-	To       TableRef
+	// Require names output columns that must be non-NULL in every row.
+	// A violating row fails the step — or, when the run policy grants a
+	// quarantine budget, is diverted into the dead-letter relation while
+	// the rest of the relation flows on. Compiled studies require the
+	// contributor key and the derived entity key, so one poison row cannot
+	// silently produce an unjoinable study tuple.
+	Require []string
+	To      TableRef
 }
 
 // Name implements Component.
@@ -222,6 +248,9 @@ func (q *Query) Describe() string {
 	if q.Distinct {
 		sb.WriteString(" (DISTINCT)")
 	}
+	if len(q.Require) > 0 {
+		sb.WriteString(" REQUIRE " + strings.Join(q.Require, ", "))
+	}
 	sb.WriteString(" INTO " + q.To.String())
 	return sb.String()
 }
@@ -236,9 +265,48 @@ func (q *Query) Run(ctx context.Context, env *Context) error {
 		return fmt.Errorf("etl: query from %s: %w", q.From, err)
 	}
 	rowsIn := len(rows.Data)
-	rows, err = relstore.Select(rows, q.Where)
+	var out *relstore.Rows
+	if quar := quarantineFrom(ctx); quar != nil {
+		// Row-at-a-time evaluation so a single poison row dead-letters
+		// alone instead of failing the whole relation.
+		out, err = q.runRowwise(ctx, quar, rows)
+	} else {
+		out, err = q.runBulk(rows)
+	}
 	if err != nil {
 		return fmt.Errorf("etl: query %s: %w", q.From, err)
+	}
+	if q.Distinct {
+		out = relstore.Distinct(out)
+	}
+	recordIO(ctx, rowsIn, len(out.Data))
+	return q.To.write(env, out)
+}
+
+// reqCol resolves one Require column into the output schema.
+type reqCol struct {
+	name string
+	idx  int
+}
+
+func requireCols(require []string, schema *relstore.Schema) ([]reqCol, error) {
+	out := make([]reqCol, 0, len(require))
+	for _, name := range require {
+		i := schema.Index(name)
+		if i < 0 {
+			return nil, fmt.Errorf("required column %s not in output schema [%s]", name, schema.NameList())
+		}
+		out = append(out, reqCol{name: name, idx: i})
+	}
+	return out, nil
+}
+
+// runBulk is the historical whole-relation path: the first row error (or
+// Require violation) fails the step.
+func (q *Query) runBulk(rows *relstore.Rows) (*relstore.Rows, error) {
+	rows, err := relstore.Select(rows, q.Where)
+	if err != nil {
+		return nil, err
 	}
 	switch {
 	case len(q.Derive) > 0:
@@ -247,13 +315,109 @@ func (q *Query) Run(ctx context.Context, env *Context) error {
 		rows, err = relstore.Project(rows, q.Project...)
 	}
 	if err != nil {
-		return fmt.Errorf("etl: query %s: %w", q.From, err)
+		return nil, err
 	}
-	if q.Distinct {
-		rows = relstore.Distinct(rows)
+	req, err := requireCols(q.Require, rows.Schema)
+	if err != nil {
+		return nil, err
 	}
-	recordIO(ctx, rowsIn, len(rows.Data))
-	return q.To.write(env, rows)
+	for _, row := range rows.Data {
+		for _, rc := range req {
+			if row[rc.idx].IsNull() {
+				return nil, fmt.Errorf("NULL in required column %s (row %s)",
+					rc.name, renderRow(row, rows.Schema))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runRowwise evaluates the query one tuple at a time, diverting rows that
+// fail the Where predicate's evaluation, a derivation, or a Require
+// constraint into the quarantine — up to the policy budget, whose overflow
+// error propagates as the step's failure.
+func (q *Query) runRowwise(ctx context.Context, quar *quarantine, in *relstore.Rows) (*relstore.Rows, error) {
+	var outSchema *relstore.Schema
+	var err error
+	var projIdx []int
+	switch {
+	case len(q.Derive) > 0:
+		outSchema, err = relstore.DeriveSchema(q.Derive)
+	case len(q.Project) > 0:
+		outSchema, err = in.Schema.Project(q.Project...)
+		if err == nil {
+			projIdx = make([]int, len(q.Project))
+			for i, name := range q.Project {
+				projIdx[i] = in.Schema.Index(name)
+			}
+		}
+	default:
+		outSchema = in.Schema
+	}
+	if err != nil {
+		return nil, err
+	}
+	req, err := requireCols(q.Require, outSchema)
+	if err != nil {
+		return nil, err
+	}
+	keyOf := func(row relstore.Row) string {
+		// Best-effort row identity for the dead-letter relation: the first
+		// required column present in the input, else the first column.
+		for _, name := range q.Require {
+			if i := in.Schema.Index(name); i >= 0 {
+				return row[i].Display()
+			}
+		}
+		if len(row) > 0 {
+			return row[0].Display()
+		}
+		return ""
+	}
+	out := &relstore.Rows{Schema: outSchema}
+rowLoop:
+	for _, row := range in.Data {
+		if q.Where != nil {
+			keep, werr := q.Where.Eval(row, in.Schema)
+			if werr != nil {
+				if qerr := quar.add(ctx, "where", werr, keyOf(row), renderRow(row, in.Schema)); qerr != nil {
+					return nil, qerr
+				}
+				continue
+			}
+			if !keep {
+				continue
+			}
+		}
+		outRow := row
+		switch {
+		case len(q.Derive) > 0:
+			outRow, err = relstore.DeriveRow(q.Derive, row, in.Schema)
+			if err != nil {
+				if qerr := quar.add(ctx, "derive", err, keyOf(row), renderRow(row, in.Schema)); qerr != nil {
+					return nil, qerr
+				}
+				continue
+			}
+		case len(q.Project) > 0:
+			nr := make(relstore.Row, len(projIdx))
+			for i, j := range projIdx {
+				nr[i] = row[j]
+			}
+			outRow = nr
+		}
+		for _, rc := range req {
+			if outRow[rc.idx].IsNull() {
+				rerr := fmt.Errorf("NULL in required column %s", rc.name)
+				if qerr := quar.add(ctx, "require "+rc.name, rerr, keyOf(row), renderRow(row, in.Schema)); qerr != nil {
+					return nil, qerr
+				}
+				continue rowLoop
+			}
+		}
+		out.Data = append(out.Data, outRow)
+	}
+	return out, nil
 }
 
 // Union concatenates same-schema tables into one — the load stage:

@@ -27,6 +27,9 @@ import (
 // recorded in the report (report.Err holds the first one) and the call
 // itself returns nil so the caller can salvage partial results.
 func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, workers int) (*RunReport, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
 	steps, err := w.order() // validates IDs, deps, acyclicity
 	if err != nil {
 		return nil, err
@@ -50,6 +53,17 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 	defer cancelExec()
 
 	report := &RunReport{Workflow: w.Name, Trace: wfSpan, byID: make(map[string]*StepResult, len(steps))}
+	var quar *quarantine
+	if policy.MaxQuarantinedRows > 0 {
+		quar = newQuarantine(w.Name, policy.MaxQuarantinedRows)
+		execCtx = withQuarantine(execCtx, quar)
+		report.q = quar
+	}
+	ckpt := policy.Checkpoint
+	fingerprint := policy.CheckpointKey
+	if ckpt != nil && fingerprint == "" {
+		fingerprint = w.Fingerprint()
+	}
 	for _, s := range steps {
 		res := &StepResult{ID: s.ID, Status: StepSkipped}
 		report.Steps = append(report.Steps, res)
@@ -96,6 +110,13 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 					res.QueueWait = time.Since(it.enqueued)
 					metrics.Histogram("etl.step.queue_wait_ms").Observe(float64(res.QueueWait) / float64(time.Millisecond))
 					w.runStep(execCtx, env, it.step, it.comp, policy, res)
+					// Only fully-successful steps checkpoint: a degraded
+					// step's output reflects a pruned plan, and restoring it
+					// into a healthy later run would silently drop
+					// contributors.
+					if ckpt != nil && res.Status == StepOK && res.Err == nil {
+						saveCheckpoint(execCtx, env, ckpt, fingerprint, it.step, quar)
+					}
 					done <- it.step
 				}
 			}
@@ -124,6 +145,13 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 		}
 		taint[s.ID] = t
 		if len(t) == 0 {
+			// A step already checkpointed under this plan's fingerprint is
+			// restored inline — its outputs materialize without a worker,
+			// an attempt, or a re-execution. Corrupt or unreadable
+			// snapshots demote to a miss and the step runs normally.
+			if ckpt != nil && tryRestore(execCtx, env, ckpt, fingerprint, s, res, quar) {
+				return true
+			}
 			res.Status = StepOK // provisional; runStep records failures
 			work <- item{step: s, comp: s.Component, enqueued: time.Now()}
 			return false
@@ -170,15 +198,35 @@ func (w *Workflow) Execute(ctx context.Context, env *Context, policy RunPolicy, 
 		return true
 	}
 
-	// Roots have no dependencies and therefore no taint: dispatch never
-	// resolves them inline.
-	for _, s := range steps {
-		if indegree[s.ID] == 0 {
-			dispatch(s)
+	completed := 0
+	// cascade dispatches each ready step; steps resolved inline — skipped
+	// for taint, or restored from a checkpoint — complete immediately and
+	// unlock their own children in turn without a worker round-trip.
+	cascade := func(ready []*Step) {
+		queue := append([]*Step(nil), ready...)
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			if !dispatch(c) {
+				continue
+			}
+			completed++
+			for _, cc := range children[c.ID] {
+				indegree[cc.ID]--
+				if indegree[cc.ID] == 0 {
+					queue = append(queue, cc)
+				}
+			}
 		}
 	}
+	roots := make([]*Step, 0, len(steps))
+	for _, s := range steps {
+		if indegree[s.ID] == 0 {
+			roots = append(roots, s)
+		}
+	}
+	cascade(roots)
 
-	completed := 0
 	var firstErr error
 loop:
 	for completed < len(steps) {
@@ -198,28 +246,14 @@ loop:
 					break loop
 				}
 			}
-			// Unlock children; inline-skipped ones cascade immediately.
-			queue := make([]*Step, 0, len(children[s.ID]))
+			ready := make([]*Step, 0, len(children[s.ID]))
 			for _, c := range children[s.ID] {
 				indegree[c.ID]--
 				if indegree[c.ID] == 0 {
-					queue = append(queue, c)
+					ready = append(ready, c)
 				}
 			}
-			for len(queue) > 0 {
-				c := queue[0]
-				queue = queue[1:]
-				if !dispatch(c) {
-					continue
-				}
-				completed++
-				for _, cc := range children[c.ID] {
-					indegree[cc.ID]--
-					if indegree[cc.ID] == 0 {
-						queue = append(queue, cc)
-					}
-				}
-			}
+			cascade(ready)
 		}
 	}
 	cancelExec()
@@ -230,10 +264,11 @@ loop:
 
 	if firstErr != nil {
 		// Aborted: steps that were queued or pending but never ran count
-		// as skipped, not ok/degraded. Their Duration stays zero — absent,
-		// not measured.
+		// as skipped, not ok/degraded — but checkpoint-restored steps did
+		// complete and keep their status. Their Duration stays zero —
+		// absent, not measured.
 		for _, res := range report.Steps {
-			if res.Attempts == 0 && res.Status != StepFailed {
+			if res.Attempts == 0 && res.Status != StepFailed && res.Status != StepRestored {
 				res.Status = StepSkipped
 				if res.Span == nil {
 					_, sp := obs.StartSpan(execCtx, "step "+res.ID,
@@ -249,13 +284,91 @@ loop:
 			report.Err = firstErr
 		}
 	}
+	if quar != nil {
+		for _, res := range report.Steps {
+			res.Quarantined = quar.stepCount(res.ID)
+		}
+		report.Quarantined = quar.len()
+		wfSpan.SetAttr(obs.Int("rows.quarantined", int64(report.Quarantined)))
+	}
 	wfSpan.SetAttr(
 		obs.Int("steps.failed", int64(len(report.Failed()))),
 		obs.Int("steps.skipped", int64(len(report.Skipped()))),
 		obs.Int("steps.degraded", int64(len(report.Degraded()))),
+		obs.Int("steps.restored", int64(len(report.Restored()))),
 	)
 	wfSpan.EndErr(report.Err)
 	return report, firstErr
+}
+
+// tryRestore resolves a step from its checkpoint: the snapshot's tables
+// materialize into env and its quarantined rows re-enter the run's
+// dead-letter relation. Any problem — a corrupt snapshot, a clean miss, a
+// write failure — returns false and the step runs normally; checkpointing
+// never makes a run worse than not having checkpoints at all.
+func tryRestore(ctx context.Context, env *Context, ckpt Checkpointer, fp string, s *Step, res *StepResult, quar *quarantine) bool {
+	metrics := obs.MetricsFrom(ctx)
+	snap, err := ckpt.Load(fp, s.ID)
+	if err != nil {
+		metrics.Counter("ckpt.corrupt").Inc()
+		obs.Event(ctx, "checkpoint corrupt",
+			obs.String("step", s.ID), obs.String("error", err.Error()))
+		return false
+	}
+	if snap == nil {
+		metrics.Counter("ckpt.miss").Inc()
+		return false
+	}
+	if err := restoreSnapshot(env, snap); err != nil {
+		metrics.Counter("ckpt.restore_err").Inc()
+		obs.Event(ctx, "checkpoint restore failed",
+			obs.String("step", s.ID), obs.String("error", err.Error()))
+		return false
+	}
+	if quar != nil && len(snap.Quarantined) > 0 {
+		quar.restore(snap.Quarantined)
+	}
+	res.Status = StepRestored
+	_, sp := obs.StartSpan(ctx, "step "+s.ID,
+		obs.String("step", s.ID), obs.String("status", "restored"),
+		obs.Int("tables", int64(len(snap.Tables))))
+	sp.End()
+	res.Span = sp
+	metrics.Counter("ckpt.restored").Inc()
+	return true
+}
+
+// saveCheckpoint snapshots a completed step's written tables (and the rows
+// it quarantined) into the store. Save failures are observability warnings,
+// not run failures: a full checkpoint disk must not fail an otherwise
+// healthy study run.
+func saveCheckpoint(ctx context.Context, env *Context, ckpt Checkpointer, fp string, s *Step, quar *quarantine) {
+	metrics := obs.MetricsFrom(ctx)
+	start := time.Now()
+	snap := &Snapshot{Step: s.ID}
+	if wr, ok := s.Component.(writer); ok {
+		for _, ref := range wr.Writes() {
+			rows, err := ref.read(env)
+			if err != nil {
+				metrics.Counter("ckpt.save_err").Inc()
+				obs.Event(ctx, "checkpoint save failed",
+					obs.String("step", s.ID), obs.String("error", err.Error()))
+				return
+			}
+			snap.Tables = append(snap.Tables, TableSnapshot{Ref: ref, Rows: rows})
+		}
+	}
+	if quar != nil {
+		snap.Quarantined = quar.forStep(s.ID)
+	}
+	if err := ckpt.Save(fp, s.ID, snap); err != nil {
+		metrics.Counter("ckpt.save_err").Inc()
+		obs.Event(ctx, "checkpoint save failed",
+			obs.String("step", s.ID), obs.String("error", err.Error()))
+		return
+	}
+	metrics.Counter("ckpt.saved").Inc()
+	metrics.Histogram("ckpt.save_ms").Observe(float64(time.Since(start)) / float64(time.Millisecond))
 }
 
 // runStep executes one step with retry under the policy, recording the
@@ -263,6 +376,7 @@ loop:
 func (w *Workflow) runStep(ctx context.Context, env *Context, s *Step, comp Component, policy RunPolicy, res *StepResult) {
 	metrics := obs.MetricsFrom(ctx)
 	sctx, span := obs.StartSpan(ctx, "step "+s.ID, obs.String("step", s.ID))
+	sctx = withStepID(sctx, s.ID) // provenance for quarantined rows
 	res.Span = span
 	if res.Status == StepDegraded {
 		span.SetAttr(obs.Bool("degraded", true))
@@ -283,6 +397,9 @@ func (w *Workflow) runStep(ctx context.Context, env *Context, s *Step, comp Comp
 		metrics.Counter("etl.attempts").Inc()
 		if attempt > 1 {
 			metrics.Counter("etl.retries").Inc()
+		}
+		if quar := quarantineFrom(ctx); quar != nil {
+			quar.resetStep(s.ID)
 		}
 		actx, aspan := obs.StartSpan(sctx, fmt.Sprintf("attempt %d", attempt))
 		err := runAttempt(actx, env, comp, policy.StepTimeout)

@@ -2,6 +2,7 @@ package etl
 
 import (
 	"context"
+	"fmt"
 	"time"
 )
 
@@ -45,6 +46,55 @@ type RunPolicy struct {
 	// runs, and the failure is recorded in the RunReport instead of
 	// aborting the run.
 	ContinueOnError bool
+	// MaxQuarantinedRows, when positive, enables row-level quarantine:
+	// rows failing extraction or classification are diverted into the
+	// run's dead-letter relation (RunReport.Quarantine) instead of failing
+	// their step — up to this run-wide budget. Exceeding the budget
+	// degrades the overflowing step back to failure, so systemic
+	// corruption still surfaces. Zero disables quarantine (the historical
+	// fail-the-step behavior).
+	MaxQuarantinedRows int
+	// Checkpoint, when set, makes the run resumable: each completed step's
+	// output tables (and quarantined rows) are snapshotted into the store,
+	// and steps already checkpointed under the workflow's fingerprint are
+	// restored instead of re-executed. A corrupt or unreadable snapshot is
+	// treated as a miss (with a warning span) and the step re-runs.
+	Checkpoint Checkpointer
+	// CheckpointKey overrides the fingerprint the checkpoints are keyed
+	// by. Empty derives it from Workflow.Fingerprint(); compiled studies
+	// pin the fingerprint of the unwrapped plan here so test
+	// instrumentation around components does not orphan prior checkpoints.
+	CheckpointKey string
+}
+
+// Validate rejects policies whose fields are contradictory or out of range,
+// so a misconfigured run fails loudly at Execute time instead of silently
+// normalizing (a negative budget reading as "no retries", a step deadline
+// longer than the whole run's). The zero policy is valid.
+func (p RunPolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("etl: invalid RunPolicy: MaxAttempts %d is negative", p.MaxAttempts)
+	}
+	if p.Backoff < 0 {
+		return fmt.Errorf("etl: invalid RunPolicy: Backoff %v is negative", p.Backoff)
+	}
+	if p.MaxBackoff < 0 {
+		return fmt.Errorf("etl: invalid RunPolicy: MaxBackoff %v is negative", p.MaxBackoff)
+	}
+	if p.StepTimeout < 0 {
+		return fmt.Errorf("etl: invalid RunPolicy: StepTimeout %v is negative", p.StepTimeout)
+	}
+	if p.WorkflowTimeout < 0 {
+		return fmt.Errorf("etl: invalid RunPolicy: WorkflowTimeout %v is negative", p.WorkflowTimeout)
+	}
+	if p.StepTimeout > 0 && p.WorkflowTimeout > 0 && p.StepTimeout > p.WorkflowTimeout {
+		return fmt.Errorf("etl: invalid RunPolicy: StepTimeout %v exceeds WorkflowTimeout %v",
+			p.StepTimeout, p.WorkflowTimeout)
+	}
+	if p.MaxQuarantinedRows < 0 {
+		return fmt.Errorf("etl: invalid RunPolicy: MaxQuarantinedRows %d is negative", p.MaxQuarantinedRows)
+	}
+	return nil
 }
 
 // attempts normalizes MaxAttempts.

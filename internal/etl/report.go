@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"guava/internal/obs"
+	"guava/internal/relstore"
 )
 
 // StepStatus classifies how one step of an execution ended.
@@ -23,6 +24,11 @@ const (
 	// StepDegraded: the step ran on partial inputs after upstream
 	// failures — e.g. a Union loading only the surviving contributors.
 	StepDegraded
+	// StepRestored: the step did not run; its outputs were restored from a
+	// checkpoint taken by an earlier execution of the same plan. Counts as
+	// success — the tables are materialized exactly as a fresh run would
+	// have left them.
+	StepRestored
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +42,8 @@ func (s StepStatus) String() string {
 		return "skipped"
 	case StepDegraded:
 		return "degraded"
+	case StepRestored:
+		return "restored"
 	}
 	return fmt.Sprintf("StepStatus(%d)", int(s))
 }
@@ -67,6 +75,9 @@ type StepResult struct {
 	SkippedBecause []string
 	// DroppedInputs lists the tables a degraded step ran without.
 	DroppedInputs []TableRef
+	// Quarantined counts the rows this step diverted into the run's
+	// dead-letter relation instead of failing on.
+	Quarantined int
 }
 
 // RunReport is the structured outcome of one Execute call: per-step
@@ -89,8 +100,12 @@ type RunReport struct {
 	// otherwise). Its tracer holds the full span tree; render it with
 	// obs.RenderTree.
 	Trace *obs.Span
+	// Quarantined counts the rows the whole run dead-lettered (including
+	// rows restored from checkpoints of a prior interrupted run).
+	Quarantined int
 
 	byID map[string]*StepResult
+	q    *quarantine
 }
 
 // Step returns the result for a step ID, or nil.
@@ -117,14 +132,39 @@ func (r *RunReport) Skipped() []string { return r.ids(StepSkipped) }
 // Degraded lists the IDs of degraded steps, sorted.
 func (r *RunReport) Degraded() []string { return r.ids(StepDegraded) }
 
-// OK reports whether every step completed normally.
+// Restored lists the IDs of checkpoint-restored steps, sorted.
+func (r *RunReport) Restored() []string { return r.ids(StepRestored) }
+
+// OK reports whether every step completed normally — ran to success or was
+// restored from a checkpoint.
 func (r *RunReport) OK() bool {
 	for _, s := range r.Steps {
-		if s.Status != StepOK {
+		if s.Status != StepOK && s.Status != StepRestored {
 			return false
 		}
 	}
 	return true
+}
+
+// Quarantine returns the run's dead-letter relation: one row per
+// quarantined input row with provenance (see QuarantineSchema), sorted
+// deterministically. It is empty — not nil — when quarantine was enabled
+// but nothing was diverted, and nil when the policy had no quarantine
+// budget.
+func (r *RunReport) Quarantine() *relstore.Rows {
+	if r.q == nil {
+		return nil
+	}
+	return r.q.rows()
+}
+
+// QuarantineEntries returns the structured dead-letter entries, sorted
+// deterministically; nil when quarantine was disabled.
+func (r *RunReport) QuarantineEntries() []QuarantineEntry {
+	if r.q == nil {
+		return nil
+	}
+	return r.q.snapshot()
 }
 
 // Render formats the report for CLI output.
@@ -155,10 +195,16 @@ func (r *RunReport) Render() string {
 			}
 			fmt.Fprintf(&sb, "  dropped=%s", strings.Join(parts, ","))
 		}
+		if s.Quarantined > 0 {
+			fmt.Fprintf(&sb, "  quarantined=%d", s.Quarantined)
+		}
 		sb.WriteByte('\n')
 	}
 	if len(r.DegradedContributors) > 0 {
 		fmt.Fprintf(&sb, "  degraded contributors: %s\n", strings.Join(r.DegradedContributors, ", "))
+	}
+	if r.Quarantined > 0 {
+		fmt.Fprintf(&sb, "  quarantined rows: %d\n", r.Quarantined)
 	}
 	if r.Err != nil {
 		fmt.Fprintf(&sb, "  first error: %v\n", r.Err)

@@ -98,6 +98,15 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 	return context.WithValue(ctx, ctxKey{}, &scope{obs: s.obs, span: span}), span
 }
 
+// Event records an instant (zero-work) span under the current span — the
+// shape warnings take in a trace, e.g. a corrupt checkpoint that was
+// detected and ignored. It returns the ended span (nil when unobserved).
+func Event(ctx context.Context, name string, attrs ...Attr) *Span {
+	_, s := StartSpan(ctx, name, attrs...)
+	s.End()
+	return s
+}
+
 // CurrentSpan returns the span ctx is running under, or nil.
 func CurrentSpan(ctx context.Context) *Span {
 	if s, ok := ctx.Value(ctxKey{}).(*scope); ok {

@@ -143,33 +143,49 @@ type Derivation struct {
 	Expr Expr
 }
 
-// Derive computes a new relation whose columns are the given derivations
-// evaluated over each input row (a generalized projection; SELECT exprs).
-func Derive(in *Rows, derivs ...Derivation) (*Rows, error) {
-	opDerive.Inc()
+// DeriveSchema is the output schema Derive produces for the derivations.
+func DeriveSchema(derivs []Derivation) (*Schema, error) {
 	cols := make([]Column, len(derivs))
 	for i, d := range derivs {
 		cols[i] = Column{Name: d.Name, Type: d.Type}
 	}
-	schema, err := NewSchema(cols...)
+	return NewSchema(cols...)
+}
+
+// DeriveRow evaluates the derivations over one row — the unit of work Derive
+// applies per tuple, exposed so callers with a poison-row path can isolate a
+// single failing tuple instead of losing the whole relation.
+func DeriveRow(derivs []Derivation, row Row, schema *Schema) (Row, error) {
+	nr := make(Row, len(derivs))
+	for i, d := range derivs {
+		v, err := d.Expr.Eval(row, schema)
+		if err != nil {
+			return nil, fmt.Errorf("derive %s: %w", d.Name, err)
+		}
+		if !v.IsNull() && d.Type != KindNull && v.Kind() != d.Type {
+			v, err = Coerce(v, d.Type)
+			if err != nil {
+				return nil, fmt.Errorf("derive %s: %w", d.Name, err)
+			}
+		}
+		nr[i] = v
+	}
+	return nr, nil
+}
+
+// Derive computes a new relation whose columns are the given derivations
+// evaluated over each input row (a generalized projection; SELECT exprs).
+func Derive(in *Rows, derivs ...Derivation) (*Rows, error) {
+	opDerive.Inc()
+	schema, err := DeriveSchema(derivs)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Row, len(in.Data))
 	for j, row := range in.Data {
-		nr := make(Row, len(derivs))
-		for i, d := range derivs {
-			v, err := d.Expr.Eval(row, in.Schema)
-			if err != nil {
-				return nil, fmt.Errorf("derive %s: %w", d.Name, err)
-			}
-			if !v.IsNull() && d.Type != KindNull && v.Kind() != d.Type {
-				v, err = Coerce(v, d.Type)
-				if err != nil {
-					return nil, fmt.Errorf("derive %s: %w", d.Name, err)
-				}
-			}
-			nr[i] = v
+		nr, err := DeriveRow(derivs, row, in.Schema)
+		if err != nil {
+			return nil, err
 		}
 		out[j] = nr
 	}

@@ -1,0 +1,202 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file implements the typed, NULL-safe serialization of relations the
+// ETL checkpoint layer durably stores between runs. CSV (csv.go) is the
+// human-facing export and cannot round-trip a relation exactly — it conflates
+// NULL with the empty string and drops column types. The typed format is
+// line-oriented JSON: one schema line, then one line per row with every value
+// tagged by kind, so Read(Write(rows)) reproduces the relation bit for bit.
+//
+// Integers serialize as JSON strings, not numbers: an int64 above 2^53 would
+// silently lose precision through a float64-backed JSON decoder.
+
+// serialColumn is the JSON shape of one schema column.
+type serialColumn struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	NotNull bool   `json:"notnull,omitempty"`
+}
+
+// serialValue is the JSON shape of one typed cell; exactly one field is set,
+// and a JSON null stands for the NULL value.
+type serialValue struct {
+	I *string  `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	S *string  `json:"s,omitempty"`
+	B *bool    `json:"b,omitempty"`
+}
+
+// kindFromString inverts Kind.String.
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "NULL":
+		return KindNull, nil
+	case "INTEGER":
+		return KindInt, nil
+	case "REAL":
+		return KindFloat, nil
+	case "TEXT":
+		return KindString, nil
+	case "BOOLEAN":
+		return KindBool, nil
+	}
+	return KindNull, fmt.Errorf("relstore: unknown column type %q", s)
+}
+
+// MarshalSchemaJSON renders a schema as one JSON line (no trailing newline).
+func MarshalSchemaJSON(s *Schema) ([]byte, error) {
+	cols := make([]serialColumn, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = serialColumn{Name: c.Name, Type: c.Type.String(), NotNull: c.NotNull}
+	}
+	return json.Marshal(cols)
+}
+
+// UnmarshalSchemaJSON parses a schema line written by MarshalSchemaJSON.
+func UnmarshalSchemaJSON(b []byte) (*Schema, error) {
+	var cols []serialColumn
+	if err := json.Unmarshal(b, &cols); err != nil {
+		return nil, fmt.Errorf("relstore: parse schema: %w", err)
+	}
+	out := make([]Column, len(cols))
+	for i, c := range cols {
+		k, err := kindFromString(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Column{Name: c.Name, Type: k, NotNull: c.NotNull}
+	}
+	return NewSchema(out...)
+}
+
+// MarshalRowJSON renders one row as one JSON line of kind-tagged values.
+func MarshalRowJSON(r Row) ([]byte, error) {
+	vals := make([]*serialValue, len(r))
+	for i, v := range r {
+		switch v.Kind() {
+		case KindNull:
+			vals[i] = nil
+		case KindInt:
+			s := strconv.FormatInt(v.AsInt(), 10)
+			vals[i] = &serialValue{I: &s}
+		case KindFloat:
+			f := v.AsFloat()
+			vals[i] = &serialValue{F: &f}
+		case KindString:
+			s := v.AsString()
+			vals[i] = &serialValue{S: &s}
+		case KindBool:
+			b := v.AsBool()
+			vals[i] = &serialValue{B: &b}
+		default:
+			return nil, fmt.Errorf("relstore: cannot serialize value of kind %v", v.Kind())
+		}
+	}
+	return json.Marshal(vals)
+}
+
+// UnmarshalRowJSON parses a row line written by MarshalRowJSON.
+func UnmarshalRowJSON(b []byte) (Row, error) {
+	var vals []*serialValue
+	if err := json.Unmarshal(b, &vals); err != nil {
+		return nil, fmt.Errorf("relstore: parse row: %w", err)
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		switch {
+		case v == nil:
+			row[i] = Null()
+		case v.I != nil:
+			n, err := strconv.ParseInt(*v.I, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relstore: parse row integer %q: %w", *v.I, err)
+			}
+			row[i] = Int(n)
+		case v.F != nil:
+			row[i] = Float(*v.F)
+		case v.S != nil:
+			row[i] = Str(*v.S)
+		case v.B != nil:
+			row[i] = Bool(*v.B)
+		default:
+			return nil, fmt.Errorf("relstore: row value %d has no kind tag", i)
+		}
+	}
+	return row, nil
+}
+
+// WriteTyped writes a relation in the typed line format: the schema line,
+// then one row line per tuple.
+func WriteTyped(w io.Writer, rows *Rows) error {
+	sl, err := MarshalSchemaJSON(rows.Schema)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	bw.Write(sl)
+	bw.WriteByte('\n')
+	for _, r := range rows.Data {
+		rl, err := MarshalRowJSON(r)
+		if err != nil {
+			return err
+		}
+		bw.Write(rl)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadTyped parses a relation written by WriteTyped, validating every row
+// against the parsed schema.
+func ReadTyped(r io.Reader) (*Rows, error) {
+	br := bufio.NewReader(r)
+	sl, err := readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: read typed relation: %w", err)
+	}
+	schema, err := UnmarshalSchemaJSON(sl)
+	if err != nil {
+		return nil, err
+	}
+	var data []Row
+	for {
+		rl, err := readLine(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relstore: read typed relation: %w", err)
+		}
+		row, err := UnmarshalRowJSON(rl)
+		if err != nil {
+			return nil, err
+		}
+		if err := schema.Validate(row); err != nil {
+			return nil, fmt.Errorf("relstore: typed relation row %d: %w", len(data), err)
+		}
+		data = append(data, row)
+	}
+	return &Rows{Schema: schema, Data: data}, nil
+}
+
+// readLine returns the next newline-terminated line without the terminator.
+// A non-empty final line without a newline is an error — it is how a torn
+// write looks — while a clean EOF at a line boundary ends the stream.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err == io.EOF && len(line) > 0 {
+		return nil, fmt.Errorf("truncated line %q", line)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return line[:len(line)-1], nil
+}

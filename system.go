@@ -172,6 +172,13 @@ func (st *Study) RunResilient(ctx context.Context, policy etl.RunPolicy, workers
 // Plan renders the generated ETL workflow for inspection.
 func (st *Study) Plan() string { return st.compiled.Workflow.Render() }
 
+// Fingerprint is the study's checkpoint identity: a deterministic hash of
+// the compiled plan (study, contributors, classifiers, dependencies) that
+// a Checkpointer keys snapshots by. A crashed run and its resume share
+// checkpoints exactly when their fingerprints match; any plan change
+// invalidates prior checkpoints.
+func (st *Study) Fingerprint() string { return st.compiled.Fingerprint() }
+
 // SQL renders the per-contributor SQL the study represents.
 func (st *Study) SQL() (map[string]string, error) { return st.compiled.EmitSQLPlans() }
 
