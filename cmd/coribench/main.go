@@ -24,14 +24,23 @@
 // work saved), plus a quarantine run with poison rows diverted to the
 // dead-letter relation.
 //
+// R5 measures the serving layer: the workload load generator replays a
+// deterministic analyst traffic mix against an in-process studyd server
+// from -clients concurrent clients, reporting extract p50/p99, cache hit
+// ratio, and throughput for a cold and a warm pass — against the
+// compile-and-run-per-request baseline (what repeated runstudy
+// invocations cost). -min-speedup makes a too-small warm-cache advantage
+// an error — the CI regression gate.
+//
 // -cpuprofile, -memprofile, and -trace enable the stdlib profilers for
 // any experiment selection.
 //
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4] [-seed 42] [-n 200]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5] [-seed 42] [-n 200]
 //	          [-faults 0.33] [-retries 2] [-observe]
-//	          [-max-overhead 0] [-cpuprofile f] [-memprofile f] [-trace f]
+//	          [-max-overhead 0] [-clients 8] [-requests 400]
+//	          [-min-speedup 0] [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
 import (
@@ -57,13 +66,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
 	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
 	retries := flag.Int("retries", 2, "retries per step beyond the first attempt (R1)")
 	observe := flag.Bool("observe", false, "run R1 with tracing attached (smoke-tests the observability layer)")
 	maxOverhead := flag.Float64("max-overhead", 0, "fail if R2 tracing overhead exceeds this percentage (0 = report only)")
+	clients := flag.Int("clients", 8, "concurrent load-generator clients (R5)")
+	requests := flag.Int("requests", 400, "extract requests per load pass (R5)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail if R5 warm-cache p50 speedup falls below this factor (0 = report only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	execTrace := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -106,6 +118,9 @@ func main() {
 	}
 	if run("R4") {
 		expR4(*seed, *n)
+	}
+	if run("R5") {
+		expR5(*seed, *n, *clients, *requests, *minSpeedup)
 	}
 }
 

@@ -25,6 +25,14 @@
 // stdout with "-". -poison contributor plants -poison-rows NULL-key rows in
 // that contributor's extract output.
 //
+// Warehouse refresh (reference study): -refresh merges the study output
+// into the persistent warehouse in -warehouse-dir (the paper's periodic
+// inclusion) instead of printing it: tables load from <name>.rel files,
+// the refresh runs under the same RunPolicy switches as a normal run, the
+// merge stats print, and the updated tables persist back. Run it twice
+// with unchanged contributor data and the second pass reports all rows
+// unchanged.
+//
 // Observability (reference study): -trace-tree prints the run's span
 // tree, -trace-out writes the spans as JSON lines, -metrics prints the
 // metrics snapshot, and -cpuprofile/-memprofile/-trace enable the
@@ -37,6 +45,7 @@
 //	         [-vet] [-plan] [-sql] [-xquery] [-rows 10]
 //	         [-parallel 1] [-retries 0] [-step-timeout 0] [-timeout 0]
 //	         [-continue] [-fail contributor,...] [-report]
+//	         [-refresh] [-warehouse-dir dir]
 //	         [-checkpoint-dir dir] [-resume] [-crash step[:before|:after]]
 //	         [-quarantine-budget 0] [-quarantine-out file|-]
 //	         [-poison contributor] [-poison-rows 1]
@@ -49,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -81,6 +91,8 @@ func main() {
 	failContribs := flag.String("fail", "", "comma-separated contributors whose extract is forced to fail (reference study)")
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint completed steps into this directory (reference study)")
 	resume := flag.Bool("resume", false, "reuse checkpoints from a previous run in -checkpoint-dir instead of clearing them")
+	doRefresh := flag.Bool("refresh", false, "merge the study output into the warehouse in -warehouse-dir instead of printing it (reference study)")
+	warehouseDir := flag.String("warehouse-dir", "", "directory holding the persistent warehouse tables for -refresh")
 	crashAt := flag.String("crash", "", "simulate a process crash at this step; step or step:before|:after (reference study)")
 	quarBudget := flag.Int("quarantine-budget", 0, "max rows diverted to the dead-letter relation before a step fails (0 = quarantine off)")
 	quarOut := flag.String("quarantine-out", "", "write the quarantined rows with provenance to this file (\"-\" = stdout)")
@@ -124,6 +136,7 @@ func main() {
 			plan: *showPlan, sql: *showSQL, xquery: *showXQ, rows: *rows,
 			workers: *workers, policy: policy, fail: splitList(*failContribs),
 			ckptDir: *ckptDir, resume: *resume, crash: *crashAt,
+			refresh: *doRefresh, warehouseDir: *warehouseDir,
 			quarOut: *quarOut, poison: *poison, poisonRows: *poisonRows,
 			report:    *showReport,
 			traceTree: *traceTree, traceOut: *traceOut, metrics: *showMetrics,
@@ -166,6 +179,8 @@ type refOptions struct {
 	ckptDir           string
 	resume            bool
 	crash             string
+	refresh           bool
+	warehouseDir      string
 	quarOut           string
 	poison            string
 	poisonRows        int
@@ -286,6 +301,31 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 			fail(fmt.Errorf("-poison: no step %q in the workflow", id))
 		}
 	}
+	if opt.refresh {
+		if opt.warehouseDir == "" {
+			fail(fmt.Errorf("-refresh needs -warehouse-dir"))
+		}
+		warehouse := relstore.NewDB("warehouse")
+		loaded, err := loadWarehouse(opt.warehouseDir, warehouse)
+		if err != nil {
+			fail(err)
+		}
+		if loaded > 0 {
+			fmt.Printf("loaded %d warehouse table(s) from %s\n", loaded, opt.warehouseDir)
+		}
+		stats, err := compiled.RefreshContext(ctx, warehouse, opt.policy)
+		emitObservability(observer, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("refresh %q into table %q: %s\n", spec.Name, compiled.Output.Table, stats)
+		if err := saveWarehouse(opt.warehouseDir, warehouse); err != nil {
+			fail(err)
+		}
+		fmt.Printf("warehouse persisted to %s\n", opt.warehouseDir)
+		return
+	}
+
 	out, report, err := compiled.RunResilient(ctx, opt.policy, opt.workers)
 	if report != nil {
 		if restored := report.Restored(); len(restored) > 0 {
@@ -305,32 +345,7 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 		fmt.Print(report.Render())
 		fmt.Println()
 	}
-	if observer != nil {
-		if opt.traceTree {
-			fmt.Println("trace:")
-			fmt.Print(obs.RenderTree(observer.Tracer.Spans()))
-			fmt.Println()
-		}
-		if opt.traceOut != "" {
-			f, ferr := os.Create(opt.traceOut)
-			if ferr != nil {
-				fail(ferr)
-			}
-			if ferr := obs.WriteSpans(f, observer.Tracer.Spans()); ferr != nil {
-				f.Close()
-				fail(ferr)
-			}
-			if ferr := f.Close(); ferr != nil {
-				fail(ferr)
-			}
-			fmt.Printf("wrote %d spans to %s\n", observer.Tracer.Len(), opt.traceOut)
-		}
-		if opt.metrics {
-			fmt.Println("metrics:")
-			fmt.Print(observer.Metrics.Render())
-			fmt.Println()
-		}
-	}
+	emitObservability(observer, opt)
 	if err != nil {
 		fail(err)
 	}
@@ -351,6 +366,99 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 	}
 	fmt.Println("\nSmoking_D3 histogram:")
 	fmt.Print(sorted.Format())
+}
+
+// emitObservability prints whichever trace/metric outputs were requested.
+func emitObservability(observer *obs.Observer, opt refOptions) {
+	if observer == nil {
+		return
+	}
+	if opt.traceTree {
+		fmt.Println("trace:")
+		fmt.Print(obs.RenderTree(observer.Tracer.Spans()))
+		fmt.Println()
+	}
+	if opt.traceOut != "" {
+		f, ferr := os.Create(opt.traceOut)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if ferr := obs.WriteSpans(f, observer.Tracer.Spans()); ferr != nil {
+			f.Close()
+			fail(ferr)
+		}
+		if ferr := f.Close(); ferr != nil {
+			fail(ferr)
+		}
+		fmt.Printf("wrote %d spans to %s\n", observer.Tracer.Len(), opt.traceOut)
+	}
+	if opt.metrics {
+		fmt.Println("metrics:")
+		fmt.Print(observer.Metrics.Render())
+		fmt.Println()
+	}
+}
+
+// loadWarehouse restores every persisted table (<name>.rel, the typed
+// relation format) from dir into db. A missing or empty dir is a first
+// refresh, not an error.
+func loadWarehouse(dir string, db *relstore.DB) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("-warehouse-dir: %w", err)
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".rel") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return loaded, err
+		}
+		rows, err := relstore.ReadTyped(f)
+		f.Close()
+		if err != nil {
+			return loaded, fmt.Errorf("warehouse table %s: %w", e.Name(), err)
+		}
+		table, err := db.CreateTable(strings.TrimSuffix(e.Name(), ".rel"), rows.Schema)
+		if err != nil {
+			return loaded, err
+		}
+		if err := table.InsertAll(rows.Data); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// saveWarehouse persists every table in db to dir as <name>.rel.
+func saveWarehouse(dir string, db *relstore.DB) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.TableNames() {
+		table, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+".rel"))
+		if err != nil {
+			return err
+		}
+		if err := relstore.WriteTyped(f, table.Rows()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeQuarantine renders the dead-letter relation to the given path ("-"

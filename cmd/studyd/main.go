@@ -1,0 +1,156 @@
+// Command studyd is the study-serving daemon: it loads the synthetic
+// workload, vets and compiles the reference study (plus a smoking-only
+// "cohort" variant) exactly once into the serve plan cache, refreshes the
+// warehouse in the background on -refresh-interval, and serves the JSON
+// extract API until SIGTERM/SIGINT, at which point it drains: background
+// refresh stops, in-flight requests finish, and the process prints
+// "studyd: drained cleanly" before exiting 0.
+//
+// The API (see internal/serve):
+//
+//	curl localhost:8091/healthz
+//	curl localhost:8091/studies
+//	curl 'localhost:8091/studies/reference/extract?Smoking_D3=Heavy&limit=10'
+//	curl -X POST localhost:8091/studies/reference/refresh
+//	curl localhost:8091/metrics
+//
+// Usage:
+//
+//	studyd [-addr :8091] [-seed 42] [-n 200]
+//	       [-refresh-interval 0] [-max-inflight 8] [-request-timeout 10s]
+//	       [-plan-cache 16] [-result-cache 128]
+//	       [-retries 0] [-step-timeout 0] [-continue]
+//	       [-trace-out spans.jsonl]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"guava/internal/baseline"
+	"guava/internal/etl"
+	"guava/internal/obs"
+	"guava/internal/serve"
+	"guava/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8091", "listen address")
+	seed := flag.Int64("seed", 42, "workload seed")
+	n := flag.Int("n", 200, "records per contributor")
+	refreshEvery := flag.Duration("refresh-interval", 0, "background warehouse refresh period (0 = on demand only)")
+	maxInFlight := flag.Int("max-inflight", 8, "concurrent extracts admitted before 429")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline")
+	planCache := flag.Int("plan-cache", 16, "compiled plans kept resident")
+	resultCache := flag.Int("result-cache", 128, "rendered extracts kept resident")
+	retries := flag.Int("retries", 0, "refresh retries per step beyond the first attempt")
+	stepTimeout := flag.Duration("step-timeout", 0, "refresh deadline per step attempt (0 = none)")
+	contOnErr := flag.Bool("continue", false, "refresh continues past failed contributors (graceful degradation)")
+	traceOut := flag.String("trace-out", "", "append request/refresh spans as JSON lines to this file")
+	flag.Parse()
+
+	observer := &obs.Observer{Metrics: obs.NewRegistry()}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		traceFile = f
+		observer.Tracer = obs.NewTracer()
+	}
+	// Periodically drain spans to disk so the daemon's trace buffer stays
+	// bounded however long it runs.
+	drainSpans := func() {
+		if traceFile == nil {
+			return
+		}
+		if spans := observer.Tracer.Drain(); len(spans) > 0 {
+			if err := obs.WriteSpans(traceFile, spans); err != nil {
+				fmt.Fprintf(os.Stderr, "studyd: trace export: %v\n", err)
+			}
+		}
+	}
+
+	contribs, err := workload.BuildAll(*seed, *n)
+	if err != nil {
+		fail(err)
+	}
+	reference, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	cohort, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		fail(err)
+	}
+	// The cohort study serves the smoking column alone — a second plan in
+	// the cache over the same contributor databases.
+	cohort.Name = "cohort"
+	cohort.Columns = cohort.Columns[:1]
+	for _, c := range cohort.Contributors {
+		delete(c.Classifiers, "Hypoxia_D1")
+	}
+
+	srv := serve.NewServer(serve.Config{
+		RefreshInterval: *refreshEvery,
+		MaxInFlight:     *maxInFlight,
+		RequestTimeout:  *reqTimeout,
+		PlanCacheSize:   *planCache,
+		ResultCacheSize: *resultCache,
+		Policy: etl.RunPolicy{
+			MaxAttempts:     *retries + 1,
+			Backoff:         10 * time.Millisecond,
+			StepTimeout:     *stepTimeout,
+			ContinueOnError: *contOnErr,
+		},
+		Observer: observer,
+	})
+	ctx := context.Background()
+	for _, spec := range []*etl.StudySpec{reference, cohort} {
+		if err := srv.AddStudy(ctx, spec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("studyd: study %q ready\n", spec.Name)
+	}
+
+	if err := srv.Start(*addr); err != nil {
+		fail(err)
+	}
+	fmt.Printf("studyd: listening on %s (refresh interval %s)\n", srv.Addr(), *refreshEvery)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			drainSpans()
+		case sig := <-sigs:
+			fmt.Printf("studyd: %s received, draining\n", sig)
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			err := srv.Shutdown(shutdownCtx)
+			cancel()
+			drainSpans()
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			if err != nil {
+				fail(fmt.Errorf("drain: %w", err))
+			}
+			fmt.Println("studyd: drained cleanly")
+			return
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "studyd: %v\n", err)
+	os.Exit(1)
+}

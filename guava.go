@@ -128,6 +128,9 @@ type (
 	MemCheckpointer = etl.MemCheckpointer
 	// QuarantineEntry is one dead-lettered row with its provenance.
 	QuarantineEntry = etl.QuarantineEntry
+	// RefreshStats summarizes one warehouse refresh (rows added, updated,
+	// unchanged); its Changed method is the cache-invalidation signal.
+	RefreshStats = etl.RefreshStats
 
 	// Observer bundles a Tracer and a metrics Registry; attach one to a
 	// run with WithObserver to collect spans and metrics.

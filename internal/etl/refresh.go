@@ -1,8 +1,11 @@
 package etl
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
+	"guava/internal/obs"
 	"guava/internal/relstore"
 )
 
@@ -21,6 +24,10 @@ type RefreshStats struct {
 	Total     int
 }
 
+// Changed reports whether the refresh wrote anything — the signal serving
+// layers use to decide whether cached extracts are stale.
+func (s RefreshStats) Changed() bool { return s.Added > 0 || s.Updated > 0 }
+
 // String renders the stats for CLI output.
 func (s RefreshStats) String() string {
 	return fmt.Sprintf("%d rows: %d added, %d updated, %d unchanged", s.Total, s.Added, s.Updated, s.Unchanged)
@@ -29,48 +36,131 @@ func (s RefreshStats) String() string {
 // Refresh runs the study and merges its output into warehouse table
 // "Study_<name>", creating it on first refresh. It returns the merge stats.
 func (c *Compiled) Refresh(warehouse *relstore.DB) (RefreshStats, error) {
+	return c.RefreshContext(context.Background(), warehouse, RunPolicy{})
+}
+
+// RefreshContext is Refresh under a RunPolicy: the study re-runs through the
+// resilient executor (retries, timeouts, quarantine, checkpoints, graceful
+// degradation all apply), honoring ctx cancellation, and the output merges
+// into the warehouse. A degraded run merges only the surviving contributors'
+// rows; a dead contributor's existing warehouse history is left untouched,
+// never deleted — the stable-history contract of the CORI warehouse.
+//
+// The merge publishes refresh.runs/added/updated/unchanged counters into the
+// metrics registry carried by ctx (obs.MetricsFrom), so both the batch CLI
+// and the serving daemon account refresh traffic the same way.
+func (c *Compiled) RefreshContext(ctx context.Context, warehouse *relstore.DB, policy RunPolicy) (RefreshStats, error) {
 	var stats RefreshStats
-	fresh, err := c.Run()
+	ctx, span := obs.StartSpan(ctx, "refresh "+c.Spec.Name, obs.String("study", c.Spec.Name))
+	var err error
+	defer func() { span.EndErr(err) }()
+	var fresh *relstore.Rows
+	fresh, _, err = c.RunResilient(ctx, policy, 0)
 	if err != nil {
 		return stats, err
 	}
+	table, err := warehouse.EnsureTable(c.Output.Table, fresh.Schema)
+	if err != nil {
+		return stats, err
+	}
+	stats, err = Merge(table, fresh)
+	if err != nil {
+		return stats, err
+	}
+	m := obs.MetricsFrom(ctx)
+	m.Counter("refresh.runs").Inc()
+	m.Counter("refresh.added").Add(int64(stats.Added))
+	m.Counter("refresh.updated").Add(int64(stats.Updated))
+	m.Counter("refresh.unchanged").Add(int64(stats.Unchanged))
+	span.SetAttr(obs.Int("added", int64(stats.Added)), obs.Int("updated", int64(stats.Updated)),
+		obs.Int("unchanged", int64(stats.Unchanged)))
+	return stats, nil
+}
+
+// refreshKey is the merge identity: (Contributor, EntityKey), read off the
+// fixed leading columns of every compiled study output.
+func refreshKey(r relstore.Row) string {
+	return r[1].Key() + "\x1f" + r[0].Key()
+}
+
+// Merge merges a freshly computed study relation into the warehouse table,
+// grouping both sides by (Contributor, EntityKey) and comparing the groups
+// as sorted multisets. Comparing whole groups — not row-by-row against a
+// point-in-time map — keeps the merge deterministic and convergent even
+// when an entity key legitimately maps to several output rows (a has-a
+// child join): re-merging identical input is always a no-op, whatever order
+// the union produced the duplicates in.
+//
+// Merge is exported separately from RefreshContext so a serving layer can
+// run the (expensive) study outside its warehouse write lock and hold the
+// lock only for this merge.
+func Merge(table *relstore.Table, fresh *relstore.Rows) (RefreshStats, error) {
+	var stats RefreshStats
 	stats.Total = fresh.Len()
-	tableName := c.Output.Table
-	table, err := warehouse.EnsureTable(tableName, fresh.Schema)
-	if err != nil {
-		return stats, err
-	}
-	keyOf := func(r relstore.Row) string {
-		return r[1].Key() + "\x1f" + r[0].Key() // Contributor, EntityKey
-	}
-	existing := map[string]relstore.Row{}
+
+	existing := map[string][]relstore.Row{}
 	table.Scan(func(r relstore.Row) bool {
-		existing[keyOf(r)] = r.Clone()
+		k := refreshKey(r)
+		existing[k] = append(existing[k], r.Clone())
 		return true
 	})
+
+	var order []string
+	groups := map[string][]relstore.Row{}
 	for _, r := range fresh.Data {
-		k := keyOf(r)
+		k := refreshKey(r)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+
+	for _, k := range order {
+		group := groups[k]
 		old, ok := existing[k]
 		if !ok {
-			if err := table.Insert(r); err != nil {
+			if err := table.InsertAll(group); err != nil {
 				return stats, err
 			}
-			stats.Added++
+			stats.Added += len(group)
 			continue
 		}
-		if old.Equal(r) {
-			stats.Unchanged++
+		if sameRowSet(old, group) {
+			stats.Unchanged += len(group)
 			continue
 		}
 		pred := relstore.And(
-			relstore.Eq(ContributorColumn, r[1]),
-			relstore.Eq(EntityKeyColumn, r[0]),
+			relstore.Eq(ContributorColumn, group[0][1]),
+			relstore.Eq(EntityKeyColumn, group[0][0]),
 		)
-		row := r.Clone()
-		if _, err := table.Update(pred, func(relstore.Row) relstore.Row { return row.Clone() }); err != nil {
+		if _, err := table.Delete(pred); err != nil {
 			return stats, err
 		}
-		stats.Updated++
+		if err := table.InsertAll(group); err != nil {
+			return stats, err
+		}
+		stats.Updated += len(group)
 	}
 	return stats, nil
+}
+
+// sameRowSet compares two row groups as multisets, order-independently.
+func sameRowSet(a, b []relstore.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = a[i].Key()
+		kb[i] = b[i].Key()
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
 }

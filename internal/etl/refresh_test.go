@@ -1,8 +1,10 @@
 package etl
 
 import (
+	"context"
 	"testing"
 
+	"guava/internal/obs"
 	"guava/internal/relstore"
 )
 
@@ -74,5 +76,128 @@ func TestRefreshLifecycle(t *testing.T) {
 	}
 	if rows.Len() != 1 || !rows.Data[0][2].Equal(relstore.Str("Moderate")) {
 		t.Errorf("updated row = %v", rows.Data)
+	}
+}
+
+// TestRefreshContextCancellation: a canceled context aborts the refresh
+// before it can touch the warehouse.
+func TestRefreshContextCancellation(t *testing.T) {
+	spec := studyFixture(t)
+	compiled, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warehouse := relstore.NewDB("warehouse")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := compiled.RefreshContext(ctx, warehouse, RunPolicy{}); err == nil {
+		t.Fatal("refresh under a canceled context must fail")
+	}
+	if warehouse.Has("Study_exsmoker") {
+		t.Error("canceled refresh must not create the warehouse table")
+	}
+}
+
+// TestRefreshContextMetrics: the merge publishes refresh.* counters into the
+// registry carried by the context.
+func TestRefreshContextMetrics(t *testing.T) {
+	spec := studyFixture(t)
+	compiled, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warehouse := relstore.NewDB("warehouse")
+	o := obs.NewObserver()
+	ctx := obs.WithObserver(context.Background(), o)
+	stats, err := compiled.RefreshContext(ctx, warehouse, RunPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Changed() {
+		t.Fatalf("first refresh must report changes, got %+v", stats)
+	}
+	if got := o.Metrics.Counter("refresh.added").Value(); got != int64(stats.Added) {
+		t.Errorf("refresh.added = %d, want %d", got, stats.Added)
+	}
+	if got := o.Metrics.Counter("refresh.runs").Value(); got != 1 {
+		t.Errorf("refresh.runs = %d, want 1", got)
+	}
+	stats, err = compiled.RefreshContext(ctx, warehouse, RunPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Changed() {
+		t.Fatalf("idempotent refresh must not report changes, got %+v", stats)
+	}
+	if got := o.Metrics.Counter("refresh.unchanged").Value(); got != int64(stats.Unchanged) {
+		t.Errorf("refresh.unchanged = %d, want %d", got, stats.Unchanged)
+	}
+}
+
+// dupKeyRows builds a study-shaped relation where one (Contributor,
+// EntityKey) identity legitimately owns several rows — the has-a child
+// shape — in the given order.
+func dupKeyRows(t *testing.T, vals ...string) *relstore.Rows {
+	t.Helper()
+	schema := relstore.MustSchema(
+		relstore.Column{Name: EntityKeyColumn, Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: ContributorColumn, Type: relstore.KindString, NotNull: true},
+		relstore.Column{Name: "Finding", Type: relstore.KindString},
+	)
+	rows := &relstore.Rows{Schema: schema}
+	for _, v := range vals {
+		rows.Data = append(rows.Data, relstore.Row{relstore.Int(1), relstore.Str("clinicA"), relstore.Str(v)})
+	}
+	return rows
+}
+
+// TestMergeDeterministicUnderDuplicateKeys is the regression test for the
+// refresh-divergence risk: when an entity key maps to several output rows,
+// the old row-by-row merge (keyed map built once, Update matching every row
+// of the key) oscillated between states and reported spurious updates
+// forever. The group-wise merge must converge: two refreshes of identical
+// input report Updated == 0 on the second pass, regardless of row order.
+func TestMergeDeterministicUnderDuplicateKeys(t *testing.T) {
+	fresh := dupKeyRows(t, "polyp", "ulcer")
+	table := relstore.NewTable("Study_x", fresh.Schema)
+
+	stats, err := Merge(table, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 2 || stats.Updated != 0 {
+		t.Fatalf("first merge = %+v, want 2 added", stats)
+	}
+
+	// Identical content, opposite order: still a no-op.
+	again := dupKeyRows(t, "ulcer", "polyp")
+	for i := 0; i < 3; i++ {
+		stats, err = Merge(table, again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Updated != 0 || stats.Added != 0 || stats.Unchanged != 2 {
+			t.Fatalf("re-merge %d of identical input = %+v, want all unchanged", i, stats)
+		}
+	}
+	if table.Len() != 2 {
+		t.Fatalf("table rows = %d, want 2", table.Len())
+	}
+
+	// A genuine change rewrites the whole group exactly once, then settles.
+	changed := dupKeyRows(t, "polyp", "biopsy")
+	stats, err = Merge(table, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Updated != 2 || stats.Added != 0 {
+		t.Fatalf("changed merge = %+v, want 2 updated", stats)
+	}
+	stats, err = Merge(table, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Updated != 0 || stats.Unchanged != 2 {
+		t.Fatalf("post-change re-merge = %+v, want all unchanged", stats)
 	}
 }

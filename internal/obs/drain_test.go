@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// TestTracerDrain: Drain hands back the collected spans and resets the
+// buffer, and later spans keep fresh IDs (no reuse after a drain).
+func TestTracerDrain(t *testing.T) {
+	o := NewObserver()
+	ctx := WithObserver(context.Background(), o)
+	_, a := StartSpan(ctx, "a")
+	a.End()
+	_, b := StartSpan(ctx, "b")
+
+	drained := o.Tracer.Drain()
+	if len(drained) != 2 {
+		t.Fatalf("drained %d spans, want 2", len(drained))
+	}
+	if o.Tracer.Len() != 0 {
+		t.Fatalf("tracer retains %d spans after drain", o.Tracer.Len())
+	}
+
+	// An unended drained span can still end; a new span gets a new ID.
+	b.End()
+	if b.Duration() <= 0 {
+		t.Error("drained span must still record its duration on End")
+	}
+	_, c := StartSpan(ctx, "c")
+	c.End()
+	if c.ID() <= b.ID() {
+		t.Errorf("post-drain span ID %d must advance past %d", c.ID(), b.ID())
+	}
+	if got := o.Tracer.Len(); got != 1 {
+		t.Fatalf("tracer holds %d spans after drain + one new span, want 1", got)
+	}
+	if (*Tracer)(nil).Drain() != nil {
+		t.Error("nil tracer must drain to nil")
+	}
+}

@@ -224,6 +224,22 @@ func (t *Tracer) Spans() []*Span {
 	return out
 }
 
+// Drain returns every span collected so far and forgets them, so a
+// long-running process (the serving daemon) can periodically export its
+// spans without the tracer's in-memory buffer growing without bound.
+// Spans started but not yet ended are drained too; their duration is
+// still written by EndErr, the tracer just no longer retains them.
+func (t *Tracer) Drain() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.spans
+	t.spans = nil
+	return out
+}
+
 // Len reports how many spans have been started.
 func (t *Tracer) Len() int {
 	if t == nil {

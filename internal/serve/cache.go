@@ -1,0 +1,72 @@
+package serve
+
+// lru is a minimal least-recently-used map shared by the compiled-plan and
+// extract-result caches. It is NOT self-locking: each cache wraps it with
+// its own mutex so get-or-create sequences stay atomic.
+type lru[V any] struct {
+	cap   int
+	items map[string]V
+	order []string // least-recent first
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[V]{cap: capacity, items: make(map[string]V, capacity)}
+}
+
+// get returns the value for key and marks it most-recently used.
+func (l *lru[V]) get(key string) (V, bool) {
+	v, ok := l.items[key]
+	if ok {
+		l.touch(key)
+	}
+	return v, ok
+}
+
+// put inserts or replaces key, marks it most-recently used, and returns the
+// keys evicted to stay within capacity.
+func (l *lru[V]) put(key string, v V) []string {
+	if _, ok := l.items[key]; !ok {
+		l.order = append(l.order, key)
+	}
+	l.items[key] = v
+	l.touch(key)
+	var evicted []string
+	for len(l.items) > l.cap {
+		oldest := l.order[0]
+		l.order = l.order[1:]
+		delete(l.items, oldest)
+		evicted = append(evicted, oldest)
+	}
+	return evicted
+}
+
+// remove deletes key if present.
+func (l *lru[V]) remove(key string) {
+	if _, ok := l.items[key]; !ok {
+		return
+	}
+	delete(l.items, key)
+	for i, k := range l.order {
+		if k == key {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// len reports the resident entry count.
+func (l *lru[V]) len() int { return len(l.items) }
+
+// touch moves key to the most-recently-used position.
+func (l *lru[V]) touch(key string) {
+	for i, k := range l.order {
+		if k == key {
+			copy(l.order[i:], l.order[i+1:])
+			l.order[len(l.order)-1] = key
+			return
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+
+	"guava/internal/etl"
+	"guava/internal/obs"
+)
+
+// planCache is the compiled-plan LRU. Each study spec compiles exactly once
+// per cache residency: concurrent callers racing on a cold entry share one
+// compilation through the entry's sync.Once, and a plan evicted under
+// pressure simply recompiles on its next use. Compilation is pure (no
+// contributor data is read), so cached plans never go stale — eviction
+// exists only to bound memory when a daemon hosts many studies.
+type planCache struct {
+	metrics func() *obs.Registry
+
+	mu  sync.Mutex
+	lru *lru[*planEntry]
+}
+
+type planEntry struct {
+	once sync.Once
+	c    *etl.Compiled
+	err  error
+}
+
+func newPlanCache(capacity int, metrics func() *obs.Registry) *planCache {
+	return &planCache{metrics: metrics, lru: newLRU[*planEntry](capacity)}
+}
+
+// get returns the compiled plan for spec, compiling it at most once per
+// residency. Failed compilations are not cached: the entry is dropped so a
+// later call (for example after the spec is fixed) can retry.
+func (p *planCache) get(spec *etl.StudySpec) (*etl.Compiled, error) {
+	m := p.metrics()
+	p.mu.Lock()
+	e, ok := p.lru.get(spec.Name)
+	if ok {
+		m.Counter("serve.plan.cache.hit").Inc()
+	} else {
+		m.Counter("serve.plan.cache.miss").Inc()
+		e = &planEntry{}
+		evicted := p.lru.put(spec.Name, e)
+		m.Counter("serve.plan.cache.evicted").Add(int64(len(evicted)))
+	}
+	p.mu.Unlock()
+
+	e.once.Do(func() { e.c, e.err = etl.Compile(spec) })
+	if e.err != nil {
+		p.mu.Lock()
+		if cur, ok := p.lru.get(spec.Name); ok && cur == e {
+			p.lru.remove(spec.Name)
+		}
+		p.mu.Unlock()
+		return nil, e.err
+	}
+	return e.c, nil
+}
+
+// len reports how many plans are resident.
+func (p *planCache) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.len()
+}

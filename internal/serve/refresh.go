@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"guava/internal/etl"
+	"guava/internal/obs"
+)
+
+// refresh re-runs st's plan and merges the output into its warehouse
+// table. Refreshes of one study are serialized (refreshMu); the expensive
+// part — executing the plan — runs outside the data lock, so concurrent
+// extracts keep reading the previous snapshot and only block for the merge
+// itself. The study generation advances only when the merge changed data,
+// which is what keeps cached extracts valid across no-op refreshes.
+func (s *Server) refresh(ctx context.Context, st *servedStudy, kind string) (etl.RefreshStats, error) {
+	st.refreshMu.Lock()
+	defer st.refreshMu.Unlock()
+
+	ctx = s.observe(ctx)
+	ctx, span := obs.StartSpan(ctx, "serve.refresh "+st.name,
+		obs.String("study", st.name), obs.String("kind", kind))
+	var stats etl.RefreshStats
+	var err error
+	defer func() {
+		span.EndErr(err)
+		st.statMu.Lock()
+		st.refreshes++
+		st.lastRefresh = time.Now()
+		if err != nil {
+			st.lastErr = err.Error()
+		} else {
+			st.lastStats = stats
+			st.lastErr = ""
+		}
+		st.statMu.Unlock()
+	}()
+
+	compiled, err := s.plans.get(st.spec)
+	if err != nil {
+		return stats, err
+	}
+	fresh, _, err := compiled.RunResilient(ctx, s.cfg.Policy, 0)
+	if err != nil {
+		return stats, err
+	}
+
+	st.dataMu.Lock()
+	table, merr := st.warehouse.EnsureTable(st.tableName, fresh.Schema)
+	if merr == nil {
+		if !table.HasIndex(etl.ContributorColumn) {
+			_ = table.CreateIndex(etl.ContributorColumn)
+		}
+		stats, merr = etl.Merge(table, fresh)
+	}
+	st.dataMu.Unlock()
+	if err = merr; err != nil {
+		return stats, err
+	}
+
+	if stats.Changed() {
+		st.generation.Add(1)
+	}
+	m := s.metrics()
+	m.Counter("refresh.runs").Inc()
+	m.Counter("refresh.added").Add(int64(stats.Added))
+	m.Counter("refresh.updated").Add(int64(stats.Updated))
+	m.Counter("refresh.unchanged").Add(int64(stats.Unchanged))
+	span.SetAttr(obs.Int("added", int64(stats.Added)), obs.Int("updated", int64(stats.Updated)),
+		obs.Int("unchanged", int64(stats.Unchanged)), obs.Int("generation", st.generation.Load()))
+	return stats, nil
+}
+
+// refreshLoop periodically refreshes one study until stop closes. Errors
+// are recorded on the study (visible in /studies as lastError) and the
+// loop keeps going — a transiently failing contributor must not kill the
+// refresh cadence.
+func (s *Server) refreshLoop(st *servedStudy, stop <-chan struct{}) {
+	defer s.loopWG.Done()
+	tick := time.NewTicker(s.cfg.RefreshInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			s.metrics().Counter("serve.refresh.background").Inc()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+			_, _ = s.refresh(ctx, st, "background")
+			cancel()
+		}
+	}
+}

@@ -1,0 +1,587 @@
+// Package serve is the study-serving subsystem: a long-running HTTP daemon
+// over the warehouse. The paper's workflow is not one-shot — contributor
+// data "is periodically sent for inclusion in the CORI warehouse" and
+// analysts then pull study extracts repeatedly — so serve keeps each
+// study's compiled plan in an LRU cache (compiled exactly once per
+// residency), refreshes the warehouse in the background on a configurable
+// interval, and answers extract queries from a generation-stamped result
+// cache that is invalidated only when a refresh actually changes data.
+//
+// The API is zero-dependency net/http + encoding/json:
+//
+//	GET  /healthz                  liveness + drain state
+//	GET  /metrics                  internal/obs registry, JSONL
+//	GET  /studies                  every served study with refresh stats
+//	GET  /studies/{name}/extract   filtered, paginated rows (see extract.go)
+//	POST /studies/{name}/refresh   force a refresh now
+//
+// Robustness posture matches the batch path: extract admission is bounded
+// by a semaphore (429 when saturated), every request carries a deadline and
+// a span, refreshes run under an etl.RunPolicy, and Shutdown drains —
+// refresh loops stop first, then in-flight requests complete.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"guava/internal/etl"
+	"guava/internal/obs"
+	"guava/internal/relstore"
+	"guava/internal/vet"
+)
+
+// Config tunes a Server. The zero value is usable: sensible cache sizes and
+// admission limits, no background refresh (interval 0 disables the loops),
+// metrics into obs.Default, no tracing.
+type Config struct {
+	// RefreshInterval is the background refresh period per study;
+	// <= 0 disables the loops (refresh still happens on demand).
+	RefreshInterval time.Duration
+	// MaxInFlight bounds concurrently admitted extracts (default 8).
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline (default 10s).
+	RequestTimeout time.Duration
+	// PlanCacheSize bounds resident compiled plans (default 16).
+	PlanCacheSize int
+	// ResultCacheSize bounds cached rendered extracts (default 128).
+	ResultCacheSize int
+	// Policy governs refresh execution (retries, timeouts, quarantine).
+	Policy etl.RunPolicy
+	// Observer receives spans and metrics. nil routes metrics to
+	// obs.Default and records no spans.
+	Observer *obs.Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 16
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 128
+	}
+	return c
+}
+
+// servedStudy is one study's serving state. Extract readers take dataMu
+// read-side; a refresh runs the study plan outside any lock, then takes
+// dataMu write-side only for the warehouse merge — so reads stay
+// snapshot-consistent without stalling behind plan execution.
+type servedStudy struct {
+	name      string
+	spec      *etl.StudySpec
+	schema    *relstore.Schema
+	tableName string
+	warehouse *relstore.DB
+
+	// generation counts data-changing refreshes; extract results are
+	// stamped with it, so a no-op refresh preserves cache hits.
+	generation atomic.Int64
+
+	refreshMu sync.Mutex   // serializes refreshes of this study
+	dataMu    sync.RWMutex // extract readers vs merge writer
+
+	statMu      sync.Mutex
+	refreshes   int64
+	lastStats   etl.RefreshStats
+	lastRefresh time.Time
+	lastErr     string
+}
+
+// Server hosts a set of vetted studies behind the extract API.
+type Server struct {
+	cfg     Config
+	plans   *planCache
+	results *resultCache
+	slots   chan struct{}
+	start   time.Time
+
+	mu      sync.RWMutex
+	studies map[string]*servedStudy
+	loops   bool // background refresh loops running
+
+	loopStop chan struct{}
+	loopWG   sync.WaitGroup
+
+	httpSrv  *http.Server
+	addr     atomic.Value // net.Addr
+	draining atomic.Bool
+}
+
+// NewServer builds a Server from cfg. Studies are added with AddStudy;
+// Start opens the listener and (when configured) the refresh loops.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxInFlight),
+		start:   time.Now(),
+		studies: make(map[string]*servedStudy),
+	}
+	s.plans = newPlanCache(cfg.PlanCacheSize, s.metrics)
+	s.results = newResultCache(cfg.ResultCacheSize)
+	return s
+}
+
+// metrics returns the registry serve publishes into.
+func (s *Server) metrics() *obs.Registry {
+	if s.cfg.Observer != nil && s.cfg.Observer.Metrics != nil {
+		return s.cfg.Observer.Metrics
+	}
+	return obs.Default
+}
+
+// observe threads the server's observer into ctx so spans and metrics from
+// the etl layer land in the same place as serve's own.
+func (s *Server) observe(ctx context.Context) context.Context {
+	if s.cfg.Observer != nil {
+		return obs.WithObserver(ctx, s.cfg.Observer)
+	}
+	return ctx
+}
+
+// AddStudy vets spec, compiles it through the plan cache, and runs the
+// initial warehouse refresh so the study is queryable the moment it is
+// listed. A spec with vet errors is refused — the daemon serves only
+// studies that pass the same static gate as BuildVetted.
+func (s *Server) AddStudy(ctx context.Context, spec *etl.StudySpec) error {
+	if rep := vet.Study(spec, nil, nil); rep.HasErrors() {
+		return fmt.Errorf("serve: study %q failed vetting:\n%s", spec.Name, rep.Text())
+	}
+	schema, err := spec.OutputSchema()
+	if err != nil {
+		return err
+	}
+	compiled, err := s.plans.get(spec)
+	if err != nil {
+		return err
+	}
+	st := &servedStudy{
+		name:      spec.Name,
+		spec:      spec,
+		schema:    schema,
+		tableName: compiled.Output.Table,
+		warehouse: relstore.NewDB("warehouse_" + spec.Name),
+	}
+
+	s.mu.Lock()
+	if _, dup := s.studies[spec.Name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: study %q already registered", spec.Name)
+	}
+	s.studies[spec.Name] = st
+	startLoop := s.loops
+	stop := s.loopStop
+	s.mu.Unlock()
+
+	if _, err := s.refresh(ctx, st, "initial"); err != nil {
+		s.mu.Lock()
+		delete(s.studies, spec.Name)
+		s.mu.Unlock()
+		return fmt.Errorf("serve: initial refresh of %q: %w", spec.Name, err)
+	}
+	if startLoop {
+		s.loopWG.Add(1)
+		go s.refreshLoop(st, stop)
+	}
+	return nil
+}
+
+// study looks up a served study by name.
+func (s *Server) study(name string) (*servedStudy, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.studies[name]
+	return st, ok
+}
+
+// StudyNames returns the served study names, sorted.
+func (s *Server) StudyNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.studies))
+	for n := range s.studies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the API routes; usable directly under httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("GET /healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
+	mux.Handle("GET /studies", s.instrument("GET /studies", s.handleStudies))
+	mux.Handle("GET /studies/{name}/extract", s.instrument("GET /studies/{name}/extract", s.handleExtract))
+	mux.Handle("POST /studies/{name}/refresh", s.instrument("POST /studies/{name}/refresh", s.handleRefresh))
+	return mux
+}
+
+// Start listens on addr ("host:port", ":0" for ephemeral), serves the API
+// in the background, and starts the refresh loops when RefreshInterval is
+// positive. The bound address is available from Addr.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.addr.Store(ln.Addr())
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Printf("serve: %v\n", err)
+		}
+	}()
+	s.StartRefreshLoops()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if a, ok := s.addr.Load().(net.Addr); ok {
+		return a.String()
+	}
+	return ""
+}
+
+// StartRefreshLoops launches one background refresh goroutine per served
+// study. A no-op when RefreshInterval <= 0 or the loops already run.
+func (s *Server) StartRefreshLoops() {
+	if s.cfg.RefreshInterval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.loops {
+		s.mu.Unlock()
+		return
+	}
+	s.loops = true
+	s.loopStop = make(chan struct{})
+	stop := s.loopStop
+	studies := make([]*servedStudy, 0, len(s.studies))
+	for _, st := range s.studies {
+		studies = append(studies, st)
+	}
+	s.mu.Unlock()
+	for _, st := range studies {
+		s.loopWG.Add(1)
+		go s.refreshLoop(st, stop)
+	}
+}
+
+// stopRefreshLoops signals the loops and waits for them to exit.
+func (s *Server) stopRefreshLoops() {
+	s.mu.Lock()
+	running := s.loops
+	s.loops = false
+	stop := s.loopStop
+	s.mu.Unlock()
+	if !running {
+		return
+	}
+	close(stop)
+	s.loopWG.Wait()
+}
+
+// Shutdown drains the server: mark draining (healthz flips to 503 so load
+// balancers stop routing), stop the refresh loops, then let in-flight
+// requests finish under ctx's deadline. Safe to call without Start (tests
+// that mount Handler directly still get loop teardown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.stopRefreshLoops()
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusWriter captures the response code for spans and error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrument wraps a handler with the per-request span, deadline, and the
+// serve.requests / serve.errors counters.
+func (s *Server) instrument(pattern string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.metrics()
+		m.Counter("serve.requests").Inc()
+		ctx, cancel := context.WithTimeout(s.observe(r.Context()), s.cfg.RequestTimeout)
+		defer cancel()
+		ctx, span := obs.StartSpan(ctx, "http "+pattern, obs.String("path", r.URL.Path))
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		code := sw.status()
+		span.SetAttr(obs.Int("status", int64(code)))
+		if code >= 500 {
+			m.Counter("serve.errors").Inc()
+			span.EndErr(fmt.Errorf("HTTP %d", code))
+		} else {
+			span.End()
+		}
+	})
+}
+
+// writeJSON renders v with a trailing newline (curl-friendly).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// httpError renders a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleHealthz answers liveness probes; 503 once draining so routing
+// stops while in-flight work completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	s.mu.RLock()
+	n := len(s.studies)
+	s.mu.RUnlock()
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"studies":  n,
+		"inflight": len(s.slots),
+		"uptimeMs": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleMetrics exports the registry as JSONL, one sample per line — the
+// same wire format obs.WriteMetrics uses on disk.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = obs.WriteMetrics(w, s.metrics())
+}
+
+// studyInfo is one /studies listing entry.
+type studyInfo struct {
+	Name        string       `json:"name"`
+	Generation  int64        `json:"generation"`
+	Rows        int          `json:"rows"`
+	Columns     []columnInfo `json:"columns"`
+	Refreshes   int64        `json:"refreshes"`
+	LastRefresh string       `json:"lastRefresh,omitempty"`
+	LastStats   *statsJSON   `json:"lastStats,omitempty"`
+	LastError   string       `json:"lastError,omitempty"`
+}
+
+type columnInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type statsJSON struct {
+	Total     int `json:"total"`
+	Added     int `json:"added"`
+	Updated   int `json:"updated"`
+	Unchanged int `json:"unchanged"`
+}
+
+func columnInfos(schema *relstore.Schema) []columnInfo {
+	cols := make([]columnInfo, 0, len(schema.Columns))
+	for _, c := range schema.Columns {
+		cols = append(cols, columnInfo{Name: c.Name, Kind: c.Type.String()})
+	}
+	return cols
+}
+
+// handleStudies lists every served study with its serving state.
+func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
+	var infos []studyInfo
+	for _, name := range s.StudyNames() {
+		st, ok := s.study(name)
+		if !ok {
+			continue
+		}
+		info := studyInfo{
+			Name:       st.name,
+			Generation: st.generation.Load(),
+			Columns:    columnInfos(st.schema),
+		}
+		st.dataMu.RLock()
+		if table, err := st.warehouse.Table(st.tableName); err == nil {
+			info.Rows = table.Len()
+		}
+		st.dataMu.RUnlock()
+		st.statMu.Lock()
+		info.Refreshes = st.refreshes
+		if !st.lastRefresh.IsZero() {
+			info.LastRefresh = st.lastRefresh.UTC().Format(time.RFC3339)
+			stats := st.lastStats
+			info.LastStats = &statsJSON{Total: stats.Total, Added: stats.Added, Updated: stats.Updated, Unchanged: stats.Unchanged}
+		}
+		info.LastError = st.lastErr
+		st.statMu.Unlock()
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"studies": infos})
+}
+
+// handleExtract serves filtered, paginated study rows. Admission is a
+// non-blocking semaphore acquire: a saturated server answers 429
+// immediately instead of queueing unbounded work.
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics()
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	default:
+		m.Counter("serve.rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "server saturated: %d extracts in flight", cap(s.slots))
+		return
+	}
+	g := m.Gauge("serve.inflight")
+	g.Add(1)
+	defer g.Add(-1)
+	began := time.Now()
+	defer func() {
+		m.Histogram("serve.extract.latency_ms").Observe(float64(time.Since(began).Microseconds()) / 1000)
+	}()
+
+	st, ok := s.study(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no study %q", r.PathValue("name"))
+		return
+	}
+	query, err := parseExtractQuery(st.schema, r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Read the generation before touching data: if a refresh lands
+	// between here and the read below, the body is cached under the old
+	// stamp and simply re-renders next time — stale data is never served
+	// as current.
+	gen := st.generation.Load()
+	cacheKey := st.name + "?" + query.key
+	if body, ok := s.results.get(cacheKey, gen); ok {
+		m.Counter("serve.extract.cache.hit").Inc()
+		w.Header().Set("X-Guava-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+	m.Counter("serve.extract.cache.miss").Inc()
+
+	if err := r.Context().Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "request deadline exceeded")
+		return
+	}
+
+	st.dataMu.RLock()
+	table, err := st.warehouse.Table(st.tableName)
+	var rows *relstore.Rows
+	if err == nil {
+		rows, err = table.Select(query.pred)
+	}
+	st.dataMu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "extract failed: %v", err)
+		return
+	}
+	// Deterministic pagination: the same all-column order the batch path
+	// uses for study output.
+	rows, err = relstore.SortBy(rows, rows.Schema.Names()...)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "extract sort failed: %v", err)
+		return
+	}
+
+	total := rows.Len()
+	lo := min(query.offset, total)
+	hi := min(lo+query.limit, total)
+	page := make([][]any, 0, hi-lo)
+	for _, row := range rows.Data[lo:hi] {
+		cells := make([]any, len(row))
+		for i, v := range row {
+			cells[i] = valueJSON(v)
+		}
+		page = append(page, cells)
+	}
+	body, err := json.Marshal(map[string]any{
+		"study":      st.name,
+		"generation": gen,
+		"total":      total,
+		"offset":     query.offset,
+		"limit":      query.limit,
+		"returned":   hi - lo,
+		"columns":    columnInfos(st.schema),
+		"rows":       page,
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "render failed: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	evicted := s.results.put(cacheKey, gen, body)
+	m.Counter("serve.extract.cache.evicted").Add(int64(evicted))
+
+	w.Header().Set("X-Guava-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// handleRefresh forces a refresh of one study and reports the merge stats.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.study(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no study %q", r.PathValue("name"))
+		return
+	}
+	s.metrics().Counter("serve.refresh.forced").Inc()
+	stats, err := s.refresh(r.Context(), st, "forced")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "refresh failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"study":      st.name,
+		"generation": st.generation.Load(),
+		"changed":    stats.Changed(),
+		"stats":      statsJSON{Total: stats.Total, Added: stats.Added, Updated: stats.Updated, Unchanged: stats.Unchanged},
+	})
+}

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"guava/internal/classifier"
+	"guava/internal/etl"
+	"guava/internal/gtree"
+	"guava/internal/obs"
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+	"guava/internal/ui"
+)
+
+// contribFixture builds a contributor: a small Procedure form, a pattern
+// stack, a populated database, and the derived g-tree (the same shape the
+// etl tests use, so serve exercises real compiled plans end to end).
+func contribFixture(t *testing.T, name string, stack *patterns.Stack, records []map[string]relstore.Value) *etl.ContributorPlan {
+	t.Helper()
+	f := &ui.Form{
+		Name: "Procedure", KeyColumn: "ProcedureID",
+		Controls: []*ui.Control{
+			{Name: "PacksPerDay", Kind: ui.TextBox, Question: "Packs per day", DataType: relstore.KindFloat},
+			{Name: "Hypoxia", Kind: ui.CheckBox, Question: "Hypoxia?"},
+			{Name: "SurgeryPerformed", Kind: ui.CheckBox, Question: "Surgery?"},
+		},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := gtree.Derive(name, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := patterns.FromUIForm(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relstore.NewDB(name)
+	if err := stack.Install(db, info); err != nil {
+		t.Fatal(err)
+	}
+	sink := &patterns.Sink{DB: db, Stack: stack}
+	for i, rec := range records {
+		e, err := ui.NewEntry(f, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range rec {
+			if err := e.Set(k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Submit(sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &etl.ContributorPlan{Name: name, DB: db, Tree: tree, Stack: stack, Form: info}
+}
+
+var habitsTarget = classifier.Target{
+	Entity: "Procedure", Attribute: "Smoking", Domain: "D3",
+	Kind: relstore.KindString, Elements: []string{"None", "Light", "Moderate", "Heavy"},
+}
+
+// fixtureSpec builds a two-clinic study whose contributor databases the
+// tests can mutate to force data-changing refreshes. With the records
+// below, the surgery filter admits 4 rows (clinicA 1,2; clinicB 1,2).
+func fixtureSpec(t *testing.T, habitsRules string) *etl.StudySpec {
+	t.Helper()
+	stackA := patterns.NewStack(patterns.Generic{}, &patterns.Audit{})
+	stackB := patterns.NewStack(&patterns.Split{}, &patterns.Encode{})
+
+	recsA := []map[string]relstore.Value{
+		{"PacksPerDay": relstore.Float(0), "Hypoxia": relstore.Bool(false), "SurgeryPerformed": relstore.Bool(true)},
+		{"PacksPerDay": relstore.Float(3), "Hypoxia": relstore.Bool(true), "SurgeryPerformed": relstore.Bool(true)},
+		{"PacksPerDay": relstore.Float(7), "Hypoxia": relstore.Bool(true), "SurgeryPerformed": relstore.Bool(false)},
+	}
+	recsB := []map[string]relstore.Value{
+		{"PacksPerDay": relstore.Float(1), "Hypoxia": relstore.Bool(false), "SurgeryPerformed": relstore.Bool(true)},
+		{"Hypoxia": relstore.Bool(true), "SurgeryPerformed": relstore.Bool(true)},
+	}
+	ca := contribFixture(t, "clinicA", stackA, recsA)
+	cb := contribFixture(t, "clinicB", stackB, recsB)
+
+	entity, err := classifier.ParseEntity("Relevant", "surgery only", "Procedure",
+		"Procedure <- Procedure AND SurgeryPerformed = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	habits, err := classifier.Parse("Habits (Cancer)", "", habitsTarget, habitsRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hypoxia, err := classifier.Parse("Hypoxia passthrough", "", classifier.Target{
+		Entity: "Procedure", Attribute: "Hypoxia", Domain: "D1", Kind: relstore.KindBool,
+	}, "Hypoxia <- TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*etl.ContributorPlan{ca, cb} {
+		c.Entity = entity
+		c.Classifiers = map[string]*classifier.Classifier{
+			"Smoking_D3": habits,
+			"Hypoxia_D1": hypoxia,
+		}
+	}
+	return &etl.StudySpec{
+		Name: "exsmoker",
+		Columns: []etl.ColumnSpec{
+			{As: "Smoking_D3", Attribute: "Smoking", Domain: "D3", Kind: relstore.KindString},
+			{As: "Hypoxia_D1", Attribute: "Hypoxia", Domain: "D1", Kind: relstore.KindBool},
+		},
+		Contributors: []*etl.ContributorPlan{ca, cb},
+	}
+}
+
+const goodHabits = `
+None     <- PacksPerDay = 0
+Light    <- 0 < PacksPerDay < 2
+Moderate <- 2 <= PacksPerDay < 5
+Heavy    <- PacksPerDay >= 5
+`
+
+// newTestServer stands up a Server over the fixture study and an httptest
+// front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *etl.StudySpec, *httptest.Server) {
+	t.Helper()
+	if cfg.Observer == nil {
+		cfg.Observer = obs.NewObserver()
+	}
+	spec := fixtureSpec(t, goodHabits)
+	srv := NewServer(cfg)
+	if err := srv.AddStudy(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, spec, ts
+}
+
+// get fetches url and decodes the JSON body into a map.
+func get(t *testing.T, url string) (int, http.Header, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", url, raw, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestServeEndToEnd covers the read side: health, listing, extraction with
+// filters and pagination, result caching, and error statuses.
+func TestServeEndToEnd(t *testing.T) {
+	srv, _, ts := newTestServer(t, Config{})
+
+	code, _, health := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, health)
+	}
+	if health["studies"].(float64) != 1 {
+		t.Errorf("healthz studies = %v, want 1", health["studies"])
+	}
+
+	code, _, list := get(t, ts.URL+"/studies")
+	if code != http.StatusOK {
+		t.Fatalf("studies = %d", code)
+	}
+	studies := list["studies"].([]any)
+	if len(studies) != 1 {
+		t.Fatalf("studies = %v", list)
+	}
+	info := studies[0].(map[string]any)
+	if info["name"] != "exsmoker" || info["rows"].(float64) != 4 || info["generation"].(float64) != 1 {
+		t.Errorf("study info = %v", info)
+	}
+	if info["lastStats"].(map[string]any)["added"].(float64) != 4 {
+		t.Errorf("lastStats = %v", info["lastStats"])
+	}
+
+	// First extract misses, second hits, bodies agree.
+	code, hdr, body := get(t, ts.URL+"/studies/exsmoker/extract")
+	if code != http.StatusOK || hdr.Get("X-Guava-Cache") != "miss" {
+		t.Fatalf("first extract = %d cache=%q", code, hdr.Get("X-Guava-Cache"))
+	}
+	if body["total"].(float64) != 4 || body["returned"].(float64) != 4 {
+		t.Errorf("extract body = %v", body)
+	}
+	code, hdr, body2 := get(t, ts.URL+"/studies/exsmoker/extract")
+	if code != http.StatusOK || hdr.Get("X-Guava-Cache") != "hit" {
+		t.Fatalf("second extract = %d cache=%q", code, hdr.Get("X-Guava-Cache"))
+	}
+	if fmt.Sprint(body) != fmt.Sprint(body2) {
+		t.Errorf("cached body diverges:\n%v\n%v", body, body2)
+	}
+
+	// Filters push into the store: only clinicA rows with packs >= 3.
+	code, _, filtered := get(t, ts.URL+"/studies/exsmoker/extract?Contributor=clinicA&Smoking_D3.ne=None")
+	if code != http.StatusOK {
+		t.Fatalf("filtered extract = %d %v", code, filtered)
+	}
+	rows := filtered["rows"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("filtered rows = %v", rows)
+	}
+	if row := rows[0].([]any); row[1] != "clinicA" || row[2] != "Moderate" {
+		t.Errorf("filtered row = %v", row)
+	}
+
+	// Pagination is deterministic: two disjoint windows cover the set.
+	_, _, p1 := get(t, ts.URL+"/studies/exsmoker/extract?limit=2")
+	_, _, p2 := get(t, ts.URL+"/studies/exsmoker/extract?limit=2&offset=2")
+	if p1["returned"].(float64) != 2 || p2["returned"].(float64) != 2 {
+		t.Fatalf("pages = %v / %v", p1, p2)
+	}
+	if fmt.Sprint(p1["rows"]) == fmt.Sprint(p2["rows"]) {
+		t.Error("offset pages must differ")
+	}
+
+	// Error surfaces.
+	for url, want := range map[string]int{
+		"/studies/nope/extract":                     http.StatusNotFound,
+		"/studies/exsmoker/extract?NoSuchCol=1":     http.StatusBadRequest,
+		"/studies/exsmoker/extract?EntityKey.zz=1":  http.StatusBadRequest,
+		"/studies/exsmoker/extract?EntityKey=ten":   http.StatusBadRequest,
+		"/studies/exsmoker/extract?limit=-1":        http.StatusBadRequest,
+		"/studies/exsmoker/extract?offset=x":        http.StatusBadRequest,
+		"/studies/exsmoker/extract?Hypoxia_D1=perh": http.StatusBadRequest,
+	} {
+		if code, _, body := get(t, ts.URL+url); code != want {
+			t.Errorf("GET %s = %d (%v), want %d", url, code, body, want)
+		}
+	}
+
+	// Metrics export includes the serve counters.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	m := srv.metrics()
+	if m.Counter("serve.extract.cache.hit").Value() < 1 || m.Counter("serve.extract.cache.miss").Value() < 1 {
+		t.Errorf("cache counters = hit %d miss %d", m.Counter("serve.extract.cache.hit").Value(),
+			m.Counter("serve.extract.cache.miss").Value())
+	}
+	if len(raw) == 0 {
+		t.Error("metrics export is empty")
+	}
+
+	// Every request got a span.
+	if cfgTracer := srv.cfg.Observer.Tracer; cfgTracer.Len() == 0 {
+		t.Error("no spans recorded")
+	} else if cfgTracer.Find("http GET /studies/{name}/extract") == nil {
+		t.Error("extract requests are missing spans")
+	}
+}
+
+// TestForcedRefreshAndInvalidation is the serving cache contract: a no-op
+// refresh keeps cached extracts valid; a data-changing refresh bumps the
+// generation and invalidates them.
+func TestForcedRefreshAndInvalidation(t *testing.T) {
+	_, spec, ts := newTestServer(t, Config{})
+
+	// Warm the cache.
+	get(t, ts.URL+"/studies/exsmoker/extract")
+	_, hdr, _ := get(t, ts.URL+"/studies/exsmoker/extract")
+	if hdr.Get("X-Guava-Cache") != "hit" {
+		t.Fatal("cache must be warm before the refresh")
+	}
+
+	// Forced refresh with unchanged contributor data: no-op, cache stays.
+	resp, err := http.Post(ts.URL+"/studies/exsmoker/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ref); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ref["changed"] != false || ref["generation"].(float64) != 1 {
+		t.Fatalf("no-op refresh = %d %v", resp.StatusCode, ref)
+	}
+	if _, hdr, _ := get(t, ts.URL+"/studies/exsmoker/extract"); hdr.Get("X-Guava-Cache") != "hit" {
+		t.Error("no-op refresh must preserve cached extracts")
+	}
+
+	// A clinic submits a new surgical report; the next refresh must see it.
+	clinicA := spec.Contributors[0]
+	if err := clinicA.Stack.WriteValues(clinicA.DB, clinicA.Form, map[string]relstore.Value{
+		"ProcedureID":      relstore.Int(10),
+		"PacksPerDay":      relstore.Float(1),
+		"Hypoxia":          relstore.Bool(false),
+		"SurgeryPerformed": relstore.Bool(true),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/studies/exsmoker/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref = map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&ref); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ref["changed"] != true || ref["generation"].(float64) != 2 {
+		t.Fatalf("changing refresh = %v", ref)
+	}
+	code, hdr, body := get(t, ts.URL+"/studies/exsmoker/extract")
+	if code != http.StatusOK || hdr.Get("X-Guava-Cache") != "miss" {
+		t.Fatalf("post-change extract = %d cache=%q", code, hdr.Get("X-Guava-Cache"))
+	}
+	if body["total"].(float64) != 5 || body["generation"].(float64) != 2 {
+		t.Errorf("post-change body = %v", body)
+	}
+}
+
+// TestAdmissionControl: with every slot occupied, extracts are rejected
+// with 429 immediately rather than queued.
+func TestAdmissionControl(t *testing.T) {
+	srv, _, ts := newTestServer(t, Config{MaxInFlight: 2})
+	srv.slots <- struct{}{}
+	srv.slots <- struct{}{}
+	code, _, body := get(t, ts.URL+"/studies/exsmoker/extract")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated extract = %d %v", code, body)
+	}
+	if got := srv.metrics().Counter("serve.rejected").Value(); got != 1 {
+		t.Errorf("serve.rejected = %d, want 1", got)
+	}
+	<-srv.slots
+	<-srv.slots
+	if code, _, _ := get(t, ts.URL+"/studies/exsmoker/extract"); code != http.StatusOK {
+		t.Errorf("extract after slots free = %d", code)
+	}
+}
+
+// TestBackgroundRefreshAndDrain: the refresh loops tick on their own, and
+// Shutdown stops them before completing.
+func TestBackgroundRefreshAndDrain(t *testing.T) {
+	srv, _, ts := newTestServer(t, Config{RefreshInterval: 5 * time.Millisecond})
+	srv.StartRefreshLoops()
+
+	m := srv.metrics()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Counter("serve.refresh.background").Value() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background refresh never ticked twice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Draining() {
+		t.Error("server must report draining after Shutdown")
+	}
+	if code, _, body := get(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Errorf("draining healthz = %d %v", code, body)
+	}
+	// Loops are stopped: the counter cannot advance any more.
+	n := m.Counter("refresh.runs").Value()
+	time.Sleep(25 * time.Millisecond)
+	if got := m.Counter("refresh.runs").Value(); got != n {
+		t.Errorf("refresh.runs advanced after drain: %d -> %d", n, got)
+	}
+}
+
+// TestVetGateRefusesBadStudy: a spec with vet errors (classifier emitting
+// outside its domain, GV104) never becomes servable.
+func TestVetGateRefusesBadStudy(t *testing.T) {
+	spec := fixtureSpec(t, "Extreme <- PacksPerDay > 5\nNone <- TRUE")
+	srv := NewServer(Config{Observer: obs.NewObserver()})
+	if err := srv.AddStudy(context.Background(), spec); err == nil {
+		t.Fatal("AddStudy accepted a study that fails vetting")
+	}
+	if len(srv.StudyNames()) != 0 {
+		t.Errorf("vet-rejected study is registered: %v", srv.StudyNames())
+	}
+}
+
+// TestPlanCacheCompileOnce: repeated serving traffic compiles each study a
+// single time, and eviction under pressure recompiles on return.
+func TestPlanCacheCompileOnce(t *testing.T) {
+	o := obs.NewObserver()
+	srv, _, ts := newTestServer(t, Config{Observer: o})
+	for i := 0; i < 3; i++ {
+		if resp, err := http.Post(ts.URL+"/studies/exsmoker/refresh", "", nil); err == nil {
+			resp.Body.Close()
+		}
+	}
+	m := srv.metrics()
+	if got := m.Counter("serve.plan.cache.miss").Value(); got != 1 {
+		t.Errorf("plan compiled %d times, want 1", got)
+	}
+	// The initial refresh and the three forced ones all hit the cache.
+	if got := m.Counter("serve.plan.cache.hit").Value(); got != 4 {
+		t.Errorf("plan cache hits = %d, want 4", got)
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestExtractRequestsDeterministic: the same seed yields the same traffic,
+// a different seed a different mix, and every request parses as a query
+// over the reference study's real columns.
+func TestExtractRequestsDeterministic(t *testing.T) {
+	a := ExtractRequests("reference", 200, 7)
+	b := ExtractRequests("reference", 200, 7)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("generated %d/%d requests, want 200", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("request %d diverges under one seed: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := ExtractRequests("reference", 200, 8)
+	same := 0
+	for i := range a {
+		if a[i].String() == c[i].String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traffic")
+	}
+
+	// The hot shape repeats — a result cache must be able to prove itself.
+	counts := map[string]int{}
+	for _, r := range a {
+		counts[r.String()]++
+	}
+	max := 0
+	for _, n := range counts {
+		max = maxInt(max, n)
+	}
+	if max < 20 {
+		t.Errorf("hottest request repeats only %d times in 200", max)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestDrive: the driver fans requests across clients, counts hits and
+// errors, and reports ordered quantiles.
+func TestDrive(t *testing.T) {
+	reqs := ExtractRequests("reference", 40, 1)
+	stats := Drive(reqs, 4, func(r ExtractRequest) (bool, error) {
+		time.Sleep(100 * time.Microsecond)
+		switch {
+		case r.Params["limit"] != nil && r.Params["offset"] == nil:
+			return true, nil // pretend the hot shape always hits
+		case r.Params["Hypoxia_D1"] != nil:
+			return false, errors.New("boom")
+		default:
+			return false, nil
+		}
+	})
+	if stats.Requests != 40 {
+		t.Fatalf("requests = %d, want 40", stats.Requests)
+	}
+	if stats.Hits == 0 {
+		t.Error("hot requests must register hits")
+	}
+	if stats.Hits+stats.Errors > stats.Requests {
+		t.Errorf("hits %d + errors %d exceed %d requests", stats.Hits, stats.Errors, stats.Requests)
+	}
+	if stats.HitRatio() <= 0 || stats.HitRatio() > 1 {
+		t.Errorf("hit ratio = %v", stats.HitRatio())
+	}
+	if stats.P50() <= 0 || stats.P99() < stats.P50() {
+		t.Errorf("quantiles disordered: p50=%v p99=%v", stats.P50(), stats.P99())
+	}
+	if stats.Throughput() <= 0 {
+		t.Errorf("throughput = %v", stats.Throughput())
+	}
+	if got := fmt.Sprint(reqs[0]); got == "" {
+		t.Error("request must render")
+	}
+}

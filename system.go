@@ -152,6 +152,16 @@ func (st *Study) Refresh(warehouse *DB) (etl.RefreshStats, error) {
 	return st.compiled.Refresh(warehouse)
 }
 
+// RefreshContext is Refresh under a RunPolicy and a cancellable context:
+// the study re-runs through the resilient executor (retries, timeouts,
+// quarantine, graceful degradation), and only the surviving contributors'
+// rows merge — a dead contributor's warehouse history is left untouched.
+// Attach an Observer to ctx (obs.WithObserver) to trace the refresh and
+// collect the refresh.* counters.
+func (st *Study) RefreshContext(ctx context.Context, warehouse *DB, policy etl.RunPolicy) (etl.RefreshStats, error) {
+	return st.compiled.RefreshContext(ctx, warehouse, policy)
+}
+
 // RunParallel executes the study with the per-contributor chains running
 // concurrently; workers bounds concurrency (<= 0 means unbounded).
 func (st *Study) RunParallel(workers int) (*Rows, error) {
