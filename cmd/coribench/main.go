@@ -32,15 +32,22 @@
 // invocations cost). -min-speedup makes a too-small warm-cache advantage
 // an error — the CI regression gate.
 //
+// R6 measures the incremental-refresh layer: a fixed-size mutation tick
+// refreshed through the journal-driven delta path vs a full plan recompute,
+// at warehouse scales 100x apart. -max-flat gates how much the delta tick
+// may slow down across the scales; -min-delta-speedup gates its advantage
+// over the full recompute at the largest scale.
+//
 // -cpuprofile, -memprofile, and -trace enable the stdlib profilers for
 // any experiment selection.
 //
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5] [-seed 42] [-n 200]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5|R6] [-seed 42] [-n 200]
 //	          [-faults 0.33] [-retries 2] [-observe]
 //	          [-max-overhead 0] [-clients 8] [-requests 400]
-//	          [-min-speedup 0] [-cpuprofile f] [-memprofile f] [-trace f]
+//	          [-min-speedup 0] [-delta-batch 24] [-max-flat 0]
+//	          [-min-delta-speedup 0] [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
 import (
@@ -66,7 +73,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5, R6")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
 	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
@@ -76,6 +83,9 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent load-generator clients (R5)")
 	requests := flag.Int("requests", 400, "extract requests per load pass (R5)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail if R5 warm-cache p50 speedup falls below this factor (0 = report only)")
+	deltaBatch := flag.Int("delta-batch", 24, "contributor mutations per refresh tick (R6)")
+	maxFlat := flag.Float64("max-flat", 0, "fail if R6 delta tick latency grows by more than this factor across the warehouse scales (0 = report only)")
+	minDeltaSpeedup := flag.Float64("min-delta-speedup", 0, "fail if R6 delta-vs-full speedup at the largest scale falls below this factor (0 = report only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	execTrace := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -121,6 +131,9 @@ func main() {
 	}
 	if run("R5") {
 		expR5(*seed, *n, *clients, *requests, *minSpeedup)
+	}
+	if run("R6") {
+		expR6(*seed, *deltaBatch, *maxFlat, *minDeltaSpeedup)
 	}
 }
 

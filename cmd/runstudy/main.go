@@ -31,7 +31,20 @@
 // the refresh runs under the same RunPolicy switches as a normal run, the
 // merge stats print, and the updated tables persist back. Run it twice
 // with unchanged contributor data and the second pass reports all rows
-// unchanged.
+// unchanged. A full -refresh also persists the contributors' journal
+// cursors to -cursor-file (default <warehouse-dir>/cursors.json).
+//
+// Incremental refresh (reference study): -refresh-delta loads those
+// cursors and recomputes only the entities whose journal entries lie past
+// them, patching the warehouse group-wise instead of re-running the whole
+// plan. -mutate-count N (with -mutate-seed) applies N deterministic random
+// contributor mutations after the build, so a delta run and a from-scratch
+// full run given the same flags converge on byte-identical .rel files:
+//
+//	runstudy -refresh -warehouse-dir w1
+//	runstudy -refresh-delta -warehouse-dir w1 -mutate-seed 5 -mutate-count 25
+//	runstudy -refresh -warehouse-dir w2 -mutate-seed 5 -mutate-count 25
+//	cmp w1/Study_reference.rel w2/Study_reference.rel
 //
 // Observability (reference study): -trace-tree prints the run's span
 // tree, -trace-out writes the spans as JSON lines, -metrics prints the
@@ -45,7 +58,8 @@
 //	         [-vet] [-plan] [-sql] [-xquery] [-rows 10]
 //	         [-parallel 1] [-retries 0] [-step-timeout 0] [-timeout 0]
 //	         [-continue] [-fail contributor,...] [-report]
-//	         [-refresh] [-warehouse-dir dir]
+//	         [-refresh] [-refresh-delta] [-warehouse-dir dir]
+//	         [-cursor-file file] [-mutate-seed 1] [-mutate-count 0]
 //	         [-checkpoint-dir dir] [-resume] [-crash step[:before|:after]]
 //	         [-quarantine-budget 0] [-quarantine-out file|-]
 //	         [-poison contributor] [-poison-rows 1]
@@ -92,7 +106,11 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint completed steps into this directory (reference study)")
 	resume := flag.Bool("resume", false, "reuse checkpoints from a previous run in -checkpoint-dir instead of clearing them")
 	doRefresh := flag.Bool("refresh", false, "merge the study output into the warehouse in -warehouse-dir instead of printing it (reference study)")
-	warehouseDir := flag.String("warehouse-dir", "", "directory holding the persistent warehouse tables for -refresh")
+	doDeltaRefresh := flag.Bool("refresh-delta", false, "refresh the warehouse incrementally from the contributor change journals, using the cursors persisted by a previous -refresh (reference study)")
+	warehouseDir := flag.String("warehouse-dir", "", "directory holding the persistent warehouse tables for -refresh / -refresh-delta")
+	cursorFile := flag.String("cursor-file", "", "path for the persisted delta cursors (default <warehouse-dir>/cursors.json)")
+	mutateSeed := flag.Int64("mutate-seed", 1, "seed for -mutate-count's synthetic mutation batch")
+	mutateCount := flag.Int("mutate-count", 0, "apply this many random contributor mutations (inserts/updates/deprecations) after building the workload")
 	crashAt := flag.String("crash", "", "simulate a process crash at this step; step or step:before|:after (reference study)")
 	quarBudget := flag.Int("quarantine-budget", 0, "max rows diverted to the dead-letter relation before a step fails (0 = quarantine off)")
 	quarOut := flag.String("quarantine-out", "", "write the quarantined rows with provenance to this file (\"-\" = stdout)")
@@ -121,6 +139,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *mutateCount > 0 {
+		// Deterministic from (workload state, seed): a delta-refresh run and
+		// a from-scratch full run given the same -mutate-* flags see the
+		// same post-mutation contributor databases.
+		batch := workload.RandomBatch(contribs, *mutateSeed, *mutateCount)
+		if err := workload.Apply(contribs, batch); err != nil {
+			fail(err)
+		}
+		fmt.Printf("applied %d synthetic mutation(s) (seed %d)\n", len(batch), *mutateSeed)
+	}
 	switch *studyName {
 	case "reference":
 		policy := etl.RunPolicy{
@@ -136,7 +164,8 @@ func main() {
 			plan: *showPlan, sql: *showSQL, xquery: *showXQ, rows: *rows,
 			workers: *workers, policy: policy, fail: splitList(*failContribs),
 			ckptDir: *ckptDir, resume: *resume, crash: *crashAt,
-			refresh: *doRefresh, warehouseDir: *warehouseDir,
+			refresh: *doRefresh, refreshDelta: *doDeltaRefresh,
+			warehouseDir: *warehouseDir, cursorFile: *cursorFile,
 			quarOut: *quarOut, poison: *poison, poisonRows: *poisonRows,
 			report:    *showReport,
 			traceTree: *traceTree, traceOut: *traceOut, metrics: *showMetrics,
@@ -180,7 +209,9 @@ type refOptions struct {
 	resume            bool
 	crash             string
 	refresh           bool
+	refreshDelta      bool
 	warehouseDir      string
+	cursorFile        string
 	quarOut           string
 	poison            string
 	poisonRows        int
@@ -301,9 +332,13 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 			fail(fmt.Errorf("-poison: no step %q in the workflow", id))
 		}
 	}
-	if opt.refresh {
+	if opt.refresh || opt.refreshDelta {
 		if opt.warehouseDir == "" {
-			fail(fmt.Errorf("-refresh needs -warehouse-dir"))
+			fail(fmt.Errorf("-refresh/-refresh-delta need -warehouse-dir"))
+		}
+		cursorFile := opt.cursorFile
+		if cursorFile == "" {
+			cursorFile = filepath.Join(opt.warehouseDir, "cursors.json")
 		}
 		warehouse := relstore.NewDB("warehouse")
 		loaded, err := loadWarehouse(opt.warehouseDir, warehouse)
@@ -313,14 +348,42 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 		if loaded > 0 {
 			fmt.Printf("loaded %d warehouse table(s) from %s\n", loaded, opt.warehouseDir)
 		}
-		stats, err := compiled.RefreshContext(ctx, warehouse, opt.policy)
-		emitObservability(observer, opt)
-		if err != nil {
-			fail(err)
+		var cursors *etl.DeltaCursors
+		if opt.refreshDelta {
+			// The persisted cursors mark what the last run already applied;
+			// only journal entries past them are recomputed.
+			if cursors, err = etl.LoadDeltaCursors(cursorFile); err != nil {
+				fail(err)
+			}
+			report, rerr := compiled.RefreshDelta(ctx, warehouse, etl.DeltaOptions{Cursors: cursors})
+			emitObservability(observer, opt)
+			if rerr != nil {
+				fail(rerr)
+			}
+			fmt.Printf("delta refresh %q into table %q: %d changed key(s), %s\n",
+				spec.Name, compiled.Output.Table, report.Keys, report.Stats)
+		} else {
+			// Pin the cursors before the full run: anything the plan sees is
+			// at or below them, so the next -refresh-delta starts exactly
+			// where this refresh left off.
+			cursors = etl.NewDeltaCursors()
+			if err := compiled.SeedDeltaCursors(cursors); err != nil {
+				cursors = nil
+			}
+			stats, rerr := compiled.RefreshContext(ctx, warehouse, opt.policy)
+			emitObservability(observer, opt)
+			if rerr != nil {
+				fail(rerr)
+			}
+			fmt.Printf("refresh %q into table %q: %s\n", spec.Name, compiled.Output.Table, stats)
 		}
-		fmt.Printf("refresh %q into table %q: %s\n", spec.Name, compiled.Output.Table, stats)
 		if err := saveWarehouse(opt.warehouseDir, warehouse); err != nil {
 			fail(err)
+		}
+		if cursors != nil {
+			if err := cursors.Save(cursorFile); err != nil {
+				fail(err)
+			}
 		}
 		fmt.Printf("warehouse persisted to %s\n", opt.warehouseDir)
 		return
@@ -436,7 +499,9 @@ func loadWarehouse(dir string, db *relstore.DB) (int, error) {
 	return loaded, nil
 }
 
-// saveWarehouse persists every table in db to dir as <name>.rel.
+// saveWarehouse persists every table in db to dir as <name>.rel, sorted on
+// every column — canonical bytes, so warehouses reached by different routes
+// (delta refresh vs full recompute) compare equal with plain cmp.
 func saveWarehouse(dir string, db *relstore.DB) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -446,11 +511,16 @@ func saveWarehouse(dir string, db *relstore.DB) error {
 		if err != nil {
 			return err
 		}
+		rows := table.Rows()
+		sorted, err := relstore.SortBy(rows, rows.Schema.Names()...)
+		if err != nil {
+			return err
+		}
 		f, err := os.Create(filepath.Join(dir, name+".rel"))
 		if err != nil {
 			return err
 		}
-		if err := relstore.WriteTyped(f, table.Rows()); err != nil {
+		if err := relstore.WriteTyped(f, sorted); err != nil {
 			f.Close()
 			return err
 		}

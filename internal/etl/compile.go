@@ -230,15 +230,10 @@ func CompileTraced(ctx context.Context, spec *StudySpec) (_ *Compiled, err error
 			To:      tmp2,
 		}, extractID)
 
-		derive := []relstore.Derivation{
-			{Name: EntityKeyColumn, Type: relstore.KindInt, Expr: relstore.Col(c.Form.KeyColumn)},
-			{Name: ContributorColumn, Type: relstore.KindString, Expr: relstore.Lit(relstore.Str(c.Name))},
-		}
-		for _, col := range spec.Columns {
-			derive = append(derive, relstore.Derivation{
-				Name: col.As, Type: col.Kind, Expr: cols[col.As].Case(),
-			})
-		}
+		// The classify derivations come from the shared helper so the delta
+		// path (RefreshDelta) re-classifies changed rows with the exact
+		// expressions the full pipeline compiled.
+		derive := out.deriveList(c)
 		classified := TableRef{DB: "tmp2_" + c.Name, Table: c.Form.Name + "_classified"}
 		classifyID := out.Workflow.Add("classify/"+c.Name, &Query{
 			From:    tmp2,

@@ -21,16 +21,21 @@ type RefreshStats struct {
 	Added     int
 	Updated   int
 	Unchanged int
+	Removed   int // warehouse rows deleted because their entity left the study output
 	Total     int
 }
 
 // Changed reports whether the refresh wrote anything — the signal serving
 // layers use to decide whether cached extracts are stale.
-func (s RefreshStats) Changed() bool { return s.Added > 0 || s.Updated > 0 }
+func (s RefreshStats) Changed() bool { return s.Added > 0 || s.Updated > 0 || s.Removed > 0 }
 
 // String renders the stats for CLI output.
 func (s RefreshStats) String() string {
-	return fmt.Sprintf("%d rows: %d added, %d updated, %d unchanged", s.Total, s.Added, s.Updated, s.Unchanged)
+	out := fmt.Sprintf("%d rows: %d added, %d updated, %d unchanged", s.Total, s.Added, s.Updated, s.Unchanged)
+	if s.Removed > 0 {
+		out += fmt.Sprintf(", %d removed", s.Removed)
+	}
+	return out
 }
 
 // Refresh runs the study and merges its output into warehouse table
@@ -44,7 +49,10 @@ func (c *Compiled) Refresh(warehouse *relstore.DB) (RefreshStats, error) {
 // degradation all apply), honoring ctx cancellation, and the output merges
 // into the warehouse. A degraded run merges only the surviving contributors'
 // rows; a dead contributor's existing warehouse history is left untouched,
-// never deleted — the stable-history contract of the CORI warehouse.
+// never deleted — the stable-history contract of the CORI warehouse. For
+// contributors that did run, the warehouse converges to the study output:
+// entities the run no longer produces (deprecated rows, entities that fell
+// out of the selection) are removed from their groups.
 //
 // The merge publishes refresh.runs/added/updated/unchanged counters into the
 // metrics registry carried by ctx (obs.MetricsFrom), so both the batch CLI
@@ -55,7 +63,8 @@ func (c *Compiled) RefreshContext(ctx context.Context, warehouse *relstore.DB, p
 	var err error
 	defer func() { span.EndErr(err) }()
 	var fresh *relstore.Rows
-	fresh, _, err = c.RunResilient(ctx, policy, 0)
+	var runReport *RunReport
+	fresh, runReport, err = c.RunResilient(ctx, policy, 0)
 	if err != nil {
 		return stats, err
 	}
@@ -63,7 +72,7 @@ func (c *Compiled) RefreshContext(ctx context.Context, warehouse *relstore.DB, p
 	if err != nil {
 		return stats, err
 	}
-	stats, err = Merge(table, fresh)
+	stats, err = Merge(table, fresh, runReport.DegradedContributors...)
 	if err != nil {
 		return stats, err
 	}
@@ -72,8 +81,9 @@ func (c *Compiled) RefreshContext(ctx context.Context, warehouse *relstore.DB, p
 	m.Counter("refresh.added").Add(int64(stats.Added))
 	m.Counter("refresh.updated").Add(int64(stats.Updated))
 	m.Counter("refresh.unchanged").Add(int64(stats.Unchanged))
+	m.Counter("refresh.removed").Add(int64(stats.Removed))
 	span.SetAttr(obs.Int("added", int64(stats.Added)), obs.Int("updated", int64(stats.Updated)),
-		obs.Int("unchanged", int64(stats.Unchanged)))
+		obs.Int("unchanged", int64(stats.Unchanged)), obs.Int("removed", int64(stats.Removed)))
 	return stats, nil
 }
 
@@ -91,10 +101,18 @@ func refreshKey(r relstore.Row) string {
 // child join): re-merging identical input is always a no-op, whatever order
 // the union produced the duplicates in.
 //
+// After patching the fresh groups, Merge removes warehouse groups the run no
+// longer produced — a deprecated entity's rows must not survive a refresh, or
+// the warehouse diverges from what a from-scratch run would build. The
+// exception is degraded contributors: pass the names of contributors whose
+// chains failed (RunReport.DegradedContributors) as keepContributors and
+// their existing history is preserved verbatim, since their absence from the
+// fresh output means "didn't run", not "has no data".
+//
 // Merge is exported separately from RefreshContext so a serving layer can
 // run the (expensive) study outside its warehouse write lock and hold the
 // lock only for this merge.
-func Merge(table *relstore.Table, fresh *relstore.Rows) (RefreshStats, error) {
+func Merge(table *relstore.Table, fresh *relstore.Rows, keepContributors ...string) (RefreshStats, error) {
 	var stats RefreshStats
 	stats.Total = fresh.Len()
 
@@ -140,6 +158,36 @@ func Merge(table *relstore.Table, fresh *relstore.Rows) (RefreshStats, error) {
 			return stats, err
 		}
 		stats.Updated += len(group)
+	}
+
+	// Stale groups: present in the warehouse, absent from the fresh run.
+	// Deleting them keeps the warehouse convergent with a from-scratch
+	// build, except for contributors the run degraded past.
+	keep := make(map[string]bool, len(keepContributors))
+	for _, name := range keepContributors {
+		keep[relstore.Str(name).Key()] = true
+	}
+	var stale []string
+	for k, old := range existing {
+		if _, live := groups[k]; live {
+			continue
+		}
+		if keep[old[0][1].Key()] {
+			continue
+		}
+		stale = append(stale, k)
+	}
+	sort.Strings(stale)
+	for _, k := range stale {
+		old := existing[k]
+		pred := relstore.And(
+			relstore.Eq(ContributorColumn, old[0][1]),
+			relstore.Eq(EntityKeyColumn, old[0][0]),
+		)
+		if _, err := table.Delete(pred); err != nil {
+			return stats, err
+		}
+		stats.Removed += len(old)
 	}
 	return stats, nil
 }

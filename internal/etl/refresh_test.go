@@ -2,9 +2,11 @@ package etl
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"guava/internal/obs"
+	"guava/internal/patterns"
 	"guava/internal/relstore"
 )
 
@@ -199,5 +201,80 @@ func TestMergeDeterministicUnderDuplicateKeys(t *testing.T) {
 	}
 	if stats.Updated != 0 || stats.Unchanged != 2 {
 		t.Fatalf("post-change re-merge = %+v, want all unchanged", stats)
+	}
+}
+
+// TestEmptyDeltaRefreshNoWrites is the regression test for the empty-delta
+// path: a RefreshDelta with nothing past the cursors must report zero
+// Added/Updated (Changed() false — the signal serving layers use to keep
+// their result-cache generation, and with it every cached extract) and must
+// leave the warehouse bit-identical.
+func TestEmptyDeltaRefreshNoWrites(t *testing.T) {
+	ctx := context.Background()
+	spec := studyFixture(t)
+	for _, c := range spec.Contributors {
+		c.Stack.Journal = patterns.NewJournal()
+	}
+	compiled, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warehouse := relstore.NewDB("warehouse")
+	if _, err := compiled.Refresh(warehouse); err != nil {
+		t.Fatal(err)
+	}
+	cursors := NewDeltaCursors()
+	if err := compiled.SeedDeltaCursors(cursors); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: a real change flows through the delta path first.
+	ca := spec.Contributors[0]
+	if _, err := ca.Stack.Update(ca.DB, ca.Form, relstore.Int(2), "PacksPerDay", relstore.Float(7)); err != nil {
+		t.Fatal(err)
+	}
+	report, err := compiled.RefreshDelta(ctx, warehouse, DeltaOptions{Cursors: cursors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Keys != 1 || report.Stats.Updated != 1 || !report.Stats.Changed() {
+		t.Fatalf("priming delta = %+v (keys %d), want 1 key, 1 updated", report.Stats, report.Keys)
+	}
+
+	table, err := warehouse.Table(compiled.Output.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := relstore.SortBy(table.Rows(), table.Schema().Names()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeCursors := cursors.Snapshot()
+
+	// Nothing has changed since: the delta must be empty and writeless.
+	report, err = compiled.RefreshDelta(ctx, warehouse, DeltaOptions{Cursors: cursors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Keys != 0 || report.Stats.Added != 0 || report.Stats.Updated != 0 || report.Stats.Total != 0 {
+		t.Fatalf("empty delta = %+v (keys %d), want all zero", report.Stats, report.Keys)
+	}
+	if report.Stats.Changed() {
+		t.Fatal("empty delta reports Changed() — serving layers would needlessly invalidate caches")
+	}
+	after, err := relstore.SortBy(table.Rows(), table.Schema().Names()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Data) != len(after.Data) {
+		t.Fatalf("warehouse row count changed: %d -> %d", len(before.Data), len(after.Data))
+	}
+	for i := range before.Data {
+		if before.Data[i].Key() != after.Data[i].Key() {
+			t.Fatalf("warehouse row %d changed under an empty delta", i)
+		}
+	}
+	if got := cursors.Snapshot(); !reflect.DeepEqual(got, beforeCursors) {
+		t.Fatalf("empty delta moved cursors: %v -> %v", beforeCursors, got)
 	}
 }

@@ -97,17 +97,46 @@ func (g Generic) Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.assemble(form, et.Rows(), vt.Rows())
+}
+
+// ReadKeys implements KeyedReader: both tables are probed through their key
+// indexes, then the subset runs the same un-pivot + left-join pipeline as a
+// full Read.
+func (g Generic) ReadKeys(db *relstore.DB, form FormInfo, keys []relstore.Value) (*relstore.Rows, error) {
+	et, err := db.Table(entityTable(form))
+	if err != nil {
+		return nil, err
+	}
+	vt, err := db.Table(eavTable(form))
+	if err != nil {
+		return nil, err
+	}
+	pred := relstore.In(relstore.Col(form.KeyColumn), keys...)
+	entities, err := et.Select(pred)
+	if err != nil {
+		return nil, err
+	}
+	eav, err := vt.Select(pred)
+	if err != nil {
+		return nil, err
+	}
+	return g.assemble(form, entities, eav)
+}
+
+// assemble reconstructs the naive relation from entity anchors and EAV rows.
+func (g Generic) assemble(form FormInfo, entities, eav *relstore.Rows) (*relstore.Rows, error) {
 	var attrs []relstore.Column
 	for _, c := range form.Schema.Columns {
 		if c.Name != form.KeyColumn {
 			attrs = append(attrs, relstore.Column{Name: c.Name, Type: c.Type})
 		}
 	}
-	wide, err := relstore.Unpivot(vt.Rows(), []string{form.KeyColumn}, "Attribute", "Value", attrs)
+	wide, err := relstore.Unpivot(eav, []string{form.KeyColumn}, "Attribute", "Value", attrs)
 	if err != nil {
 		return nil, err
 	}
-	joined, err := relstore.LeftJoin(et.Rows(), wide, form.KeyColumn, form.KeyColumn, "v")
+	joined, err := relstore.LeftJoin(entities, wide, form.KeyColumn, form.KeyColumn, "v")
 	if err != nil {
 		return nil, err
 	}

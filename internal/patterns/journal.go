@@ -1,0 +1,124 @@
+package patterns
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"guava/internal/relstore"
+)
+
+// Journal is the change-capture side of the Audit discipline: every write,
+// update, and deprecation that lands through a Stack is stamped with a
+// monotone sequence number and the instance key it touched, into a
+// "<form>__changes" table in the contributor database. An incremental
+// refresh reads that log instead of re-extracting the whole relation — the
+// per-row change timestamps the paper's Audit pattern models, turned into a
+// queryable feed (see etl.DeltaSource).
+//
+// The sequence is the journal table's own length, assigned under the
+// journal's mutex, so replaying the same entry/mutation order (the workload
+// generators are seed-deterministic) reproduces the same sequence numbers —
+// which is what lets a high-water-mark cursor persisted by one process
+// remain valid in the next.
+type Journal struct {
+	mu sync.Mutex
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// journalTable names the change-log table backing a form.
+func journalTable(form FormInfo) string { return form.Name + "__changes" }
+
+// journalSchema is the log's shape: the sequence stamp and the touched key,
+// typed after the form's own key column.
+func journalSchema(form FormInfo) (*relstore.Schema, error) {
+	kc, err := form.Schema.Col(form.KeyColumn)
+	if err != nil {
+		return nil, err
+	}
+	return relstore.NewSchema(
+		relstore.Column{Name: "Seq", Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: kc.Name, Type: kc.Type, NotNull: true},
+	)
+}
+
+// table returns the form's change-log table, creating it on first use.
+func (j *Journal) table(db *relstore.DB, form FormInfo) (*relstore.Table, error) {
+	schema, err := journalSchema(form)
+	if err != nil {
+		return nil, err
+	}
+	return db.EnsureTable(journalTable(form), schema)
+}
+
+// Record appends one change entry for the given instance key. NULL keys are
+// ignored — a record without an identity cannot be re-read by key, and the
+// quarantine path owns it.
+func (j *Journal) Record(db *relstore.DB, form FormInfo, key relstore.Value) error {
+	if key.IsNull() {
+		return nil
+	}
+	t, err := j.table(db, form)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq := int64(t.Len()) + 1
+	if err := t.Insert(relstore.Row{relstore.Int(seq), key}); err != nil {
+		return fmt.Errorf("patterns: journal %s: %w", form.Name, err)
+	}
+	return nil
+}
+
+// HighWaterMark returns the journal's current cursor position for the form:
+// the highest sequence number recorded, 0 when nothing was ever journaled.
+func (j *Journal) HighWaterMark(db *relstore.DB, form FormInfo) (int64, error) {
+	if !db.Has(journalTable(form)) {
+		return 0, nil
+	}
+	t, err := db.Table(journalTable(form))
+	if err != nil {
+		return 0, err
+	}
+	return int64(t.Len()), nil
+}
+
+// ChangedSince returns the distinct instance keys recorded in the half-open
+// window (since, hwm], sorted by key, together with the high-water mark hwm
+// the caller should advance its cursor to once the keys are applied. The
+// window is captured before the scan, so entries landing concurrently are
+// left for the next call.
+func (j *Journal) ChangedSince(db *relstore.DB, form FormInfo, since int64) ([]relstore.Value, int64, error) {
+	if !db.Has(journalTable(form)) {
+		return nil, since, nil
+	}
+	t, err := db.Table(journalTable(form))
+	if err != nil {
+		return nil, since, err
+	}
+	hwm := int64(t.Len())
+	if hwm <= since {
+		return nil, hwm, nil
+	}
+	seen := make(map[string]bool)
+	var keys []relstore.Value
+	err = t.ScanSince("Seq", relstore.Int(since), func(r relstore.Row) bool {
+		if r[0].AsInt() > hwm {
+			return false
+		}
+		k := r[1]
+		if !seen[k.Key()] {
+			seen[k.Key()] = true
+			keys = append(keys, k)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, since, err
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].Compare(keys[b]) < 0 })
+	return keys, hwm, nil
+}

@@ -46,6 +46,24 @@ func (Naive) Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error) {
 	return t.Rows(), nil
 }
 
+// ReadKeys implements KeyedReader: one index probe per key against the hash
+// index Install created.
+func (Naive) ReadKeys(db *relstore.DB, form FormInfo, keys []relstore.Value) (*relstore.Rows, error) {
+	t, err := db.Table(form.Name)
+	if err != nil {
+		return nil, err
+	}
+	var data []relstore.Row
+	for _, k := range keys {
+		rows, err := t.Lookup(form.KeyColumn, k)
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, rows...)
+	}
+	return &relstore.Rows{Schema: t.Schema(), Data: data}, nil
+}
+
 // Update implements Layout.
 func (Naive) Update(db *relstore.DB, form FormInfo, key relstore.Value, col string, v relstore.Value) (int, error) {
 	t, err := db.Table(form.Name)

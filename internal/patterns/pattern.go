@@ -85,11 +85,24 @@ type Transform interface {
 	AdaptUpdate(db *relstore.DB, outer, inner FormInfo, col string, v relstore.Value) (string, relstore.Value, error)
 }
 
+// KeyedReader is the optional fast path behind Stack.ReadKeys: a Layout
+// that can reconstruct only the records with the given instance keys
+// (index probes instead of a full relation rebuild). Layouts without it
+// fall back to Read plus a key-membership filter.
+type KeyedReader interface {
+	ReadKeys(db *relstore.DB, form FormInfo, keys []relstore.Value) (*relstore.Rows, error)
+}
+
 // Stack is a complete pattern configuration: outermost transform first, then
 // inward to the base layout.
 type Stack struct {
 	Transforms []Transform
 	Layout     Layout
+
+	// Journal, when set, records the instance key of every WriteRow,
+	// Update, and Deprecate that lands — the change log an incremental
+	// (delta) refresh reads instead of re-extracting the whole relation.
+	Journal *Journal
 }
 
 // NewStack builds a stack over a layout.
@@ -170,6 +183,9 @@ func (s *Stack) WriteRow(db *relstore.DB, form FormInfo, row relstore.Row) error
 	if err := s.Layout.Write(db, infos[len(infos)-1], cur); err != nil {
 		return fmt.Errorf("patterns: write %s: %w", s.Layout.Name(), err)
 	}
+	if s.Journal != nil {
+		return s.Journal.Record(db, form, row[form.Schema.Index(form.KeyColumn)])
+	}
 	return nil
 }
 
@@ -183,6 +199,52 @@ func (s *Stack) Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error) {
 	rows, err := s.Layout.Read(db, infos[len(infos)-1])
 	if err != nil {
 		return nil, fmt.Errorf("patterns: read %s: %w", s.Layout.Name(), err)
+	}
+	for i := len(s.Transforms) - 1; i >= 0; i-- {
+		rows, err = s.Transforms[i].Decode(db, infos[i], infos[i+1], rows)
+		if err != nil {
+			return nil, fmt.Errorf("patterns: decode %s: %w", s.Transforms[i].Name(), err)
+		}
+	}
+	return Conform(rows, form.Schema)
+}
+
+// ReadKeys reconstructs only the records with the given instance keys,
+// conformed to the naive schema exactly like Read. Keyed layouts probe
+// their key indexes; other layouts fall back to a full read filtered by
+// key membership. Duplicate and NULL keys are dropped, so the result is a
+// function of the key set. The delta-refresh contract this leans on: every
+// transform preserves the key column's values (true of all Table 1
+// transforms — they rename or re-encode non-key answers, never instance
+// keys), so filtering at the layout level selects exactly the outer-level
+// records. Records deprecated through Audit decode to nothing, yielding an
+// empty group for their key.
+func (s *Stack) ReadKeys(db *relstore.DB, form FormInfo, keys []relstore.Value) (*relstore.Rows, error) {
+	infos, err := s.adaptAll(form)
+	if err != nil {
+		return nil, err
+	}
+	inner := infos[len(infos)-1]
+	uniq := make([]relstore.Value, 0, len(keys))
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if k.IsNull() || seen[k.Key()] {
+			continue
+		}
+		seen[k.Key()] = true
+		uniq = append(uniq, k)
+	}
+	var rows *relstore.Rows
+	if kr, ok := s.Layout.(KeyedReader); ok {
+		rows, err = kr.ReadKeys(db, inner, uniq)
+	} else {
+		rows, err = s.Layout.Read(db, inner)
+		if err == nil {
+			rows, err = relstore.Select(rows, relstore.In(relstore.Col(inner.KeyColumn), uniq...))
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("patterns: read-keys %s: %w", s.Layout.Name(), err)
 	}
 	for i := len(s.Transforms) - 1; i >= 0; i-- {
 		rows, err = s.Transforms[i].Decode(db, infos[i], infos[i+1], rows)
@@ -235,7 +297,11 @@ func (s *Stack) Update(db *relstore.DB, form FormInfo, key relstore.Value, col s
 			return 0, fmt.Errorf("patterns: update via %s: %w", t.Name(), err)
 		}
 	}
-	return s.Layout.Update(db, infos[len(infos)-1], key, curCol, curV)
+	n, err := s.Layout.Update(db, infos[len(infos)-1], key, curCol, curV)
+	if err == nil && n > 0 && s.Journal != nil {
+		err = s.Journal.Record(db, form, key)
+	}
+	return n, err
 }
 
 // Deprecate marks the record with the given key as deleted through the
@@ -259,7 +325,11 @@ func (s *Stack) Deprecate(db *relstore.DB, form FormInfo, key relstore.Value) (i
 				return 0, fmt.Errorf("patterns: deprecate via %s: %w", s.Transforms[j].Name(), err)
 			}
 		}
-		return s.Layout.Update(db, infos[len(infos)-1], key, curCol, curV)
+		n, err := s.Layout.Update(db, infos[len(infos)-1], key, curCol, curV)
+		if err == nil && n > 0 && s.Journal != nil {
+			err = s.Journal.Record(db, form, key)
+		}
+		return n, err
 	}
 	return 0, fmt.Errorf("patterns: stack %s has no Audit layer to deprecate through", s.Describe())
 }

@@ -85,7 +85,8 @@ func (s *Split) partSchema(form FormInfo, part []string) (*relstore.Schema, erro
 	return relstore.NewSchema(cols...)
 }
 
-// Install implements Layout.
+// Install implements Layout. Every part table indexes the shared key so
+// per-record fetches (ReadKeys, Update) probe instead of scanning.
 func (s *Split) Install(db *relstore.DB, form FormInfo) error {
 	parts, err := s.partition(form)
 	if err != nil {
@@ -96,7 +97,11 @@ func (s *Split) Install(db *relstore.DB, form FormInfo) error {
 		if err != nil {
 			return err
 		}
-		if _, err := db.EnsureTable(partTable(form, i), schema); err != nil {
+		t, err := db.EnsureTable(partTable(form, i), schema)
+		if err != nil {
+			return err
+		}
+		if err := t.CreateIndex(form.KeyColumn); err != nil {
 			return err
 		}
 	}
@@ -130,9 +135,31 @@ func (s *Split) Write(db *relstore.DB, form FormInfo, row relstore.Row) error {
 // Read implements Layout. It joins the part tables on the key (the paper's
 // Join transformation).
 func (s *Split) Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error) {
+	return s.readParts(db, form, nil)
+}
+
+// ReadKeys implements KeyedReader: the same join pipeline as Read, but each
+// part contributes only the rows for the requested keys (index probes via
+// the key-membership predicate).
+func (s *Split) ReadKeys(db *relstore.DB, form FormInfo, keys []relstore.Value) (*relstore.Rows, error) {
+	if keys == nil {
+		keys = []relstore.Value{}
+	}
+	return s.readParts(db, form, keys)
+}
+
+// readParts joins the part tables on the key. With keys == nil every row is
+// fetched; otherwise each part is filtered to the given keys first.
+func (s *Split) readParts(db *relstore.DB, form FormInfo, keys []relstore.Value) (*relstore.Rows, error) {
 	parts, err := s.partition(form)
 	if err != nil {
 		return nil, err
+	}
+	fetch := func(t *relstore.Table) (*relstore.Rows, error) {
+		if keys == nil {
+			return t.Rows(), nil
+		}
+		return t.Select(relstore.In(relstore.Col(form.KeyColumn), keys...))
 	}
 	var acc *relstore.Rows
 	for i := range parts {
@@ -140,7 +167,10 @@ func (s *Split) Read(db *relstore.DB, form FormInfo) (*relstore.Rows, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows := t.Rows()
+		rows, err := fetch(t)
+		if err != nil {
+			return nil, err
+		}
 		if acc == nil {
 			acc = rows
 			continue

@@ -8,18 +8,27 @@ import (
 
 // Table is a named, mutable relation with optional hash indexes. Tables are
 // safe for concurrent use.
+//
+// Indexes reference rows through stable row IDs rather than storage
+// positions: ids maps a position to its row's ID and pos maps an ID back to
+// the current position. Deleting rows therefore only edits the doomed rows'
+// own buckets and renumbers the pos array — an integer fix-up — instead of
+// rewriting every bucket of every index.
 type Table struct {
 	name   string
 	schema *Schema
 
 	mu      sync.RWMutex
 	rows    []Row
+	ids     []int                 // position -> stable row ID, parallel to rows
+	pos     []int                 // row ID -> current position, -1 once deleted
+	freeIDs []int                 // deleted IDs available for reuse
 	indexes map[string]*hashIndex // column name -> index
 }
 
 type hashIndex struct {
 	col     int
-	buckets map[string][]int // value key -> row positions
+	buckets map[string][]int // value key -> stable row IDs
 }
 
 // NewTable creates an empty table.
@@ -48,11 +57,21 @@ func (t *Table) Insert(r Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	pos := len(t.rows)
+	p := len(t.rows)
 	t.rows = append(t.rows, r.Clone())
+	var id int
+	if n := len(t.freeIDs); n > 0 {
+		id = t.freeIDs[n-1]
+		t.freeIDs = t.freeIDs[:n-1]
+		t.pos[id] = p
+	} else {
+		id = len(t.pos)
+		t.pos = append(t.pos, p)
+	}
+	t.ids = append(t.ids, id)
 	for _, idx := range t.indexes {
 		k := r[idx.col].Key()
-		idx.buckets[k] = append(idx.buckets[k], pos)
+		idx.buckets[k] = append(idx.buckets[k], id)
 	}
 	return nil
 }
@@ -110,27 +129,110 @@ func (t *Table) Update(pred Pred, fn func(Row) Row) (int, error) {
 }
 
 // Delete removes rows matching pred and returns how many were removed.
+// Candidate rows come from a hash-index probe when the predicate has an
+// indexable equality or IN conjunct. Because indexes hold stable row IDs,
+// deleting k rows costs O(k) bucket edits plus an integer renumbering of the
+// positions after the first hole — the rest of the index is untouched, so
+// small deletes from a large table stay cheap no matter how many rows or
+// buckets the table has. Row positions are decided before any mutation, so a
+// predicate error leaves the table untouched.
 func (t *Table) Delete(pred Pred) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	kept := t.rows[:0]
-	n := 0
-	for _, r := range t.rows {
-		ok, err := evalPred(pred, r, t.schema)
-		if err != nil {
-			return n, err
+
+	var doomed []int
+	probe := func(ids []int, rest Pred) error {
+		for _, id := range ids {
+			p := t.pos[id]
+			ok, err := evalPred(rest, t.rows[p], t.schema)
+			if err != nil {
+				return err
+			}
+			if ok {
+				doomed = append(doomed, p)
+			}
 		}
-		if ok {
-			n++
+		return nil
+	}
+	if col, v, rest, ok := t.indexableEq(pred); ok {
+		if err := probe(t.indexes[col].buckets[v.Key()], rest); err != nil {
+			return 0, err
+		}
+	} else if col, vs, rest, ok := t.indexableIn(pred); ok {
+		idx := t.indexes[col]
+		seen := make(map[string]bool, len(vs))
+		for _, v := range vs {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if err := probe(idx.buckets[k], rest); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		for p, r := range t.rows {
+			ok, err := evalPred(pred, r, t.schema)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				doomed = append(doomed, p)
+			}
+		}
+	}
+	if len(doomed) == 0 {
+		return 0, nil
+	}
+	sort.Ints(doomed)
+
+	// Remove each doomed row's ID from its bucket in every index and retire
+	// the ID. Only the doomed rows' buckets are touched.
+	for _, p := range doomed {
+		id := t.ids[p]
+		r := t.rows[p]
+		for _, idx := range t.indexes {
+			k := r[idx.col].Key()
+			b := idx.buckets[k]
+			for i, bid := range b {
+				if bid == id {
+					b[i] = b[len(b)-1]
+					b = b[:len(b)-1]
+					break
+				}
+			}
+			if len(b) == 0 {
+				delete(idx.buckets, k)
+			} else {
+				idx.buckets[k] = b
+			}
+		}
+		t.pos[id] = -1
+		t.freeIDs = append(t.freeIDs, id)
+	}
+
+	// Compact rows and ids in place — entries before the first hole stay
+	// put, the rest slide left — and point the surviving IDs at their new
+	// positions. Pure integer work, no allocation, no re-hashing.
+	w := doomed[0]
+	di := 0
+	for p := doomed[0]; p < len(t.rows); p++ {
+		if di < len(doomed) && doomed[di] == p {
+			di++
 			continue
 		}
-		kept = append(kept, r)
+		t.rows[w] = t.rows[p]
+		t.ids[w] = t.ids[p]
+		t.pos[t.ids[w]] = w
+		w++
 	}
-	t.rows = kept
-	if n > 0 {
-		t.rebuildIndexesLocked()
+	for p := w; p < len(t.rows); p++ {
+		t.rows[p] = nil // release for GC
 	}
-	return n, nil
+	t.rows = t.rows[:w]
+	t.ids = t.ids[:w]
+	return len(doomed), nil
 }
 
 // Truncate removes all rows.
@@ -138,6 +240,9 @@ func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rows = nil
+	t.ids = nil
+	t.pos = nil
+	t.freeIDs = nil
 	t.rebuildIndexesLocked()
 }
 
@@ -154,9 +259,9 @@ func (t *Table) CreateIndex(col string) error {
 		return nil
 	}
 	idx := &hashIndex{col: i, buckets: make(map[string][]int)}
-	for pos, r := range t.rows {
+	for p, r := range t.rows {
 		k := r[i].Key()
-		idx.buckets[k] = append(idx.buckets[k], pos)
+		idx.buckets[k] = append(idx.buckets[k], t.ids[p])
 	}
 	t.indexes[col] = idx
 	return nil
@@ -174,12 +279,24 @@ func (t *Table) rebuildIndexesLocked() {
 	for col, idx := range t.indexes {
 		i := idx.col
 		nb := make(map[string][]int)
-		for pos, r := range t.rows {
+		for p, r := range t.rows {
 			k := r[i].Key()
-			nb[k] = append(nb[k], pos)
+			nb[k] = append(nb[k], t.ids[p])
 		}
 		t.indexes[col] = &hashIndex{col: i, buckets: nb}
 	}
+}
+
+// bucketPositions maps a bucket's row IDs to their current storage
+// positions, sorted ascending so index probes yield rows in the same order a
+// full scan would. Callers must hold t.mu.
+func (t *Table) bucketPositions(ids []int) []int {
+	ps := make([]int, len(ids))
+	for i, id := range ids {
+		ps[i] = t.pos[id]
+	}
+	sort.Ints(ps)
+	return ps
 }
 
 // Lookup returns clones of the rows whose indexed column equals v. It falls
@@ -192,7 +309,7 @@ func (t *Table) Lookup(col string, v Value) ([]Row, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if idx, ok := t.indexes[col]; ok {
-		positions := idx.buckets[v.Key()]
+		positions := t.bucketPositions(idx.buckets[v.Key()])
 		out := make([]Row, 0, len(positions))
 		for _, p := range positions {
 			out = append(out, t.rows[p].Clone())
@@ -230,7 +347,37 @@ func (t *Table) Select(pred Pred) (*Rows, error) {
 	defer t.mu.RUnlock()
 	if col, v, rest, ok := t.indexableEq(pred); ok {
 		idx := t.indexes[col]
-		positions := idx.buckets[v.Key()]
+		positions := t.bucketPositions(idx.buckets[v.Key()])
+		out := make([]Row, 0, len(positions))
+		for _, p := range positions {
+			r := t.rows[p]
+			keep, err := evalPred(rest, r, t.schema)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out = append(out, r.Clone())
+			}
+		}
+		return &Rows{Schema: t.schema, Data: out}, nil
+	}
+	if col, vs, rest, ok := t.indexableIn(pred); ok {
+		idx := t.indexes[col]
+		var positions []int
+		seenBucket := make(map[string]bool, len(vs))
+		for _, v := range vs {
+			k := v.Key()
+			if seenBucket[k] {
+				continue
+			}
+			seenBucket[k] = true
+			for _, id := range idx.buckets[k] {
+				positions = append(positions, t.pos[id])
+			}
+		}
+		// Buckets come back in probe order; restore storage order so the
+		// result is identical to what the scan path would produce.
+		sort.Ints(positions)
 		out := make([]Row, 0, len(positions))
 		for _, p := range positions {
 			r := t.rows[p]
@@ -296,6 +443,71 @@ func (t *Table) indexableEq(pred Pred) (string, Value, Pred, bool) {
 		}
 	}
 	return "", Value{}, nil, false
+}
+
+// indexableIn recognizes predicates of the shape "col IN (literals) [AND
+// rest]" where col carries a hash index and every literal is non-NULL,
+// returning the probe values and the residual predicate. Callers must hold
+// t.mu.
+func (t *Table) indexableIn(pred Pred) (string, []Value, Pred, bool) {
+	matchIn := func(p Pred) (string, []Value, bool) {
+		in, ok := p.(InPred)
+		if !ok {
+			return "", nil, false
+		}
+		col, ok := in.E.(ColRef)
+		if !ok {
+			return "", nil, false
+		}
+		if _, indexed := t.indexes[col.Name]; !indexed {
+			return "", nil, false
+		}
+		for _, v := range in.List {
+			if v.IsNull() {
+				return "", nil, false
+			}
+		}
+		return col.Name, in.List, true
+	}
+	if col, vs, ok := matchIn(pred); ok {
+		return col, vs, True, true
+	}
+	if and, ok := pred.(AndPred); ok {
+		for i, sub := range and.Ps {
+			if col, vs, ok := matchIn(sub); ok {
+				rest := make([]Pred, 0, len(and.Ps)-1)
+				rest = append(rest, and.Ps[:i]...)
+				rest = append(rest, and.Ps[i+1:]...)
+				return col, vs, And(rest...), true
+			}
+		}
+	}
+	return "", nil, nil, false
+}
+
+// ScanSince calls fn, in storage order, for every row whose value in col
+// sorts strictly after the given value. It assumes rows were appended in
+// non-decreasing col order — the contract of append-only change logs stamped
+// with a monotone sequence — and binary-searches for the first qualifying
+// row, so the cost is O(log n + rows yielded) rather than a full scan. The
+// row passed to fn must not be mutated or retained; scanning stops early if
+// fn returns false.
+func (t *Table) ScanSince(col string, after Value, fn func(Row) bool) error {
+	ci := t.schema.Index(col)
+	if ci < 0 {
+		return fmt.Errorf("relstore: scan-since on %s: no column %q", t.name, col)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	lo := sort.Search(len(t.rows), func(i int) bool {
+		return t.rows[i][ci].Compare(after) > 0
+	})
+	for _, r := range t.rows[lo:] {
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Rows returns a snapshot Rows result of the whole table.

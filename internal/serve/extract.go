@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"guava/internal/etl"
 	"guava/internal/relstore"
 )
 
@@ -41,6 +42,10 @@ type extractQuery struct {
 	limit  int
 	offset int
 	key    string // canonical cache key (sorted query encoding)
+	// contributor is set when the query is pinned to exactly one
+	// contributor partition (a single Contributor equality filter) — the
+	// result is then cache-stamped with that partition's generation.
+	contributor string
 }
 
 // parseExtractQuery validates the request parameters against the study's
@@ -48,6 +53,7 @@ type extractQuery struct {
 func parseExtractQuery(schema *relstore.Schema, q url.Values) (*extractQuery, error) {
 	out := &extractQuery{limit: defaultLimit, key: q.Encode()}
 	var preds []relstore.Pred
+	contribParams := 0
 	for key, vals := range q {
 		switch key {
 		case "limit":
@@ -76,6 +82,16 @@ func parseExtractQuery(schema *relstore.Schema, q url.Values) (*extractQuery, er
 		c, err := schema.Col(col)
 		if err != nil {
 			return nil, fmt.Errorf("unknown column %q (have %s)", col, schema.NameList())
+		}
+		if col == etl.ContributorColumn {
+			contribParams++
+			if contribParams == 1 && opName == "eq" && len(vals) == 1 {
+				out.contributor = vals[0]
+			} else {
+				// Ranges or multiple Contributor filters span partitions;
+				// fall back to the study-wide generation stamp.
+				out.contributor = ""
+			}
 		}
 		for _, raw := range vals {
 			v, err := parseParamValue(raw, c.Type)

@@ -41,7 +41,18 @@ func (s *Server) refresh(ctx context.Context, st *servedStudy, kind string) (etl
 	if err != nil {
 		return stats, err
 	}
-	fresh, _, err := compiled.RunResilient(ctx, s.cfg.Policy, 0)
+	// Seed delta cursors BEFORE running the plan: a journal entry landing
+	// while the plan executes then stays below the cursor and is picked up
+	// by the next delta (re-applying anything the plan already saw is
+	// idempotent). Seeding after the run would silently skip it.
+	var cursors *etl.DeltaCursors
+	if deltaCapable(st.spec) {
+		cursors = etl.NewDeltaCursors()
+		if serr := compiled.SeedDeltaCursors(cursors); serr != nil {
+			cursors = nil
+		}
+	}
+	fresh, runReport, err := compiled.RunResilient(ctx, s.cfg.Policy, 0)
 	if err != nil {
 		return stats, err
 	}
@@ -52,7 +63,7 @@ func (s *Server) refresh(ctx context.Context, st *servedStudy, kind string) (etl
 		if !table.HasIndex(etl.ContributorColumn) {
 			_ = table.CreateIndex(etl.ContributorColumn)
 		}
-		stats, merr = etl.Merge(table, fresh)
+		stats, merr = etl.Merge(table, fresh, runReport.DegradedContributors...)
 	}
 	st.dataMu.Unlock()
 	if err = merr; err != nil {
@@ -61,6 +72,10 @@ func (s *Server) refresh(ctx context.Context, st *servedStudy, kind string) (etl
 
 	if stats.Changed() {
 		st.generation.Add(1)
+		st.bumpAllPartitions()
+	}
+	if cursors != nil {
+		st.setCursors(cursors)
 	}
 	m := s.metrics()
 	m.Counter("refresh.runs").Inc()
@@ -87,7 +102,7 @@ func (s *Server) refreshLoop(st *servedStudy, stop <-chan struct{}) {
 		case <-tick.C:
 			s.metrics().Counter("serve.refresh.background").Inc()
 			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
-			_, _ = s.refresh(ctx, st, "background")
+			s.refreshAuto(ctx, st, "background")
 			cancel()
 		}
 	}

@@ -92,14 +92,67 @@ type servedStudy struct {
 	// stamped with it, so a no-op refresh preserves cache hits.
 	generation atomic.Int64
 
+	// partGens is the per-contributor analogue: a delta refresh bumps only
+	// the partitions it touched, so extracts pinned to one contributor are
+	// stamped with that partition's generation and keep their cache entries
+	// when only other contributors changed.
+	partMu   sync.Mutex
+	partGens map[string]*atomic.Int64
+
 	refreshMu sync.Mutex   // serializes refreshes of this study
 	dataMu    sync.RWMutex // extract readers vs merge writer
 
 	statMu      sync.Mutex
+	cursors     *etl.DeltaCursors // applied journal cursors; nil until a full refresh seeds them
 	refreshes   int64
 	lastStats   etl.RefreshStats
 	lastRefresh time.Time
 	lastErr     string
+}
+
+// partGen returns the generation counter for one contributor partition,
+// creating it on first use.
+func (st *servedStudy) partGen(name string) *atomic.Int64 {
+	st.partMu.Lock()
+	defer st.partMu.Unlock()
+	g, ok := st.partGens[name]
+	if !ok {
+		g = new(atomic.Int64)
+		st.partGens[name] = g
+	}
+	return g
+}
+
+// bumpAllPartitions advances every contributor partition — what a full
+// refresh does, since it may have rewritten any of them.
+func (st *servedStudy) bumpAllPartitions() {
+	for _, c := range st.spec.Contributors {
+		st.partGen(c.Name).Add(1)
+	}
+}
+
+// extractGeneration picks the cache stamp for an extract: the partition
+// generation when the query is pinned to a single contributor, the study
+// generation otherwise. A partition-pinned extract depends only on that
+// contributor's rows, so its cached body stays valid across deltas that
+// changed other partitions.
+func (st *servedStudy) extractGeneration(contributor string) int64 {
+	if contributor == "" {
+		return st.generation.Load()
+	}
+	return st.partGen(contributor).Load()
+}
+
+func (st *servedStudy) deltaCursors() *etl.DeltaCursors {
+	st.statMu.Lock()
+	defer st.statMu.Unlock()
+	return st.cursors
+}
+
+func (st *servedStudy) setCursors(c *etl.DeltaCursors) {
+	st.statMu.Lock()
+	st.cursors = c
+	st.statMu.Unlock()
 }
 
 // Server hosts a set of vetted studies behind the extract API.
@@ -176,6 +229,7 @@ func (s *Server) AddStudy(ctx context.Context, spec *etl.StudySpec) error {
 		schema:    schema,
 		tableName: compiled.Output.Table,
 		warehouse: relstore.NewDB("warehouse_" + spec.Name),
+		partGens:  make(map[string]*atomic.Int64),
 	}
 
 	s.mu.Lock()
@@ -495,8 +549,9 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	// Read the generation before touching data: if a refresh lands
 	// between here and the read below, the body is cached under the old
 	// stamp and simply re-renders next time — stale data is never served
-	// as current.
-	gen := st.generation.Load()
+	// as current. Contributor-pinned queries stamp with the partition
+	// generation so unrelated deltas don't evict them.
+	gen := st.extractGeneration(query.contributor)
 	cacheKey := st.name + "?" + query.key
 	if body, ok := s.results.get(cacheKey, gen); ok {
 		m.Counter("serve.extract.cache.hit").Inc()
@@ -566,20 +621,40 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRefresh forces a refresh of one study and reports the merge stats.
+// ?mode=delta runs the incremental path from the contributors' change
+// journals; the default (or ?mode=full) re-runs the whole plan.
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.study(r.PathValue("name"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "no study %q", r.PathValue("name"))
 		return
 	}
-	s.metrics().Counter("serve.refresh.forced").Inc()
-	stats, err := s.refresh(r.Context(), st, "forced")
+	mode := r.URL.Query().Get("mode")
+	var stats etl.RefreshStats
+	var err error
+	switch mode {
+	case "", "full":
+		mode = "full"
+		s.metrics().Counter("serve.refresh.forced").Inc()
+		stats, err = s.refresh(r.Context(), st, "forced")
+	case "delta":
+		if !deltaCapable(st.spec) {
+			httpError(w, http.StatusConflict, "study %q is not delta-capable: a contributor has no change journal", st.name)
+			return
+		}
+		s.metrics().Counter("serve.refresh.forced").Inc()
+		stats, err = s.refreshDelta(r.Context(), st, "forced")
+	default:
+		httpError(w, http.StatusBadRequest, "unknown refresh mode %q (want full or delta)", mode)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "refresh failed: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"study":      st.name,
+		"mode":       mode,
 		"generation": st.generation.Load(),
 		"changed":    stats.Changed(),
 		"stats":      statsJSON{Total: stats.Total, Added: stats.Added, Updated: stats.Updated, Unchanged: stats.Unchanged},

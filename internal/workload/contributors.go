@@ -27,6 +27,11 @@ type Contributor struct {
 	FindingInfo  patterns.FormInfo
 	FindingStack *patterns.Stack
 	FindingTree  *gtree.Tree
+
+	// enter is the tool's data-entry mapping, retained so post-build
+	// mutations (see mutate.go) insert new records through the same UI
+	// path the initial population used.
+	enter entryFn
 }
 
 // entryFn maps one ground-truth record onto one tool's form controls.
@@ -46,6 +51,9 @@ func build(name string, form *ui.Form, stack *patterns.Stack, truths []Truth, en
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: %w", name, err)
 	}
+	// Every workload stack journals its writes so studies over these
+	// contributors can refresh incrementally (etl.RefreshDelta).
+	stack.Journal = patterns.NewJournal()
 	db := relstore.NewDB(name)
 	if err := stack.Install(db, info); err != nil {
 		return nil, fmt.Errorf("workload: %s: %w", name, err)
@@ -63,7 +71,59 @@ func build(name string, form *ui.Form, stack *patterns.Stack, truths []Truth, en
 			return nil, fmt.Errorf("workload: %s record %d: %w", name, t.ID, err)
 		}
 	}
-	return &Contributor{Name: name, DB: db, Stack: stack, Form: form, Info: info, Tree: tree, Truths: truths}, nil
+	return &Contributor{Name: name, DB: db, Stack: stack, Form: form, Info: info, Tree: tree, Truths: truths, enter: enter}, nil
+}
+
+// InsertTruth enters one new ground-truth record through the tool's UI, the
+// same path the initial population used (findings are not entered — only the
+// procedure form). The record is appended to Truths.
+func (c *Contributor) InsertTruth(t Truth) error {
+	e, err := ui.NewEntry(c.Form, t.ID)
+	if err != nil {
+		return fmt.Errorf("workload: %s record %d: %w", c.Name, t.ID, err)
+	}
+	if err := c.enter(e, t); err != nil {
+		return fmt.Errorf("workload: %s record %d: %w", c.Name, t.ID, err)
+	}
+	sink := &patterns.Sink{DB: c.DB, Stack: c.Stack}
+	if err := e.Submit(sink); err != nil {
+		return fmt.Errorf("workload: %s record %d: %w", c.Name, t.ID, err)
+	}
+	c.Truths = append(c.Truths, t)
+	return nil
+}
+
+// SetField changes one naive-schema column of an existing record, routed
+// through the contributor's pattern stack (and journaled when it lands).
+func (c *Contributor) SetField(key relstore.Value, col string, v relstore.Value) (int, error) {
+	return c.Stack.Update(c.DB, c.Info, key, col, v)
+}
+
+// DeprecateRecord marks a record deleted through the stack's Audit layer.
+func (c *Contributor) DeprecateRecord(key relstore.Value) (int, error) {
+	return c.Stack.Deprecate(c.DB, c.Info, key)
+}
+
+// CanDeprecate reports whether the contributor's stack carries an Audit
+// transform — without one records cannot be logically deleted.
+func (c *Contributor) CanDeprecate() bool {
+	for _, t := range c.Stack.Transforms {
+		if _, ok := t.(*patterns.Audit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxID returns the highest ground-truth record ID entered so far.
+func (c *Contributor) MaxID() int64 {
+	var max int64
+	for _, t := range c.Truths {
+		if t.ID > max {
+			max = t.ID
+		}
+	}
+	return max
 }
 
 // set is a small helper that aborts on the first UI error.

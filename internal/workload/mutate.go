@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"guava/internal/relstore"
+)
+
+// This file generates the "periodically sent" change traffic the paper's
+// warehouse receives between refreshes: seeded, replayable batches of
+// inserts, field updates, and deprecations against the vendor tools. The
+// delta-refresh equivalence harness and the R6 benchmark both drive their
+// warehouses with these batches.
+
+// MutKind is the kind of one mutation.
+type MutKind int
+
+const (
+	// MutInsert enters a brand-new record through the tool's UI.
+	MutInsert MutKind = iota
+	// MutUpdate changes one naive-schema field of an existing record.
+	MutUpdate
+	// MutDelete deprecates an existing record through the Audit layer.
+	MutDelete
+)
+
+func (k MutKind) String() string {
+	switch k {
+	case MutInsert:
+		return "insert"
+	case MutUpdate:
+		return "update"
+	case MutDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("MutKind(%d)", int(k))
+}
+
+// Mutation is one replayable change against one contributor. A batch of
+// Mutations fully determines the resulting database state, so two universes
+// applying the same batch stay bit-identical — the property the delta ≡ full
+// equivalence harness leans on.
+type Mutation struct {
+	Contributor string
+	Kind        MutKind
+	// Key is the targeted record ID (updates, deletes) or the new record's
+	// ID (inserts).
+	Key int64
+	// Col and Val are the field change for updates.
+	Col string
+	Val relstore.Value
+	// Seed derives the ground-truth record for inserts.
+	Seed int64
+}
+
+// String renders the mutation for failure diagnostics.
+func (m Mutation) String() string {
+	switch m.Kind {
+	case MutUpdate:
+		return fmt.Sprintf("%s: update #%d %s=%s", m.Contributor, m.Key, m.Col, m.Val.Display())
+	case MutDelete:
+		return fmt.Sprintf("%s: delete #%d", m.Contributor, m.Key)
+	}
+	return fmt.Sprintf("%s: insert #%d (seed %d)", m.Contributor, m.Key, m.Seed)
+}
+
+// fieldGen produces a random in-vocabulary value for one updatable column.
+type fieldGen struct {
+	col string
+	gen func(rng *rand.Rand) relstore.Value
+}
+
+func pickStr(options ...string) func(*rand.Rand) relstore.Value {
+	return func(rng *rand.Rand) relstore.Value { return relstore.Str(options[rng.Intn(len(options))]) }
+}
+
+func randBool(rng *rand.Rand) relstore.Value { return relstore.Bool(rng.Intn(2) == 1) }
+
+func randAge(rng *rand.Rand) relstore.Value { return relstore.Int(int64(18 + rng.Intn(70))) }
+
+// updatableFields lists, per contributor tool, the naive-schema columns a
+// mutation batch may rewrite — each in that vendor's own vocabulary.
+// Delimited-packed columns (EndoSoft's Tx*) are deliberately absent: packed
+// fields change only through whole-record entry.
+var updatableFields = map[string][]fieldGen{
+	"CORI": {
+		{"Smoking", pickStr("Never", "Current", "Quit")},
+		{"PacksPerDay", func(rng *rand.Rand) relstore.Value { return relstore.Float(0.5 * float64(1+rng.Intn(8))) }},
+		{"QuitYearsAgo", func(rng *rand.Rand) relstore.Value { return relstore.Int(int64(rng.Intn(20))) }},
+		{"TransientHypoxia", randBool},
+		{"ProlongedHypoxia", randBool},
+		{"Age", randAge},
+	},
+	"EndoSoft": {
+		{"SmokingStatus", pickStr("Non-smoker", "Smoker", "Ex-smoker")},
+		{"CigsPerDay", func(rng *rand.Rand) relstore.Value { return relstore.Int(int64(rng.Intn(60))) }},
+		{"YearsSinceQuit", func(rng *rand.Rand) relstore.Value { return relstore.Int(int64(rng.Intn(20))) }},
+		{"O2Desat", randBool},
+		{"O2DesatProlonged", randBool},
+		{"PatientAge", randAge},
+	},
+	"MedRecord": {
+		{"SmokeCode", func(rng *rand.Rand) relstore.Value { return relstore.Int(int64(rng.Intn(3))) }},
+		{"PacksDaily", func(rng *rand.Rand) relstore.Value { return relstore.Float(0.5 * float64(1+rng.Intn(8))) }},
+		{"QuitYears", func(rng *rand.Rand) relstore.Value { return relstore.Int(int64(rng.Intn(20))) }},
+		{"HypoxiaT", randBool},
+		{"HypoxiaP", randBool},
+		{"AgeYears", randAge},
+	},
+}
+
+// RandomBatch derives n mutations over the contributors from the seed,
+// deterministically: roughly 60% field updates, 25% inserts, 15% deletes
+// (deletes fall back to updates at contributors whose stack cannot
+// deprecate). Insert IDs continue past each contributor's current MaxID, so
+// a batch generated once applies cleanly to any universe built from the same
+// seed and history.
+func RandomBatch(contribs []*Contributor, seed int64, n int) []Mutation {
+	rng := rand.New(rand.NewSource(seed))
+	nextID := make([]int64, len(contribs))
+	for i, c := range contribs {
+		nextID[i] = c.MaxID() + 1
+	}
+	out := make([]Mutation, 0, n)
+	for len(out) < n {
+		ci := rng.Intn(len(contribs))
+		c := contribs[ci]
+		m := Mutation{Contributor: c.Name}
+		switch r := rng.Float64(); {
+		case r < 0.25:
+			m.Kind = MutInsert
+			m.Key = nextID[ci]
+			nextID[ci]++
+			m.Seed = rng.Int63()
+		case r < 0.40 && c.CanDeprecate():
+			m.Kind = MutDelete
+			m.Key = c.Truths[rng.Intn(len(c.Truths))].ID
+		default:
+			m.Kind = MutUpdate
+			m.Key = c.Truths[rng.Intn(len(c.Truths))].ID
+			fields := updatableFields[c.Name]
+			f := fields[rng.Intn(len(fields))]
+			m.Col = f.col
+			m.Val = f.gen(rng)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Apply replays a mutation batch against the contributors, in order. Inserts
+// derive their ground truth from the mutation's seed (findings excluded),
+// updates and deletes route through the pattern stack — all of it journaled,
+// so a delta refresh sees exactly these keys.
+func Apply(contribs []*Contributor, batch []Mutation) error {
+	byName := make(map[string]*Contributor, len(contribs))
+	for _, c := range contribs {
+		byName[c.Name] = c
+	}
+	for _, m := range batch {
+		c, ok := byName[m.Contributor]
+		if !ok {
+			return fmt.Errorf("workload: mutation targets unknown contributor %q", m.Contributor)
+		}
+		var err error
+		switch m.Kind {
+		case MutInsert:
+			t := Generate(m.Seed, 1)[0]
+			t.ID = m.Key
+			t.Findings = nil
+			err = c.InsertTruth(t)
+		case MutUpdate:
+			_, err = c.SetField(relstore.Int(m.Key), m.Col, m.Val)
+		case MutDelete:
+			_, err = c.DeprecateRecord(relstore.Int(m.Key))
+		default:
+			err = fmt.Errorf("workload: unknown mutation kind %v", m.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("workload: apply %s: %w", m, err)
+		}
+	}
+	return nil
+}
