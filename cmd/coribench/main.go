@@ -38,16 +38,25 @@
 // may slow down across the scales; -min-delta-speedup gates its advantage
 // over the full recompute at the largest scale.
 //
+// R7 measures the columnar storage layer: the same chunked select and hash
+// join with the worker pool pinned to 1 vs 4 workers (with byte-identical
+// output checks), the sharded-table and sharded-join paths against their
+// single-shard equivalents, and a segment-backed scan under a byte budget a
+// tenth of the file size — the warehouse-exceeds-RAM scenario. -min-par-speedup
+// gates the scan/join parallel speedup; it defaults to 0 (report only)
+// because the number is meaningless without multiple cores.
+//
 // -cpuprofile, -memprofile, and -trace enable the stdlib profilers for
 // any experiment selection.
 //
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5|R6] [-seed 42] [-n 200]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5|R6|R7] [-seed 42] [-n 200]
 //	          [-faults 0.33] [-retries 2] [-observe]
 //	          [-max-overhead 0] [-clients 8] [-requests 400]
 //	          [-min-speedup 0] [-delta-batch 24] [-max-flat 0]
-//	          [-min-delta-speedup 0] [-cpuprofile f] [-memprofile f] [-trace f]
+//	          [-min-delta-speedup 0] [-min-par-speedup 0]
+//	          [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
 import (
@@ -73,7 +82,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5, R6")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5, R6, R7")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
 	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
@@ -86,6 +95,7 @@ func main() {
 	deltaBatch := flag.Int("delta-batch", 24, "contributor mutations per refresh tick (R6)")
 	maxFlat := flag.Float64("max-flat", 0, "fail if R6 delta tick latency grows by more than this factor across the warehouse scales (0 = report only)")
 	minDeltaSpeedup := flag.Float64("min-delta-speedup", 0, "fail if R6 delta-vs-full speedup at the largest scale falls below this factor (0 = report only)")
+	minParSpeedup := flag.Float64("min-par-speedup", 0, "fail if R7 parallel scan or join speedup falls below this factor (0 = report only; needs multiple cores to mean anything)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	execTrace := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -134,6 +144,9 @@ func main() {
 	}
 	if run("R6") {
 		expR6(*seed, *deltaBatch, *maxFlat, *minDeltaSpeedup)
+	}
+	if run("R7") {
+		expR7(*seed, *n, *minParSpeedup)
 	}
 }
 

@@ -3,9 +3,16 @@
 // dumps the g-tree views (and optionally the physical table inventory) as
 // CSV for inspection.
 //
+// With -rel the views are also written in the typed .rel relation format,
+// which round-trips exactly (CSV conflates NULL with ""); -segment-rows N
+// selects the v2 segment-file layout, N rows per checksummed segment, so a
+// generated relation can later be scanned lazily under a byte budget (see
+// STORAGE.md).
+//
 // Usage:
 //
 //	gendata [-seed 42] [-n 200] [-out DIR] [-tables]
+//	        [-rel] [-segment-rows 0]
 package main
 
 import (
@@ -24,49 +31,67 @@ func main() {
 	n := flag.Int("n", 200, "records per contributor")
 	out := flag.String("out", "", "directory for CSV dumps (default: stdout summary only)")
 	tables := flag.Bool("tables", false, "also list each contributor's physical tables")
+	rel := flag.Bool("rel", false, "also write each view to -out in the typed .rel format")
+	segmentRows := flag.Int("segment-rows", 0, "with -rel, write the v2 segment layout with this many rows per segment (0 = v1)")
 	flag.Parse()
 
 	contribs, err := workload.BuildAll(*seed, *n)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	for _, c := range contribs {
 		rows, err := c.Stack.Read(c.DB, c.Info)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("%-10s %4d records, pattern stack %s\n", c.Name, rows.Len(), c.Stack.Describe())
 		if *tables {
 			pt, err := c.Stack.PhysicalTables(c.Info)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Printf("           physical: %s\n", strings.Join(pt, ", "))
 		}
-		if *out != "" {
-			if err := os.MkdirAll(*out, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
-				os.Exit(1)
-			}
-			path := filepath.Join(*out, c.Name+".csv")
-			f, err := os.Create(path)
+		if *out == "" {
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*out, c.Name+".csv")
+		if err := writeFile(path, func(f *os.File) error { return relstore.WriteCSV(f, rows) }); err != nil {
+			fail(err)
+		}
+		fmt.Printf("           wrote %s\n", path)
+		if *rel {
+			path := filepath.Join(*out, c.Name+".rel")
+			err := writeFile(path, func(f *os.File) error {
+				if *segmentRows > 0 {
+					return relstore.WriteTypedSegmented(f, rows, *segmentRows)
+				}
+				return relstore.WriteTyped(f, rows)
+			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
-				os.Exit(1)
-			}
-			if err := relstore.WriteCSV(f, rows); err != nil {
-				f.Close()
-				fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Printf("           wrote %s\n", path)
 		}
 	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+	os.Exit(1)
 }

@@ -46,6 +46,26 @@
 //	runstudy -refresh -warehouse-dir w2 -mutate-seed 5 -mutate-count 25
 //	cmp w1/Study_reference.rel w2/Study_reference.rel
 //
+// Segmented warehouse (see STORAGE.md): -segment-rows N persists each
+// warehouse table in the v2 segment-file layout, N rows per checksummed
+// segment, which loadWarehouse reads back transparently (ReadTyped sniffs
+// the version). -dump-warehouse TABLE streams a stored table to stdout in
+// canonical v1 form whatever its layout; over a v2 file the dump goes
+// through a lazily-loading SegmentSet capped at -segment-budget resident
+// bytes, so a relation larger than memory still dumps — and diffs cleanly
+// against an in-memory-mode warehouse:
+//
+//	runstudy -refresh -warehouse-dir w1
+//	runstudy -refresh -warehouse-dir w2 -segment-rows 64
+//	runstudy -dump-warehouse Study_reference -warehouse-dir w1 > flat.txt
+//	runstudy -dump-warehouse Study_reference -warehouse-dir w2 \
+//	         -segment-budget 8192 > seg.txt
+//	diff flat.txt seg.txt
+//
+// Columnar execution: -relstore-parallel bounds the worker pool relstore's
+// chunked operators fan out across, and -relstore-batch sets the chunk
+// width (see DESIGN.md §6.12).
+//
 // Observability (reference study): -trace-tree prints the run's span
 // tree, -trace-out writes the spans as JSON lines, -metrics prints the
 // metrics snapshot, and -cpuprofile/-memprofile/-trace enable the
@@ -60,6 +80,8 @@
 //	         [-continue] [-fail contributor,...] [-report]
 //	         [-refresh] [-refresh-delta] [-warehouse-dir dir]
 //	         [-cursor-file file] [-mutate-seed 1] [-mutate-count 0]
+//	         [-segment-rows 0] [-segment-budget 0] [-dump-warehouse table]
+//	         [-relstore-parallel 0] [-relstore-batch 0]
 //	         [-checkpoint-dir dir] [-resume] [-crash step[:before|:after]]
 //	         [-quarantine-budget 0] [-quarantine-out file|-]
 //	         [-poison contributor] [-poison-rows 1]
@@ -68,6 +90,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -111,6 +134,11 @@ func main() {
 	cursorFile := flag.String("cursor-file", "", "path for the persisted delta cursors (default <warehouse-dir>/cursors.json)")
 	mutateSeed := flag.Int64("mutate-seed", 1, "seed for -mutate-count's synthetic mutation batch")
 	mutateCount := flag.Int("mutate-count", 0, "apply this many random contributor mutations (inserts/updates/deprecations) after building the workload")
+	segmentRows := flag.Int("segment-rows", 0, "persist warehouse tables in the v2 segment-file layout with this many rows per segment (0 = v1 single-stream)")
+	segmentBudget := flag.Int64("segment-budget", 0, "resident byte budget for -dump-warehouse over a v2 segment file (0 = unlimited)")
+	dumpWarehouseTable := flag.String("dump-warehouse", "", "stream this warehouse table (v1 or v2 layout) from -warehouse-dir to stdout in canonical v1 form and exit")
+	relstoreParallel := flag.Int("relstore-parallel", 0, "worker bound for relstore's chunked columnar operators (0 = default of min(GOMAXPROCS, 8))")
+	relstoreBatch := flag.Int("relstore-batch", 0, "chunk width for relstore's columnar operators (0 = default 4096)")
 	crashAt := flag.String("crash", "", "simulate a process crash at this step; step or step:before|:after (reference study)")
 	quarBudget := flag.Int("quarantine-budget", 0, "max rows diverted to the dead-letter relation before a step fails (0 = quarantine off)")
 	quarOut := flag.String("quarantine-out", "", "write the quarantined rows with provenance to this file (\"-\" = stdout)")
@@ -124,6 +152,22 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	execTrace := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	if *relstoreParallel > 0 {
+		relstore.SetParallelism(*relstoreParallel)
+	}
+	if *relstoreBatch > 0 {
+		relstore.SetBatchSize(*relstoreBatch)
+	}
+	if *dumpWarehouseTable != "" {
+		if *warehouseDir == "" {
+			fail(fmt.Errorf("-dump-warehouse needs -warehouse-dir"))
+		}
+		if err := dumpWarehouse(*warehouseDir, *dumpWarehouseTable, *segmentBudget); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile, *execTrace)
 	if err != nil {
@@ -166,7 +210,8 @@ func main() {
 			ckptDir: *ckptDir, resume: *resume, crash: *crashAt,
 			refresh: *doRefresh, refreshDelta: *doDeltaRefresh,
 			warehouseDir: *warehouseDir, cursorFile: *cursorFile,
-			quarOut: *quarOut, poison: *poison, poisonRows: *poisonRows,
+			segmentRows: *segmentRows,
+			quarOut:     *quarOut, poison: *poison, poisonRows: *poisonRows,
 			report:    *showReport,
 			traceTree: *traceTree, traceOut: *traceOut, metrics: *showMetrics,
 		})
@@ -212,6 +257,7 @@ type refOptions struct {
 	refreshDelta      bool
 	warehouseDir      string
 	cursorFile        string
+	segmentRows       int
 	quarOut           string
 	poison            string
 	poisonRows        int
@@ -377,7 +423,7 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 			}
 			fmt.Printf("refresh %q into table %q: %s\n", spec.Name, compiled.Output.Table, stats)
 		}
-		if err := saveWarehouse(opt.warehouseDir, warehouse); err != nil {
+		if err := saveWarehouse(opt.warehouseDir, warehouse, opt.segmentRows); err != nil {
 			fail(err)
 		}
 		if cursors != nil {
@@ -501,8 +547,11 @@ func loadWarehouse(dir string, db *relstore.DB) (int, error) {
 
 // saveWarehouse persists every table in db to dir as <name>.rel, sorted on
 // every column — canonical bytes, so warehouses reached by different routes
-// (delta refresh vs full recompute) compare equal with plain cmp.
-func saveWarehouse(dir string, db *relstore.DB) error {
+// (delta refresh vs full recompute) compare equal with plain cmp. With
+// segRows > 0 tables are written in the v2 segment-file layout (segRows rows
+// per checksummed segment) so later runs can load them lazily under a byte
+// budget; 0 keeps the v1 single-stream layout.
+func saveWarehouse(dir string, db *relstore.DB, segRows int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -520,7 +569,12 @@ func saveWarehouse(dir string, db *relstore.DB) error {
 		if err != nil {
 			return err
 		}
-		if err := relstore.WriteTyped(f, sorted); err != nil {
+		if segRows > 0 {
+			err = relstore.WriteTypedSegmented(f, sorted, segRows)
+		} else {
+			err = relstore.WriteTyped(f, sorted)
+		}
+		if err != nil {
 			f.Close()
 			return err
 		}
@@ -529,6 +583,55 @@ func saveWarehouse(dir string, db *relstore.DB) error {
 		}
 	}
 	return nil
+}
+
+// dumpWarehouse streams one warehouse table to stdout in canonical v1 typed
+// form, whatever layout it is stored in. A v2 segment file streams through a
+// SegmentSet under the byte budget — segments load, emit, and evict, so the
+// dump never materializes the whole relation — which is how the CI smoke job
+// diffs a segment-mode warehouse against an in-memory-mode one.
+func dumpWarehouse(dir, name string, budget int64) error {
+	path := filepath.Join(dir, name+".rel")
+	set, err := relstore.OpenSegments(path, budget)
+	if err == nil {
+		defer set.Close()
+		w := bufio.NewWriter(os.Stdout)
+		sl, err := relstore.MarshalSchemaJSON(set.Schema())
+		if err != nil {
+			return err
+		}
+		w.Write(sl)
+		w.WriteByte('\n')
+		var rowErr error
+		scanErr := set.Scan(func(r relstore.Row) bool {
+			rl, err := relstore.MarshalRowJSON(r)
+			if err != nil {
+				rowErr = err
+				return false
+			}
+			w.Write(rl)
+			w.WriteByte('\n')
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		if rowErr != nil {
+			return rowErr
+		}
+		return w.Flush()
+	}
+	// Not a v2 segment file: read the v1 stream and echo it back.
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := relstore.ReadTyped(f)
+	if err != nil {
+		return err
+	}
+	return relstore.WriteTyped(os.Stdout, rows)
 }
 
 // writeQuarantine renders the dead-letter relation to the given path ("-"

@@ -20,7 +20,7 @@
 //	       [-refresh-interval 0] [-max-inflight 8] [-request-timeout 10s]
 //	       [-plan-cache 16] [-result-cache 128]
 //	       [-retries 0] [-step-timeout 0] [-continue]
-//	       [-trace-out spans.jsonl]
+//	       [-trace-out spans.jsonl] [-parallel 0]
 package main
 
 import (
@@ -35,6 +35,7 @@ import (
 	"guava/internal/baseline"
 	"guava/internal/etl"
 	"guava/internal/obs"
+	"guava/internal/relstore"
 	"guava/internal/serve"
 	"guava/internal/workload"
 )
@@ -52,7 +53,15 @@ func main() {
 	stepTimeout := flag.Duration("step-timeout", 0, "refresh deadline per step attempt (0 = none)")
 	contOnErr := flag.Bool("continue", false, "refresh continues past failed contributors (graceful degradation)")
 	traceOut := flag.String("trace-out", "", "append request/refresh spans as JSON lines to this file")
+	parallel := flag.Int("parallel", 0, "worker bound for relstore's chunked columnar scans (0 = default of min(GOMAXPROCS, 8), 1 = sequential)")
 	flag.Parse()
+
+	if *parallel > 0 {
+		// Extract predicates push down into relstore's chunked scans; this
+		// bounds the per-scan fan-out so it composes with -max-inflight
+		// instead of multiplying it unchecked.
+		relstore.SetParallelism(*parallel)
+	}
 
 	observer := &obs.Observer{Metrics: obs.NewRegistry()}
 	var traceFile *os.File

@@ -330,20 +330,20 @@ func (c *Compiled) recomputeDelta(ct *ContributorPlan, keys []relstore.Value) ([
 	filter := relstore.And(c.EntityBinds[ct.Name].Selection(), c.Conditions[ct.Name])
 	derive := c.deriveList(ct)
 
+	// Selection and classification run through the columnar batch operators
+	// — the same chunked kernels a full refresh uses — rather than a
+	// row-at-a-time loop; only the ordered grouping below is sequential.
+	filtered, err := relstore.Select(rows, filter)
+	if err != nil {
+		return nil, nil, fmt.Errorf("etl: delta select %q: %w", ct.Name, err)
+	}
+	derived, err := relstore.Derive(filtered, derive...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("etl: delta classify %q: %w", ct.Name, err)
+	}
 	groups := make(map[string][]relstore.Row)
 	var order []relstore.Value
-	for _, r := range rows.Data {
-		keep, err := filter.Eval(r, rows.Schema)
-		if err != nil {
-			return nil, nil, fmt.Errorf("etl: delta select %q: %w", ct.Name, err)
-		}
-		if !keep {
-			continue
-		}
-		nr, err := relstore.DeriveRow(derive, r, rows.Schema)
-		if err != nil {
-			return nil, nil, fmt.Errorf("etl: delta classify %q: %w", ct.Name, err)
-		}
+	for _, nr := range derived.Data {
 		gk := nr[0].Key()
 		if _, seen := groups[gk]; !seen {
 			order = append(order, nr[0])

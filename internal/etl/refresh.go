@@ -116,17 +116,22 @@ func Merge(table *relstore.Table, fresh *relstore.Rows, keepContributors ...stri
 	var stats RefreshStats
 	stats.Total = fresh.Len()
 
+	// Group keys on both sides are extracted through the columnar batch
+	// kernel — key-string building dominates a large merge, and each row's
+	// key is independent, so it fans out across relstore's worker pool while
+	// the ordered grouping below stays sequential and deterministic.
+	snapshot := table.Rows()
+	existingKeys := relstore.ParallelRowKeys(snapshot.Data, refreshKey)
 	existing := map[string][]relstore.Row{}
-	table.Scan(func(r relstore.Row) bool {
-		k := refreshKey(r)
-		existing[k] = append(existing[k], r.Clone())
-		return true
-	})
+	for i, r := range snapshot.Data {
+		existing[existingKeys[i]] = append(existing[existingKeys[i]], r)
+	}
 
+	freshKeys := relstore.ParallelRowKeys(fresh.Data, refreshKey)
 	var order []string
 	groups := map[string][]relstore.Row{}
-	for _, r := range fresh.Data {
-		k := refreshKey(r)
+	for i, r := range fresh.Data {
+		k := freshKeys[i]
 		if _, seen := groups[k]; !seen {
 			order = append(order, k)
 		}
@@ -197,12 +202,8 @@ func sameRowSet(a, b []relstore.Row) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	ka := make([]string, len(a))
-	kb := make([]string, len(b))
-	for i := range a {
-		ka[i] = a[i].Key()
-		kb[i] = b[i].Key()
-	}
+	ka := relstore.ParallelRowKeys(a, relstore.Row.Key)
+	kb := relstore.ParallelRowKeys(b, relstore.Row.Key)
 	sort.Strings(ka)
 	sort.Strings(kb)
 	for i := range ka {

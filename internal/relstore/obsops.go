@@ -23,3 +23,31 @@ var (
 	opUnpivot  = obs.Default.Counter("relstore.ops.unpivot")
 	opGroupBy  = obs.Default.Counter("relstore.ops.group_by")
 )
+
+// Columnar-execution counters, under "relstore.batch.*": chunks and rows
+// that went through the chunked batch kernels, and how many operator calls
+// actually fanned out across the worker pool (multi-chunk inputs with
+// Parallelism > 1).
+var (
+	mBatchChunks   = obs.Default.Counter("relstore.batch.chunks")
+	mBatchRows     = obs.Default.Counter("relstore.batch.rows")
+	mBatchParallel = obs.Default.Counter("relstore.batch.parallel_ops")
+)
+
+// Sharding counters, under "relstore.shard.*": rows routed into shards,
+// sharded scans/selects, and sharded joins.
+var (
+	mShardInserts = obs.Default.Counter("relstore.shard.inserts")
+	mShardSelects = obs.Default.Counter("relstore.shard.selects")
+	mShardJoins   = obs.Default.Counter("relstore.shard.joins")
+)
+
+// Segment-store counters, under "relstore.segment.*": v2 segment blocks
+// written, lazily loaded, served from the resident cache, and evicted under
+// the memory budget.
+var (
+	mSegWrites = obs.Default.Counter("relstore.segment.writes")
+	mSegLoads  = obs.Default.Counter("relstore.segment.loads")
+	mSegHits   = obs.Default.Counter("relstore.segment.hits")
+	mSegEvicts = obs.Default.Counter("relstore.segment.evictions")
+)

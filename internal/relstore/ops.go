@@ -37,20 +37,42 @@ func (r *Rows) Column(name string) ([]Value, error) {
 	return out, nil
 }
 
+// ParallelRowKeys computes fn over every row chunk-parallel, in row order.
+// It is the batch kernel behind multiset comparisons and group-key
+// extraction: key-string building dominates those paths, and each row's key
+// is independent, so the pool can fan it out.
+func ParallelRowKeys(data []Row, fn func(Row) string) []string {
+	keys := make([]string, len(data))
+	bounds := chunkBounds(len(data))
+	runChunks(len(bounds), func(ci int) error {
+		lo, hi := bounds[ci][0], bounds[ci][1]
+		mBatchChunks.Inc()
+		mBatchRows.Add(int64(hi - lo))
+		for i := lo; i < hi; i++ {
+			keys[i] = fn(data[i])
+		}
+		return nil
+	})
+	return keys
+}
+
 // EqualUnordered reports whether two results contain the same multiset of
 // rows over identical schemas, ignoring order. Used by the Hypothesis-3
-// equivalence tests (compiled ETL ≡ direct evaluation).
+// equivalence tests (compiled ETL ≡ direct evaluation) and the columnar
+// equivalence harness. The comparison sorts each side's row-key strings and
+// walks them pairwise — O(n log n) regardless of key collisions, where the
+// previous map-of-counts bucketed colliding keys — and the key extraction
+// itself runs chunk-parallel.
 func (r *Rows) EqualUnordered(o *Rows) bool {
 	if !r.Schema.Equal(o.Schema) || len(r.Data) != len(o.Data) {
 		return false
 	}
-	counts := make(map[string]int, len(r.Data))
-	for _, row := range r.Data {
-		counts[row.Key()]++
-	}
-	for _, row := range o.Data {
-		counts[row.Key()]--
-		if counts[row.Key()] < 0 {
+	ka := ParallelRowKeys(r.Data, Row.Key)
+	kb := ParallelRowKeys(o.Data, Row.Key)
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
 			return false
 		}
 	}
@@ -98,17 +120,21 @@ func (r *Rows) Format() string {
 	return sb.String()
 }
 
-// Select returns the rows satisfying pred (nil pred keeps everything).
+// Select returns the rows satisfying pred (nil pred keeps everything). The
+// predicate evaluates columnar: each chunk builds vectors for the columns
+// the predicate references and runs typed comparison kernels over them,
+// chunks fanning out across the worker pool; the surviving rows are gathered
+// in input order, so the result is identical to a row-at-a-time scan.
 func Select(in *Rows, pred Pred) (*Rows, error) {
 	opSelect.Inc()
+	mask, err := predMask(pred, in)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Row, 0, len(in.Data))
-	for _, row := range in.Data {
-		ok, err := evalPred(pred, row, in.Schema)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, row)
+	for i, keep := range mask {
+		if keep {
+			out = append(out, in.Data[i])
 		}
 	}
 	return &Rows{Schema: in.Schema, Data: out}, nil
@@ -126,13 +152,21 @@ func Project(in *Rows, names ...string) (*Rows, error) {
 		idx[i] = in.Schema.Index(n)
 	}
 	out := make([]Row, len(in.Data))
-	for j, row := range in.Data {
-		nr := make(Row, len(idx))
-		for i, k := range idx {
-			nr[i] = row[k]
+	bounds := chunkBounds(len(in.Data))
+	runChunks(len(bounds), func(ci int) error {
+		lo, hi := bounds[ci][0], bounds[ci][1]
+		mBatchChunks.Inc()
+		mBatchRows.Add(int64(hi - lo))
+		for j := lo; j < hi; j++ {
+			row := in.Data[j]
+			nr := make(Row, len(idx))
+			for i, k := range idx {
+				nr[i] = row[k]
+			}
+			out[j] = nr
 		}
-		out[j] = nr
-	}
+		return nil
+	})
 	return &Rows{Schema: schema, Data: out}, nil
 }
 
@@ -175,6 +209,8 @@ func DeriveRow(derivs []Derivation, row Row, schema *Schema) (Row, error) {
 
 // Derive computes a new relation whose columns are the given derivations
 // evaluated over each input row (a generalized projection; SELECT exprs).
+// Rows are independent, so derivation evaluation is chunked across the
+// worker pool; output positions are fixed up front, keeping order exact.
 func Derive(in *Rows, derivs ...Derivation) (*Rows, error) {
 	opDerive.Inc()
 	schema, err := DeriveSchema(derivs)
@@ -182,12 +218,22 @@ func Derive(in *Rows, derivs ...Derivation) (*Rows, error) {
 		return nil, err
 	}
 	out := make([]Row, len(in.Data))
-	for j, row := range in.Data {
-		nr, err := DeriveRow(derivs, row, in.Schema)
-		if err != nil {
-			return nil, err
+	bounds := chunkBounds(len(in.Data))
+	err = runChunks(len(bounds), func(ci int) error {
+		lo, hi := bounds[ci][0], bounds[ci][1]
+		mBatchChunks.Inc()
+		mBatchRows.Add(int64(hi - lo))
+		for j := lo; j < hi; j++ {
+			nr, err := DeriveRow(derivs, in.Data[j], in.Schema)
+			if err != nil {
+				return err
+			}
+			out[j] = nr
 		}
-		out[j] = nr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Rows{Schema: schema, Data: out}, nil
 }
@@ -204,23 +250,34 @@ func Extend(in *Rows, derivs ...Derivation) (*Rows, error) {
 		return nil, err
 	}
 	out := make([]Row, len(in.Data))
-	for j, row := range in.Data {
-		nr := make(Row, 0, schema.Arity())
-		nr = append(nr, row...)
-		for _, d := range derivs {
-			v, err := d.Expr.Eval(row, in.Schema)
-			if err != nil {
-				return nil, fmt.Errorf("extend %s: %w", d.Name, err)
-			}
-			if !v.IsNull() && d.Type != KindNull && v.Kind() != d.Type {
-				v, err = Coerce(v, d.Type)
+	bounds := chunkBounds(len(in.Data))
+	err = runChunks(len(bounds), func(ci int) error {
+		lo, hi := bounds[ci][0], bounds[ci][1]
+		mBatchChunks.Inc()
+		mBatchRows.Add(int64(hi - lo))
+		for j := lo; j < hi; j++ {
+			row := in.Data[j]
+			nr := make(Row, 0, schema.Arity())
+			nr = append(nr, row...)
+			for _, d := range derivs {
+				v, err := d.Expr.Eval(row, in.Schema)
 				if err != nil {
-					return nil, fmt.Errorf("extend %s: %w", d.Name, err)
+					return fmt.Errorf("extend %s: %w", d.Name, err)
 				}
+				if !v.IsNull() && d.Type != KindNull && v.Kind() != d.Type {
+					v, err = Coerce(v, d.Type)
+					if err != nil {
+						return fmt.Errorf("extend %s: %w", d.Name, err)
+					}
+				}
+				nr = append(nr, v)
 			}
-			nr = append(nr, v)
+			out[j] = nr
 		}
-		out[j] = nr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Rows{Schema: schema, Data: out}, nil
 }
@@ -235,9 +292,42 @@ func Rename(in *Rows, from, to string) (*Rows, error) {
 	return &Rows{Schema: schema, Data: in.Data}, nil
 }
 
+// joinSchema builds the output schema of a join, prefixing colliding right
+// column names.
+func joinSchema(left, right *Schema, rightPrefix string) (*Schema, error) {
+	cols := make([]Column, 0, left.Arity()+right.Arity())
+	cols = append(cols, left.Columns...)
+	for _, c := range right.Columns {
+		name := c.Name
+		if left.Has(name) {
+			name = rightPrefix + "_" + name
+		}
+		cols = append(cols, Column{Name: name, Type: c.Type, NotNull: c.NotNull})
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: join: %w", err)
+	}
+	return schema, nil
+}
+
+// joinKeys extracts the join-key strings of col for every row chunk-parallel;
+// a NULL key yields "" (NULL never joins, and Value.Key never returns "").
+func joinKeys(data []Row, ci int) []string {
+	return ParallelRowKeys(data, func(r Row) string {
+		if r[ci].IsNull() {
+			return ""
+		}
+		return r[ci].Key()
+	})
+}
+
 // Join performs a hash equi-join on leftCol = rightCol. Columns of the right
 // relation that collide with left names are prefixed with the right prefix
-// (prefix + "_"). The join is an inner join.
+// (prefix + "_"). The join is an inner join. Key extraction on both sides is
+// chunked across the pool; the build hashes the right side in row order and
+// the probe fans left chunks out in parallel, concatenating per-chunk output
+// in chunk order — the exact row order a sequential nested probe produces.
 func Join(left, right *Rows, leftCol, rightCol, rightPrefix string) (*Rows, error) {
 	opJoin.Inc()
 	li := left.Schema.Index(leftCol)
@@ -248,39 +338,44 @@ func Join(left, right *Rows, leftCol, rightCol, rightPrefix string) (*Rows, erro
 	if ri < 0 {
 		return nil, fmt.Errorf("relstore: join: no right column %q", rightCol)
 	}
-	cols := make([]Column, 0, left.Schema.Arity()+right.Schema.Arity())
-	cols = append(cols, left.Schema.Columns...)
-	for _, c := range right.Schema.Columns {
-		name := c.Name
-		if left.Schema.Has(name) {
-			name = rightPrefix + "_" + name
-		}
-		cols = append(cols, Column{Name: name, Type: c.Type, NotNull: c.NotNull})
-	}
-	schema, err := NewSchema(cols...)
+	schema, err := joinSchema(left.Schema, right.Schema, rightPrefix)
 	if err != nil {
-		return nil, fmt.Errorf("relstore: join: %w", err)
+		return nil, err
 	}
-	// Build hash on the smaller side conceptually; right side here.
-	buckets := make(map[string][]Row, len(right.Data))
-	for _, row := range right.Data {
-		if row[ri].IsNull() {
-			continue // NULL never joins
+	rightKeys := joinKeys(right.Data, ri)
+	buckets := make(map[string][]int, len(right.Data))
+	for i, k := range rightKeys {
+		if k != "" {
+			buckets[k] = append(buckets[k], i)
 		}
-		k := row[ri].Key()
-		buckets[k] = append(buckets[k], row)
 	}
+	leftKeys := joinKeys(left.Data, li)
+	bounds := chunkBounds(len(left.Data))
+	chunkOut := make([][]Row, len(bounds))
+	runChunks(len(bounds), func(ci int) error {
+		lo, hi := bounds[ci][0], bounds[ci][1]
+		mBatchChunks.Inc()
+		mBatchRows.Add(int64(hi - lo))
+		var out []Row
+		for j := lo; j < hi; j++ {
+			k := leftKeys[j]
+			if k == "" {
+				continue
+			}
+			lrow := left.Data[j]
+			for _, rj := range buckets[k] {
+				nr := make(Row, 0, schema.Arity())
+				nr = append(nr, lrow...)
+				nr = append(nr, right.Data[rj]...)
+				out = append(out, nr)
+			}
+		}
+		chunkOut[ci] = out
+		return nil
+	})
 	var out []Row
-	for _, lrow := range left.Data {
-		if lrow[li].IsNull() {
-			continue
-		}
-		for _, rrow := range buckets[lrow[li].Key()] {
-			nr := make(Row, 0, schema.Arity())
-			nr = append(nr, lrow...)
-			nr = append(nr, rrow...)
-			out = append(out, nr)
-		}
+	for _, rows := range chunkOut {
+		out = append(out, rows...)
 	}
 	return &Rows{Schema: schema, Data: out}, nil
 }
@@ -295,9 +390,9 @@ func LeftJoin(left, right *Rows, leftCol, rightCol, rightPrefix string) (*Rows, 
 	li := left.Schema.Index(leftCol)
 	ri := right.Schema.Index(rightCol)
 	matched := make(map[string]bool, len(right.Data))
-	for _, row := range right.Data {
-		if !row[ri].IsNull() {
-			matched[row[ri].Key()] = true
+	for _, k := range joinKeys(right.Data, ri) {
+		if k != "" {
+			matched[k] = true
 		}
 	}
 	for _, lrow := range left.Data {
@@ -343,23 +438,27 @@ func Union(rs ...*Rows) (*Rows, error) {
 	return Distinct(all), nil
 }
 
-// Distinct removes duplicate rows, keeping first occurrences in order.
+// Distinct removes duplicate rows, keeping first occurrences in order. The
+// whole-row key strings the dedupe hashes on are computed chunk-parallel;
+// only the ordered membership pass is sequential.
 func Distinct(in *Rows) *Rows {
 	opDistinct.Inc()
+	keys := ParallelRowKeys(in.Data, Row.Key)
 	seen := make(map[string]bool, len(in.Data))
 	out := make([]Row, 0, len(in.Data))
-	for _, row := range in.Data {
-		k := row.Key()
-		if seen[k] {
+	for i, row := range in.Data {
+		if seen[keys[i]] {
 			continue
 		}
-		seen[k] = true
+		seen[keys[i]] = true
 		out = append(out, row)
 	}
 	return &Rows{Schema: in.Schema, Data: out}
 }
 
-// SortBy orders rows by the named columns ascending (stable).
+// SortBy orders rows by the named columns ascending (stable). The sort runs
+// over an index permutation against column vectors of the key columns —
+// column-major access for the comparator — and gathers rows at the end.
 func SortBy(in *Rows, cols ...string) (*Rows, error) {
 	opSortBy.Inc()
 	idx := make([]int, len(cols))
@@ -370,23 +469,39 @@ func SortBy(in *Rows, cols ...string) (*Rows, error) {
 		}
 		idx[i] = k
 	}
-	out := make([]Row, len(in.Data))
-	copy(out, in.Data)
-	sort.SliceStable(out, func(a, b int) bool {
-		for _, k := range idx {
-			c := out[a][k].Compare(out[b][k])
+	n := len(in.Data)
+	keyVecs := make([]*Vector, len(idx))
+	if n > 0 {
+		b := BatchFromRows(&Rows{Schema: in.Schema, Data: in.Data}, 0, n, idx)
+		for i, k := range idx {
+			keyVecs[i] = b.Vecs[k]
+		}
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		for _, v := range keyVecs {
+			c := v.Value(perm[a]).Compare(v.Value(perm[b]))
 			if c != 0 {
 				return c < 0
 			}
 		}
 		return false
 	})
+	out := make([]Row, n)
+	for i, p := range perm {
+		out[i] = in.Data[p]
+	}
 	return &Rows{Schema: in.Schema, Data: out}, nil
 }
 
 // Pivot converts a wide relation to Entity-Attribute-Value form: for each
 // input row, one output row per value column, keyed by the key columns.
-// (The Generic design pattern of Table 1 stores data this way.)
+// (The Generic design pattern of Table 1 stores data this way.) Each input
+// row expands independently, so chunks fan out across the pool and
+// concatenate in chunk order.
 func Pivot(in *Rows, keyCols []string, attrCol, valCol string) (*Rows, error) {
 	opPivot.Inc()
 	keyIdx := make([]int, len(keyCols))
@@ -409,26 +524,52 @@ func Pivot(in *Rows, keyCols []string, attrCol, valCol string) (*Rows, error) {
 	for _, j := range keyIdx {
 		isKey[j] = true
 	}
-	var out []Row
-	for _, row := range in.Data {
-		for j, c := range in.Schema.Columns {
-			if isKey[j] {
-				continue
+	bounds := chunkBounds(len(in.Data))
+	chunkOut := make([][]Row, len(bounds))
+	runChunks(len(bounds), func(ci int) error {
+		lo, hi := bounds[ci][0], bounds[ci][1]
+		mBatchChunks.Inc()
+		mBatchRows.Add(int64(hi - lo))
+		var out []Row
+		for r := lo; r < hi; r++ {
+			row := in.Data[r]
+			for j, c := range in.Schema.Columns {
+				if isKey[j] {
+					continue
+				}
+				nr := make(Row, 0, schema.Arity())
+				for _, k := range keyIdx {
+					nr = append(nr, row[k])
+				}
+				nr = append(nr, Str(c.Name))
+				if row[j].IsNull() {
+					nr = append(nr, Null())
+				} else {
+					nr = append(nr, Str(row[j].Display()))
+				}
+				out = append(out, nr)
 			}
-			nr := make(Row, 0, schema.Arity())
-			for _, k := range keyIdx {
-				nr = append(nr, row[k])
-			}
-			nr = append(nr, Str(c.Name))
-			if row[j].IsNull() {
-				nr = append(nr, Null())
-			} else {
-				nr = append(nr, Str(row[j].Display()))
-			}
-			out = append(out, nr)
 		}
+		chunkOut[ci] = out
+		return nil
+	})
+	var out []Row
+	for _, rows := range chunkOut {
+		out = append(out, rows...)
 	}
 	return &Rows{Schema: schema, Data: out}, nil
+}
+
+// groupKeys extracts the concatenated key strings of keyIdx chunk-parallel.
+func groupKeys(data []Row, keyIdx []int) []string {
+	return ParallelRowKeys(data, func(row Row) string {
+		var kb strings.Builder
+		for _, k := range keyIdx {
+			kb.WriteString(row[k].Key())
+			kb.WriteByte(0x1f)
+		}
+		return kb.String()
+	})
 }
 
 // Unpivot converts an Entity-Attribute-Value relation back to wide form.
@@ -436,6 +577,9 @@ func Pivot(in *Rows, keyCols []string, attrCol, valCol string) (*Rows, error) {
 // tuple fold into one output row. Attributes absent for a key become NULL.
 // The paper's Join pattern "executes an un-pivot operation, either in code
 // or SQL if the operator exists in the DBMS"; relstore provides it natively.
+// The group-key extraction is chunked across the pool; the ordered fold that
+// assigns attributes into their key's row stays sequential, preserving
+// first-appearance output order.
 func Unpivot(in *Rows, keyCols []string, attrCol, valCol string, attrs []Column) (*Rows, error) {
 	opUnpivot.Inc()
 	keyIdx := make([]int, len(keyCols))
@@ -464,15 +608,11 @@ func Unpivot(in *Rows, keyCols []string, attrCol, valCol string, attrs []Column)
 	if err != nil {
 		return nil, err
 	}
+	keys := groupKeys(in.Data, keyIdx)
 	rowFor := make(map[string]int)
 	var order []Row
-	for _, row := range in.Data {
-		var kb strings.Builder
-		for _, k := range keyIdx {
-			kb.WriteString(row[k].Key())
-			kb.WriteByte(0x1f)
-		}
-		key := kb.String()
+	for i, row := range in.Data {
+		key := keys[i]
 		pos, ok := rowFor[key]
 		if !ok {
 			nr := make(Row, schema.Arity())
@@ -571,20 +711,18 @@ func GroupBy(in *Rows, keyCols []string, aggs ...Aggregate) (*Rows, error) {
 		max   Value
 		n     int64
 	}
+	rowKeys := groupKeys(in.Data, keyIdx)
 	groups := make(map[string][]acc)
 	keys := make(map[string]Row)
 	var order []string
-	for _, row := range in.Data {
-		var kb strings.Builder
-		keyRow := make(Row, len(keyIdx))
-		for i, k := range keyIdx {
-			kb.WriteString(row[k].Key())
-			kb.WriteByte(0x1f)
-			keyRow[i] = row[k]
-		}
-		key := kb.String()
+	for ri, row := range in.Data {
+		key := rowKeys[ri]
 		accs, ok := groups[key]
 		if !ok {
+			keyRow := make(Row, len(keyIdx))
+			for i, k := range keyIdx {
+				keyRow[i] = row[k]
+			}
 			accs = make([]acc, len(aggs))
 			keys[key] = keyRow
 			order = append(order, key)

@@ -1,0 +1,129 @@
+package relstore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Chunked execution configuration. Operators process relations in chunks of
+// BatchSize rows; independent chunks are evaluated by a bounded goroutine
+// pool of Parallelism workers. Both knobs are process-wide and safe to set
+// concurrently; changes apply to operator calls that start afterwards.
+
+// DefaultBatchSize is the chunk width operators use unless reconfigured:
+// large enough to amortize per-chunk setup (vector construction, pool
+// dispatch), small enough that a chunk's working set stays cache-resident.
+const DefaultBatchSize = 4096
+
+var (
+	batchSize   atomic.Int64
+	parallelism atomic.Int64
+)
+
+func init() {
+	batchSize.Store(DefaultBatchSize)
+	p := runtime.GOMAXPROCS(0)
+	if p > 8 {
+		p = 8
+	}
+	parallelism.Store(int64(p))
+}
+
+// BatchSize returns the current operator chunk width.
+func BatchSize() int { return int(batchSize.Load()) }
+
+// SetBatchSize reconfigures the operator chunk width. Values below 1 reset
+// to DefaultBatchSize.
+func SetBatchSize(n int) {
+	if n < 1 {
+		n = DefaultBatchSize
+	}
+	batchSize.Store(int64(n))
+}
+
+// Parallelism returns the worker bound for chunked operators.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// SetParallelism bounds the goroutine pool chunked operators fan out across.
+// 1 disables parallelism (chunks evaluate inline, in order); values below 1
+// reset to the default bound of min(GOMAXPROCS, 8).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 8 {
+			n = 8
+		}
+	}
+	parallelism.Store(int64(n))
+}
+
+// chunkBounds splits [0, n) into BatchSize-wide half-open intervals.
+func chunkBounds(n int) [][2]int {
+	w := BatchSize()
+	if n == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, (n+w-1)/w)
+	for lo := 0; lo < n; lo += w {
+		hi := lo + w
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// runChunks evaluates fn(ci) for every chunk index across the bounded worker
+// pool. Workers pull chunk indexes from a shared atomic counter, so the pool
+// stays busy even when chunk costs are skewed. If several chunks fail, the
+// error of the lowest-indexed chunk wins — the same error a sequential
+// left-to-right evaluation would have surfaced first, which keeps error
+// behavior deterministic under parallelism.
+func runChunks(nChunks int, fn func(ci int) error) error {
+	if nChunks == 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		for ci := 0; ci < nChunks; ci++ {
+			if err := fn(ci); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mBatchParallel.Inc()
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errCi   = nChunks
+		callErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				if err := fn(ci); err != nil {
+					mu.Lock()
+					if ci < errCi {
+						errCi, callErr = ci, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return callErr
+}

@@ -154,13 +154,25 @@ func WriteTyped(w io.Writer, rows *Rows) error {
 	return bw.Flush()
 }
 
-// ReadTyped parses a relation written by WriteTyped, validating every row
-// against the parsed schema.
+// ReadTyped parses a relation written by WriteTyped or WriteTypedSegmented,
+// validating every row against the parsed schema. The format version is
+// sniffed from the first byte: v1 files open with the bare schema array
+// ('['), v2 segment files with a header object ('{').
 func ReadTyped(r io.Reader) (*Rows, error) {
 	br := bufio.NewReader(r)
 	sl, err := readLine(br)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: read typed relation: %w", err)
+	}
+	if len(sl) > 0 && sl[0] == '{' {
+		var hdr relHeader
+		if err := json.Unmarshal(sl, &hdr); err != nil {
+			return nil, fmt.Errorf("relstore: parse v2 header: %w", err)
+		}
+		if hdr.Rel != 2 {
+			return nil, fmt.Errorf("relstore: unsupported .rel version %d", hdr.Rel)
+		}
+		return readTypedV2(br, hdr)
 	}
 	schema, err := UnmarshalSchemaJSON(sl)
 	if err != nil {

@@ -1,0 +1,207 @@
+package relstore
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Hash sharding splits a relation into disjoint sub-relations by hash of an
+// entity-key column, so scans and joins fan out across the worker pool with
+// each worker owning a shard. Sharding is opt-in: callers that hold a plain
+// Table or Rows keep the single-shard behavior, while callers that build a
+// ShardedTable (or partition with ShardRows) get shard-parallel scans whose
+// output is deterministic — shards enumerate in shard order, rows within a
+// shard in insertion order, so the same inserts always yield the same scan.
+
+// ShardOf returns the shard index of a key value for an n-way sharding:
+// FNV-1a over the value's collision-safe key form. NULL keys map to shard 0.
+func ShardOf(v Value, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(v.Key()))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ShardRows hash-partitions a relation into n sub-relations by the named
+// column. Every row lands in exactly one shard; within a shard, input order
+// is preserved.
+func ShardRows(in *Rows, col string, n int) ([]*Rows, error) {
+	ci := in.Schema.Index(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: shard: no column %q", col)
+	}
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*Rows, n)
+	for i := range shards {
+		shards[i] = &Rows{Schema: in.Schema}
+	}
+	for _, r := range in.Data {
+		s := ShardOf(r[ci], n)
+		shards[s].Data = append(shards[s].Data, r)
+	}
+	return shards, nil
+}
+
+// ShardedTable is a relation hash-sharded by an entity-key column across
+// independent Tables. Inserts route by key hash; Select fans out across the
+// pool, one task per shard, and concatenates shard results in shard order.
+// Because each shard is its own Table with its own lock, shard-parallel
+// reads never contend on a single table mutex, and concurrent writers to
+// different shards proceed independently.
+type ShardedTable struct {
+	name   string
+	schema *Schema
+	keyCol string
+	ki     int
+	shards []*Table
+}
+
+// NewShardedTable creates an empty n-way sharded table keyed by keyCol.
+func NewShardedTable(name string, schema *Schema, keyCol string, n int) (*ShardedTable, error) {
+	ki := schema.Index(keyCol)
+	if ki < 0 {
+		return nil, fmt.Errorf("relstore: sharded table %s: no key column %q", name, keyCol)
+	}
+	if n < 1 {
+		n = 1
+	}
+	st := &ShardedTable{name: name, schema: schema, keyCol: keyCol, ki: ki, shards: make([]*Table, n)}
+	for i := range st.shards {
+		st.shards[i] = NewTable(fmt.Sprintf("%s#%d", name, i), schema)
+	}
+	return st, nil
+}
+
+// Name returns the logical table name.
+func (s *ShardedTable) Name() string { return s.name }
+
+// Schema returns the table schema.
+func (s *ShardedTable) Schema() *Schema { return s.schema }
+
+// KeyColumn returns the entity-key column rows are sharded by.
+func (s *ShardedTable) KeyColumn() string { return s.keyCol }
+
+// NumShards returns the shard count.
+func (s *ShardedTable) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th shard's backing table, for callers that need
+// per-shard indexes or direct scans.
+func (s *ShardedTable) Shard(i int) *Table { return s.shards[i] }
+
+// Insert routes the row to its key's shard.
+func (s *ShardedTable) Insert(r Row) error {
+	if len(r) != s.schema.Arity() {
+		return fmt.Errorf("relstore: insert into %s: row arity %d != schema arity %d", s.name, len(r), s.schema.Arity())
+	}
+	mShardInserts.Inc()
+	return s.shards[ShardOf(r[s.ki], len(s.shards))].Insert(r)
+}
+
+// InsertAll inserts each row, stopping at the first error.
+func (s *ShardedTable) InsertAll(rows []Row) error {
+	for _, r := range rows {
+		if err := s.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the total number of rows across shards.
+func (s *ShardedTable) Len() int {
+	n := 0
+	for _, t := range s.shards {
+		n += t.Len()
+	}
+	return n
+}
+
+// Select evaluates pred over every shard in parallel — one pool task per
+// shard, each using the shard table's own columnar scan (with index pushdown
+// if the shard carries indexes) — and concatenates the shard results in
+// shard order.
+func (s *ShardedTable) Select(pred Pred) (*Rows, error) {
+	mShardSelects.Inc()
+	parts := make([]*Rows, len(s.shards))
+	err := runChunks(len(s.shards), func(i int) error {
+		rows, err := s.shards[i].Select(pred)
+		if err != nil {
+			return err
+		}
+		parts[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, p := range parts {
+		out = append(out, p.Data...)
+	}
+	return &Rows{Schema: s.schema, Data: out}, nil
+}
+
+// Rows snapshots the whole sharded relation, shard order then insertion
+// order.
+func (s *ShardedTable) Rows() *Rows {
+	var out []Row
+	for _, t := range s.shards {
+		out = append(out, t.Rows().Data...)
+	}
+	return &Rows{Schema: s.schema, Data: out}
+}
+
+// CreateIndex builds the named hash index on every shard.
+func (s *ShardedTable) CreateIndex(col string) error {
+	for _, t := range s.shards {
+		if err := t.CreateIndex(col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardedJoin hash-partitions both relations by their join keys into
+// Parallelism shards and joins shard pairs in parallel — rows can only match
+// within a shard, since both sides use the same key hash. Output is
+// deterministic (shard order, then left order within each shard) but
+// shard-grouped, not left-relation order; callers needing the sequential
+// Join order should use Join, which parallelizes the probe without
+// re-partitioning.
+func ShardedJoin(left, right *Rows, leftCol, rightCol, rightPrefix string) (*Rows, error) {
+	mShardJoins.Inc()
+	n := Parallelism()
+	lShards, err := ShardRows(left, leftCol, n)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: sharded join: %w", err)
+	}
+	rShards, err := ShardRows(right, rightCol, n)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: sharded join: %w", err)
+	}
+	schema, err := joinSchema(left.Schema, right.Schema, rightPrefix)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*Rows, n)
+	err = runChunks(n, func(i int) error {
+		rows, err := Join(lShards[i], rShards[i], leftCol, rightCol, rightPrefix)
+		if err != nil {
+			return err
+		}
+		parts[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, p := range parts {
+		out = append(out, p.Data...)
+	}
+	return &Rows{Schema: schema, Data: out}, nil
+}

@@ -391,14 +391,19 @@ func (t *Table) Select(pred Pred) (*Rows, error) {
 		}
 		return &Rows{Schema: t.schema, Data: out}, nil
 	}
+	// No usable index: run the columnar scan kernel over the stored rows
+	// (chunk-parallel mask, then an ordered gather of clones). This is the
+	// path layout-level predicate pushdown lands on — serve's extract
+	// filters arrive here as Preds, not post-hoc row filters.
+	in := &Rows{Schema: t.schema, Data: t.rows}
+	mask, err := predMask(pred, in)
+	if err != nil {
+		return nil, err
+	}
 	var out []Row
-	for _, r := range t.rows {
-		ok, err := evalPred(pred, r, t.schema)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r.Clone())
+	for i, keep := range mask {
+		if keep {
+			out = append(out, t.rows[i].Clone())
 		}
 	}
 	return &Rows{Schema: t.schema, Data: out}, nil

@@ -1,14 +1,3 @@
-// Package relstore implements the in-memory relational storage engine that
-// underlies every database in the GUAVA/MultiClass reproduction: contributor
-// databases written by reporting tools, the temporary databases produced by
-// each ETL stage (Figure 6 of the paper), and the study warehouse itself.
-//
-// The engine provides typed columns, structured predicates and scalar
-// expressions (so that plans can be rendered back to SQL text for
-// documentation, as the paper renders classifier output to XQuery), hash
-// indexes, and the relational operators the paper's design patterns need —
-// including the pivot/un-pivot pair required by the Generic (EAV) layout of
-// Table 1.
 package relstore
 
 import (

@@ -1,0 +1,199 @@
+package relstore
+
+// Vector is a typed column of values in columnar (struct-of-arrays) layout:
+// one payload slice of the vector's declared kind plus a null bitmap, so
+// batch kernels run tight typed loops instead of switching on Value kinds
+// per cell. Values whose runtime kind differs from the declared kind — an
+// integer stored in a REAL column, or any value in a dynamically-typed
+// column — land in a sparse exception map, preserving the exact Value (an
+// un-widened Int must survive a round trip through a vector bit for bit).
+// Kernels consult Pure to decide whether the typed fast path applies.
+type Vector struct {
+	kind   Kind
+	n      int
+	nulls  []uint64 // bit i set = value i is NULL
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	exc    map[int]Value // position -> exact value, for kind mismatches
+}
+
+// NewVector creates an empty vector of the declared kind with capacity for
+// capHint values.
+func NewVector(kind Kind, capHint int) *Vector {
+	v := &Vector{kind: kind}
+	switch kind {
+	case KindInt:
+		v.ints = make([]int64, 0, capHint)
+	case KindFloat:
+		v.floats = make([]float64, 0, capHint)
+	case KindString:
+		v.strs = make([]string, 0, capHint)
+	case KindBool:
+		v.bools = make([]bool, 0, capHint)
+	}
+	return v
+}
+
+// Len returns the number of values.
+func (v *Vector) Len() int { return v.n }
+
+// Kind returns the declared payload kind.
+func (v *Vector) Kind() Kind { return v.kind }
+
+// Pure reports whether every non-NULL value has the declared kind, i.e. the
+// typed payload slice alone is authoritative and fast paths may skip the
+// exception map.
+func (v *Vector) Pure() bool { return len(v.exc) == 0 }
+
+// Append adds one value to the vector.
+func (v *Vector) Append(val Value) {
+	i := v.n
+	v.n++
+	if i%64 == 0 {
+		v.nulls = append(v.nulls, 0)
+	}
+	if val.IsNull() {
+		v.nulls[i/64] |= 1 << (i % 64)
+		v.appendZero()
+		return
+	}
+	if val.Kind() != v.kind {
+		if v.exc == nil {
+			v.exc = make(map[int]Value)
+		}
+		v.exc[i] = val
+		v.appendZero()
+		return
+	}
+	switch v.kind {
+	case KindInt:
+		v.ints = append(v.ints, val.AsInt())
+	case KindFloat:
+		v.floats = append(v.floats, val.AsFloat())
+	case KindString:
+		v.strs = append(v.strs, val.AsString())
+	case KindBool:
+		v.bools = append(v.bools, val.AsBool())
+	default:
+		// Declared-dynamic column: every value is an exception.
+		if v.exc == nil {
+			v.exc = make(map[int]Value)
+		}
+		v.exc[i] = val
+	}
+}
+
+func (v *Vector) appendZero() {
+	switch v.kind {
+	case KindInt:
+		v.ints = append(v.ints, 0)
+	case KindFloat:
+		v.floats = append(v.floats, 0)
+	case KindString:
+		v.strs = append(v.strs, "")
+	case KindBool:
+		v.bools = append(v.bools, false)
+	}
+}
+
+// Null reports whether value i is NULL.
+func (v *Vector) Null(i int) bool {
+	return v.nulls[i/64]&(1<<(i%64)) != 0
+}
+
+// Value reconstructs the exact Value at position i.
+func (v *Vector) Value(i int) Value {
+	if v.Null(i) {
+		return Null()
+	}
+	if v.exc != nil {
+		if val, ok := v.exc[i]; ok {
+			return val
+		}
+	}
+	switch v.kind {
+	case KindInt:
+		return Int(v.ints[i])
+	case KindFloat:
+		return Float(v.floats[i])
+	case KindString:
+		return Str(v.strs[i])
+	case KindBool:
+		return Bool(v.bools[i])
+	default:
+		return Null()
+	}
+}
+
+// Batch is a fixed window of rows in columnar layout: one Vector per schema
+// column. Operators build batches per chunk, evaluate predicate or
+// derivation kernels over the vectors, and emit rows again — the
+// Rows/Schema API stays row-shaped while the inner loops are columnar.
+type Batch struct {
+	Schema *Schema
+	Vecs   []*Vector
+	n      int
+}
+
+// NewBatch creates an empty batch over the schema with capacity for capHint
+// rows per column.
+func NewBatch(schema *Schema, capHint int) *Batch {
+	b := &Batch{Schema: schema, Vecs: make([]*Vector, schema.Arity())}
+	for i, c := range schema.Columns {
+		b.Vecs[i] = NewVector(c.Type, capHint)
+	}
+	return b
+}
+
+// BatchFromRows builds a batch over rows[lo:hi]. Only the columns listed in
+// cols are vectorized (nil = all); the rest stay nil, so predicate kernels
+// pay only for the columns they touch.
+func BatchFromRows(in *Rows, lo, hi int, cols []int) *Batch {
+	b := &Batch{Schema: in.Schema, Vecs: make([]*Vector, in.Schema.Arity()), n: hi - lo}
+	want := cols
+	if want == nil {
+		want = make([]int, in.Schema.Arity())
+		for i := range want {
+			want[i] = i
+		}
+	}
+	for _, ci := range want {
+		vec := NewVector(in.Schema.Columns[ci].Type, hi-lo)
+		for r := lo; r < hi; r++ {
+			vec.Append(in.Data[r][ci])
+		}
+		b.Vecs[ci] = vec
+	}
+	return b
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Append adds one row to the batch. The row must match the schema arity.
+func (b *Batch) Append(r Row) {
+	for i, v := range r {
+		b.Vecs[i].Append(v)
+	}
+	b.n++
+}
+
+// Row materializes row i as a fresh Row.
+func (b *Batch) Row(i int) Row {
+	out := make(Row, len(b.Vecs))
+	for c, vec := range b.Vecs {
+		out[c] = vec.Value(i)
+	}
+	return out
+}
+
+// Rows materializes the whole batch.
+func (b *Batch) Rows() *Rows {
+	data := make([]Row, b.n)
+	for i := range data {
+		data[i] = b.Row(i)
+	}
+	return &Rows{Schema: b.Schema, Data: data}
+}
