@@ -17,6 +17,7 @@ package guava
 //	BenchmarkStudy1Funnel     — ST1 end to end
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -267,7 +268,7 @@ func BenchmarkParallelWorkflow(b *testing.B) {
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := compiled.RunParallel(4); err != nil {
+			if _, err := compiled.RunParallel(context.Background(), 4); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -405,7 +406,7 @@ func BenchmarkGTreeQuery(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := q.Run(db, stack, form); err != nil {
+				if _, err := q.Run(context.Background(), db, stack, form); err != nil {
 					b.Fatal(err)
 				}
 			}

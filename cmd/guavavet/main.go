@@ -4,62 +4,77 @@
 // expand to their artifact files), cross-checks the whole set — classifier
 // satisfiability, shadowing, and domain gaps; context-disabled guards;
 // enablement cycles and dead answer options; study wiring against the study
-// schema — and prints the diagnostics.
+// schema — and, when the set forms a complete study manifest that vets clean,
+// compiles the study and runs the plan-level dataflow analyzer
+// (internal/plancheck, GV21x codes) over the operator trees.
 //
 // Usage:
 //
 //	guavavet [-format text|json|sarif] path...
 //
-// Exit status is 0 when no error-severity diagnostics were found (warnings
-// and infos alone do not fail the run), 1 when at least one error was, and
-// 2 on usage errors. See VETTING.md for the diagnostic catalog.
+// Exit status is the stable contract CI scripts key on: 0 when no
+// error-severity diagnostics were found (warnings and infos alone never flip
+// the exit status, in any format), 1 when at least one error was, and 2 on
+// usage errors. See VETTING.md for the diagnostic catalog.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"guava/internal/vet"
+	"guava/internal/plancheck"
 )
 
-func main() {
-	format := flag.String("format", "text", "output format: text, json, or sarif")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: guavavet [-format text|json|sarif] path...\n")
-		flag.PrintDefaults()
+// run is the whole program, factored for testing: it parses args, vets, and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("guavavet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: guavavet [-format text|json|sarif] path...\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
-	rep := vet.LoadPaths(flag.Args()).Vet()
+	rep := plancheck.VetPaths(fs.Args(), plancheck.Options{})
 	rep.Publish(nil)
 
 	switch *format {
 	case "text":
-		fmt.Print(rep.Text())
+		fmt.Fprint(stdout, rep.Text())
 	case "json":
 		out, err := rep.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "guavavet: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "guavavet: %v\n", err)
+			return 2
 		}
-		fmt.Printf("%s\n", out)
+		fmt.Fprintf(stdout, "%s\n", out)
 	case "sarif":
 		out, err := rep.SARIF()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "guavavet: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "guavavet: %v\n", err)
+			return 2
 		}
-		fmt.Printf("%s\n", out)
+		fmt.Fprintf(stdout, "%s\n", out)
 	default:
-		fmt.Fprintf(os.Stderr, "guavavet: unknown format %q (want text, json, or sarif)\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "guavavet: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 	if rep.HasErrors() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func corpus(elem ...string) string {
+	return filepath.Join(append([]string{"..", "..", "internal", "vet", "testdata"}, elem...)...)
+}
+
+// TestExitCodeContract pins the documented exit-status contract: 0 when only
+// warnings/infos (or nothing) were found, 1 on any error, 2 on usage errors —
+// regardless of output format.
+func TestExitCodeContract(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{corpus("corpus", "clean_study")}, 0},
+		{"warning-only", []string{corpus("corpus", "GV103_bad")}, 0},
+		{"info-only", []string{corpus("corpus", "GV307_bad")}, 0},
+		{"error", []string{corpus("corpus", "GV001_bad")}, 1},
+		{"plan-error", []string{corpus("plancorpus", "GV212_bad")}, 1},
+		{"warning-only-json", []string{"-format", "json", corpus("corpus", "GV103_bad")}, 0},
+		{"warning-only-sarif", []string{"-format", "sarif", corpus("corpus", "GV103_bad")}, 0},
+		{"error-sarif", []string{"-format", "sarif", corpus("corpus", "GV001_bad")}, 1},
+		{"no-args", nil, 2},
+		{"bad-format", []string{"-format", "yaml", corpus("corpus", "clean_study")}, 2},
+		{"bad-flag", []string{"-nope"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestSARIFWarningLevelStaysWarning guards the level mapping end to end: a
+// warning-severity diagnostic must render as SARIF level "warning" (never
+// "error") and must leave the exit status at 0.
+func TestSARIFWarningLevelStaysWarning(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-format", "sarif", corpus("corpus", "GV103_bad")}, &stdout, &stderr); got != 0 {
+		t.Fatalf("warning-only run exited %d, want 0\nstderr:\n%s", got, stderr.String())
+	}
+	var log struct {
+		Runs []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("unexpected SARIF shape:\n%s", stdout.String())
+	}
+	for _, res := range log.Runs[0].Results {
+		if res.RuleID == "GV103" && res.Level != "warning" {
+			t.Errorf("GV103 rendered at level %q, want \"warning\"", res.Level)
+		}
+	}
+}
+
+// TestPlanDiagnosticsSurface proves the CLI runs the plan analyzer: a bundle
+// whose artifacts vet clean but whose compiled plan is contradictory must
+// report GV21x codes through the ordinary text output.
+func TestPlanDiagnosticsSurface(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{corpus("plancorpus", "GV212_bad")}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", got, stderr.String())
+	}
+	for _, code := range []string{"GV211", "GV212"} {
+		if !strings.Contains(stdout.String(), code) {
+			t.Errorf("output missing %s:\n%s", code, stdout.String())
+		}
+	}
+}

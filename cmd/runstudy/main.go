@@ -5,9 +5,12 @@
 // translations — the inspectability the paper demands of generated
 // workflows.
 //
-// With -vet the reference study is statically vetted before compilation:
-// the diagnostics print to stderr, and the run is refused when any
-// error-severity finding exists. Without -vet nothing changes.
+// With -vet the reference study is statically vetted before compilation —
+// and, once the artifacts pass, the compiled plan runs through the
+// plan-level dataflow analyzer (internal/plancheck, GV21x codes): the
+// diagnostics print to stderr, and the run is refused when any
+// error-severity finding exists at either layer. Without -vet nothing
+// changes.
 //
 // The reference study runs through the resilient executor: -retries,
 // -step-timeout, -timeout, and -continue configure the etl.RunPolicy,
@@ -106,6 +109,7 @@ import (
 	"guava/internal/etl"
 	"guava/internal/etl/faulty"
 	"guava/internal/obs"
+	"guava/internal/plancheck"
 	"guava/internal/relstore"
 	"guava/internal/vet"
 	"guava/internal/workload"
@@ -304,6 +308,18 @@ func runReference(contribs []*workload.Contributor, opt refOptions) {
 	compiled, err := etl.CompileTraced(ctx, spec)
 	if err != nil {
 		fail(err)
+	}
+	if opt.vet {
+		// Second vetting layer: dataflow analysis over the compiled operator
+		// trees, where contradictions invisible in the artifacts surface.
+		prep := &vet.Report{}
+		plancheck.Analyze(compiled, prep, plancheck.Options{})
+		prep.Sort()
+		fmt.Fprint(os.Stderr, prep.Text())
+		if prep.HasErrors() {
+			fail(fmt.Errorf("study %q failed plan analysis with %d error(s); fix them or drop -vet",
+				spec.Name, prep.Count(vet.SevError)))
+		}
 	}
 	if opt.plan {
 		fmt.Println(compiled.Workflow.Render())

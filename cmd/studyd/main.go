@@ -53,6 +53,7 @@ func main() {
 	stepTimeout := flag.Duration("step-timeout", 0, "refresh deadline per step attempt (0 = none)")
 	contOnErr := flag.Bool("continue", false, "refresh continues past failed contributors (graceful degradation)")
 	traceOut := flag.String("trace-out", "", "append request/refresh spans as JSON lines to this file")
+	badStudy := flag.Bool("bad-study", false, "additionally register a \"badplan\" study (lazily) whose compiled plan is contradictory; its first extract or refresh is rejected with 422 by the plan-admission gate")
 	parallel := flag.Int("parallel", 0, "worker bound for relstore's chunked columnar scans (0 = default of min(GOMAXPROCS, 8), 1 = sequential)")
 	flag.Parse()
 
@@ -126,6 +127,23 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("studyd: study %q ready\n", spec.Name)
+	}
+	if *badStudy {
+		// Artifacts vet clean (the contradiction only exists post-compile),
+		// so lazy registration succeeds; the plan-admission gate rejects the
+		// study at its first use, and every request answers 422 with the
+		// GV21x report — the r8-smoke CI job drives exactly this.
+		bad, err := baseline.ReferenceSpec(contribs)
+		if err != nil {
+			fail(err)
+		}
+		bad.Name = "badplan"
+		bad.Contributors = bad.Contributors[:1]
+		bad.Contributors[0].Condition = "PacksPerDay > 5 AND PacksPerDay < 2"
+		if err := srv.AddStudyLazy(bad); err != nil {
+			fail(err)
+		}
+		fmt.Printf("studyd: study %q registered lazily (plan will be rejected at first use)\n", bad.Name)
 	}
 
 	if err := srv.Start(*addr); err != nil {

@@ -421,7 +421,7 @@ Heavy    <- %[1]s >= %[3]d
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := st.RunParallel(3)
+	parallel, err := st.RunParallel(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

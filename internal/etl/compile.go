@@ -264,9 +264,10 @@ func (c *Compiled) Run() (*relstore.Rows, error) {
 }
 
 // RunParallel executes the compiled workflow with the per-contributor chains
-// running concurrently.
-func (c *Compiled) RunParallel(workers int) (*relstore.Rows, error) {
-	return c.run(func(w *Workflow, env *Context) error { return w.RunParallel(context.Background(), env, workers) })
+// running concurrently under ctx; workers bounds concurrency (<= 0 means
+// unbounded).
+func (c *Compiled) RunParallel(ctx context.Context, workers int) (*relstore.Rows, error) {
+	return c.run(func(w *Workflow, env *Context) error { return w.RunParallel(ctx, env, workers) })
 }
 
 // newEnv builds the execution context: contributor databases register under

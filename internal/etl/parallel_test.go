@@ -22,7 +22,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 1, 2, 8} {
-		parallel, err := compiled.RunParallel(workers)
+		parallel, err := compiled.RunParallel(context.Background(), workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -8,6 +8,7 @@
 package gquery
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -69,9 +70,10 @@ func (q *Query) compile() (*plan, error) {
 }
 
 // Run translates the query through the pattern stack and executes it against
-// the contributor database.
-func (q *Query) Run(db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (*relstore.Rows, error) {
-	res, err := q.RunWithInfo(db, stack, form)
+// the contributor database. The context bounds the execution: a cancelled
+// ctx aborts before the physical scan.
+func (q *Query) Run(ctx context.Context, db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (*relstore.Rows, error) {
+	res, err := q.RunWithInfo(ctx, db, stack, form)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +82,10 @@ func (q *Query) Run(db *relstore.DB, stack *patterns.Stack, form patterns.FormIn
 
 // RunWithInfo is Run, also reporting whether the condition was pushed down
 // to the physical scan.
-func (q *Query) RunWithInfo(db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (patterns.QueryResult, error) {
+func (q *Query) RunWithInfo(ctx context.Context, db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (patterns.QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return patterns.QueryResult{}, err
+	}
 	p, err := q.compile()
 	if err != nil {
 		return patterns.QueryResult{}, err
@@ -102,7 +107,7 @@ type AggregateQuery struct {
 }
 
 // Run executes the aggregate through the pattern stack.
-func (q *AggregateQuery) Run(db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (*relstore.Rows, error) {
+func (q *AggregateQuery) Run(ctx context.Context, db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (*relstore.Rows, error) {
 	if len(q.Aggs) == 0 {
 		return nil, fmt.Errorf("gquery: aggregate query with no aggregates")
 	}
@@ -129,7 +134,7 @@ func (q *AggregateQuery) Run(db *relstore.DB, stack *patterns.Stack, form patter
 		sel = []string{q.Tree.KeyColumn} // COUNT(*) needs some column
 	}
 	base := Query{Tree: q.Tree, Select: sel, Where: q.Where}
-	rows, err := base.Run(db, stack, form)
+	rows, err := base.Run(ctx, db, stack, form)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +175,7 @@ func (q *Query) LogicalSQL() (string, error) {
 // stack it is rewritten through, whether the condition pushes down to the
 // physical scan, and the physical tables it ultimately touches — the
 // inspectability the paper demands of generated workflows.
-func (q *Query) Explain(db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (string, error) {
+func (q *Query) Explain(ctx context.Context, db *relstore.DB, stack *patterns.Stack, form patterns.FormInfo) (string, error) {
 	sql, err := q.LogicalSQL()
 	if err != nil {
 		return "", err
@@ -184,7 +189,7 @@ func (q *Query) Explain(db *relstore.DB, stack *patterns.Stack, form patterns.Fo
 	fmt.Fprintf(&sb, "patterns: %s\n", stack.Describe())
 	fmt.Fprintf(&sb, "physical: %s\n", strings.Join(tables, ", "))
 	if q.Where != "" {
-		res, err := q.RunWithInfo(db, stack, form)
+		res, err := q.RunWithInfo(ctx, db, stack, form)
 		if err != nil {
 			return "", err
 		}

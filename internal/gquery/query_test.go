@@ -1,6 +1,7 @@
 package gquery
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestQueryRun(t *testing.T) {
 		Select: []string{"ProcedureID", "Smoking", "PacksPerDay"},
 		Where:  "Smoking = 'Current'",
 	}
-	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	rows, err := q.Run(context.Background(), c.DB, c.Stack, c.Info)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestQueryRun(t *testing.T) {
 func TestQuerySelectAll(t *testing.T) {
 	c := coriFixture(t)
 	q := &Query{Tree: c.Tree}
-	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	rows, err := q.Run(context.Background(), c.DB, c.Stack, c.Info)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestQueryValidation(t *testing.T) {
 		{Tree: c.Tree, Where: "Smoking +"},
 	}
 	for i, q := range cases {
-		if _, err := q.Run(c.DB, c.Stack, c.Info); err == nil {
+		if _, err := q.Run(context.Background(), c.DB, c.Stack, c.Info); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}
@@ -92,7 +93,7 @@ func TestLogicalSQLAndExplain(t *testing.T) {
 	if sql != "SELECT ProcedureID, PacksPerDay FROM Procedure WHERE PacksPerDay > 1" {
 		t.Errorf("sql = %q", sql)
 	}
-	exp, err := q.Explain(c.DB, c.Stack, c.Info)
+	exp, err := q.Explain(context.Background(), c.DB, c.Stack, c.Info)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestLogicalSQLAndExplain(t *testing.T) {
 		t.Fatal(err)
 	}
 	q2 := &Query{Tree: all.Tree, Select: []string{"RecordID"}, Where: "SmokeCode = 1"}
-	exp2, err := q2.Explain(all.DB, all.Stack, all.Info)
+	exp2, err := q2.Explain(context.Background(), all.DB, all.Stack, all.Info)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestQueryAcrossStacks(t *testing.T) {
 	}
 	for _, c := range all {
 		q := queries[c.Name]
-		rows, err := q.Run(c.DB, c.Stack, c.Info)
+		rows, err := q.Run(context.Background(), c.DB, c.Stack, c.Info)
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}
@@ -162,7 +163,7 @@ func TestAggregateQuery(t *testing.T) {
 			{Kind: relstore.AggAvg, Col: "PacksPerDay", As: "MeanPacks"},
 		},
 	}
-	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	rows, err := q.Run(context.Background(), c.DB, c.Stack, c.Info)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestAggregateQuery(t *testing.T) {
 		Query: Query{Tree: c.Tree},
 		Aggs:  []relstore.Aggregate{{Kind: relstore.AggCount, As: "N"}},
 	}
-	out, err := g.Run(c.DB, c.Stack, c.Info)
+	out, err := g.Run(context.Background(), c.DB, c.Stack, c.Info)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,12 +202,12 @@ func TestAggregateQuery(t *testing.T) {
 		t.Errorf("global count = %v", out.Data)
 	}
 	// Validation: no aggregates, bad group node, bad condition.
-	if _, err := (&AggregateQuery{Query: Query{Tree: c.Tree}}).Run(c.DB, c.Stack, c.Info); err == nil {
+	if _, err := (&AggregateQuery{Query: Query{Tree: c.Tree}}).Run(context.Background(), c.DB, c.Stack, c.Info); err == nil {
 		t.Error("no aggregates must fail")
 	}
 	bad := &AggregateQuery{Query: Query{Tree: c.Tree}, GroupBy: []string{"Ghost"},
 		Aggs: []relstore.Aggregate{{Kind: relstore.AggCount, As: "N"}}}
-	if _, err := bad.Run(c.DB, c.Stack, c.Info); err == nil {
+	if _, err := bad.Run(context.Background(), c.DB, c.Stack, c.Info); err == nil {
 		t.Error("unknown group node must fail")
 	}
 }
@@ -216,7 +217,7 @@ func TestAggregateQuery(t *testing.T) {
 func TestQueryUnselectedSemantics(t *testing.T) {
 	c := coriFixture(t)
 	q := &Query{Tree: c.Tree, Select: []string{"ProcedureID"}, Where: "PacksPerDay IS NULL"}
-	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	rows, err := q.Run(context.Background(), c.DB, c.Stack, c.Info)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,123 @@
+package plancheck
+
+import "guava/internal/relstore"
+
+// exprCols adds every column name the expression references to set.
+func exprCols(e relstore.Expr, set map[string]bool) {
+	switch x := e.(type) {
+	case nil:
+	case relstore.ColRef:
+		set[x.Name] = true
+	case *relstore.ColRef:
+		set[x.Name] = true
+	case relstore.LitExpr, *relstore.LitExpr:
+	case relstore.ArithExpr:
+		exprCols(x.L, set)
+		exprCols(x.R, set)
+	case *relstore.ArithExpr:
+		exprCols(x.L, set)
+		exprCols(x.R, set)
+	case relstore.NegExpr:
+		exprCols(x.E, set)
+	case *relstore.NegExpr:
+		exprCols(x.E, set)
+	case relstore.CaseExpr:
+		caseCols(x, set)
+	case *relstore.CaseExpr:
+		caseCols(*x, set)
+	case relstore.FuncExpr:
+		for _, a := range x.Args {
+			exprCols(a, set)
+		}
+	case *relstore.FuncExpr:
+		for _, a := range x.Args {
+			exprCols(a, set)
+		}
+	case relstore.PredExpr:
+		predCols(x.P, set)
+	case *relstore.PredExpr:
+		predCols(x.P, set)
+	}
+}
+
+func caseCols(c relstore.CaseExpr, set map[string]bool) {
+	for _, b := range c.Branches {
+		predCols(b.When, set)
+		exprCols(b.Then, set)
+	}
+	exprCols(c.Else, set)
+}
+
+// predCols adds every column name the predicate references to set.
+func predCols(p relstore.Pred, set map[string]bool) {
+	switch x := p.(type) {
+	case nil:
+	case relstore.BoolLit, *relstore.BoolLit:
+	case relstore.CmpPred:
+		exprCols(x.L, set)
+		exprCols(x.R, set)
+	case *relstore.CmpPred:
+		exprCols(x.L, set)
+		exprCols(x.R, set)
+	case relstore.AndPred:
+		for _, q := range x.Ps {
+			predCols(q, set)
+		}
+	case *relstore.AndPred:
+		for _, q := range x.Ps {
+			predCols(q, set)
+		}
+	case relstore.OrPred:
+		for _, q := range x.Ps {
+			predCols(q, set)
+		}
+	case *relstore.OrPred:
+		for _, q := range x.Ps {
+			predCols(q, set)
+		}
+	case relstore.NotPred:
+		predCols(x.P, set)
+	case *relstore.NotPred:
+		predCols(x.P, set)
+	case relstore.NullPred:
+		exprCols(x.E, set)
+	case *relstore.NullPred:
+		exprCols(x.E, set)
+	case relstore.InPred:
+		exprCols(x.E, set)
+	case *relstore.InPred:
+		exprCols(x.E, set)
+	case relstore.ExprPred:
+		exprCols(x.E, set)
+	case *relstore.ExprPred:
+		exprCols(x.E, set)
+	}
+}
+
+// asCol unwraps a bare column reference.
+func asCol(e relstore.Expr) (string, bool) {
+	switch x := e.(type) {
+	case relstore.ColRef:
+		return x.Name, true
+	case *relstore.ColRef:
+		return x.Name, true
+	}
+	return "", false
+}
+
+// exprNotNull reports whether the expression provably never evaluates to
+// NULL given the input columns proven non-NULL. One-sided: false means
+// "unknown", never "nullable".
+func exprNotNull(e relstore.Expr, notNull map[string]bool) bool {
+	switch x := e.(type) {
+	case relstore.ColRef:
+		return notNull[x.Name]
+	case *relstore.ColRef:
+		return notNull[x.Name]
+	case relstore.LitExpr:
+		return !x.V.IsNull()
+	case *relstore.LitExpr:
+		return !x.V.IsNull()
+	}
+	return false
+}

@@ -1,0 +1,185 @@
+package plancheck
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"guava/internal/etl"
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+	"guava/internal/vet"
+)
+
+// genWorkflow builds a pseudo-random compiled-plan-shaped workflow from a
+// seed: extracts over random stacks (including degenerate data-less generic
+// forms), query chains with random — frequently contradictory — predicates,
+// random derivations and projections, unions and joins. The same seed always
+// builds the same workflow.
+func genWorkflow(seed int64) *etl.Workflow {
+	rng := rand.New(rand.NewSource(seed))
+	w := &etl.Workflow{Name: fmt.Sprintf("fuzz-%d", seed)}
+
+	colPool := []string{"K", "A", "B", "C", "Attribute", "Value"}
+	randCol := func() string { return colPool[rng.Intn(len(colPool))] }
+	randVal := func() relstore.Value {
+		switch rng.Intn(4) {
+		case 0:
+			return relstore.Int(int64(rng.Intn(10) - 5))
+		case 1:
+			return relstore.Float(rng.Float64() * 10)
+		case 2:
+			return relstore.Str(fmt.Sprintf("s%d", rng.Intn(3)))
+		default:
+			return relstore.Null()
+		}
+	}
+	var randPred func(depth int) relstore.Pred
+	randPred = func(depth int) relstore.Pred {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(6) {
+			case 0:
+				return relstore.Cmp(relstore.CmpOp(rng.Intn(6)), relstore.Col(randCol()), relstore.Lit(randVal()))
+			case 1:
+				return relstore.Cmp(relstore.CmpOp(rng.Intn(6)), relstore.Lit(randVal()), relstore.Col(randCol()))
+			case 2:
+				return relstore.IsNull(relstore.Col(randCol()))
+			case 3:
+				return relstore.In(relstore.Col(randCol()), randVal(), randVal())
+			case 4:
+				return relstore.Truth(relstore.Col(randCol()))
+			default:
+				return relstore.BoolLit{V: rng.Intn(2) == 0}
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return relstore.And(randPred(depth-1), randPred(depth-1))
+		case 1:
+			return relstore.Or(randPred(depth-1), randPred(depth-1))
+		default:
+			return relstore.Not(randPred(depth - 1))
+		}
+	}
+	randForm := func(i int) patterns.FormInfo {
+		cols := []relstore.Column{{Name: "K", Type: relstore.KindInt, NotNull: true}}
+		for _, extra := range []string{"A", "B", "C"}[:rng.Intn(4)] {
+			cols = append(cols, relstore.Column{Name: extra, Type: relstore.KindFloat})
+		}
+		schema, err := relstore.NewSchema(cols...)
+		if err != nil {
+			panic(err)
+		}
+		return patterns.FormInfo{Name: fmt.Sprintf("F%d", i), KeyColumn: "K", Schema: schema}
+	}
+
+	var tables []etl.TableRef
+	nExtract := 1 + rng.Intn(3)
+	for i := 0; i < nExtract; i++ {
+		var stack *patterns.Stack
+		if rng.Intn(2) == 0 {
+			stack = patterns.NewStack(patterns.Generic{})
+		} else {
+			stack = patterns.NewStack(patterns.Naive{})
+		}
+		to := etl.TableRef{DB: fmt.Sprintf("tmp%d", i), Table: fmt.Sprintf("t%d", i)}
+		w.Add(fmt.Sprintf("extract/%d", i), &etl.Extract{
+			SourceDB: fmt.Sprintf("src%d", i),
+			Stack:    stack,
+			Form:     randForm(i),
+			To:       to,
+		})
+		tables = append(tables, to)
+	}
+	nQuery := rng.Intn(5)
+	for i := 0; i < nQuery; i++ {
+		fromIdx := rng.Intn(len(tables))
+		from := tables[fromIdx]
+		q := &etl.Query{From: from, To: etl.TableRef{DB: "q", Table: fmt.Sprintf("q%d", i)}}
+		if rng.Intn(2) == 0 {
+			q.Where = randPred(3)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			for j := 0; j <= rng.Intn(3); j++ {
+				q.Derive = append(q.Derive, relstore.Derivation{
+					Name: fmt.Sprintf("D%d", j), Type: relstore.KindFloat, Expr: relstore.Col(randCol()),
+				})
+			}
+		case 1:
+			q.Project = []string{randCol()}
+		}
+		if rng.Intn(3) == 0 {
+			q.Distinct = true
+		}
+		if rng.Intn(3) == 0 {
+			q.Require = []string{randCol()}
+		}
+		w.Add(fmt.Sprintf("query/%d", i), q, fmt.Sprintf("extract/%d", fromIdx%nExtract))
+		tables = append(tables, q.To)
+	}
+	if rng.Intn(2) == 0 && len(tables) >= 2 {
+		w.Add("join/0", &etl.JoinStep{
+			Left: tables[0], Right: tables[1],
+			LeftCol: "K", RightCol: "K", RightPrefix: "r",
+			To: etl.TableRef{DB: "j", Table: "joined"},
+		}, "extract/0")
+	}
+	var unionFrom []etl.TableRef
+	for i := 0; i < nExtract; i++ {
+		unionFrom = append(unionFrom, tables[i])
+	}
+	union := &etl.Union{From: unionFrom, Distinct: rng.Intn(2) == 0, To: etl.TableRef{DB: "out", Table: "study"}}
+	var deps []string
+	for i := 0; i < nExtract; i++ {
+		deps = append(deps, fmt.Sprintf("extract/%d", i))
+	}
+	w.Add("load/union", union, deps...)
+	return w
+}
+
+// FuzzAnalyzeWorkflow: the analyzer must never panic on any generated plan
+// and must produce byte-identical reports across repeated runs of the same
+// plan — the determinism the golden corpus (and plan-cache admission)
+// depends on.
+func FuzzAnalyzeWorkflow(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, 1234, -99} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		w := genWorkflow(seed)
+		var first string
+		for i := 0; i < 2; i++ {
+			rep := &vet.Report{}
+			AnalyzeWorkflow("fuzz", w, rep, Options{
+				Stats: func(db, table string) (int, bool) { return 0, db == "src0" },
+			})
+			rep.Sort()
+			got := rep.Text()
+			if i == 0 {
+				first = got
+				continue
+			}
+			if got != first {
+				t.Fatalf("seed %d: non-deterministic report:\n%s\nvs\n%s", seed, got, first)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsNow runs the seed corpus directly so plain `go test` covers
+// the generator even when fuzzing is not invoked.
+func TestFuzzSeedsNow(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		w := genWorkflow(seed)
+		rep := &vet.Report{}
+		AnalyzeWorkflow("fuzz", w, rep, Options{})
+		rep.Sort()
+		rep2 := &vet.Report{}
+		AnalyzeWorkflow("fuzz", w, rep2, Options{})
+		rep2.Sort()
+		if rep.Text() != rep2.Text() {
+			t.Fatalf("seed %d: non-deterministic report", seed)
+		}
+	}
+}

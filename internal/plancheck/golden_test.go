@@ -1,0 +1,172 @@
+package plancheck
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"guava/internal/etl"
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+	"guava/internal/vet"
+)
+
+var update = flag.Bool("update", false, "rewrite the plan-corpus golden files")
+
+// plancorpusDir is the plan-level extension of the defect corpus, living
+// beside the artifact corpus in internal/vet/testdata.
+var plancorpusDir = filepath.Join("..", "vet", "testdata", "plancorpus")
+
+// builtFixtures are fixtures the manifest grammar cannot express (a column
+// nobody reads, statistics-driven emptiness): their directories hold only
+// the golden, and the report comes from a hand-built workflow here.
+var builtFixtures = map[string]func() *vet.Report{
+	// GV214: a query derives a column the only consumer never reads.
+	"GV214_bad": func() *vet.Report {
+		w := &etl.Workflow{Name: "gv214"}
+		t1 := etl.TableRef{DB: "tmp", Table: "wide"}
+		out := etl.TableRef{DB: "study", Table: "out"}
+		w.Add("derive/wide", &etl.Query{
+			From: etl.TableRef{DB: "src", Table: "rows"},
+			Derive: []relstore.Derivation{
+				{Name: "K", Type: relstore.KindInt, Expr: relstore.Col("K")},
+				{Name: "Wasted", Type: relstore.KindInt, Expr: relstore.Col("V")},
+			},
+			To: t1,
+		})
+		w.Add("project/out", &etl.Query{From: t1, Project: []string{"K"}, To: out}, "derive/wide")
+		rep := &vet.Report{}
+		AnalyzeWorkflow("gv214", w, rep, Options{})
+		rep.Sort()
+		return rep
+	},
+	// GV216: warehouse statistics prove the scanned source relation empty.
+	"GV216_bad": func() *vet.Report {
+		form := mustForm()
+		w := &etl.Workflow{Name: "gv216"}
+		w.Add("extract/Clinic", &etl.Extract{
+			SourceDB: "source_Clinic",
+			Stack:    patterns.NewStack(patterns.Naive{}),
+			Form:     form,
+			To:       etl.TableRef{DB: "tmp1_Clinic", Table: "Visit_naive"},
+		})
+		rep := &vet.Report{}
+		AnalyzeWorkflow("gv216", w, rep, Options{
+			Stats: func(db, table string) (int, bool) {
+				if db == "source_Clinic" && table == "Visit" {
+					return 0, true
+				}
+				return 0, false
+			},
+		})
+		rep.Sort()
+		return rep
+	},
+}
+
+func mustForm() patterns.FormInfo {
+	schema, err := relstore.NewSchema(
+		relstore.Column{Name: "VisitID", Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: "PacksPerDay", Type: relstore.KindFloat},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return patterns.FormInfo{Name: "Visit", KeyColumn: "VisitID", Schema: schema}
+}
+
+// TestPlanCorpusGoldens locks the plan-analysis reports down byte-for-byte:
+// manifest fixtures run the full guavavet pipeline (artifact vet + plan
+// analysis), built fixtures run the analyzer directly, and every
+// GV<code>_bad directory must actually contain its code.
+func TestPlanCorpusGoldens(t *testing.T) {
+	entries, err := os.ReadDir(plancorpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []string
+	for _, e := range entries {
+		if e.IsDir() {
+			cases = append(cases, e.Name())
+		}
+	}
+	sort.Strings(cases)
+	if len(cases) == 0 {
+		t.Fatal("empty plan corpus")
+	}
+	for _, name := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(plancorpusDir, name)
+			var rep *vet.Report
+			if build, ok := builtFixtures[name]; ok {
+				rep = build()
+			} else {
+				rep = VetPaths([]string{dir}, Options{})
+			}
+			// Artifact positions carry the path the bundle was loaded from;
+			// strip the corpus prefix so goldens are location-independent.
+			got := strings.ReplaceAll(rep.Text(), plancorpusDir+string(filepath.Separator), "")
+
+			goldenPath := filepath.Join(dir, "expect.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			switch {
+			case strings.HasPrefix(name, "clean_"):
+				if len(rep.Diags) != 0 {
+					t.Errorf("clean fixture produced diagnostics:\n%s", got)
+				}
+			case strings.HasPrefix(name, "GV"):
+				code := strings.SplitN(name, "_", 2)[0]
+				found := false
+				for _, d := range rep.Diags {
+					if d.Code == code {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("fixture did not trigger %s:\n%s", code, got)
+				}
+			}
+
+			// Whatever text renders must also render as valid JSON and SARIF.
+			for _, render := range []func() ([]byte, error){rep.JSON, rep.SARIF} {
+				out, err := render()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !json.Valid(out) {
+					t.Errorf("renderer produced invalid JSON:\n%s", out)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanCorpusCoverage mirrors vet's TestCatalogCoverage from the other
+// side: every GV21x code must have a plancorpus fixture.
+func TestPlanCorpusCoverage(t *testing.T) {
+	for _, c := range vet.Catalog {
+		if !strings.HasPrefix(c.Code, "GV21") {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(plancorpusDir, c.Code+"_bad")); err != nil {
+			t.Errorf("no plancorpus fixture for %s (%s)", c.Code, c.Summary)
+		}
+	}
+}

@@ -1,0 +1,675 @@
+// Package plancheck statically analyzes compiled study plans.
+//
+// internal/vet stops at the artifact layer: classifiers, g-trees, and study
+// manifests are vetted before compilation, but nothing checks the relational
+// operator trees the compiler actually emits — and some defects only exist
+// there, because the compiler conjoins predicates (entity selection ∧ study
+// condition ∧ ¬cleaners) and lowers pattern stacks into physical operator
+// pipelines. plancheck walks those trees as a dataflow analysis: every
+// operator has a transfer function over per-column facts (inferred schema,
+// nullability, key-ness, cardinality intervals from warehouse statistics)
+// plus plan-level facts (provably-dead output, structural fingerprints), and
+// contradictions surface as the GV21x family of vet diagnostics.
+//
+// The analysis is deliberately one-sided: every verdict that carries error
+// severity is a proof. Predicate emptiness reuses the guard satisfiability
+// engine (vet.PredUnsat), which widens anything it cannot interpret to TRUE,
+// so "dead" means dead — the zero-false-positive contract the reference
+// studies are tested against.
+//
+// Subtree fingerprints (GV215) are the measurement baseline for the
+// cross-classifier common-subexpression elimination planned in ROADMAP item
+// 4: two derivations with the same fingerprint are exactly the work that
+// pass would execute once.
+package plancheck
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"guava/internal/etl"
+	"guava/internal/relstore"
+	"guava/internal/vet"
+)
+
+// Op enumerates the plan operators the analyzer walks — the 14 relstore
+// operators plus the glue nodes lowering needs (table scans and the ETL
+// require-non-null assertion).
+type Op int
+
+// Operator kinds, mirroring internal/relstore's operator set.
+const (
+	OpScan Op = iota // leaf: a physical or intermediate table
+	OpSelect
+	OpProject
+	OpDerive
+	OpExtend
+	OpRename
+	OpJoin
+	OpLeftJoin
+	OpUnionAll
+	OpUnion
+	OpDistinct
+	OpSortBy
+	OpPivot
+	OpUnpivot
+	OpGroupBy
+	OpRequire // etl.Query's non-NULL assertion over output columns
+)
+
+var opNames = map[Op]string{
+	OpScan: "scan", OpSelect: "select", OpProject: "project",
+	OpDerive: "derive", OpExtend: "extend", OpRename: "rename",
+	OpJoin: "join", OpLeftJoin: "left_join", OpUnionAll: "union_all",
+	OpUnion: "union", OpDistinct: "distinct", OpSortBy: "sort_by",
+	OpPivot: "pivot", OpUnpivot: "unpivot", OpGroupBy: "group_by",
+	OpRequire: "require",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Node is one operator in a lowered plan tree. Only the parameter fields
+// relevant to Op are set.
+type Node struct {
+	Op Op
+	In []*Node
+
+	// OpScan: the table reference; Schema and NotNull describe physical
+	// tables, while scans of intermediate step outputs leave Schema nil and
+	// inherit the producing step's facts.
+	Table   etl.TableRef
+	Schema  *relstore.Schema
+	NotNull []string
+
+	// OpSelect.
+	Pred relstore.Pred
+	// OpProject / OpSortBy / OpRequire column lists; key columns for
+	// OpPivot, OpUnpivot, and OpGroupBy.
+	Cols []string
+	// OpDerive / OpExtend.
+	Derivs []relstore.Derivation
+	// OpRename.
+	From, To string
+	// OpPivot / OpUnpivot.
+	AttrCol, ValCol string
+	Attrs           []relstore.Column
+	// OpJoin / OpLeftJoin.
+	LeftCol, RightCol, Prefix string
+	// OpGroupBy.
+	Aggs []relstore.Aggregate
+	// OpUnion (set) vs OpUnionAll (multiset) are distinct ops; Distinct
+	// additionally marks a deduplicating OpUnion lowered from etl.Union.
+	Distinct bool
+}
+
+// Options configures an analysis pass.
+type Options struct {
+	// Stats returns the known row count of a physical relation, keyed the
+	// way plans reference it (database name, table name). Nil means no
+	// statistics: cardinality intervals start unbounded and GV216 never
+	// fires.
+	Stats func(db, table string) (rows int, ok bool)
+}
+
+// card is a cardinality interval; Hi < 0 means unbounded.
+type card struct{ Lo, Hi int }
+
+var cardUnknown = card{Lo: 0, Hi: -1}
+
+func (c card) provablyEmpty() bool { return c.Hi == 0 }
+
+// facts is everything the pass knows about one operator's output.
+type facts struct {
+	schema  *relstore.Schema
+	notNull map[string]bool
+	// key marks columns proven unique over the output (group-by keys,
+	// pivot keys); the join-reordering input ROADMAP item 4 wants.
+	key  map[string]bool
+	card card
+	// dead marks output proven empty for every possible input — a
+	// structural property (contradiction), unlike card, which may be
+	// data-dependent (empty source today).
+	dead bool
+	// deadCause names the originating proof for the GV211 message.
+	deadCause string
+	// fp is the structural fingerprint of the operator tree below.
+	fp uint64
+}
+
+func unknownFacts(fp uint64) *facts {
+	return &facts{notNull: map[string]bool{}, key: map[string]bool{}, card: cardUnknown, fp: fp}
+}
+
+func (f *facts) clone() *facts {
+	nf := &facts{schema: f.schema, card: f.card, dead: f.dead, deadCause: f.deadCause, fp: f.fp}
+	nf.notNull = make(map[string]bool, len(f.notNull))
+	for k, v := range f.notNull {
+		nf.notNull[k] = v
+	}
+	nf.key = make(map[string]bool, len(f.key))
+	for k, v := range f.key {
+		nf.key[k] = v
+	}
+	return nf
+}
+
+func (f *facts) notNullList() []string {
+	out := make([]string, 0, len(f.notNull))
+	for c, nn := range f.notNull {
+		if nn {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pass carries one workflow analysis: resolved facts per produced table,
+// the diagnostics sink, and the cross-step fingerprint index GV215 reads.
+type pass struct {
+	study  string
+	step   string // current step ID, for diagnostic positions
+	rep    *vet.Report
+	opts   Options
+	tables map[string]*facts // keyed by TableRef.String()
+
+	// caseFPs indexes classifier CASE derivations by (input fingerprint,
+	// expression) — the shared-subtree report (GV215) and the CSE baseline.
+	caseFPs map[uint64][]caseSite
+}
+
+type caseSite struct {
+	step, column string
+	sql          string
+}
+
+func (p *pass) pos() vet.Pos {
+	return vet.Pos{File: "plan:" + p.study + "/" + p.step}
+}
+
+// analyze computes output facts for one operator node. It never fails:
+// shapes it cannot interpret (unknown input schema, missing columns in
+// hand-built or fuzzed plans) resolve to unknown facts, keeping the
+// error-severity diagnostics proofs.
+func (p *pass) analyze(n *Node) *facts {
+	if n == nil {
+		return unknownFacts(fpString("nil"))
+	}
+	ins := make([]*facts, len(n.In))
+	for i, in := range n.In {
+		ins[i] = p.analyze(in)
+	}
+	fp := p.fingerprint(n, ins)
+
+	switch n.Op {
+	case OpScan:
+		return p.analyzeScan(n, fp)
+	case OpSelect:
+		return p.analyzeSelect(n, ins[0], fp)
+	case OpProject:
+		return p.analyzeProject(n, ins[0], fp)
+	case OpDerive:
+		return p.analyzeDerive(n, ins[0], fp, false)
+	case OpExtend:
+		return p.analyzeDerive(n, ins[0], fp, true)
+	case OpRename:
+		return p.analyzeRename(n, ins[0], fp)
+	case OpJoin, OpLeftJoin:
+		return p.analyzeJoin(n, ins[0], ins[1], fp)
+	case OpUnionAll, OpUnion:
+		return p.analyzeUnion(n, ins, fp)
+	case OpDistinct:
+		out := ins[0].clone()
+		out.fp = fp
+		return out
+	case OpSortBy:
+		out := ins[0].clone()
+		out.fp = fp
+		return out
+	case OpPivot:
+		return p.analyzePivot(n, ins[0], fp)
+	case OpUnpivot:
+		return p.analyzeUnpivot(n, ins[0], fp)
+	case OpGroupBy:
+		return p.analyzeGroupBy(n, ins[0], fp)
+	case OpRequire:
+		out := ins[0].clone()
+		for _, c := range n.Cols {
+			out.notNull[c] = true
+		}
+		out.fp = fp
+		return out
+	default:
+		return unknownFacts(fp)
+	}
+}
+
+func (p *pass) analyzeScan(n *Node, fp uint64) *facts {
+	f := unknownFacts(fp)
+	if n.Schema == nil {
+		// Intermediate table: inherit the producing step's facts.
+		if prev, ok := p.tables[n.Table.String()]; ok {
+			f = prev.clone()
+			f.fp = prev.fp // lineage: the scan IS the producer's subtree
+		}
+		return f
+	}
+	f.schema = n.Schema
+	for _, c := range n.Schema.Columns {
+		if c.NotNull {
+			f.notNull[c.Name] = true
+		}
+	}
+	for _, c := range n.NotNull {
+		f.notNull[c] = true
+	}
+	if p.opts.Stats != nil {
+		if rows, ok := p.opts.Stats(n.Table.DB, n.Table.Table); ok {
+			f.card = card{Lo: rows, Hi: rows}
+			if rows == 0 {
+				p.rep.Add("GV216", p.pos(),
+					"source relation %s is empty per warehouse statistics; every operator above this scan is vacuous for the current data", n.Table)
+			}
+		}
+	}
+	return f
+}
+
+func (p *pass) analyzeSelect(n *Node, in *facts, fp uint64) *facts {
+	out := in.clone()
+	out.fp = fp
+	out.card = card{Lo: 0, Hi: in.card.Hi}
+	if n.Pred != nil && !in.dead && vet.PredUnsat(n.Pred, in.notNullList()) {
+		p.rep.Add("GV212", p.pos(),
+			"selection predicate is unsatisfiable: no row can satisfy %s", n.Pred.SQL())
+		out.dead = true
+		out.deadCause = "contradictory predicate"
+	}
+	return out
+}
+
+func (p *pass) analyzeProject(n *Node, in *facts, fp uint64) *facts {
+	out := unknownFacts(fp)
+	out.card = in.card
+	out.dead, out.deadCause = in.dead, in.deadCause
+	if in.schema != nil {
+		cols := make([]relstore.Column, 0, len(n.Cols))
+		for _, name := range n.Cols {
+			c, err := in.schema.Col(name)
+			if err != nil {
+				out.schema = nil
+				return out
+			}
+			cols = append(cols, c)
+		}
+		if s, err := relstore.NewSchema(cols...); err == nil {
+			out.schema = s
+		}
+	}
+	for _, name := range n.Cols {
+		if in.notNull[name] {
+			out.notNull[name] = true
+		}
+		if in.key[name] {
+			out.key[name] = true
+		}
+	}
+	return out
+}
+
+func (p *pass) analyzeDerive(n *Node, in *facts, fp uint64, extend bool) *facts {
+	out := unknownFacts(fp)
+	out.card = in.card
+	out.dead, out.deadCause = in.dead, in.deadCause
+	var cols []relstore.Column
+	if extend && in.schema != nil {
+		cols = append(cols, in.schema.Columns...)
+		for k, v := range in.notNull {
+			out.notNull[k] = v
+		}
+	}
+	for _, d := range n.Derivs {
+		cols = append(cols, relstore.Column{Name: d.Name, Type: d.Type})
+		if exprNotNull(d.Expr, in.notNull) {
+			out.notNull[d.Name] = true
+		}
+		if c, ok := asCol(d.Expr); ok && in.key[c] {
+			out.key[d.Name] = true
+		}
+		// Classifier CASE derivations are the cross-classifier redundancy
+		// unit: fingerprint them by input lineage + expression.
+		if _, isCase := d.Expr.(relstore.CaseExpr); isCase {
+			sql := d.Expr.SQL()
+			key := fpString(fmt.Sprintf("case|%016x|%s", in.fp, sql))
+			p.caseFPs[key] = append(p.caseFPs[key], caseSite{step: p.step, column: d.Name, sql: sql})
+		}
+	}
+	if !extend || in.schema != nil {
+		if s, err := relstore.NewSchema(cols...); err == nil {
+			out.schema = s
+		}
+	}
+	return out
+}
+
+func (p *pass) analyzeRename(n *Node, in *facts, fp uint64) *facts {
+	out := unknownFacts(fp)
+	out.card = in.card
+	out.dead, out.deadCause = in.dead, in.deadCause
+	if in.schema != nil {
+		cols := make([]relstore.Column, len(in.schema.Columns))
+		copy(cols, in.schema.Columns)
+		for i := range cols {
+			if cols[i].Name == n.From {
+				cols[i].Name = n.To
+			}
+		}
+		if s, err := relstore.NewSchema(cols...); err == nil {
+			out.schema = s
+		}
+	}
+	for k, v := range in.notNull {
+		if k == n.From {
+			k = n.To
+		}
+		out.notNull[k] = v
+	}
+	for k, v := range in.key {
+		if k == n.From {
+			k = n.To
+		}
+		out.key[k] = v
+	}
+	return out
+}
+
+func (p *pass) analyzeJoin(n *Node, l, r *facts, fp uint64) *facts {
+	out := unknownFacts(fp)
+	left := n.Op == OpLeftJoin
+	// relstore keeps every right column, renaming with "<prefix>_" only on
+	// collision with a left column name.
+	rname := func(name string) string {
+		if l.schema != nil && l.schema.Has(name) {
+			return n.Prefix + "_" + name
+		}
+		return name
+	}
+	if l.schema != nil && r.schema != nil {
+		cols := make([]relstore.Column, 0, len(l.schema.Columns)+len(r.schema.Columns))
+		cols = append(cols, l.schema.Columns...)
+		for _, c := range r.schema.Columns {
+			c.Name = rname(c.Name)
+			cols = append(cols, c)
+		}
+		if s, err := relstore.NewSchema(cols...); err == nil {
+			out.schema = s
+		}
+	}
+	for k, v := range l.notNull {
+		out.notNull[k] = v
+	}
+	if l.schema != nil {
+		for k, v := range r.notNull {
+			// A left join's unmatched rows pad the right side with NULLs.
+			if !left {
+				out.notNull[rname(k)] = v
+			}
+		}
+	}
+	if !left {
+		// An inner join drops rows with NULL keys on either side.
+		out.notNull[n.LeftCol] = true
+		if l.schema != nil {
+			out.notNull[rname(n.RightCol)] = true
+		}
+	}
+	out.card = joinCard(l.card, r.card, left)
+	switch {
+	case l.dead:
+		out.dead, out.deadCause = true, "dead left input"
+	case !left && r.dead:
+		out.dead, out.deadCause = true, "dead right input"
+	}
+	return out
+}
+
+func joinCard(l, r card, left bool) card {
+	out := cardUnknown
+	if left {
+		out.Lo = l.Lo // every left row survives
+	}
+	switch {
+	case l.Hi == 0 || (!left && r.Hi == 0):
+		out.Hi = 0
+	case l.Hi < 0 || r.Hi < 0:
+		out.Hi = -1
+	case left && r.Hi == 0:
+		out.Hi = l.Hi
+	default:
+		out.Hi = mulCap(l.Hi, r.Hi)
+	}
+	return out
+}
+
+func mulCap(a, b int) int {
+	if a > 0 && b > (1<<31)/a {
+		return -1 // treat overflow as unbounded
+	}
+	return a * b
+}
+
+func (p *pass) analyzeUnion(n *Node, ins []*facts, fp uint64) *facts {
+	out := unknownFacts(fp)
+	if len(ins) == 0 {
+		out.card = card{}
+		return out
+	}
+	out.schema = ins[0].schema
+	// A column is non-NULL in the union only when every branch proves it.
+	for c, v := range ins[0].notNull {
+		if !v {
+			continue
+		}
+		all := true
+		for _, in := range ins[1:] {
+			if !in.notNull[c] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out.notNull[c] = true
+		}
+	}
+	lo, hi, dead := 0, 0, true
+	for _, in := range ins {
+		lo += in.card.Lo
+		if hi >= 0 {
+			if in.card.Hi < 0 {
+				hi = -1
+			} else {
+				hi += in.card.Hi
+			}
+		}
+		dead = dead && in.dead
+	}
+	if n.Op == OpUnion || n.Distinct {
+		lo = min(lo, 1)
+	}
+	out.card = card{Lo: lo, Hi: hi}
+	if dead {
+		out.dead, out.deadCause = true, "all inputs dead"
+	}
+	return out
+}
+
+func (p *pass) analyzePivot(n *Node, in *facts, fp uint64) *facts {
+	out := unknownFacts(fp)
+	out.card = card{Lo: min(in.card.Lo, 1), Hi: in.card.Hi}
+	out.dead, out.deadCause = in.dead, in.deadCause
+	for _, k := range n.Cols {
+		if in.notNull[k] {
+			out.notNull[k] = true
+		}
+	}
+	if len(n.Cols) == 1 {
+		out.key[n.Cols[0]] = true // one row per key group
+	}
+	return out
+}
+
+func (p *pass) analyzeUnpivot(n *Node, in *facts, fp uint64) *facts {
+	out := unknownFacts(fp)
+	out.card = card{Lo: min(in.card.Lo, 1), Hi: in.card.Hi}
+	out.dead, out.deadCause = in.dead, in.deadCause
+
+	if len(n.Attrs) == 0 {
+		p.rep.Add("GV213", p.pos(),
+			"un-pivot over %s reconstructs zero attributes: the EAV relation has no wide columns to rebuild, so every reconstructed row is data-less", n.Table)
+	}
+	for _, k := range n.Cols {
+		if k == n.AttrCol || k == n.ValCol {
+			p.rep.Add("GV213", p.pos(),
+				"un-pivot key column %q collides with the %s column of the EAV layout", k,
+				map[bool]string{true: "attribute", false: "value"}[k == n.AttrCol])
+		}
+		if in.notNull[k] {
+			out.notNull[k] = true
+		}
+	}
+	for _, a := range n.Attrs {
+		for _, k := range n.Cols {
+			if a.Name == k {
+				p.rep.Add("GV213", p.pos(),
+					"un-pivot attribute %q collides with key column %q", a.Name, k)
+			}
+		}
+	}
+	cols := make([]relstore.Column, 0, len(n.Cols)+len(n.Attrs))
+	if in.schema != nil {
+		ok := true
+		for _, k := range n.Cols {
+			c, err := in.schema.Col(k)
+			if err != nil {
+				ok = false
+				break
+			}
+			cols = append(cols, c)
+		}
+		if ok {
+			cols = append(cols, n.Attrs...)
+			if s, err := relstore.NewSchema(cols...); err == nil {
+				out.schema = s
+			}
+		}
+	}
+	if len(n.Cols) == 1 {
+		out.key[n.Cols[0]] = true // unpivot groups EAV rows: one wide row per key
+	}
+	return out
+}
+
+func (p *pass) analyzeGroupBy(n *Node, in *facts, fp uint64) *facts {
+	out := unknownFacts(fp)
+	out.card = card{Lo: min(in.card.Lo, 1), Hi: in.card.Hi}
+	out.dead, out.deadCause = in.dead, in.deadCause
+	cols := make([]relstore.Column, 0, len(n.Cols)+len(n.Aggs))
+	schemaOK := in.schema != nil
+	for _, k := range n.Cols {
+		if in.notNull[k] {
+			out.notNull[k] = true
+		}
+		if schemaOK {
+			c, err := in.schema.Col(k)
+			if err != nil {
+				schemaOK = false
+				continue
+			}
+			cols = append(cols, c)
+		}
+	}
+	for _, a := range n.Aggs {
+		if a.Kind == relstore.AggCount {
+			out.notNull[a.As] = true
+		}
+		if schemaOK {
+			cols = append(cols, relstore.Column{Name: a.As, Type: aggKind(a, in.schema)})
+		}
+	}
+	if schemaOK {
+		if s, err := relstore.NewSchema(cols...); err == nil {
+			out.schema = s
+		}
+	}
+	if len(n.Cols) == 1 {
+		out.key[n.Cols[0]] = true
+	}
+	return out
+}
+
+func aggKind(a relstore.Aggregate, in *relstore.Schema) relstore.Kind {
+	switch a.Kind {
+	case relstore.AggCount:
+		return relstore.KindInt
+	case relstore.AggAvg:
+		return relstore.KindFloat
+	default:
+		if c, err := in.Col(a.Col); err == nil {
+			return c.Type
+		}
+		return relstore.KindNull
+	}
+}
+
+// fingerprint hashes the operator's structure together with its inputs'
+// fingerprints — identical fingerprints mean identical subtrees modulo
+// physical table identity.
+func (p *pass) fingerprint(n *Node, ins []*facts) uint64 {
+	var sb strings.Builder
+	sb.WriteString(n.Op.String())
+	switch n.Op {
+	case OpScan:
+		sb.WriteString("|" + n.Table.String())
+	case OpSelect:
+		if n.Pred != nil {
+			sb.WriteString("|" + n.Pred.SQL())
+		}
+	case OpProject, OpSortBy, OpRequire:
+		sb.WriteString("|" + strings.Join(n.Cols, ","))
+	case OpDerive, OpExtend:
+		for _, d := range n.Derivs {
+			sb.WriteString("|" + d.Name + ":" + d.Expr.SQL())
+		}
+	case OpRename:
+		sb.WriteString("|" + n.From + ">" + n.To)
+	case OpJoin, OpLeftJoin:
+		sb.WriteString("|" + n.LeftCol + "=" + n.RightCol + "|" + n.Prefix)
+	case OpPivot, OpUnpivot:
+		sb.WriteString("|" + strings.Join(n.Cols, ",") + "|" + n.AttrCol + "|" + n.ValCol)
+		for _, a := range n.Attrs {
+			sb.WriteString("|" + a.Name)
+		}
+	case OpGroupBy:
+		sb.WriteString("|" + strings.Join(n.Cols, ","))
+		for _, a := range n.Aggs {
+			sb.WriteString("|" + strconv.Itoa(int(a.Kind)) + ":" + a.Col + ">" + a.As)
+		}
+	case OpUnion, OpUnionAll:
+		if n.Distinct {
+			sb.WriteString("|distinct")
+		}
+	}
+	for _, in := range ins {
+		fmt.Fprintf(&sb, "|%016x", in.fp)
+	}
+	return fpString(sb.String())
+}
+
+func fpString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

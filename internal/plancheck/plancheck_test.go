@@ -1,0 +1,158 @@
+package plancheck
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/baseline"
+	"guava/internal/etl"
+	"guava/internal/relstore"
+	"guava/internal/vet"
+	"guava/internal/workload"
+)
+
+// referenceSpec builds the shipped three-contributor reference study.
+func referenceSpec(t *testing.T) *etl.StudySpec {
+	t.Helper()
+	contribs, err := workload.BuildAll(42, 25)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	spec, err := baseline.ReferenceSpec(contribs)
+	if err != nil {
+		t.Fatalf("ReferenceSpec: %v", err)
+	}
+	return spec
+}
+
+// cohortSpec is the trimmed variant studyd also serves: one column, no
+// Hypoxia classifier.
+func cohortSpec(t *testing.T) *etl.StudySpec {
+	t.Helper()
+	spec := referenceSpec(t)
+	spec.Name = "cohort"
+	spec.Columns = spec.Columns[:1]
+	for _, c := range spec.Contributors {
+		delete(c.Classifiers, "Hypoxia_D1")
+	}
+	return spec
+}
+
+// TestReferenceStudiesAreClean is the zero-false-positive acceptance gate:
+// the plan analyzer must stay silent over both shipped studies.
+func TestReferenceStudiesAreClean(t *testing.T) {
+	for _, spec := range []*etl.StudySpec{referenceSpec(t), cohortSpec(t)} {
+		rep := Study(spec, Options{})
+		if len(rep.Diags) != 0 {
+			t.Errorf("study %q: expected a silent plan report, got:\n%s", spec.Name, rep.Text())
+		}
+	}
+}
+
+// TestGateAcceptsReference proves the admission gate passes healthy plans.
+func TestGateAcceptsReference(t *testing.T) {
+	compiled, err := etl.Compile(referenceSpec(t))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := Gate(compiled, Options{}); err != nil {
+		t.Fatalf("Gate rejected the reference study: %v", err)
+	}
+}
+
+// TestGateRejectsContradiction proves a contradictory post-compile condition
+// is rejected with GV212/GV211 while the artifacts alone vet clean.
+func TestGateRejectsContradiction(t *testing.T) {
+	spec := referenceSpec(t)
+	spec.Name = "badplan"
+	spec.Contributors = spec.Contributors[:1] // CORI carries PacksPerDay
+	spec.Contributors[0].Condition = "PacksPerDay > 5 AND PacksPerDay < 2"
+
+	if rep := vet.Study(spec, nil, nil); rep.HasErrors() {
+		t.Fatalf("artifact vet should pass (the contradiction is plan-level):\n%s", rep.Text())
+	}
+	compiled, err := etl.Compile(spec)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	err = Gate(compiled, Options{})
+	rej, ok := err.(*RejectionError)
+	if !ok {
+		t.Fatalf("Gate: want *RejectionError, got %v", err)
+	}
+	text := rej.Report.Text()
+	for _, code := range []string{"GV211", "GV212"} {
+		if !strings.Contains(text, code) {
+			t.Errorf("rejection report missing %s:\n%s", code, text)
+		}
+	}
+}
+
+// TestAnalyzeDeterministic asserts byte-identical reports across repeated
+// runs — map iteration anywhere in the pass would break this.
+func TestAnalyzeDeterministic(t *testing.T) {
+	spec := referenceSpec(t)
+	spec.Contributors[0].Condition = "PacksPerDay > 5 AND PacksPerDay < 2"
+	compiled, err := etl.Compile(spec)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var first string
+	for i := 0; i < 5; i++ {
+		rep := &vet.Report{}
+		Analyze(compiled, rep, Options{})
+		rep.Sort()
+		if i == 0 {
+			first = rep.Text()
+			continue
+		}
+		if got := rep.Text(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+// TestOperatorTransferFunctions drives the five operators the ETL compiler
+// never emits (extend, rename, sort_by, pivot, group_by) through the
+// analyzer directly, completing transfer-function coverage of all 14
+// relstore operators.
+func TestOperatorTransferFunctions(t *testing.T) {
+	schema, err := relstore.NewSchema(
+		relstore.Column{Name: "K", Type: relstore.KindInt, NotNull: true},
+		relstore.Column{Name: "V", Type: relstore.KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := &Node{Op: OpScan, Table: etl.TableRef{DB: "d", Table: "t"}, Schema: schema}
+	p := &pass{study: "s", step: "x", rep: &vet.Report{}, tables: map[string]*facts{}, caseFPs: map[uint64][]caseSite{}}
+
+	ext := p.analyze(&Node{Op: OpExtend, In: []*Node{scan}, Derivs: []relstore.Derivation{
+		{Name: "Two", Type: relstore.KindInt, Expr: relstore.Lit(relstore.Int(2))},
+	}})
+	if !ext.notNull["K"] || !ext.notNull["Two"] || ext.schema == nil || !ext.schema.Has("V") {
+		t.Errorf("extend facts wrong: %+v", ext)
+	}
+
+	ren := p.analyze(&Node{Op: OpRename, In: []*Node{scan}, From: "K", To: "Key"})
+	if !ren.notNull["Key"] || ren.notNull["K"] || !ren.schema.Has("Key") {
+		t.Errorf("rename facts wrong: %+v", ren)
+	}
+
+	srt := p.analyze(&Node{Op: OpSortBy, In: []*Node{scan}, Cols: []string{"K"}})
+	if !srt.notNull["K"] {
+		t.Errorf("sort_by should preserve facts: %+v", srt)
+	}
+
+	piv := p.analyze(&Node{Op: OpPivot, In: []*Node{scan}, Cols: []string{"K"}, AttrCol: "A", ValCol: "V"})
+	if !piv.key["K"] {
+		t.Errorf("pivot should prove the key column unique: %+v", piv)
+	}
+
+	grp := p.analyze(&Node{Op: OpGroupBy, In: []*Node{scan}, Cols: []string{"K"}, Aggs: []relstore.Aggregate{
+		{Kind: relstore.AggCount, Col: "V", As: "N"},
+	}})
+	if !grp.key["K"] || !grp.notNull["N"] || grp.schema == nil || !grp.schema.Has("N") {
+		t.Errorf("group_by facts wrong: %+v", grp)
+	}
+}

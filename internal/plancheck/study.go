@@ -1,0 +1,106 @@
+package plancheck
+
+import (
+	"fmt"
+
+	"guava/internal/etl"
+	"guava/internal/vet"
+)
+
+// Analyze runs the plan pass over an already-compiled study. When
+// opts.Stats is nil the contributor databases the spec carries become the
+// statistics source, so cardinality facts (and GV216) reflect the data the
+// plan would actually run over.
+func Analyze(c *etl.Compiled, rep *vet.Report, opts Options) {
+	if c == nil {
+		return
+	}
+	if opts.Stats == nil {
+		opts.Stats = specStats(c.Spec)
+	}
+	AnalyzeWorkflow(c.Spec.Name, c.Workflow, rep, opts)
+}
+
+// specStats builds a row-count lookup over the contributor databases
+// registered for the compiled study ("source_<name>").
+func specStats(spec *etl.StudySpec) func(db, table string) (int, bool) {
+	if spec == nil {
+		return nil
+	}
+	return func(db, table string) (int, bool) {
+		for _, ct := range spec.Contributors {
+			if ct.DB == nil || "source_"+ct.Name != db {
+				continue
+			}
+			t, err := ct.DB.Table(table)
+			if err != nil {
+				return 0, false
+			}
+			return t.Len(), true
+		}
+		return 0, false
+	}
+}
+
+// Study compiles the spec and analyzes the resulting plan. A compile failure
+// is itself a plan-level defect (GV210): the artifacts vetted clean, yet no
+// executable plan exists.
+func Study(spec *etl.StudySpec, opts Options) *vet.Report {
+	rep := &vet.Report{}
+	if spec == nil {
+		return rep
+	}
+	compiled, err := etl.Compile(spec)
+	if err != nil {
+		rep.Add("GV210", vet.Pos{File: "plan:" + spec.Name}, "study fails to compile: %v", err)
+		rep.Sort()
+		return rep
+	}
+	Analyze(compiled, rep, opts)
+	rep.Sort()
+	return rep
+}
+
+// RejectionError is returned by Gate when a compiled plan carries GV21x
+// errors: the plan must not be cached, served, or executed.
+type RejectionError struct {
+	Study  string
+	Report *vet.Report
+}
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("plancheck: study %q plan rejected with %d error(s):\n%s",
+		e.Study, e.Report.Count(vet.SevError), e.Report.Text())
+}
+
+// Gate analyzes a compiled plan and returns a *RejectionError when the
+// report carries error-severity diagnostics — the admission check studyd's
+// plan cache runs before a compiled plan becomes servable.
+func Gate(c *etl.Compiled, opts Options) error {
+	rep := &vet.Report{}
+	Analyze(c, rep, opts)
+	rep.Sort()
+	if rep.HasErrors() {
+		return &RejectionError{Study: c.Spec.Name, Report: rep}
+	}
+	return nil
+}
+
+// VetPaths is the guavavet pipeline: load the artifact paths, run the
+// artifact-level checks, and — when the bundle carries a study manifest —
+// compile and analyze the plan, merging both reports under one stable-code
+// contract. Plan analysis only runs when the artifacts vetted without
+// errors; artifact defects already explain any downstream compile failure.
+func VetPaths(paths []string, opts Options) *vet.Report {
+	bundle := vet.LoadPaths(paths)
+	rep := bundle.Vet()
+	if rep.HasErrors() {
+		return rep
+	}
+	if spec, _, ok := bundle.StudySpec(); ok {
+		rep.Merge(Study(spec, opts))
+		rep.Sort()
+	}
+	return rep
+}

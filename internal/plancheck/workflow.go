@@ -1,0 +1,350 @@
+package plancheck
+
+import (
+	"sort"
+	"strings"
+
+	"guava/internal/etl"
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+	"guava/internal/vet"
+)
+
+// AnalyzeWorkflow runs the dataflow pass over a compiled workflow, appending
+// GV21x diagnostics to rep. study names the study for diagnostic positions
+// ("plan:<study>/<step>"). Steps whose components the analyzer does not
+// recognize produce unknown facts and are skipped silently — the pass never
+// guesses.
+func AnalyzeWorkflow(study string, w *etl.Workflow, rep *vet.Report, opts Options) {
+	if w == nil {
+		return
+	}
+	p := &pass{
+		study:   study,
+		rep:     rep,
+		opts:    opts,
+		tables:  map[string]*facts{},
+		caseFPs: map[uint64][]caseSite{},
+	}
+	steps, ok := topoSteps(w.Steps)
+	if !ok {
+		return // cyclic or dangling dependencies; Workflow.Lint owns that report
+	}
+	for _, st := range steps {
+		p.step = st.ID
+		to, haveTo := stepOutput(st)
+		root := p.lowerStep(st)
+		var f *facts
+		if root != nil {
+			f = p.analyze(root)
+		} else {
+			f = unknownFacts(fpString("step|" + st.ID))
+		}
+		if f.dead {
+			cause := f.deadCause
+			if cause == "" {
+				cause = "dead input"
+			}
+			rep.Add("GV211", p.pos(), "operator tree output is provably empty (%s)", cause)
+		}
+		if haveTo {
+			p.tables[to.String()] = f
+		}
+	}
+	p.reportDeadColumns(steps)
+	p.reportSharedSubtrees()
+}
+
+// stepOutput returns the table a step writes.
+func stepOutput(st *etl.Step) (etl.TableRef, bool) {
+	type writer interface{ Writes() []etl.TableRef }
+	if wr, ok := st.Component.(writer); ok {
+		ws := wr.Writes()
+		if len(ws) == 1 {
+			return ws[0], true
+		}
+	}
+	return etl.TableRef{}, false
+}
+
+// topoSteps orders steps so producers precede consumers, preserving the
+// declaration order among ready steps (the pass must be deterministic).
+func topoSteps(steps []etl.Step) ([]*etl.Step, bool) {
+	byID := make(map[string]*etl.Step, len(steps))
+	indeg := make(map[string]int, len(steps))
+	for i := range steps {
+		st := &steps[i]
+		byID[st.ID] = st
+		indeg[st.ID] = 0
+	}
+	dependents := map[string][]string{}
+	for i := range steps {
+		st := &steps[i]
+		for _, dep := range st.DependsOn {
+			if _, ok := byID[dep]; !ok {
+				return nil, false
+			}
+			indeg[st.ID]++
+			dependents[dep] = append(dependents[dep], st.ID)
+		}
+	}
+	var out []*etl.Step
+	ready := make([]string, 0, len(steps))
+	for i := range steps {
+		if indeg[steps[i].ID] == 0 {
+			ready = append(ready, steps[i].ID)
+		}
+	}
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, byID[id])
+		for _, next := range dependents[id] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+	}
+	return out, len(out) == len(steps)
+}
+
+// lowerStep lowers one ETL component into an operator tree over the 14
+// relstore operators. Unknown components lower to nil (unknown facts).
+func (p *pass) lowerStep(st *etl.Step) *Node {
+	switch c := st.Component.(type) {
+	case *etl.Extract:
+		return lowerExtract(c)
+	case *etl.Query:
+		return lowerQuery(c)
+	case *etl.Union:
+		n := &Node{Op: OpUnionAll}
+		if c.Distinct {
+			n.Op = OpUnion
+			n.Distinct = true
+		}
+		for _, from := range c.From {
+			n.In = append(n.In, &Node{Op: OpScan, Table: from})
+		}
+		return n
+	case *etl.JoinStep:
+		return &Node{
+			Op:      OpJoin,
+			In:      []*Node{{Op: OpScan, Table: c.Left}, {Op: OpScan, Table: c.Right}},
+			LeftCol: c.LeftCol, RightCol: c.RightCol, Prefix: c.RightPrefix,
+		}
+	default:
+		return nil
+	}
+}
+
+// lowerExtract models what the pattern stack reconstructs. A transform-free
+// Join/EAV (Generic) stack lowers to the exact operator pipeline
+// patterns.Generic.Read runs — scan(eav) → un-pivot → left-join(entities) →
+// project — which is where GV213 lives. Everything else is opaque
+// reconstruction with the naive form schema as the output contract.
+func lowerExtract(c *etl.Extract) *Node {
+	if c.Stack == nil || c.Form.Schema == nil {
+		return nil
+	}
+	form := c.Form
+	if isGeneric(c.Stack) && len(c.Stack.Transforms) == 0 {
+		keyType := relstore.KindInt
+		if kc, err := form.Schema.Col(form.KeyColumn); err == nil {
+			keyType = kc.Type
+		}
+		entSchema, err := relstore.NewSchema(relstore.Column{Name: form.KeyColumn, Type: keyType, NotNull: true})
+		if err != nil {
+			return nil
+		}
+		eavSchema, err := relstore.NewSchema(
+			relstore.Column{Name: form.KeyColumn, Type: keyType, NotNull: true},
+			relstore.Column{Name: "Attribute", Type: relstore.KindString, NotNull: true},
+			relstore.Column{Name: "Value", Type: relstore.KindString},
+		)
+		if err != nil {
+			// The key column collides with the EAV layout's fixed columns;
+			// model the scans opaquely and let the un-pivot checks report.
+			eavSchema = nil
+		}
+		var attrs []relstore.Column
+		for _, col := range form.Schema.Columns {
+			if col.Name != form.KeyColumn {
+				attrs = append(attrs, relstore.Column{Name: col.Name, Type: col.Type})
+			}
+		}
+		entities := &Node{Op: OpScan, Table: etl.TableRef{DB: c.SourceDB, Table: form.Name + "_entities"}, Schema: entSchema}
+		eav := &Node{Op: OpScan, Table: etl.TableRef{DB: c.SourceDB, Table: form.Name + "_eav"}, Schema: eavSchema}
+		unpivot := &Node{
+			Op: OpUnpivot, In: []*Node{eav},
+			Table:   eav.Table,
+			Cols:    []string{form.KeyColumn},
+			AttrCol: "Attribute", ValCol: "Value",
+			Attrs: attrs,
+		}
+		join := &Node{
+			Op: OpLeftJoin, In: []*Node{entities, unpivot},
+			LeftCol: form.KeyColumn, RightCol: form.KeyColumn, Prefix: "v",
+		}
+		return &Node{Op: OpProject, In: []*Node{join}, Cols: form.Schema.Names()}
+	}
+	return &Node{
+		Op:      OpScan,
+		Table:   etl.TableRef{DB: c.SourceDB, Table: form.Name},
+		Schema:  form.Schema,
+		NotNull: []string{form.KeyColumn},
+	}
+}
+
+func isGeneric(s *patterns.Stack) bool {
+	switch s.Layout.(type) {
+	case patterns.Generic, *patterns.Generic:
+		return true
+	}
+	return false
+}
+
+func lowerQuery(c *etl.Query) *Node {
+	n := &Node{Op: OpScan, Table: c.From}
+	if c.Where != nil {
+		n = &Node{Op: OpSelect, In: []*Node{n}, Pred: c.Where}
+	}
+	switch {
+	case len(c.Derive) > 0:
+		n = &Node{Op: OpDerive, In: []*Node{n}, Derivs: c.Derive}
+	case len(c.Project) > 0:
+		n = &Node{Op: OpProject, In: []*Node{n}, Cols: c.Project}
+	}
+	if c.Distinct {
+		n = &Node{Op: OpDistinct, In: []*Node{n}}
+	}
+	if len(c.Require) > 0 {
+		n = &Node{Op: OpRequire, In: []*Node{n}, Cols: c.Require}
+	}
+	return n
+}
+
+// reportDeadColumns flags columns a step explicitly constructs (derives or
+// projects) that no downstream consumer reads and that are not part of a
+// final output relation (GV214). Pass-through steps construct nothing, and
+// unknown consumers read everything, so the check under-reports rather than
+// over-reports.
+func (p *pass) reportDeadColumns(steps []*etl.Step) {
+	type reader interface{ Reads() []etl.TableRef }
+	readAll := map[string]bool{}          // table → some consumer reads every column
+	reads := map[string]map[string]bool{} // table → column read-set
+	consumed := map[string]bool{}
+
+	addRead := func(t etl.TableRef, cols map[string]bool, all bool) {
+		key := t.String()
+		consumed[key] = true
+		if all {
+			readAll[key] = true
+			return
+		}
+		if reads[key] == nil {
+			reads[key] = map[string]bool{}
+		}
+		for c := range cols {
+			reads[key][c] = true
+		}
+	}
+
+	for _, st := range steps {
+		switch c := st.Component.(type) {
+		case *etl.Query:
+			if len(c.Derive) == 0 && len(c.Project) == 0 {
+				addRead(c.From, nil, true)
+				continue
+			}
+			cols := map[string]bool{}
+			predCols(c.Where, cols)
+			for _, d := range c.Derive {
+				exprCols(d.Expr, cols)
+			}
+			for _, name := range c.Project {
+				cols[name] = true
+			}
+			if len(c.Derive) == 0 {
+				// Require names output columns; without Derive the output
+				// columns are input columns.
+				for _, name := range c.Require {
+					cols[name] = true
+				}
+			}
+			addRead(c.From, cols, false)
+		default:
+			if rd, ok := st.Component.(reader); ok {
+				for _, t := range rd.Reads() {
+					addRead(t, nil, true)
+				}
+			}
+		}
+	}
+
+	for _, st := range steps {
+		q, ok := st.Component.(*etl.Query)
+		if !ok {
+			continue
+		}
+		var produced []string
+		switch {
+		case len(q.Derive) > 0:
+			for _, d := range q.Derive {
+				produced = append(produced, d.Name)
+			}
+		case len(q.Project) > 0:
+			produced = append(produced, q.Project...)
+		default:
+			continue
+		}
+		key := q.To.String()
+		if !consumed[key] || readAll[key] {
+			continue // final output, or fully-read
+		}
+		p.step = st.ID
+		for _, col := range produced {
+			if !reads[key][col] {
+				p.rep.Add("GV214", p.pos(),
+					"column %q is computed here but no downstream operator reads it; the work is wasted on every row", col)
+			}
+		}
+	}
+}
+
+// reportSharedSubtrees emits the cross-classifier redundancy report (GV215):
+// classifier CASE derivations whose expression and input lineage fingerprint
+// identically would be computed once by a CSE pass (ROADMAP item 4).
+func (p *pass) reportSharedSubtrees() {
+	type group struct {
+		fp    uint64
+		sites []caseSite
+	}
+	var groups []group
+	for fp, sites := range p.caseFPs {
+		if len(sites) > 1 {
+			groups = append(groups, group{fp: fp, sites: sites})
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		a, b := groups[i].sites[0], groups[j].sites[0]
+		if a.step != b.step {
+			return a.step < b.step
+		}
+		if a.column != b.column {
+			return a.column < b.column
+		}
+		return groups[i].fp < groups[j].fp
+	})
+	for _, g := range groups {
+		first := g.sites[0]
+		others := make([]string, 0, len(g.sites)-1)
+		for _, s := range g.sites[1:] {
+			others = append(others, s.step+"/"+s.column)
+		}
+		p.step = first.step
+		p.rep.Add("GV215", p.pos(),
+			"classifier expression for column %q is structurally identical to %s (subtree fingerprint %016x); a cross-classifier CSE pass would compute it once",
+			first.column, strings.Join(others, ", "), g.fp)
+	}
+}

@@ -170,15 +170,17 @@ func readTypedV2(br *bufio.Reader, hdr relHeader) (*Rows, error) {
 // segment is resident while being read and evicted as later ones load.
 // SegmentSet is safe for concurrent use.
 type SegmentSet struct {
+	// Immutable after OpenSegments (no lock needed to read).
+	f       *os.File
+	schema  *Schema
+	hdr     relHeader
+	offsets []int64
+	budget  int64 // max resident block bytes; <= 0 means unlimited
+
 	mu       sync.Mutex
-	f        *os.File
-	schema   *Schema
-	hdr      relHeader
-	offsets  []int64
 	resident map[int]*segEntry
 	access   int64 // LRU clock
 	bytes    int64 // resident block bytes
-	budget   int64 // max resident block bytes; <= 0 means unlimited
 }
 
 type segEntry struct {

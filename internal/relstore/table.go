@@ -154,11 +154,11 @@ func (t *Table) Delete(pred Pred) (int, error) {
 		}
 		return nil
 	}
-	if col, v, rest, ok := t.indexableEq(pred); ok {
+	if col, v, rest, ok := t.indexableEqLocked(pred); ok {
 		if err := probe(t.indexes[col].buckets[v.Key()], rest); err != nil {
 			return 0, err
 		}
-	} else if col, vs, rest, ok := t.indexableIn(pred); ok {
+	} else if col, vs, rest, ok := t.indexableInLocked(pred); ok {
 		idx := t.indexes[col]
 		seen := make(map[string]bool, len(vs))
 		for _, v := range vs {
@@ -287,10 +287,10 @@ func (t *Table) rebuildIndexesLocked() {
 	}
 }
 
-// bucketPositions maps a bucket's row IDs to their current storage
+// bucketPositionsLocked maps a bucket's row IDs to their current storage
 // positions, sorted ascending so index probes yield rows in the same order a
 // full scan would. Callers must hold t.mu.
-func (t *Table) bucketPositions(ids []int) []int {
+func (t *Table) bucketPositionsLocked(ids []int) []int {
 	ps := make([]int, len(ids))
 	for i, id := range ids {
 		ps[i] = t.pos[id]
@@ -309,7 +309,7 @@ func (t *Table) Lookup(col string, v Value) ([]Row, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if idx, ok := t.indexes[col]; ok {
-		positions := t.bucketPositions(idx.buckets[v.Key()])
+		positions := t.bucketPositionsLocked(idx.buckets[v.Key()])
 		out := make([]Row, 0, len(positions))
 		for _, p := range positions {
 			out = append(out, t.rows[p].Clone())
@@ -345,9 +345,9 @@ func (t *Table) Scan(fn func(Row) bool) {
 func (t *Table) Select(pred Pred) (*Rows, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if col, v, rest, ok := t.indexableEq(pred); ok {
+	if col, v, rest, ok := t.indexableEqLocked(pred); ok {
 		idx := t.indexes[col]
-		positions := t.bucketPositions(idx.buckets[v.Key()])
+		positions := t.bucketPositionsLocked(idx.buckets[v.Key()])
 		out := make([]Row, 0, len(positions))
 		for _, p := range positions {
 			r := t.rows[p]
@@ -361,7 +361,7 @@ func (t *Table) Select(pred Pred) (*Rows, error) {
 		}
 		return &Rows{Schema: t.schema, Data: out}, nil
 	}
-	if col, vs, rest, ok := t.indexableIn(pred); ok {
+	if col, vs, rest, ok := t.indexableInLocked(pred); ok {
 		idx := t.indexes[col]
 		var positions []int
 		seenBucket := make(map[string]bool, len(vs))
@@ -409,10 +409,10 @@ func (t *Table) Select(pred Pred) (*Rows, error) {
 	return &Rows{Schema: t.schema, Data: out}, nil
 }
 
-// indexableEq recognizes predicates of the shape "col = literal [AND rest]"
+// indexableEqLocked recognizes predicates of the shape "col = literal [AND rest]"
 // where col carries a hash index, returning the probe and the residual
 // predicate. Callers must hold t.mu.
-func (t *Table) indexableEq(pred Pred) (string, Value, Pred, bool) {
+func (t *Table) indexableEqLocked(pred Pred) (string, Value, Pred, bool) {
 	matchCmp := func(p Pred) (string, Value, bool) {
 		c, ok := p.(CmpPred)
 		if !ok || c.Op != CmpEq {
@@ -450,11 +450,11 @@ func (t *Table) indexableEq(pred Pred) (string, Value, Pred, bool) {
 	return "", Value{}, nil, false
 }
 
-// indexableIn recognizes predicates of the shape "col IN (literals) [AND
+// indexableInLocked recognizes predicates of the shape "col IN (literals) [AND
 // rest]" where col carries a hash index and every literal is non-NULL,
 // returning the probe values and the residual predicate. Callers must hold
 // t.mu.
-func (t *Table) indexableIn(pred Pred) (string, []Value, Pred, bool) {
+func (t *Table) indexableInLocked(pred Pred) (string, []Value, Pred, bool) {
 	matchIn := func(p Pred) (string, []Value, bool) {
 		in, ok := p.(InPred)
 		if !ok {

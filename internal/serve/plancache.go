@@ -5,6 +5,7 @@ import (
 
 	"guava/internal/etl"
 	"guava/internal/obs"
+	"guava/internal/plancheck"
 )
 
 // planCache is the compiled-plan LRU. Each study spec compiles exactly once
@@ -13,6 +14,11 @@ import (
 // pressure simply recompiles on its next use. Compilation is pure (no
 // contributor data is read), so cached plans never go stale — eviction
 // exists only to bound memory when a daemon hosts many studies.
+//
+// Admission is gated by the plan-level dataflow analyzer: a plan that
+// compiles but carries a GV21x error (dead operator, contradictory
+// predicate, un-pivot misuse) is never cached — the *plancheck.RejectionError
+// propagates to the caller, which the HTTP layer maps to 422.
 type planCache struct {
 	metrics func() *obs.Registry
 
@@ -30,9 +36,10 @@ func newPlanCache(capacity int, metrics func() *obs.Registry) *planCache {
 	return &planCache{metrics: metrics, lru: newLRU[*planEntry](capacity)}
 }
 
-// get returns the compiled plan for spec, compiling it at most once per
-// residency. Failed compilations are not cached: the entry is dropped so a
-// later call (for example after the spec is fixed) can retry.
+// get returns the compiled plan for spec, compiling and plan-checking it at
+// most once per residency. Failed compilations and rejected plans are not
+// cached: the entry is dropped so a later call (for example after the spec
+// is fixed) can retry.
 func (p *planCache) get(spec *etl.StudySpec) (*etl.Compiled, error) {
 	m := p.metrics()
 	p.mu.Lock()
@@ -47,7 +54,16 @@ func (p *planCache) get(spec *etl.StudySpec) (*etl.Compiled, error) {
 	}
 	p.mu.Unlock()
 
-	e.once.Do(func() { e.c, e.err = etl.Compile(spec) })
+	e.once.Do(func() {
+		e.c, e.err = etl.Compile(spec)
+		if e.err != nil {
+			return
+		}
+		if gerr := plancheck.Gate(e.c, plancheck.Options{}); gerr != nil {
+			m.Counter("serve.plan.rejected").Inc()
+			e.c, e.err = nil, gerr
+		}
+	})
 	if e.err != nil {
 		p.mu.Lock()
 		if cur, ok := p.lru.get(spec.Name); ok && cur == e {

@@ -77,6 +77,7 @@ func (s *Server) refresh(ctx context.Context, st *servedStudy, kind string) (etl
 	if cursors != nil {
 		st.setCursors(cursors)
 	}
+	st.ready.Store(true)
 	m := s.metrics()
 	m.Counter("refresh.runs").Inc()
 	m.Counter("refresh.added").Add(int64(stats.Added))

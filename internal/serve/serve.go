@@ -35,6 +35,7 @@ import (
 
 	"guava/internal/etl"
 	"guava/internal/obs"
+	"guava/internal/plancheck"
 	"guava/internal/relstore"
 	"guava/internal/vet"
 )
@@ -91,6 +92,12 @@ type servedStudy struct {
 	// generation counts data-changing refreshes; extract results are
 	// stamped with it, so a no-op refresh preserves cache hits.
 	generation atomic.Int64
+
+	// ready flips once an initial refresh has populated the warehouse.
+	// Studies registered through AddStudyLazy start unready: their first
+	// extract or refresh triggers compilation (and the plan-admission gate)
+	// on demand.
+	ready atomic.Bool
 
 	// partGens is the per-contributor analogue: a delta refresh bumps only
 	// the partitions it touched, so extracts pinned to one contributor are
@@ -207,27 +214,53 @@ func (s *Server) observe(ctx context.Context) context.Context {
 	return ctx
 }
 
-// AddStudy vets spec, compiles it through the plan cache, and runs the
-// initial warehouse refresh so the study is queryable the moment it is
-// listed. A spec with vet errors is refused — the daemon serves only
-// studies that pass the same static gate as BuildVetted.
+// AddStudy vets spec, compiles it through the plan cache (where the
+// plan-level analyzer gates admission), and runs the initial warehouse
+// refresh so the study is queryable the moment it is listed. A spec with vet
+// errors or a GV21x-rejected plan is refused — the daemon serves only
+// studies that pass the same static gates as the batch path.
 func (s *Server) AddStudy(ctx context.Context, spec *etl.StudySpec) error {
+	st, err := s.register(spec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.refresh(ctx, st, "initial"); err != nil {
+		s.mu.Lock()
+		delete(s.studies, spec.Name)
+		s.mu.Unlock()
+		return fmt.Errorf("serve: initial refresh of %q: %w", spec.Name, err)
+	}
+	return nil
+}
+
+// AddStudyLazy registers spec without compiling or refreshing it: the study
+// is listed immediately, and its first extract or refresh request compiles
+// the plan through the cache — where a GV21x-rejected plan surfaces as HTTP
+// 422 instead of a boot failure. Artifact-level vetting still runs eagerly;
+// only the plan-level work is deferred.
+func (s *Server) AddStudyLazy(spec *etl.StudySpec) error {
+	_, err := s.register(spec)
+	return err
+}
+
+// register performs the shared AddStudy/AddStudyLazy work: artifact vetting,
+// schema derivation, and slotting the study into the serving map (plus its
+// background refresh loop when the loops already run).
+func (s *Server) register(spec *etl.StudySpec) (*servedStudy, error) {
 	if rep := vet.Study(spec, nil, nil); rep.HasErrors() {
-		return fmt.Errorf("serve: study %q failed vetting:\n%s", spec.Name, rep.Text())
+		return nil, fmt.Errorf("serve: study %q failed vetting:\n%s", spec.Name, rep.Text())
 	}
 	schema, err := spec.OutputSchema()
 	if err != nil {
-		return err
-	}
-	compiled, err := s.plans.get(spec)
-	if err != nil {
-		return err
+		return nil, err
 	}
 	st := &servedStudy{
-		name:      spec.Name,
-		spec:      spec,
-		schema:    schema,
-		tableName: compiled.Output.Table,
+		name:   spec.Name,
+		spec:   spec,
+		schema: schema,
+		// The compiler's output name is deterministic, so lazy registration
+		// can derive it without compiling.
+		tableName: "Study_" + spec.Name,
 		warehouse: relstore.NewDB("warehouse_" + spec.Name),
 		partGens:  make(map[string]*atomic.Int64),
 	}
@@ -235,24 +268,29 @@ func (s *Server) AddStudy(ctx context.Context, spec *etl.StudySpec) error {
 	s.mu.Lock()
 	if _, dup := s.studies[spec.Name]; dup {
 		s.mu.Unlock()
-		return fmt.Errorf("serve: study %q already registered", spec.Name)
+		return nil, fmt.Errorf("serve: study %q already registered", spec.Name)
 	}
 	s.studies[spec.Name] = st
 	startLoop := s.loops
 	stop := s.loopStop
 	s.mu.Unlock()
 
-	if _, err := s.refresh(ctx, st, "initial"); err != nil {
-		s.mu.Lock()
-		delete(s.studies, spec.Name)
-		s.mu.Unlock()
-		return fmt.Errorf("serve: initial refresh of %q: %w", spec.Name, err)
-	}
 	if startLoop {
 		s.loopWG.Add(1)
 		go s.refreshLoop(st, stop)
 	}
-	return nil
+	return st, nil
+}
+
+// ensureReady lazily brings an AddStudyLazy study online: the first request
+// pays for compilation (running the plan-admission gate) and the initial
+// refresh. Already-ready studies return immediately.
+func (s *Server) ensureReady(ctx context.Context, st *servedStudy) error {
+	if st.ready.Load() {
+		return nil
+	}
+	_, err := s.refresh(ctx, st, "initial")
+	return err
 }
 
 // study looks up a served study by name.
@@ -540,6 +578,17 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no study %q", r.PathValue("name"))
 		return
 	}
+	if err := s.ensureReady(r.Context(), st); err != nil {
+		var rej *plancheck.RejectionError
+		if errors.As(err, &rej) {
+			m.Counter("serve.plan.rejected.requests").Inc()
+			httpError(w, http.StatusUnprocessableEntity,
+				"study %q plan rejected by static analysis:\n%s", st.name, rej.Report.Text())
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "study %q not ready: %v", st.name, err)
+		return
+	}
 	query, err := parseExtractQuery(st.schema, r.URL.Query())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -649,6 +698,13 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		var rej *plancheck.RejectionError
+		if errors.As(err, &rej) {
+			s.metrics().Counter("serve.plan.rejected.requests").Inc()
+			httpError(w, http.StatusUnprocessableEntity,
+				"study %q plan rejected by static analysis:\n%s", st.name, rej.Report.Text())
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "refresh failed: %v", err)
 		return
 	}

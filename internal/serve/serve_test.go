@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"guava/internal/gtree"
 	"guava/internal/obs"
 	"guava/internal/patterns"
+	"guava/internal/plancheck"
 	"guava/internal/relstore"
 	"guava/internal/ui"
 )
@@ -400,6 +403,64 @@ func TestVetGateRefusesBadStudy(t *testing.T) {
 	}
 }
 
+// TestPlanGateRejectsWith422: a study whose artifacts vet clean but whose
+// compiled plan is contradictory is refused eagerly by AddStudy, and — when
+// registered lazily — answers every extract and refresh with 422 carrying
+// the GV21x report, while a healthy study on the same server keeps serving.
+func TestPlanGateRejectsWith422(t *testing.T) {
+	spec := fixtureSpec(t, goodHabits)
+	spec.Name = "badplan"
+	for _, c := range spec.Contributors {
+		c.Condition = "PacksPerDay > 5 AND PacksPerDay < 2"
+	}
+	srv := NewServer(Config{Observer: obs.NewObserver()})
+
+	err := srv.AddStudy(context.Background(), spec)
+	if err == nil {
+		t.Fatal("AddStudy accepted a GV21x-rejected plan")
+	}
+	var rej *plancheck.RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("AddStudy error is not a *plancheck.RejectionError: %v", err)
+	}
+	if len(srv.StudyNames()) != 0 {
+		t.Errorf("rejected study stayed registered: %v", srv.StudyNames())
+	}
+
+	if err := srv.AddStudyLazy(spec); err != nil {
+		t.Fatalf("AddStudyLazy: %v", err)
+	}
+	if err := srv.AddStudy(context.Background(), fixtureSpec(t, goodHabits)); err != nil {
+		t.Fatalf("AddStudy(healthy): %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, body := get(t, ts.URL+"/studies/badplan/extract")
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("extract of rejected plan = %d, want 422 (%v)", code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "GV212") {
+		t.Errorf("422 body does not carry the GV212 diagnostic: %q", msg)
+	}
+
+	resp, err := http.Post(ts.URL+"/studies/badplan/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("refresh of rejected plan = %d, want 422", resp.StatusCode)
+	}
+
+	if code, _, _ := get(t, ts.URL+"/studies/exsmoker/extract"); code != http.StatusOK {
+		t.Errorf("healthy study extract = %d, want 200", code)
+	}
+	if got := srv.metrics().Counter("serve.plan.rejected").Value(); got < 1 {
+		t.Errorf("serve.plan.rejected = %d, want >= 1", got)
+	}
+}
+
 // TestPlanCacheCompileOnce: repeated serving traffic compiles each study a
 // single time, and eviction under pressure recompiles on return.
 func TestPlanCacheCompileOnce(t *testing.T) {
@@ -414,8 +475,9 @@ func TestPlanCacheCompileOnce(t *testing.T) {
 	if got := m.Counter("serve.plan.cache.miss").Value(); got != 1 {
 		t.Errorf("plan compiled %d times, want 1", got)
 	}
-	// The initial refresh and the three forced ones all hit the cache.
-	if got := m.Counter("serve.plan.cache.hit").Value(); got != 4 {
-		t.Errorf("plan cache hits = %d, want 4", got)
+	// The initial refresh compiled (the miss above); the three forced
+	// refreshes all hit the cache.
+	if got := m.Counter("serve.plan.cache.hit").Value(); got != 3 {
+		t.Errorf("plan cache hits = %d, want 3", got)
 	}
 }

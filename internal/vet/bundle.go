@@ -410,6 +410,24 @@ func parseStack(tokens []string) (*patterns.Stack, error) {
 	return patterns.NewStack(layout, transforms...), nil
 }
 
+// StudySpec assembles the bundle's study manifest into an etl.StudySpec,
+// exactly as the study-level checks see it. It returns false when the bundle
+// carries no manifest or the manifest's references do not resolve; resolution
+// problems are already reported as GV001/GV3xx by Vet, so callers (the plan
+// analyzer) stay silent about them. The second result lists the source files
+// behind the spec for diagnostic positions.
+func (b *Bundle) StudySpec() (*etl.StudySpec, *StudyFiles, bool) {
+	if b.manifest == nil {
+		return nil, nil, false
+	}
+	var scratch Report
+	spec, files := b.buildSpec(&scratch)
+	if spec == nil {
+		return nil, nil, false
+	}
+	return spec, files, true
+}
+
 // buildSpec assembles the manifest into an etl.StudySpec for the study-level
 // checks, reporting unresolvable references as GV001.
 func (b *Bundle) buildSpec(rep *Report) (*etl.StudySpec, *StudyFiles) {

@@ -1,0 +1,321 @@
+package vet
+
+// predsat.go bridges compiled relstore predicates into the guard
+// satisfiability engine (sat.go). Classifier guards are vetted before
+// compilation, but the predicates a compiled plan actually evaluates are
+// conjunctions the compiler assembled — entity selection ∧ study condition ∧
+// ¬cleaner selections — and a contradiction can appear only after that
+// conjunction exists. internal/plancheck proves such predicates empty
+// through PredUnsat.
+//
+// The translation is a sound over-approximation: any predicate fragment the
+// bridge cannot interpret (column-to-column comparisons, arithmetic, CASE,
+// function calls) widens to TRUE, so "unsatisfiable" verdicts are proofs
+// while "satisfiable" may just mean "too clever to analyze". That keeps the
+// plan analyzer at zero false positives by construction.
+
+import (
+	"guava/internal/relstore"
+)
+
+// predDNF is a disjunction of conjunctions of sat.go atoms. No disjuncts
+// means FALSE; a single empty conjunct means TRUE.
+type predDNF [][]atom
+
+var dnfTrue = predDNF{{}}
+var dnfFalse = predDNF{}
+
+// PredUnsat reports whether the compiled predicate p is provably
+// unsatisfiable over rows where every column named in notNull is non-NULL.
+// A nil predicate is TRUE. The proof reuses the interval/disequality state
+// machine behind GV105; when the predicate defeats normalization (or the
+// DNF would exceed the sat.go state budget) the answer is false, never a
+// guess.
+func PredUnsat(p relstore.Pred, notNull []string) bool {
+	dnf, ok := predToDNF(p, false)
+	if !ok {
+		return false
+	}
+	for _, conj := range dnf {
+		s := newState()
+		for _, col := range notNull {
+			s.apply(atom{op: opNotNull, name: col}, false)
+		}
+		for _, a := range conj {
+			s.apply(a, false)
+			if !s.sat {
+				break
+			}
+		}
+		if s.sat && s.satisfiable(nil, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// predToDNF normalizes p (negated when neg is set) into atom DNF. The ok
+// result is false when the normalization blew past the state budget; callers
+// must then decline to conclude anything.
+func predToDNF(p relstore.Pred, neg bool) (predDNF, bool) {
+	if p == nil {
+		return constDNF(!neg), true
+	}
+	switch q := p.(type) {
+	case relstore.BoolLit:
+		return constDNF(q.V != neg), true
+	case *relstore.BoolLit:
+		return constDNF(q.V != neg), true
+	case relstore.NotPred:
+		return predToDNF(q.P, !neg)
+	case *relstore.NotPred:
+		return predToDNF(q.P, !neg)
+	case relstore.AndPred:
+		if neg {
+			return unionDNF(q.Ps, true)
+		}
+		return productDNF(q.Ps, false)
+	case *relstore.AndPred:
+		if neg {
+			return unionDNF(q.Ps, true)
+		}
+		return productDNF(q.Ps, false)
+	case relstore.OrPred:
+		if neg {
+			return productDNF(q.Ps, true)
+		}
+		return unionDNF(q.Ps, false)
+	case *relstore.OrPred:
+		if neg {
+			return productDNF(q.Ps, true)
+		}
+		return unionDNF(q.Ps, false)
+	case relstore.CmpPred:
+		return cmpDNF(q, neg), true
+	case *relstore.CmpPred:
+		return cmpDNF(*q, neg), true
+	case relstore.NullPred:
+		return nullDNF(q, neg), true
+	case *relstore.NullPred:
+		return nullDNF(*q, neg), true
+	case relstore.InPred:
+		return inDNF(q, neg), true
+	case *relstore.InPred:
+		return inDNF(*q, neg), true
+	case relstore.ExprPred:
+		return exprTruthDNF(q.E, neg), true
+	case *relstore.ExprPred:
+		return exprTruthDNF(q.E, neg), true
+	default:
+		return dnfTrue, true // unknown predicate form: widen
+	}
+}
+
+func constDNF(v bool) predDNF {
+	if v {
+		return dnfTrue
+	}
+	return dnfFalse
+}
+
+// unionDNF is disjunction: DNF(p1) ∪ DNF(p2) ∪ …
+func unionDNF(ps []relstore.Pred, neg bool) (predDNF, bool) {
+	var out predDNF
+	for _, p := range ps {
+		d, ok := predToDNF(p, neg)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, d...)
+		if len(out) > maxStates {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// productDNF is conjunction: the cross-product of the children's disjuncts.
+func productDNF(ps []relstore.Pred, neg bool) (predDNF, bool) {
+	acc := dnfTrue
+	for _, p := range ps {
+		d, ok := predToDNF(p, neg)
+		if !ok {
+			return nil, false
+		}
+		var next predDNF
+		for _, a := range acc {
+			for _, b := range d {
+				conj := make([]atom, 0, len(a)+len(b))
+				conj = append(conj, a...)
+				conj = append(conj, b...)
+				next = append(next, conj)
+				if len(next) > maxStates {
+					return nil, false
+				}
+			}
+		}
+		acc = next
+		if len(acc) == 0 {
+			return dnfFalse, true // one child FALSE kills the conjunction
+		}
+	}
+	return acc, true
+}
+
+// cmpAtom interprets a column-vs-literal comparison as a single atom. The
+// bool result is false when the shape is uninterpretable (column-to-column,
+// arithmetic operand, ordered comparison with a non-numeric literal).
+func cmpAtom(c relstore.CmpPred) (atom, bool) {
+	col, lit, op, ok := normalizeCmp(c)
+	if !ok {
+		return atom{}, false
+	}
+	if lit.IsNull() {
+		// Two-valued NULL comparison semantics (see CmpPred.Eval):
+		// equality holds only for NULL, inequality only for non-NULL,
+		// ordered comparisons never hold.
+		switch op {
+		case opEq:
+			return atom{op: opIsNull, name: col}, true
+		case opNe:
+			return atom{op: opNotNull, name: col}, true
+		default:
+			return atom{op: opNever}, true
+		}
+	}
+	if op.ordered() && !lit.IsNumeric() {
+		// sat.go intervals are numeric; string ordering is out of scope.
+		return atom{}, false
+	}
+	return atom{op: op, name: col, val: lit}, true
+}
+
+// normalizeCmp puts the column on the left, mirroring the operator when the
+// literal is on the left instead.
+func normalizeCmp(c relstore.CmpPred) (col string, lit relstore.Value, op atomOp, ok bool) {
+	op, ok = cmpAtomOps[c.Op]
+	if !ok {
+		return "", relstore.Value{}, opUnknown, false
+	}
+	if cr, isCol := asColRef(c.L); isCol {
+		if lv, isLit := asLit(c.R); isLit {
+			return cr, lv, op, true
+		}
+		return "", relstore.Value{}, opUnknown, false
+	}
+	if lv, isLit := asLit(c.L); isLit {
+		if cr, isCol := asColRef(c.R); isCol {
+			return cr, lv, mirrorOps[op], true
+		}
+	}
+	return "", relstore.Value{}, opUnknown, false
+}
+
+var cmpAtomOps = map[relstore.CmpOp]atomOp{
+	relstore.CmpEq: opEq,
+	relstore.CmpNe: opNe,
+	relstore.CmpLt: opLt,
+	relstore.CmpLe: opLe,
+	relstore.CmpGt: opGt,
+	relstore.CmpGe: opGe,
+}
+
+func cmpDNF(c relstore.CmpPred, neg bool) predDNF {
+	a, ok := cmpAtom(c)
+	if !ok {
+		return dnfTrue
+	}
+	if !neg {
+		return predDNF{{a}}
+	}
+	return negDNF(a)
+}
+
+// negDNF turns ¬atom into a disjunction of atoms. assumeNotNull is false:
+// the NULL alternative for ordered comparisons must stay in play.
+func negDNF(a atom) predDNF {
+	var out predDNF
+	for _, alt := range negAlternatives(a, false) {
+		out = append(out, []atom{alt})
+	}
+	if len(out) == 0 {
+		return dnfFalse // ¬presence: the relation atom always holds
+	}
+	return out
+}
+
+func nullDNF(p relstore.NullPred, neg bool) predDNF {
+	col, ok := asColRef(p.E)
+	if !ok {
+		return dnfTrue
+	}
+	isNull := !p.Negate
+	if neg {
+		isNull = !isNull
+	}
+	if isNull {
+		return predDNF{{atom{op: opIsNull, name: col}}}
+	}
+	return predDNF{{atom{op: opNotNull, name: col}}}
+}
+
+func inDNF(p relstore.InPred, neg bool) predDNF {
+	col, ok := asColRef(p.E)
+	if !ok {
+		return dnfTrue
+	}
+	if !neg {
+		// x IN (a, b) ≡ x = a ∨ x = b; the empty list is FALSE.
+		var out predDNF
+		for _, v := range p.List {
+			a, ok := cmpAtom(relstore.Cmp(relstore.CmpEq, relstore.Col(col), relstore.Lit(v)))
+			if !ok {
+				return dnfTrue
+			}
+			out = append(out, []atom{a})
+		}
+		return out
+	}
+	// ¬(x IN (a, b)) ≡ x ≠ a ∧ x ≠ b — one conjunct. opNe atoms keep NULL
+	// satisfiable, matching the two-valued Eval.
+	var conj []atom
+	for _, v := range p.List {
+		a, ok := cmpAtom(relstore.Cmp(relstore.CmpNe, relstore.Col(col), relstore.Lit(v)))
+		if !ok {
+			return dnfTrue
+		}
+		conj = append(conj, a)
+	}
+	return predDNF{conj}
+}
+
+// exprTruthDNF handles Truth(expr). A truthy value is necessarily non-NULL,
+// so the positive polarity soundly weakens to IS NOT NULL for bare columns;
+// everything else widens to TRUE.
+func exprTruthDNF(e relstore.Expr, neg bool) predDNF {
+	col, ok := asColRef(e)
+	if !ok || neg {
+		return dnfTrue
+	}
+	return predDNF{{atom{op: opNotNull, name: col}}}
+}
+
+func asColRef(e relstore.Expr) (string, bool) {
+	switch x := e.(type) {
+	case relstore.ColRef:
+		return x.Name, true
+	case *relstore.ColRef:
+		return x.Name, true
+	}
+	return "", false
+}
+
+func asLit(e relstore.Expr) (relstore.Value, bool) {
+	switch x := e.(type) {
+	case relstore.LitExpr:
+		return x.V, true
+	case *relstore.LitExpr:
+		return x.V, true
+	}
+	return relstore.Value{}, false
+}

@@ -159,8 +159,9 @@ type CodeInfo struct {
 }
 
 // Catalog lists every diagnostic code the engine can emit, in code order.
-// GV0xx are artifact-loading problems, GV1xx per-classifier, GV2xx
-// per-g-tree, GV3xx per-study.
+// GV0xx are artifact-loading problems, GV1xx per-classifier, GV201-204
+// per-g-tree, GV210-216 per-compiled-plan (internal/plancheck), GV3xx
+// per-study.
 var Catalog = []CodeInfo{
 	{"GV001", SevError, "artifact-load-error",
 		"An artifact file that cannot be parsed can hide any number of downstream defects."},
@@ -192,6 +193,21 @@ var Catalog = []CodeInfo{
 		"An equals-enablement comparing against a value outside the controlling node's options can never enable the control."},
 	{"GV204", SevInfo, "dead-answer-option",
 		"An answer option no classifier rule can ever match suggests vocabulary drift between the form and the study."},
+
+	{"GV210", SevError, "plan-compile-error",
+		"A study whose artifacts vet clean but whose plan fails to compile would abort at run time; the failure belongs in static analysis, not production."},
+	{"GV211", SevError, "plan-dead-operator",
+		"An operator whose output is provably empty makes every plan above it dead weight and usually marks a contradiction the analyst cannot see in the artifacts."},
+	{"GV212", SevError, "plan-contradictory-predicate",
+		"A post-compile selection predicate that no row can satisfy filters everything; the contradiction only becomes visible after condition, cleaner, and selection predicates are conjoined."},
+	{"GV213", SevError, "plan-unpivot-misuse",
+		"An un-pivot over zero attributes, or whose attribute/key columns collide, reconstructs no wide rows from the Join/EAV layout and silently empties the contributor."},
+	{"GV214", SevWarning, "plan-dead-column",
+		"A column a plan derives or projects but that no downstream operator reads and the study never outputs is wasted computation per row."},
+	{"GV215", SevInfo, "plan-shared-subtree",
+		"Structurally identical subtrees compiled for different classifiers execute once per classifier today; the fingerprint report is the measurement baseline for cross-classifier CSE."},
+	{"GV216", SevInfo, "plan-zero-cardinality",
+		"A scan over a relation the warehouse statistics prove empty makes the plan above it vacuous for this data; legitimate during bring-up, so informational."},
 
 	{"GV301", SevError, "entity-classifier-invalid",
 		"A contributor without a valid entity classifier anchored on a form node produces no study entities at all."},

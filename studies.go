@@ -1,6 +1,7 @@
 package guava
 
 import (
+	"context"
 	"fmt"
 
 	"guava/internal/gquery"
@@ -75,7 +76,7 @@ var study1Vocab = map[string]study1Conditions{
 // classifier expression language, evaluated through the g-tree view.
 func countWhere(c *workload.Contributor, cond string) (int, error) {
 	q := &gquery.Query{Tree: c.Tree, Select: []string{c.Tree.KeyColumn}, Where: cond}
-	rows, err := q.Run(c.DB, c.Stack, c.Info)
+	rows, err := q.Run(context.Background(), c.DB, c.Stack, c.Info)
 	if err != nil {
 		return 0, err
 	}

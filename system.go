@@ -109,12 +109,12 @@ func NewEntryFor(c *Contributor, key int64) (*Entry, error) {
 
 // Query runs a g-tree query against the contributor.
 func (c *Contributor) Query(q *Query) (*Rows, error) {
-	return q.Run(c.DB, c.Stack, c.Info)
+	return q.Run(context.Background(), c.DB, c.Stack, c.Info)
 }
 
 // Aggregate runs a grouped-aggregate g-tree query against the contributor.
 func (c *Contributor) Aggregate(q *gquery.AggregateQuery) (*Rows, error) {
-	return q.Run(c.DB, c.Stack, c.Info)
+	return q.Run(context.Background(), c.DB, c.Stack, c.Info)
 }
 
 // View reads the whole naive relation (the g-tree view).
@@ -163,9 +163,9 @@ func (st *Study) RefreshContext(ctx context.Context, warehouse *DB, policy etl.R
 }
 
 // RunParallel executes the study with the per-contributor chains running
-// concurrently; workers bounds concurrency (<= 0 means unbounded).
-func (st *Study) RunParallel(workers int) (*Rows, error) {
-	return st.compiled.RunParallel(workers)
+// concurrently under ctx; workers bounds concurrency (<= 0 means unbounded).
+func (st *Study) RunParallel(ctx context.Context, workers int) (*Rows, error) {
+	return st.compiled.RunParallel(ctx, workers)
 }
 
 // RunResilient executes the study under a fault-handling policy: per-step
