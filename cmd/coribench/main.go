@@ -46,16 +46,26 @@
 // gates the scan/join parallel speedup; it defaults to 0 (report only)
 // because the number is meaningless without multiple cores.
 //
+// R9 measures the robustness of the serving path as a whole: an in-process
+// studyd over a crash-consistent warehouse whose filesystem executes a
+// storage-fault schedule (-fs-faults), under open-loop Poisson load at
+// -rps for -load-duration while contributors churn and refreshes race the
+// reads. -min-rps and -max-p99 gate goodput and tail latency; any hard
+// error or stale read (a generation stamp going backwards) fails the run
+// unconditionally.
+//
 // -cpuprofile, -memprofile, and -trace enable the stdlib profilers for
 // any experiment selection.
 //
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5|R6|R7] [-seed 42] [-n 200]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5|R6|R7|R9] [-seed 42] [-n 200]
 //	          [-faults 0.33] [-retries 2] [-observe]
 //	          [-max-overhead 0] [-clients 8] [-requests 400]
 //	          [-min-speedup 0] [-delta-batch 24] [-max-flat 0]
 //	          [-min-delta-speedup 0] [-min-par-speedup 0]
+//	          [-rps 300] [-load-duration 3s] [-fs-faults torn_rename:MANIFEST@2]
+//	          [-min-rps 0] [-max-p99 0]
 //	          [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
@@ -82,7 +92,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5, R6, R7")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5, R6, R7, R9")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
 	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
@@ -96,6 +106,11 @@ func main() {
 	maxFlat := flag.Float64("max-flat", 0, "fail if R6 delta tick latency grows by more than this factor across the warehouse scales (0 = report only)")
 	minDeltaSpeedup := flag.Float64("min-delta-speedup", 0, "fail if R6 delta-vs-full speedup at the largest scale falls below this factor (0 = report only)")
 	minParSpeedup := flag.Float64("min-par-speedup", 0, "fail if R7 parallel scan or join speedup falls below this factor (0 = report only; needs multiple cores to mean anything)")
+	rps := flag.Float64("rps", 300, "offered open-loop arrival rate (R9)")
+	loadDur := flag.Duration("load-duration", 3*time.Second, "how long the open-loop driver offers load (R9)")
+	fsFaults := flag.String("fs-faults", "torn_rename:MANIFEST@2,short_write:table.rel@4,drop_sync@6", "storage fault schedule for the warehouse filesystem, kind[:pathsub][@after][~delay],... (R9)")
+	minRPS := flag.Float64("min-rps", 0, "fail if R9 goodput falls below this rate (0 = report only)")
+	maxP99 := flag.Duration("max-p99", 0, "fail if R9 extract p99 exceeds this duration (0 = report only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	execTrace := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -147,6 +162,9 @@ func main() {
 	}
 	if run("R7") {
 		expR7(*seed, *n, *minParSpeedup)
+	}
+	if run("R9") {
+		expR9(*seed, *n, *rps, *loadDur, *fsFaults, *minRPS, *maxP99)
 	}
 }
 

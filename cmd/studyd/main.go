@@ -8,7 +8,9 @@
 //
 // The API (see internal/serve):
 //
-//	curl localhost:8091/healthz
+//	curl localhost:8091/healthz          # legacy combined probe
+//	curl localhost:8091/healthz/live     # liveness: 200 while the process is up
+//	curl localhost:8091/healthz/ready    # readiness: 503 while draining or warming
 //	curl localhost:8091/studies
 //	curl 'localhost:8091/studies/reference/extract?Smoking_D3=Heavy&limit=10'
 //	curl -X POST localhost:8091/studies/reference/refresh
@@ -17,10 +19,18 @@
 // Usage:
 //
 //	studyd [-addr :8091] [-seed 42] [-n 200]
-//	       [-refresh-interval 0] [-max-inflight 8] [-request-timeout 10s]
-//	       [-plan-cache 16] [-result-cache 128]
+//	       [-refresh-interval 0] [-max-inflight 8] [-max-per-study 0]
+//	       [-request-timeout 10s] [-plan-cache 16] [-result-cache 128]
 //	       [-retries 0] [-step-timeout 0] [-continue]
+//	       [-warehouse-dir /var/lib/studyd] [-fs-faults torn_rename:MANIFEST@0]
 //	       [-trace-out spans.jsonl] [-parallel 0]
+//
+// With -warehouse-dir, every data-changing refresh is persisted as an
+// immutable generation (segment file + checksummed MANIFEST); a restart —
+// clean or SIGKILL — recovers the newest complete generation and serves it
+// without re-running any study plan, discarding torn ones. -fs-faults runs
+// the warehouse writes through the storage fault injector so crash drills
+// can tear them on purpose.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"guava/internal/baseline"
 	"guava/internal/etl"
+	"guava/internal/etl/faulty"
 	"guava/internal/obs"
 	"guava/internal/relstore"
 	"guava/internal/serve"
@@ -55,6 +66,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "append request/refresh spans as JSON lines to this file")
 	badStudy := flag.Bool("bad-study", false, "additionally register a \"badplan\" study (lazily) whose compiled plan is contradictory; its first extract or refresh is rejected with 422 by the plan-admission gate")
 	parallel := flag.Int("parallel", 0, "worker bound for relstore's chunked columnar scans (0 = default of min(GOMAXPROCS, 8), 1 = sequential)")
+	warehouseDir := flag.String("warehouse-dir", "", "persist study generations under this directory and recover the newest complete one at startup (empty = memory only)")
+	fsFaults := flag.String("fs-faults", "", "inject storage faults into warehouse writes, kind[:pathsub][@after][~delay],... e.g. torn_rename:MANIFEST@0")
+	maxPerStudy := flag.Int("max-per-study", 0, "concurrent cache-miss extracts admitted per study before 429 (0 = no per-study bound)")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -107,12 +121,31 @@ func main() {
 		delete(c.Classifiers, "Hypoxia_D1")
 	}
 
+	// The warehouse filesystem: real, or wrapped in the fault injector so CI
+	// can tear generation writes and watch recovery cope.
+	var warehouseFS etl.FS
+	if *fsFaults != "" {
+		faults, err := faulty.ParseFaultSchedule(*fsFaults)
+		if err != nil {
+			fail(err)
+		}
+		ffs := faulty.NewFS(etl.OSFS{}, faults...)
+		ffs.Metrics = observer.Metrics
+		warehouseFS = ffs
+	}
+
 	srv := serve.NewServer(serve.Config{
 		RefreshInterval: *refreshEvery,
 		MaxInFlight:     *maxInFlight,
+		MaxPerStudy:     *maxPerStudy,
 		RequestTimeout:  *reqTimeout,
 		PlanCacheSize:   *planCache,
 		ResultCacheSize: *resultCache,
+		WarehouseDir:    *warehouseDir,
+		FS:              warehouseFS,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("studyd: "+format+"\n", args...)
+		},
 		Policy: etl.RunPolicy{
 			MaxAttempts:     *retries + 1,
 			Backoff:         10 * time.Millisecond,

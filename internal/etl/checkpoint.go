@@ -152,6 +152,9 @@ func (m *MemCheckpointer) Len(fingerprint string) int {
 type FSCheckpointer struct {
 	// Dir is the checkpoint root directory; created on first Save.
 	Dir string
+	// FS is the filesystem the store writes through; nil uses the real
+	// one. Tests thread a faulty.FS here to exercise torn saves.
+	FS FS
 }
 
 // CheckpointVersion is the on-disk format version; bump it when the file
@@ -172,38 +175,14 @@ func (f *FSCheckpointer) Save(fingerprint, stepID string, snap *Snapshot) error 
 	if err != nil {
 		return err
 	}
-	dst := f.path(fingerprint, stepID)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), ".ckpt-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	sum := sha256.Sum256(payload)
 	header := CheckpointVersion + "\nsha256 " + hex.EncodeToString(sum[:]) + "\n"
-	if _, err := tmp.WriteString(header); err != nil {
-		tmp.Close()
-		return err
-	}
-	if _, err := tmp.Write(payload); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), dst)
+	return WriteFileAtomic(f.FS, f.path(fingerprint, stepID), append([]byte(header), payload...))
 }
 
 // Load implements Checkpointer.
 func (f *FSCheckpointer) Load(fingerprint, stepID string) (*Snapshot, error) {
-	b, err := os.ReadFile(f.path(fingerprint, stepID))
+	b, err := fsOrOS(f.FS).ReadFile(f.path(fingerprint, stepID))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
@@ -235,12 +214,12 @@ func (f *FSCheckpointer) Clear(fingerprint string) error {
 	if fingerprint == "" {
 		return fmt.Errorf("etl: refusing to clear an empty fingerprint")
 	}
-	return os.RemoveAll(filepath.Join(f.Dir, fingerprint))
+	return fsOrOS(f.FS).RemoveAll(filepath.Join(f.Dir, fingerprint))
 }
 
 // Steps lists the step IDs checkpointed under the fingerprint, unsorted.
 func (f *FSCheckpointer) Steps(fingerprint string) ([]string, error) {
-	ents, err := os.ReadDir(filepath.Join(f.Dir, fingerprint))
+	ents, err := fsOrOS(f.FS).ReadDir(filepath.Join(f.Dir, fingerprint))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 
@@ -106,28 +105,28 @@ func (c *DeltaCursors) Snapshot() map[string]int64 {
 	return out
 }
 
-// Save writes the cursors as JSON via a temp-file rename, so a crash mid-save
-// never leaves a truncated cursor file behind.
-func (c *DeltaCursors) Save(path string) error {
+// Save writes the cursors as JSON with the temp+fsync+rename discipline, so
+// a crash mid-save never leaves a truncated cursor file behind.
+func (c *DeltaCursors) Save(path string) error { return c.SaveFS(nil, path) }
+
+// SaveFS is Save through an explicit FS — the seam fault-injection tests
+// use to tear the cursor write.
+func (c *DeltaCursors) SaveFS(fsys FS, path string) error {
 	data, err := json.MarshalIndent(c.Snapshot(), "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return WriteFileAtomic(fsys, path, append(data, '\n'))
 }
 
 // LoadDeltaCursors reads a cursor file written by Save. A missing file is not
 // an error: it yields empty cursors, which makes the next delta refresh
 // re-apply the whole journal — slower, never wrong (the patch is idempotent).
-func LoadDeltaCursors(path string) (*DeltaCursors, error) {
-	data, err := os.ReadFile(path)
+func LoadDeltaCursors(path string) (*DeltaCursors, error) { return LoadDeltaCursorsFS(nil, path) }
+
+// LoadDeltaCursorsFS is LoadDeltaCursors through an explicit FS.
+func LoadDeltaCursorsFS(fsys FS, path string) (*DeltaCursors, error) {
+	data, err := fsOrOS(fsys).ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return NewDeltaCursors(), nil
 	}

@@ -1,0 +1,328 @@
+package faulty
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"guava/internal/etl"
+	"guava/internal/obs"
+)
+
+// faulty.FS is the storage half of this package: a fault-injecting
+// etl.FS that models how disks actually fail under a crash — not by
+// returning tidy errors, but by silently losing data the writer thought
+// was durable. Each fault fires on a deterministic schedule (the Nth
+// operation matching a path substring), so a recovery test can tear
+// exactly the MANIFEST rename it means to and nothing else.
+//
+// The silent faults (short_write, torn_rename, drop_sync, bit_flip)
+// deliberately report success: the interesting failure mode is the one
+// the writer cannot observe, where only startup recovery's checksums
+// stand between a torn file and serving garbage. enospc is the loud
+// counterexample — real ENOSPC is observable, so it surfaces as an error.
+
+// FaultKind names one storage fault class. The names use underscores so
+// they can double as metric-name suffixes (fs.fault.<kind>).
+type FaultKind string
+
+const (
+	// FaultShortWrite silently persists only the first half of a Write,
+	// reporting full success — a torn page that recovery must catch.
+	FaultShortWrite FaultKind = "short_write"
+	// FaultTornRename truncates the source file to half before the rename
+	// — the rename was journaled before the data blocks were durable.
+	FaultTornRename FaultKind = "torn_rename"
+	// FaultDropSync makes Sync report success while truncating the file to
+	// half — the page cache "lost at crash" compressed into an
+	// immediately-observable state.
+	FaultDropSync FaultKind = "drop_sync"
+	// FaultENOSPC fails a Write with ErrNoSpace before writing anything.
+	FaultENOSPC FaultKind = "enospc"
+	// FaultBitFlip flips one bit in a ReadFile result — at-rest bit rot.
+	FaultBitFlip FaultKind = "bit_flip"
+	// FaultLatency delays a matching operation by the fault's Delay — a
+	// slow device, for tail-latency experiments.
+	FaultLatency FaultKind = "latency"
+)
+
+// ErrNoSpace is the injected "device full" error.
+var ErrNoSpace = errors.New("faulty: injected ENOSPC (no space left on device)")
+
+// FSFault is one scheduled fault: Kind fires on the After-th (0-based)
+// operation whose path contains Path ("" matches every path). Each fault
+// fires exactly once.
+type FSFault struct {
+	Kind  FaultKind
+	Path  string
+	After int
+	// Delay is the injected latency for FaultLatency (default 1ms).
+	Delay time.Duration
+
+	seen  int
+	fired bool
+}
+
+// FS wraps an inner etl.FS and injects the scheduled faults. The zero
+// Metrics routes fs.fault.* counters to obs.Default.
+type FS struct {
+	Inner   etl.FS
+	Metrics *obs.Registry
+
+	mu     sync.Mutex
+	faults []*FSFault
+	counts map[FaultKind]int
+}
+
+// NewFS wraps inner with a deterministic fault schedule.
+func NewFS(inner etl.FS, faults ...FSFault) *FS {
+	f := &FS{Inner: inner, counts: make(map[FaultKind]int)}
+	if f.Inner == nil {
+		f.Inner = etl.OSFS{}
+	}
+	for i := range faults {
+		fa := faults[i]
+		f.faults = append(f.faults, &fa)
+	}
+	return f
+}
+
+// Injected returns how many faults of each kind have fired.
+func (f *FS) Injected() map[FaultKind]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[FaultKind]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// InjectedCount returns how many faults of one kind have fired.
+func (f *FS) InjectedCount(kind FaultKind) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[kind]
+}
+
+// InjectedTotal returns how many faults have fired across all kinds.
+func (f *FS) InjectedTotal() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, v := range f.counts {
+		n += v
+	}
+	return n
+}
+
+// trip consumes the next scheduled fault of one of the kinds matching
+// path, if its turn has come. At most one fault fires per operation.
+func (f *FS) trip(path string, kinds ...FaultKind) *FSFault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, fa := range f.faults {
+		if fa.fired || !kindIn(fa.Kind, kinds) || !strings.Contains(path, fa.Path) {
+			continue
+		}
+		fa.seen++
+		if fa.seen-1 < fa.After {
+			continue
+		}
+		fa.fired = true
+		f.counts[fa.Kind]++
+		m := f.Metrics
+		if m == nil {
+			m = obs.Default
+		}
+		m.Counter("fs.fault." + string(fa.Kind)).Inc()
+		return fa
+	}
+	return nil
+}
+
+func kindIn(k FaultKind, kinds []FaultKind) bool {
+	for _, want := range kinds {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (fa *FSFault) sleep() {
+	d := fa.Delay
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// MkdirAll implements etl.FS.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if fa := f.trip(path, FaultLatency); fa != nil {
+		fa.sleep()
+	}
+	return f.Inner.MkdirAll(path, perm)
+}
+
+// CreateTemp implements etl.FS; the returned file carries the write-side
+// fault hooks (short_write, drop_sync, enospc, latency).
+func (f *FS) CreateTemp(dir, pattern string) (etl.FSFile, error) {
+	inner, err := f.Inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{inner: inner, fs: f}, nil
+}
+
+// Rename implements etl.FS. A torn_rename fault truncates the source to
+// half before renaming: the metadata operation was journaled before the
+// data blocks were durable, so the new name points at a torn file.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if fa := f.trip(newpath, FaultTornRename, FaultLatency); fa != nil {
+		switch fa.Kind {
+		case FaultTornRename:
+			if b, err := f.Inner.ReadFile(oldpath); err == nil {
+				_ = f.Inner.Truncate(oldpath, int64(len(b)/2))
+			}
+		case FaultLatency:
+			fa.sleep()
+		}
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+// ReadFile implements etl.FS. A bit_flip fault flips one bit near the
+// middle of the content — at-rest corruption a checksum must catch.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	b, err := f.Inner.ReadFile(path)
+	if fa := f.trip(path, FaultBitFlip, FaultLatency); fa != nil && err == nil {
+		switch fa.Kind {
+		case FaultBitFlip:
+			if len(b) > 0 {
+				b[len(b)/2] ^= 0x04
+			}
+		case FaultLatency:
+			fa.sleep()
+		}
+	}
+	return b, err
+}
+
+// ReadDir implements etl.FS.
+func (f *FS) ReadDir(path string) ([]os.DirEntry, error) {
+	if fa := f.trip(path, FaultLatency); fa != nil {
+		fa.sleep()
+	}
+	return f.Inner.ReadDir(path)
+}
+
+// Remove implements etl.FS.
+func (f *FS) Remove(path string) error { return f.Inner.Remove(path) }
+
+// RemoveAll implements etl.FS.
+func (f *FS) RemoveAll(path string) error { return f.Inner.RemoveAll(path) }
+
+// Truncate implements etl.FS.
+func (f *FS) Truncate(path string, size int64) error { return f.Inner.Truncate(path, size) }
+
+// ParseFaultSchedule parses the CLI form of a fault schedule: a
+// comma-separated list of entries, each
+//
+//	kind[:pathsub][@after][~delay]
+//
+// e.g. "torn_rename:MANIFEST@1,drop_sync:table.rel,latency:gen-~5ms".
+// kind is one of short_write, torn_rename, drop_sync, enospc, bit_flip,
+// latency; pathsub is a substring the operation's path must contain;
+// after is how many matching operations pass before the fault fires
+// (default 0, the first); delay applies to latency faults.
+func ParseFaultSchedule(s string) ([]FSFault, error) {
+	var out []FSFault
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var fa FSFault
+		if i := strings.IndexByte(entry, '~'); i >= 0 {
+			d, err := time.ParseDuration(entry[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("faulty: bad delay in fault %q: %v", entry, err)
+			}
+			fa.Delay = d
+			entry = entry[:i]
+		}
+		if i := strings.IndexByte(entry, '@'); i >= 0 {
+			n, err := strconv.Atoi(entry[i+1:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faulty: bad @after in fault %q", entry)
+			}
+			fa.After = n
+			entry = entry[:i]
+		}
+		kind, path, _ := strings.Cut(entry, ":")
+		switch FaultKind(kind) {
+		case FaultShortWrite, FaultTornRename, FaultDropSync, FaultENOSPC, FaultBitFlip, FaultLatency:
+			fa.Kind = FaultKind(kind)
+		default:
+			return nil, fmt.Errorf("faulty: unknown fault kind %q (want short_write, torn_rename, drop_sync, enospc, bit_flip, or latency)", kind)
+		}
+		fa.Path = path
+		out = append(out, fa)
+	}
+	return out, nil
+}
+
+// faultyFile intercepts Write and Sync on one temp file.
+type faultyFile struct {
+	inner   etl.FSFile
+	fs      *FS
+	written int64
+}
+
+func (w *faultyFile) Write(p []byte) (int, error) {
+	if fa := w.fs.trip(w.inner.Name(), FaultENOSPC, FaultShortWrite, FaultLatency); fa != nil {
+		switch fa.Kind {
+		case FaultENOSPC:
+			return 0, ErrNoSpace
+		case FaultShortWrite:
+			// Persist half, report success: the writer proceeds to rename a
+			// torn file into place, exactly what a lost page does.
+			n, err := w.inner.Write(p[:len(p)/2])
+			w.written += int64(n)
+			if err != nil {
+				return n, err
+			}
+			return len(p), nil
+		case FaultLatency:
+			fa.sleep()
+		}
+	}
+	n, err := w.inner.Write(p)
+	w.written += int64(n)
+	return n, err
+}
+
+func (w *faultyFile) Sync() error {
+	if fa := w.fs.trip(w.inner.Name(), FaultDropSync, FaultLatency); fa != nil {
+		switch fa.Kind {
+		case FaultDropSync:
+			// Report durable, keep only half: what the page cache held at
+			// the crash never reached the platter.
+			_ = w.inner.Truncate(w.written / 2)
+			return nil
+		case FaultLatency:
+			fa.sleep()
+		}
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultyFile) Truncate(size int64) error { return w.inner.Truncate(size) }
+func (w *faultyFile) Close() error              { return w.inner.Close() }
+func (w *faultyFile) Name() string              { return w.inner.Name() }

@@ -1,0 +1,135 @@
+package faulty
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"guava/internal/etl"
+)
+
+// TestSilentFaultsTearFiles proves the silent fault kinds leave a torn
+// file under the final name while the writer saw nothing but success —
+// the exact state startup recovery has to catch.
+func TestSilentFaultsTearFiles(t *testing.T) {
+	payload := []byte(strings.Repeat("all data must be durable\n", 40))
+	for _, kind := range []FaultKind{FaultShortWrite, FaultDropSync, FaultTornRename} {
+		t.Run(string(kind), func(t *testing.T) {
+			dir := t.TempDir()
+			dst := filepath.Join(dir, "MANIFEST")
+			fs := NewFS(etl.OSFS{}, FSFault{Kind: kind, Path: "MANIFEST"})
+			if err := etl.WriteFileAtomic(fs, dst, payload); err != nil {
+				t.Fatalf("WriteFileAtomic reported failure, want silent success: %v", err)
+			}
+			if fs.InjectedCount(kind) != 1 {
+				t.Fatalf("injected count = %d, want 1", fs.InjectedCount(kind))
+			}
+			got, err := os.ReadFile(dst)
+			if err != nil {
+				t.Fatalf("read back: %v", err)
+			}
+			if len(got) >= len(payload) {
+				t.Fatalf("%s: file has %d bytes, want torn (< %d)", kind, len(got), len(payload))
+			}
+		})
+	}
+}
+
+// TestENOSPCSurfacesAsError — real ENOSPC is observable, so the injector
+// must fail the write loudly instead of tearing silently.
+func TestENOSPCSurfacesAsError(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(etl.OSFS{}, FSFault{Kind: FaultENOSPC})
+	err := etl.WriteFileAtomic(fs, filepath.Join(dir, "out"), []byte("x"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("destination exists after failed write")
+	}
+}
+
+// TestBitFlipCorruptsReads proves read-side corruption is injected and
+// deterministic.
+func TestBitFlipCorruptsReads(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "data")
+	if err := os.WriteFile(p, []byte("checksummed payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFS(etl.OSFS{}, FSFault{Kind: FaultBitFlip, Path: "data"})
+	got, err := fs.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "checksummed payload" {
+		t.Fatal("bit_flip fault left the content intact")
+	}
+	// One-shot: the second read is clean.
+	got, err = fs.ReadFile(p)
+	if err != nil || string(got) != "checksummed payload" {
+		t.Fatalf("second read = %q, %v; want clean content", got, err)
+	}
+}
+
+// TestFaultScheduleOrdinal proves @after counts matching operations, so a
+// schedule can tear exactly the Nth save.
+func TestFaultScheduleOrdinal(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(etl.OSFS{}, FSFault{Kind: FaultTornRename, Path: "gen", After: 1})
+	for i, name := range []string{"gen-1", "gen-2", "gen-3"} {
+		dst := filepath.Join(dir, name)
+		if err := etl.WriteFileAtomic(fs, dst, []byte(strings.Repeat("row\n", 32))); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := os.ReadFile(dst)
+		torn := len(got) < 4*32
+		if want := i == 1; torn != want {
+			t.Fatalf("save %d torn=%v, want %v", i, torn, want)
+		}
+	}
+}
+
+// TestFSCheckpointerDetectsInjectedTear closes the loop: a checkpoint save
+// torn by the injector must read back as ErrCorruptCheckpoint, not data.
+func TestFSCheckpointerDetectsInjectedTear(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(etl.OSFS{}, FSFault{Kind: FaultDropSync, Path: ".ckpt"})
+	ck := &etl.FSCheckpointer{Dir: dir, FS: fs}
+	snap := &etl.Snapshot{Step: "extract:CORI"}
+	if err := ck.Save("fp", "extract:CORI", snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := ck.Load("fp", "extract:CORI"); !errors.Is(err, etl.ErrCorruptCheckpoint) {
+		t.Fatalf("Load = %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+func TestParseFaultSchedule(t *testing.T) {
+	faults, err := ParseFaultSchedule("torn_rename:MANIFEST@1, drop_sync:table.rel, latency:gen-@2~5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FSFault{
+		{Kind: FaultTornRename, Path: "MANIFEST", After: 1},
+		{Kind: FaultDropSync, Path: "table.rel"},
+		{Kind: FaultLatency, Path: "gen-", After: 2, Delay: 5 * time.Millisecond},
+	}
+	if len(faults) != len(want) {
+		t.Fatalf("got %d faults, want %d", len(faults), len(want))
+	}
+	for i := range want {
+		if faults[i].Kind != want[i].Kind || faults[i].Path != want[i].Path ||
+			faults[i].After != want[i].After || faults[i].Delay != want[i].Delay {
+			t.Fatalf("fault %d = %+v, want %+v", i, faults[i], want[i])
+		}
+	}
+	for _, bad := range []string{"melt_cpu", "latency~xs", "torn_rename@-1"} {
+		if _, err := ParseFaultSchedule(bad); err == nil {
+			t.Fatalf("ParseFaultSchedule(%q) accepted", bad)
+		}
+	}
+}

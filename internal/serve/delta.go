@@ -3,10 +3,10 @@ package serve
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"guava/internal/etl"
 	"guava/internal/obs"
+	"guava/internal/relstore"
 )
 
 // The serving daemon's background cadence is where incremental refresh pays
@@ -51,10 +51,11 @@ func studyDirty(spec *etl.StudySpec, cursors *etl.DeltaCursors) (bool, error) {
 }
 
 // refreshDelta refreshes one study from its contributors' change journals.
-// The recompute (journal scan, keyed re-extract, re-classification) runs
-// outside the data lock; only each contributor's warehouse patch holds
-// dataMu write-side, via the delta hooks — so concurrent extracts keep
-// reading between partition patches and each patch is atomic to them.
+// The whole delta — journal scan, keyed re-extract, warehouse patch — is
+// applied to a private copy of the current generation's table, then
+// published with one pointer swap. Concurrent extracts keep reading the
+// pinned previous generation throughout; no reader ever observes a
+// partially-patched partition.
 func (s *Server) refreshDelta(ctx context.Context, st *servedStudy, kind string) (etl.RefreshStats, error) {
 	st.refreshMu.Lock()
 	defer st.refreshMu.Unlock()
@@ -66,20 +67,11 @@ func (s *Server) refreshDelta(ctx context.Context, st *servedStudy, kind string)
 	var err error
 	defer func() {
 		span.EndErr(err)
-		st.statMu.Lock()
-		st.refreshes++
-		st.lastRefresh = time.Now()
-		if err != nil {
-			st.lastErr = err.Error()
-		} else {
-			st.lastStats = stats
-			st.lastErr = ""
-		}
-		st.statMu.Unlock()
+		st.noteRefresh(err)
 	}()
 
-	cursors := st.deltaCursors()
-	if cursors == nil {
+	cur := st.cur.Load()
+	if cur == nil || cur.cursors == nil {
 		err = fmt.Errorf("serve: study %q has no delta cursors (needs a full refresh first)", st.name)
 		return stats, err
 	}
@@ -89,43 +81,46 @@ func (s *Server) refreshDelta(ctx context.Context, st *servedStudy, kind string)
 		return stats, err
 	}
 
-	// RefreshDelta drives contributors sequentially, so a plain flag is
-	// enough to pair the lock hooks and to release on an error between them.
-	locked := false
-	unlock := func() {
-		if locked {
-			st.dataMu.Unlock()
-			locked = false
-		}
+	// Clone the cursors (the published generation's set stays frozen) and
+	// stage the patch in a private warehouse holding a copy of the table.
+	cursors := etl.NewDeltaCursors()
+	for name, seq := range cur.cursors.Snapshot() {
+		cursors.Set(name, seq)
 	}
-	defer unlock()
-	report, rerr := compiled.RefreshDelta(ctx, st.warehouse, etl.DeltaOptions{
-		Cursors: cursors,
-		Hooks: etl.DeltaHooks{
-			BeforeApply: func(string) error { st.dataMu.Lock(); locked = true; return nil },
-			AfterApply:  func(string) error { unlock(); return nil },
-		},
-	})
-	unlock()
+	staging := relstore.NewDB("warehouse_" + st.name)
+	next, cerr := staging.CreateTable(st.tableName, cur.table.Schema())
+	if cerr != nil {
+		err = cerr
+		return stats, err
+	}
+	_ = next.CreateIndex(etl.ContributorColumn)
+	if ierr := next.InsertAll(cur.table.Rows().Data); ierr != nil {
+		err = ierr
+		return stats, err
+	}
+
+	report, rerr := compiled.RefreshDelta(ctx, staging, etl.DeltaOptions{Cursors: cursors})
 	if rerr != nil {
 		err = rerr
 		return stats, err
 	}
 	stats = report.Stats
 
-	changed := false
+	var changedParts []string
 	for name, cs := range report.ByContributor {
 		if cs.Changed() {
-			st.partGen(name).Add(1)
-			changed = true
+			changedParts = append(changedParts, name)
 		}
 	}
-	if changed {
-		st.generation.Add(1)
-	}
+	g := nextGeneration(st, cur, next, false, changedParts)
+	g.cursors = cursors
+	g.stats = stats
+	s.persist(st, g, len(changedParts) > 0)
+	s.publish(st, g)
+
 	s.metrics().Counter("serve.refresh.delta").Inc()
 	span.SetAttr(obs.Int("keys", int64(report.Keys)), obs.Int("added", int64(stats.Added)),
-		obs.Int("updated", int64(stats.Updated)), obs.Int("generation", st.generation.Load()))
+		obs.Int("updated", int64(stats.Updated)), obs.Int("generation", g.num))
 	return stats, nil
 }
 
@@ -133,12 +128,12 @@ func (s *Server) refreshDelta(ctx context.Context, st *servedStudy, kind string)
 // without journals, nothing for clean studies, delta for dirty ones, full
 // as the fallback when the delta path fails.
 func (s *Server) refreshAuto(ctx context.Context, st *servedStudy, kind string) {
-	cursors := st.deltaCursors()
-	if cursors == nil || !deltaCapable(st.spec) {
+	cur := st.cur.Load()
+	if cur == nil || cur.cursors == nil || !deltaCapable(st.spec) {
 		_, _ = s.refresh(ctx, st, kind)
 		return
 	}
-	if dirty, err := studyDirty(st.spec, cursors); err == nil && !dirty {
+	if dirty, err := studyDirty(st.spec, cur.cursors); err == nil && !dirty {
 		s.metrics().Counter("serve.refresh.clean").Inc()
 		return
 	}

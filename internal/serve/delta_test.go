@@ -167,7 +167,7 @@ func TestRefreshAutoPolicy(t *testing.T) {
 	if got := o.Metrics.Counter("serve.refresh.clean").Value(); got != 1 {
 		t.Errorf("clean skips = %d, want 1", got)
 	}
-	if gen := st.generation.Load(); gen != 1 {
+	if gen := testGen(st); gen != 1 {
 		t.Errorf("generation after clean tick = %d, want 1", gen)
 	}
 
@@ -176,7 +176,7 @@ func TestRefreshAutoPolicy(t *testing.T) {
 	if got := o.Metrics.Counter("serve.refresh.delta").Value(); got != 1 {
 		t.Errorf("delta refreshes = %d, want 1", got)
 	}
-	if gen := st.generation.Load(); gen != 2 {
+	if gen := testGen(st); gen != 2 {
 		t.Errorf("generation after dirty tick = %d, want 2", gen)
 	}
 
@@ -185,7 +185,7 @@ func TestRefreshAutoPolicy(t *testing.T) {
 	spec.Contributors[1].Stack.Journal = nil
 	submitSurgical(t, spec.Contributors[0], 102)
 	srv.refreshAuto(ctx, st, "background")
-	if gen := st.generation.Load(); gen != 3 {
+	if gen := testGen(st); gen != 3 {
 		t.Errorf("generation after full fallback tick = %d, want 3", gen)
 	}
 }
@@ -278,10 +278,10 @@ func TestDeltaExtractRaceUntouchedPartition(t *testing.T) {
 	}
 	wg.Wait()
 
-	if got := st.partGen("clinicB").Load(); got != 1 {
+	if got := testPartGen(st, "clinicB"); got != 1 {
 		t.Errorf("clinicB partition generation = %d, want 1 (never touched)", got)
 	}
-	if got := st.partGen("clinicA").Load(); got != int64(1+writes) {
+	if got := testPartGen(st, "clinicA"); got != int64(1+writes) {
 		t.Errorf("clinicA partition generation = %d, want %d", got, 1+writes)
 	}
 	if _, hdr, _ := get(t, pinned); hdr.Get("X-Guava-Cache") != "hit" {

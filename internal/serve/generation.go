@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"guava/internal/etl"
+	"guava/internal/relstore"
+)
+
+// A generation is one immutable snapshot of a study's serving state: the
+// warehouse table, the delta cursors it was built from, the per-partition
+// generation counters, and the merge stats that produced it. Extracts pin
+// the current generation, read from it without any lock, and unpin; a
+// refresh builds the *next* generation side-by-side and publishes it with
+// one atomic pointer swap — so readers never block on a merge and never
+// observe a half-applied one.
+//
+// Pinning is a refcount, but not the kind that protects memory — Go's GC
+// does that for free. Pins protect the generation's on-disk directory:
+// GC of retired generations only deletes a gen-<N> dir once no request is
+// pinned to it and a newer persisted generation exists, so the last
+// complete generation on disk is always one a crashed process can recover.
+type generation struct {
+	// num counts data-changing refreshes; extract results are stamped with
+	// it, so a no-op refresh (which republishes under the same num)
+	// preserves cache hits.
+	num int64
+	// table is the study's warehouse table at this generation. It is
+	// never mutated after publish: the next refresh merges into a copy.
+	table *relstore.Table
+	// partGens is the per-contributor analogue of num: a delta refresh
+	// bumps only the partitions it touched, so extracts pinned to one
+	// contributor keep their cache entries when only others changed.
+	partGens map[string]int64
+	// cursors are the applied journal cursors this generation reflects
+	// (nil until a full refresh seeds them). Treated as immutable: the
+	// next builder clones before advancing.
+	cursors *etl.DeltaCursors
+	// stats is the merge report of the refresh that built this generation.
+	stats etl.RefreshStats
+	// dir is the on-disk generation directory ("" when not persisted). A
+	// no-op republish inherits the previous generation's dir — same data,
+	// same num, still recoverable.
+	dir string
+
+	owner   *servedStudy
+	pins    atomic.Int64
+	retired atomic.Bool
+	cleanup sync.Once
+}
+
+// genFor picks the cache stamp for an extract: the partition generation
+// when the query is pinned to a single contributor, the study generation
+// otherwise.
+func (g *generation) genFor(contributor string) int64 {
+	if contributor == "" {
+		return g.num
+	}
+	return g.partGens[contributor]
+}
+
+// pin returns the current generation with a pin held, or nil before the
+// first successful refresh. The load/incref/re-check loop closes the race
+// with a concurrent publish: if the pointer moved while we were pinning,
+// we unpin the loser and retry against the new current.
+func (st *servedStudy) pin() *generation {
+	for {
+		g := st.cur.Load()
+		if g == nil {
+			return nil
+		}
+		g.pins.Add(1)
+		if st.cur.Load() == g {
+			if st.pinGauge != nil {
+				st.pinGauge.Add(1)
+			}
+			return g
+		}
+		g.unpinQuiet()
+	}
+}
+
+// unpin releases a pin taken by pin(); the last unpin of a retired
+// generation triggers its on-disk GC.
+func (g *generation) unpin() {
+	if g.owner != nil && g.owner.pinGauge != nil {
+		g.owner.pinGauge.Add(-1)
+	}
+	g.unpinQuiet()
+}
+
+func (g *generation) unpinQuiet() {
+	if g.pins.Add(-1) == 0 && g.retired.Load() {
+		g.collect()
+	}
+}
+
+// publish makes g the study's current generation and retires the old one.
+// This is the only write to st.cur after registration, and it happens
+// under refreshMu — readers are lock-free, builders are serialized.
+func (s *Server) publish(st *servedStudy, g *generation) {
+	old := st.cur.Swap(g)
+	st.ready.Store(true)
+	s.metrics().Counter("serve.snapshot.swaps").Inc()
+	if old != nil && old != g {
+		old.retired.Store(true)
+		if old.pins.Load() == 0 {
+			old.collect()
+		}
+	}
+}
+
+// collect deletes a retired generation's on-disk directory, once, and only
+// when recovery no longer needs it: the current generation must be a
+// *different*, *persisted* snapshot. If the latest refresh failed to
+// persist, the previous dir stays — it is still the last complete
+// generation a restart can serve.
+func (g *generation) collect() {
+	g.cleanup.Do(func() {
+		if g.dir == "" || g.owner == nil || g.owner.store == nil {
+			return
+		}
+		cur := g.owner.cur.Load()
+		if cur == nil || cur.num == g.num || cur.dir == "" || cur.dir == g.dir {
+			return
+		}
+		g.owner.store.removeGen(g.dir)
+	})
+}

@@ -2,18 +2,22 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"guava/internal/etl"
 	"guava/internal/obs"
+	"guava/internal/relstore"
 )
 
-// refresh re-runs st's plan and merges the output into its warehouse
-// table. Refreshes of one study are serialized (refreshMu); the expensive
-// part — executing the plan — runs outside the data lock, so concurrent
-// extracts keep reading the previous snapshot and only block for the merge
-// itself. The study generation advances only when the merge changed data,
-// which is what keeps cached extracts valid across no-op refreshes.
+// refresh re-runs st's plan and builds the study's next generation
+// side-by-side: a copy of the current table absorbs the merge, and only
+// then does one atomic pointer swap publish it. Extract readers keep
+// serving the pinned previous generation for the whole build — they never
+// block on the plan, the merge, or the persist. The study generation
+// advances only when the merge changed data, which is what keeps cached
+// extracts valid across no-op refreshes (a no-op republishes under the
+// same number, inheriting the on-disk directory).
 func (s *Server) refresh(ctx context.Context, st *servedStudy, kind string) (etl.RefreshStats, error) {
 	st.refreshMu.Lock()
 	defer st.refreshMu.Unlock()
@@ -25,16 +29,7 @@ func (s *Server) refresh(ctx context.Context, st *servedStudy, kind string) (etl
 	var err error
 	defer func() {
 		span.EndErr(err)
-		st.statMu.Lock()
-		st.refreshes++
-		st.lastRefresh = time.Now()
-		if err != nil {
-			st.lastErr = err.Error()
-		} else {
-			st.lastStats = stats
-			st.lastErr = ""
-		}
-		st.statMu.Unlock()
+		st.noteRefresh(err)
 	}()
 
 	compiled, err := s.plans.get(st.spec)
@@ -52,40 +47,111 @@ func (s *Server) refresh(ctx context.Context, st *servedStudy, kind string) (etl
 			cursors = nil
 		}
 	}
-	fresh, runReport, err := compiled.RunResilient(ctx, s.cfg.Policy, 0)
+	fresh, runReport, rerr := compiled.RunResilient(ctx, s.cfg.Policy, 0)
+	if rerr != nil {
+		err = rerr
+		return stats, err
+	}
+
+	cur := st.cur.Load()
+	next, berr := cloneForMerge(st, cur, fresh.Schema)
+	if berr != nil {
+		err = berr
+		return stats, err
+	}
+	stats, err = etl.Merge(next, fresh, runReport.DegradedContributors...)
 	if err != nil {
 		return stats, err
 	}
 
-	st.dataMu.Lock()
-	table, merr := st.warehouse.EnsureTable(st.tableName, fresh.Schema)
-	if merr == nil {
-		if !table.HasIndex(etl.ContributorColumn) {
-			_ = table.CreateIndex(etl.ContributorColumn)
-		}
-		stats, merr = etl.Merge(table, fresh, runReport.DegradedContributors...)
-	}
-	st.dataMu.Unlock()
-	if err = merr; err != nil {
-		return stats, err
-	}
-
-	if stats.Changed() {
-		st.generation.Add(1)
-		st.bumpAllPartitions()
-	}
+	g := nextGeneration(st, cur, next, stats.Changed(), nil)
 	if cursors != nil {
-		st.setCursors(cursors)
+		g.cursors = cursors
 	}
-	st.ready.Store(true)
+	g.stats = stats
+	s.persist(st, g, stats.Changed())
+	s.publish(st, g)
+
 	m := s.metrics()
 	m.Counter("refresh.runs").Inc()
 	m.Counter("refresh.added").Add(int64(stats.Added))
 	m.Counter("refresh.updated").Add(int64(stats.Updated))
 	m.Counter("refresh.unchanged").Add(int64(stats.Unchanged))
 	span.SetAttr(obs.Int("added", int64(stats.Added)), obs.Int("updated", int64(stats.Updated)),
-		obs.Int("unchanged", int64(stats.Unchanged)), obs.Int("generation", st.generation.Load()))
+		obs.Int("unchanged", int64(stats.Unchanged)), obs.Int("generation", g.num))
 	return stats, nil
+}
+
+// cloneForMerge builds the next generation's table: an indexed copy of the
+// current one (empty for the first refresh). The copy is what makes the
+// swap safe — the published table is never mutated.
+func cloneForMerge(st *servedStudy, cur *generation, schema *relstore.Schema) (*relstore.Table, error) {
+	if cur != nil {
+		if !cur.table.Schema().Equal(schema) {
+			return nil, fmt.Errorf("serve: study %q refresh produced a different schema", st.name)
+		}
+		schema = cur.table.Schema()
+	}
+	next := relstore.NewTable(st.tableName, schema)
+	_ = next.CreateIndex(etl.ContributorColumn)
+	if cur != nil {
+		if err := next.InsertAll(cur.table.Rows().Data); err != nil {
+			return nil, err
+		}
+	}
+	return next, nil
+}
+
+// nextGeneration assembles the successor generation object. A full refresh
+// that changed data advances the study number and every partition; a delta
+// advances only changedParts. An unchanged build keeps the number and
+// inherits the previous on-disk directory — same data, still recoverable.
+func nextGeneration(st *servedStudy, cur *generation, table *relstore.Table, changedAll bool, changedParts []string) *generation {
+	g := &generation{table: table, partGens: map[string]int64{}, owner: st}
+	if cur != nil {
+		g.num = cur.num
+		g.cursors = cur.cursors
+		for k, v := range cur.partGens {
+			g.partGens[k] = v
+		}
+	}
+	switch {
+	case changedAll:
+		g.num++
+		for _, c := range st.spec.Contributors {
+			g.partGens[c.Name]++
+		}
+	case len(changedParts) > 0:
+		g.num++
+		for _, name := range changedParts {
+			g.partGens[name]++
+		}
+	default:
+		if cur != nil {
+			g.dir = cur.dir
+		}
+	}
+	return g
+}
+
+// persist durably saves a data-changing generation. A failed save is
+// logged and counted but does not fail the refresh: the in-memory swap
+// still happens, and the previous on-disk generation survives as the last
+// complete one (collect() keeps it while the current generation has no
+// directory of its own).
+func (s *Server) persist(st *servedStudy, g *generation, changed bool) {
+	if st.store == nil || (!changed && g.dir != "") {
+		return
+	}
+	if !changed && g.num == 0 {
+		return // nothing ever changed and nothing is on disk: no state worth saving
+	}
+	if err := st.store.save(g, st.refreshes.Load()+1); err != nil {
+		s.metrics().Counter("serve.snapshot.persist.errors").Inc()
+		s.logf("serve: study %q failed to persist generation %d: %v", st.name, g.num, err)
+		return
+	}
+	s.metrics().Counter("serve.snapshot.persist").Inc()
 }
 
 // refreshLoop periodically refreshes one study until stop closes. Errors

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,27 @@ type Config struct {
 	// Observer receives spans and metrics. nil routes metrics to
 	// obs.Default and records no spans.
 	Observer *obs.Observer
+	// WarehouseDir enables the crash-consistent generation store: each
+	// study persists its latest complete generation under
+	// <dir>/<study>/gen-<N> and recovers it at registration after a
+	// restart. "" keeps everything in memory.
+	WarehouseDir string
+	// FS is the filesystem the generation store writes through; nil uses
+	// the real one. Tests and the R9 harness thread a faulty.FS here.
+	FS etl.FS
+	// SegmentRows is rows-per-segment for persisted generation tables
+	// (<= 0 uses relstore.DefaultSegmentRows).
+	SegmentRows int
+	// MaxPerStudy bounds concurrently admitted cache-miss extracts per
+	// study (0 disables the per-study admission tier).
+	MaxPerStudy int
+	// BrownoutAfter sheds cache-miss extracts for a study once this many
+	// consecutive refreshes of it have failed, keeping cached reads alive
+	// while the backend recovers (0 uses 3; < 0 disables brownout).
+	BrownoutAfter int
+	// Logf receives operational log lines (recovery, torn-generation
+	// discards). nil is silent.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -75,91 +97,75 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheSize <= 0 {
 		c.ResultCacheSize = 128
 	}
+	if c.BrownoutAfter == 0 {
+		c.BrownoutAfter = 3
+	}
 	return c
 }
 
-// servedStudy is one study's serving state. Extract readers take dataMu
-// read-side; a refresh runs the study plan outside any lock, then takes
-// dataMu write-side only for the warehouse merge — so reads stay
-// snapshot-consistent without stalling behind plan execution.
+// logf routes operational log lines to the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// servedStudy is one study's serving state. All data an extract touches —
+// table, cursors, partition generations, merge stats — lives in one
+// immutable generation object behind an atomic pointer (see generation.go):
+// readers pin it lock-free, refreshes build the next generation
+// side-by-side and swap. What remains on the study itself is either fixed
+// at registration or a single atomic.
 type servedStudy struct {
 	name      string
 	spec      *etl.StudySpec
 	schema    *relstore.Schema
 	tableName string
-	warehouse *relstore.DB
+	store     *genStore  // on-disk generation store; nil when disabled
+	pinGauge  *obs.Gauge // serve.snapshot.pins
 
-	// generation counts data-changing refreshes; extract results are
-	// stamped with it, so a no-op refresh preserves cache hits.
-	generation atomic.Int64
+	// cur is the current generation; nil until the first successful
+	// refresh (or recovery) publishes one.
+	cur atomic.Pointer[generation]
 
-	// ready flips once an initial refresh has populated the warehouse.
-	// Studies registered through AddStudyLazy start unready: their first
-	// extract or refresh triggers compilation (and the plan-admission gate)
-	// on demand.
+	// ready flips once a generation is published. Studies registered
+	// through AddStudyLazy start unready: their first extract or refresh
+	// triggers compilation (and the plan-admission gate) on demand.
 	ready atomic.Bool
 
-	// partGens is the per-contributor analogue: a delta refresh bumps only
-	// the partitions it touched, so extracts pinned to one contributor are
-	// stamped with that partition's generation and keep their cache entries
-	// when only other contributors changed.
-	partMu   sync.Mutex
-	partGens map[string]*atomic.Int64
+	// slots bounds concurrently admitted cache-miss extracts of this study
+	// (nil disables the tier): one slow study saturating the global
+	// semaphore must not starve the others.
+	slots chan struct{}
 
-	refreshMu sync.Mutex   // serializes refreshes of this study
-	dataMu    sync.RWMutex // extract readers vs merge writer
+	refreshMu sync.Mutex // serializes builders of the next generation
 
-	statMu      sync.Mutex
-	cursors     *etl.DeltaCursors // applied journal cursors; nil until a full refresh seeds them
-	refreshes   int64
-	lastStats   etl.RefreshStats
-	lastRefresh time.Time
-	lastErr     string
+	refreshes   atomic.Int64 // refresh attempts, success or failure
+	consecFails atomic.Int64 // consecutive failed refreshes (brownout input)
+	lastErr     atomic.Value // string: last refresh error, "" after a success
+	lastRefresh atomic.Value // time.Time of the last refresh attempt
 }
 
-// partGen returns the generation counter for one contributor partition,
-// creating it on first use.
-func (st *servedStudy) partGen(name string) *atomic.Int64 {
-	st.partMu.Lock()
-	defer st.partMu.Unlock()
-	g, ok := st.partGens[name]
-	if !ok {
-		g = new(atomic.Int64)
-		st.partGens[name] = g
+// lastErrString returns the last refresh error ("" when the latest
+// refresh succeeded or none ran yet).
+func (st *servedStudy) lastErrString() string {
+	if e, ok := st.lastErr.Load().(string); ok {
+		return e
 	}
-	return g
+	return ""
 }
 
-// bumpAllPartitions advances every contributor partition — what a full
-// refresh does, since it may have rewritten any of them.
-func (st *servedStudy) bumpAllPartitions() {
-	for _, c := range st.spec.Contributors {
-		st.partGen(c.Name).Add(1)
+// noteRefresh records the outcome of one refresh attempt.
+func (st *servedStudy) noteRefresh(err error) {
+	st.refreshes.Add(1)
+	st.lastRefresh.Store(time.Now())
+	if err != nil {
+		st.lastErr.Store(err.Error())
+		st.consecFails.Add(1)
+	} else {
+		st.lastErr.Store("")
+		st.consecFails.Store(0)
 	}
-}
-
-// extractGeneration picks the cache stamp for an extract: the partition
-// generation when the query is pinned to a single contributor, the study
-// generation otherwise. A partition-pinned extract depends only on that
-// contributor's rows, so its cached body stays valid across deltas that
-// changed other partitions.
-func (st *servedStudy) extractGeneration(contributor string) int64 {
-	if contributor == "" {
-		return st.generation.Load()
-	}
-	return st.partGen(contributor).Load()
-}
-
-func (st *servedStudy) deltaCursors() *etl.DeltaCursors {
-	st.statMu.Lock()
-	defer st.statMu.Unlock()
-	return st.cursors
-}
-
-func (st *servedStudy) setCursors(c *etl.DeltaCursors) {
-	st.statMu.Lock()
-	st.cursors = c
-	st.statMu.Unlock()
 }
 
 // Server hosts a set of vetted studies behind the extract API.
@@ -218,11 +224,18 @@ func (s *Server) observe(ctx context.Context) context.Context {
 // plan-level analyzer gates admission), and runs the initial warehouse
 // refresh so the study is queryable the moment it is listed. A spec with vet
 // errors or a GV21x-rejected plan is refused — the daemon serves only
-// studies that pass the same static gates as the batch path.
+// studies that pass the same static gates as the batch path. When the
+// generation store holds a recovered generation for the study, it is served
+// immediately and the initial refresh is skipped — a restarted daemon
+// answers from the last complete pre-crash snapshot before any contributor
+// is re-contacted.
 func (s *Server) AddStudy(ctx context.Context, spec *etl.StudySpec) error {
 	st, err := s.register(spec)
 	if err != nil {
 		return err
+	}
+	if st.cur.Load() != nil {
+		return nil // recovered from disk; already serving
 	}
 	if _, err := s.refresh(ctx, st, "initial"); err != nil {
 		s.mu.Lock()
@@ -261,8 +274,15 @@ func (s *Server) register(spec *etl.StudySpec) (*servedStudy, error) {
 		// The compiler's output name is deterministic, so lazy registration
 		// can derive it without compiling.
 		tableName: "Study_" + spec.Name,
-		warehouse: relstore.NewDB("warehouse_" + spec.Name),
-		partGens:  make(map[string]*atomic.Int64),
+		pinGauge:  s.metrics().Gauge("serve.snapshot.pins"),
+	}
+	if s.cfg.MaxPerStudy > 0 {
+		st.slots = make(chan struct{}, s.cfg.MaxPerStudy)
+	}
+	if s.cfg.WarehouseDir != "" {
+		st.store = newGenStore(s.cfg.FS, filepath.Join(s.cfg.WarehouseDir, spec.Name),
+			s.cfg.SegmentRows, s.metrics, s.cfg.Logf)
+		s.recoverStudy(st)
 	}
 
 	s.mu.Lock()
@@ -280,6 +300,51 @@ func (s *Server) register(spec *etl.StudySpec) (*servedStudy, error) {
 		go s.refreshLoop(st, stop)
 	}
 	return st, nil
+}
+
+// recoverStudy loads the newest complete generation from the study's store
+// and publishes it. A store whose recovered schema no longer matches the
+// spec is wiped — stale shapes are never served.
+func (s *Server) recoverStudy(st *servedStudy) {
+	rec, err := st.store.recover()
+	if err != nil || rec == nil {
+		return
+	}
+	if !rec.rows.Schema.Equal(st.schema) {
+		s.logf("serve: study %q recovered generation %d has a stale schema; discarding store", st.name, rec.man.Gen)
+		st.store.discardAll()
+		return
+	}
+	table := relstore.NewTable(st.tableName, st.schema)
+	if err := table.InsertAll(rec.rows.Data); err != nil {
+		s.logf("serve: study %q recovered generation %d failed to load: %v", st.name, rec.man.Gen, err)
+		st.store.discardAll()
+		return
+	}
+	_ = table.CreateIndex(etl.ContributorColumn)
+	var cursors *etl.DeltaCursors
+	if rec.man.Cursors != nil {
+		cursors = etl.NewDeltaCursors()
+		for k, v := range rec.man.Cursors {
+			cursors.Set(k, v)
+		}
+	}
+	partGens := rec.man.PartGens
+	if partGens == nil {
+		partGens = map[string]int64{}
+	}
+	g := &generation{
+		num:      rec.man.Gen,
+		table:    table,
+		partGens: partGens,
+		cursors:  cursors,
+		stats:    rec.man.Stats,
+		dir:      rec.dir,
+		owner:    st,
+	}
+	st.refreshes.Store(rec.man.Refreshes)
+	s.publish(st, g)
+	s.logf("serve: study %q recovered generation %d (%d rows)", st.name, g.num, table.Len())
 }
 
 // ensureReady lazily brings an AddStudyLazy study online: the first request
@@ -317,6 +382,8 @@ func (s *Server) StudyNames() []string {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("GET /healthz", s.handleHealthz))
+	mux.Handle("GET /healthz/live", s.instrument("GET /healthz/live", s.handleHealthzLive))
+	mux.Handle("GET /healthz/ready", s.instrument("GET /healthz/ready", s.handleHealthzReady))
 	mux.Handle("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
 	mux.Handle("GET /studies", s.instrument("GET /studies", s.handleStudies))
 	mux.Handle("GET /studies/{name}/extract", s.instrument("GET /studies/{name}/extract", s.handleExtract))
@@ -462,8 +529,9 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// handleHealthz answers liveness probes; 503 once draining so routing
-// stops while in-flight work completes.
+// handleHealthz is the legacy combined probe: 503 once draining so load
+// balancers that only know one endpoint stop routing. New deployments
+// should probe /healthz/live and /healthz/ready separately.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
@@ -477,6 +545,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"studies":  n,
 		"inflight": len(s.slots),
 		"uptimeMs": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleHealthzLive answers pure liveness: the process is up and able to
+// serve HTTP. It stays 200 while draining or recovering — a daemon
+// finishing in-flight work is not dead, and reporting it dead gets it
+// killed mid-drain.
+func (s *Server) handleHealthzLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "alive",
+		"uptimeMs": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleHealthzReady answers routability: 503 while draining or while any
+// registered study has no published generation yet (initial refresh or
+// recovery in progress), 200 once every study can serve an extract.
+func (s *Server) handleHealthzReady(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	unready := 0
+	s.mu.RLock()
+	n := len(s.studies)
+	for _, st := range s.studies {
+		if !st.ready.Load() {
+			unready++
+		}
+	}
+	s.mu.RUnlock()
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case unready > 0:
+		status, code = "not-ready", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"studies": n,
+		"unready": unready,
 	})
 }
 
@@ -519,7 +625,10 @@ func columnInfos(schema *relstore.Schema) []columnInfo {
 	return cols
 }
 
-// handleStudies lists every served study with its serving state.
+// handleStudies lists every served study with its serving state. Rows,
+// generation, and merge stats are read from the same pinned generation an
+// extract would use, so the listing can never show a half-updated view of
+// a refresh in flight.
 func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 	var infos []studyInfo
 	for _, name := range s.StudyNames() {
@@ -528,46 +637,39 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		info := studyInfo{
-			Name:       st.name,
-			Generation: st.generation.Load(),
-			Columns:    columnInfos(st.schema),
+			Name:    st.name,
+			Columns: columnInfos(st.schema),
 		}
-		st.dataMu.RLock()
-		if table, err := st.warehouse.Table(st.tableName); err == nil {
-			info.Rows = table.Len()
+		if g := st.pin(); g != nil {
+			info.Generation = g.num
+			info.Rows = g.table.Len()
+			info.LastStats = &statsJSON{Total: g.stats.Total, Added: g.stats.Added, Updated: g.stats.Updated, Unchanged: g.stats.Unchanged}
+			g.unpin()
 		}
-		st.dataMu.RUnlock()
-		st.statMu.Lock()
-		info.Refreshes = st.refreshes
-		if !st.lastRefresh.IsZero() {
-			info.LastRefresh = st.lastRefresh.UTC().Format(time.RFC3339)
-			stats := st.lastStats
-			info.LastStats = &statsJSON{Total: stats.Total, Added: stats.Added, Updated: stats.Updated, Unchanged: stats.Unchanged}
+		info.Refreshes = st.refreshes.Load()
+		if t, ok := st.lastRefresh.Load().(time.Time); ok && !t.IsZero() {
+			info.LastRefresh = t.UTC().Format(time.RFC3339)
 		}
-		info.LastError = st.lastErr
-		st.statMu.Unlock()
+		info.LastError = st.lastErrString()
 		infos = append(infos, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"studies": infos})
 }
 
-// handleExtract serves filtered, paginated study rows. Admission is a
-// non-blocking semaphore acquire: a saturated server answers 429
-// immediately instead of queueing unbounded work.
+// handleExtract serves filtered, paginated study rows from a pinned
+// generation — never blocking on a refresh, never observing a
+// half-applied merge. Admission is tiered:
+//
+//  1. cached extracts are a priority lane: a hit is served without
+//     consuming an admission slot, so cheap reads survive saturation;
+//  2. cache misses take the global semaphore (429 when full), then the
+//     per-study semaphore (429 — one slow study must not starve the rest);
+//  3. a request that already blew its deadline is shed (503 + Retry-After)
+//     before any table work;
+//  4. brownout: when the study's refreshes keep failing, misses are shed
+//     (503) while cached reads stay alive — stale-but-bounded beats down.
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics()
-	select {
-	case s.slots <- struct{}{}:
-		defer func() { <-s.slots }()
-	default:
-		m.Counter("serve.rejected").Inc()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "server saturated: %d extracts in flight", cap(s.slots))
-		return
-	}
-	g := m.Gauge("serve.inflight")
-	g.Add(1)
-	defer g.Add(-1)
 	began := time.Now()
 	defer func() {
 		m.Histogram("serve.extract.latency_ms").Observe(float64(time.Since(began).Microseconds()) / 1000)
@@ -595,12 +697,17 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Read the generation before touching data: if a refresh lands
-	// between here and the read below, the body is cached under the old
-	// stamp and simply re-renders next time — stale data is never served
-	// as current. Contributor-pinned queries stamp with the partition
-	// generation so unrelated deltas don't evict them.
-	gen := st.extractGeneration(query.contributor)
+	// Pin the current generation: stamp, table, and partition counters all
+	// come from this one immutable snapshot, so a refresh landing mid-read
+	// is invisible — we keep serving the generation we pinned.
+	snap := st.pin()
+	if snap == nil {
+		httpError(w, http.StatusInternalServerError, "study %q not ready: no generation published", st.name)
+		return
+	}
+	defer snap.unpin()
+
+	gen := snap.genFor(query.contributor)
 	cacheKey := st.name + "?" + query.key
 	if body, ok := s.results.get(cacheKey, gen); ok {
 		m.Counter("serve.extract.cache.hit").Inc()
@@ -611,18 +718,54 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	m.Counter("serve.extract.cache.miss").Inc()
 
+	// Tier: global admission.
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	default:
+		m.Counter("serve.rejected").Inc()
+		m.Counter("serve.shed.saturated").Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "server saturated: %d extracts in flight", cap(s.slots))
+		return
+	}
+	ifl := m.Gauge("serve.inflight")
+	ifl.Add(1)
+	defer ifl.Add(-1)
+
+	// Tier: per-study admission.
+	if st.slots != nil {
+		select {
+		case st.slots <- struct{}{}:
+			defer func() { <-st.slots }()
+		default:
+			m.Counter("serve.shed.study").Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "study %q saturated: %d extracts in flight", st.name, cap(st.slots))
+			return
+		}
+	}
+
+	// Tier: deadline-aware shed — don't start table work the client has
+	// already given up on.
 	if err := r.Context().Err(); err != nil {
+		m.Counter("serve.shed.deadline").Inc()
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "request deadline exceeded")
 		return
 	}
 
-	st.dataMu.RLock()
-	table, err := st.warehouse.Table(st.tableName)
-	var rows *relstore.Rows
-	if err == nil {
-		rows, err = table.Select(query.pred)
+	// Tier: brownout — refresh is persistently failing, so shed the miss
+	// path and let cached extracts carry the load while it recovers.
+	if ba := s.cfg.BrownoutAfter; ba > 0 && st.consecFails.Load() >= int64(ba) {
+		m.Counter("serve.shed.brownout").Inc()
+		w.Header().Set("Retry-After", "2")
+		httpError(w, http.StatusServiceUnavailable,
+			"study %q is browned out after %d consecutive refresh failures", st.name, st.consecFails.Load())
+		return
 	}
-	st.dataMu.RUnlock()
+
+	rows, err := snap.table.Select(query.pred)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "extract failed: %v", err)
 		return
@@ -708,10 +851,14 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "refresh failed: %v", err)
 		return
 	}
+	var gen int64
+	if g := st.cur.Load(); g != nil {
+		gen = g.num
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"study":      st.name,
 		"mode":       mode,
-		"generation": st.generation.Load(),
+		"generation": gen,
 		"changed":    stats.Changed(),
 		"stats":      statsJSON{Total: stats.Total, Added: stats.Added, Updated: stats.Updated, Unchanged: stats.Unchanged},
 	})

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthzLiveVsReady: the split probes diverge under drain — liveness
+// stays 200 (the process is up) while readiness flips to 503 so load
+// balancers stop routing. The legacy combined /healthz keeps its old 503
+// drain behavior for existing probes.
+func TestHealthzLiveVsReady(t *testing.T) {
+	srv, _, ts := newTestServer(t, Config{})
+	if code, _, body := get(t, ts.URL+"/healthz/live"); code != http.StatusOK || body["status"] != "alive" {
+		t.Fatalf("live = %d %v", code, body)
+	}
+	if code, _, body := get(t, ts.URL+"/healthz/ready"); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("ready = %d %v", code, body)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, body := get(t, ts.URL+"/healthz/live"); code != http.StatusOK {
+		t.Errorf("live while draining = %d %v, want 200", code, body)
+	}
+	if code, _, body := get(t, ts.URL+"/healthz/ready"); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Errorf("ready while draining = %d %v, want 503 draining", code, body)
+	}
+	if code, _, _ := get(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("legacy healthz while draining = %d, want 503", code)
+	}
+}
+
+// TestHealthzReadyLazyStudy: a lazily registered study starts unready, so
+// the readiness probe refuses traffic until its first request compiles it.
+func TestHealthzReadyLazyStudy(t *testing.T) {
+	spec := fixtureSpec(t, goodHabits)
+	srv := NewServer(Config{})
+	if err := srv.AddStudyLazy(spec); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	code, _, body := get(t, ts.URL+"/healthz/ready")
+	if code != http.StatusServiceUnavailable || body["status"] != "not-ready" || body["unready"].(float64) != 1 {
+		t.Fatalf("ready with lazy study = %d %v, want 503 not-ready unready=1", code, body)
+	}
+	if code, _, _ := get(t, ts.URL+"/studies/exsmoker/extract"); code != http.StatusOK {
+		t.Fatalf("first extract = %d", code)
+	}
+	if code, _, body := get(t, ts.URL+"/healthz/ready"); code != http.StatusOK || body["status"] != "ready" {
+		t.Errorf("ready after first extract = %d %v, want 200", code, body)
+	}
+}
+
+// TestPerStudyAdmissionShed: a saturated study sheds its cache misses with
+// 429 + Retry-After while cached extracts keep flowing through the
+// priority lane — they never touch an admission slot.
+func TestPerStudyAdmissionShed(t *testing.T) {
+	srv, _, ts := newTestServer(t, Config{MaxInFlight: 64, MaxPerStudy: 1})
+	get(t, ts.URL+"/studies/exsmoker/extract") // prime one cached body
+
+	st, _ := srv.study("exsmoker")
+	st.slots <- struct{}{} // saturate the study
+
+	code, hdr, body := get(t, ts.URL+"/studies/exsmoker/extract?limit=7")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("miss on saturated study = %d %v, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q, want 1", hdr.Get("Retry-After"))
+	}
+	if got := srv.metrics().Counter("serve.shed.study").Value(); got != 1 {
+		t.Errorf("serve.shed.study = %d, want 1", got)
+	}
+	if code, hdr, _ := get(t, ts.URL+"/studies/exsmoker/extract"); code != http.StatusOK || hdr.Get("X-Guava-Cache") != "hit" {
+		t.Errorf("cached extract on saturated study = %d cache=%q, want 200 hit", code, hdr.Get("X-Guava-Cache"))
+	}
+
+	<-st.slots
+	if code, _, _ := get(t, ts.URL+"/studies/exsmoker/extract?limit=7"); code != http.StatusOK {
+		t.Errorf("extract after study slot freed = %d", code)
+	}
+}
+
+// TestBrownoutShedsMissesServesHits: once refreshes fail BrownoutAfter
+// times in a row, cache misses are shed 503 while cached extracts stay
+// alive; a successful refresh lifts the brownout.
+func TestBrownoutShedsMissesServesHits(t *testing.T) {
+	srv, _, ts := newTestServer(t, Config{BrownoutAfter: 2})
+	get(t, ts.URL+"/studies/exsmoker/extract") // prime one cached body
+
+	st, _ := srv.study("exsmoker")
+	st.consecFails.Store(2)
+
+	code, hdr, body := get(t, ts.URL+"/studies/exsmoker/extract?limit=7")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("miss under brownout = %d %v, want 503", code, body)
+	}
+	if hdr.Get("Retry-After") != "2" {
+		t.Errorf("Retry-After = %q, want 2", hdr.Get("Retry-After"))
+	}
+	if got := srv.metrics().Counter("serve.shed.brownout").Value(); got != 1 {
+		t.Errorf("serve.shed.brownout = %d, want 1", got)
+	}
+	if code, hdr, _ := get(t, ts.URL+"/studies/exsmoker/extract"); code != http.StatusOK || hdr.Get("X-Guava-Cache") != "hit" {
+		t.Errorf("cached extract under brownout = %d cache=%q, want 200 hit", code, hdr.Get("X-Guava-Cache"))
+	}
+
+	// A successful forced refresh resets the failure streak.
+	if code, _ := post(t, ts.URL+"/studies/exsmoker/refresh"); code != http.StatusOK {
+		t.Fatalf("refresh = %d", code)
+	}
+	if code, _, _ := get(t, ts.URL+"/studies/exsmoker/extract?limit=7"); code != http.StatusOK {
+		t.Errorf("extract after brownout lifted = %d", code)
+	}
+}
+
+// TestDeadlineShed: a request whose context is already dead is shed with
+// 503 before any table work runs.
+func TestDeadlineShed(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/studies/exsmoker/extract?limit=3", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expired-deadline extract = %d %s, want 503", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q, want 1", rec.Header().Get("Retry-After"))
+	}
+	if got := srv.metrics().Counter("serve.shed.deadline").Value(); got != 1 {
+		t.Errorf("serve.shed.deadline = %d, want 1", got)
+	}
+}

@@ -10,6 +10,22 @@ import (
 	"guava/internal/relstore"
 )
 
+// testGen reads a study's current generation number (0 when none yet).
+func testGen(st *servedStudy) int64 {
+	if g := st.cur.Load(); g != nil {
+		return g.num
+	}
+	return 0
+}
+
+// testPartGen reads one partition's generation from the current snapshot.
+func testPartGen(st *servedStudy, contributor string) int64 {
+	if g := st.cur.Load(); g != nil {
+		return g.partGens[contributor]
+	}
+	return 0
+}
+
 // TestExtractRefreshRace runs concurrent extract readers against a writer
 // forcing data-changing refreshes on the same study — the shape the race
 // detector needs to vouch for the serving path. Every extract must see a
@@ -73,13 +89,16 @@ func TestExtractRefreshRace(t *testing.T) {
 					t.Errorf("parse: %v", err)
 					return
 				}
-				st.dataMu.RLock()
-				table, err := st.warehouse.Table(st.tableName)
-				var rows *relstore.Rows
-				if err == nil {
-					rows, err = table.Select(query.pred)
+				g := st.pin()
+				if g == nil {
+					t.Error("pin returned nil on a ready study")
+					return
 				}
-				st.dataMu.RUnlock()
+				rows, err := g.table.Select(query.pred)
+				// The pinned snapshot must be internally consistent: its
+				// row count matches its own stamped generation.
+				wantRows := baseRows + int(g.num) - 1
+				g.unpin()
 				if err != nil {
 					t.Errorf("select: %v", err)
 					return
@@ -88,22 +107,25 @@ func TestExtractRefreshRace(t *testing.T) {
 					t.Errorf("torn snapshot: %d rows", rows.Len())
 					return
 				}
+				if rows.Len() != wantRows {
+					t.Errorf("mixed-generation read: %d rows at generation %d (want %d)", rows.Len(), wantRows+1-baseRows, wantRows)
+					return
+				}
 			}
 		}(r)
 	}
 	wg.Wait()
 
-	// After the dust settles the warehouse holds every submitted report.
-	st.dataMu.RLock()
-	table, err := st.warehouse.Table(st.tableName)
-	st.dataMu.RUnlock()
-	if err != nil {
-		t.Fatal(err)
+	// After the dust settles the current generation holds every report.
+	g := st.pin()
+	if g == nil {
+		t.Fatal("no generation after stress run")
 	}
-	if got := table.Len(); got != baseRows+writes {
+	defer g.unpin()
+	if got := g.table.Len(); got != baseRows+writes {
 		t.Errorf("final rows = %d, want %d", got, baseRows+writes)
 	}
-	if gen := st.generation.Load(); gen != int64(1+writes) {
+	if gen := g.num; gen != int64(1+writes) {
 		t.Errorf("generation = %d, want %d", gen, 1+writes)
 	}
 }

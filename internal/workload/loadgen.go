@@ -79,19 +79,36 @@ func ExtractRequests(study string, n int, seed int64) []ExtractRequest {
 	return reqs
 }
 
-// LoadStats aggregates one driven load run.
+// LoadStats aggregates one driven load run. The closed-loop Drive fills
+// Requests/Hits/Errors; the open-loop DriveOpenLoop additionally separates
+// shed load (429/503, retryable by design) from hard errors and tracks the
+// offered-vs-completed gap.
 type LoadStats struct {
-	Requests  int
-	Hits      int
-	Errors    int
-	Elapsed   time.Duration
-	latencies []time.Duration // sorted ascending
+	Requests int // requests actually sent (and completed)
+	Hits     int // successful responses served from cache
+	Errors   int // hard failures: transport errors and non-shed 4xx/5xx
+	// Open-loop extras:
+	Offered    int // arrivals the Poisson clock generated (sent + dropped)
+	Shed       int // requests still 429/503 after the retry budget
+	Retries    int // extra attempts spent honoring Retry-After backoff
+	StaleReads int // responses stamped older than one already observed
+	Dropped    int // arrivals past MaxOutstanding, never sent
+	Elapsed    time.Duration
+	latencies  []time.Duration // sorted ascending
 }
 
 // HitRatio is the fraction of successful requests served from cache.
 func (s *LoadStats) HitRatio() float64 {
-	if ok := s.Requests - s.Errors; ok > 0 {
+	if ok := s.Requests - s.Errors - s.Shed; ok > 0 {
 		return float64(s.Hits) / float64(ok)
+	}
+	return 0
+}
+
+// ShedRate is the fraction of completed requests the server shed.
+func (s *LoadStats) ShedRate() float64 {
+	if s.Requests > 0 {
+		return float64(s.Shed) / float64(s.Requests)
 	}
 	return 0
 }

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The open-loop driver models analyst traffic the way capacity planning
+// needs it modeled: arrivals come from a Poisson process at a fixed offered
+// rate, regardless of how fast the server answers — a slow server does not
+// slow the arrival clock down, it piles up outstanding requests until the
+// driver's bound sheds them. Query popularity is Zipf-distributed over the
+// request mix (a few hot cohort pulls, a long tail), which is what makes a
+// result cache's hit ratio honest. This is the harness behind coribench R9:
+// drive a studyd under a storage-fault schedule and check that latency and
+// correctness hold.
+
+// Outcome is one request's result as the transport saw it. The driver
+// classifies it: 200s count as successes (and cache hits), 429/503 count as
+// shed — retried with backoff, honoring Retry-After — and anything else is
+// a hard error. Gen carries the response's generation stamp so the driver
+// can prove reads never go back in time.
+type Outcome struct {
+	Hit        bool
+	Status     int           // HTTP status; 0 with Err set means transport failure
+	RetryAfter time.Duration // server's Retry-After hint (0 when absent)
+	Gen        int64         // generation stamp from the response (0 when absent)
+	Err        error
+}
+
+// shed reports whether the outcome is load shedding (retryable) rather
+// than success or hard failure.
+func (o Outcome) shed() bool { return o.Status == 429 || o.Status == 503 }
+
+// OpenLoopOptions shapes one open-loop run.
+type OpenLoopOptions struct {
+	// RPS is the offered arrival rate (Poisson; exponential inter-arrivals).
+	RPS float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Seed drives arrivals and popularity; same seed, same offered load.
+	Seed int64
+	// ZipfS is the popularity skew over the request mix (must be > 1;
+	// default 1.2). Index 0 is the hottest request.
+	ZipfS float64
+	// MaxOutstanding bounds in-flight requests; an arrival past the bound
+	// is dropped (counted, never sent) — the open-loop analogue of a full
+	// client connection pool. Default 64.
+	MaxOutstanding int
+	// MaxRetries is how many times a shed (429/503) response is retried
+	// before the request is recorded as shed. Default 2.
+	MaxRetries int
+	// MaxBackoff caps the per-retry sleep (Retry-After included).
+	// Default 250ms.
+	MaxBackoff time.Duration
+}
+
+func (o OpenLoopOptions) withDefaults() OpenLoopOptions {
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.MaxOutstanding <= 0 {
+		o.MaxOutstanding = 64
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 250 * time.Millisecond
+	}
+	return o
+}
+
+// backoffFor computes the sleep before retry `attempt` (0-based): the
+// server's Retry-After when given, else 5ms doubling — both with ±25%
+// deterministic jitter (hashed from the request index, so no shared RNG on
+// the hot path) and capped at MaxBackoff.
+func (o OpenLoopOptions) backoffFor(attempt, idx int, retryAfter time.Duration) time.Duration {
+	d := retryAfter
+	if d <= 0 {
+		d = (5 * time.Millisecond) << attempt
+	}
+	h := uint64(idx)*2654435761 + uint64(attempt)*40503 + uint64(o.Seed)
+	jitter := 0.75 + float64(h%500)/1000 // 0.75 .. 1.25
+	d = time.Duration(float64(d) * jitter)
+	if d > o.MaxBackoff {
+		d = o.MaxBackoff
+	}
+	return d
+}
+
+// genKey is the staleness domain of a request: contributor-pinned extracts
+// are stamped with their partition generation, everything else with the
+// study generation — each key must be monotone over the run's real time.
+func genKey(req ExtractRequest) string {
+	if c := req.Params["Contributor"]; len(c) > 0 {
+		return req.Study + "/" + c[0]
+	}
+	return req.Study
+}
+
+// DriveOpenLoop offers Poisson arrivals at opts.RPS for opts.Duration,
+// picking requests from reqs by Zipf popularity, and sends each through do
+// with Retry-After-honoring backoff. The returned stats separate shed load
+// (429/503 after retries) from hard errors, count dropped arrivals, and
+// flag stale reads — a response whose generation stamp is older than one
+// the driver had already observed for the same study/partition *before
+// this request was issued*. Concurrent requests that straddle a swap and
+// complete out of order are legitimate (both were in flight together);
+// only going back past the request's own start is a violation.
+func DriveOpenLoop(reqs []ExtractRequest, opts OpenLoopOptions, do func(ExtractRequest) Outcome) *LoadStats {
+	opts = opts.withDefaults()
+	if len(reqs) == 0 || opts.RPS <= 0 || opts.Duration <= 0 {
+		return &LoadStats{}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(reqs)-1))
+
+	var (
+		mu      sync.Mutex
+		stats   = &LoadStats{}
+		maxGens = map[string]int64{}
+		wg      sync.WaitGroup
+	)
+	outstanding := make(chan struct{}, opts.MaxOutstanding)
+
+	record := func(req ExtractRequest, lat time.Duration, out Outcome, retries int, floor int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		stats.Requests++
+		stats.Retries += retries
+		stats.latencies = append(stats.latencies, lat)
+		switch {
+		case out.Err != nil || (out.Status >= 400 && !out.shed()):
+			stats.Errors++
+		case out.shed():
+			stats.Shed++
+		default:
+			if out.Hit {
+				stats.Hits++
+			}
+			if out.Gen > 0 {
+				key := genKey(req)
+				if out.Gen < floor {
+					stats.StaleReads++
+				}
+				if out.Gen > maxGens[key] {
+					maxGens[key] = out.Gen
+				}
+			}
+		}
+	}
+
+	began := time.Now()
+	next := began
+	for time.Since(began) < opts.Duration {
+		// Poisson process: exponential inter-arrival at the offered rate.
+		next = next.Add(time.Duration(rng.ExpFloat64() / opts.RPS * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		req := reqs[int(zipf.Uint64())]
+		idx := stats.Offered
+		stats.Offered++
+
+		select {
+		case outstanding <- struct{}{}:
+		default:
+			stats.Dropped++ // open loop: never queue past the bound
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-outstanding }()
+			// The staleness floor: the newest generation any completed
+			// request for this key had returned when this one was issued.
+			mu.Lock()
+			floor := maxGens[genKey(req)]
+			mu.Unlock()
+			t0 := time.Now()
+			retries := 0
+			for attempt := 0; ; attempt++ {
+				out := do(req)
+				if out.shed() && attempt < opts.MaxRetries {
+					retries++
+					time.Sleep(opts.backoffFor(attempt, idx, out.RetryAfter))
+					continue
+				}
+				record(req, time.Since(t0), out, retries, floor)
+				return
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats.Elapsed = time.Since(began)
+	sort.Slice(stats.latencies, func(i, j int) bool { return stats.latencies[i] < stats.latencies[j] })
+	return stats
+}

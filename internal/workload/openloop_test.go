@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDriveOpenLoopClassifiesOutcomes drives a synthetic transport that
+// sheds, hard-fails, and answers from cache in a known pattern, and checks
+// the driver's bookkeeping: offered = sent + dropped, completions are
+// partitioned into success/shed/error, and shed responses are retried.
+func TestDriveOpenLoopClassifiesOutcomes(t *testing.T) {
+	reqs := ExtractRequests("exsmoker", 16, 7)
+	var mu sync.Mutex
+	calls := 0
+	do := func(req ExtractRequest) Outcome {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		switch {
+		case n%7 == 0:
+			return Outcome{Status: 429, RetryAfter: time.Millisecond}
+		case n%11 == 0:
+			return Outcome{Status: 500}
+		default:
+			return Outcome{Status: 200, Hit: n%2 == 0, Gen: 1}
+		}
+	}
+	stats := DriveOpenLoop(reqs, OpenLoopOptions{
+		RPS: 500, Duration: 200 * time.Millisecond, Seed: 1,
+		MaxRetries: 1, MaxOutstanding: 8, MaxBackoff: 2 * time.Millisecond,
+	}, do)
+
+	if stats.Offered == 0 || stats.Requests == 0 {
+		t.Fatalf("no load offered: %+v", stats)
+	}
+	if stats.Offered != stats.Requests+stats.Dropped {
+		t.Errorf("offered %d != sent %d + dropped %d", stats.Offered, stats.Requests, stats.Dropped)
+	}
+	ok := stats.Requests - stats.Errors - stats.Shed
+	if ok <= 0 || stats.Hits > ok {
+		t.Errorf("inconsistent partition: ok=%d hits=%d in %+v", ok, stats.Hits, stats)
+	}
+	if stats.Retries == 0 {
+		t.Errorf("429s with Retry-After were never retried: %+v", stats)
+	}
+	if stats.StaleReads != 0 {
+		t.Errorf("stale reads on a constant generation = %d", stats.StaleReads)
+	}
+	if stats.P99() <= 0 || stats.Quantile(0.5) > stats.P99() {
+		t.Errorf("latency quantiles out of order: p50=%v p99=%v", stats.Quantile(0.5), stats.P99())
+	}
+	if r := stats.ShedRate(); r < 0 || r > 1 {
+		t.Errorf("shed rate = %v", r)
+	}
+}
+
+// TestDriveOpenLoopRetryClearsShed: a transport that sheds exactly once
+// per request ends the run with zero shed completions — the retry budget
+// absorbed every 429.
+func TestDriveOpenLoopRetryClearsShed(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	do := func(req ExtractRequest) Outcome {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls%2 == 1 { // alternate: first attempt shed, retry succeeds
+			return Outcome{Status: 429, RetryAfter: time.Millisecond}
+		}
+		return Outcome{Status: 200, Hit: true, Gen: 1}
+	}
+	stats := DriveOpenLoop([]ExtractRequest{{Study: "s"}}, OpenLoopOptions{
+		RPS: 300, Duration: 100 * time.Millisecond, Seed: 3,
+		MaxRetries: 2, MaxOutstanding: 1, MaxBackoff: 2 * time.Millisecond,
+	}, do)
+	if stats.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if stats.Shed != 0 {
+		t.Errorf("shed = %d after absorbing retries, want 0 (%+v)", stats.Shed, stats)
+	}
+	if stats.Retries < stats.Requests {
+		t.Errorf("retries = %d for %d requests, want >= one each", stats.Retries, stats.Requests)
+	}
+}
+
+// TestDriveOpenLoopDetectsStaleReads: a transport whose generation stamp
+// goes backwards must be caught — that is the zero-stale-reads gate R9
+// leans on.
+func TestDriveOpenLoopDetectsStaleReads(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	do := func(req ExtractRequest) Outcome {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls == 1 {
+			return Outcome{Status: 200, Gen: 5}
+		}
+		return Outcome{Status: 200, Gen: 3} // time travel
+	}
+	stats := DriveOpenLoop([]ExtractRequest{{Study: "s"}}, OpenLoopOptions{
+		RPS: 300, Duration: 100 * time.Millisecond, Seed: 5,
+		MaxOutstanding: 1, // serialize so arrival order is observation order
+	}, do)
+	if stats.Requests < 2 {
+		t.Fatalf("need at least 2 completions, got %d", stats.Requests)
+	}
+	if stats.StaleReads != stats.Requests-1 {
+		t.Errorf("stale reads = %d of %d requests, want %d", stats.StaleReads, stats.Requests, stats.Requests-1)
+	}
+}
