@@ -54,18 +54,25 @@
 // error or stale read (a generation stamp going backwards) fails the run
 // unconditionally.
 //
+// R10 measures the free-text extraction layer: the strict extraction
+// rate in reports/s over the Notes corpus, the diverting read's overhead
+// on clean and on partially-corrupt corpora (misses quarantine with span
+// provenance instead of failing the read), and the end-to-end cost of
+// adding the text arm to the reference study. -min-extract-rps gates the
+// strict extraction rate — the CI regression gate.
+//
 // -cpuprofile, -memprofile, and -trace enable the stdlib profilers for
 // any experiment selection.
 //
 // Usage:
 //
-//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5|R6|R7|R9] [-seed 42] [-n 200]
+//	coribench [-exp all|T1|H2|A1|A2|A3|R1|R2|R3|R4|R5|R6|R7|R9|R10] [-seed 42] [-n 200]
 //	          [-faults 0.33] [-retries 2] [-observe]
 //	          [-max-overhead 0] [-clients 8] [-requests 400]
 //	          [-min-speedup 0] [-delta-batch 24] [-max-flat 0]
 //	          [-min-delta-speedup 0] [-min-par-speedup 0]
 //	          [-rps 300] [-load-duration 3s] [-fs-faults torn_rename:MANIFEST@2]
-//	          [-min-rps 0] [-max-p99 0]
+//	          [-min-rps 0] [-max-p99 0] [-min-extract-rps 0]
 //	          [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
@@ -92,7 +99,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5, R6, R7, R9")
+	exp := flag.String("exp", "all", "experiment to run: all, T1, H2, A1, A2, A3, R1, R2, R3, R4, R5, R6, R7, R9, R10")
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 200, "records per contributor")
 	faults := flag.Float64("faults", 0.33, "fraction of contributor chains wrapped in fault injectors (R1)")
@@ -111,6 +118,7 @@ func main() {
 	fsFaults := flag.String("fs-faults", "torn_rename:MANIFEST@2,short_write:table.rel@4,drop_sync@6", "storage fault schedule for the warehouse filesystem, kind[:pathsub][@after][~delay],... (R9)")
 	minRPS := flag.Float64("min-rps", 0, "fail if R9 goodput falls below this rate (0 = report only)")
 	maxP99 := flag.Duration("max-p99", 0, "fail if R9 extract p99 exceeds this duration (0 = report only)")
+	minExtractRPS := flag.Float64("min-extract-rps", 0, "fail if R10 strict text extraction falls below this rate in reports/s (0 = report only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	execTrace := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -165,6 +173,9 @@ func main() {
 	}
 	if run("R9") {
 		expR9(*seed, *n, *rps, *loadDur, *fsFaults, *minRPS, *maxP99)
+	}
+	if run("R10") {
+		expR10(*seed, *n, *minExtractRPS)
 	}
 }
 

@@ -1,12 +1,14 @@
 // Command guavavet statically vets GUAVA/MultiClass study artifacts before
 // anything runs: classifier bundles (.clf), g-tree and study-schema XML
-// (.xml), and study manifests (.study). It loads every file (directories
-// expand to their artifact files), cross-checks the whole set — classifier
-// satisfiability, shadowing, and domain gaps; context-disabled guards;
-// enablement cycles and dead answer options; study wiring against the study
-// schema — and, when the set forms a complete study manifest that vets clean,
-// compiles the study and runs the plan-level dataflow analyzer
-// (internal/plancheck, GV21x codes) over the operator trees.
+// (.xml), study manifests (.study), and free-text extraction specs
+// (.extract). It loads every file (directories expand to their artifact
+// files), cross-checks the whole set — classifier satisfiability, shadowing,
+// and domain gaps; context-disabled guards; enablement cycles and dead
+// answer options; extraction specs against their target g-trees (GV30x);
+// study wiring against the study schema — and, when the set forms a complete
+// study manifest that vets clean, compiles the study and runs the plan-level
+// dataflow analyzer (internal/plancheck, GV21x codes) over the operator
+// trees.
 //
 // Usage:
 //

@@ -26,6 +26,10 @@ func TestExitCodeContract(t *testing.T) {
 		{"info-only", []string{corpus("corpus", "GV307_bad")}, 0},
 		{"error", []string{corpus("corpus", "GV001_bad")}, 1},
 		{"plan-error", []string{corpus("plancorpus", "GV212_bad")}, 1},
+		{"clean-extract", []string{corpus("corpus", "clean_extract")}, 0},
+		{"malformed-extract", []string{corpus("corpus", "GV308_bad")}, 1},
+		{"overlapping-extract", []string{corpus("corpus", "GV311_bad")}, 1},
+		{"layout-misuse", []string{corpus("corpus", "GV313_bad")}, 1},
 		{"warning-only-json", []string{"-format", "json", corpus("corpus", "GV103_bad")}, 0},
 		{"warning-only-sarif", []string{"-format", "sarif", corpus("corpus", "GV103_bad")}, 0},
 		{"error-sarif", []string{"-format", "sarif", corpus("corpus", "GV001_bad")}, 1},

@@ -69,6 +69,17 @@
 // chunked operators fan out across, and -relstore-batch sets the chunk
 // width (see DESIGN.md §6.12).
 //
+// Free-text contributor (see DESIGN.md §6.15): -with-text adds the Notes
+// contributor — the same ground truth dictated into progress-note documents
+// behind the textsrc extraction layout — so the study mixes text and
+// database sources. -text-append N enters N further reports after the
+// build (journaled, so a -refresh-delta run picks them up and converges
+// byte-identically with a full run given the same flags), and
+// -text-corrupt N injects N out-of-vocabulary reports: under
+// -quarantine-budget they divert into the dead-letter relation with
+// report-span provenance (report id + byte range + rule id) instead of
+// failing the extract step.
+//
 // Observability (reference study): -trace-tree prints the run's span
 // tree, -trace-out writes the spans as JSON lines, -metrics prints the
 // metrics snapshot, and -cpuprofile/-memprofile/-trace enable the
@@ -85,6 +96,7 @@
 //	         [-cursor-file file] [-mutate-seed 1] [-mutate-count 0]
 //	         [-segment-rows 0] [-segment-budget 0] [-dump-warehouse table]
 //	         [-relstore-parallel 0] [-relstore-batch 0]
+//	         [-with-text] [-text-append 0] [-text-corrupt 0]
 //	         [-checkpoint-dir dir] [-resume] [-crash step[:before|:after]]
 //	         [-quarantine-budget 0] [-quarantine-out file|-]
 //	         [-poison contributor] [-poison-rows 1]
@@ -138,6 +150,9 @@ func main() {
 	cursorFile := flag.String("cursor-file", "", "path for the persisted delta cursors (default <warehouse-dir>/cursors.json)")
 	mutateSeed := flag.Int64("mutate-seed", 1, "seed for -mutate-count's synthetic mutation batch")
 	mutateCount := flag.Int("mutate-count", 0, "apply this many random contributor mutations (inserts/updates/deprecations) after building the workload")
+	withText := flag.Bool("with-text", false, "add the free-text Notes contributor to the study (reports behind the textsrc extraction layout)")
+	textAppend := flag.Int("text-append", 0, "append this many further ground-truth reports to the Notes contributor after the build (needs -with-text; journaled, so -refresh-delta picks them up)")
+	textCorrupt := flag.Int("text-corrupt", 0, "inject this many out-of-vocabulary reports into the Notes contributor (needs -with-text; they quarantine under -quarantine-budget)")
 	segmentRows := flag.Int("segment-rows", 0, "persist warehouse tables in the v2 segment-file layout with this many rows per segment (0 = v1 single-stream)")
 	segmentBudget := flag.Int64("segment-budget", 0, "resident byte budget for -dump-warehouse over a v2 segment file (0 = unlimited)")
 	dumpWarehouseTable := flag.String("dump-warehouse", "", "stream this warehouse table (v1 or v2 layout) from -warehouse-dir to stdout in canonical v1 form and exit")
@@ -186,6 +201,38 @@ func main() {
 	contribs, err := workload.BuildAll(*seed, *n)
 	if err != nil {
 		fail(err)
+	}
+	if !*withText && (*textAppend > 0 || *textCorrupt > 0) {
+		fail(fmt.Errorf("-text-append/-text-corrupt need -with-text"))
+	}
+	if *withText {
+		notes, err := workload.BuildNotes(*seed+3, *n)
+		if err != nil {
+			fail(err)
+		}
+		// Appends extend the same seeded truth stream past the initial n, so a
+		// delta-refresh run and a from-scratch full run given the same
+		// -text-append count see identical Notes databases (the delta ≡ full
+		// equivalence the CI smoke job checks with cmp).
+		if *textAppend > 0 {
+			extended := workload.Generate(*seed+3, *n+*textAppend)
+			for _, t := range extended[*n:] {
+				if err := notes.InsertTruth(t); err != nil {
+					fail(err)
+				}
+			}
+			fmt.Printf("appended %d report(s) to Notes\n", *textAppend)
+		}
+		for i := 0; i < *textCorrupt; i++ {
+			id := notes.MaxID() + int64(i+1)
+			if err := notes.InjectReport(id, workload.CorruptNoteBody(id)); err != nil {
+				fail(err)
+			}
+		}
+		if *textCorrupt > 0 {
+			fmt.Printf("injected %d corrupt report(s) into Notes\n", *textCorrupt)
+		}
+		contribs = append(contribs, notes)
 	}
 	if *mutateCount > 0 {
 		// Deterministic from (workload state, seed): a delta-refresh run and

@@ -23,7 +23,7 @@
 //	       [-request-timeout 10s] [-plan-cache 16] [-result-cache 128]
 //	       [-retries 0] [-step-timeout 0] [-continue]
 //	       [-warehouse-dir /var/lib/studyd] [-fs-faults torn_rename:MANIFEST@0]
-//	       [-trace-out spans.jsonl] [-parallel 0]
+//	       [-trace-out spans.jsonl] [-parallel 0] [-with-text]
 //
 // With -warehouse-dir, every data-changing refresh is persisted as an
 // immutable generation (segment file + checksummed MANIFEST); a restart —
@@ -69,6 +69,7 @@ func main() {
 	warehouseDir := flag.String("warehouse-dir", "", "persist study generations under this directory and recover the newest complete one at startup (empty = memory only)")
 	fsFaults := flag.String("fs-faults", "", "inject storage faults into warehouse writes, kind[:pathsub][@after][~delay],... e.g. torn_rename:MANIFEST@0")
 	maxPerStudy := flag.Int("max-per-study", 0, "concurrent cache-miss extracts admitted per study before 429 (0 = no per-study bound)")
+	withText := flag.Bool("with-text", false, "add the free-text Notes contributor so the served studies mix text and database sources")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -104,6 +105,16 @@ func main() {
 	contribs, err := workload.BuildAll(*seed, *n)
 	if err != nil {
 		fail(err)
+	}
+	if *withText {
+		// The Notes contributor dictates the same seeded ground truth into
+		// progress-note documents; its extraction runs inside every study
+		// refresh, so the served extract mixes text- and database-sourced rows.
+		notes, err := workload.BuildNotes(*seed+3, *n)
+		if err != nil {
+			fail(err)
+		}
+		contribs = append(contribs, notes)
 	}
 	reference, err := baseline.ReferenceSpec(contribs)
 	if err != nil {

@@ -76,8 +76,16 @@ func splitLines(s string) []string {
 
 func TestReferenceSpecValidation(t *testing.T) {
 	cs := contribs(t)
-	if _, err := ReferenceSpec(cs[:2]); err == nil {
-		t.Error("wrong contributor count must fail")
+	if _, err := ReferenceSpec(nil); err == nil {
+		t.Error("empty contributor set must fail")
+	}
+	// Any subset of the known contributors is a valid study — partial
+	// studies are how text-only or single-vendor runs work.
+	if _, err := ReferenceSpec(cs[:2]); err != nil {
+		t.Errorf("two-contributor subset must build: %v", err)
+	}
+	if _, err := ReferenceSpec([]*workload.Contributor{{Name: "Mystery"}}); err == nil {
+		t.Error("unknown contributor must fail")
 	}
 	// HandETL rejects unknown contributors.
 	bad := []*workload.Contributor{{Name: "Mystery"}}

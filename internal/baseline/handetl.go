@@ -52,12 +52,13 @@ Heavy    <- %[1]s >= %[3]d
 `, packsNode, 2*scale, 5*scale)
 }
 
-// ReferenceSpec assembles the reference study over the three workload
-// contributors, with per-contributor classifiers reconciling each vendor's
-// vocabulary and units.
+// ReferenceSpec assembles the reference study over any subset of the
+// workload contributors (the classic three form-backed tools, plus the
+// free-text Notes source), with per-contributor classifiers reconciling
+// each vendor's vocabulary and units.
 func ReferenceSpec(contribs []*workload.Contributor) (*etl.StudySpec, error) {
-	if len(contribs) != 3 {
-		return nil, fmt.Errorf("baseline: reference spec needs the three workload contributors")
+	if len(contribs) == 0 {
+		return nil, fmt.Errorf("baseline: reference spec needs at least one workload contributor")
 	}
 	spec := &etl.StudySpec{Name: "reference", Columns: ReferenceColumns}
 	type cfg struct {
@@ -80,6 +81,11 @@ func ReferenceSpec(contribs []*workload.Contributor) (*etl.StudySpec, error) {
 			formNode: "Record",
 			habits:   habitsRules("PacksDaily", 1),
 			hypoxia:  "TRUE <- HypoxiaT = TRUE OR HypoxiaP = TRUE\nFALSE <- TRUE",
+		},
+		"Notes": {
+			formNode: "NoteReport",
+			habits:   habitsRules("TobaccoPacks", 1),
+			hypoxia:  "TRUE <- HypoxiaTransient = TRUE OR HypoxiaProlonged = TRUE\nFALSE <- TRUE",
 		},
 	}
 	for _, c := range contribs {

@@ -170,28 +170,49 @@ func (e *Extract) Run(ctx context.Context, env *Context) error {
 	if !env.Has(e.SourceDB) {
 		return fmt.Errorf("etl: extract: unknown source database %q", e.SourceDB)
 	}
-	rows, err := e.Stack.Read(env.DB(e.SourceDB), e.Form)
+	quar := quarantineFrom(ctx)
+	if quar == nil {
+		rows, err := e.Stack.Read(env.DB(e.SourceDB), e.Form)
+		if err != nil {
+			return fmt.Errorf("etl: extract %s: %w", e.Form.Name, err)
+		}
+		recordIO(ctx, len(rows.Data), len(rows.Data))
+		return e.To.write(env, rows)
+	}
+	// With a quarantine budget, the diverting read separates source-level
+	// misses (e.g. free-text extraction failures, with report-span
+	// provenance) from the clean relation instead of failing the read.
+	rows, misses, err := e.Stack.ReadDiverting(ctx, env.DB(e.SourceDB), e.Form)
 	if err != nil {
 		return fmt.Errorf("etl: extract %s: %w", e.Form.Name, err)
 	}
-	rowsIn := len(rows.Data)
-	// With a quarantine budget, rows whose key is missing are dead-lettered
-	// at the source instead of poisoning every downstream stage.
-	if quar := quarantineFrom(ctx); quar != nil {
-		if i := rows.Schema.Index(e.Form.KeyColumn); i >= 0 {
-			kept := make([]relstore.Row, 0, len(rows.Data))
-			for _, row := range rows.Data {
-				if row[i].IsNull() {
-					rerr := fmt.Errorf("extract %s: NULL key %s", e.Form.Name, e.Form.KeyColumn)
-					if qerr := quar.add(ctx, "extract", rerr, "", renderRow(row, rows.Schema)); qerr != nil {
-						return qerr
-					}
-					continue
-				}
-				kept = append(kept, row)
-			}
-			rows = &relstore.Rows{Schema: rows.Schema, Data: kept}
+	rowsIn := len(rows.Data) + len(misses)
+	for _, m := range misses {
+		rowKey := ""
+		if !m.Key.IsNull() {
+			rowKey = m.Key.Display()
 		}
+		src := sourceRef{kind: m.SourceKind, locator: m.Locator}
+		if qerr := quar.add(ctx, m.Rule, m.Err, rowKey, "", src); qerr != nil {
+			return qerr
+		}
+	}
+	// Rows whose key is missing are dead-lettered at the source too, so one
+	// poison row cannot poison every downstream stage.
+	if i := rows.Schema.Index(e.Form.KeyColumn); i >= 0 {
+		kept := make([]relstore.Row, 0, len(rows.Data))
+		for _, row := range rows.Data {
+			if row[i].IsNull() {
+				rerr := fmt.Errorf("extract %s: NULL key %s", e.Form.Name, e.Form.KeyColumn)
+				src := dbRowRef(e.SourceDB, e.Form.Name)
+				if qerr := quar.add(ctx, "extract", rerr, "", renderRow(row, rows.Schema), src); qerr != nil {
+					return qerr
+				}
+				continue
+			}
+			kept = append(kept, row)
+		}
+		rows = &relstore.Rows{Schema: rows.Schema, Data: kept}
 	}
 	recordIO(ctx, rowsIn, len(rows.Data))
 	return e.To.write(env, rows)
@@ -374,13 +395,14 @@ func (q *Query) runRowwise(ctx context.Context, quar *quarantine, in *relstore.R
 		}
 		return ""
 	}
+	src := dbRowRef(q.From.DB, q.From.Table)
 	out := &relstore.Rows{Schema: outSchema}
 rowLoop:
 	for _, row := range in.Data {
 		if q.Where != nil {
 			keep, werr := q.Where.Eval(row, in.Schema)
 			if werr != nil {
-				if qerr := quar.add(ctx, "where", werr, keyOf(row), renderRow(row, in.Schema)); qerr != nil {
+				if qerr := quar.add(ctx, "where", werr, keyOf(row), renderRow(row, in.Schema), src); qerr != nil {
 					return nil, qerr
 				}
 				continue
@@ -394,7 +416,7 @@ rowLoop:
 		case len(q.Derive) > 0:
 			outRow, err = relstore.DeriveRow(q.Derive, row, in.Schema)
 			if err != nil {
-				if qerr := quar.add(ctx, "derive", err, keyOf(row), renderRow(row, in.Schema)); qerr != nil {
+				if qerr := quar.add(ctx, "derive", err, keyOf(row), renderRow(row, in.Schema), src); qerr != nil {
 					return nil, qerr
 				}
 				continue
@@ -409,7 +431,7 @@ rowLoop:
 		for _, rc := range req {
 			if outRow[rc.idx].IsNull() {
 				rerr := fmt.Errorf("NULL in required column %s", rc.name)
-				if qerr := quar.add(ctx, "require "+rc.name, rerr, keyOf(row), renderRow(row, in.Schema)); qerr != nil {
+				if qerr := quar.add(ctx, "require "+rc.name, rerr, keyOf(row), renderRow(row, in.Schema), src); qerr != nil {
 					return nil, qerr
 				}
 				continue rowLoop

@@ -22,20 +22,29 @@ import (
 // offending history is greedily shrunk to a minimal counterexample before
 // reporting.
 
-// equivUniverse is one self-contained world: three contributors plus the two
-// studies studyd serves over them (reference and its cohort subset).
+// equivUniverse is one self-contained world: the three form contributors
+// plus the free-text Notes contributor, and the two studies studyd serves
+// over them (reference and its cohort subset).
 type equivUniverse struct {
 	contribs []*workload.Contributor
 	studies  []*etl.Compiled
 }
 
 // buildEquivUniverse constructs the contributors and compiles the reference
-// and cohort studies, mirroring studyd's setup.
+// and cohort studies, mirroring studyd's -with-text setup. Including Notes
+// makes the randomized property cover the text path too: inserts dictate
+// reports, updates re-dictate stored documents, and the delta refresh
+// re-extracts exactly the journaled keys.
 func buildEquivUniverse(seed int64, n int) (*equivUniverse, error) {
 	contribs, err := workload.BuildAll(seed, n)
 	if err != nil {
 		return nil, err
 	}
+	notes, err := workload.BuildNotes(seed+3, n)
+	if err != nil {
+		return nil, err
+	}
+	contribs = append(contribs, notes)
 	ref, err := baseline.ReferenceSpec(contribs)
 	if err != nil {
 		return nil, err

@@ -37,14 +37,25 @@ type QuarantineEntry struct {
 	// prefix.
 	Contributor string
 	// Rule names the evaluation that failed: "extract", "where",
-	// "derive", or "require <col>".
+	// "derive", "require <col>", or — for source-side misses — the
+	// source rule id (e.g. "NoteReport/HISTORY/SmokeStatus").
 	Rule string
 	// Err is the row-level error message.
 	Err string
 	// RowKey is the display form of the row's key value, when known.
 	RowKey string
-	// RowData renders the full offending row as "col=value, …".
+	// RowData renders the full offending row as "col=value, …"; empty for
+	// source-side misses where no row was reconstructed.
 	RowData string
+	// SourceKind classifies the provenance locator: "db-row" for rows
+	// diverted from relational evaluation, "report-span" for free-text
+	// extraction misses. omitempty keeps pre-provenance checkpoint
+	// fixtures byte-stable.
+	SourceKind string `json:",omitempty"`
+	// Locator pins the diverted input inside its source — "db.table" for
+	// relational rows, "report <id> bytes <a>-<b>" for text spans — so
+	// text-span and DB-row provenance render uniformly.
+	Locator string `json:",omitempty"`
 }
 
 // quarantineSchema is the dead-letter relation's schema.
@@ -56,6 +67,8 @@ var quarantineSchema = relstore.MustSchema(
 	relstore.Column{Name: "Error", Type: relstore.KindString, NotNull: true},
 	relstore.Column{Name: "RowKey", Type: relstore.KindString},
 	relstore.Column{Name: "RowData", Type: relstore.KindString},
+	relstore.Column{Name: "SourceKind", Type: relstore.KindString},
+	relstore.Column{Name: "Locator", Type: relstore.KindString},
 )
 
 // QuarantineSchema returns the schema of the dead-letter relation produced
@@ -78,10 +91,22 @@ func newQuarantine(workflow string, budget int) *quarantine {
 	return &quarantine{workflow: workflow, budget: budget, perStep: make(map[string]int)}
 }
 
+// sourceRef is the structured source locator a quarantined row carries:
+// what kind of source the input came from and where inside it.
+type sourceRef struct {
+	kind    string // "db-row" or "report-span"
+	locator string // "db.table" or "report <id> bytes <a>-<b>"
+}
+
+// dbRowRef locates a relational source row.
+func dbRowRef(db, table string) sourceRef {
+	return sourceRef{kind: "db-row", locator: db + "." + table}
+}
+
 // add dead-letters one row. It returns a budget error — which the caller
 // must propagate as the step's failure — once the run-wide budget is spent;
 // the entry that overflowed is not recorded.
-func (q *quarantine) add(ctx context.Context, rule string, cause error, rowKey, rowData string) error {
+func (q *quarantine) add(ctx context.Context, rule string, cause error, rowKey, rowData string, src sourceRef) error {
 	step := stepIDFrom(ctx)
 	contributor := ""
 	if _, name, ok := strings.Cut(step, "/"); ok {
@@ -95,6 +120,8 @@ func (q *quarantine) add(ctx context.Context, rule string, cause error, rowKey, 
 		Err:         cause.Error(),
 		RowKey:      rowKey,
 		RowData:     rowData,
+		SourceKind:  src.kind,
+		Locator:     src.locator,
 	}
 	q.mu.Lock()
 	if len(q.entries) >= q.budget {
@@ -184,7 +211,10 @@ func (q *quarantine) snapshot() []QuarantineEntry {
 		if a.RowData != b.RowData {
 			return a.RowData < b.RowData
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Locator < b.Locator
 	})
 	return out
 }
@@ -197,6 +227,7 @@ func (q *quarantine) rows() *relstore.Rows {
 		out.Data[i] = relstore.Row{
 			relstore.Str(e.Workflow), relstore.Str(e.Step), relstore.Str(e.Contributor),
 			relstore.Str(e.Rule), relstore.Str(e.Err), relstore.Str(e.RowKey), relstore.Str(e.RowData),
+			relstore.Str(e.SourceKind), relstore.Str(e.Locator),
 		}
 	}
 	return out

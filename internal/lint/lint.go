@@ -69,6 +69,7 @@ func DefaultOptions() Options {
 			"internal/relstore",
 			"internal/patterns",
 			"internal/etl",
+			"internal/textsrc",
 		},
 		DeterminismAllow: map[string]bool{
 			"exec.go":   true, // executor: backoff, deadlines, step timing

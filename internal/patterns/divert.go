@@ -1,0 +1,69 @@
+package patterns
+
+import (
+	"context"
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// SourceMiss is one source record a layout could not reconstruct into a
+// naive-schema row: the seam between lossy source modalities (free-text
+// reports, damaged archives) and the ETL quarantine. The layout reports
+// the miss instead of failing its whole Read, and the caller decides —
+// typically by dead-lettering it under the run's quarantine budget.
+type SourceMiss struct {
+	// Key is the instance key of the affected record, when recoverable
+	// (NULL otherwise).
+	Key relstore.Value
+	// Rule identifies the matcher or constraint that failed, e.g.
+	// "NoteReport/HISTORY/SmokeStatus".
+	Rule string
+	// Err is the underlying extraction error.
+	Err error
+	// SourceKind classifies the provenance locator: "report-span" for
+	// text extraction, "db-row" for relational sources.
+	SourceKind string
+	// Locator pins the miss inside its source, e.g.
+	// "report 17 bytes 120-168".
+	Locator string
+}
+
+// DivertingReader is the optional lossy-source protocol behind
+// Stack.ReadDiverting: a Layout whose source records can individually fail
+// reconstruction separates the clean relation from per-record misses
+// instead of failing the whole read on the first bad record.
+type DivertingReader interface {
+	ReadDiverting(ctx context.Context, db *relstore.DB, form FormInfo) (*relstore.Rows, []SourceMiss, error)
+}
+
+// ReadDiverting reads the naive relation like Read, but when the layout
+// supports per-record miss reporting the misses come back alongside the
+// clean rows instead of failing the read. Layouts without the protocol
+// behave exactly like Read (no misses, first error fails).
+func (s *Stack) ReadDiverting(ctx context.Context, db *relstore.DB, form FormInfo) (*relstore.Rows, []SourceMiss, error) {
+	dr, ok := s.Layout.(DivertingReader)
+	if !ok {
+		rows, err := s.Read(db, form)
+		return rows, nil, err
+	}
+	infos, err := s.adaptAll(form)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, misses, err := dr.ReadDiverting(ctx, db, infos[len(infos)-1])
+	if err != nil {
+		return nil, nil, fmt.Errorf("patterns: read %s: %w", s.Layout.Name(), err)
+	}
+	for i := len(s.Transforms) - 1; i >= 0; i-- {
+		rows, err = s.Transforms[i].Decode(db, infos[i], infos[i+1], rows)
+		if err != nil {
+			return nil, nil, fmt.Errorf("patterns: decode %s: %w", s.Transforms[i].Name(), err)
+		}
+	}
+	rows, err = Conform(rows, form.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, misses, nil
+}

@@ -76,6 +76,8 @@ func allStacks(t *testing.T) map[string]*Stack {
 		"generic": NewStack(Generic{}),
 		"part":    NewStack(&Partitioned{Base: Naive{}, N: 3}),
 		"partgen": NewStack(&Partitioned{Base: Generic{}, N: 2}),
+		"sparse":  NewStack(SparseWide{Slots: 8}),
+		"multi":   NewStack(MultiValued{Columns: []string{"Smoking", "Alcohol"}}),
 
 		"audit":    NewStack(Naive{}, &Audit{}),
 		"rename":   NewStack(Naive{}, &Rename{Physical: map[string]string{"Smoking": "fld_0107", "ProcedureID": "pk", "Hypoxia": "fld_0221"}}),
@@ -98,6 +100,10 @@ func allStacks(t *testing.T) map[string]*Stack {
 			&Rename{Physical: map[string]string{"Alcohol": "etoh"}},
 			&Lookup{Columns: []string{"Smoking"}},
 			&Encode{},
+		),
+		"sparseaudit": NewStack(SparseWide{Slots: 10}, &Audit{}),
+		"multirename": NewStack(MultiValued{Columns: []string{"Alcohol"}},
+			&Rename{Physical: map[string]string{"Smoking": "fld_0107"}},
 		),
 	}
 }

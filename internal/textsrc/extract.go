@@ -1,0 +1,322 @@
+package textsrc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"guava/internal/relstore"
+	"guava/internal/ui"
+)
+
+// Miss is one extraction failure with span provenance: which rule failed,
+// on which report, over which byte range of the document. Misses flow into
+// the ETL quarantine as "report-span" provenance instead of dropping
+// silently or failing the whole corpus.
+type Miss struct {
+	// ReportID is the report-instance key, NULL when the key line itself
+	// is unreadable.
+	ReportID relstore.Value
+	// Rule identifies the failed rule: "<spec>/<section>/<field>",
+	// "<spec>/<section>" for section-level ambiguity, "<spec>/key" for an
+	// unreadable key line.
+	Rule string
+	// Start and End delimit the offending byte range [Start, End) of the
+	// document.
+	Start, End int
+	// Reason says what went wrong, in terms of the matcher contract.
+	Reason string
+}
+
+// Locator renders the span provenance the quarantine stores.
+func (m Miss) Locator() string {
+	return fmt.Sprintf("report %s bytes %d-%d", m.ReportID.Display(), m.Start, m.End)
+}
+
+// Err renders the miss as the row-level error the quarantine records.
+func (m Miss) Err() error {
+	return fmt.Errorf("textsrc: %s: %s (bytes %d-%d)", m.Rule, m.Reason, m.Start, m.End)
+}
+
+// cField is one compiled field rule.
+type cField struct {
+	spec FieldSpec
+	kind relstore.Kind
+	col  int    // column index in the naive schema
+	rule string // provenance rule id
+	// vocab maps report phrases to stored values (KeyValue with Vocab).
+	vocab map[string]relstore.Value
+}
+
+// cSection is one compiled section: its field rules indexed by anchor.
+type cSection struct {
+	heading string
+	rule    string         // provenance rule id for section-level misses
+	kv      map[string]int // "Label" → field index
+	enum    map[string]int // finding term → field index
+	fields  []int          // declaration order, for required checks
+}
+
+// Extractor is a compiled ExtractSpec: a deterministic, allocation-light
+// scanner from report documents to naive-schema rows. Compile once, use
+// from any number of goroutines.
+type Extractor struct {
+	spec     *ExtractSpec
+	form     *ui.Form
+	schema   *relstore.Schema
+	sections []cSection
+	byHead   map[string]int // heading → section index
+	fields   []cField
+}
+
+// Compile validates the spec, refuses matcher overlaps, derives the form
+// and naive schema, and indexes every anchor for single-pass extraction.
+func Compile(spec *ExtractSpec) (*Extractor, error) {
+	if over := spec.Overlaps(); len(over) > 0 {
+		return nil, fmt.Errorf("textsrc: spec %s has overlapping matchers: %s", spec.Name, strings.Join(over, "; "))
+	}
+	form, err := spec.Form()
+	if err != nil {
+		return nil, err
+	}
+	schema, err := form.NaiveSchema()
+	if err != nil {
+		return nil, err
+	}
+	e := &Extractor{spec: spec, form: form, schema: schema, byHead: make(map[string]int, len(spec.Sections))}
+	for _, sec := range spec.Sections {
+		cs := cSection{
+			heading: sec.Heading,
+			rule:    spec.Name + "/" + sec.Heading,
+			kv:      make(map[string]int),
+			enum:    make(map[string]int),
+		}
+		for _, f := range sec.Fields {
+			cf := cField{spec: f, kind: spec.fieldKind(f), col: schema.Index(f.Name), rule: spec.RuleID(sec, f)}
+			if len(f.Vocab) > 0 {
+				cf.vocab = make(map[string]relstore.Value, len(f.Vocab))
+				for _, v := range f.Vocab {
+					cf.vocab[v.Text] = v.Stored
+				}
+			}
+			idx := len(e.fields)
+			e.fields = append(e.fields, cf)
+			cs.fields = append(cs.fields, idx)
+			if f.Matcher == Enumeration {
+				cs.enum[f.Label] = idx
+			} else {
+				cs.kv[f.Label] = idx
+			}
+		}
+		e.byHead[sec.Heading] = len(e.sections)
+		e.sections = append(e.sections, cs)
+	}
+	return e, nil
+}
+
+// Spec returns the source spec.
+func (e *Extractor) Spec() *ExtractSpec { return e.spec }
+
+// Form returns the derived ui.Form.
+func (e *Extractor) Form() *ui.Form { return e.form }
+
+// Schema returns the derived naive schema.
+func (e *Extractor) Schema() *relstore.Schema { return e.schema }
+
+// Render produces the canonical document for a naive-schema row; it is the
+// exact inverse of Extract on miss-free documents.
+func (e *Extractor) Render(row relstore.Row) (string, error) {
+	return Render(e.spec, e.schema, row)
+}
+
+// Extract scans one report document into a naive-schema row. Lines that no
+// anchored matcher claims are noise and skip; every rule violation becomes
+// a Miss with span provenance. The row is only meaningful when no misses
+// are reported — a report with any miss diverts whole, because a partially
+// extracted record would silently bias every classifier downstream.
+func (e *Extractor) Extract(doc string) (relstore.Row, []Miss) {
+	var misses []Miss
+	row := make(relstore.Row, e.schema.Arity())
+	for i := range row {
+		row[i] = relstore.Null()
+	}
+	set := make([]bool, len(e.fields))
+	missed := make([]bool, len(e.fields))
+	// sectionSpan remembers where each section's header sat, anchoring
+	// required-field misses; dup sections divert via a section-level miss.
+	sectionSpan := make([][2]int, len(e.sections))
+	for i := range sectionSpan {
+		sectionSpan[i] = [2]int{-1, -1}
+	}
+
+	reportID := relstore.Null()
+	cur := -1 // current section index, -1 = outside any known section
+	first := true
+	for start := 0; start <= len(doc); {
+		end := strings.IndexByte(doc[start:], '\n')
+		if end < 0 {
+			end = len(doc)
+		} else {
+			end += start
+		}
+		line := strings.TrimSpace(doc[start:end])
+		lineStart, lineEnd := start, end
+		start = end + 1
+		if first {
+			first = false
+			id, ok := strings.CutPrefix(line, keyLinePrefix)
+			n, err := strconv.ParseInt(strings.TrimSpace(id), 10, 64)
+			if !ok || err != nil {
+				misses = append(misses, Miss{ReportID: relstore.Null(), Rule: e.spec.Name + "/key",
+					Start: lineStart, End: lineEnd, Reason: "unreadable report key line"})
+				continue
+			}
+			reportID = relstore.Int(n)
+			row[e.schema.Index(e.spec.Key)] = reportID
+			continue
+		}
+		if h, ok := cutHeading(line); ok {
+			si, known := e.byHead[h]
+			if !known {
+				cur = -1 // foreign section: its content is noise
+				continue
+			}
+			if sectionSpan[si][0] >= 0 {
+				misses = append(misses, Miss{ReportID: reportID, Rule: e.sections[si].rule,
+					Start: lineStart, End: lineEnd, Reason: "ambiguous duplicate section"})
+				cur = -1
+				continue
+			}
+			sectionSpan[si] = [2]int{lineStart, lineEnd}
+			cur = si
+			continue
+		}
+		if cur < 0 || line == "" {
+			continue
+		}
+		sec := &e.sections[cur]
+		if term, ok := strings.CutPrefix(line, "- "); ok {
+			if fi, ok := sec.enum[strings.TrimSpace(term)]; ok {
+				row[e.fields[fi].col] = relstore.Bool(true)
+				set[fi] = true
+			}
+			continue
+		}
+		label, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		fi, ok := sec.kv[strings.TrimSpace(label)]
+		if !ok {
+			continue
+		}
+		value := strings.TrimSpace(rest)
+		if value == "" {
+			continue // an unanswered field, same as an absent line
+		}
+		if set[fi] {
+			misses = append(misses, Miss{ReportID: reportID, Rule: e.fields[fi].rule,
+				Start: lineStart, End: lineEnd, Reason: "duplicate value for field"})
+			missed[fi] = true
+			continue
+		}
+		v, reason := e.fields[fi].parse(value)
+		if reason != "" {
+			misses = append(misses, Miss{ReportID: reportID, Rule: e.fields[fi].rule,
+				Start: lineStart, End: lineEnd, Reason: reason})
+			missed[fi] = true
+			continue
+		}
+		row[e.fields[fi].col] = v
+		set[fi] = true
+	}
+
+	// Required fields must have matched; enumerations default to false —
+	// dictation states findings, absence means "not found".
+	for si := range e.sections {
+		for _, fi := range e.sections[si].fields {
+			f := &e.fields[fi]
+			if set[fi] {
+				continue
+			}
+			if f.spec.Matcher == Enumeration {
+				row[f.col] = relstore.Bool(false)
+				continue
+			}
+			if f.spec.Required && !missed[fi] {
+				span := sectionSpan[si]
+				if span[0] < 0 {
+					span = [2]int{0, len(doc)}
+				}
+				misses = append(misses, Miss{ReportID: reportID, Rule: f.rule,
+					Start: span[0], End: span[1], Reason: "unmatched required field"})
+			}
+		}
+	}
+	return row, misses
+}
+
+// parse maps one anchored value text to its stored value, returning a
+// non-empty miss reason on failure.
+func (f *cField) parse(value string) (relstore.Value, string) {
+	if f.vocab != nil {
+		v, ok := f.vocab[value]
+		if !ok {
+			return relstore.Null(), fmt.Sprintf("out-of-vocabulary value %q", value)
+		}
+		return v, ""
+	}
+	if f.spec.Unit != nil {
+		i := strings.IndexByte(value, ' ')
+		if i < 0 {
+			return relstore.Null(), fmt.Sprintf("quantity %q has no unit", value)
+		}
+		n, err := strconv.ParseFloat(value[:i], 64)
+		if err != nil {
+			return relstore.Null(), fmt.Sprintf("unparseable quantity %q", value[:i])
+		}
+		unit := strings.TrimSpace(value[i+1:])
+		factor, ok := f.spec.Unit.Factors[unit]
+		if !ok {
+			return relstore.Null(), fmt.Sprintf("unknown unit %q", unit)
+		}
+		return relstore.Float(n * factor), ""
+	}
+	switch f.kind {
+	case relstore.KindInt:
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return relstore.Null(), fmt.Sprintf("unparseable integer %q", value)
+		}
+		return relstore.Int(n), ""
+	case relstore.KindFloat:
+		n, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return relstore.Null(), fmt.Sprintf("unparseable number %q", value)
+		}
+		return relstore.Float(n), ""
+	case relstore.KindBool:
+		switch {
+		case strings.EqualFold(value, "TRUE"):
+			return relstore.Bool(true), ""
+		case strings.EqualFold(value, "FALSE"):
+			return relstore.Bool(false), ""
+		}
+		return relstore.Null(), fmt.Sprintf("unparseable boolean %q", value)
+	default:
+		return relstore.Str(value), ""
+	}
+}
+
+// cutHeading recognizes an anchored section header line "== HEADING ==".
+func cutHeading(line string) (string, bool) {
+	h, ok := strings.CutPrefix(line, "== ")
+	if !ok {
+		return "", false
+	}
+	h, ok = strings.CutSuffix(h, " ==")
+	if !ok {
+		return "", false
+	}
+	return h, true
+}

@@ -1,0 +1,131 @@
+package textsrc
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"guava/internal/relstore"
+)
+
+// This file decodes the `.extract` artifact format guavavet loads: a JSON
+// rendering of an ExtractSpec plus an optional reference to the g-tree it
+// should be vetted against (mirroring how `.clf` artifacts name a tree).
+//
+//	{
+//	  "name": "NoteReport", "key": "NoteID", "title": "…", "tree": "notes",
+//	  "sections": [{
+//	    "heading": "HISTORY",
+//	    "fields": [{
+//	      "name": "SmokeStatus", "label": "Smoking status", "match": "kv",
+//	      "type": "TEXT", "required": true,
+//	      "vocab": [{"text": "never smoker", "stored": "Never"}, …],
+//	      "unit": {"canonical": "packs/day", "factors": {"packs/day": 1}}
+//	    }, …]
+//	  }, …]
+//	}
+
+type jsonSpec struct {
+	Name     string        `json:"name"`
+	Title    string        `json:"title"`
+	Key      string        `json:"key"`
+	Tree     string        `json:"tree"`
+	Sections []jsonSection `json:"sections"`
+}
+
+type jsonSection struct {
+	Heading string      `json:"heading"`
+	Fields  []jsonField `json:"fields"`
+}
+
+type jsonField struct {
+	Name     string      `json:"name"`
+	Label    string      `json:"label"`
+	Question string      `json:"question"`
+	Match    string      `json:"match"` // "kv" (default) or "enum"
+	Type     string      `json:"type"`  // INTEGER | REAL | TEXT | BOOLEAN
+	Required bool        `json:"required"`
+	Vocab    []jsonVocab `json:"vocab"`
+	Unit     *jsonUnit   `json:"unit"`
+}
+
+type jsonVocab struct {
+	Text   string `json:"text"`
+	Stored string `json:"stored"`
+}
+
+type jsonUnit struct {
+	Canonical string             `json:"canonical"`
+	Factors   map[string]float64 `json:"factors"`
+}
+
+// DecodeJSON parses a `.extract` artifact into a spec and the name of the
+// g-tree it wants to be vetted against ("" when unstated). The spec is
+// syntactically decoded only; Validate/Overlaps judgements stay with the
+// caller so guavavet can report them under its own diagnostic codes.
+func DecodeJSON(data []byte) (*ExtractSpec, string, error) {
+	var js jsonSpec
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, "", fmt.Errorf("textsrc: decode spec: %w", err)
+	}
+	spec := &ExtractSpec{Name: js.Name, Title: js.Title, Key: js.Key}
+	for _, jsec := range js.Sections {
+		sec := SectionSpec{Heading: jsec.Heading}
+		for _, jf := range jsec.Fields {
+			f, err := decodeField(js.Name, jf)
+			if err != nil {
+				return nil, "", err
+			}
+			sec.Fields = append(sec.Fields, f)
+		}
+		spec.Sections = append(spec.Sections, sec)
+	}
+	return spec, js.Tree, nil
+}
+
+func decodeField(spec string, jf jsonField) (FieldSpec, error) {
+	f := FieldSpec{Name: jf.Name, Label: jf.Label, Question: jf.Question, Required: jf.Required}
+	switch jf.Match {
+	case "", "kv":
+		f.Matcher = KeyValue
+	case "enum":
+		f.Matcher = Enumeration
+	default:
+		return f, fmt.Errorf("textsrc: decode spec %s: field %s: unknown matcher %q", spec, jf.Name, jf.Match)
+	}
+	kind, err := kindFromString(jf.Type, f.Matcher)
+	if err != nil {
+		return f, fmt.Errorf("textsrc: decode spec %s: field %s: %w", spec, jf.Name, err)
+	}
+	f.Kind = kind
+	for _, v := range jf.Vocab {
+		stored, err := relstore.Coerce(relstore.Str(v.Stored), kind)
+		if err != nil {
+			return f, fmt.Errorf("textsrc: decode spec %s: field %s: vocab %q: %w", spec, jf.Name, v.Text, err)
+		}
+		f.Vocab = append(f.Vocab, VocabEntry{Text: v.Text, Stored: stored})
+	}
+	if jf.Unit != nil {
+		f.Unit = &UnitSpec{Canonical: jf.Unit.Canonical, Factors: jf.Unit.Factors}
+	}
+	return f, nil
+}
+
+func kindFromString(s string, m MatcherKind) (relstore.Kind, error) {
+	switch s {
+	case "":
+		if m == Enumeration {
+			return relstore.KindBool, nil
+		}
+		return relstore.KindString, nil
+	case "INTEGER":
+		return relstore.KindInt, nil
+	case "REAL":
+		return relstore.KindFloat, nil
+	case "TEXT":
+		return relstore.KindString, nil
+	case "BOOLEAN":
+		return relstore.KindBool, nil
+	default:
+		return relstore.KindNull, fmt.Errorf("unknown type %q", s)
+	}
+}

@@ -1,0 +1,94 @@
+package textsrc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"guava/internal/relstore"
+)
+
+// This file renders naive-schema rows into canonical report documents —
+// the write side of the text modality. The extractor (extract.go) is its
+// exact inverse on canonical documents, and stays an inverse under noise
+// lines because every matcher is anchored: extract(render(row)) ≡ row is
+// the determinism contract DESIGN.md §6.15 states and the property harness
+// in roundtrip_test.go enforces.
+//
+// Canonical document shape:
+//
+//	REPORT <key>
+//	<title>
+//
+//	== HEADING ==
+//	Label: value
+//	- finding term
+//	…
+
+// keyLinePrefix anchors the report-instance key on the first line.
+const keyLinePrefix = "REPORT "
+
+// Render produces the canonical report document for one naive-schema row.
+// NULL answers render as no line at all; false enumeration findings are
+// likewise absent (dictation states findings, not their negations).
+func Render(spec *ExtractSpec, schema *relstore.Schema, row relstore.Row) (string, error) {
+	ki := schema.Index(spec.Key)
+	if ki < 0 || len(row) != schema.Arity() {
+		return "", fmt.Errorf("textsrc: render %s: row does not match schema [%s]", spec.Name, schema.NameList())
+	}
+	var sb strings.Builder
+	sb.WriteString(keyLinePrefix + row[ki].Display() + "\n")
+	if spec.Title != "" {
+		sb.WriteString(spec.Title + "\n")
+	}
+	for _, sec := range spec.Sections {
+		sb.WriteString("\n== " + sec.Heading + " ==\n")
+		for _, f := range sec.Fields {
+			i := schema.Index(f.Name)
+			if i < 0 {
+				return "", fmt.Errorf("textsrc: render %s: schema has no column %s", spec.Name, f.Name)
+			}
+			line, err := renderField(spec, sec, f, row[i])
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(line)
+		}
+	}
+	return sb.String(), nil
+}
+
+func renderField(spec *ExtractSpec, sec SectionSpec, f FieldSpec, v relstore.Value) (string, error) {
+	if v.IsNull() {
+		return "", nil
+	}
+	if f.Matcher == Enumeration {
+		if v.Kind() == relstore.KindBool && v.AsBool() {
+			return "- " + f.Label + "\n", nil
+		}
+		return "", nil
+	}
+	text, err := renderValue(spec, f, v)
+	if err != nil {
+		return "", fmt.Errorf("textsrc: render %s: %w", spec.RuleID(sec, f), err)
+	}
+	return f.Label + ": " + text + "\n", nil
+}
+
+func renderValue(spec *ExtractSpec, f FieldSpec, v relstore.Value) (string, error) {
+	if len(f.Vocab) > 0 {
+		for _, entry := range f.Vocab {
+			if entry.Stored.Equal(v) {
+				return entry.Text, nil
+			}
+		}
+		return "", fmt.Errorf("stored value %s is outside the vocabulary", v)
+	}
+	if f.Unit != nil {
+		return strconv.FormatFloat(v.AsFloat(), 'g', -1, 64) + " " + f.Unit.Canonical, nil
+	}
+	if spec.fieldKind(f) == relstore.KindString && strings.ContainsRune(v.Display(), '\n') {
+		return "", fmt.Errorf("text answer spans lines")
+	}
+	return v.Display(), nil
+}

@@ -1,0 +1,143 @@
+package textsrc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"guava/internal/relstore"
+)
+
+// This file is the seeded property harness behind the determinism
+// contract: extract(render(row)) ≡ row over randomized rows, and the
+// equality survives arbitrary injected noise lines because every matcher
+// is anchored. Failures print the seed, so any counterexample replays.
+
+// noiseLines are dictation artifacts a transcription pipeline leaves in
+// real reports. None of them collides with an anchor of testSpec: no
+// "== … ==" section fencing (a foreign header legitimately closes the
+// current section, which is matcher semantics, not noise), no known
+// "Label:" prefix, no known "- finding" term.
+var noiseLines = []string{
+	"Dictated by the attending physician.",
+	"Electronically signed.",
+	"Page 1 of 1",
+	"cc: referring provider",
+	"Patient tolerated the procedure well.",
+	"- incidental finding, see addendum",
+	"Weight: 82 kg",
+	"Reviewed and approved.",
+	"",
+}
+
+// randomRow draws one naive-schema row that satisfies the spec's
+// constraints (required vocabulary answered, floats on a coarse grid so
+// rendering stays short — any exact float round-trips through 'g'
+// formatting, the grid just keeps documents readable).
+func randomRow(rng *rand.Rand, id int64) relstore.Row {
+	statuses := []string{"Never", "Current", "Quit"}
+	row := relstore.Row{
+		relstore.Int(id),
+		relstore.Str(statuses[rng.Intn(len(statuses))]),
+		relstore.Null(),
+		relstore.Null(),
+		relstore.Bool(rng.Intn(4) == 0),
+		relstore.Bool(rng.Intn(8) == 0),
+	}
+	if rng.Intn(3) > 0 {
+		row[2] = relstore.Float(float64(rng.Intn(120)) * 0.05)
+	}
+	if rng.Intn(2) == 0 {
+		row[3] = relstore.Int(int64(18 + rng.Intn(80)))
+	}
+	return row
+}
+
+// injectNoise splices random noise lines into a rendered document at
+// random positions after the key line.
+func injectNoise(rng *rand.Rand, doc string, n int) string {
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < n; i++ {
+		at := 1 + rng.Intn(len(lines))
+		noise := noiseLines[rng.Intn(len(noiseLines))]
+		lines = append(lines[:at], append([]string{noise}, lines[at:]...)...)
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestPropertyExtractInvertsRender(t *testing.T) {
+	e := mustCompile(t)
+	for _, seed := range []int64{1, 7, 42, 20260808} {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 250; i++ {
+			row := randomRow(rng, int64(i+1))
+			doc, err := e.Render(row)
+			if err != nil {
+				t.Fatalf("seed %d row %v: render: %v", seed, row, err)
+			}
+			noisy := injectNoise(rng, doc, rng.Intn(6))
+			got, misses := e.Extract(noisy)
+			if len(misses) != 0 {
+				t.Fatalf("seed %d row %v: misses %v on document:\n%s", seed, row, misses, noisy)
+			}
+			if !got.Equal(row) {
+				t.Fatalf("seed %d: extract(render(row)) = %v, want %v\ndocument:\n%s", seed, got, row, noisy)
+			}
+		}
+	}
+}
+
+// TestPropertyExtractionDeterministic re-extracts the same noisy corpus
+// twice and requires byte-identical rows and misses — the determinism half
+// of the contract (no map-order, clock, or RNG dependence).
+func TestPropertyExtractionDeterministic(t *testing.T) {
+	e := mustCompile(t)
+	rng := rand.New(rand.NewSource(99))
+	docs := make([]string, 0, 100)
+	for i := 0; i < 100; i++ {
+		row := randomRow(rng, int64(i+1))
+		doc, err := e.Render(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc = injectNoise(rng, doc, rng.Intn(4))
+		if rng.Intn(4) == 0 { // corrupt a quarter of the corpus
+			doc = strings.Replace(doc, "Smoking status: ", "Smoking status: unknown substance ", 1)
+		}
+		docs = append(docs, doc)
+	}
+	type result struct {
+		rows   []relstore.Row
+		misses []Miss
+	}
+	pass := func() result {
+		var r result
+		for _, d := range docs {
+			row, ms := e.Extract(d)
+			if len(ms) > 0 {
+				r.misses = append(r.misses, ms...)
+				continue
+			}
+			r.rows = append(r.rows, row)
+		}
+		return r
+	}
+	a, b := pass(), pass()
+	if len(a.rows) != len(b.rows) || len(a.misses) != len(b.misses) {
+		t.Fatalf("non-deterministic extraction: %d/%d rows, %d/%d misses",
+			len(a.rows), len(b.rows), len(a.misses), len(b.misses))
+	}
+	if len(a.misses) == 0 {
+		t.Fatal("corpus corruption produced no misses — test is vacuous")
+	}
+	for i := range a.rows {
+		if !a.rows[i].Equal(b.rows[i]) {
+			t.Fatalf("row %d differs between passes", i)
+		}
+	}
+	for i := range a.misses {
+		if a.misses[i] != b.misses[i] {
+			t.Fatalf("miss %d differs between passes: %+v vs %+v", i, a.misses[i], b.misses[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"guava/internal/classifier"
@@ -15,10 +16,12 @@ import (
 	"guava/internal/patterns"
 	"guava/internal/relstore"
 	"guava/internal/study"
+	"guava/internal/textsrc"
 )
 
 // This file is guavavet's artifact loader: it reads a set of files — g-tree
-// XML, study-schema XML, classifier rule files, and an optional study
+// XML, study-schema XML, classifier rule files, extraction specs (.extract,
+// the JSON rendering internal/textsrc decodes), and an optional study
 // manifest — into a Bundle and vets whatever arrived. Artifacts that fail to
 // load become GV001 diagnostics rather than aborting, so one corrupt file
 // does not hide findings in the rest of the study.
@@ -59,10 +62,22 @@ type Bundle struct {
 	SchemaFile string
 	// Classifiers are the loaded classifier files, in load order.
 	Classifiers []*LoadedClassifier
+	// Extracts are the loaded extraction-spec files, in load order.
+	Extracts []*LoadedExtract
 
 	manifest     *manifestData
 	manifestFile string
 	loadRep      Report
+}
+
+// LoadedExtract is one parsed .extract artifact: a textsrc.ExtractSpec in
+// its JSON rendering, optionally naming the contributor g-tree to vet
+// against (mirroring the classifiers' "# tree:" directive).
+type LoadedExtract struct {
+	Spec *textsrc.ExtractSpec
+	File string
+	// TreeName is the JSON "tree" field ("" for tree-less vetting).
+	TreeName string
 }
 
 // LoadedClassifier is one parsed .clf artifact.
@@ -95,7 +110,7 @@ type manifestData struct {
 }
 
 // LoadPaths reads the given files (directories expand to their *.clf, *.xml,
-// and *.study entries, sorted). Load failures are recorded as GV001
+// *.study, and *.extract entries, sorted). Load failures are recorded as GV001
 // diagnostics on the bundle.
 func LoadPaths(paths []string) *Bundle {
 	b := &Bundle{Trees: map[string]*gtree.Tree{}, TreeFiles: map[string]string{}}
@@ -118,7 +133,7 @@ func LoadPaths(paths []string) *Bundle {
 		var names []string
 		for _, e := range entries {
 			switch filepath.Ext(e.Name()) {
-			case ".clf", ".xml", ".study":
+			case ".clf", ".xml", ".study", ".extract":
 				names = append(names, filepath.Join(p, e.Name()))
 			}
 		}
@@ -144,8 +159,10 @@ func (b *Bundle) loadFile(path string) {
 		b.loadXML(path, data)
 	case ".study":
 		b.loadManifest(path, string(data))
+	case ".extract":
+		b.loadExtract(path, data)
 	default:
-		b.loadRep.Add("GV001", Pos{File: path}, "unsupported artifact type (want .clf, .xml, or .study)")
+		b.loadRep.Add("GV001", Pos{File: path}, "unsupported artifact type (want .clf, .xml, .study, or .extract)")
 	}
 }
 
@@ -277,6 +294,18 @@ func (b *Bundle) loadClassifier(path, src string) {
 	b.Classifiers = append(b.Classifiers, &LoadedClassifier{C: c, File: path, TreeName: treeName})
 }
 
+// loadExtract parses a .extract artifact. Only JSON syntax errors are load
+// failures (GV001); a spec that decodes but violates the structural or
+// overlap invariants is kept so Vet can report it precisely as GV308/GV311.
+func (b *Bundle) loadExtract(path string, data []byte) {
+	spec, treeName, err := textsrc.DecodeJSON(data)
+	if err != nil {
+		b.loadRep.Add("GV001", Pos{File: path}, "%v", err)
+		return
+	}
+	b.Extracts = append(b.Extracts, &LoadedExtract{Spec: spec, File: path, TreeName: treeName})
+}
+
 func (b *Bundle) loadManifest(path, src string) {
 	if b.manifest != nil {
 		b.loadRep.Add("GV001", Pos{File: path}, "duplicate study manifest (already loaded %s)", b.manifestFile)
@@ -391,6 +420,20 @@ func parseStack(tokens []string) (*patterns.Stack, error) {
 			layout = patterns.Naive{}
 		case tok == "generic":
 			layout = patterns.Generic{}
+		case strings.HasPrefix(tok, "sparse:"):
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "sparse:"))
+			if err != nil {
+				return nil, fmt.Errorf("sparse wants a slot count, got %q", tok)
+			}
+			layout = patterns.SparseWide{Slots: n}
+		case strings.HasPrefix(tok, "multi:"):
+			var cols []string
+			for _, c := range strings.Split(strings.TrimPrefix(tok, "multi:"), ",") {
+				if c = strings.TrimSpace(c); c != "" {
+					cols = append(cols, c)
+				}
+			}
+			layout = patterns.MultiValued{Columns: cols}
 		case tok == "audit":
 			transforms = append(transforms, &patterns.Audit{})
 		case strings.HasPrefix(tok, "rename:"):
@@ -534,6 +577,20 @@ func (b *Bundle) Vet() *Report {
 			tree = t
 		}
 		CheckClassifier(rep, lc.C, tree, lc.File)
+	}
+
+	for _, le := range b.Extracts {
+		var tree *gtree.Tree
+		if le.TreeName != "" {
+			t, ok := b.Trees[le.TreeName]
+			if !ok {
+				rep.Add("GV001", Pos{File: le.File},
+					"extraction spec %q vets against g-tree %q, which is not loaded", le.Spec.Name, le.TreeName)
+				continue
+			}
+			tree = t
+		}
+		CheckExtractSpec(rep, le.Spec, tree, le.File)
 	}
 
 	for _, n := range treeNames {

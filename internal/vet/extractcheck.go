@@ -1,0 +1,97 @@
+package vet
+
+import (
+	"guava/internal/gtree"
+	"guava/internal/relstore"
+	"guava/internal/textsrc"
+)
+
+// This file vets extraction specs (GV308–GV312): the declarative report
+// descriptions internal/textsrc compiles into deterministic extractors. A
+// spec freshly derived into its own g-tree vets trivially clean; the checks
+// earn their keep when a hand-edited spec is held against the g-tree an
+// existing study already binds to — the moment vocabulary or slot drift
+// between report and form becomes a silent data-loss bug.
+
+// CheckExtractSpec vets one extraction spec, optionally against the g-tree
+// its contributor serves (tree may be nil for spec-only vetting):
+//
+//	GV308  the spec fails structural validation
+//	GV311  two matchers claim the same anchor (Compile would refuse)
+//	GV309  the report key is not the g-tree key, or a required field has
+//	       no data-storing slot
+//	GV310  a field's stored kind or vocabulary disagrees with its slot
+//	GV312  an optional field has no slot, or a slot no rule fills
+func CheckExtractSpec(rep *Report, spec *textsrc.ExtractSpec, tree *gtree.Tree, file string) {
+	pos := Pos{File: file}
+	if err := spec.Validate(); err != nil {
+		// A broken structure makes every downstream check unreliable.
+		rep.Add("GV308", pos, "%v", err)
+		return
+	}
+	for _, o := range spec.Overlaps() {
+		rep.Add("GV311", pos, "spec %s: %s", spec.Name, o)
+	}
+	if tree == nil {
+		return
+	}
+
+	if spec.Key != tree.KeyColumn {
+		rep.Add("GV309", pos,
+			"spec %s keys reports by %q, but contributor %q's g-tree keys instances by %q",
+			spec.Name, spec.Key, tree.Contributor, tree.KeyColumn)
+	}
+
+	filled := map[string]bool{}
+	spec.Fields(func(sec textsrc.SectionSpec, f textsrc.FieldSpec) {
+		filled[f.Name] = true
+		rule := spec.RuleID(sec, f)
+		n, err := tree.Node(f.Name)
+		if err != nil || !n.StoresData() {
+			if f.Required {
+				rep.Add("GV309", pos,
+					"rule %s is required but has no data-storing slot in contributor %q's g-tree",
+					rule, tree.Contributor)
+			} else {
+				rep.Add("GV312", pos,
+					"rule %s has no data-storing slot in contributor %q's g-tree; extracted values are dropped",
+					rule, tree.Contributor)
+			}
+			return
+		}
+		if k := spec.FieldKind(f); n.DataType != relstore.KindNull && k != n.DataType {
+			rep.Add("GV310", pos,
+				"rule %s extracts %s, but g-tree slot %s stores %s", rule, k, n.Name, n.DataType)
+		}
+		// Every vocabulary entry must store a value the slot's control can
+		// actually hold; a phrase mapping outside the options is exactly the
+		// foreign-option vacuity GV107 flags on the classifier side.
+		if len(f.Vocab) > 0 && len(n.Options) > 0 && !n.AllowFreeText {
+			for _, v := range f.Vocab {
+				ok := false
+				for _, opt := range n.Options {
+					if v.Stored.Equal(opt.Stored) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					rep.Add("GV310", pos,
+						"rule %s maps phrase %q to %s, which slot %s's options can never store",
+						rule, v.Text, v.Stored, n.Name)
+				}
+			}
+		}
+	})
+
+	// The reverse direction: slots the spec never fills stay permanently
+	// NULL for this contributor — legitimate only while a report family is
+	// being brought up, so a warning.
+	tree.Root.Walk(func(n *gtree.Node) {
+		if n.StoresData() && !filled[n.Name] {
+			rep.Add("GV312", pos,
+				"g-tree slot %s of contributor %q is filled by no extraction rule of spec %s",
+				n.Name, tree.Contributor, spec.Name)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"guava/internal/etl"
+	"guava/internal/gtree"
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+	"guava/internal/textsrc"
+)
+
+func extractSpecFixture() *textsrc.ExtractSpec {
+	return &textsrc.ExtractSpec{
+		Name: "NoteReport", Title: "Endoscopy progress note", Key: "NoteID",
+		Sections: []textsrc.SectionSpec{
+			{Heading: "HISTORY", Fields: []textsrc.FieldSpec{
+				{Name: "SmokeStatus", Label: "Smoking status", Kind: relstore.KindString, Required: true,
+					Vocab: []textsrc.VocabEntry{
+						{Text: "never smoker", Stored: relstore.Str("Never")},
+						{Text: "current smoker", Stored: relstore.Str("Current")},
+					}},
+				{Name: "AgeYears", Label: "Age", Kind: relstore.KindInt},
+			}},
+			{Heading: "COMPLICATIONS", Fields: []textsrc.FieldSpec{
+				{Name: "HypoxiaTransient", Label: "transient hypoxia", Matcher: textsrc.Enumeration},
+			}},
+		},
+	}
+}
+
+func deriveTree(t *testing.T, spec *textsrc.ExtractSpec) *gtree.Tree {
+	t.Helper()
+	form, err := spec.Form()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := gtree.Derive("Notes", 1, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func codes(rep *Report) []string {
+	var out []string
+	for _, d := range rep.Diags {
+		out = append(out, d.Code)
+	}
+	return out
+}
+
+func hasCode(rep *Report, code string) bool {
+	for _, d := range rep.Diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckExtractSpecSelfDerived: a spec vetted against the very g-tree it
+// derives must be clean — the co-design loop cannot cry wolf on itself.
+func TestCheckExtractSpecSelfDerived(t *testing.T) {
+	spec := extractSpecFixture()
+	rep := &Report{}
+	CheckExtractSpec(rep, spec, deriveTree(t, spec), "notes.extract")
+	if len(rep.Diags) != 0 {
+		t.Fatalf("self-derived spec produced diagnostics: %v", codes(rep))
+	}
+}
+
+// TestCheckExtractSpecDrift vets a hand-edited spec against the tree the
+// original derived — the vocabulary-drift scenario GV309/GV310/GV312 exist
+// for.
+func TestCheckExtractSpecDrift(t *testing.T) {
+	tree := deriveTree(t, extractSpecFixture())
+
+	t.Run("GV308", func(t *testing.T) {
+		spec := extractSpecFixture()
+		spec.Sections[0].Fields[0].Name = "" // structural breakage
+		rep := &Report{}
+		CheckExtractSpec(rep, spec, tree, "notes.extract")
+		if got := codes(rep); len(got) != 1 || got[0] != "GV308" {
+			t.Fatalf("codes = %v, want [GV308] only (invalid spec must short-circuit)", got)
+		}
+	})
+
+	t.Run("GV309-required-slot", func(t *testing.T) {
+		spec := extractSpecFixture()
+		spec.Sections[0].Fields = append(spec.Sections[0].Fields, textsrc.FieldSpec{
+			Name: "BMI", Label: "Body mass index", Kind: relstore.KindFloat, Required: true,
+		})
+		rep := &Report{}
+		CheckExtractSpec(rep, spec, tree, "notes.extract")
+		if !hasCode(rep, "GV309") {
+			t.Fatalf("required unmapped field did not raise GV309: %v", codes(rep))
+		}
+	})
+
+	t.Run("GV309-key-mismatch", func(t *testing.T) {
+		spec := extractSpecFixture()
+		spec.Key = "ReportID"
+		rep := &Report{}
+		CheckExtractSpec(rep, spec, tree, "notes.extract")
+		if !hasCode(rep, "GV309") {
+			t.Fatalf("key mismatch did not raise GV309: %v", codes(rep))
+		}
+	})
+
+	t.Run("GV310-kind", func(t *testing.T) {
+		spec := extractSpecFixture()
+		spec.Sections[0].Fields[1].Kind = relstore.KindString // tree slot stores INTEGER
+		rep := &Report{}
+		CheckExtractSpec(rep, spec, tree, "notes.extract")
+		if !hasCode(rep, "GV310") {
+			t.Fatalf("kind drift did not raise GV310: %v", codes(rep))
+		}
+	})
+
+	t.Run("GV310-vocab", func(t *testing.T) {
+		spec := extractSpecFixture()
+		spec.Sections[0].Fields[0].Vocab = append(spec.Sections[0].Fields[0].Vocab,
+			textsrc.VocabEntry{Text: "pipe smoker", Stored: relstore.Str("Pipe")})
+		rep := &Report{}
+		CheckExtractSpec(rep, spec, tree, "notes.extract")
+		if !hasCode(rep, "GV310") {
+			t.Fatalf("foreign vocabulary value did not raise GV310: %v", codes(rep))
+		}
+	})
+
+	t.Run("GV311", func(t *testing.T) {
+		spec := extractSpecFixture()
+		spec.Sections[0].Fields[1].Label = "Smoking status"
+		rep := &Report{}
+		CheckExtractSpec(rep, spec, tree, "notes.extract")
+		if !hasCode(rep, "GV311") {
+			t.Fatalf("overlapping anchors did not raise GV311: %v", codes(rep))
+		}
+	})
+
+	t.Run("GV312-both-directions", func(t *testing.T) {
+		spec := extractSpecFixture()
+		// Rename an optional field: its slot goes unfilled AND the rule
+		// extracts to nowhere — one warning each way, no errors.
+		spec.Sections[0].Fields[1].Name = "PatientAge"
+		rep := &Report{}
+		CheckExtractSpec(rep, spec, tree, "notes.extract")
+		n := 0
+		for _, d := range rep.Diags {
+			if d.Code == "GV312" {
+				n++
+			}
+		}
+		if n != 2 || rep.HasErrors() {
+			t.Fatalf("want exactly 2 GV312 warnings and no errors, got %v", codes(rep))
+		}
+	})
+}
+
+// TestCheckStudyLayoutHooks proves the study-level check reaches the layout
+// misuse diagnostics for API-built studies (no manifest, no files on disk).
+func TestCheckStudyLayoutHooks(t *testing.T) {
+	spec := extractSpecFixture()
+	tree := deriveTree(t, spec)
+	form, err := spec.Form()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := patterns.FromUIForm(form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := textsrc.NewLayout(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contrib := func(stack *patterns.Stack) *etl.StudySpec {
+		return &etl.StudySpec{Name: "Hooks", Contributors: []*etl.ContributorPlan{
+			{Name: "Notes", Tree: tree, Form: info, Stack: stack},
+		}}
+	}
+	cases := []struct {
+		name  string
+		stack *patterns.Stack
+		code  string
+		want  bool
+	}{
+		{"sparse-too-few-slots", patterns.NewStack(patterns.SparseWide{Slots: 2}), "GV313", true},
+		{"sparse-enough-slots", patterns.NewStack(patterns.SparseWide{Slots: 4}), "GV313", false},
+		{"multi-unknown-column", patterns.NewStack(patterns.MultiValued{Columns: []string{"Nope"}}), "GV314", true},
+		{"multi-valid-column", patterns.NewStack(patterns.MultiValued{Columns: []string{"SmokeStatus"}}), "GV314", false},
+		{"text-layout-clean", patterns.NewStack(layout), "GV309", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := &Report{}
+			CheckStudy(rep, contrib(tc.stack), nil, nil)
+			if got := hasCode(rep, tc.code); got != tc.want {
+				t.Errorf("hasCode(%s) = %v, want %v; codes %v", tc.code, got, tc.want, codes(rep))
+			}
+		})
+	}
+
+	// A text layout whose spec drifted from the contributor's tree must
+	// surface the extract diagnostics through CheckStudy itself.
+	drifted := extractSpecFixture()
+	drifted.Sections[0].Fields = append(drifted.Sections[0].Fields, textsrc.FieldSpec{
+		Name: "BMI", Label: "Body mass index", Kind: relstore.KindFloat, Required: true,
+	})
+	dl, err := textsrc.NewLayout(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dform, err := drifted.Form()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dinfo, err := patterns.FromUIForm(dform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{}
+	CheckStudy(rep, &etl.StudySpec{Name: "Hooks", Contributors: []*etl.ContributorPlan{
+		{Name: "Notes", Tree: tree, Form: dinfo, Stack: patterns.NewStack(dl)},
+	}}, nil, nil)
+	if !hasCode(rep, "GV309") {
+		t.Fatalf("drifted text layout did not raise GV309 through CheckStudy: %v", codes(rep))
+	}
+	found := false
+	for _, d := range rep.Diags {
+		if d.Code == "GV309" && strings.Contains(d.Message, "NoteReport/HISTORY/BMI") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("GV309 message does not carry the rule id: %v", rep.Diags)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"guava/internal/classifier"
 	"guava/internal/etl"
 	"guava/internal/gtree"
+	"guava/internal/patterns"
 	"guava/internal/relstore"
 	"guava/internal/study"
+	"guava/internal/textsrc"
 )
 
 // StudyFiles maps a study's artifacts to the file names diagnostics should
@@ -113,6 +115,24 @@ func CheckStudy(rep *Report, spec *etl.StudySpec, schema *study.Schema, files *S
 			rep.Add("GV305", mpos, "contributor %q has no pattern stack", c.Name)
 		} else if _, err := c.Stack.PhysicalTables(c.Form); err != nil {
 			rep.Add("GV305", mpos, "contributor %q pattern stack: %v", c.Name, err)
+		}
+
+		// GV313/GV314/GV308–312: layouts that carry their own static
+		// misuse checks. These would also fail at Install time, but the
+		// whole point of vetting is catching them before the ETL runs.
+		if c.Stack != nil && c.Form.Schema != nil {
+			switch l := c.Stack.Layout.(type) {
+			case patterns.SparseWide:
+				if err := l.Check(c.Form); err != nil {
+					rep.Add("GV313", mpos, "contributor %q: %v", c.Name, err)
+				}
+			case patterns.MultiValued:
+				if err := l.Check(c.Form); err != nil {
+					rep.Add("GV314", mpos, "contributor %q: %v", c.Name, err)
+				}
+			case *textsrc.Layout:
+				CheckExtractSpec(rep, l.Spec(), c.Tree, mpos.File)
+			}
 		}
 
 		// GV306: the entity being selected must exist in the schema.

@@ -160,8 +160,8 @@ type CodeInfo struct {
 
 // Catalog lists every diagnostic code the engine can emit, in code order.
 // GV0xx are artifact-loading problems, GV1xx per-classifier, GV201-204
-// per-g-tree, GV210-216 per-compiled-plan (internal/plancheck), GV3xx
-// per-study.
+// per-g-tree, GV210-216 per-compiled-plan (internal/plancheck), GV301-307
+// per-study, GV308-314 per-extraction-spec and per-extended-layout.
 var Catalog = []CodeInfo{
 	{"GV001", SevError, "artifact-load-error",
 		"An artifact file that cannot be parsed can hide any number of downstream defects."},
@@ -223,6 +223,21 @@ var Catalog = []CodeInfo{
 		"A study column naming an attribute/domain the study schema does not define, or with the wrong kind, breaks the Figure 4 contract."},
 	{"GV307", SevInfo, "schema-attribute-unreachable",
 		"A schema attribute no study column maps into is unreachable in this study; legitimate for partial studies, so informational."},
+
+	{"GV308", SevError, "extract-spec-invalid",
+		"A structurally invalid extraction spec can neither derive its contributor's form nor compile into an extractor."},
+	{"GV309", SevError, "extract-unmapped-slot",
+		"A required extraction field with no data-storing g-tree slot, or a report key that is not the g-tree key, makes every report an extraction miss."},
+	{"GV310", SevError, "extract-vocab-mismatch",
+		"An extraction field whose stored type or controlled vocabulary disagrees with its g-tree slot writes values the form could never store."},
+	{"GV311", SevError, "extract-overlapping-matchers",
+		"Two anchored matchers claiming the same heading, label, or finding term make extraction ambiguous, so the spec refuses to compile."},
+	{"GV312", SevWarning, "extract-optional-slot-unmapped",
+		"An optional extraction field with no g-tree slot extracts to nowhere, and a slot no rule fills stays permanently NULL — usually vocabulary drift between report and form."},
+	{"GV313", SevError, "sparse-wide-misuse",
+		"A sparse wide table with fewer physical slots than the form has data controls cannot store the form at all."},
+	{"GV314", SevError, "multi-valued-misuse",
+		"A multi-valued answer table moving a missing, duplicated, or key column cannot reconstruct the naive relation."},
 }
 
 var catalogByCode = func() map[string]CodeInfo {

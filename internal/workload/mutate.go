@@ -108,6 +108,16 @@ var updatableFields = map[string][]fieldGen{
 		{"HypoxiaP", randBool},
 		{"AgeYears", randAge},
 	},
+	// Notes updates route through textsrc.Layout.Update, which re-dictates
+	// the stored report with the changed answer — a mutation batch over a
+	// mixed workload exercises the text path exactly like the table layouts.
+	"Notes": {
+		{"SmokeStatus", pickStr("Never", "Current", "Quit")},
+		{"TobaccoPacks", func(rng *rand.Rand) relstore.Value { return relstore.Float(0.5 * float64(1+rng.Intn(8))) }},
+		{"HypoxiaTransient", randBool},
+		{"HypoxiaProlonged", randBool},
+		{"AgeYears", randAge},
+	},
 }
 
 // RandomBatch derives n mutations over the contributors from the seed,

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"fmt"
+
+	"guava/internal/patterns"
+	"guava/internal/relstore"
+	"guava/internal/textsrc"
+	"guava/internal/ui"
+)
+
+// This file builds contributor D: a free-text progress-note source. Unlike
+// the three form-backed tools, this contributor's database stores report
+// documents — the naive relation only exists by running the compiled
+// extractor over them on read. The same ground truth flows in, "dictated"
+// into canonical text by the textsrc layout, so studies mixing Notes with
+// the form contributors exercise the full text path end to end.
+
+// NotesSpec describes the progress-note report family: the co-designed
+// structure the extractor and the renderer share. Stored values line up
+// with the canonical Truth vocabulary, so classifiers over Notes need only
+// the same unit reconciliation as any other contributor.
+func NotesSpec() *textsrc.ExtractSpec {
+	return &textsrc.ExtractSpec{
+		Name:  "NoteReport",
+		Title: "Endoscopy progress note",
+		Key:   "NoteID",
+		Sections: []textsrc.SectionSpec{
+			{Heading: "HISTORY", Fields: []textsrc.FieldSpec{
+				{Name: "SmokeStatus", Label: "Smoking status", Kind: relstore.KindString, Required: true,
+					Vocab: []textsrc.VocabEntry{
+						{Text: "never smoker", Stored: relstore.Str("Never")},
+						{Text: "current smoker", Stored: relstore.Str("Current")},
+						{Text: "former smoker", Stored: relstore.Str("Quit")},
+					}},
+				{Name: "TobaccoPacks", Label: "Tobacco use", Kind: relstore.KindFloat,
+					Unit: &textsrc.UnitSpec{Canonical: "packs/day", Factors: map[string]float64{
+						"packs/day": 1, "cigarettes/day": 0.05,
+					}}},
+				{Name: "AgeYears", Label: "Age", Kind: relstore.KindInt},
+			}},
+			{Heading: "COMPLICATIONS", Fields: []textsrc.FieldSpec{
+				{Name: "HypoxiaTransient", Label: "transient hypoxia", Matcher: textsrc.Enumeration},
+				{Name: "HypoxiaProlonged", Label: "prolonged hypoxia", Matcher: textsrc.Enumeration},
+			}},
+		},
+	}
+}
+
+// BuildNotes builds contributor D: ground truth dictated into free-text
+// progress notes behind the TextReports layout.
+func BuildNotes(seed int64, n int) (*Contributor, error) {
+	truths := Generate(seed, n)
+	spec := NotesSpec()
+	layout, err := textsrc.NewLayout(spec)
+	if err != nil {
+		return nil, err
+	}
+	form, err := spec.Form()
+	if err != nil {
+		return nil, err
+	}
+	stack := patterns.NewStack(layout)
+	return build("Notes", form, stack, truths, func(e *ui.Entry, t Truth) error {
+		s := &setter{e: e}
+		s.set("SmokeStatus", relstore.Str(t.Smoking))
+		if t.Smoking == "Current" {
+			s.set("TobaccoPacks", relstore.Float(t.PacksPerDay))
+		}
+		s.set("AgeYears", relstore.Int(t.Age))
+		s.setBool("HypoxiaTransient", t.TransientHypoxia)
+		s.setBool("HypoxiaProlonged", t.ProlongedHypoxia)
+		return s.err
+	})
+}
+
+// InjectReport stores one raw report document — canonical or not — under the
+// contributor's stack and journals it, bypassing the form path entirely.
+// This is how corrupted or hand-written text enters the workload.
+func (c *Contributor) InjectReport(id int64, body string) error {
+	return textsrc.AppendDocument(c.DB, c.Stack, c.Info, relstore.Int(id), body)
+}
+
+// CorruptNoteBody returns a progress note whose required smoking status
+// carries an out-of-vocabulary phrase: structurally a fine report, but its
+// one bad line makes exactly one extraction miss (rule
+// NoteReport/HISTORY/SmokeStatus) with span provenance.
+func CorruptNoteBody(id int64) string {
+	return fmt.Sprintf("REPORT %d\n\n== HISTORY ==\nSmoking status: pipe smoker\nAge: 44\n", id)
+}
